@@ -1,0 +1,72 @@
+#include "bench_common.h"
+
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace aeo::bench {
+
+void
+PrintHeader(const std::string& experiment_id, const std::string& title)
+{
+    std::printf("\n================================================================\n");
+    std::printf("%s — %s\n", experiment_id.c_str(), title.c_str());
+    std::printf("Reproduction of Rao et al., HPCA 2017 (simulated Nexus 6)\n");
+    std::printf("================================================================\n\n");
+}
+
+std::vector<std::string>
+CpuLevelLabels()
+{
+    std::vector<std::string> labels;
+    for (int level = 1; level <= 18; ++level) {
+        labels.push_back(StrFormat("f%02d", level));
+    }
+    return labels;
+}
+
+std::vector<std::string>
+BwLevelLabels()
+{
+    std::vector<std::string> labels;
+    for (int level = 1; level <= 13; ++level) {
+        labels.push_back(StrFormat("bw%02d", level));
+    }
+    return labels;
+}
+
+std::string
+RenderResidency(const std::vector<double>& fractions,
+                const std::vector<std::string>& labels)
+{
+    std::string out;
+    double max_fraction = 0.0;
+    for (const double f : fractions) {
+        max_fraction = f > max_fraction ? f : max_fraction;
+    }
+    for (size_t i = 0; i < fractions.size(); ++i) {
+        const size_t bar =
+            max_fraction > 0.0
+                ? static_cast<size_t>(fractions[i] / max_fraction * 40.0 + 0.5)
+                : 0;
+        out += StrFormat("  %-5s %6.2f%% |%s\n", labels[i].c_str(),
+                         fractions[i] * 100.0, std::string(bar, '#').c_str());
+    }
+    return out;
+}
+
+void
+PrintResidencyComparison(const std::string& app, const aeo::RunResult& default_run,
+                         const aeo::RunResult& controller_run, bool bandwidth)
+{
+    const auto labels = bandwidth ? BwLevelLabels() : CpuLevelLabels();
+    const auto& def = bandwidth ? default_run.bw_residency : default_run.cpu_residency;
+    const auto& ctl =
+        bandwidth ? controller_run.bw_residency : controller_run.cpu_residency;
+    std::printf("--- %s: default governor ---\n%s", app.c_str(),
+                RenderResidency(def, labels).c_str());
+    std::printf("--- %s: our controller ---\n%s\n", app.c_str(),
+                RenderResidency(ctl, labels).c_str());
+}
+
+}  // namespace aeo::bench

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Shared helpers for the experiment harness binaries in bench/: consistent
+ * headers, level labels, and residency rendering for the figure benches.
+ */
+#ifndef AEO_BENCH_BENCH_COMMON_H_
+#define AEO_BENCH_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "device/run_result.h"
+
+namespace aeo::bench {
+
+/** Prints a banner naming the experiment and the paper artifact. */
+void PrintHeader(const std::string& experiment_id, const std::string& title);
+
+/** Labels "1".."18" / "1".."13" for residency charts (paper numbering). */
+std::vector<std::string> CpuLevelLabels();
+std::vector<std::string> BwLevelLabels();
+
+/** Renders a residency vector as an ASCII bar chart. */
+std::string RenderResidency(const std::vector<double>& fractions,
+                            const std::vector<std::string>& labels);
+
+/** Prints two residency charts side by side contextually (default, ours). */
+void PrintResidencyComparison(const std::string& app,
+                              const aeo::RunResult& default_run,
+                              const aeo::RunResult& controller_run, bool bandwidth);
+
+}  // namespace aeo::bench
+
+#endif  // AEO_BENCH_BENCH_COMMON_H_

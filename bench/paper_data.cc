@@ -1,0 +1,72 @@
+#include "paper_data.h"
+
+namespace aeo::paper {
+
+const std::vector<AppRow>&
+TableIII()
+{
+    static const std::vector<AppRow> kRows = {
+        {"VidCon", -0.4, 25.3},  {"MobileBench", 4.1, 15.3},
+        {"AngryBirds", 0.6, 14.9}, {"WeChat", -0.4, 27.2},
+        {"MXPlayer", 0.0, 4.2},  {"Spotify", 9.3, 31.6},
+    };
+    return kRows;
+}
+
+const std::vector<AppRow>&
+TableIV_BL()
+{
+    static const std::vector<AppRow> kRows = {
+        {"VidCon", 0.8, 25.3},  {"MobileBench", 4.0, 15.3},
+        {"AngryBirds", 0.6, 14.9}, {"WeChat", -0.4, 27.2},
+        {"MXPlayer", 0.0, 5.0}, {"Spotify", 9.3, 31.6},
+    };
+    return kRows;
+}
+
+const std::vector<AppRow>&
+TableIV_NL()
+{
+    static const std::vector<AppRow> kRows = {
+        {"VidCon", 0.2, 28.0},   {"MobileBench", -3.5, -4.9},
+        {"AngryBirds", 1.0, 12.8}, {"WeChat", 2.0, 19.4},
+        {"MXPlayer", 0.0, 2.9},  {"Spotify", -1.7, 7.2},
+    };
+    return kRows;
+}
+
+const std::vector<AppRow>&
+TableIV_HL()
+{
+    static const std::vector<AppRow> kRows = {
+        {"VidCon", -8.0, 11.4},  {"MobileBench", -2.0, 4.6},
+        {"AngryBirds", -2.0, 10.0}, {"WeChat", 3.6, 27.0},
+        {"MXPlayer", 0.0, 5.0},  {"Spotify", -1.3, 6.0},
+    };
+    return kRows;
+}
+
+const std::vector<AppRow>&
+TableV()
+{
+    static const std::vector<AppRow> kRows = {
+        {"VidCon", 2.8, 13.1},   {"MobileBench", -2.9, 7.6},
+        {"AngryBirds", -2.6, 9.6}, {"WeChat", 4.7, 22.3},
+        {"MXPlayer", 0.0, 0.4},  {"Spotify", 3.3, 33.3},
+    };
+    return kRows;
+}
+
+const std::vector<ProfileRow>&
+TableI()
+{
+    static const std::vector<ProfileRow> kRows = {
+        {1, 1, 1.0, 1623.57},
+        {1, 3, 1.0038, 1682.83},
+        {1, 5, 1.0077, 1742.09},
+        {5, 1, 1.837, 2219.22},
+    };
+    return kRows;
+}
+
+}  // namespace aeo::paper

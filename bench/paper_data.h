@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The published numbers from the paper's evaluation, used by every bench
+ * to print paper-vs-measured comparisons (recorded in EXPERIMENTS.md).
+ */
+#ifndef AEO_BENCH_PAPER_DATA_H_
+#define AEO_BENCH_PAPER_DATA_H_
+
+#include <string>
+#include <vector>
+
+namespace aeo::paper {
+
+/** One application row of Tables III / IV / V. */
+struct AppRow {
+    std::string app;
+    double perf_delta_pct;
+    double energy_savings_pct;
+};
+
+/** Table III: coordinated controller vs default governors, baseline load. */
+const std::vector<AppRow>& TableIII();
+
+/** Table IV rows for one load (columns BL / NL / HL). */
+const std::vector<AppRow>& TableIV_BL();
+const std::vector<AppRow>& TableIV_NL();
+const std::vector<AppRow>& TableIV_HL();
+
+/** Table V: CPU-only DVFS controller vs default governors. */
+const std::vector<AppRow>& TableV();
+
+/** Table I anchor rows (AngryBirds sample profile). */
+struct ProfileRow {
+    int cpu_level_1based;
+    int bw_level_1based;
+    double speedup;
+    double power_mw;
+};
+const std::vector<ProfileRow>& TableI();
+
+/** Fig. 1 headline facts: default governor on the eBook reader. */
+inline constexpr double kFig1TopFreqResidencyPct = 10.0;   // >10 % at level 18
+inline constexpr double kFig1Level10ResidencyPct = 15.0;   // ~15 % at level 10
+
+/** §V-A1 overhead figures. */
+inline constexpr double kPerfOverheadFractionAt1s = 0.04;
+inline constexpr double kPerfPowerOverheadMw = 15.0;
+inline constexpr double kControllerComputeMs = 10.0;   // < 10 ms per cycle
+inline constexpr double kControllerComputePowerMw = 25.0;
+inline constexpr double kActuationPowerMw = 14.0;
+
+}  // namespace aeo::paper
+
+#endif  // AEO_BENCH_PAPER_DATA_H_

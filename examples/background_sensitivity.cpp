@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Example: how background load affects the controller (§V-C in miniature).
+ *
+ * Profiles AngryBirds once under the baseline load, then evaluates the
+ * controller under all three load scenarios — the situation a deployed
+ * controller actually faces, since profiling cannot anticipate the user's
+ * runtime environment.
+ */
+#include <cstdio>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "common/text_table.h"
+#include "core/experiment.h"
+
+using namespace aeo;
+
+int
+main()
+{
+    SetLogLevel(LogLevel::kWarn);
+    std::printf("Background-load sensitivity: AngryBirds, profile from BL\n\n");
+
+    ExperimentHarness harness;
+    TextTable table({"run load", "free mem (MB)", "perf delta", "energy savings"});
+
+    for (const BackgroundKind kind :
+         {BackgroundKind::kBaseline, BackgroundKind::kNoLoad, BackgroundKind::kHeavy}) {
+        ExperimentOptions options;
+        options.profile_runs = 3;
+        options.profile_load = BackgroundKind::kBaseline;  // never re-profiled
+        options.run_load = kind;
+        options.seed = 5;
+        const ExperimentOutcome outcome =
+            harness.RunComparison("AngryBirds", options);
+        const BackgroundEnv env = MakeBackgroundEnv(kind);
+        table.AddRow({ToString(kind), StrFormat("%.0f", env.free_memory_mb),
+                      StrFormat("%+.1f%%", outcome.perf_delta_pct),
+                      StrFormat("%.1f%%", outcome.energy_savings_pct)});
+    }
+    std::printf("%s\n", table.ToString().c_str());
+    std::printf("The feedback loop absorbs moderate load mismatch (the paper's\n"
+                "§V-C conclusion); re-profiling under the actual load recovers\n"
+                "the rest.\n");
+    return 0;
+}

@@ -1,0 +1,54 @@
+#include "apps/app_registry.h"
+
+#include <functional>
+#include <map>
+
+#include "apps/workloads.h"
+#include "common/logging.h"
+
+namespace aeo {
+
+namespace {
+
+const std::map<std::string, std::function<AppSpec()>>&
+Registry()
+{
+    static const std::map<std::string, std::function<AppSpec()>> kRegistry = {
+        {"VidCon", MakeVidConSpec},
+        {"MobileBench", MakeMobileBenchSpec},
+        {"AngryBirds", MakeAngryBirdsSpec},
+        {"WeChat", MakeWeChatSpec},
+        {"MXPlayer", MakeMxPlayerSpec},
+        {"Spotify", MakeSpotifySpec},
+        {"eBook", MakeEbookSpec},
+    };
+    return kRegistry;
+}
+
+}  // namespace
+
+std::vector<std::string>
+BuiltinAppNames()
+{
+    // Presentation order of §IV-C (eBook last: it only appears in Fig. 1).
+    return {"VidCon", "MobileBench", "AngryBirds", "WeChat", "MXPlayer",
+            "Spotify", "eBook"};
+}
+
+AppSpec
+MakeAppSpecByName(const std::string& name)
+{
+    const auto it = Registry().find(name);
+    if (it == Registry().end()) {
+        Fatal("unknown application '%s'", name.c_str());
+    }
+    return it->second();
+}
+
+bool
+IsBuiltinApp(const std::string& name)
+{
+    return Registry().find(name) != Registry().end();
+}
+
+}  // namespace aeo

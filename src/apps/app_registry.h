@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Name-indexed access to the built-in workload specs, for benches, examples
+ * and tests that select applications by name.
+ */
+#ifndef AEO_APPS_APP_REGISTRY_H_
+#define AEO_APPS_APP_REGISTRY_H_
+
+#include <string>
+#include <vector>
+
+#include "apps/app_model.h"
+
+namespace aeo {
+
+/** Names of all built-in workloads, in the paper's presentation order. */
+std::vector<std::string> BuiltinAppNames();
+
+/** Returns the spec for @p name; Fatal() for unknown names. */
+AppSpec MakeAppSpecByName(const std::string& name);
+
+/** True if @p name is a built-in workload. */
+bool IsBuiltinApp(const std::string& name);
+
+}  // namespace aeo
+
+#endif  // AEO_APPS_APP_REGISTRY_H_

@@ -1,0 +1,110 @@
+#include "apps/background_load.h"
+
+#include "common/logging.h"
+
+namespace aeo {
+
+namespace {
+
+/** A tiny always-on residue: kernel threads, sensors, display pipeline. */
+AppPhase
+IdlePhase(SimTime duration, double gips)
+{
+    AppPhase phase;
+    phase.name = "bg-idle";
+    phase.kind = PhaseKind::kTimed;
+    phase.demand.ipc = 0.6;
+    phase.demand.parallelism = 1.0;
+    phase.demand.mem_bytes_per_instr = 0.4;
+    phase.demand.demand_gips = gips;
+    phase.duration = duration;
+    return phase;
+}
+
+/** A periodic burst: e-mail sync, streaming refill, widget refresh. */
+AppPhase
+BurstPhase(const std::string& name, double work_gi, double bpi, double component_mw)
+{
+    AppPhase phase;
+    phase.name = name;
+    phase.kind = PhaseKind::kWork;
+    phase.demand.ipc = 0.7;
+    phase.demand.parallelism = 1.0;
+    phase.demand.mem_bytes_per_instr = bpi;
+    phase.work_gi = work_gi;
+    phase.component_mw = component_mw;
+    return phase;
+}
+
+}  // namespace
+
+std::string
+ToString(BackgroundKind kind)
+{
+    switch (kind) {
+      case BackgroundKind::kNoLoad:
+        return "NL";
+      case BackgroundKind::kBaseline:
+        return "BL";
+      case BackgroundKind::kHeavy:
+        return "HL";
+    }
+    AEO_PANIC("unreachable background kind");
+}
+
+BackgroundEnv
+MakeBackgroundEnv(BackgroundKind kind)
+{
+    BackgroundEnv env;
+    env.kind = kind;
+    env.spec.name = "background-" + ToString(kind);
+    env.spec.loop = true;
+    env.spec.jitter_rel = 0.10;
+
+    switch (kind) {
+      case BackgroundKind::kNoLoad:
+        // Only the controlled app runs; just the OS residue remains.
+        env.spec.phases = {IdlePhase(SimTime::FromSeconds(5), 0.004)};
+        env.fg_mem_intensity_multiplier = 0.97;
+        env.free_memory_mb = 1024.0;
+        env.resident_tasks = 6.7;
+        break;
+
+      case BackgroundKind::kBaseline:
+        // WiFi on, e-mail sync enabled, Spotify decoding in the background:
+        // a steady decode trickle, a streaming refill every ~5 s and an
+        // e-mail sync burst roughly once a minute.
+        env.spec.phases = {
+            IdlePhase(SimTime::FromSecondsF(4.9), 0.022),
+            BurstPhase("bg-stream-refill", 0.012, 0.9, 90.0),
+            IdlePhase(SimTime::FromSecondsF(24.5), 0.022),
+            BurstPhase("bg-stream-refill", 0.012, 0.9, 90.0),
+            IdlePhase(SimTime::FromSecondsF(29.5), 0.022),
+            BurstPhase("bg-email-sync", 0.10, 0.8, 160.0),
+        };
+        env.fg_mem_intensity_multiplier = 1.0;
+        env.free_memory_mb = 500.0;
+        env.resident_tasks = 6.3;
+        break;
+
+      case BackgroundKind::kHeavy:
+        // Gallery, eBook, Chrome, Facebook, e-mail, MX Player and Spotify
+        // minimized: more residue, more frequent syncs, and noticeable
+        // memory pressure on the foreground app.
+        env.spec.phases = {
+            IdlePhase(SimTime::FromSecondsF(4.8), 0.055),
+            BurstPhase("bg-stream-refill", 0.018, 1.0, 110.0),
+            IdlePhase(SimTime::FromSecondsF(9.6), 0.055),
+            BurstPhase("bg-widget-refresh", 0.03, 0.9, 90.0),
+            IdlePhase(SimTime::FromSecondsF(14.4), 0.055),
+            BurstPhase("bg-email-sync", 0.14, 0.8, 170.0),
+        };
+        env.fg_mem_intensity_multiplier = 1.22;
+        env.free_memory_mb = 134.0;
+        env.resident_tasks = 6.6;
+        break;
+    }
+    return env;
+}
+
+}  // namespace aeo

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Background-load environments (§III-A, §V-C).
+ *
+ * The paper profiles under a *baseline load* (WiFi on, e-mail sync enabled,
+ * Spotify running in the background) and evaluates the controller under
+ * no-load and heavier-load conditions. A background environment here is a
+ * looping AppModel (the background demand pattern) plus the memory-pressure
+ * and loadavg characteristics the paper reports.
+ */
+#ifndef AEO_APPS_BACKGROUND_LOAD_H_
+#define AEO_APPS_BACKGROUND_LOAD_H_
+
+#include <memory>
+#include <string>
+
+#include "apps/app_model.h"
+
+namespace aeo {
+
+/** The three load scenarios of §V-C. */
+enum class BackgroundKind {
+    kNoLoad,       // NL: only the controlled application runs
+    kBaseline,     // BL: WiFi + e-mail sync + Spotify in the background
+    kHeavy,        // HL: seven extra apps opened but minimized
+};
+
+/** Name as used in the paper's tables ("NL"/"BL"/"HL"). */
+std::string ToString(BackgroundKind kind);
+
+/** Static characteristics of a background environment. */
+struct BackgroundEnv {
+    BackgroundKind kind = BackgroundKind::kBaseline;
+    /** The background demand pattern. */
+    AppSpec spec;
+    /**
+     * Memory-pressure multiplier applied to the foreground app's memory
+     * intensity (page-cache misses under low free memory). The paper notes
+     * free memory is the dominant difference between loads (§V-C).
+     */
+    double fg_mem_intensity_multiplier = 1.0;
+    /** Free memory the load leaves, MB (BL 500 / NL 1024 / HL 134). */
+    double free_memory_mb = 500.0;
+    /** Resident runnable-task pressure for /proc/loadavg. */
+    double resident_tasks = 6.0;
+};
+
+/** Builds the environment for one of the paper's three load scenarios. */
+BackgroundEnv MakeBackgroundEnv(BackgroundKind kind);
+
+}  // namespace aeo
+
+#endif  // AEO_APPS_BACKGROUND_LOAD_H_

@@ -1,0 +1,289 @@
+#include "apps/workloads.h"
+
+#include <limits>
+
+namespace aeo {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+WorkloadDemand
+Demand(double ipc, double parallelism, double bpi, double gips_cap = kInf)
+{
+    WorkloadDemand demand;
+    demand.ipc = ipc;
+    demand.parallelism = parallelism;
+    demand.mem_bytes_per_instr = bpi;
+    demand.demand_gips = gips_cap;
+    return demand;
+}
+
+}  // namespace
+
+AppSpec
+MakeVidConSpec()
+{
+    // Self-paced transcode: ipc·par = 1.65 gives the paper's base speed
+    // R(0.3 GHz, 762 MBps) ≈ 0.47 GIPS. Between GOP-sized chunks the
+    // transcoder stalls briefly on storage I/O; during those dips the
+    // interactive governor down-ramps and then pays ramp latency, which is
+    // why the paper's default, despite ~60 % of time at level 18, only
+    // achieves level-13-class throughput — the controller matches it at
+    // lower levels with ~25 % less energy.
+    AppSpec spec;
+    spec.name = "VidCon";
+    spec.loop = false;
+    spec.jitter_rel = 0.04;
+    constexpr int kChunks = 30;
+    constexpr double kTotalWorkGi = 148.0;
+    for (int i = 0; i < kChunks; ++i) {
+        AppPhase chunk;
+        chunk.name = "transcode";
+        chunk.kind = PhaseKind::kWork;
+        chunk.demand = Demand(0.55, 3.0, 0.10);
+        chunk.work_gi = kTotalWorkGi / kChunks;
+        chunk.component_mw = 150.0;  // storage I/O + codec front-end
+        spec.phases.push_back(chunk);
+    }
+    return spec;
+}
+
+AppSpec
+MakeMobileBenchSpec()
+{
+    // 24 sites: a parallel page-load burst followed by 1.5 s of automatic
+    // zoom/scroll rendering. Execution time is the performance metric
+    // (deadline critical). Bandwidth sensitivity is mild (~7 % per §V-A);
+    // the bus cost of the default governors comes from prefetch traffic
+    // keeping cpubw_hwmon provisioned high through the viewing pauses.
+    AppSpec spec;
+    spec.name = "MobileBench";
+    spec.loop = false;
+    spec.jitter_rel = 0.10;
+    constexpr int kPages = 24;
+    for (int i = 0; i < kPages; ++i) {
+        AppPhase load;
+        load.name = "page-load";
+        load.kind = PhaseKind::kWork;
+        load.demand = Demand(0.80, 3.0, 0.45);
+        load.work_gi = 1.15;
+        load.component_mw = 260.0;  // radio + compositor during load
+        spec.phases.push_back(load);
+
+        // Automatic zoom/scroll renders at 60 fps; frames are light enough
+        // for low-mid frequencies but keep the renderer ticking.
+        AppPhase view;
+        view.name = "zoom-scroll";
+        view.kind = PhaseKind::kFrame;
+        view.demand = Demand(0.70, 2.0, 0.30);
+        view.duration = SimTime::FromSecondsF(1.5);
+        view.frame_work_gi = 0.45 / 60.0;
+        view.frame_period = SimTime::Micros(16667);
+        view.slack_demand = Demand(0.70, 1.0, 0.20, 0.001);
+        view.component_mw = 120.0;
+        spec.phases.push_back(view);
+    }
+    return spec;
+}
+
+AppSpec
+MakeAngryBirdsSpec()
+{
+    // 60 fps deadline loop. ipc·par = 0.43 reproduces the paper's base
+    // speed of 0.129 GIPS at (0.3 GHz, 762 MBps); the per-frame quantum
+    // makes GIPS saturate at ≈0.237 (speedup 1.837, Table I row 31) by CPU
+    // level 5, matching "performance does not improve beyond frequency 5".
+    // Every ~40 s an advertisement loads between levels: a bus-heavy burst
+    // drawing an extra ~500 mW (§V-A footnote).
+    // Frame-to-frame work jitter is what produces the paper's *gradual*
+    // speedup saturation: mean capacity crosses mean demand near level 3,
+    // but heavy frames keep benefiting from frequency up to level 5.
+    AppSpec spec;
+    spec.name = "AngryBirds";
+    spec.loop = true;
+    spec.jitter_rel = 0.25;
+
+    // ipc·par = 0.5675: raw capacity at (0.3 GHz, 762 MBps) is ~0.156 GIPS,
+    // but overrunning frames re-synchronize to the vsync grid, and the
+    // measured base speed lands at the paper's 0.129 GIPS. The same vsync
+    // quantization produces the sub-linear speedup curve (1.837 at level 5).
+    AppPhase gameplay;
+    gameplay.name = "gameplay";
+    gameplay.kind = PhaseKind::kFrame;
+    gameplay.demand = Demand(0.227, 2.5, 0.02);
+    gameplay.duration = SimTime::FromSeconds(38);
+    gameplay.frame_work_gi = 0.2261 / 60.0;  // 60 fps target
+    gameplay.frame_period = SimTime::Micros(16667);
+    gameplay.slack_demand = Demand(0.227, 1.0, 0.02, 0.012);
+    gameplay.component_mw = 330.0;  // GPU render
+    spec.phases.push_back(gameplay);
+
+    AppPhase ad;
+    ad.name = "advertisement";
+    ad.kind = PhaseKind::kWork;
+    ad.demand = Demand(0.40, 2.0, 1.2);
+    ad.work_gi = 0.9;
+    ad.component_mw = 830.0;  // GPU + radio fetching the creative
+    spec.phases.push_back(ad);
+    return spec;
+}
+
+AppSpec
+MakeWeChatSpec()
+{
+    // 30 fps video-conference loop: camera capture + encode + decode.
+    // The mean frame (0.28 GIPS-equivalent) just fits at level 3 (capacity
+    // ≈0.29 GIPS with ipc·par = 0.45), so the paper's controller can spend
+    // >50 % of its time there; heavy frames (σ = 0.2 work jitter) keep
+    // benefiting from frequency up to level 7 — "no significant improvement
+    // beyond frequency 7". The camera pipeline fails below level 3 (§V-A),
+    // which the scenario encodes by excluding levels 1–2 from the profile.
+    // A call alternates quiet (talking-head, low-motion: cheap frames) and
+    // active (motion: heavy frames) periods. The default governor down-ramps
+    // during quiet stretches and then drops frames at motion onsets while it
+    // ramps back up, so its delivered GIPS sits below the saturated ideal —
+    // the slack the controller exploits from level 3.
+    AppSpec spec;
+    spec.name = "WeChat";
+    spec.loop = true;
+    spec.jitter_rel = 0.20;
+
+    AppPhase quiet;
+    quiet.name = "call-quiet";
+    quiet.kind = PhaseKind::kFrame;
+    quiet.demand = Demand(0.225, 2.0, 0.08);
+    quiet.duration = SimTime::FromSecondsF(2.2);
+    quiet.frame_work_gi = 0.20 / 30.0;
+    quiet.frame_period = SimTime::Micros(33333);
+    quiet.slack_demand = Demand(0.225, 1.0, 0.08, 0.0005);
+    quiet.component_mw = 760.0;  // camera + codec + radio uplink
+    spec.phases.push_back(quiet);
+
+    AppPhase active = quiet;
+    active.name = "call-active";
+    active.duration = SimTime::FromSecondsF(1.8);
+    active.frame_work_gi = 0.30 / 30.0;
+    spec.phases.push_back(active);
+    return spec;
+}
+
+AppSpec
+MakeMxPlayerSpec()
+{
+    // Hardware decoder does the heavy lifting; the CPU only runs demux,
+    // audio and UI (ipc·par = 0.135, ~0.1 GIPS per frame quantum). Frames
+    // overrun below level 5 — the paper's "video does not play smoothly
+    // for frequencies 1–4" — and the decoder block draws ~420 mW.
+    // Hardware-decoded frames hit the CPU with a very regular demux/audio
+    // cadence (jitter ~2%) — the CPU-side work is bookkeeping, not codec.
+    AppSpec spec;
+    spec.name = "MXPlayer";
+    spec.loop = true;
+    spec.jitter_rel = 0.02;
+
+    AppPhase playback;
+    playback.name = "playback";
+    playback.kind = PhaseKind::kFrame;
+    playback.demand = Demand(0.135, 1.0, 0.35);
+    playback.duration = SimTime::FromSeconds(10);
+    playback.frame_work_gi = 0.1 / 30.0;
+    playback.frame_period = SimTime::Micros(33333);
+    playback.slack_demand = Demand(0.135, 1.0, 0.35, 0.0005);
+    playback.component_mw = 420.0;  // hardware decoder + display pipeline
+    spec.phases.push_back(playback);
+    return spec;
+}
+
+AppSpec
+MakeSpotifySpec()
+{
+    // Spotify decodes *ahead* into a PCM buffer: every 400 ms a self-paced
+    // decode chunk (0.024 Gi ≈ 400 ms of audio) saturates its core briefly
+    // and then the app sleeps. Even the lowest frequency keeps the buffer
+    // fed ("audio quality does not degrade at the lowest frequency"), but
+    // the chunk bursts are exactly what bait the interactive governor up to
+    // hispeed over and over (Fig. 4(f): 27 % of time at level 10). A song
+    // change every 20 s adds a radio + decode burst.
+    // Audio decode is extremely regular — fixed-rate frames through a fixed
+    // codec — so per-chunk jitter is tiny. (This regularity is also why the
+    // controller can hold Spotify within 0.4 % of its target.)
+    AppSpec spec;
+    spec.name = "Spotify";
+    spec.loop = true;
+    spec.jitter_rel = 0.02;
+
+    // The buffer cycle is paced by *audio time*: 2 s of audio per chunk,
+    // consumed in real time, so the cycle is 2 s wall-clock no matter how
+    // fast the chunk decodes — average GIPS is nearly configuration-
+    // independent, which is why the paper's controller can sit at the
+    // lowest frequency with a GIPS loss of only 0.4 %.
+    AppPhase playback;
+    playback.name = "decode-ahead";
+    playback.kind = PhaseKind::kFrame;
+    playback.demand = Demand(0.50, 1.5, 0.50);
+    playback.duration = SimTime::FromSeconds(18);
+    playback.frame_work_gi = 0.024;
+    playback.frame_period = SimTime::Millis(400);
+    playback.slack_demand = Demand(0.50, 1.0, 0.25, 0.0005);
+    playback.component_mw = 140.0;  // audio DSP + WiFi idle listen
+    spec.phases.push_back(playback);
+
+    // The song change is paced by its ~1.2 s crossfade/UI animation — the
+    // decode+prefetch burst inside it finishes early on fast configurations
+    // but the transition takes the same wall time.
+    AppPhase song_change;
+    song_change.name = "song-change";
+    song_change.kind = PhaseKind::kFrame;
+    song_change.demand = Demand(0.50, 2.0, 0.5);
+    song_change.duration = SimTime::FromSecondsF(1.2);
+    song_change.frame_work_gi = 0.03;
+    song_change.frame_period = SimTime::FromSecondsF(1.2);
+    song_change.slack_demand = Demand(0.50, 1.0, 0.25, 0.0005);
+    song_change.component_mw = 430.0;  // radio burst + UI redraw
+    spec.phases.push_back(song_change);
+
+    AppPhase tail = playback;
+    tail.name = "decode-tail";
+    tail.duration = SimTime::FromSeconds(2);
+    spec.phases.push_back(tail);
+    return spec;
+}
+
+AppSpec
+MakeEbookSpec()
+{
+    // Reading with no interaction: near-idle with a periodic typesetting /
+    // redraw burst. Under the default governors those bursts are what put
+    // >10 % of time at the top frequency in Fig. 1.
+    AppSpec spec;
+    spec.name = "eBook";
+    spec.loop = true;
+    spec.jitter_rel = 0.15;
+
+    // Redraw/typeset ticks are paced by the 1 s UI timer, not by compute.
+    AppPhase reading;
+    reading.name = "reading";
+    reading.kind = PhaseKind::kFrame;
+    reading.demand = Demand(0.45, 1.5, 0.30);
+    reading.duration = SimTime::FromSecondsF(5.5);
+    reading.frame_work_gi = 0.03;
+    reading.frame_period = SimTime::FromSeconds(1);
+    reading.slack_demand = Demand(0.45, 1.0, 0.20, 0.001);
+    reading.component_mw = 40.0;
+    spec.phases.push_back(reading);
+
+    // Every ~6 s the reader typesets/prefetches the next page: a longer
+    // burst that rides the governor through hispeed toward the top levels —
+    // the >10 % at level 18 of Fig. 1.
+    AppPhase typeset;
+    typeset.name = "page-typeset";
+    typeset.kind = PhaseKind::kWork;
+    typeset.demand = Demand(0.60, 2.0, 0.35);
+    typeset.work_gi = 1.1;
+    typeset.component_mw = 70.0;
+    spec.phases.push_back(typeset);
+    return spec;
+}
+
+}  // namespace aeo

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Workload models for the paper's test applications (§IV-C) plus the eBook
+ * reader used for the motivating Figure 1.
+ *
+ * Each factory encodes the published facts about that application:
+ *
+ *  - VidCon: self-paced FFmpeg transcode, base speed ≈0.471 GIPS at the
+ *    lowest configuration, CPU-bound, ~59 s under the default governors.
+ *  - MobileBench: alternating page-load bursts and viewing/scrolling, the
+ *    most bandwidth-sensitive app (≈7 % speedup from memory bandwidth).
+ *  - AngryBirds: a 60 fps deadline loop, base speed ≈0.129 GIPS, GIPS
+ *    saturates by CPU level 5, advertisement bursts with heavy bus traffic.
+ *  - WeChat video call: a 30 fps encode/decode loop saturating near level 7,
+ *    with camera+codec+radio component power; unreliable below level 3.
+ *  - MX Player: hardware-decoded playback — tiny CPU demand that still
+ *    overruns frames below level 5 ("video does not play smoothly").
+ *  - Spotify: a near-idle decode trickle with song-change bursts every 20 s;
+ *    audio is fine even at the lowest frequency.
+ *  - eBook reader: idle reading with periodic redraw bursts (Fig. 1).
+ */
+#ifndef AEO_APPS_WORKLOADS_H_
+#define AEO_APPS_WORKLOADS_H_
+
+#include "apps/app_model.h"
+
+namespace aeo {
+
+/** FFmpeg-based video converter (batch; finishes when the work drains). */
+AppSpec MakeVidConSpec();
+
+/** Browser benchmark: 24 page loads with zoom/scroll between them (batch). */
+AppSpec MakeMobileBenchSpec();
+
+/** The 60 fps game loop with periodic advertisement loads (paced). */
+AppSpec MakeAngryBirdsSpec();
+
+/** 30 fps video-conference loop (paced). */
+AppSpec MakeWeChatSpec();
+
+/** Hardware-decoded HD video playback (paced). */
+AppSpec MakeMxPlayerSpec();
+
+/** Audio streaming with song changes every 20 s (paced). */
+AppSpec MakeSpotifySpec();
+
+/** eBook reading with no user interaction (paced; Fig. 1 workload). */
+AppSpec MakeEbookSpec();
+
+}  // namespace aeo
+
+#endif  // AEO_APPS_WORKLOADS_H_

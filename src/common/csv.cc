@@ -1,0 +1,118 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace aeo {
+
+namespace {
+
+std::string
+EscapeField(const std::string& field)
+{
+    if (field.find_first_of(",\"\n") == std::string::npos) {
+        return field;
+    }
+    std::string out = "\"";
+    for (const char c : field) {
+        if (c == '"') {
+            out += "\"\"";
+        } else {
+            out += c;
+        }
+    }
+    out += '"';
+    return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> header) : header_(std::move(header))
+{
+    AEO_ASSERT(!header_.empty(), "CSV header must not be empty");
+}
+
+void
+CsvWriter::AddRow(std::vector<std::string> row)
+{
+    AEO_ASSERT(row.size() == header_.size(), "CSV row width %zu != header width %zu",
+               row.size(), header_.size());
+    rows_.push_back(std::move(row));
+}
+
+void
+CsvWriter::AddNumericRow(const std::vector<double>& row)
+{
+    std::vector<std::string> fields;
+    fields.reserve(row.size());
+    for (const double v : row) {
+        fields.push_back(StrFormat("%.6g", v));
+    }
+    AddRow(std::move(fields));
+}
+
+std::string
+CsvWriter::ToString() const
+{
+    std::ostringstream out;
+    for (size_t i = 0; i < header_.size(); ++i) {
+        if (i > 0) {
+            out << ',';
+        }
+        out << EscapeField(header_[i]);
+    }
+    out << '\n';
+    for (const auto& row : rows_) {
+        for (size_t i = 0; i < row.size(); ++i) {
+            if (i > 0) {
+                out << ',';
+            }
+            out << EscapeField(row[i]);
+        }
+        out << '\n';
+    }
+    return out.str();
+}
+
+void
+CsvWriter::WriteFile(const std::string& path) const
+{
+    std::ofstream file(path);
+    if (!file) {
+        Fatal("cannot open '%s' for writing", path.c_str());
+    }
+    file << ToString();
+    if (!file) {
+        Fatal("error writing '%s'", path.c_str());
+    }
+}
+
+std::vector<std::vector<std::string>>
+ParseCsv(const std::string& text)
+{
+    std::vector<std::vector<std::string>> rows;
+    for (const std::string& line : Split(text, '\n')) {
+        if (Trim(line).empty()) {
+            continue;
+        }
+        rows.push_back(Split(line, ','));
+    }
+    return rows;
+}
+
+std::string
+ReadFileToString(const std::string& path)
+{
+    std::ifstream file(path);
+    if (!file) {
+        Fatal("cannot open '%s' for reading", path.c_str());
+    }
+    std::ostringstream out;
+    out << file.rdbuf();
+    return out.str();
+}
+
+}  // namespace aeo

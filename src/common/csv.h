@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Minimal CSV writing/reading used for persisting profile tables and
+ * experiment traces.
+ */
+#ifndef AEO_COMMON_CSV_H_
+#define AEO_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+namespace aeo {
+
+/** Accumulates rows and serializes them as RFC-4180-ish CSV. */
+class CsvWriter {
+  public:
+    /** Sets the header row. */
+    explicit CsvWriter(std::vector<std::string> header);
+
+    /** Appends a row; must match the header width. */
+    void AddRow(std::vector<std::string> row);
+
+    /** Convenience: appends a row of doubles formatted with %.6g. */
+    void AddNumericRow(const std::vector<double>& row);
+
+    /** Serializes header + rows. */
+    std::string ToString() const;
+
+    /** Writes the serialized CSV to @p path; Fatal() on I/O error. */
+    void WriteFile(const std::string& path) const;
+
+    /** Number of data rows. */
+    size_t row_count() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Parses CSV text into rows of fields (no quoting support needed here). */
+std::vector<std::vector<std::string>> ParseCsv(const std::string& text);
+
+/** Reads a whole file; Fatal() on I/O error. */
+std::string ReadFileToString(const std::string& path);
+
+}  // namespace aeo
+
+#endif  // AEO_COMMON_CSV_H_

@@ -1,0 +1,37 @@
+#include "common/interpolate.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace aeo {
+
+PiecewiseLinear::PiecewiseLinear(std::vector<double> xs, std::vector<double> ys)
+    : xs_(std::move(xs)), ys_(std::move(ys))
+{
+    AEO_ASSERT(!xs_.empty(), "empty interpolation table");
+    AEO_ASSERT(xs_.size() == ys_.size(), "mismatched knot arrays: %zu vs %zu",
+               xs_.size(), ys_.size());
+    for (size_t i = 1; i < xs_.size(); ++i) {
+        AEO_ASSERT(xs_[i] > xs_[i - 1], "abscissae not strictly increasing at %zu", i);
+    }
+}
+
+double
+PiecewiseLinear::operator()(double x) const
+{
+    if (x <= xs_.front()) {
+        return ys_.front();
+    }
+    if (x >= xs_.back()) {
+        return ys_.back();
+    }
+    const auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
+    const size_t hi = static_cast<size_t>(it - xs_.begin());
+    const size_t lo = hi - 1;
+    const double t = (x - xs_[lo]) / (xs_[hi] - xs_[lo]);
+    return Lerp(ys_[lo], ys_[hi], t);
+}
+
+}  // namespace aeo

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Piecewise-linear interpolation over a 1-D table.
+ *
+ * Used by the offline profiler to fill in memory-bandwidth columns that were
+ * not measured (§III-A: profile only the lowest and highest bandwidth per CPU
+ * frequency, linearly interpolate the rest).
+ */
+#ifndef AEO_COMMON_INTERPOLATE_H_
+#define AEO_COMMON_INTERPOLATE_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace aeo {
+
+/** A piecewise-linear function defined by (x, y) knots with increasing x. */
+class PiecewiseLinear {
+  public:
+    /**
+     * Builds the interpolant.
+     *
+     * @param xs Strictly increasing abscissae (at least one).
+     * @param ys Ordinates, same length as @p xs.
+     */
+    PiecewiseLinear(std::vector<double> xs, std::vector<double> ys);
+
+    /**
+     * Evaluates at @p x. Outside the knot range the function is clamped to
+     * the boundary value (no extrapolation).
+     */
+    double operator()(double x) const;
+
+    /** Number of knots. */
+    size_t size() const { return xs_.size(); }
+
+  private:
+    std::vector<double> xs_;
+    std::vector<double> ys_;
+};
+
+}  // namespace aeo
+
+#endif  // AEO_COMMON_INTERPOLATE_H_

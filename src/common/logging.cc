@@ -1,0 +1,60 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace aeo {
+
+namespace {
+std::atomic<LogLevel> g_log_level{LogLevel::kInfo};
+
+const char*
+LevelTag(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::kDebug:
+        return "debug";
+      case LogLevel::kInfo:
+        return "info";
+      case LogLevel::kWarn:
+        return "warn";
+      case LogLevel::kQuiet:
+        return "quiet";
+    }
+    return "?";
+}
+}  // namespace
+
+LogLevel
+GetLogLevel()
+{
+    return g_log_level.load(std::memory_order_relaxed);
+}
+
+void
+SetLogLevel(LogLevel level)
+{
+    g_log_level.store(level, std::memory_order_relaxed);
+}
+
+namespace internal {
+
+void
+LogMessage(LogLevel level, const std::string& msg)
+{
+    if (static_cast<int>(level) < static_cast<int>(GetLogLevel())) {
+        return;
+    }
+    std::fprintf(stderr, "[aeo:%s] %s\n", LevelTag(level), msg.c_str());
+}
+
+void
+PanicMessage(const std::string& msg, const char* file, int line)
+{
+    std::fprintf(stderr, "[aeo:panic] %s:%d: %s\n", file, line, msg.c_str());
+    std::abort();
+}
+
+}  // namespace internal
+}  // namespace aeo

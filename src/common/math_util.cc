@@ -1,0 +1,93 @@
+#include "common/math_util.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace aeo {
+
+double
+Clamp(double v, double lo, double hi)
+{
+    AEO_ASSERT(lo <= hi, "bad clamp range [%f, %f]", lo, hi);
+    return std::min(hi, std::max(lo, v));
+}
+
+double
+Lerp(double a, double b, double t)
+{
+    return a + (b - a) * t;
+}
+
+bool
+ApproxEqual(double a, double b, double tol)
+{
+    const double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
+    return std::fabs(a - b) <= tol * scale;
+}
+
+double
+PercentChange(double a, double b)
+{
+    AEO_ASSERT(a != 0.0, "percent change from zero baseline");
+    return (b - a) / a * 100.0;
+}
+
+double
+Mean(const std::vector<double>& xs)
+{
+    if (xs.empty()) {
+        return 0.0;
+    }
+    double sum = 0.0;
+    for (const double x : xs) {
+        sum += x;
+    }
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+StdDev(const std::vector<double>& xs)
+{
+    if (xs.size() < 2) {
+        return 0.0;
+    }
+    const double mu = Mean(xs);
+    double acc = 0.0;
+    for (const double x : xs) {
+        acc += (x - mu) * (x - mu);
+    }
+    return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double
+Min(const std::vector<double>& xs)
+{
+    AEO_ASSERT(!xs.empty(), "Min of empty set");
+    return *std::min_element(xs.begin(), xs.end());
+}
+
+double
+Max(const std::vector<double>& xs)
+{
+    AEO_ASSERT(!xs.empty(), "Max of empty set");
+    return *std::max_element(xs.begin(), xs.end());
+}
+
+double
+Percentile(std::vector<double> xs, double pct)
+{
+    AEO_ASSERT(!xs.empty(), "Percentile of empty set");
+    AEO_ASSERT(pct >= 0.0 && pct <= 100.0, "percentile %f out of range", pct);
+    std::sort(xs.begin(), xs.end());
+    if (xs.size() == 1) {
+        return xs[0];
+    }
+    const double rank = pct / 100.0 * static_cast<double>(xs.size() - 1);
+    const size_t lo = static_cast<size_t>(rank);
+    const size_t hi = std::min(lo + 1, xs.size() - 1);
+    return Lerp(xs[lo], xs[hi], rank - static_cast<double>(lo));
+}
+
+}  // namespace aeo

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Numeric helpers shared across modules: clamping, relative comparison,
+ * and summary statistics over samples.
+ */
+#ifndef AEO_COMMON_MATH_UTIL_H_
+#define AEO_COMMON_MATH_UTIL_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace aeo {
+
+/** Clamps @p v to [lo, hi]. */
+double Clamp(double v, double lo, double hi);
+
+/** Linear interpolation between a and b at parameter t in [0, 1]. */
+double Lerp(double a, double b, double t);
+
+/** True if |a - b| <= tol * max(1, |a|, |b|). */
+bool ApproxEqual(double a, double b, double tol = 1e-9);
+
+/** Relative difference (b - a) / a, in percent. */
+double PercentChange(double a, double b);
+
+/** Arithmetic mean; returns 0 for an empty set. */
+double Mean(const std::vector<double>& xs);
+
+/** Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples. */
+double StdDev(const std::vector<double>& xs);
+
+/** Minimum; panics on empty input. */
+double Min(const std::vector<double>& xs);
+
+/** Maximum; panics on empty input. */
+double Max(const std::vector<double>& xs);
+
+/**
+ * Percentile in [0, 100] with linear interpolation between order statistics.
+ * Panics on empty input.
+ */
+double Percentile(std::vector<double> xs, double pct);
+
+}  // namespace aeo
+
+#endif  // AEO_COMMON_MATH_UTIL_H_

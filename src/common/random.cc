@@ -1,0 +1,130 @@
+#include "common/random.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace aeo {
+
+namespace {
+
+uint64_t
+SplitMix64(uint64_t* state)
+{
+    uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+Rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto& word : state_) {
+        word = SplitMix64(&sm);
+    }
+}
+
+uint64_t
+Rng::NextU64()
+{
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+}
+
+double
+Rng::NextDouble()
+{
+    // 53 top bits → [0, 1) with full double precision.
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::Uniform(double lo, double hi)
+{
+    AEO_ASSERT(lo <= hi, "bad uniform range [%f, %f]", lo, hi);
+    return lo + (hi - lo) * NextDouble();
+}
+
+int64_t
+Rng::UniformInt(int64_t lo, int64_t hi)
+{
+    AEO_ASSERT(lo <= hi, "bad integer range [%lld, %lld]",
+               static_cast<long long>(lo), static_cast<long long>(hi));
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    if (span == 0) {  // full 64-bit range
+        return static_cast<int64_t>(NextU64());
+    }
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+    uint64_t draw;
+    do {
+        draw = NextU64();
+    } while (draw >= limit);
+    return lo + static_cast<int64_t>(draw % span);
+}
+
+double
+Rng::NextGaussian()
+{
+    if (cached_gaussian_) {
+        const double v = *cached_gaussian_;
+        cached_gaussian_.reset();
+        return v;
+    }
+    double u1;
+    do {
+        u1 = NextDouble();
+    } while (u1 <= 0.0);
+    const double u2 = NextDouble();
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cached_gaussian_ = radius * std::sin(theta);
+    return radius * std::cos(theta);
+}
+
+double
+Rng::Gaussian(double mean, double stddev)
+{
+    return mean + stddev * NextGaussian();
+}
+
+bool
+Rng::Bernoulli(double p)
+{
+    return NextDouble() < p;
+}
+
+double
+Rng::Exponential(double mean)
+{
+    AEO_ASSERT(mean > 0.0, "exponential mean must be positive, got %f", mean);
+    double u;
+    do {
+        u = NextDouble();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+}
+
+Rng
+Rng::Fork()
+{
+    return Rng(NextU64());
+}
+
+}  // namespace aeo

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Experiments must be reproducible bit-for-bit, so all stochastic components
+ * (measurement noise, workload jitter, touch-event timing) draw from an
+ * explicitly seeded Rng. The generator is xoshiro256**, seeded via SplitMix64.
+ */
+#ifndef AEO_COMMON_RANDOM_H_
+#define AEO_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <optional>
+
+namespace aeo {
+
+/** Deterministic random number generator (xoshiro256**). */
+class Rng {
+  public:
+    /** Constructs a generator from a 64-bit seed (expanded via SplitMix64). */
+    explicit Rng(uint64_t seed);
+
+    /** Next raw 64-bit value. */
+    uint64_t NextU64();
+
+    /** Uniform double in [0, 1). */
+    double NextDouble();
+
+    /** Uniform double in [lo, hi). */
+    double Uniform(double lo, double hi);
+
+    /** Uniform integer in [lo, hi] (inclusive). */
+    int64_t UniformInt(int64_t lo, int64_t hi);
+
+    /** Standard normal deviate (Box–Muller, cached pair). */
+    double NextGaussian();
+
+    /** Normal deviate with the given mean and standard deviation. */
+    double Gaussian(double mean, double stddev);
+
+    /** Bernoulli trial with success probability p. */
+    bool Bernoulli(double p);
+
+    /** Exponentially distributed deviate with the given mean. */
+    double Exponential(double mean);
+
+    /** Derives an independent child generator (for per-component streams). */
+    Rng Fork();
+
+  private:
+    uint64_t state_[4];
+    std::optional<double> cached_gaussian_;
+};
+
+}  // namespace aeo
+
+#endif  // AEO_COMMON_RANDOM_H_

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Fixed-capacity ring buffer, used for bounded measurement histories
+ * (governor load windows, controller error histories).
+ */
+#ifndef AEO_COMMON_RING_BUFFER_H_
+#define AEO_COMMON_RING_BUFFER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace aeo {
+
+/** Bounded FIFO of the last @c capacity values pushed. */
+template <typename T>
+class RingBuffer {
+  public:
+    explicit RingBuffer(size_t capacity) : capacity_(capacity)
+    {
+        AEO_ASSERT(capacity > 0, "ring buffer capacity must be positive");
+        data_.reserve(capacity);
+    }
+
+    /** Appends a value, evicting the oldest if full. */
+    void
+    Push(const T& value)
+    {
+        if (data_.size() < capacity_) {
+            data_.push_back(value);
+        } else {
+            data_[head_] = value;
+            head_ = (head_ + 1) % capacity_;
+        }
+    }
+
+    /** Number of stored values (≤ capacity). */
+    size_t size() const { return data_.size(); }
+
+    /** True when no values are stored. */
+    bool empty() const { return data_.empty(); }
+
+    /** True when the buffer holds capacity values. */
+    bool full() const { return data_.size() == capacity_; }
+
+    /** Maximum number of values retained. */
+    size_t capacity() const { return capacity_; }
+
+    /** Element @p i with 0 = oldest. */
+    const T&
+    operator[](size_t i) const
+    {
+        AEO_ASSERT(i < data_.size(), "ring index %zu out of %zu", i, data_.size());
+        return data_[(head_ + i) % data_.size()];
+    }
+
+    /** Most recently pushed element. */
+    const T&
+    back() const
+    {
+        AEO_ASSERT(!data_.empty(), "back() on empty ring buffer");
+        return (*this)[data_.size() - 1];
+    }
+
+    /** Copies contents (oldest first) into a vector. */
+    std::vector<T>
+    ToVector() const
+    {
+        std::vector<T> out;
+        out.reserve(data_.size());
+        for (size_t i = 0; i < data_.size(); ++i) {
+            out.push_back((*this)[i]);
+        }
+        return out;
+    }
+
+    /** Removes all values. */
+    void
+    Clear()
+    {
+        data_.clear();
+        head_ = 0;
+    }
+
+  private:
+    size_t capacity_;
+    size_t head_ = 0;
+    std::vector<T> data_;
+};
+
+}  // namespace aeo
+
+#endif  // AEO_COMMON_RING_BUFFER_H_

@@ -1,0 +1,122 @@
+#include "common/strings.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cctype>
+
+namespace aeo {
+
+namespace internal {
+
+std::string
+StrFormatImpl(const char* fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args_copy;
+    va_copy(args_copy, args);
+    const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    std::string out;
+    if (needed > 0) {
+        out.resize(static_cast<size_t>(needed));
+        // +1 for the terminating NUL vsnprintf always writes.
+        std::vsnprintf(out.data(), static_cast<size_t>(needed) + 1, fmt, args_copy);
+    }
+    va_end(args_copy);
+    return out;
+}
+
+}  // namespace internal
+
+std::vector<std::string>
+Split(std::string_view text, char sep)
+{
+    std::vector<std::string> fields;
+    size_t start = 0;
+    while (true) {
+        const size_t pos = text.find(sep, start);
+        if (pos == std::string_view::npos) {
+            fields.emplace_back(text.substr(start));
+            break;
+        }
+        fields.emplace_back(text.substr(start, pos - start));
+        start = pos + 1;
+    }
+    return fields;
+}
+
+std::string
+Trim(std::string_view text)
+{
+    size_t begin = 0;
+    size_t end = text.size();
+    while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) {
+        ++begin;
+    }
+    while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+        --end;
+    }
+    return std::string(text.substr(begin, end - begin));
+}
+
+std::string
+Join(const std::vector<std::string>& parts, std::string_view sep)
+{
+    std::string out;
+    for (size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0) {
+            out.append(sep);
+        }
+        out.append(parts[i]);
+    }
+    return out;
+}
+
+bool
+StartsWith(std::string_view text, std::string_view prefix)
+{
+    return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+bool
+EndsWith(std::string_view text, std::string_view suffix)
+{
+    return text.size() >= suffix.size() &&
+           text.substr(text.size() - suffix.size()) == suffix;
+}
+
+bool
+ParseDouble(std::string_view text, double* out)
+{
+    const std::string buf = Trim(text);
+    if (buf.empty()) {
+        return false;
+    }
+    char* end = nullptr;
+    const double value = std::strtod(buf.c_str(), &end);
+    if (end != buf.c_str() + buf.size()) {
+        return false;
+    }
+    *out = value;
+    return true;
+}
+
+bool
+ParseInt64(std::string_view text, long long* out)
+{
+    const std::string buf = Trim(text);
+    if (buf.empty()) {
+        return false;
+    }
+    char* end = nullptr;
+    const long long value = std::strtoll(buf.c_str(), &end, 10);
+    if (end != buf.c_str() + buf.size()) {
+        return false;
+    }
+    *out = value;
+    return true;
+}
+
+}  // namespace aeo

@@ -1,0 +1,92 @@
+#include "common/text_table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace aeo {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header))
+{
+    AEO_ASSERT(!header_.empty(), "table must have at least one column");
+    alignment_.assign(header_.size(), Align::kRight);
+    alignment_[0] = Align::kLeft;
+}
+
+void
+TextTable::SetAlignment(std::vector<Align> alignment)
+{
+    AEO_ASSERT(alignment.size() == header_.size(),
+               "alignment width %zu != header width %zu", alignment.size(),
+               header_.size());
+    alignment_ = std::move(alignment);
+}
+
+void
+TextTable::AddRow(std::vector<std::string> row)
+{
+    AEO_ASSERT(row.size() == header_.size(), "row width %zu != header width %zu",
+               row.size(), header_.size());
+    rows_.push_back(std::move(row));
+}
+
+void
+TextTable::AddSeparator()
+{
+    rows_.push_back({});
+}
+
+std::string
+TextTable::ToString() const
+{
+    std::vector<size_t> widths(header_.size());
+    for (size_t c = 0; c < header_.size(); ++c) {
+        widths[c] = header_[c].size();
+    }
+    for (const auto& row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+
+    const auto pad = [&](const std::string& text, size_t col) {
+        const size_t fill = widths[col] - text.size();
+        if (alignment_[col] == Align::kLeft) {
+            return text + std::string(fill, ' ');
+        }
+        return std::string(fill, ' ') + text;
+    };
+
+    const auto ruler = [&]() {
+        std::string line = "+";
+        for (const size_t w : widths) {
+            line += std::string(w + 2, '-');
+            line += '+';
+        }
+        return line + "\n";
+    };
+
+    std::ostringstream out;
+    out << ruler();
+    out << "|";
+    for (size_t c = 0; c < header_.size(); ++c) {
+        out << ' ' << pad(header_[c], c) << " |";
+    }
+    out << "\n" << ruler();
+    for (const auto& row : rows_) {
+        if (row.empty()) {
+            out << ruler();
+            continue;
+        }
+        out << "|";
+        for (size_t c = 0; c < row.size(); ++c) {
+            out << ' ' << pad(row[c], c) << " |";
+        }
+        out << "\n";
+    }
+    out << ruler();
+    return out.str();
+}
+
+}  // namespace aeo

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * ASCII table formatting for the benchmark harnesses, which print the same
+ * rows the paper's tables report.
+ */
+#ifndef AEO_COMMON_TEXT_TABLE_H_
+#define AEO_COMMON_TEXT_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace aeo {
+
+/** Column alignment for TextTable. */
+enum class Align {
+    kLeft,
+    kRight,
+};
+
+/** Builds fixed-width ASCII tables with a header row and rulers. */
+class TextTable {
+  public:
+    /** Creates a table with the given column headers (left-aligned titles). */
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Sets per-column alignment (default: left for col 0, right otherwise). */
+    void SetAlignment(std::vector<Align> alignment);
+
+    /** Appends a data row; must match the header width. */
+    void AddRow(std::vector<std::string> row);
+
+    /** Appends a horizontal separator at this position. */
+    void AddSeparator();
+
+    /** Renders the table. */
+    std::string ToString() const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<Align> alignment_;
+    // A row with the sentinel value {} marks a separator.
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace aeo
+
+#endif  // AEO_COMMON_TEXT_TABLE_H_

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Strong unit types for the physical quantities the library manipulates.
+ *
+ * Each quantity wraps a double with an explicit constructor so that, e.g.,
+ * a power cannot silently be passed where an energy is expected. Arithmetic
+ * is defined within a unit (addition, scaling) and across units only where
+ * physically meaningful (power × time = energy; instructions / time = rate).
+ */
+#ifndef AEO_COMMON_UNITS_H_
+#define AEO_COMMON_UNITS_H_
+
+#include <compare>
+#include <cstdint>
+
+namespace aeo {
+
+namespace internal {
+
+/** CRTP base providing closed arithmetic for a double-valued quantity. */
+template <typename Derived>
+class Quantity {
+  public:
+    constexpr Quantity() = default;
+    constexpr explicit Quantity(double value) : value_(value) {}
+
+    /** Raw numeric value in the unit's canonical scale. */
+    constexpr double value() const { return value_; }
+
+    constexpr Derived operator+(Derived rhs) const { return Derived(value_ + rhs.value_); }
+    constexpr Derived operator-(Derived rhs) const { return Derived(value_ - rhs.value_); }
+    constexpr Derived operator*(double k) const { return Derived(value_ * k); }
+    constexpr Derived operator/(double k) const { return Derived(value_ / k); }
+    constexpr double operator/(Derived rhs) const { return value_ / rhs.value_; }
+
+    Derived& operator+=(Derived rhs)
+    {
+        value_ += rhs.value_;
+        return static_cast<Derived&>(*this);
+    }
+    Derived& operator-=(Derived rhs)
+    {
+        value_ -= rhs.value_;
+        return static_cast<Derived&>(*this);
+    }
+
+    constexpr auto operator<=>(const Quantity&) const = default;
+
+  private:
+    double value_ = 0.0;
+};
+
+}  // namespace internal
+
+/** CPU clock frequency in gigahertz. */
+class Gigahertz : public internal::Quantity<Gigahertz> {
+  public:
+    using Quantity::Quantity;
+    constexpr double megahertz() const { return value() * 1e3; }
+};
+
+/** Memory-bus bandwidth in megabytes per second. */
+class MegabytesPerSecond : public internal::Quantity<MegabytesPerSecond> {
+  public:
+    using Quantity::Quantity;
+    constexpr double bytes_per_second() const { return value() * 1e6; }
+};
+
+/** Electric potential in volts. */
+class Volts : public internal::Quantity<Volts> {
+  public:
+    using Quantity::Quantity;
+};
+
+/** Power in milliwatts (the paper reports whole-device power in mW). */
+class Milliwatts : public internal::Quantity<Milliwatts> {
+  public:
+    using Quantity::Quantity;
+    constexpr double watts() const { return value() * 1e-3; }
+};
+
+/** Energy in joules. */
+class Joules : public internal::Quantity<Joules> {
+  public:
+    using Quantity::Quantity;
+    constexpr double millijoules() const { return value() * 1e3; }
+};
+
+/** Application performance in giga-instructions per second (§III-B2). */
+class Gips : public internal::Quantity<Gips> {
+  public:
+    using Quantity::Quantity;
+    constexpr double instructions_per_second() const { return value() * 1e9; }
+};
+
+/** Seconds as a continuous quantity (for model math, not event time). */
+class Seconds : public internal::Quantity<Seconds> {
+  public:
+    using Quantity::Quantity;
+};
+
+/** Energy = power × time. */
+constexpr Joules
+operator*(Milliwatts power, Seconds time)
+{
+    return Joules(power.watts() * time.value());
+}
+
+/** Energy = time × power. */
+constexpr Joules
+operator*(Seconds time, Milliwatts power)
+{
+    return power * time;
+}
+
+/** Instruction count = rate × time (in units of 1e9 instructions). */
+constexpr double
+GigaInstructions(Gips rate, Seconds time)
+{
+    return rate.value() * time.value();
+}
+
+/** Average power = energy / time. */
+constexpr Milliwatts
+AveragePower(Joules energy, Seconds time)
+{
+    return Milliwatts(energy.value() / time.value() * 1e3);
+}
+
+namespace unit_literals {
+
+constexpr Gigahertz operator""_GHz(long double v) { return Gigahertz(static_cast<double>(v)); }
+constexpr Gigahertz operator""_GHz(unsigned long long v) { return Gigahertz(static_cast<double>(v)); }
+constexpr MegabytesPerSecond operator""_MBps(unsigned long long v)
+{
+    return MegabytesPerSecond(static_cast<double>(v));
+}
+constexpr Milliwatts operator""_mW(long double v) { return Milliwatts(static_cast<double>(v)); }
+constexpr Milliwatts operator""_mW(unsigned long long v) { return Milliwatts(static_cast<double>(v)); }
+constexpr Joules operator""_J(long double v) { return Joules(static_cast<double>(v)); }
+constexpr Gips operator""_GIPS(long double v) { return Gips(static_cast<double>(v)); }
+constexpr Seconds operator""_s(long double v) { return Seconds(static_cast<double>(v)); }
+constexpr Seconds operator""_s(unsigned long long v) { return Seconds(static_cast<double>(v)); }
+
+}  // namespace unit_literals
+}  // namespace aeo
+
+#endif  // AEO_COMMON_UNITS_H_

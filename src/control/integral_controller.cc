@@ -1,0 +1,43 @@
+#include "control/integral_controller.h"
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace aeo {
+
+AdaptiveIntegralController::AdaptiveIntegralController(double initial_output,
+                                                       double min_output,
+                                                       double max_output)
+    : output_(initial_output), min_output_(min_output), max_output_(max_output)
+{
+    AEO_ASSERT(min_output_ <= max_output_, "bad output range [%f, %f]", min_output_,
+               max_output_);
+    output_ = Clamp(output_, min_output_, max_output_);
+}
+
+double
+AdaptiveIntegralController::Step(double error, double gain_denominator)
+{
+    AEO_ASSERT(gain_denominator > 0.0, "adaptive gain denominator must be positive, got %f",
+               gain_denominator);
+    output_ = Clamp(output_ + error / gain_denominator, min_output_, max_output_);
+    return output_;
+}
+
+void
+AdaptiveIntegralController::SetOutputRange(double min_output, double max_output)
+{
+    AEO_ASSERT(min_output <= max_output, "bad output range [%f, %f]", min_output,
+               max_output);
+    min_output_ = min_output;
+    max_output_ = max_output;
+    output_ = Clamp(output_, min_output_, max_output_);
+}
+
+void
+AdaptiveIntegralController::Reset(double output)
+{
+    output_ = Clamp(output, min_output_, max_output_);
+}
+
+}  // namespace aeo

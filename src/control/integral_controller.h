@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The adaptive-gain integral performance regulator (§III-B3, equations
+ * (2)–(3)):
+ *
+ *     e_n = r − y_n
+ *     s_n = s_{n−1} + e_{n−1} / b̂_{n−1}
+ *
+ * The integrator gain 1/b̂ adapts to the application's estimated base speed,
+ * which is what lets one controller structure track applications whose base
+ * speeds differ by almost 4× (AngryBirds 0.129 GIPS vs VidCon 0.471 GIPS).
+ * Stability analysis for this family of controllers is given in Almoosa et
+ * al., ACC 2012 [14].
+ */
+#ifndef AEO_CONTROL_INTEGRAL_CONTROLLER_H_
+#define AEO_CONTROL_INTEGRAL_CONTROLLER_H_
+
+namespace aeo {
+
+/** Integrator with an adaptive gain and output clamping. */
+class AdaptiveIntegralController {
+  public:
+    /**
+     * @param initial_output Starting integrator state (s_0).
+     * @param min_output     Lower clamp (lowest achievable speedup).
+     * @param max_output     Upper clamp (highest achievable speedup).
+     */
+    AdaptiveIntegralController(double initial_output, double min_output,
+                               double max_output);
+
+    /**
+     * Advances the integrator: s ← clamp(s + error / gain_denominator).
+     *
+     * @param error             e_{n−1} = r − y_{n−1}.
+     * @param gain_denominator  b̂_{n−1}, the current base-speed estimate.
+     * @return the new output s_n.
+     */
+    double Step(double error, double gain_denominator);
+
+    /** Current output without stepping. */
+    double output() const { return output_; }
+
+    /** Updates the clamp range (e.g. after a profile-table change). */
+    void SetOutputRange(double min_output, double max_output);
+
+    /** Resets the integrator state. */
+    void Reset(double output);
+
+  private:
+    double output_;
+    double min_output_;
+    double max_output_;
+};
+
+}  // namespace aeo
+
+#endif  // AEO_CONTROL_INTEGRAL_CONTROLLER_H_

@@ -1,0 +1,43 @@
+#include "control/kalman_filter.h"
+
+#include "common/logging.h"
+
+namespace aeo {
+
+ScalarKalmanFilter::ScalarKalmanFilter(double initial_estimate, double initial_variance,
+                                       double process_variance,
+                                       double measurement_variance)
+    : estimate_(initial_estimate),
+      variance_(initial_variance),
+      process_variance_(process_variance),
+      measurement_variance_(measurement_variance)
+{
+    AEO_ASSERT(initial_variance >= 0.0, "negative initial variance");
+    AEO_ASSERT(process_variance >= 0.0, "negative process variance");
+    AEO_ASSERT(measurement_variance > 0.0, "measurement variance must be positive");
+}
+
+double
+ScalarKalmanFilter::Update(double z, double h)
+{
+    // Predict: random walk leaves the estimate, inflates the variance.
+    variance_ += process_variance_;
+
+    // Update with observation z = h·x + v.
+    const double innovation = z - h * estimate_;
+    const double s = h * h * variance_ + measurement_variance_;
+    const double gain = variance_ * h / s;
+    estimate_ += gain * innovation;
+    variance_ *= (1.0 - gain * h);
+    return estimate_;
+}
+
+void
+ScalarKalmanFilter::Reset(double estimate, double variance)
+{
+    AEO_ASSERT(variance >= 0.0, "negative variance");
+    estimate_ = estimate;
+    variance_ = variance;
+}
+
+}  // namespace aeo

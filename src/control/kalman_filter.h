@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Scalar Kalman filter for base-speed estimation (§III-B3).
+ *
+ * Following POET [6], the application's base speed b is modelled as a
+ * random walk observed through y_n = s_{n−1} · b_n + v: the measured GIPS
+ * equals the applied speedup times the (drifting) base speed plus
+ * measurement noise. The filter supports a time-varying observation
+ * coefficient h = s_{n−1}.
+ */
+#ifndef AEO_CONTROL_KALMAN_FILTER_H_
+#define AEO_CONTROL_KALMAN_FILTER_H_
+
+namespace aeo {
+
+/** Scalar random-walk Kalman filter with time-varying observation gain. */
+class ScalarKalmanFilter {
+  public:
+    /**
+     * @param initial_estimate  x̂_0.
+     * @param initial_variance  P_0.
+     * @param process_variance  Q: per-step random-walk variance.
+     * @param measurement_variance R: observation noise variance.
+     */
+    ScalarKalmanFilter(double initial_estimate, double initial_variance,
+                       double process_variance, double measurement_variance);
+
+    /**
+     * One predict+update step with observation z = h·x + v.
+     *
+     * @param z Measured value.
+     * @param h Observation coefficient (s_{n−1} in the controller).
+     * @return the posterior estimate x̂_n.
+     */
+    double Update(double z, double h);
+
+    /** Current estimate. */
+    double estimate() const { return estimate_; }
+
+    /** Current estimate variance. */
+    double variance() const { return variance_; }
+
+    /** Re-initializes the filter state. */
+    void Reset(double estimate, double variance);
+
+  private:
+    double estimate_;
+    double variance_;
+    double process_variance_;
+    double measurement_variance_;
+};
+
+}  // namespace aeo
+
+#endif  // AEO_CONTROL_KALMAN_FILTER_H_

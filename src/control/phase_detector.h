@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Online application-phase detection — the §V-B problem statement:
+ *
+ *   "how do we define and identify application phases? ... Phase
+ *    prediction, as proposed in [23], might help, but is only one step
+ *    towards addressing these problems."
+ *
+ * The detector consumes the controller's own per-cycle GIPS measurements
+ * (no extra instrumentation) and maintains K online clusters of measured
+ * rates. A cycle is assigned to the nearest cluster within a relative
+ * tolerance; otherwise it seeds or replaces a cluster. Stable cluster ids
+ * give a controller the hook to keep per-phase targets or tables (the
+ * paper's [23] keeps per-phase history tables the same way).
+ */
+#ifndef AEO_CONTROL_PHASE_DETECTOR_H_
+#define AEO_CONTROL_PHASE_DETECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace aeo {
+
+/** Tunables of the phase detector. */
+struct PhaseDetectorParams {
+    /** Maximum number of tracked phases. */
+    int max_phases = 4;
+    /** A sample within this relative distance joins an existing phase. */
+    double match_tolerance = 0.25;
+    /** EWMA weight of a new sample on its phase centroid. */
+    double centroid_alpha = 0.2;
+    /** Evict the least-recently-seen phase when full and nothing matches. */
+    bool evict_stale = true;
+};
+
+/** One tracked phase. */
+struct PhaseInfo {
+    /** Centroid of the phase's measured rate. */
+    double centroid = 0.0;
+    /** Samples assigned so far. */
+    uint64_t hits = 0;
+    /** Index of the last sample assigned. */
+    uint64_t last_seen = 0;
+};
+
+/** Online clustering of a one-dimensional measurement stream. */
+class PhaseDetector {
+  public:
+    explicit PhaseDetector(PhaseDetectorParams params = {});
+
+    /**
+     * Classifies @p measurement, updating the matched (or newly created)
+     * phase.
+     *
+     * @return the phase id (stable across samples while the phase lives).
+     */
+    int Classify(double measurement);
+
+    /** Currently tracked phases. */
+    const std::vector<PhaseInfo>& phases() const { return phases_; }
+
+    /** Id of the most recently matched phase (-1 before any sample). */
+    int current_phase() const { return current_; }
+
+    /** Number of phase *switches* observed (assignments differing from the
+     * previous sample's phase). */
+    uint64_t switch_count() const { return switches_; }
+
+    /** Total samples classified. */
+    uint64_t sample_count() const { return samples_; }
+
+  private:
+    PhaseDetectorParams params_;
+    std::vector<PhaseInfo> phases_;
+    int current_ = -1;
+    uint64_t switches_ = 0;
+    uint64_t samples_ = 0;
+};
+
+}  // namespace aeo
+
+#endif  // AEO_CONTROL_PHASE_DETECTOR_H_

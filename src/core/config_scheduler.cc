@@ -1,0 +1,95 @@
+#include "core/config_scheduler.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace aeo {
+
+ConfigScheduler::ConfigScheduler(Device* device, SimTime min_dwell)
+    : device_(device), min_dwell_(min_dwell)
+{
+    AEO_ASSERT(device_ != nullptr, "scheduler needs a device");
+    AEO_ASSERT(min_dwell_ > SimTime::Zero(), "minimum dwell must be positive");
+}
+
+void
+ConfigScheduler::ApplyConfigNow(const SystemConfig& config)
+{
+    Sysfs& sysfs = device_->sysfs();
+    const long long khz = std::llround(
+        device_->cluster().table().FrequencyAt(config.cpu_level).megahertz() *
+        1000.0);
+    sysfs.Write(std::string(kCpufreqSysfsRoot) + "/scaling_setspeed",
+                StrFormat("%lld", khz));
+    ++write_count_;
+    if (config.controls_bandwidth()) {
+        const long long mbps = std::llround(
+            device_->bus().table().BandwidthAt(config.bw_level).value());
+        sysfs.Write(std::string(kDevfreqSysfsRoot) + "/userspace/set_freq",
+                    StrFormat("%lld", mbps));
+        ++write_count_;
+    }
+    if (config.controls_gpu()) {
+        const long long mhz =
+            std::llround(device_->gpu().MhzAt(config.gpu_level));
+        sysfs.Write(std::string(kGpuSysfsRoot) + "/userspace/set_freq",
+                    StrFormat("%lld", mhz));
+        ++write_count_;
+    }
+}
+
+void
+ConfigScheduler::Apply(const ConfigSchedule& schedule, const ProfileTable& table)
+{
+    AEO_ASSERT(!schedule.slots.empty(), "empty schedule");
+
+    // Cancel configuration switches still pending from the previous cycle.
+    for (const EventId id : pending_) {
+        device_->sim().Cancel(id);
+    }
+    pending_.clear();
+
+    // Quantize each dwell to the min-dwell grid. With at most two slots,
+    // rounding the first and giving the remainder to the second preserves
+    // the cycle budget; a slot shorter than half the minimum dwell merges
+    // into the other.
+    const double grid = min_dwell_.seconds();
+    double total = 0.0;
+    for (const ScheduleSlot& slot : schedule.slots) {
+        total += slot.seconds;
+    }
+
+    std::vector<ScheduleSlot> quantized;
+    if (schedule.slots.size() == 1) {
+        quantized.push_back(schedule.slots.front());
+    } else {
+        const ScheduleSlot& first = schedule.slots.front();
+        const double rounded = std::round(first.seconds / grid) * grid;
+        if (rounded <= 0.0) {
+            quantized.push_back(ScheduleSlot{schedule.slots.back().entry_index, total});
+        } else if (rounded >= total) {
+            quantized.push_back(ScheduleSlot{first.entry_index, total});
+        } else {
+            quantized.push_back(ScheduleSlot{first.entry_index, rounded});
+            quantized.push_back(
+                ScheduleSlot{schedule.slots.back().entry_index, total - rounded});
+        }
+    }
+
+    // Apply the first slot now; schedule the rest.
+    SimTime offset = SimTime::Zero();
+    for (size_t i = 0; i < quantized.size(); ++i) {
+        const SystemConfig config = table.entries()[quantized[i].entry_index].config;
+        if (i == 0) {
+            ApplyConfigNow(config);
+        } else {
+            pending_.push_back(device_->sim().ScheduleAfter(
+                offset, [this, config] { ApplyConfigNow(config); }));
+        }
+        offset += SimTime::FromSecondsF(quantized[i].seconds);
+    }
+}
+
+}  // namespace aeo

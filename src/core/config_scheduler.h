@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The scheduler S of the feedback loop (Fig. 2): applies the optimizer's
+ * dwell-time schedule to the phone through the userspace governors' sysfs
+ * files, honouring the 200 ms minimum dwell the paper's implementation
+ * enforces (§V-A: "the smallest duration for the CPUs to stay at any given
+ * frequency is 200 ms"). Not to be confused with the OS scheduler.
+ */
+#ifndef AEO_CORE_CONFIG_SCHEDULER_H_
+#define AEO_CORE_CONFIG_SCHEDULER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/energy_optimizer.h"
+#include "core/profile_table.h"
+#include "device/device.h"
+
+namespace aeo {
+
+/** Applies configuration schedules to the device. */
+class ConfigScheduler {
+  public:
+    /**
+     * @param device    The plant; must outlive the scheduler.
+     * @param min_dwell Minimum time at any configuration (200 ms).
+     */
+    ConfigScheduler(Device* device, SimTime min_dwell = SimTime::Millis(200));
+
+    /**
+     * Quantizes dwells to the minimum-dwell grid (preserving the cycle
+     * total) and schedules the sysfs writes over the coming cycle. Slots
+     * rounding to zero are merged into the remaining slot.
+     *
+     * @param schedule Optimizer output (1 or 2 slots).
+     * @param table    The profile table the slot indices refer to.
+     */
+    void Apply(const ConfigSchedule& schedule, const ProfileTable& table);
+
+    /** Writes one configuration immediately. */
+    void ApplyConfigNow(const SystemConfig& config);
+
+    /** Total sysfs configuration writes performed. */
+    uint64_t write_count() const { return write_count_; }
+
+  private:
+    Device* device_;
+    SimTime min_dwell_;
+    uint64_t write_count_ = 0;
+    std::vector<EventId> pending_;
+};
+
+}  // namespace aeo
+
+#endif  // AEO_CORE_CONFIG_SCHEDULER_H_

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The energy optimizer (§III-B3, equations (4)–(7)): given the required
+ * speedup s_n and the profile table, pick per-configuration dwell times
+ * minimizing energy over the control cycle subject to the performance and
+ * budget constraints.
+ *
+ * As the paper notes, an optimal solution exists with at most two non-zero
+ * dwell times, for configurations c_l, c_h bracketing the required speedup
+ * (Fig. 3). Three interchangeable backends implement the optimization:
+ *
+ *  - kConvexHull: the efficient geometric solution — optimal schedules lie
+ *    on the lower convex hull of the (speedup, power) point set;
+ *  - kPairSearch: the paper's O(N²) enumeration of bracketing pairs;
+ *  - kSimplex:    the LP (4)–(7) solved by the general simplex solver.
+ *
+ * Property tests assert all three agree; the controller uses kConvexHull.
+ */
+#ifndef AEO_CORE_ENERGY_OPTIMIZER_H_
+#define AEO_CORE_ENERGY_OPTIMIZER_H_
+
+#include <vector>
+
+#include "core/profile_table.h"
+
+namespace aeo {
+
+/** One scheduled dwell: a profile-table row and its duration. */
+struct ScheduleSlot {
+    /** Index into ProfileTable::entries(). */
+    size_t entry_index = 0;
+    /** Dwell time, seconds. */
+    double seconds = 0.0;
+};
+
+/** An energy-optimal control input u_n. */
+struct ConfigSchedule {
+    /** Non-zero dwells, in application order (lower speedup first). */
+    std::vector<ScheduleSlot> slots;
+    /** Expected average power over the cycle, mW. */
+    double expected_power_mw = 0.0;
+    /** Expected average speedup over the cycle. */
+    double expected_speedup = 0.0;
+};
+
+/** Optimizer backend selection. */
+enum class OptimizerBackend {
+    kConvexHull,
+    kPairSearch,
+    kSimplex,
+};
+
+/** Solves the per-cycle energy minimization over a profile table. */
+class EnergyOptimizer {
+  public:
+    /**
+     * @param table   Profile table; must outlive the optimizer.
+     * @param backend Algorithm to use.
+     */
+    explicit EnergyOptimizer(const ProfileTable* table,
+                             OptimizerBackend backend = OptimizerBackend::kConvexHull);
+
+    /**
+     * Computes the minimum-energy schedule achieving @p required_speedup on
+     * average over @p cycle_seconds. Speedups outside the achievable range
+     * are clamped to it (the integrator is clamped the same way).
+     */
+    ConfigSchedule Optimize(double required_speedup, double cycle_seconds) const;
+
+    /** The backend in use. */
+    OptimizerBackend backend() const { return backend_; }
+
+    /** Indices of table rows on the lower convex hull (for inspection). */
+    const std::vector<size_t>& hull_indices() const { return hull_; }
+
+  private:
+    ConfigSchedule OptimizeHull(double speedup, double cycle_seconds) const;
+    ConfigSchedule OptimizePairs(double speedup, double cycle_seconds) const;
+    ConfigSchedule OptimizeSimplex(double speedup, double cycle_seconds) const;
+
+    ConfigSchedule MakePair(size_t low, size_t high, double speedup,
+                            double cycle_seconds) const;
+
+    const ProfileTable* table_;
+    OptimizerBackend backend_;
+    std::vector<size_t> hull_;
+};
+
+}  // namespace aeo
+
+#endif  // AEO_CORE_ENERGY_OPTIMIZER_H_

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The end-to-end experiment harness behind the paper's evaluation (§V):
+ * run an application under the default governors, profile it offline, run
+ * it again under the controller with the default performance as the target,
+ * and compare energy and performance — the procedure that generates
+ * Tables III, IV and V and Figures 4 and 5.
+ */
+#ifndef AEO_CORE_EXPERIMENT_H_
+#define AEO_CORE_EXPERIMENT_H_
+
+#include <string>
+
+#include "apps/background_load.h"
+#include "core/offline_profiler.h"
+#include "core/online_controller.h"
+#include "core/profile_table.h"
+#include "core/scenarios.h"
+#include "device/run_result.h"
+
+namespace aeo {
+
+/** Options for one default-vs-controller comparison. */
+struct ExperimentOptions {
+    /** Background load during profiling (the paper always profiles in BL). */
+    BackgroundKind profile_load = BackgroundKind::kBaseline;
+    /** Background load during both evaluation runs. */
+    BackgroundKind run_load = BackgroundKind::kBaseline;
+    /** CPU-only controller (§V-D ablation). */
+    bool cpu_only = false;
+    /** Sparse profiling + interpolation (§III-A); false = dense grid. */
+    bool sparse_profiling = true;
+    /** Runs averaged per profiled configuration. */
+    int profile_runs = 3;
+    /**
+     * Measurement window per profiling run; Zero = use the app scenario's
+     * cycle-covering default.
+     */
+    SimTime profile_duration = SimTime::Zero();
+    /**
+     * Post-profiling pruning threshold (§V-A): rows whose speedup advantage
+     * over a cheaper row is below this fraction of the maximum speedup are
+     * dropped from the table supplied to the controller. 0 disables.
+     */
+    double prune_epsilon = 0.01;
+    /** Controller tuning; target_gips is filled from the default run. */
+    ControllerConfig controller;
+    /** Base seed; default/profiling/controller runs use distinct streams. */
+    uint64_t seed = 7;
+};
+
+/** Everything one comparison produces. */
+struct ExperimentOutcome {
+    RunResult default_run;
+    RunResult controller_run;
+    ProfileTable table;
+    /** Performance change, percent (positive = controller faster). */
+    double perf_delta_pct = 0.0;
+    /** Energy savings, percent (positive = controller saves energy). */
+    double energy_savings_pct = 0.0;
+};
+
+/** Runs the paper's evaluation procedure. */
+class ExperimentHarness {
+  public:
+    explicit ExperimentHarness(DeviceFactory factory = MakeDefaultDeviceFactory());
+
+    /** Runs @p app_name under the default governors (interactive+hwmon). */
+    RunResult RunDefault(const std::string& app_name, BackgroundKind load,
+                         uint64_t seed) const;
+
+    /** Profiles @p app_name per its scenario. */
+    ProfileTable ProfileApp(const std::string& app_name,
+                            const ExperimentOptions& options) const;
+
+    /**
+     * Runs @p app_name under the controller with the given table and
+     * target.
+     */
+    RunResult RunWithController(const std::string& app_name, const ProfileTable& table,
+                                double target_gips, const ExperimentOptions& options,
+                                uint64_t seed) const;
+
+    /** The full §V procedure: default → profile → controller → compare. */
+    ExperimentOutcome RunComparison(const std::string& app_name,
+                                    const ExperimentOptions& options = {}) const;
+
+  private:
+    void DriveRun(Device* device, const AppScenario& scenario) const;
+
+    DeviceFactory factory_;
+};
+
+}  // namespace aeo
+
+#endif  // AEO_CORE_EXPERIMENT_H_

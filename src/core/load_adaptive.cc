@@ -1,0 +1,38 @@
+#include "core/load_adaptive.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace aeo {
+
+LoadAdaptiveProfile::LoadAdaptiveProfile(std::vector<LoadConditionProfile> conditions)
+    : conditions_(std::move(conditions))
+{
+    AEO_ASSERT(!conditions_.empty(), "need at least one profiled condition");
+    for (const LoadConditionProfile& condition : conditions_) {
+        AEO_ASSERT(condition.free_memory_mb > 0.0,
+                   "non-positive free-memory signature");
+        AEO_ASSERT(condition.default_gips > 0.0, "non-positive target");
+    }
+}
+
+const LoadConditionProfile&
+LoadAdaptiveProfile::SelectFor(double runtime_free_memory_mb) const
+{
+    AEO_ASSERT(runtime_free_memory_mb > 0.0, "non-positive runtime free memory");
+    const LoadConditionProfile* best = &conditions_.front();
+    double best_dist = std::fabs(std::log(runtime_free_memory_mb) -
+                                 std::log(best->free_memory_mb));
+    for (const LoadConditionProfile& condition : conditions_) {
+        const double dist = std::fabs(std::log(runtime_free_memory_mb) -
+                                      std::log(condition.free_memory_mb));
+        if (dist < best_dist) {
+            best = &condition;
+            best_dist = dist;
+        }
+    }
+    return *best;
+}
+
+}  // namespace aeo

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Load-adaptive profile selection — the paper's §V-C future-work proposal:
+ *
+ *   "A possible approach is to profile the application under a few
+ *    different background loads and let the controller select the
+ *    appropriate offline data by measuring the background load at runtime."
+ *
+ * A LoadAdaptiveProfile holds one profile table (and its default-run
+ * performance target) per profiled background condition, keyed by the
+ * free-memory signature the paper identifies as the dominant difference
+ * between loads (§V-C: 1 GB / 500 MB / 134 MB for NL / BL / HL). At launch
+ * time the runtime environment's free memory selects the nearest table.
+ */
+#ifndef AEO_CORE_LOAD_ADAPTIVE_H_
+#define AEO_CORE_LOAD_ADAPTIVE_H_
+
+#include <vector>
+
+#include "core/profile_table.h"
+
+namespace aeo {
+
+/** One profiled operating condition. */
+struct LoadConditionProfile {
+    /** Free memory observed while profiling, MB (the load signature). */
+    double free_memory_mb = 0.0;
+    /** The profile table measured under that condition. */
+    ProfileTable table;
+    /** The default governors' performance under that condition (the target). */
+    double default_gips = 0.0;
+};
+
+/** A family of profiles selected by the runtime load signature. */
+class LoadAdaptiveProfile {
+  public:
+    /** @param conditions At least one profiled condition. */
+    explicit LoadAdaptiveProfile(std::vector<LoadConditionProfile> conditions);
+
+    /**
+     * Selects the condition whose free-memory signature is nearest to the
+     * runtime observation (log-scale distance: 134 MB vs 500 MB differ as
+     * much as 500 MB vs 1.9 GB).
+     */
+    const LoadConditionProfile& SelectFor(double runtime_free_memory_mb) const;
+
+    /** All conditions. */
+    const std::vector<LoadConditionProfile>& conditions() const { return conditions_; }
+
+  private:
+    std::vector<LoadConditionProfile> conditions_;
+};
+
+}  // namespace aeo
+
+#endif  // AEO_CORE_LOAD_ADAPTIVE_H_

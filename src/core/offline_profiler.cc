@@ -1,0 +1,136 @@
+#include "core/offline_profiler.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "soc/nexus6.h"
+
+namespace aeo {
+
+DeviceFactory
+MakeDefaultDeviceFactory()
+{
+    return [](uint64_t seed) {
+        DeviceConfig config;
+        config.seed = seed;
+        return std::make_unique<Device>(config);
+    };
+}
+
+OfflineProfiler::OfflineProfiler(DeviceFactory factory) : factory_(std::move(factory))
+{
+    AEO_ASSERT(factory_ != nullptr, "profiler needs a device factory");
+}
+
+ProfileMeasurement
+OfflineProfiler::MeasureConfig(const AppSpec& app, const SystemConfig& config,
+                               const ProfilerOptions& options) const
+{
+    AEO_ASSERT(options.runs >= 1, "need at least one run");
+    double gips_sum = 0.0;
+    double power_sum = 0.0;
+    for (int run = 0; run < options.runs; ++run) {
+        const uint64_t seed =
+            options.seed + 7919ULL * static_cast<uint64_t>(run) +
+            131071ULL * static_cast<uint64_t>(config.cpu_level * 512 +
+                                              (config.gpu_level + 1) * 64 +
+                                              config.bw_level + 1);
+        std::unique_ptr<Device> device = factory_(seed);
+        device->SetBackground(MakeBackgroundEnv(options.load));
+        if (config.controls_gpu()) {
+            device->sysfs().Write(std::string(kGpuSysfsRoot) + "/governor",
+                                  "userspace");
+            device->sysfs().Write(
+                std::string(kGpuSysfsRoot) + "/userspace/set_freq",
+                StrFormat("%lld", static_cast<long long>(
+                                      device->gpu().MhzAt(config.gpu_level) + 0.5)));
+        } else {
+            // Everything outside the configuration tuple runs under its
+            // default governor during profiling, as on the paper's phone.
+            device->sysfs().Write(std::string(kGpuSysfsRoot) + "/governor",
+                                  "msm-adreno-tz");
+        }
+        if (config.controls_bandwidth()) {
+            device->PinConfiguration(config.cpu_level, config.bw_level);
+        } else {
+            // CPU-only: pin the CPU, leave the bus with its default governor.
+            device->sysfs().Write(
+                std::string(kDevfreqSysfsRoot) + "/governor", "cpubw_hwmon");
+            device->sysfs().Write(
+                std::string(kCpufreqSysfsRoot) + "/scaling_governor", "userspace");
+            const long long khz = static_cast<long long>(
+                device->cluster().table().FrequencyAt(config.cpu_level).megahertz() *
+                    1000.0 +
+                0.5);
+            device->sysfs().Write(
+                std::string(kCpufreqSysfsRoot) + "/scaling_setspeed",
+                StrFormat("%lld", khz));
+        }
+        device->LaunchApp(app);
+        device->RunFor(options.measure_duration);
+        const RunResult result = device->CollectResult("profiling");
+        gips_sum += result.avg_gips;
+        power_sum += result.measured_avg_power_mw;
+    }
+    ProfileMeasurement measurement;
+    measurement.config = config;
+    measurement.gips = gips_sum / options.runs;
+    measurement.power_mw = power_sum / options.runs;
+    return measurement;
+}
+
+ProfileTable
+OfflineProfiler::Profile(const AppSpec& app, const ProfilerOptions& options) const
+{
+    // CPU levels to measure: the caller's exact pruned list (§V-A), or —
+    // when none is given — the paper's "each alternate CPU frequency" over
+    // the full range in sparse mode.
+    std::vector<int> cpu_grid = options.cpu_levels;
+    if (cpu_grid.empty()) {
+        const int step = options.sparse ? 2 : 1;
+        for (int level = 0; level < kNexus6CpuLevels; level += step) {
+            cpu_grid.push_back(level);
+        }
+    }
+    std::sort(cpu_grid.begin(), cpu_grid.end());
+
+    std::vector<ProfileMeasurement> measurements;
+    if (options.cpu_only) {
+        for (const int cpu : cpu_grid) {
+            measurements.push_back(
+                MeasureConfig(app, SystemConfig{cpu, kBwDefaultGovernor}, options));
+        }
+        return ProfileTable::FromMeasurements(app.name, measurements);
+    }
+
+    const int bw_max = kNexus6BwLevels - 1;
+    std::vector<int> bw_grid;
+    if (options.sparse) {
+        bw_grid = {0, bw_max};
+    } else {
+        for (int bw = 0; bw <= bw_max; ++bw) {
+            bw_grid.push_back(bw);
+        }
+    }
+
+    std::vector<int> gpu_grid = options.gpu_levels;
+    if (gpu_grid.empty()) {
+        gpu_grid.push_back(kGpuDefaultGovernor);
+    }
+    for (const int cpu : cpu_grid) {
+        for (const int bw : bw_grid) {
+            for (const int gpu : gpu_grid) {
+                measurements.push_back(
+                    MeasureConfig(app, SystemConfig{cpu, bw, gpu}, options));
+            }
+        }
+    }
+    ProfileTable table = ProfileTable::FromMeasurements(app.name, measurements);
+    if (options.sparse) {
+        table = table.InterpolateBandwidths(MakeNexus6BandwidthTable());
+    }
+    return table;
+}
+
+}  // namespace aeo

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Stage 1 of the solution: offline profiling (§III-A).
+ *
+ * The profiler pins each candidate system configuration through the
+ * userspace governors, runs the application under a chosen background load,
+ * measures speedup and Monsoon power (averaged over three runs, like the
+ * paper) and assembles the profile table. In the sparse mode it measures
+ * every other admitted CPU level at only the lowest and highest memory
+ * bandwidths (≤ 9×2 = 18 configurations on the Nexus 6) and linearly
+ * interpolates the remaining bandwidth columns.
+ */
+#ifndef AEO_CORE_OFFLINE_PROFILER_H_
+#define AEO_CORE_OFFLINE_PROFILER_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "apps/app_model.h"
+#include "apps/background_load.h"
+#include "core/profile_table.h"
+#include "device/device.h"
+
+namespace aeo {
+
+/** Builds a fresh device for one measurement run. */
+using DeviceFactory = std::function<std::unique_ptr<Device>(uint64_t seed)>;
+
+/** The default factory: a stock Nexus 6. */
+DeviceFactory MakeDefaultDeviceFactory();
+
+/** Profiling options. */
+struct ProfilerOptions {
+    /** Sparse grid (extreme bandwidths + interpolation; and, when no
+     * explicit level list is given, every other CPU level). */
+    bool sparse = true;
+    /** Build a CPU-only table (bandwidth left to cpubw_hwmon; §V-D). */
+    bool cpu_only = false;
+    /**
+     * Exact 0-based CPU levels to measure — the paper's per-application
+     * pruned lists (§V-A), which are already "alternate" selections (e.g.
+     * Spotify profiles exactly levels 1, 3, 5). Empty = every other level
+     * of the full range in sparse mode, all 18 otherwise.
+     */
+    std::vector<int> cpu_levels;
+    /**
+     * GPU levels to include (§VII extension). Empty = leave the GPU to its
+     * default governor (the paper's configuration).
+     */
+    std::vector<int> gpu_levels;
+    /** Runs averaged per configuration (the paper uses 3). */
+    int runs = 3;
+    /** Measurement window per run. */
+    SimTime measure_duration = SimTime::FromSeconds(20);
+    /** Background load during profiling (the paper profiles under BL). */
+    BackgroundKind load = BackgroundKind::kBaseline;
+    /** Seed for the profiling runs. */
+    uint64_t seed = 1000;
+};
+
+/** The offline profiling stage. */
+class OfflineProfiler {
+  public:
+    explicit OfflineProfiler(DeviceFactory factory = MakeDefaultDeviceFactory());
+
+    /** Profiles @p app and returns its table. */
+    ProfileTable Profile(const AppSpec& app, const ProfilerOptions& options) const;
+
+    /**
+     * Measures one pinned configuration (averaged over options.runs).
+     * @p config may carry kBwDefaultGovernor for CPU-only profiling.
+     */
+    ProfileMeasurement MeasureConfig(const AppSpec& app, const SystemConfig& config,
+                                     const ProfilerOptions& options) const;
+
+  private:
+    DeviceFactory factory_;
+};
+
+}  // namespace aeo
+
+#endif  // AEO_CORE_OFFLINE_PROFILER_H_

@@ -1,0 +1,133 @@
+#include "core/online_controller.h"
+
+#include "common/logging.h"
+
+namespace aeo {
+
+namespace {
+
+RegulatorConfig
+MakeRegulatorConfig(const ProfileTable& table, const ControllerConfig& config)
+{
+    RegulatorConfig reg;
+    reg.target_gips = config.target_gips;
+    reg.initial_base_speed = table.base_speed_gips();
+    reg.min_speedup = table.min_speedup();
+    reg.max_speedup = table.max_speedup();
+    reg.kalman_process_var =
+        config.use_kalman ? config.kalman_process_var : 0.0;
+    // With the Kalman filter disabled, a huge measurement variance freezes
+    // the estimate at the profiled base speed (gain → 0).
+    reg.kalman_measurement_var =
+        config.use_kalman ? config.kalman_measurement_var : 1e12;
+    return reg;
+}
+
+}  // namespace
+
+OnlineController::OnlineController(Device* device, ProfileTable table,
+                                   ControllerConfig config)
+    : device_(device),
+      table_(std::move(table)),
+      config_(config),
+      optimizer_(&table_, config.backend),
+      regulator_(MakeRegulatorConfig(table_, config)),
+      scheduler_(device, config.min_dwell),
+      cycle_task_(&device->sim(), [this] { RunCycle(); }),
+      controls_bandwidth_(table_.entries().front().config.controls_bandwidth()),
+      controls_gpu_(table_.entries().front().config.controls_gpu())
+{
+    AEO_ASSERT(device_ != nullptr, "controller needs a device");
+    AEO_ASSERT(config_.target_gips > 0.0, "controller needs a performance target");
+    for (const ProfileEntry& entry : table_.entries()) {
+        AEO_ASSERT(entry.config.controls_bandwidth() == controls_bandwidth_,
+                   "profile table mixes coordinated and CPU-only rows");
+        AEO_ASSERT(entry.config.controls_gpu() == controls_gpu_,
+                   "profile table mixes GPU-controlled and default-GPU rows");
+    }
+}
+
+void
+OnlineController::Start()
+{
+    Sysfs& sysfs = device_->sysfs();
+    sysfs.Write(std::string(kCpufreqSysfsRoot) + "/scaling_governor", "userspace");
+    if (controls_bandwidth_) {
+        sysfs.Write(std::string(kDevfreqSysfsRoot) + "/governor", "userspace");
+    } else {
+        // CPU-only controller (§V-D): the bus stays with the default
+        // governor, taking decisions in an independent, isolated manner.
+        sysfs.Write(std::string(kDevfreqSysfsRoot) + "/governor", "cpubw_hwmon");
+    }
+    if (controls_gpu_) {
+        // §VII extension: GPU frequency joins the coordinated configuration.
+        sysfs.Write(std::string(kGpuSysfsRoot) + "/governor", "userspace");
+    } else {
+        sysfs.Write(std::string(kGpuSysfsRoot) + "/governor", "msm-adreno-tz");
+    }
+
+    // Charge the controller's own computation and actuation to the plant
+    // (§V-A1): <10 ms at ~25 mW per cycle plus ~14 mW during transitions.
+    const double writes_per_cycle =
+        2.0 * (1.0 + (controls_bandwidth_ ? 1.0 : 0.0) + (controls_gpu_ ? 1.0 : 0.0));
+    const double overhead_mw =
+        (config_.compute_seconds * config_.compute_power_mw +
+         writes_per_cycle * config_.actuation_seconds * config_.actuation_power_mw) /
+        config_.control_cycle.seconds();
+    device_->SetControllerOverheadPower(overhead_mw);
+
+    device_->perf().Start();
+    device_->Sync();
+
+    // Apply the initial schedule from the profiled base speed.
+    const double s0 = regulator_.applied_speedup();
+    const ConfigSchedule initial =
+        optimizer_.Optimize(s0, config_.control_cycle.seconds());
+    scheduler_.Apply(initial, table_);
+
+    cycle_task_.Start(config_.control_cycle);
+}
+
+void
+OnlineController::Stop()
+{
+    cycle_task_.Stop();
+    device_->perf().Stop();
+    device_->SetControllerOverheadPower(0.0);
+    device_->Sync();
+}
+
+double
+OnlineController::base_speed_estimate() const
+{
+    return regulator_.base_speed_estimate();
+}
+
+void
+OnlineController::RunCycle()
+{
+    // (1) Measure: average of the perf samples in the elapsed cycle.
+    const double measured = device_->perf().DrainWindowAverage();
+
+    // (2) Regulate: required speedup for the next cycle.
+    const double required = regulator_.Step(measured);
+
+    // (3) Optimize: minimum-energy dwell schedule realizing it.
+    const ConfigSchedule schedule =
+        optimizer_.Optimize(required, config_.control_cycle.seconds());
+
+    // (4) Actuate.
+    scheduler_.Apply(schedule, table_);
+
+    ControlCycleRecord record;
+    record.time_s = device_->sim().Now().seconds();
+    record.measured_gips = measured;
+    record.required_speedup = required;
+    record.base_speed_estimate = regulator_.base_speed_estimate();
+    record.expected_power_mw = schedule.expected_power_mw;
+    record.low_config = table_.entries()[schedule.slots.front().entry_index].config;
+    record.high_config = table_.entries()[schedule.slots.back().entry_index].config;
+    history_.push_back(record);
+}
+
+}  // namespace aeo

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The online controller K (§III-B, Fig. 2): each control cycle it
+ *
+ *  1. reads the measured performance y_n from the perf tool,
+ *  2. runs the performance regulator (adaptive integrator + Kalman base-
+ *     speed estimator) to obtain the required speedup s_n,
+ *  3. runs the energy optimizer (the LP of equations (4)–(7)) to obtain the
+ *     dwell-time schedule u_n, and
+ *  4. hands u_n to the scheduler S, which actuates the userspace governors
+ *     through sysfs.
+ *
+ * The controller works for both coordinated (CPU + bandwidth) and CPU-only
+ * control — the difference is entirely in the profile table it is given
+ * (CPU-only tables carry the kBwDefaultGovernor sentinel and leave the bus
+ * with cpubw_hwmon, reproducing the §V-D ablation).
+ */
+#ifndef AEO_CORE_ONLINE_CONTROLLER_H_
+#define AEO_CORE_ONLINE_CONTROLLER_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/config_scheduler.h"
+#include "core/energy_optimizer.h"
+#include "core/performance_regulator.h"
+#include "core/profile_table.h"
+#include "device/device.h"
+#include "sim/periodic_task.h"
+
+namespace aeo {
+
+/** Controller tuning (paper values as defaults). */
+struct ControllerConfig {
+    /** Target performance r, GIPS. Must be set. */
+    double target_gips = 0.0;
+    /** Control cycle duration T (§IV-B chooses 2 s). */
+    SimTime control_cycle = SimTime::FromSeconds(2);
+    /** Minimum dwell per configuration (§V-A: 200 ms). */
+    SimTime min_dwell = SimTime::Millis(200);
+    /** Optimizer backend. */
+    OptimizerBackend backend = OptimizerBackend::kConvexHull;
+    /** Kalman tuning. */
+    double kalman_process_var = 1e-5;
+    double kalman_measurement_var = 1e-4;
+    /** Disable the Kalman filter (ablation): hold b̂ at the profiled value. */
+    bool use_kalman = true;
+    /** Regulator+optimizer computation cost (§V-A1: <10 ms at ~25 mW). */
+    double compute_power_mw = 25.0;
+    double compute_seconds = 0.010;
+    /** Cost per sysfs actuation write (§V-A1: ~14 mW during transitions). */
+    double actuation_power_mw = 14.0;
+    double actuation_seconds = 0.0002;
+};
+
+/** One per-cycle record for analysis. */
+struct ControlCycleRecord {
+    double time_s = 0.0;
+    double measured_gips = 0.0;
+    double required_speedup = 0.0;
+    double base_speed_estimate = 0.0;
+    double expected_power_mw = 0.0;
+    SystemConfig low_config;
+    SystemConfig high_config;
+};
+
+/** The feedback controller driving one device. */
+class OnlineController {
+  public:
+    /**
+     * @param device Plant; must outlive the controller.
+     * @param table  Offline profile of the controlled application (copied).
+     * @param config Tuning; target_gips must be positive.
+     */
+    OnlineController(Device* device, ProfileTable table, ControllerConfig config);
+
+    /**
+     * Takes over the device: switches the governors to userspace (bandwidth
+     * only when the table controls it), starts perf sampling, applies the
+     * initial schedule and begins the control cycle.
+     */
+    void Start();
+
+    /** Stops the control cycle and perf sampling. */
+    void Stop();
+
+    /** Number of completed control cycles. */
+    size_t cycle_count() const { return history_.size(); }
+
+    /** Per-cycle trace. */
+    const std::vector<ControlCycleRecord>& history() const { return history_; }
+
+    /** The profile table in use. */
+    const ProfileTable& table() const { return table_; }
+
+    /** Current base-speed estimate, GIPS. */
+    double base_speed_estimate() const;
+
+    /** The regulator (for tests). */
+    const PerformanceRegulator& regulator() const { return regulator_; }
+
+  private:
+    void RunCycle();
+
+    Device* device_;
+    ProfileTable table_;
+    ControllerConfig config_;
+    EnergyOptimizer optimizer_;
+    PerformanceRegulator regulator_;
+    ConfigScheduler scheduler_;
+    PeriodicTask cycle_task_;
+    std::vector<ControlCycleRecord> history_;
+    bool controls_bandwidth_;
+    bool controls_gpu_;
+};
+
+}  // namespace aeo
+
+#endif  // AEO_CORE_ONLINE_CONTROLLER_H_

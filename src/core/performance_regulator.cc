@@ -1,0 +1,43 @@
+#include "core/performance_regulator.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace aeo {
+
+PerformanceRegulator::PerformanceRegulator(const RegulatorConfig& config)
+    : target_gips_(config.target_gips),
+      integrator_(/*initial_output=*/
+                  Clamp(config.initial_base_speed > 0.0
+                            ? config.target_gips / config.initial_base_speed
+                            : config.min_speedup,
+                        config.min_speedup, config.max_speedup),
+                  config.min_speedup, config.max_speedup),
+      kalman_(config.initial_base_speed, /*initial_variance=*/
+              config.initial_base_speed * config.initial_base_speed * 0.25,
+              config.kalman_process_var, config.kalman_measurement_var)
+{
+    AEO_ASSERT(config.target_gips > 0.0, "target performance must be positive");
+    AEO_ASSERT(config.initial_base_speed > 0.0, "initial base speed must be positive");
+    AEO_ASSERT(config.min_speedup <= config.max_speedup, "bad speedup range");
+}
+
+double
+PerformanceRegulator::Step(double measured_gips)
+{
+    AEO_ASSERT(measured_gips >= 0.0, "negative measured performance");
+
+    // The measurement was produced while the integrator's current output
+    // s_{n−1} was applied: y_n = s_{n−1} · b_n + v.
+    const double h = integrator_.output();
+    double base = kalman_.Update(measured_gips, h);
+    // Guard: a wildly wrong transient estimate must not flip the loop sign.
+    base = std::max(base, 1e-4);
+
+    last_error_ = target_gips_ - measured_gips;
+    return integrator_.Step(last_error_, base);
+}
+
+}  // namespace aeo

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The performance regulator (§III-B3): the adaptive-gain integral
+ * controller of equations (2)–(3) combined with the Kalman base-speed
+ * estimator. Each control cycle it turns the measured performance y_n and
+ * target r into the speedup s_n the energy optimizer must realize.
+ */
+#ifndef AEO_CORE_PERFORMANCE_REGULATOR_H_
+#define AEO_CORE_PERFORMANCE_REGULATOR_H_
+
+#include "control/integral_controller.h"
+#include "control/kalman_filter.h"
+
+namespace aeo {
+
+/** Regulator tuning. */
+struct RegulatorConfig {
+    /** Target performance r, GIPS. */
+    double target_gips = 0.0;
+    /** Initial base-speed estimate b̂₀ (profiled base speed). */
+    double initial_base_speed = 0.1;
+    /** Achievable speedup range from the profile table. */
+    double min_speedup = 1.0;
+    double max_speedup = 1.0;
+    /** Kalman process variance Q (base-speed drift per cycle). */
+    double kalman_process_var = 1e-5;
+    /** Kalman measurement variance R (GIPS measurement noise²). */
+    double kalman_measurement_var = 1e-4;
+};
+
+/** Computes the required speedup from measured performance. */
+class PerformanceRegulator {
+  public:
+    explicit PerformanceRegulator(const RegulatorConfig& config);
+
+    /**
+     * One control step: updates the Kalman base-speed estimate with the
+     * measurement y_n (observed through the previously applied speedup) and
+     * integrates the tracking error.
+     *
+     * @param measured_gips y_n.
+     * @return the required speedup s_n for the next cycle.
+     */
+    double Step(double measured_gips);
+
+    /** Current base-speed estimate b̂, GIPS. */
+    double base_speed_estimate() const { return kalman_.estimate(); }
+
+    /** Current tracking error e = r − y, GIPS (from the last step). */
+    double last_error() const { return last_error_; }
+
+    /** The speedup currently applied to the plant. */
+    double applied_speedup() const { return integrator_.output(); }
+
+    /** Changes the target performance r at runtime. */
+    void set_target_gips(double target) { target_gips_ = target; }
+
+    /** Current target r. */
+    double target_gips() const { return target_gips_; }
+
+  private:
+    double target_gips_;
+    AdaptiveIntegralController integrator_;
+    ScalarKalmanFilter kalman_;
+    double last_error_ = 0.0;
+};
+
+}  // namespace aeo
+
+#endif  // AEO_CORE_PERFORMANCE_REGULATOR_H_

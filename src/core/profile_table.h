@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The offline profile table (§III-A, Table I): per system configuration,
+ * the application's average speedup 𝕊 (normalized to the lowest profiled
+ * configuration) and average device power ℙ. The online controller's energy
+ * optimizer works entirely from this table.
+ */
+#ifndef AEO_CORE_PROFILE_TABLE_H_
+#define AEO_CORE_PROFILE_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/system_config.h"
+#include "soc/bandwidth_table.h"
+
+namespace aeo {
+
+/** One profiled row: configuration, speedup and power. */
+struct ProfileEntry {
+    SystemConfig config;
+    /** Average speedup 𝕊 relative to the base configuration. */
+    double speedup = 1.0;
+    /** Average device power ℙ at this configuration, mW. */
+    double power_mw = 0.0;
+};
+
+/** Raw measurement before normalization. */
+struct ProfileMeasurement {
+    SystemConfig config;
+    /** Average application performance, GIPS. */
+    double gips = 0.0;
+    /** Average device power, mW. */
+    double power_mw = 0.0;
+};
+
+/** Immutable profile table sorted by ascending speedup. */
+class ProfileTable {
+  public:
+    /**
+     * @param app_name        Application the table profiles.
+     * @param entries         Profiled rows (any order; sorted internally).
+     * @param base_speed_gips Absolute performance of the speedup-1 reference.
+     */
+    ProfileTable(std::string app_name, std::vector<ProfileEntry> entries,
+                 double base_speed_gips);
+
+    /**
+     * Builds a table from raw measurements: speedups are normalized to the
+     * slowest measured configuration (the paper's "lowest system
+     * configuration" reference).
+     */
+    static ProfileTable FromMeasurements(
+        const std::string& app_name,
+        const std::vector<ProfileMeasurement>& measurements);
+
+    /** Application name. */
+    const std::string& app_name() const { return app_name_; }
+
+    /** Rows in ascending speedup order. */
+    const std::vector<ProfileEntry>& entries() const { return entries_; }
+
+    /** Number of rows (N in the paper's notation). */
+    size_t size() const { return entries_.size(); }
+
+    /** Base speed b: GIPS of the speedup-1 reference configuration. */
+    double base_speed_gips() const { return base_speed_gips_; }
+
+    /** Smallest achievable speedup. */
+    double min_speedup() const { return entries_.front().speedup; }
+
+    /** Largest achievable speedup. */
+    double max_speedup() const { return entries_.back().speedup; }
+
+    /** Speedup corresponding to an absolute GIPS value. */
+    double SpeedupForGips(double gips) const { return gips / base_speed_gips_; }
+
+    /** Absolute GIPS for a speedup value. */
+    double GipsForSpeedup(double speedup) const { return speedup * base_speed_gips_; }
+
+    /**
+     * Densifies bandwidth columns by linear interpolation (§III-A): for each
+     * CPU level the table must contain the lowest and highest profiled
+     * bandwidth; each missing level in @p bw_table is interpolated in
+     * bandwidth for both speedup and power.
+     */
+    ProfileTable InterpolateBandwidths(const BandwidthTable& bw_table) const;
+
+    /**
+     * Application-specific pruning (§V-A): drops rows whose extra speedup
+     * over a *cheaper* row is within measurement noise. The paper excludes
+     * "the high frequencies ... based on the performance/power
+     * characteristics of the profiled data" — e.g. MX Player's performance
+     * varies only 0.4 % beyond level 5, so paying more power for it is
+     * pointless and only destabilizes the controller.
+     *
+     * @param epsilon_rel A row is dropped when another row has strictly
+     *        lower power and a speedup within epsilon_rel·max_speedup below
+     *        (or above) this row's.
+     */
+    ProfileTable PruneEpsilonDominated(double epsilon_rel) const;
+
+    /** Serializes to CSV (cpu_level, bw_level, speedup, power_mw columns). */
+    std::string ToCsv() const;
+
+    /** Parses a table produced by ToCsv(); Fatal() on malformed input. */
+    static ProfileTable FromCsv(const std::string& app_name, const std::string& csv,
+                                double base_speed_gips);
+
+    /** Paper-style rendering (Table I). */
+    std::string ToString() const;
+
+  private:
+    void Validate() const;
+
+    std::string app_name_;
+    std::vector<ProfileEntry> entries_;
+    double base_speed_gips_;
+};
+
+}  // namespace aeo
+
+#endif  // AEO_CORE_PROFILE_TABLE_H_

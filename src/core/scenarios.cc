@@ -1,0 +1,73 @@
+#include "core/scenarios.h"
+
+#include "common/logging.h"
+
+namespace aeo {
+
+namespace {
+
+/** Every other level in [first, last], always including @p last. */
+std::vector<int>
+Alternate(int first, int last)
+{
+    std::vector<int> levels;
+    for (int level = first; level <= last; level += 2) {
+        levels.push_back(level);
+    }
+    if (levels.back() != last) {
+        levels.push_back(last);
+    }
+    return levels;
+}
+
+}  // namespace
+
+AppScenario
+GetAppScenario(const std::string& app_name)
+{
+    AppScenario scenario;
+    scenario.app_name = app_name;
+
+    if (app_name == "VidCon") {
+        scenario.batch = true;
+        scenario.run_duration = SimTime::FromSeconds(400);  // completion cap
+        scenario.profile_cpu_levels = Alternate(6, 17);     // paper levels 7,9,..,18
+    } else if (app_name == "MobileBench") {
+        scenario.batch = true;
+        scenario.run_duration = SimTime::FromSeconds(400);
+        scenario.profile_cpu_levels = Alternate(6, 17);  // paper levels 7,9,..,18
+    } else if (app_name == "AngryBirds") {
+        scenario.batch = false;
+        scenario.run_duration = SimTime::FromSeconds(200);  // §IV-C: 200 s played
+        scenario.profile_duration = SimTime::FromSeconds(45);  // covers an ad cycle
+        scenario.profile_cpu_levels = {0, 2, 4};            // paper levels 1, 3, 5
+    } else if (app_name == "WeChat") {
+        scenario.batch = false;
+        scenario.run_duration = SimTime::FromSeconds(100);  // 100 s video call
+        scenario.profile_cpu_levels = {2, 4, 6};            // paper levels 3, 5, 7
+    } else if (app_name == "MXPlayer") {
+        scenario.batch = false;
+        scenario.run_duration = SimTime::FromSeconds(137);  // 137 s HD video
+        scenario.profile_cpu_levels = Alternate(4, 17);     // paper levels 5,7,..,18
+    } else if (app_name == "Spotify") {
+        scenario.batch = false;
+        scenario.run_duration = SimTime::FromSeconds(100);  // 100 s, songs @20 s
+        scenario.profile_duration = SimTime::FromSeconds(45);  // two song cycles
+        scenario.profile_cpu_levels = {0, 2, 4};            // paper levels 1, 3, 5
+    } else if (app_name == "eBook") {
+        scenario.batch = false;
+        scenario.run_duration = SimTime::FromSeconds(120);
+        scenario.profile_cpu_levels = {0, 2, 4};
+    } else {
+        Fatal("no scenario for application '%s'", app_name.c_str());
+    }
+    return scenario;
+}
+
+std::vector<std::string>
+EvaluationAppNames()
+{
+    return {"VidCon", "MobileBench", "AngryBirds", "WeChat", "MXPlayer", "Spotify"};
+}
+
+}  // namespace aeo

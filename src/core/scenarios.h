@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Per-application experiment scenarios: run lengths, how performance is
+ * judged, and which CPU levels enter the profile table — the application-
+ * specific pruning the paper applies (§V-A):
+ *
+ *  - VidCon / MobileBench: levels below 7 cost >30–50 % performance, so
+ *    only 7–18 are profiled;
+ *  - AngryBirds: GIPS saturates by level 5, so only 1–5 are profiled;
+ *  - WeChat: the camera fails below level 3 and nothing improves past 7;
+ *  - MX Player: playback stutters below level 5;
+ *  - Spotify: audio is fine even at the bottom — only levels 1, 3, 5.
+ *
+ * Levels here are 0-based (the paper's numbering minus one).
+ */
+#ifndef AEO_CORE_SCENARIOS_H_
+#define AEO_CORE_SCENARIOS_H_
+
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace aeo {
+
+/** How an application's run is driven and judged. */
+struct AppScenario {
+    std::string app_name;
+    /** True: runs to completion (execution time matters). */
+    bool batch = false;
+    /** Paced apps: run length. Batch apps: completion-time cap. */
+    SimTime run_duration;
+    /**
+     * Measurement window per profiling run — long enough to cover the
+     * app's full phase cycle (e.g. Spotify's 20 s song cadence), or the
+     * profiled base speed misrepresents the long-run rate.
+     */
+    SimTime profile_duration = SimTime::FromSeconds(20);
+    /** 0-based CPU levels admitted to the profile table. */
+    std::vector<int> profile_cpu_levels;
+};
+
+/** Scenario for one of the built-in applications; Fatal() if unknown. */
+AppScenario GetAppScenario(const std::string& app_name);
+
+/** All apps evaluated in the paper's Tables III–V, in order. */
+std::vector<std::string> EvaluationAppNames();
+
+}  // namespace aeo
+
+#endif  // AEO_CORE_SCENARIOS_H_

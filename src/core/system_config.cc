@@ -1,0 +1,22 @@
+#include "core/system_config.h"
+
+#include "common/strings.h"
+
+namespace aeo {
+
+std::string
+SystemConfig::ToString() const
+{
+    std::string out;
+    if (!controls_bandwidth()) {
+        out = StrFormat("(%d, default", cpu_level + 1);
+    } else {
+        out = StrFormat("(%d, %d", cpu_level + 1, bw_level + 1);
+    }
+    if (controls_gpu()) {
+        out += StrFormat(", g%d", gpu_level + 1);
+    }
+    return out + ")";
+}
+
+}  // namespace aeo

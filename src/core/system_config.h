@@ -1,0 +1,47 @@
+/**
+ * @file
+ * A *system configuration* (§III-A): the tuple of hardware settings the
+ * controller schedules — here, CPU frequency level × memory bandwidth level,
+ * exactly the paper's choice. The CPU-only controller variant (§V-D) leaves
+ * the bandwidth to the default governor, expressed with kBwDefaultGovernor.
+ */
+#ifndef AEO_CORE_SYSTEM_CONFIG_H_
+#define AEO_CORE_SYSTEM_CONFIG_H_
+
+#include <compare>
+#include <string>
+
+namespace aeo {
+
+/** Sentinel bandwidth level: leave the bus to its default governor. */
+inline constexpr int kBwDefaultGovernor = -1;
+
+/** Sentinel GPU level: leave the GPU to its default governor (the paper's
+ * configuration; §VII names GPU control as the extension). */
+inline constexpr int kGpuDefaultGovernor = -1;
+
+/** One schedulable hardware configuration. */
+struct SystemConfig {
+    /** 0-based CPU frequency level. */
+    int cpu_level = 0;
+    /** 0-based bandwidth level, or kBwDefaultGovernor (CPU-only control). */
+    int bw_level = 0;
+    /** 0-based GPU level, or kGpuDefaultGovernor (the paper's setup). */
+    int gpu_level = kGpuDefaultGovernor;
+
+    constexpr auto operator<=>(const SystemConfig&) const = default;
+
+    /** True when the bus is controller-managed. */
+    bool controls_bandwidth() const { return bw_level != kBwDefaultGovernor; }
+
+    /** True when the GPU is controller-managed (§VII extension). */
+    bool controls_gpu() const { return gpu_level != kGpuDefaultGovernor; }
+
+    /** Paper-style label, e.g. "(5, 1)" with 1-based level numbers; the GPU
+     * level is appended only when controlled, e.g. "(5, 1, g3)". */
+    std::string ToString() const;
+};
+
+}  // namespace aeo
+
+#endif  // AEO_CORE_SYSTEM_CONFIG_H_

@@ -1,0 +1,426 @@
+#include "device/device.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "kernel/governors/cpufreq_interactive.h"
+#include "kernel/governors/cpufreq_conservative.h"
+#include "kernel/governors/cpufreq_ondemand.h"
+#include "kernel/governors/cpufreq_performance.h"
+#include "kernel/governors/cpufreq_powersave.h"
+#include "kernel/governors/cpufreq_userspace.h"
+#include "kernel/governors/devfreq_cpubw_hwmon.h"
+#include "kernel/governors/devfreq_simple.h"
+#include "soc/nexus6.h"
+
+namespace aeo {
+
+namespace {
+
+/** Demand of an empty foreground (home screen idle). */
+WorkloadDemand
+IdleDemand()
+{
+    WorkloadDemand demand;
+    demand.ipc = 0.5;
+    demand.parallelism = 1.0;
+    demand.mem_bytes_per_instr = 0.2;
+    demand.demand_gips = 0.002;
+    return demand;
+}
+
+}  // namespace
+
+Device::Device(DeviceConfig config)
+    : config_(config),
+      cluster_(MakeNexus6FrequencyTable(), kNexus6Cores),
+      bus_(MakeNexus6BandwidthTable()),
+      gpu_(MakeAdreno420()),
+      engine_(config.exec_params),
+      power_model_(config.power_params),
+      loadavg_(6.0),
+      cpu_residency_(static_cast<size_t>(kNexus6CpuLevels)),
+      bw_residency_(static_cast<size_t>(kNexus6BwLevels)),
+      gpu_residency_(static_cast<size_t>(kAdreno420Levels))
+{
+    Rng seeder(config_.seed);
+
+    cpufreq_ = std::make_unique<CpufreqPolicy>(&sim_, &cluster_, &load_meter_,
+                                               &sysfs_, kCpufreqSysfsRoot);
+    cpufreq_->RegisterGovernor("interactive", MakeCpufreqInteractiveFactory());
+    cpufreq_->RegisterGovernor("ondemand", MakeCpufreqOndemandFactory());
+    cpufreq_->RegisterGovernor("conservative", MakeCpufreqConservativeFactory());
+    cpufreq_->RegisterGovernor("performance", MakeCpufreqPerformanceFactory());
+    cpufreq_->RegisterGovernor("powersave", MakeCpufreqPowersaveFactory());
+    cpufreq_->RegisterGovernor("userspace", MakeCpufreqUserspaceFactory());
+
+    devfreq_ = std::make_unique<DevfreqPolicy>(&sim_, &bus_, &traffic_meter_,
+                                               &sysfs_, kDevfreqSysfsRoot);
+    devfreq_->RegisterGovernor("cpubw_hwmon", MakeDevfreqCpubwHwmonFactory());
+    devfreq_->RegisterGovernor("performance", MakeDevfreqPerformanceFactory());
+    devfreq_->RegisterGovernor("powersave", MakeDevfreqPowersaveFactory());
+    devfreq_->RegisterGovernor("userspace", MakeDevfreqUserspaceFactory());
+
+    gpufreq_ = std::make_unique<GpuFreqPolicy>(&sim_, &gpu_, &gpu_meter_, &sysfs_,
+                                               kGpuSysfsRoot);
+    gpufreq_->RegisterGovernor("msm-adreno-tz", MakeAdrenoTzFactory());
+    gpufreq_->RegisterGovernor("userspace", MakeGpuUserspaceFactory());
+    gpufreq_->RegisterGovernor("performance", MakeGpuPerformanceFactory());
+
+    perf_ = std::make_unique<PerfTool>(&sim_, &pmu_, seeder.Fork().NextU64(),
+                                       config_.perf);
+    monitor_ = std::make_unique<MonsoonMonitor>(
+        &sim_, [this] { return CurrentPower(); }, seeder.Fork().NextU64(),
+        config_.monsoon);
+
+    background_env_ = MakeBackgroundEnv(BackgroundKind::kBaseline);
+    background_ =
+        std::make_unique<AppModel>(background_env_.spec, seeder.Fork().NextU64());
+    loadavg_.set_resident_tasks(background_env_.resident_tasks);
+
+    // Governors and perf sample lazily-integrated meters; the hooks bring
+    // them up to date at each sampling instant.
+    cpufreq_->SetSyncHook([this] { IntegrateToNow(); });
+    devfreq_->SetSyncHook([this] { IntegrateToNow(); });
+    gpufreq_->SetSyncHook([this] { IntegrateToNow(); });
+    perf_->SetSyncHook([this] { IntegrateToNow(); });
+
+    cluster_.SetPreChangeListener([this] { IntegrateToNow(); });
+    cluster_.SetPostChangeListener([this] {
+        RecomputeRates();
+        RescheduleBoundary();
+    });
+    bus_.SetPreChangeListener([this] { IntegrateToNow(); });
+    bus_.SetPostChangeListener([this] {
+        RecomputeRates();
+        RescheduleBoundary();
+    });
+    gpu_.SetPreChangeListener([this] { IntegrateToNow(); });
+    gpu_.SetPostChangeListener([this] {
+        RecomputeRates();
+        RescheduleBoundary();
+    });
+
+    last_update_ = sim_.Now();
+    RecomputeRates();
+    RescheduleBoundary();
+}
+
+Device::~Device() = default;
+
+void
+Device::LaunchApp(const AppSpec& spec)
+{
+    IntegrateToNow();
+    Rng seeder(config_.seed ^ 0x9e3779b97f4a7c15ULL);
+    foreground_ = std::make_unique<AppModel>(spec, seeder.NextU64());
+    RecomputeRates();
+    RescheduleBoundary();
+}
+
+void
+Device::SetBackground(const BackgroundEnv& env)
+{
+    IntegrateToNow();
+    background_env_ = env;
+    Rng seeder(config_.seed ^ 0xc2b2ae3d27d4eb4fULL);
+    background_ = std::make_unique<AppModel>(env.spec, seeder.NextU64());
+    loadavg_.set_resident_tasks(env.resident_tasks);
+    RecomputeRates();
+    RescheduleBoundary();
+}
+
+void
+Device::UseDefaultGovernors()
+{
+    sysfs_.Write(std::string(kCpufreqSysfsRoot) + "/scaling_governor", "interactive");
+    sysfs_.Write(std::string(kDevfreqSysfsRoot) + "/governor", "cpubw_hwmon");
+    sysfs_.Write(std::string(kGpuSysfsRoot) + "/governor", "msm-adreno-tz");
+}
+
+void
+Device::EnableMpdecision(MpdecisionParams params)
+{
+    mpdecision_ = std::make_unique<Mpdecision>(&sim_, &cluster_, &load_meter_,
+                                               params);
+    mpdecision_->SetSyncHook([this] { IntegrateToNow(); });
+    mpdecision_->Start();
+}
+
+void
+Device::DisableMpdecision()
+{
+    if (mpdecision_) {
+        mpdecision_->Stop();
+        mpdecision_.reset();
+    }
+}
+
+void
+Device::EnableInputBoost(InputBoostParams params)
+{
+    input_boost_ = std::make_unique<InputBoost>(&sim_, cpufreq_.get(), params);
+}
+
+void
+Device::NotifyTouch()
+{
+    if (input_boost_) {
+        input_boost_->OnTouch();
+    }
+}
+
+void
+Device::UseUserspaceGovernors()
+{
+    sysfs_.Write(std::string(kCpufreqSysfsRoot) + "/scaling_governor", "userspace");
+    sysfs_.Write(std::string(kDevfreqSysfsRoot) + "/governor", "userspace");
+}
+
+void
+Device::PinConfiguration(int cpu_level, int bw_level)
+{
+    UseUserspaceGovernors();
+    const long long khz = std::llround(
+        cluster_.table().FrequencyAt(cpu_level).megahertz() * 1000.0);
+    const long long mbps =
+        std::llround(bus_.table().BandwidthAt(bw_level).value());
+    sysfs_.Write(std::string(kCpufreqSysfsRoot) + "/scaling_setspeed",
+                 StrFormat("%lld", khz));
+    sysfs_.Write(std::string(kDevfreqSysfsRoot) + "/userspace/set_freq",
+                 StrFormat("%lld", mbps));
+}
+
+void
+Device::RunFor(SimTime duration)
+{
+    if (!monitor_started_) {
+        monitor_->Start();
+        monitor_started_ = true;
+    }
+    sim_.RunUntil(sim_.Now() + duration);
+    Sync();
+}
+
+void
+Device::RunUntilAppFinishes(SimTime max_duration)
+{
+    AEO_ASSERT(foreground_ != nullptr, "no foreground app launched");
+    if (!monitor_started_) {
+        monitor_->Start();
+        monitor_started_ = true;
+    }
+    stop_when_app_finishes_ = true;
+    sim_.RunUntil(sim_.Now() + max_duration);
+    stop_when_app_finishes_ = false;
+    Sync();
+    if (!foreground_->Finished()) {
+        Warn("app '%s' did not finish within %.1f s", foreground_->name().c_str(),
+             max_duration.seconds());
+    }
+}
+
+Milliwatts
+Device::CurrentPower() const
+{
+    PowerInputs inputs;
+    inputs.cpu_freq = cluster_.frequency();
+    inputs.cpu_voltage = cluster_.voltage();
+    inputs.online_cores = cluster_.online_cores();
+    inputs.busy_cores = busy_cores_;
+    inputs.bw_level = bus_.level();
+    inputs.mem_gbps = mem_gbps_;
+    double component = 0.0;
+    if (foreground_ != nullptr) {
+        component += foreground_->CurrentComponentPower();
+    }
+    component += background_->CurrentComponentPower();
+    inputs.app_component_mw = component;
+    inputs.gpu_mhz = gpu_.mhz();
+    inputs.gpu_voltage = gpu_.voltage();
+    inputs.gpu_busy = gpu_busy_;
+    inputs.overhead_mw = perf_->power_overhead_mw() + controller_overhead_mw_;
+    return power_model_.TotalPower(inputs);
+}
+
+void
+Device::SetControllerOverheadPower(double mw)
+{
+    AEO_ASSERT(mw >= 0.0, "negative overhead power");
+    IntegrateToNow();
+    controller_overhead_mw_ = mw;
+    RecomputeRates();
+    RescheduleBoundary();
+}
+
+void
+Device::Sync()
+{
+    IntegrateToNow();
+    RecomputeRates();
+    RescheduleBoundary();
+}
+
+void
+Device::IntegrateToNow()
+{
+    if (in_integrate_) {
+        return;
+    }
+    in_integrate_ = true;
+    const SimTime now = sim_.Now();
+    const SimTime dt = now - last_update_;
+    AEO_ASSERT(dt >= SimTime::Zero(), "time went backwards");
+    if (dt > SimTime::Zero()) {
+        const Seconds seconds = dt.ToSeconds();
+        energy_meter_.Accumulate(CurrentPower(), dt);
+        cpu_residency_.Add(static_cast<size_t>(cluster_.level()), seconds.value());
+        bw_residency_.Add(static_cast<size_t>(bus_.level()), seconds.value());
+        gpu_residency_.Add(static_cast<size_t>(gpu_.level()), seconds.value());
+        gpu_meter_.Advance(gpu_busy_, dt);
+        load_meter_.Advance(busy_cores_, max_core_load_, dt);
+        traffic_meter_.Advance(mem_gbps_, dt);
+        pmu_.Advance(fg_gips_, cluster_.frequency().value(), busy_cores_,
+                     mem_gbps_, dt);
+        loadavg_.Advance(busy_cores_, dt);
+        if (foreground_ != nullptr) {
+            foreground_->Advance(dt, fg_gips_ * seconds.value());
+        }
+        background_->Advance(dt, bg_gips_ * seconds.value());
+        last_update_ = now;
+    }
+    in_integrate_ = false;
+    MaybeFinish();
+}
+
+void
+Device::RecomputeRates()
+{
+    WorkloadDemand fg_demand = IdleDemand();
+    if (foreground_ != nullptr && !foreground_->Finished()) {
+        fg_demand = foreground_->CurrentDemand();
+        fg_demand.mem_bytes_per_instr *=
+            background_env_.fg_mem_intensity_multiplier;
+    }
+    const WorkloadDemand bg_demand = background_->CurrentDemand();
+
+    const SharedExecutionRates rates = engine_.ComputeShared(
+        fg_demand, bg_demand, cluster_.frequency(), bus_.bandwidth(),
+        cluster_.online_cores());
+
+    // Instrumentation steals a slice of foreground compute (§V-A1: the perf
+    // tool costs ~4 % at a 1 s sampling period).
+    const double overhead = perf_->cpu_overhead_fraction();
+    fg_gips_ = rates.foreground.gips * (1.0 - overhead);
+    bg_gips_ = rates.background.gips;
+    busy_cores_ = rates.foreground.busy_cores + rates.background.busy_cores;
+    mem_gbps_ = rates.foreground.mem_gbps + rates.background.mem_gbps;
+
+    // The busiest core's utilization: a workload's active cores each run at
+    // gips/capacity (1.0 when compute-saturated). interactive keys off this.
+    const auto core_load = [](const ExecutionRates& rates_for) {
+        if (rates_for.capacity_gips <= 0.0) {
+            return 0.0;
+        }
+        const double load = rates_for.gips / rates_for.capacity_gips;
+        return load > 1.0 ? 1.0 : load;
+    };
+    max_core_load_ =
+        std::max(core_load(rates.foreground), core_load(rates.background));
+
+    // GPU demand follows the foreground's progress (render work per Gi).
+    // When the GPU cannot keep up it co-bottlenecks the application.
+    gpu_busy_ = 0.0;
+    if (foreground_ != nullptr && !foreground_->Finished()) {
+        const double units_per_gi = foreground_->CurrentGpuUnitsPerGi();
+        if (units_per_gi > 0.0 && fg_gips_ > 0.0) {
+            const double demand_units = fg_gips_ * units_per_gi;
+            const double capacity = gpu_.CapacityAt(gpu_.level());
+            if (demand_units > capacity) {
+                fg_gips_ *= capacity / demand_units;
+                gpu_busy_ = 1.0;
+            } else {
+                gpu_busy_ = demand_units / capacity;
+            }
+        }
+    }
+}
+
+void
+Device::RescheduleBoundary()
+{
+    if (boundary_event_ != kInvalidEventId) {
+        sim_.Cancel(boundary_event_);
+        boundary_event_ = kInvalidEventId;
+    }
+    std::optional<SimTime> next;
+    if (foreground_ != nullptr) {
+        next = foreground_->TimeToBoundary(fg_gips_);
+    }
+    const std::optional<SimTime> bg_next = background_->TimeToBoundary(bg_gips_);
+    if (bg_next && (!next || *bg_next < *next)) {
+        next = bg_next;
+    }
+    if (!next) {
+        return;
+    }
+    const SimTime delay = std::max(*next, SimTime::Micros(1));
+    boundary_event_ = sim_.ScheduleAfter(delay, [this] { OnBoundary(); });
+}
+
+void
+Device::OnBoundary()
+{
+    boundary_event_ = kInvalidEventId;
+    IntegrateToNow();
+    RecomputeRates();
+    RescheduleBoundary();
+}
+
+void
+Device::MaybeFinish()
+{
+    if (stop_when_app_finishes_ && foreground_ != nullptr &&
+        foreground_->Finished()) {
+        sim_.Stop();
+    }
+}
+
+RunResult
+Device::CollectResult(const std::string& policy_name) const
+{
+    RunResult result;
+    result.app_name = foreground_ != nullptr ? foreground_->name() : "<none>";
+    result.load_name = ToString(background_env_.kind);
+    result.policy_name = policy_name;
+
+    result.energy_j = energy_meter_.energy().value();
+    result.avg_power_mw = energy_meter_.AveragePower().value();
+    if (monitor_->sample_count() > 0) {
+        result.measured_energy_j = monitor_->MeasuredEnergy().value();
+        result.measured_avg_power_mw = monitor_->MeasuredAveragePower().value();
+    } else {
+        result.measured_energy_j = result.energy_j;
+        result.measured_avg_power_mw = result.avg_power_mw;
+    }
+
+    result.duration_s = energy_meter_.elapsed().seconds();
+    if (foreground_ != nullptr) {
+        result.executed_gi = foreground_->total_executed_gi();
+        const double elapsed = foreground_->total_elapsed().seconds();
+        result.avg_gips = elapsed > 0.0 ? result.executed_gi / elapsed : 0.0;
+        result.app_finished = foreground_->Finished();
+    }
+
+    result.cpu_residency = cpu_residency_.Fractions();
+    result.bw_residency = bw_residency_.Fractions();
+    result.gpu_residency = gpu_residency_.Fractions();
+    result.cpu_transitions = cluster_.transition_count();
+    result.bw_transitions = bus_.transition_count();
+    result.loadavg = loadavg_.value();
+    return result;
+}
+
+}  // namespace aeo

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * The complete simulated phone: SoC + power model + Monsoon monitor +
+ * kernel subsystems (sysfs, cpufreq, devfreq, PMU, perf, loadavg) + the
+ * foreground application and background load.
+ *
+ * The device is the *plant* of the paper's feedback loop (Fig. 2). It keeps
+ * all activity rates piecewise-constant and integrates state exactly between
+ * events:
+ *
+ *  - any frequency/bandwidth change first integrates the elapsed segment at
+ *    the old rates, applies the change, then recomputes rates;
+ *  - application phase boundaries are predicted from the current rates and
+ *    scheduled as events, so integration segments never straddle a demand
+ *    change;
+ *  - the 5 kHz power monitor, governor timers and perf sampling are ordinary
+ *    events on the same queue.
+ *
+ * A Device is built fresh per experiment run (cheap) so every run is
+ * deterministic for a given seed.
+ */
+#ifndef AEO_DEVICE_DEVICE_H_
+#define AEO_DEVICE_DEVICE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "apps/app_model.h"
+#include "apps/background_load.h"
+#include "device/run_result.h"
+#include "kernel/cpufreq.h"
+#include "kernel/devfreq.h"
+#include "kernel/gpufreq.h"
+#include "kernel/input_boost.h"
+#include "kernel/mpdecision.h"
+#include "kernel/loadavg.h"
+#include "kernel/meters.h"
+#include "kernel/perf_tool.h"
+#include "kernel/pmu.h"
+#include "kernel/sysfs.h"
+#include "power/energy_meter.h"
+#include "power/monsoon.h"
+#include "power/power_model.h"
+#include "sim/simulator.h"
+#include "soc/cpu_cluster.h"
+#include "soc/execution_engine.h"
+#include "soc/gpu_domain.h"
+#include "soc/memory_bus.h"
+#include "stats/histogram.h"
+
+namespace aeo {
+
+/** Sysfs mount points used by the Nexus 6 build. */
+inline constexpr const char kCpufreqSysfsRoot[] =
+    "/sys/devices/system/cpu/cpu0/cpufreq";
+inline constexpr const char kDevfreqSysfsRoot[] =
+    "/sys/class/devfreq/qcom,cpubw";
+inline constexpr const char kGpuSysfsRoot[] =
+    "/sys/class/kgsl/kgsl-3d0/devfreq";
+
+/** Construction parameters for a Device. */
+struct DeviceConfig {
+    /** Master seed; all component streams fork from it. */
+    uint64_t seed = 1;
+    /** Execution-model constants. */
+    ExecutionModelParams exec_params;
+    /** Power-model constants (defaults to the calibrated Nexus 6 set). */
+    PowerModelParams power_params = MakeNexus6PowerParams();
+    /** Power-monitor setup. */
+    MonsoonConfig monsoon;
+    /** perf sampler setup. */
+    PerfToolConfig perf;
+};
+
+/** The simulated Nexus 6. */
+class Device {
+  public:
+    /** Builds a Nexus 6 with all stock governors registered. */
+    explicit Device(DeviceConfig config = {});
+
+    ~Device();
+
+    Device(const Device&) = delete;
+    Device& operator=(const Device&) = delete;
+
+    // --- Workload setup ---------------------------------------------------
+
+    /** Installs the foreground application (replaces any previous one). */
+    void LaunchApp(const AppSpec& spec);
+
+    /** Installs a background-load environment. */
+    void SetBackground(const BackgroundEnv& env);
+
+    // --- Governor setup ---------------------------------------------------
+
+    /** Selects the Android defaults: interactive + cpubw_hwmon. */
+    void UseDefaultGovernors();
+
+    /** Selects userspace governors on both subsystems (controller mode). */
+    void UseUserspaceGovernors();
+
+    /**
+     * Enables the mpdecision hotplug daemon. The paper disables it (§IV-A:
+     * hotplugging "can lead to inaccurate measurements"); it is off by
+     * default and exists to demonstrate that distortion.
+     */
+    void EnableMpdecision(MpdecisionParams params = {});
+
+    /** Stops hotplugging and restores all cores online. */
+    void DisableMpdecision();
+
+    /**
+     * Enables the touch-event frequency boost the paper compiles out
+     * (§IV-A). Off by default.
+     */
+    void EnableInputBoost(InputBoostParams params = {});
+
+    /** Delivers a touch event (no-op unless input boost is enabled). */
+    void NotifyTouch();
+
+    /** Pins a fixed configuration via the userspace governors. */
+    void PinConfiguration(int cpu_level, int bw_level);
+
+    // --- Running ----------------------------------------------------------
+
+    /** Runs for a fixed duration of simulated time. */
+    void RunFor(SimTime duration);
+
+    /**
+     * Runs until the foreground app finishes (batch apps) or @p max_duration
+     * elapses, whichever is first.
+     */
+    void RunUntilAppFinishes(SimTime max_duration);
+
+    /** Collects the metrics accumulated since construction. */
+    RunResult CollectResult(const std::string& policy_name) const;
+
+    // --- Component access (controller, tests, benches) ---------------------
+
+    Simulator& sim() { return sim_; }
+    Sysfs& sysfs() { return sysfs_; }
+    CpufreqPolicy& cpufreq() { return *cpufreq_; }
+    DevfreqPolicy& devfreq() { return *devfreq_; }
+    GpuFreqPolicy& gpufreq() { return *gpufreq_; }
+    GpuDomain& gpu() { return gpu_; }
+    PerfTool& perf() { return *perf_; }
+    const Pmu& pmu() const { return pmu_; }
+    CpuCluster& cluster() { return cluster_; }
+    MemoryBus& bus() { return bus_; }
+    const EnergyMeter& energy_meter() const { return energy_meter_; }
+    MonsoonMonitor& monitor() { return *monitor_; }
+    AppModel* foreground() { return foreground_.get(); }
+    const AppModel* foreground() const { return foreground_.get(); }
+    double loadavg() const { return loadavg_.value(); }
+
+    /** Free memory the current background environment leaves, MB — the
+     * runtime load signature the §V-C extension keys on. */
+    double free_memory_mb() const { return background_env_.free_memory_mb; }
+
+    /** Current foreground instruction rate (for tests). */
+    double foreground_gips() const { return fg_gips_; }
+
+    /** Current true device power (the monitor's source). */
+    Milliwatts CurrentPower() const;
+
+    /**
+     * Sets the average power the online controller's own computation draws
+     * (regulator + optimizer + actuation writes; §V-A1).
+     */
+    void SetControllerOverheadPower(double mw);
+
+    /**
+     * Flushes integration up to the current simulated time (call before
+     * reading meters outside an event).
+     */
+    void Sync();
+
+  private:
+    void IntegrateToNow();
+    void RecomputeRates();
+    void RescheduleBoundary();
+    void OnBoundary();
+    void MaybeFinish();
+
+    DeviceConfig config_;
+    Simulator sim_;
+    Sysfs sysfs_;
+
+    CpuCluster cluster_;
+    MemoryBus bus_;
+    GpuDomain gpu_;
+    ExecutionEngine engine_;
+    PowerModel power_model_;
+
+    CpuLoadMeter load_meter_;
+    BusTrafficMeter traffic_meter_;
+    GpuBusyMeter gpu_meter_;
+    Pmu pmu_;
+    LoadAvg loadavg_;
+
+    std::unique_ptr<CpufreqPolicy> cpufreq_;
+    std::unique_ptr<DevfreqPolicy> devfreq_;
+    std::unique_ptr<GpuFreqPolicy> gpufreq_;
+    std::unique_ptr<Mpdecision> mpdecision_;
+    std::unique_ptr<InputBoost> input_boost_;
+    std::unique_ptr<PerfTool> perf_;
+    std::unique_ptr<MonsoonMonitor> monitor_;
+
+    std::unique_ptr<AppModel> foreground_;
+    std::unique_ptr<AppModel> background_;
+    BackgroundEnv background_env_;
+
+    EnergyMeter energy_meter_;
+    Histogram cpu_residency_;
+    Histogram bw_residency_;
+    Histogram gpu_residency_;
+
+    SimTime last_update_;
+    double fg_gips_ = 0.0;
+    double bg_gips_ = 0.0;
+    double busy_cores_ = 0.0;
+    double max_core_load_ = 0.0;
+    double mem_gbps_ = 0.0;
+    double gpu_busy_ = 0.0;
+    double controller_overhead_mw_ = 0.0;
+
+    EventId boundary_event_ = kInvalidEventId;
+    bool stop_when_app_finishes_ = false;
+    bool monitor_started_ = false;
+    bool in_integrate_ = false;
+};
+
+}  // namespace aeo
+
+#endif  // AEO_DEVICE_DEVICE_H_

@@ -1,0 +1,38 @@
+#include "device/run_result.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace aeo {
+
+double
+RunResult::PerformanceDeltaPercent(const RunResult& baseline) const
+{
+    if (app_finished && baseline.app_finished) {
+        // Deadline-critical batch work: faster completion = better.
+        AEO_ASSERT(duration_s > 0.0 && baseline.duration_s > 0.0, "empty run");
+        return (baseline.duration_s - duration_s) / baseline.duration_s * 100.0;
+    }
+    AEO_ASSERT(baseline.avg_gips > 0.0, "baseline with zero GIPS");
+    return (avg_gips - baseline.avg_gips) / baseline.avg_gips * 100.0;
+}
+
+double
+RunResult::EnergySavingsPercent(const RunResult& baseline) const
+{
+    AEO_ASSERT(baseline.measured_energy_j > 0.0, "baseline with zero energy");
+    return (baseline.measured_energy_j - measured_energy_j) /
+           baseline.measured_energy_j * 100.0;
+}
+
+std::string
+RunResult::Summary() const
+{
+    return StrFormat(
+        "%s [%s, %s]: %.1f s, %.3f GIPS, %.0f mW avg, %.1f J%s",
+        app_name.c_str(), policy_name.c_str(), load_name.c_str(), duration_s,
+        avg_gips, measured_avg_power_mw, measured_energy_j,
+        app_finished ? " (completed)" : "");
+}
+
+}  // namespace aeo

@@ -1,0 +1,195 @@
+#include "kernel/cpufreq.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace aeo {
+
+CpufreqPolicy::CpufreqPolicy(Simulator* sim, CpuCluster* cluster,
+                             const CpuLoadMeter* load_meter, Sysfs* sysfs,
+                             std::string sysfs_root)
+    : sim_(sim),
+      cluster_(cluster),
+      load_meter_(load_meter),
+      sysfs_(sysfs),
+      sysfs_root_(std::move(sysfs_root))
+{
+    AEO_ASSERT(sim_ != nullptr && cluster_ != nullptr && load_meter_ != nullptr &&
+                   sysfs_ != nullptr,
+               "cpufreq policy wired with null dependency");
+    max_level_limit_ = cluster_->table().max_level();
+    RegisterSysfsFiles();
+}
+
+CpufreqPolicy::~CpufreqPolicy()
+{
+    if (governor_) {
+        governor_->Stop();
+    }
+}
+
+void
+CpufreqPolicy::RegisterGovernor(const std::string& name, CpufreqGovernorFactory factory)
+{
+    AEO_ASSERT(factory != nullptr, "null governor factory for '%s'", name.c_str());
+    const auto [it, inserted] = factories_.emplace(name, std::move(factory));
+    (void)it;
+    AEO_ASSERT(inserted, "cpufreq governor '%s' registered twice", name.c_str());
+}
+
+bool
+CpufreqPolicy::SetGovernor(const std::string& name)
+{
+    const auto it = factories_.find(name);
+    if (it == factories_.end()) {
+        return false;
+    }
+    if (governor_) {
+        governor_->Stop();
+        governor_.reset();
+    }
+    governor_ = it->second(this);
+    AEO_ASSERT(governor_ != nullptr, "factory for '%s' returned null", name.c_str());
+    governor_->Start();
+    return true;
+}
+
+std::string
+CpufreqPolicy::governor_name() const
+{
+    return governor_ ? governor_->name() : "none";
+}
+
+std::string
+CpufreqPolicy::AvailableGovernors() const
+{
+    std::vector<std::string> names;
+    names.reserve(factories_.size());
+    for (const auto& [name, factory] : factories_) {
+        names.push_back(name);
+    }
+    return Join(names, " ");
+}
+
+void
+CpufreqPolicy::RequestLevel(int level)
+{
+    const int clamped = std::clamp(level, min_level_limit_, max_level_limit_);
+    cluster_->SetLevel(clamped);
+}
+
+void
+CpufreqPolicy::RequestFrequencyAtOrAbove(Gigahertz freq)
+{
+    RequestLevel(table().LevelAtOrAbove(freq));
+}
+
+void
+CpufreqPolicy::SetLevelLimits(int min_level, int max_level)
+{
+    AEO_ASSERT(min_level >= 0 && max_level < table().size() && min_level <= max_level,
+               "bad level limits [%d, %d]", min_level, max_level);
+    min_level_limit_ = min_level;
+    max_level_limit_ = max_level;
+    // Re-clamp the current operating point into the new limits.
+    RequestLevel(cluster_->level());
+}
+
+void
+CpufreqPolicy::RegisterSysfsFiles()
+{
+    const auto khz_of = [](Gigahertz f) {
+        return StrFormat("%lld", static_cast<long long>(f.megahertz() * 1000.0 + 0.5));
+    };
+
+    sysfs_->Register(sysfs_root_ + "/scaling_governor",
+                     SysfsFile{
+                         [this] { return governor_name(); },
+                         [this](const std::string& value) { return SetGovernor(Trim(value)); },
+                     });
+
+    sysfs_->Register(sysfs_root_ + "/scaling_available_governors",
+                     SysfsFile{[this] { return AvailableGovernors(); }, nullptr});
+
+    sysfs_->Register(sysfs_root_ + "/scaling_cur_freq",
+                     SysfsFile{
+                         [this, khz_of] { return khz_of(cluster_->frequency()); },
+                         nullptr,
+                     });
+
+    sysfs_->Register(
+        sysfs_root_ + "/scaling_available_frequencies",
+        SysfsFile{[this, khz_of] {
+                      std::vector<std::string> fields;
+                      for (int level = 0; level < table().size(); ++level) {
+                          fields.push_back(khz_of(table().FrequencyAt(level)));
+                      }
+                      return Join(fields, " ");
+                  },
+                  nullptr});
+
+    const auto parse_khz = [](const std::string& value, Gigahertz* out) {
+        long long khz = 0;
+        if (!ParseInt64(value, &khz) || khz <= 0) {
+            return false;
+        }
+        *out = Gigahertz(static_cast<double>(khz) / 1e6);
+        return true;
+    };
+
+    sysfs_->Register(
+        sysfs_root_ + "/scaling_min_freq",
+        SysfsFile{[this, khz_of] { return khz_of(table().FrequencyAt(min_level_limit_)); },
+                  [this, parse_khz](const std::string& value) {
+                      Gigahertz freq;
+                      if (!parse_khz(value, &freq)) {
+                          return false;
+                      }
+                      const int level = table().ClosestLevel(freq);
+                      if (level > max_level_limit_) {
+                          return false;
+                      }
+                      SetLevelLimits(level, max_level_limit_);
+                      return true;
+                  }});
+
+    sysfs_->Register(
+        sysfs_root_ + "/scaling_max_freq",
+        SysfsFile{[this, khz_of] { return khz_of(table().FrequencyAt(max_level_limit_)); },
+                  [this, parse_khz](const std::string& value) {
+                      Gigahertz freq;
+                      if (!parse_khz(value, &freq)) {
+                          return false;
+                      }
+                      const int level = table().ClosestLevel(freq);
+                      if (level < min_level_limit_) {
+                          return false;
+                      }
+                      SetLevelLimits(min_level_limit_, level);
+                      return true;
+                  }});
+
+    sysfs_->Register(sysfs_root_ + "/scaling_setspeed",
+                     SysfsFile{
+                         [this, khz_of] {
+                             return governor_name() == "userspace"
+                                        ? khz_of(cluster_->frequency())
+                                        : std::string("<unsupported>");
+                         },
+                         [this, parse_khz](const std::string& value) {
+                             if (!governor_) {
+                                 return false;
+                             }
+                             Gigahertz freq;
+                             if (!parse_khz(value, &freq)) {
+                                 return false;
+                             }
+                             return governor_->SetSpeed(freq);
+                         },
+                     });
+}
+
+}  // namespace aeo

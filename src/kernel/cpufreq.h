@@ -1,0 +1,149 @@
+/**
+ * @file
+ * The cpufreq subsystem: separation of policy (governors) and mechanism
+ * (the driver setting the cluster frequency), mirroring Linux's design
+ * (§II-A). Governors are pluggable and selected at runtime through the
+ * scaling_governor sysfs file, exactly the interface the paper's controller
+ * uses to take over frequency control.
+ */
+#ifndef AEO_KERNEL_CPUFREQ_H_
+#define AEO_KERNEL_CPUFREQ_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "kernel/meters.h"
+#include "kernel/sysfs.h"
+#include "sim/simulator.h"
+#include "soc/cpu_cluster.h"
+
+namespace aeo {
+
+class CpufreqPolicy;
+
+/** Base class for CPU frequency governors. */
+class CpufreqGovernor {
+  public:
+    virtual ~CpufreqGovernor() = default;
+
+    /** Governor name as it appears in scaling_governor. */
+    virtual std::string name() const = 0;
+
+    /** Called when the governor takes control of the policy. */
+    virtual void Start() = 0;
+
+    /** Called when the governor is replaced. */
+    virtual void Stop() = 0;
+
+    /**
+     * Handles a scaling_setspeed write (only the userspace governor
+     * accepts).
+     *
+     * @return true if the speed request was accepted.
+     */
+    virtual bool SetSpeed(Gigahertz) { return false; }
+};
+
+/** Factory producing a governor bound to a policy. */
+using CpufreqGovernorFactory =
+    std::function<std::unique_ptr<CpufreqGovernor>(CpufreqPolicy*)>;
+
+/** One frequency domain (the Nexus 6 has a single 4-core cluster). */
+class CpufreqPolicy {
+  public:
+    /**
+     * @param sim        Simulation executive; must outlive the policy.
+     * @param cluster    The managed cluster; must outlive the policy.
+     * @param load_meter Busy-time accounting the governors sample.
+     * @param sysfs      Virtual sysfs in which to expose the policy files.
+     * @param sysfs_root Directory for this policy's files, e.g.
+     *                   "/sys/devices/system/cpu/cpu0/cpufreq".
+     */
+    CpufreqPolicy(Simulator* sim, CpuCluster* cluster,
+                  const CpuLoadMeter* load_meter, Sysfs* sysfs,
+                  std::string sysfs_root);
+
+    ~CpufreqPolicy();
+
+    CpufreqPolicy(const CpufreqPolicy&) = delete;
+    CpufreqPolicy& operator=(const CpufreqPolicy&) = delete;
+
+    /** Registers a governor under its name; panics on duplicates. */
+    void RegisterGovernor(const std::string& name, CpufreqGovernorFactory factory);
+
+    /** Switches governors; returns false for an unknown name. */
+    bool SetGovernor(const std::string& name);
+
+    /** Name of the active governor ("none" before the first SetGovernor). */
+    std::string governor_name() const;
+
+    /** Names of all registered governors, space-separated (sysfs format). */
+    std::string AvailableGovernors() const;
+
+    // --- Interface used by governors -------------------------------------
+
+    /** Requests a frequency level; clamped to the scaling min/max limits. */
+    void RequestLevel(int level);
+
+    /** Requests the lowest level whose frequency is ≥ @p freq. */
+    void RequestFrequencyAtOrAbove(Gigahertz freq);
+
+    /** Current 0-based level. */
+    int current_level() const { return cluster_->level(); }
+
+    /** The cluster's OPP table. */
+    const FrequencyTable& table() const { return cluster_->table(); }
+
+    /** Cores in the domain. */
+    int num_cores() const { return cluster_->num_cores(); }
+
+    /** Busy-time meter for load sampling. */
+    const CpuLoadMeter* load_meter() const { return load_meter_; }
+
+    /**
+     * Registers a hook that brings the meters up to date (the device model
+     * integrates lazily); governors invoke it before sampling.
+     */
+    void SetSyncHook(std::function<void()> hook) { sync_hook_ = std::move(hook); }
+
+    /** Brings the meters up to date; no-op when no hook is registered. */
+    void
+    SyncMeters() const
+    {
+        if (sync_hook_) {
+            sync_hook_();
+        }
+    }
+
+    /** The simulation executive (for governor timers). */
+    Simulator* sim() const { return sim_; }
+
+    /** Lower scaling limit (scaling_min_freq), as a level. */
+    int min_level_limit() const { return min_level_limit_; }
+
+    /** Upper scaling limit (scaling_max_freq), as a level. */
+    int max_level_limit() const { return max_level_limit_; }
+
+    /** Sets the scaling limits (inclusive level range). */
+    void SetLevelLimits(int min_level, int max_level);
+
+  private:
+    void RegisterSysfsFiles();
+
+    Simulator* sim_;
+    CpuCluster* cluster_;
+    const CpuLoadMeter* load_meter_;
+    Sysfs* sysfs_;
+    std::string sysfs_root_;
+    std::map<std::string, CpufreqGovernorFactory> factories_;
+    std::unique_ptr<CpufreqGovernor> governor_;
+    std::function<void()> sync_hook_;
+    int min_level_limit_ = 0;
+    int max_level_limit_ = 0;
+};
+
+}  // namespace aeo
+
+#endif  // AEO_KERNEL_CPUFREQ_H_

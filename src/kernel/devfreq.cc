@@ -1,0 +1,186 @@
+#include "kernel/devfreq.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace aeo {
+
+DevfreqPolicy::DevfreqPolicy(Simulator* sim, MemoryBus* bus,
+                             const BusTrafficMeter* traffic_meter, Sysfs* sysfs,
+                             std::string sysfs_root)
+    : sim_(sim),
+      bus_(bus),
+      traffic_meter_(traffic_meter),
+      sysfs_(sysfs),
+      sysfs_root_(std::move(sysfs_root))
+{
+    AEO_ASSERT(sim_ != nullptr && bus_ != nullptr && traffic_meter_ != nullptr &&
+                   sysfs_ != nullptr,
+               "devfreq policy wired with null dependency");
+    max_level_limit_ = bus_->table().max_level();
+    RegisterSysfsFiles();
+}
+
+DevfreqPolicy::~DevfreqPolicy()
+{
+    if (governor_) {
+        governor_->Stop();
+    }
+}
+
+void
+DevfreqPolicy::RegisterGovernor(const std::string& name, DevfreqGovernorFactory factory)
+{
+    AEO_ASSERT(factory != nullptr, "null governor factory for '%s'", name.c_str());
+    const auto [it, inserted] = factories_.emplace(name, std::move(factory));
+    (void)it;
+    AEO_ASSERT(inserted, "devfreq governor '%s' registered twice", name.c_str());
+}
+
+bool
+DevfreqPolicy::SetGovernor(const std::string& name)
+{
+    const auto it = factories_.find(name);
+    if (it == factories_.end()) {
+        return false;
+    }
+    if (governor_) {
+        governor_->Stop();
+        governor_.reset();
+    }
+    governor_ = it->second(this);
+    AEO_ASSERT(governor_ != nullptr, "factory for '%s' returned null", name.c_str());
+    governor_->Start();
+    return true;
+}
+
+std::string
+DevfreqPolicy::governor_name() const
+{
+    return governor_ ? governor_->name() : "none";
+}
+
+std::string
+DevfreqPolicy::AvailableGovernors() const
+{
+    std::vector<std::string> names;
+    names.reserve(factories_.size());
+    for (const auto& [name, factory] : factories_) {
+        names.push_back(name);
+    }
+    return Join(names, " ");
+}
+
+void
+DevfreqPolicy::RequestLevel(int level)
+{
+    const int clamped = std::clamp(level, min_level_limit_, max_level_limit_);
+    bus_->SetLevel(clamped);
+}
+
+void
+DevfreqPolicy::RequestBandwidthAtOrAbove(MegabytesPerSecond need)
+{
+    RequestLevel(table().LevelAtOrAbove(need));
+}
+
+void
+DevfreqPolicy::SetLevelLimits(int min_level, int max_level)
+{
+    AEO_ASSERT(min_level >= 0 && max_level < table().size() && min_level <= max_level,
+               "bad level limits [%d, %d]", min_level, max_level);
+    min_level_limit_ = min_level;
+    max_level_limit_ = max_level;
+    RequestLevel(bus_->level());
+}
+
+void
+DevfreqPolicy::RegisterSysfsFiles()
+{
+    const auto mbps_of = [](MegabytesPerSecond bw) {
+        return StrFormat("%lld", static_cast<long long>(bw.value() + 0.5));
+    };
+    const auto parse_mbps = [](const std::string& value, MegabytesPerSecond* out) {
+        long long mbps = 0;
+        if (!ParseInt64(value, &mbps) || mbps <= 0) {
+            return false;
+        }
+        *out = MegabytesPerSecond(static_cast<double>(mbps));
+        return true;
+    };
+
+    sysfs_->Register(sysfs_root_ + "/governor",
+                     SysfsFile{
+                         [this] { return governor_name(); },
+                         [this](const std::string& value) { return SetGovernor(Trim(value)); },
+                     });
+
+    sysfs_->Register(sysfs_root_ + "/available_governors",
+                     SysfsFile{[this] { return AvailableGovernors(); }, nullptr});
+
+    sysfs_->Register(sysfs_root_ + "/cur_freq",
+                     SysfsFile{[this, mbps_of] { return mbps_of(bus_->bandwidth()); },
+                               nullptr});
+
+    sysfs_->Register(sysfs_root_ + "/available_frequencies",
+                     SysfsFile{[this, mbps_of] {
+                                   std::vector<std::string> fields;
+                                   for (int level = 0; level < table().size(); ++level) {
+                                       fields.push_back(mbps_of(table().BandwidthAt(level)));
+                                   }
+                                   return Join(fields, " ");
+                               },
+                               nullptr});
+
+    sysfs_->Register(
+        sysfs_root_ + "/min_freq",
+        SysfsFile{[this, mbps_of] { return mbps_of(table().BandwidthAt(min_level_limit_)); },
+                  [this, parse_mbps](const std::string& value) {
+                      MegabytesPerSecond bw;
+                      if (!parse_mbps(value, &bw)) {
+                          return false;
+                      }
+                      const int level = table().ClosestLevel(bw);
+                      if (level > max_level_limit_) {
+                          return false;
+                      }
+                      SetLevelLimits(level, max_level_limit_);
+                      return true;
+                  }});
+
+    sysfs_->Register(
+        sysfs_root_ + "/max_freq",
+        SysfsFile{[this, mbps_of] { return mbps_of(table().BandwidthAt(max_level_limit_)); },
+                  [this, parse_mbps](const std::string& value) {
+                      MegabytesPerSecond bw;
+                      if (!parse_mbps(value, &bw)) {
+                          return false;
+                      }
+                      const int level = table().ClosestLevel(bw);
+                      if (level < min_level_limit_) {
+                          return false;
+                      }
+                      SetLevelLimits(min_level_limit_, level);
+                      return true;
+                  }});
+
+    sysfs_->Register(sysfs_root_ + "/userspace/set_freq",
+                     SysfsFile{
+                         [this, mbps_of] { return mbps_of(bus_->bandwidth()); },
+                         [this, parse_mbps](const std::string& value) {
+                             if (!governor_) {
+                                 return false;
+                             }
+                             MegabytesPerSecond bw;
+                             if (!parse_mbps(value, &bw)) {
+                                 return false;
+                             }
+                             return governor_->SetBandwidth(bw);
+                         },
+                     });
+}
+
+}  // namespace aeo

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * The devfreq subsystem managing the memory bus, Linux's DVFS framework for
+ * non-CPU devices (§II-A). Structurally parallel to cpufreq: pluggable
+ * governors selected through sysfs, with the cpubw_hwmon governor as the
+ * Android default for the CPU-to-memory bus.
+ */
+#ifndef AEO_KERNEL_DEVFREQ_H_
+#define AEO_KERNEL_DEVFREQ_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "kernel/meters.h"
+#include "kernel/sysfs.h"
+#include "sim/simulator.h"
+#include "soc/memory_bus.h"
+
+namespace aeo {
+
+class DevfreqPolicy;
+
+/** Base class for memory-bus bandwidth governors. */
+class DevfreqGovernor {
+  public:
+    virtual ~DevfreqGovernor() = default;
+
+    /** Governor name as it appears in the governor sysfs file. */
+    virtual std::string name() const = 0;
+
+    /** Called when the governor takes control. */
+    virtual void Start() = 0;
+
+    /** Called when the governor is replaced. */
+    virtual void Stop() = 0;
+
+    /** Handles a userspace set_freq write; only userspace accepts. */
+    virtual bool SetBandwidth(MegabytesPerSecond) { return false; }
+};
+
+/** Factory producing a governor bound to a policy. */
+using DevfreqGovernorFactory =
+    std::function<std::unique_ptr<DevfreqGovernor>(DevfreqPolicy*)>;
+
+/** The memory-bus frequency domain. */
+class DevfreqPolicy {
+  public:
+    /**
+     * @param sim           Simulation executive; must outlive the policy.
+     * @param bus           The managed bus; must outlive the policy.
+     * @param traffic_meter Bus-traffic accounting the hwmon governor samples.
+     * @param sysfs         Virtual sysfs for the policy files.
+     * @param sysfs_root    Directory, e.g. "/sys/class/devfreq/qcom,cpubw".
+     */
+    DevfreqPolicy(Simulator* sim, MemoryBus* bus,
+                  const BusTrafficMeter* traffic_meter, Sysfs* sysfs,
+                  std::string sysfs_root);
+
+    ~DevfreqPolicy();
+
+    DevfreqPolicy(const DevfreqPolicy&) = delete;
+    DevfreqPolicy& operator=(const DevfreqPolicy&) = delete;
+
+    /** Registers a governor under its name; panics on duplicates. */
+    void RegisterGovernor(const std::string& name, DevfreqGovernorFactory factory);
+
+    /** Switches governors; returns false for an unknown name. */
+    bool SetGovernor(const std::string& name);
+
+    /** Name of the active governor ("none" before the first SetGovernor). */
+    std::string governor_name() const;
+
+    /** Names of all registered governors, space-separated. */
+    std::string AvailableGovernors() const;
+
+    // --- Interface used by governors -------------------------------------
+
+    /** Requests a bandwidth level, clamped to the min/max limits. */
+    void RequestLevel(int level);
+
+    /** Requests the smallest level with bandwidth ≥ @p need. */
+    void RequestBandwidthAtOrAbove(MegabytesPerSecond need);
+
+    /** Current 0-based level. */
+    int current_level() const { return bus_->level(); }
+
+    /** The bandwidth table. */
+    const BandwidthTable& table() const { return bus_->table(); }
+
+    /** Traffic meter for hwmon-style sampling. */
+    const BusTrafficMeter* traffic_meter() const { return traffic_meter_; }
+
+    /** Registers a hook that brings the meters up to date before sampling. */
+    void SetSyncHook(std::function<void()> hook) { sync_hook_ = std::move(hook); }
+
+    /** Brings the meters up to date; no-op when no hook is registered. */
+    void
+    SyncMeters() const
+    {
+        if (sync_hook_) {
+            sync_hook_();
+        }
+    }
+
+    /** The simulation executive (for governor timers). */
+    Simulator* sim() const { return sim_; }
+
+    /** Lower limit as a level. */
+    int min_level_limit() const { return min_level_limit_; }
+
+    /** Upper limit as a level. */
+    int max_level_limit() const { return max_level_limit_; }
+
+    /** Sets the level limits (inclusive). */
+    void SetLevelLimits(int min_level, int max_level);
+
+  private:
+    void RegisterSysfsFiles();
+
+    Simulator* sim_;
+    MemoryBus* bus_;
+    const BusTrafficMeter* traffic_meter_;
+    Sysfs* sysfs_;
+    std::string sysfs_root_;
+    std::map<std::string, DevfreqGovernorFactory> factories_;
+    std::unique_ptr<DevfreqGovernor> governor_;
+    std::function<void()> sync_hook_;
+    int min_level_limit_ = 0;
+    int max_level_limit_ = 0;
+};
+
+}  // namespace aeo
+
+#endif  // AEO_KERNEL_DEVFREQ_H_

@@ -1,0 +1,54 @@
+#include "kernel/governors/cpufreq_conservative.h"
+
+#include "common/logging.h"
+
+namespace aeo {
+
+CpufreqConservativeGovernor::CpufreqConservativeGovernor(CpufreqPolicy* policy,
+                                                         ConservativeParams params)
+    : policy_(policy),
+      params_(params),
+      timer_(policy->sim(), [this] { Sample(); })
+{
+    AEO_ASSERT(policy_ != nullptr, "conservative governor needs a policy");
+    AEO_ASSERT(params_.down_threshold < params_.up_threshold,
+               "thresholds out of order");
+    AEO_ASSERT(params_.freq_step >= 1, "frequency step must be positive");
+}
+
+void
+CpufreqConservativeGovernor::Start()
+{
+    window_.emplace(policy_->load_meter());
+    timer_.Start(params_.sampling_period);
+}
+
+void
+CpufreqConservativeGovernor::Stop()
+{
+    timer_.Stop();
+    window_.reset();
+}
+
+void
+CpufreqConservativeGovernor::Sample()
+{
+    policy_->SyncMeters();
+    const double load = window_->SampleCoreLoad();
+    const int level = policy_->current_level();
+    if (load > params_.up_threshold) {
+        policy_->RequestLevel(level + params_.freq_step);
+    } else if (load < params_.down_threshold) {
+        policy_->RequestLevel(level - params_.freq_step);
+    }
+}
+
+CpufreqGovernorFactory
+MakeCpufreqConservativeFactory(ConservativeParams params)
+{
+    return [params](CpufreqPolicy* policy) {
+        return std::make_unique<CpufreqConservativeGovernor>(policy, params);
+    };
+}
+
+}  // namespace aeo

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The conservative cpufreq governor — the classic Linux alternative to
+ * ondemand: instead of jumping to the maximum on load, it steps the
+ * frequency up and down gradually, one step per sampling period.
+ */
+#ifndef AEO_KERNEL_GOVERNORS_CPUFREQ_CONSERVATIVE_H_
+#define AEO_KERNEL_GOVERNORS_CPUFREQ_CONSERVATIVE_H_
+
+#include <memory>
+#include <optional>
+
+#include "kernel/cpufreq.h"
+#include "sim/periodic_task.h"
+
+namespace aeo {
+
+/** Tunables of the conservative governor. */
+struct ConservativeParams {
+    /** Load sampling period. */
+    SimTime sampling_period = SimTime::Millis(50);
+    /** Load above which the frequency steps up. */
+    double up_threshold = 0.80;
+    /** Load below which the frequency steps down. */
+    double down_threshold = 0.20;
+    /** Levels moved per decision. */
+    int freq_step = 1;
+};
+
+/** Gradual load-threshold governor. */
+class CpufreqConservativeGovernor : public CpufreqGovernor {
+  public:
+    CpufreqConservativeGovernor(CpufreqPolicy* policy, ConservativeParams params = {});
+
+    std::string name() const override { return "conservative"; }
+    void Start() override;
+    void Stop() override;
+
+  private:
+    void Sample();
+
+    CpufreqPolicy* policy_;
+    ConservativeParams params_;
+    PeriodicTask timer_;
+    std::optional<CpuLoadWindow> window_;
+};
+
+/** Factory with default parameters. */
+CpufreqGovernorFactory MakeCpufreqConservativeFactory(ConservativeParams params = {});
+
+}  // namespace aeo
+
+#endif  // AEO_KERNEL_GOVERNORS_CPUFREQ_CONSERVATIVE_H_

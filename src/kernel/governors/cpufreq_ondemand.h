@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The ondemand cpufreq governor (Pallipadi & Starikovskiy, OLS 2006; §II-A
+ * of the paper): samples CPU load at a fixed rate; above the up-threshold it
+ * jumps straight to the maximum frequency, below it the frequency is lowered
+ * gradually to the lowest level that would keep load under the threshold.
+ */
+#ifndef AEO_KERNEL_GOVERNORS_CPUFREQ_ONDEMAND_H_
+#define AEO_KERNEL_GOVERNORS_CPUFREQ_ONDEMAND_H_
+
+#include <memory>
+#include <optional>
+
+#include "kernel/cpufreq.h"
+#include "sim/periodic_task.h"
+
+namespace aeo {
+
+/** Tunables of the ondemand governor. */
+struct OndemandParams {
+    /** Load sampling period. */
+    SimTime sampling_period = SimTime::Millis(50);
+    /** Load above which the governor jumps to the maximum frequency. */
+    double up_threshold = 0.80;
+    /**
+     * Hysteresis margin: when scaling down, target a frequency that keeps
+     * projected load this far below the up-threshold.
+     */
+    double down_differential = 0.10;
+};
+
+/** Load-threshold governor that ramps to max and decays proportionally. */
+class CpufreqOndemandGovernor : public CpufreqGovernor {
+  public:
+    CpufreqOndemandGovernor(CpufreqPolicy* policy, OndemandParams params = {});
+
+    std::string name() const override { return "ondemand"; }
+    void Start() override;
+    void Stop() override;
+
+  private:
+    void Sample();
+
+    CpufreqPolicy* policy_;
+    OndemandParams params_;
+    PeriodicTask timer_;
+    std::optional<CpuLoadWindow> window_;
+};
+
+/** Factory with default parameters. */
+CpufreqGovernorFactory MakeCpufreqOndemandFactory(OndemandParams params = {});
+
+}  // namespace aeo
+
+#endif  // AEO_KERNEL_GOVERNORS_CPUFREQ_ONDEMAND_H_

@@ -1,0 +1,27 @@
+#include "kernel/governors/cpufreq_performance.h"
+
+#include "common/logging.h"
+
+namespace aeo {
+
+CpufreqPerformanceGovernor::CpufreqPerformanceGovernor(CpufreqPolicy* policy)
+    : policy_(policy)
+{
+    AEO_ASSERT(policy_ != nullptr, "performance governor needs a policy");
+}
+
+void
+CpufreqPerformanceGovernor::Start()
+{
+    policy_->RequestLevel(policy_->max_level_limit());
+}
+
+CpufreqGovernorFactory
+MakeCpufreqPerformanceFactory()
+{
+    return [](CpufreqPolicy* policy) {
+        return std::make_unique<CpufreqPerformanceGovernor>(policy);
+    };
+}
+
+}  // namespace aeo

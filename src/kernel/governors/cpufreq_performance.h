@@ -1,0 +1,33 @@
+/**
+ * @file
+ * The performance cpufreq governor: pins the cluster at the highest allowed
+ * frequency (§II-A).
+ */
+#ifndef AEO_KERNEL_GOVERNORS_CPUFREQ_PERFORMANCE_H_
+#define AEO_KERNEL_GOVERNORS_CPUFREQ_PERFORMANCE_H_
+
+#include <memory>
+
+#include "kernel/cpufreq.h"
+
+namespace aeo {
+
+/** Pins the maximum frequency. */
+class CpufreqPerformanceGovernor : public CpufreqGovernor {
+  public:
+    explicit CpufreqPerformanceGovernor(CpufreqPolicy* policy);
+
+    std::string name() const override { return "performance"; }
+    void Start() override;
+    void Stop() override {}
+
+  private:
+    CpufreqPolicy* policy_;
+};
+
+/** Factory for registration with a policy. */
+CpufreqGovernorFactory MakeCpufreqPerformanceFactory();
+
+}  // namespace aeo
+
+#endif  // AEO_KERNEL_GOVERNORS_CPUFREQ_PERFORMANCE_H_

@@ -1,0 +1,27 @@
+#include "kernel/governors/cpufreq_powersave.h"
+
+#include "common/logging.h"
+
+namespace aeo {
+
+CpufreqPowersaveGovernor::CpufreqPowersaveGovernor(CpufreqPolicy* policy)
+    : policy_(policy)
+{
+    AEO_ASSERT(policy_ != nullptr, "powersave governor needs a policy");
+}
+
+void
+CpufreqPowersaveGovernor::Start()
+{
+    policy_->RequestLevel(policy_->min_level_limit());
+}
+
+CpufreqGovernorFactory
+MakeCpufreqPowersaveFactory()
+{
+    return [](CpufreqPolicy* policy) {
+        return std::make_unique<CpufreqPowersaveGovernor>(policy);
+    };
+}
+
+}  // namespace aeo

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * The powersave cpufreq governor: pins the cluster at the lowest allowed
+ * frequency (§II-A).
+ */
+#ifndef AEO_KERNEL_GOVERNORS_CPUFREQ_POWERSAVE_H_
+#define AEO_KERNEL_GOVERNORS_CPUFREQ_POWERSAVE_H_
+
+#include <memory>
+
+#include "kernel/cpufreq.h"
+
+namespace aeo {
+
+/** Pins the minimum frequency. */
+class CpufreqPowersaveGovernor : public CpufreqGovernor {
+  public:
+    explicit CpufreqPowersaveGovernor(CpufreqPolicy* policy);
+
+    std::string name() const override { return "powersave"; }
+    void Start() override;
+    void Stop() override {}
+
+  private:
+    CpufreqPolicy* policy_;
+};
+
+/** Factory for registration with a policy. */
+CpufreqGovernorFactory MakeCpufreqPowersaveFactory();
+
+}  // namespace aeo
+
+#endif  // AEO_KERNEL_GOVERNORS_CPUFREQ_POWERSAVE_H_

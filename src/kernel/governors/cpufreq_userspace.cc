@@ -1,0 +1,34 @@
+#include "kernel/governors/cpufreq_userspace.h"
+
+#include "common/logging.h"
+
+namespace aeo {
+
+CpufreqUserspaceGovernor::CpufreqUserspaceGovernor(CpufreqPolicy* policy)
+    : policy_(policy)
+{
+    AEO_ASSERT(policy_ != nullptr, "userspace governor needs a policy");
+}
+
+void
+CpufreqUserspaceGovernor::Start()
+{
+    // Keeps the current frequency until told otherwise, like Linux.
+}
+
+bool
+CpufreqUserspaceGovernor::SetSpeed(Gigahertz freq)
+{
+    policy_->RequestLevel(policy_->table().ClosestLevel(freq));
+    return true;
+}
+
+CpufreqGovernorFactory
+MakeCpufreqUserspaceFactory()
+{
+    return [](CpufreqPolicy* policy) {
+        return std::make_unique<CpufreqUserspaceGovernor>(policy);
+    };
+}
+
+}  // namespace aeo

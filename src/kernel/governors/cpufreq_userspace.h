@@ -1,0 +1,35 @@
+/**
+ * @file
+ * The userspace cpufreq governor: takes no decisions of its own and lets a
+ * root process set the frequency through scaling_setspeed (§II-A). This is
+ * the hook through which the paper's controller actuates CPU frequency.
+ */
+#ifndef AEO_KERNEL_GOVERNORS_CPUFREQ_USERSPACE_H_
+#define AEO_KERNEL_GOVERNORS_CPUFREQ_USERSPACE_H_
+
+#include <memory>
+
+#include "kernel/cpufreq.h"
+
+namespace aeo {
+
+/** Passive governor actuated from userspace. */
+class CpufreqUserspaceGovernor : public CpufreqGovernor {
+  public:
+    explicit CpufreqUserspaceGovernor(CpufreqPolicy* policy);
+
+    std::string name() const override { return "userspace"; }
+    void Start() override;
+    void Stop() override {}
+    bool SetSpeed(Gigahertz freq) override;
+
+  private:
+    CpufreqPolicy* policy_;
+};
+
+/** Factory for registration with a policy. */
+CpufreqGovernorFactory MakeCpufreqUserspaceFactory();
+
+}  // namespace aeo
+
+#endif  // AEO_KERNEL_GOVERNORS_CPUFREQ_USERSPACE_H_

@@ -1,0 +1,89 @@
+#include "kernel/governors/devfreq_cpubw_hwmon.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace aeo {
+
+DevfreqCpubwHwmonGovernor::DevfreqCpubwHwmonGovernor(DevfreqPolicy* policy,
+                                                     CpubwHwmonParams params)
+    : policy_(policy),
+      params_(params),
+      timer_(policy->sim(), [this] { Sample(); })
+{
+    AEO_ASSERT(policy_ != nullptr, "cpubw_hwmon governor needs a policy");
+    AEO_ASSERT(params_.target_utilization > 0.0 && params_.target_utilization <= 1.0,
+               "target utilization %f out of (0, 1]", params_.target_utilization);
+    AEO_ASSERT(params_.initial_down_count >= 1, "down count must be >= 1");
+}
+
+void
+DevfreqCpubwHwmonGovernor::Start()
+{
+    window_.emplace(policy_->traffic_meter(), policy_->sim()->Now());
+    low_samples_ = 0;
+    required_low_samples_ = params_.initial_down_count;
+    timer_.Start(params_.sampling_period);
+}
+
+void
+DevfreqCpubwHwmonGovernor::Stop()
+{
+    timer_.Stop();
+    window_.reset();
+}
+
+void
+DevfreqCpubwHwmonGovernor::Sample()
+{
+    policy_->SyncMeters();
+    const double measured_mbps = window_->SampleMbps(policy_->sim()->Now());
+    const BandwidthTable& table = policy_->table();
+    const int cur_level = policy_->current_level();
+    const double provisioned = table.BandwidthAt(cur_level).value();
+    // Provision so that measured traffic is target_utilization of the bus.
+    const double wanted_mbps = measured_mbps / params_.target_utilization;
+
+    if (measured_mbps > params_.target_utilization * provisioned) {
+        // Fast up: provision to the io_percent target immediately.
+        const int target = table.LevelAtOrAbove(MegabytesPerSecond(wanted_mbps));
+        if (target > cur_level) {
+            policy_->RequestLevel(target);
+            low_samples_ = 0;
+            required_low_samples_ = params_.initial_down_count;
+            return;
+        }
+        low_samples_ = 0;
+        return;
+    }
+
+    // Candidate for a down-step: would the next level down still satisfy
+    // the io_percent target?
+    if (cur_level > policy_->min_level_limit()) {
+        const double lower = table.BandwidthAt(cur_level - 1).value();
+        if (wanted_mbps <= lower) {
+            ++low_samples_;
+            if (low_samples_ >= required_low_samples_) {
+                policy_->RequestLevel(cur_level - 1);
+                low_samples_ = 0;
+                // Exponential back-off: each further reduction needs twice
+                // as much evidence.
+                required_low_samples_ =
+                    std::min(required_low_samples_ * 2, params_.max_down_count);
+            }
+            return;
+        }
+    }
+    low_samples_ = 0;
+}
+
+DevfreqGovernorFactory
+MakeDevfreqCpubwHwmonFactory(CpubwHwmonParams params)
+{
+    return [params](DevfreqPolicy* policy) {
+        return std::make_unique<DevfreqCpubwHwmonGovernor>(policy, params);
+    };
+}
+
+}  // namespace aeo

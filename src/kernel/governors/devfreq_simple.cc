@@ -1,0 +1,68 @@
+#include "kernel/governors/devfreq_simple.h"
+
+#include "common/logging.h"
+
+namespace aeo {
+
+DevfreqUserspaceGovernor::DevfreqUserspaceGovernor(DevfreqPolicy* policy)
+    : policy_(policy)
+{
+    AEO_ASSERT(policy_ != nullptr, "userspace devfreq governor needs a policy");
+}
+
+bool
+DevfreqUserspaceGovernor::SetBandwidth(MegabytesPerSecond bw)
+{
+    policy_->RequestLevel(policy_->table().ClosestLevel(bw));
+    return true;
+}
+
+DevfreqPerformanceGovernor::DevfreqPerformanceGovernor(DevfreqPolicy* policy)
+    : policy_(policy)
+{
+    AEO_ASSERT(policy_ != nullptr, "performance devfreq governor needs a policy");
+}
+
+void
+DevfreqPerformanceGovernor::Start()
+{
+    policy_->RequestLevel(policy_->max_level_limit());
+}
+
+DevfreqPowersaveGovernor::DevfreqPowersaveGovernor(DevfreqPolicy* policy)
+    : policy_(policy)
+{
+    AEO_ASSERT(policy_ != nullptr, "powersave devfreq governor needs a policy");
+}
+
+void
+DevfreqPowersaveGovernor::Start()
+{
+    policy_->RequestLevel(policy_->min_level_limit());
+}
+
+DevfreqGovernorFactory
+MakeDevfreqUserspaceFactory()
+{
+    return [](DevfreqPolicy* policy) {
+        return std::make_unique<DevfreqUserspaceGovernor>(policy);
+    };
+}
+
+DevfreqGovernorFactory
+MakeDevfreqPerformanceFactory()
+{
+    return [](DevfreqPolicy* policy) {
+        return std::make_unique<DevfreqPerformanceGovernor>(policy);
+    };
+}
+
+DevfreqGovernorFactory
+MakeDevfreqPowersaveFactory()
+{
+    return [](DevfreqPolicy* policy) {
+        return std::make_unique<DevfreqPowersaveGovernor>(policy);
+    };
+}
+
+}  // namespace aeo

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The simple devfreq governors: userspace, performance and powersave —
+ * the devfreq counterparts of their cpufreq namesakes (§II-A).
+ */
+#ifndef AEO_KERNEL_GOVERNORS_DEVFREQ_SIMPLE_H_
+#define AEO_KERNEL_GOVERNORS_DEVFREQ_SIMPLE_H_
+
+#include <memory>
+
+#include "kernel/devfreq.h"
+
+namespace aeo {
+
+/** Passive governor actuated from userspace via userspace/set_freq. */
+class DevfreqUserspaceGovernor : public DevfreqGovernor {
+  public:
+    explicit DevfreqUserspaceGovernor(DevfreqPolicy* policy);
+
+    std::string name() const override { return "userspace"; }
+    void Start() override {}
+    void Stop() override {}
+    bool SetBandwidth(MegabytesPerSecond bw) override;
+
+  private:
+    DevfreqPolicy* policy_;
+};
+
+/** Pins the maximum bandwidth. */
+class DevfreqPerformanceGovernor : public DevfreqGovernor {
+  public:
+    explicit DevfreqPerformanceGovernor(DevfreqPolicy* policy);
+
+    std::string name() const override { return "performance"; }
+    void Start() override;
+    void Stop() override {}
+
+  private:
+    DevfreqPolicy* policy_;
+};
+
+/** Pins the minimum bandwidth. */
+class DevfreqPowersaveGovernor : public DevfreqGovernor {
+  public:
+    explicit DevfreqPowersaveGovernor(DevfreqPolicy* policy);
+
+    std::string name() const override { return "powersave"; }
+    void Start() override;
+    void Stop() override {}
+
+  private:
+    DevfreqPolicy* policy_;
+};
+
+/** Factories for registration. */
+DevfreqGovernorFactory MakeDevfreqUserspaceFactory();
+DevfreqGovernorFactory MakeDevfreqPerformanceFactory();
+DevfreqGovernorFactory MakeDevfreqPowersaveFactory();
+
+}  // namespace aeo
+
+#endif  // AEO_KERNEL_GOVERNORS_DEVFREQ_SIMPLE_H_

@@ -1,0 +1,189 @@
+#include "kernel/gpufreq.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace aeo {
+
+void
+GpuBusyMeter::Advance(double busy, SimTime dt)
+{
+    AEO_ASSERT(busy >= 0.0 && busy <= 1.0 + 1e-9, "GPU busy %f out of [0, 1]", busy);
+    AEO_ASSERT(dt >= SimTime::Zero(), "negative interval");
+    busy_seconds_ += busy * dt.seconds();
+    elapsed_ += dt;
+}
+
+GpuFreqPolicy::GpuFreqPolicy(Simulator* sim, GpuDomain* gpu, const GpuBusyMeter* meter,
+                             Sysfs* sysfs, std::string sysfs_root)
+    : sim_(sim), gpu_(gpu), meter_(meter), sysfs_(sysfs), sysfs_root_(std::move(sysfs_root))
+{
+    AEO_ASSERT(sim_ != nullptr && gpu_ != nullptr && meter_ != nullptr &&
+                   sysfs_ != nullptr,
+               "gpufreq policy wired with null dependency");
+    RegisterSysfsFiles();
+}
+
+GpuFreqPolicy::~GpuFreqPolicy()
+{
+    if (governor_) {
+        governor_->Stop();
+    }
+}
+
+void
+GpuFreqPolicy::RegisterGovernor(const std::string& name, GpuGovernorFactory factory)
+{
+    AEO_ASSERT(factory != nullptr, "null GPU governor factory for '%s'", name.c_str());
+    const auto [it, inserted] = factories_.emplace(name, std::move(factory));
+    (void)it;
+    AEO_ASSERT(inserted, "GPU governor '%s' registered twice", name.c_str());
+}
+
+bool
+GpuFreqPolicy::SetGovernor(const std::string& name)
+{
+    const auto it = factories_.find(name);
+    if (it == factories_.end()) {
+        return false;
+    }
+    if (governor_) {
+        governor_->Stop();
+        governor_.reset();
+    }
+    governor_ = it->second(this);
+    AEO_ASSERT(governor_ != nullptr, "GPU factory for '%s' returned null", name.c_str());
+    governor_->Start();
+    return true;
+}
+
+std::string
+GpuFreqPolicy::governor_name() const
+{
+    return governor_ ? governor_->name() : "none";
+}
+
+void
+GpuFreqPolicy::RequestLevel(int level)
+{
+    if (level < 0) {
+        level = 0;
+    }
+    if (level > gpu_->max_level()) {
+        level = gpu_->max_level();
+    }
+    gpu_->SetLevel(level);
+}
+
+void
+GpuFreqPolicy::RegisterSysfsFiles()
+{
+    const auto mhz_of = [this] {
+        return StrFormat("%lld", static_cast<long long>(gpu_->mhz() + 0.5));
+    };
+
+    sysfs_->Register(sysfs_root_ + "/governor",
+                     SysfsFile{
+                         [this] { return governor_name(); },
+                         [this](const std::string& value) { return SetGovernor(Trim(value)); },
+                     });
+
+    sysfs_->Register(sysfs_root_ + "/cur_freq", SysfsFile{mhz_of, nullptr});
+
+    sysfs_->Register(sysfs_root_ + "/available_frequencies",
+                     SysfsFile{[this] {
+                                   std::vector<std::string> fields;
+                                   for (int level = 0; level < gpu_->size(); ++level) {
+                                       fields.push_back(StrFormat(
+                                           "%lld", static_cast<long long>(
+                                                       gpu_->MhzAt(level) + 0.5)));
+                                   }
+                                   return Join(fields, " ");
+                               },
+                               nullptr});
+
+    sysfs_->Register(sysfs_root_ + "/userspace/set_freq",
+                     SysfsFile{
+                         mhz_of,
+                         [this](const std::string& value) {
+                             if (!governor_) {
+                                 return false;
+                             }
+                             long long mhz = 0;
+                             if (!ParseInt64(value, &mhz) || mhz <= 0) {
+                                 return false;
+                             }
+                             return governor_->SetClock(static_cast<double>(mhz));
+                         },
+                     });
+}
+
+AdrenoTzGovernor::AdrenoTzGovernor(GpuFreqPolicy* policy, AdrenoTzParams params)
+    : policy_(policy), params_(params), timer_(policy->sim(), [this] { Sample(); })
+{
+    AEO_ASSERT(policy_ != nullptr, "adreno-tz governor needs a policy");
+    AEO_ASSERT(params_.down_threshold < params_.up_threshold,
+               "thresholds out of order");
+}
+
+void
+AdrenoTzGovernor::Start()
+{
+    policy_->SyncMeters();
+    last_busy_seconds_ = policy_->busy_meter()->busy_seconds();
+    last_elapsed_ = policy_->busy_meter()->elapsed();
+    timer_.Start(params_.sampling_period);
+}
+
+void
+AdrenoTzGovernor::Stop()
+{
+    timer_.Stop();
+}
+
+void
+AdrenoTzGovernor::Sample()
+{
+    policy_->SyncMeters();
+    const double busy_seconds = policy_->busy_meter()->busy_seconds();
+    const SimTime elapsed = policy_->busy_meter()->elapsed();
+    const double dt = (elapsed - last_elapsed_).seconds();
+    const double busy = dt > 0.0 ? (busy_seconds - last_busy_seconds_) / dt : 0.0;
+    last_busy_seconds_ = busy_seconds;
+    last_elapsed_ = elapsed;
+
+    const int level = policy_->current_level();
+    if (busy > params_.up_threshold) {
+        policy_->RequestLevel(level + 1);
+    } else if (busy < params_.down_threshold) {
+        policy_->RequestLevel(level - 1);
+    }
+}
+
+GpuGovernorFactory
+MakeAdrenoTzFactory(AdrenoTzParams params)
+{
+    return [params](GpuFreqPolicy* policy) {
+        return std::make_unique<AdrenoTzGovernor>(policy, params);
+    };
+}
+
+GpuGovernorFactory
+MakeGpuUserspaceFactory()
+{
+    return [](GpuFreqPolicy* policy) {
+        return std::make_unique<GpuUserspaceGovernor>(policy);
+    };
+}
+
+GpuGovernorFactory
+MakeGpuPerformanceFactory()
+{
+    return [](GpuFreqPolicy* policy) {
+        return std::make_unique<GpuPerformanceGovernor>(policy);
+    };
+}
+
+}  // namespace aeo

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * The GPU frequency policy (kgsl devfreq on Android): pluggable governors
+ * over the GpuDomain, with the msm-adreno-tz busy-threshold governor as the
+ * Android default and a userspace governor for the extended controller
+ * (§VII: "include GPU frequencies ... into the control system framework").
+ */
+#ifndef AEO_KERNEL_GPUFREQ_H_
+#define AEO_KERNEL_GPUFREQ_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "kernel/sysfs.h"
+#include "sim/periodic_task.h"
+#include "sim/simulator.h"
+#include "soc/gpu_domain.h"
+
+namespace aeo {
+
+/** Accumulates GPU busy time for governor sampling. */
+class GpuBusyMeter {
+  public:
+    /** Adds @p dt during which the GPU was @p busy (fraction in [0, 1]). */
+    void Advance(double busy, SimTime dt);
+
+    /** Integral of the busy fraction, seconds. */
+    double busy_seconds() const { return busy_seconds_; }
+
+    /** Total wall time observed. */
+    SimTime elapsed() const { return elapsed_; }
+
+  private:
+    double busy_seconds_ = 0.0;
+    SimTime elapsed_;
+};
+
+class GpuFreqPolicy;
+
+/** Base class for GPU governors. */
+class GpuGovernor {
+  public:
+    virtual ~GpuGovernor() = default;
+    virtual std::string name() const = 0;
+    virtual void Start() = 0;
+    virtual void Stop() = 0;
+    /** userspace set_freq hook (MHz); only userspace accepts. */
+    virtual bool SetClock(double) { return false; }
+};
+
+/** Factory producing a governor bound to a policy. */
+using GpuGovernorFactory = std::function<std::unique_ptr<GpuGovernor>(GpuFreqPolicy*)>;
+
+/** The GPU frequency domain policy. */
+class GpuFreqPolicy {
+  public:
+    GpuFreqPolicy(Simulator* sim, GpuDomain* gpu, const GpuBusyMeter* meter,
+                  Sysfs* sysfs, std::string sysfs_root);
+    ~GpuFreqPolicy();
+
+    GpuFreqPolicy(const GpuFreqPolicy&) = delete;
+    GpuFreqPolicy& operator=(const GpuFreqPolicy&) = delete;
+
+    /** Registers a governor; panics on duplicates. */
+    void RegisterGovernor(const std::string& name, GpuGovernorFactory factory);
+
+    /** Switches governors; false for unknown names. */
+    bool SetGovernor(const std::string& name);
+
+    /** Active governor name ("none" before the first SetGovernor). */
+    std::string governor_name() const;
+
+    // --- Interface used by governors -------------------------------------
+    void RequestLevel(int level);
+    int current_level() const { return gpu_->level(); }
+    GpuDomain& gpu() { return *gpu_; }
+    const GpuBusyMeter* busy_meter() const { return meter_; }
+    Simulator* sim() const { return sim_; }
+
+    /** Meter sync hook (the device integrates lazily). */
+    void SetSyncHook(std::function<void()> hook) { sync_hook_ = std::move(hook); }
+    void
+    SyncMeters() const
+    {
+        if (sync_hook_) {
+            sync_hook_();
+        }
+    }
+
+  private:
+    void RegisterSysfsFiles();
+
+    Simulator* sim_;
+    GpuDomain* gpu_;
+    const GpuBusyMeter* meter_;
+    Sysfs* sysfs_;
+    std::string sysfs_root_;
+    std::map<std::string, GpuGovernorFactory> factories_;
+    std::unique_ptr<GpuGovernor> governor_;
+    std::function<void()> sync_hook_;
+};
+
+/** Tunables of the msm-adreno-tz-like busy-threshold governor. */
+struct AdrenoTzParams {
+    SimTime sampling_period = SimTime::Millis(50);
+    /** Busy fraction above which the clock steps up. */
+    double up_threshold = 0.70;
+    /** Busy fraction below which the clock steps down. */
+    double down_threshold = 0.30;
+};
+
+/** The Android default GPU governor: steps one level on busy thresholds. */
+class AdrenoTzGovernor : public GpuGovernor {
+  public:
+    AdrenoTzGovernor(GpuFreqPolicy* policy, AdrenoTzParams params = {});
+
+    std::string name() const override { return "msm-adreno-tz"; }
+    void Start() override;
+    void Stop() override;
+
+  private:
+    void Sample();
+
+    GpuFreqPolicy* policy_;
+    AdrenoTzParams params_;
+    PeriodicTask timer_;
+    double last_busy_seconds_ = 0.0;
+    SimTime last_elapsed_;
+};
+
+/** Passive governor actuated from userspace (the extended controller). */
+class GpuUserspaceGovernor : public GpuGovernor {
+  public:
+    explicit GpuUserspaceGovernor(GpuFreqPolicy* policy) : policy_(policy) {}
+
+    std::string name() const override { return "userspace"; }
+    void Start() override {}
+    void Stop() override {}
+    bool
+    SetClock(double mhz) override
+    {
+        policy_->RequestLevel(policy_->gpu().ClosestLevel(mhz));
+        return true;
+    }
+
+  private:
+    GpuFreqPolicy* policy_;
+};
+
+/** Pins the maximum clock. */
+class GpuPerformanceGovernor : public GpuGovernor {
+  public:
+    explicit GpuPerformanceGovernor(GpuFreqPolicy* policy) : policy_(policy) {}
+    std::string name() const override { return "performance"; }
+    void Start() override { policy_->RequestLevel(policy_->gpu().max_level()); }
+    void Stop() override {}
+
+  private:
+    GpuFreqPolicy* policy_;
+};
+
+GpuGovernorFactory MakeAdrenoTzFactory(AdrenoTzParams params = {});
+GpuGovernorFactory MakeGpuUserspaceFactory();
+GpuGovernorFactory MakeGpuPerformanceFactory();
+
+}  // namespace aeo
+
+#endif  // AEO_KERNEL_GPUFREQ_H_

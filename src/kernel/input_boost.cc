@@ -1,0 +1,46 @@
+#include "kernel/input_boost.h"
+
+#include "common/logging.h"
+
+namespace aeo {
+
+InputBoost::InputBoost(Simulator* sim, CpufreqPolicy* policy, InputBoostParams params)
+    : sim_(sim), policy_(policy), params_(params)
+{
+    AEO_ASSERT(sim_ != nullptr && policy_ != nullptr, "input boost wired with nulls");
+    AEO_ASSERT(params_.duration > SimTime::Zero(), "boost duration must be positive");
+}
+
+void
+InputBoost::OnTouch()
+{
+    ++touch_count_;
+    boost_until_ = sim_->Now() + params_.duration;
+    if (!boosted_) {
+        boosted_ = true;
+        saved_min_level_ = policy_->min_level_limit();
+        const int boost_level =
+            policy_->table().LevelAtOrAbove(params_.boost_freq);
+        if (boost_level > saved_min_level_) {
+            policy_->SetLevelLimits(boost_level, policy_->max_level_limit());
+        }
+        sim_->ScheduleAfter(params_.duration, [this] { Expire(); });
+    }
+}
+
+void
+InputBoost::Expire()
+{
+    if (!boosted_) {
+        return;
+    }
+    if (sim_->Now() < boost_until_) {
+        // A later touch extended the window; re-arm for the remainder.
+        sim_->ScheduleAt(boost_until_, [this] { Expire(); });
+        return;
+    }
+    boosted_ = false;
+    policy_->SetLevelLimits(saved_min_level_, policy_->max_level_limit());
+}
+
+}  // namespace aeo

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Touch-event frequency boost.
+ *
+ * Android kernels raise the CPU frequency floor when the screen is touched
+ * so the first frames of an interaction are fast. The paper *disables* this
+ * ("a kernel compilation feature which causes CPU frequency boost on a
+ * screen touch event is also disabled to help record reliable power data",
+ * §IV-A). Implemented so its distortion of power measurements can be
+ * demonstrated, and disabled by default like the paper's build.
+ */
+#ifndef AEO_KERNEL_INPUT_BOOST_H_
+#define AEO_KERNEL_INPUT_BOOST_H_
+
+#include <cstdint>
+
+#include "kernel/cpufreq.h"
+#include "sim/simulator.h"
+
+namespace aeo {
+
+/** Tunables of the input boost. */
+struct InputBoostParams {
+    /** Frequency floor applied on a touch (Nexus 6 boosts to ~1.5 GHz). */
+    Gigahertz boost_freq{1.4976};
+    /** How long the floor holds after the last touch. */
+    SimTime duration = SimTime::Millis(1500);
+};
+
+/** Raises the cpufreq minimum for a window after each touch event. */
+class InputBoost {
+  public:
+    /**
+     * @param sim    Simulation executive; must outlive this.
+     * @param policy The boosted policy; must outlive this.
+     */
+    InputBoost(Simulator* sim, CpufreqPolicy* policy, InputBoostParams params = {});
+
+    /** A touch arrived: apply (or extend) the boost floor. */
+    void OnTouch();
+
+    /** Number of touches processed. */
+    uint64_t touch_count() const { return touch_count_; }
+
+    /** True while the floor is raised. */
+    bool boosted() const { return boosted_; }
+
+  private:
+    void Expire();
+
+    Simulator* sim_;
+    CpufreqPolicy* policy_;
+    InputBoostParams params_;
+    int saved_min_level_ = 0;
+    SimTime boost_until_;
+    bool boosted_ = false;
+    uint64_t touch_count_ = 0;
+};
+
+}  // namespace aeo
+
+#endif  // AEO_KERNEL_INPUT_BOOST_H_

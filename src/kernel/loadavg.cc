@@ -1,0 +1,29 @@
+#include "kernel/loadavg.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace aeo {
+
+namespace {
+constexpr double kWindowSeconds = 60.0;
+}  // namespace
+
+LoadAvg::LoadAvg(double resident_tasks)
+    : resident_tasks_(resident_tasks), value_(resident_tasks)
+{
+    AEO_ASSERT(resident_tasks >= 0.0, "negative resident task pressure");
+}
+
+void
+LoadAvg::Advance(double runnable, SimTime dt)
+{
+    AEO_ASSERT(runnable >= 0.0, "negative runnable count");
+    AEO_ASSERT(dt >= SimTime::Zero(), "negative interval");
+    const double alpha = std::exp(-dt.seconds() / kWindowSeconds);
+    const double target = resident_tasks_ + runnable;
+    value_ = value_ * alpha + target * (1.0 - alpha);
+}
+
+}  // namespace aeo

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * A /proc/loadavg model: exponentially-smoothed runnable-task count. The
+ * paper uses it to characterize its three background-load scenarios
+ * (§V-C reports 6.3 / 6.7 / 6.6 for BL / NL / HL).
+ */
+#ifndef AEO_KERNEL_LOADAVG_H_
+#define AEO_KERNEL_LOADAVG_H_
+
+#include "sim/time.h"
+
+namespace aeo {
+
+/** One-minute exponentially-weighted runnable-task average. */
+class LoadAvg {
+  public:
+    /** @param resident_tasks Baseline runnable+resident task pressure. */
+    explicit LoadAvg(double resident_tasks = 0.0);
+
+    /**
+     * Advances the average over @p dt during which @p runnable tasks
+     * (busy cores plus queue) were active on top of the resident pressure.
+     */
+    void Advance(double runnable, SimTime dt);
+
+    /** Current one-minute average. */
+    double value() const { return value_; }
+
+    /** Changes the resident pressure (background-load switches). */
+    void set_resident_tasks(double tasks) { resident_tasks_ = tasks; }
+
+  private:
+    double resident_tasks_;
+    double value_;
+};
+
+}  // namespace aeo
+
+#endif  // AEO_KERNEL_LOADAVG_H_

@@ -1,0 +1,58 @@
+#include "kernel/mpdecision.h"
+
+#include "common/logging.h"
+
+namespace aeo {
+
+Mpdecision::Mpdecision(Simulator* sim, CpuCluster* cluster,
+                       const CpuLoadMeter* load_meter, MpdecisionParams params)
+    : sim_(sim),
+      cluster_(cluster),
+      load_meter_(load_meter),
+      params_(params),
+      timer_(sim, [this] { Sample(); })
+{
+    AEO_ASSERT(sim_ != nullptr && cluster_ != nullptr && load_meter_ != nullptr,
+               "mpdecision wired with null dependency");
+    AEO_ASSERT(params_.min_online >= 1, "at least one core must stay online");
+    AEO_ASSERT(params_.offline_threshold < params_.online_threshold,
+               "thresholds out of order");
+}
+
+void
+Mpdecision::Start()
+{
+    window_.emplace(load_meter_);
+    timer_.Start(params_.sampling_period);
+}
+
+void
+Mpdecision::Stop()
+{
+    timer_.Stop();
+    window_.reset();
+    if (cluster_->online_cores() != cluster_->num_cores()) {
+        cluster_->SetOnlineCores(cluster_->num_cores());
+        ++transition_count_;
+    }
+}
+
+void
+Mpdecision::Sample()
+{
+    if (sync_hook_) {
+        sync_hook_();
+    }
+    const int online = cluster_->online_cores();
+    const double load = window_->SampleLoad(online);
+
+    if (load > params_.online_threshold && online < cluster_->num_cores()) {
+        cluster_->SetOnlineCores(online + 1);
+        ++transition_count_;
+    } else if (load < params_.offline_threshold && online > params_.min_online) {
+        cluster_->SetOnlineCores(online - 1);
+        ++transition_count_;
+    }
+}
+
+}  // namespace aeo

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The mpdecision hotplug policy.
+ *
+ * Qualcomm's userspace daemon onlines/offlines cores based on load. The
+ * paper *disables* it during experiments because hotplugging "can lead to
+ * inaccurate measurements" (§IV-A) — offlined cores change both the power
+ * baseline and the capacity mid-measurement. It is implemented here so the
+ * repository can demonstrate exactly that distortion
+ * (bench/ablation_mpdecision) and so device studies can opt back in.
+ */
+#ifndef AEO_KERNEL_MPDECISION_H_
+#define AEO_KERNEL_MPDECISION_H_
+
+#include <optional>
+
+#include "kernel/meters.h"
+#include "sim/periodic_task.h"
+#include "sim/simulator.h"
+#include "soc/cpu_cluster.h"
+
+namespace aeo {
+
+/** Tunables of the hotplug policy. */
+struct MpdecisionParams {
+    /** Load sampling period. */
+    SimTime sampling_period = SimTime::Millis(100);
+    /** Per-online-core busy fraction above which a core is onlined. */
+    double online_threshold = 0.80;
+    /** Per-online-core busy fraction below which a core is offlined. */
+    double offline_threshold = 0.30;
+    /** Cores that always stay online. */
+    int min_online = 1;
+};
+
+/** Load-threshold CPU hotplug, one core per decision. */
+class Mpdecision {
+  public:
+    /**
+     * @param sim        Simulation executive; must outlive this.
+     * @param cluster    The managed cluster; must outlive this.
+     * @param load_meter Busy-time accounting to sample.
+     * @param params     Thresholds.
+     */
+    Mpdecision(Simulator* sim, CpuCluster* cluster, const CpuLoadMeter* load_meter,
+               MpdecisionParams params = {});
+
+    /** Starts making hotplug decisions. */
+    void Start();
+
+    /** Stops; online cores are restored to the full count (the paper's
+     * experimental configuration). */
+    void Stop();
+
+    /** True while active. */
+    bool running() const { return timer_.running(); }
+
+    /** Number of hotplug transitions performed. */
+    uint64_t transition_count() const { return transition_count_; }
+
+    /** Registers a meter-sync hook (the device integrates lazily). */
+    void SetSyncHook(std::function<void()> hook) { sync_hook_ = std::move(hook); }
+
+  private:
+    void Sample();
+
+    Simulator* sim_;
+    CpuCluster* cluster_;
+    const CpuLoadMeter* load_meter_;
+    MpdecisionParams params_;
+    PeriodicTask timer_;
+    std::optional<CpuLoadWindow> window_;
+    std::function<void()> sync_hook_;
+    uint64_t transition_count_ = 0;
+};
+
+}  // namespace aeo
+
+#endif  // AEO_KERNEL_MPDECISION_H_

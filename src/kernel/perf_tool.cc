@@ -1,0 +1,94 @@
+#include "kernel/perf_tool.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace aeo {
+
+PerfTool::PerfTool(Simulator* sim, const Pmu* pmu, uint64_t rng_seed,
+                   PerfToolConfig config)
+    : sim_(sim),
+      pmu_(pmu),
+      rng_(rng_seed),
+      config_(config),
+      period_(std::max(config.sampling_period, kMinSamplingPeriod)),
+      task_(sim, [this] { TakeSample(); })
+{
+    AEO_ASSERT(sim_ != nullptr && pmu_ != nullptr, "perf tool wired with nulls");
+    AEO_ASSERT(config_.cpu_overhead_at_1s >= 0.0 && config_.cpu_overhead_at_1s < 1.0,
+               "cpu overhead %f out of [0, 1)", config_.cpu_overhead_at_1s);
+    if (config.sampling_period < kMinSamplingPeriod) {
+        Warn("perf sampling period %lld ms below the 100 ms floor; clamped",
+             static_cast<long long>(config.sampling_period.millis()));
+    }
+}
+
+void
+PerfTool::Start()
+{
+    if (sync_hook_) {
+        sync_hook_();
+    }
+    last_instr_reading_ = pmu_->giga_instructions();
+    task_.Start(period_);
+}
+
+void
+PerfTool::Stop()
+{
+    task_.Stop();
+}
+
+double
+PerfTool::cpu_overhead_fraction() const
+{
+    if (!task_.running()) {
+        return 0.0;
+    }
+    // The paper measured 40 % overhead at a 100 ms period and 4 % at 1 s:
+    // overhead scales with the sampling frequency.
+    return std::min(0.9, config_.cpu_overhead_at_1s / period_.seconds());
+}
+
+double
+PerfTool::power_overhead_mw() const
+{
+    if (!task_.running()) {
+        return 0.0;
+    }
+    return config_.power_overhead_mw / period_.seconds();
+}
+
+void
+PerfTool::TakeSample()
+{
+    if (sync_hook_) {
+        sync_hook_();
+    }
+    const double instr = pmu_->giga_instructions();
+    const double true_gips = (instr - last_instr_reading_) / period_.seconds();
+    last_instr_reading_ = instr;
+    const double measured =
+        std::max(0.0, true_gips * (1.0 + rng_.Gaussian(0.0, config_.noise_rel_stddev)));
+    last_sample_ = GipsSample{sim_->Now(), measured};
+    ++sample_count_;
+    window_sum_ += measured;
+    ++window_count_;
+}
+
+double
+PerfTool::DrainWindowAverage()
+{
+    double result;
+    if (window_count_ > 0) {
+        result = window_sum_ / static_cast<double>(window_count_);
+    } else {
+        result = last_sample_.gips;
+    }
+    window_sum_ = 0.0;
+    window_count_ = 0;
+    return result;
+}
+
+}  // namespace aeo

@@ -1,0 +1,19 @@
+#include "kernel/pmu.h"
+
+#include "common/logging.h"
+
+namespace aeo {
+
+void
+Pmu::Advance(double gips, double freq_ghz, double busy_cores, double gbps, SimTime dt)
+{
+    AEO_ASSERT(gips >= 0.0 && freq_ghz >= 0.0 && busy_cores >= 0.0 && gbps >= 0.0,
+               "negative PMU rates");
+    AEO_ASSERT(dt >= SimTime::Zero(), "negative PMU interval");
+    const double seconds = dt.seconds();
+    giga_instructions_ += gips * seconds;
+    giga_cycles_ += freq_ghz * busy_cores * seconds;
+    traffic_gb_ += gbps * seconds;
+}
+
+}  // namespace aeo

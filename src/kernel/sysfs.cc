@@ -1,0 +1,68 @@
+#include "kernel/sysfs.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace aeo {
+
+void
+Sysfs::Register(const std::string& path, SysfsFile file)
+{
+    AEO_ASSERT(!path.empty() && path.front() == '/', "sysfs path must be absolute: '%s'",
+               path.c_str());
+    AEO_ASSERT(file.read != nullptr, "sysfs file '%s' needs a reader", path.c_str());
+    const auto [it, inserted] = files_.emplace(path, std::move(file));
+    (void)it;
+    AEO_ASSERT(inserted, "sysfs path '%s' registered twice", path.c_str());
+}
+
+void
+Sysfs::Unregister(const std::string& path)
+{
+    files_.erase(path);
+}
+
+bool
+Sysfs::Exists(const std::string& path) const
+{
+    return files_.find(path) != files_.end();
+}
+
+std::string
+Sysfs::Read(const std::string& path) const
+{
+    const auto it = files_.find(path);
+    if (it == files_.end()) {
+        Fatal("sysfs read of nonexistent file '%s'", path.c_str());
+    }
+    return it->second.read();
+}
+
+bool
+Sysfs::Write(const std::string& path, const std::string& value)
+{
+    const auto it = files_.find(path);
+    if (it == files_.end()) {
+        Fatal("sysfs write to nonexistent file '%s'", path.c_str());
+    }
+    if (it->second.write == nullptr) {
+        Fatal("sysfs write to read-only file '%s'", path.c_str());
+    }
+    return it->second.write(value);
+}
+
+std::vector<std::string>
+Sysfs::List(const std::string& prefix) const
+{
+    std::vector<std::string> out;
+    for (const auto& [path, file] : files_) {
+        if (StartsWith(path, prefix)) {
+            out.push_back(path);
+        }
+    }
+    return out;
+}
+
+}  // namespace aeo

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * A virtual sysfs: the string-valued file tree through which Android
+ * userspace (and our controller, exactly like the paper's) reads and writes
+ * kernel tunables such as scaling_governor and scaling_setspeed (§IV-A).
+ */
+#ifndef AEO_KERNEL_SYSFS_H_
+#define AEO_KERNEL_SYSFS_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace aeo {
+
+/** Read/write hooks backing one sysfs file. */
+struct SysfsFile {
+    /** Produces the file's current contents; required. */
+    std::function<std::string()> read;
+    /** Consumes a write; returns false to signal EINVAL. Null = read-only. */
+    std::function<bool(const std::string&)> write;
+};
+
+/** A tree of virtual files addressed by absolute slash-separated paths. */
+class Sysfs {
+  public:
+    Sysfs() = default;
+
+    /** Registers a file; panics if the path is already taken. */
+    void Register(const std::string& path, SysfsFile file);
+
+    /** Removes a file if present. */
+    void Unregister(const std::string& path);
+
+    /** True if a file exists at @p path. */
+    bool Exists(const std::string& path) const;
+
+    /** Reads a file; Fatal() if it does not exist. */
+    std::string Read(const std::string& path) const;
+
+    /**
+     * Writes a file.
+     *
+     * Fatal() if the file does not exist or is read-only; returns the file's
+     * acceptance of the value (false = invalid value, like EINVAL).
+     */
+    bool Write(const std::string& path, const std::string& value);
+
+    /** All registered paths with the given prefix, sorted. */
+    std::vector<std::string> List(const std::string& prefix) const;
+
+  private:
+    std::map<std::string, SysfsFile> files_;
+};
+
+}  // namespace aeo
+
+#endif  // AEO_KERNEL_SYSFS_H_

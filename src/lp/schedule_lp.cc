@@ -1,0 +1,33 @@
+#include "lp/schedule_lp.h"
+
+#include "common/logging.h"
+
+namespace aeo {
+
+LpProblem
+BuildScheduleLp(const std::vector<double>& speedups, const std::vector<double>& powers,
+                double required_speedup, double cycle_seconds)
+{
+    AEO_ASSERT(!speedups.empty(), "empty speedup vector");
+    AEO_ASSERT(speedups.size() == powers.size(), "speedup/power size mismatch: %zu vs %zu",
+               speedups.size(), powers.size());
+    AEO_ASSERT(cycle_seconds > 0.0, "cycle duration must be positive");
+
+    LpProblem problem;
+    problem.objective = powers;                      // (4): min uᵀ·P
+    problem.eq_lhs.push_back(speedups);              // (5): Sᵀ·u = s_n·T
+    problem.eq_rhs.push_back(required_speedup * cycle_seconds);
+    problem.eq_lhs.emplace_back(speedups.size(), 1.0);  // (6): 1ᵀ·u = T
+    problem.eq_rhs.push_back(cycle_seconds);
+    return problem;
+}
+
+LpSolution
+SolveScheduleLp(const std::vector<double>& speedups, const std::vector<double>& powers,
+                double required_speedup, double cycle_seconds)
+{
+    return SolveSimplex(
+        BuildScheduleLp(speedups, powers, required_speedup, cycle_seconds));
+}
+
+}  // namespace aeo

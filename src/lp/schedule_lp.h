@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Builder for the paper's energy-minimization linear program
+ * (§III-B3, equations (4)–(7)):
+ *
+ *     min   uᵀ·P                      (4)  energy objective
+ *     s.t.  Sᵀ·u = s_n · T            (5)  performance constraint
+ *           1ᵀ·u = T                  (6)  cycle-budget constraint
+ *           0 ≤ u ≤ T                 (7)
+ *
+ * where u is the per-configuration dwell-time vector, S and P the profiled
+ * speedup and power vectors, s_n the required speedup and T the control
+ * cycle duration. The upper bounds u ≤ T are implied by (6) and u ≥ 0, so
+ * the program maps directly onto the standard-form simplex solver.
+ */
+#ifndef AEO_LP_SCHEDULE_LP_H_
+#define AEO_LP_SCHEDULE_LP_H_
+
+#include <vector>
+
+#include "lp/simplex.h"
+
+namespace aeo {
+
+/** Builds the LP (4)–(7) over the given speedup/power columns. */
+LpProblem BuildScheduleLp(const std::vector<double>& speedups,
+                          const std::vector<double>& powers,
+                          double required_speedup, double cycle_seconds);
+
+/**
+ * Solves the schedule LP with the general simplex solver.
+ *
+ * @return per-configuration dwell times (seconds); infeasible → empty
+ *         solution with feasible=false.
+ */
+LpSolution SolveScheduleLp(const std::vector<double>& speedups,
+                           const std::vector<double>& powers,
+                           double required_speedup, double cycle_seconds);
+
+}  // namespace aeo
+
+#endif  // AEO_LP_SCHEDULE_LP_H_

@@ -1,0 +1,49 @@
+#include "power/battery.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace aeo {
+
+Battery::Battery(BatteryParams params) : params_(params)
+{
+    AEO_ASSERT(params_.capacity_mah > 0.0, "battery capacity must be positive");
+    AEO_ASSERT(params_.nominal_volts > 0.0, "battery voltage must be positive");
+}
+
+Joules
+Battery::FullEnergy() const
+{
+    // mAh → C: ×3.6; C × V → J.
+    return Joules(params_.capacity_mah * 3.6 * params_.nominal_volts);
+}
+
+void
+Battery::Drain(Joules energy)
+{
+    AEO_ASSERT(energy.value() >= 0.0, "cannot drain negative energy");
+    drained_ += energy;
+    drained_ = Joules(std::min(drained_.value(), FullEnergy().value()));
+}
+
+Joules
+Battery::RemainingEnergy() const
+{
+    return FullEnergy() - drained_;
+}
+
+double
+Battery::StateOfCharge() const
+{
+    return RemainingEnergy().value() / FullEnergy().value();
+}
+
+SimTime
+Battery::TimeToEmpty(Milliwatts power) const
+{
+    AEO_ASSERT(power.value() > 0.0, "draw must be positive");
+    return SimTime::FromSecondsF(RemainingEnergy().value() / power.watts());
+}
+
+}  // namespace aeo

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Simple battery model: a charge reservoir drained by device energy. Used by
+ * examples to translate the controller's energy savings into battery life,
+ * the end-user metric the paper motivates with (§I).
+ */
+#ifndef AEO_POWER_BATTERY_H_
+#define AEO_POWER_BATTERY_H_
+
+#include "common/units.h"
+#include "sim/time.h"
+
+namespace aeo {
+
+/** Battery parameters (Nexus 6 ships a 3220 mAh, 3.8 V nominal pack). */
+struct BatteryParams {
+    double capacity_mah = 3220.0;
+    double nominal_volts = 3.8;
+};
+
+/** A charge reservoir with state-of-charge tracking. */
+class Battery {
+  public:
+    explicit Battery(BatteryParams params = {});
+
+    /** Full-charge energy content. */
+    Joules FullEnergy() const;
+
+    /** Drains @p energy; charge floors at zero. */
+    void Drain(Joules energy);
+
+    /** Remaining energy. */
+    Joules RemainingEnergy() const;
+
+    /** State of charge in [0, 1]. */
+    double StateOfCharge() const;
+
+    /** True once the battery is exhausted. */
+    bool Empty() const { return drained_.value() >= FullEnergy().value(); }
+
+    /**
+     * Time to empty at a constant draw of @p power from the current state
+     * of charge.
+     */
+    SimTime TimeToEmpty(Milliwatts power) const;
+
+  private:
+    BatteryParams params_;
+    Joules drained_;
+};
+
+}  // namespace aeo
+
+#endif  // AEO_POWER_BATTERY_H_

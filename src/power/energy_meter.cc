@@ -1,0 +1,32 @@
+#include "power/energy_meter.h"
+
+#include "common/logging.h"
+
+namespace aeo {
+
+void
+EnergyMeter::Accumulate(Milliwatts power, SimTime duration)
+{
+    AEO_ASSERT(duration >= SimTime::Zero(), "negative accumulation interval");
+    AEO_ASSERT(power.value() >= 0.0, "negative power %f mW", power.value());
+    energy_ += power * duration.ToSeconds();
+    elapsed_ += duration;
+}
+
+Milliwatts
+EnergyMeter::AveragePower() const
+{
+    if (elapsed_ == SimTime::Zero()) {
+        return Milliwatts(0.0);
+    }
+    return ::aeo::AveragePower(energy_, elapsed_.ToSeconds());
+}
+
+void
+EnergyMeter::Reset()
+{
+    energy_ = Joules(0.0);
+    elapsed_ = SimTime::Zero();
+}
+
+}  // namespace aeo

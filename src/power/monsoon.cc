@@ -1,0 +1,84 @@
+#include "power/monsoon.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace aeo {
+
+MonsoonMonitor::MonsoonMonitor(Simulator* sim,
+                               std::function<Milliwatts()> power_source,
+                               uint64_t rng_seed, MonsoonConfig config)
+    : sim_(sim),
+      power_source_(std::move(power_source)),
+      rng_(rng_seed),
+      config_(config),
+      task_(sim, [this] { TakeSample(); })
+{
+    AEO_ASSERT(sim_ != nullptr, "monitor needs a simulator");
+    AEO_ASSERT(power_source_ != nullptr, "monitor needs a power source");
+    AEO_ASSERT(config_.sample_hz > 0.0, "sample rate must be positive");
+    AEO_ASSERT(config_.noise_rel_stddev >= 0.0, "negative noise level");
+}
+
+void
+MonsoonMonitor::Start()
+{
+    start_time_ = sim_->Now();
+    last_sample_time_ = start_time_;
+    task_.Start(SimTime::FromSecondsF(1.0 / config_.sample_hz));
+}
+
+void
+MonsoonMonitor::Stop()
+{
+    task_.Stop();
+}
+
+void
+MonsoonMonitor::TakeSample()
+{
+    const double true_mw = power_source_().value();
+    const double measured_mw =
+        true_mw * (1.0 + rng_.Gaussian(0.0, config_.noise_rel_stddev));
+    power_sum_mw_ += measured_mw;
+    ++sample_count_;
+    last_sample_time_ = sim_->Now();
+    if (config_.trace_decimation > 0 &&
+        sample_count_ % static_cast<uint64_t>(config_.trace_decimation) == 0) {
+        trace_.push_back(PowerSample{sim_->Now(), Milliwatts(measured_mw)});
+    }
+}
+
+Milliwatts
+MonsoonMonitor::MeasuredAveragePower() const
+{
+    if (sample_count_ == 0) {
+        return Milliwatts(0.0);
+    }
+    return Milliwatts(power_sum_mw_ / static_cast<double>(sample_count_));
+}
+
+Joules
+MonsoonMonitor::MeasuredEnergy() const
+{
+    return MeasuredAveragePower() * ObservedDuration().ToSeconds();
+}
+
+SimTime
+MonsoonMonitor::ObservedDuration() const
+{
+    return last_sample_time_ - start_time_;
+}
+
+void
+MonsoonMonitor::Reset()
+{
+    power_sum_mw_ = 0.0;
+    sample_count_ = 0;
+    trace_.clear();
+    start_time_ = sim_->Now();
+    last_sample_time_ = start_time_;
+}
+
+}  // namespace aeo

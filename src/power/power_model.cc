@@ -1,0 +1,75 @@
+#include "power/power_model.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace aeo {
+
+PowerModel::PowerModel(PowerModelParams params) : params_(params)
+{
+    AEO_ASSERT(params_.base_mw >= 0.0, "negative base power");
+    AEO_ASSERT(params_.cpu_dyn_mw_per_ghz_v2 > 0.0, "dynamic coefficient must be positive");
+    AEO_ASSERT(params_.cpu_idle_residue >= 0.0 && params_.cpu_idle_residue < 1.0,
+               "idle residue %f out of [0, 1)", params_.cpu_idle_residue);
+}
+
+PowerBreakdown
+PowerModel::Compute(const PowerInputs& inputs) const
+{
+    AEO_ASSERT(inputs.online_cores >= 1, "no cores online");
+    AEO_ASSERT(inputs.busy_cores >= 0.0, "negative busy cores");
+    AEO_ASSERT(inputs.bw_level >= 0, "negative bandwidth level");
+
+    PowerBreakdown out;
+    const double v = inputs.cpu_voltage.value();
+    const double f = inputs.cpu_freq.value();
+    const double cores = static_cast<double>(inputs.online_cores);
+    const double busy = std::min(inputs.busy_cores, cores);
+    const double idle = cores - busy;
+
+    const double dyn_unit = params_.cpu_dyn_mw_per_ghz_v2 * f * v * v;
+    out.cpu_mw = dyn_unit * (busy + params_.cpu_idle_residue * idle) +
+                 params_.cpu_leak_mw_per_v3 * v * v * v * cores;
+
+    const double gv = inputs.gpu_voltage.value();
+    out.gpu_mw = params_.gpu_dyn_mw_per_mhz_v2 * inputs.gpu_mhz * gv * gv *
+                     inputs.gpu_busy +
+                 params_.gpu_leak_mw_per_v3 * gv * gv * gv;
+
+    out.mem_mw = params_.mem_static_mw +
+                 params_.mem_mw_per_level * static_cast<double>(inputs.bw_level) +
+                 params_.mem_mw_per_gbps * inputs.mem_gbps;
+
+    out.base_mw = params_.base_mw;
+    out.app_component_mw = inputs.app_component_mw;
+    out.overhead_mw = inputs.overhead_mw;
+    return out;
+}
+
+Milliwatts
+PowerModel::TotalPower(const PowerInputs& inputs) const
+{
+    return Milliwatts(Compute(inputs).total_mw());
+}
+
+PowerModelParams
+MakeNexus6PowerParams()
+{
+    // Calibrated against the paper's Table I (AngryBirds):
+    //   (0.3 GHz, 762 MBps)  → ~1623 mW
+    //   (0.3 GHz, 3051 MBps) → ~1742 mW   (≈29.6 mW per bandwidth level)
+    //   (0.8832 GHz, 762)    → ~2219 mW at speedup 1.837
+    // See tests/soc/nexus6_calibration_test.cc for the locked anchors.
+    PowerModelParams params;
+    params.base_mw = 472.0;  // the idle GPU rail carries ~15 mW of leakage
+    params.cpu_dyn_mw_per_ghz_v2 = 953.0;
+    params.cpu_idle_residue = 0.14;
+    params.cpu_leak_mw_per_v3 = 110.0;
+    params.mem_static_mw = 120.0;
+    params.mem_mw_per_level = 29.6;
+    params.mem_mw_per_gbps = 60.0;
+    return params;
+}
+
+}  // namespace aeo

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The whole-device power model.
+ *
+ * The paper measures the *entire device* with a Monsoon power monitor
+ * (§III-A) — the controller never sees a per-rail breakdown and relies on
+ * feedback robustness to tolerate that (§IV-B). We therefore model total
+ * device power as:
+ *
+ *   P = P_base(screen @ lowest brightness, WiFi on, rest-of-device)
+ *     + Σ_cores [ c_dyn · V(f)² · f · busy + idle residue ] + c_leak · V(f) · online
+ *     + P_mem(bandwidth level) + c_traffic · actual GB/s
+ *     + P_app_components (GPU render, HW decoder, camera, radio bursts)
+ *     + P_overheads (perf tool, controller computation, DVFS transitions)
+ *
+ * Constants are calibrated against the paper's Table I anchors
+ * (see MakeNexus6PowerParams and tests/soc/nexus6_calibration_test.cc).
+ */
+#ifndef AEO_POWER_POWER_MODEL_H_
+#define AEO_POWER_POWER_MODEL_H_
+
+#include "common/units.h"
+
+namespace aeo {
+
+/** Tunable coefficients of the device power model. */
+struct PowerModelParams {
+    /** Screen (lowest brightness) + WiFi idle + rest-of-device, mW. */
+    double base_mw = 626.0;
+    /** Dynamic CPU coefficient, mW per (GHz · V² · busy-core). */
+    double cpu_dyn_mw_per_ghz_v2 = 800.0;
+    /** Fraction of dynamic power burned by an idle-but-clocked core. */
+    double cpu_idle_residue = 0.06;
+    /**
+     * Leakage per online core, mW per V³. Sub-threshold leakage grows
+     * super-linearly with the rail voltage, which is what makes *holding* a
+     * high frequency expensive even when cores idle — the waste the paper's
+     * Figs. 4(f)/1 expose in the interactive governor.
+     */
+    double cpu_leak_mw_per_v3 = 110.0;
+    /** Memory controller + DRAM background power at the lowest level, mW. */
+    double mem_static_mw = 120.0;
+    /** Incremental bus power per bandwidth level step, mW. */
+    double mem_mw_per_level = 29.6;
+    /** Traffic-proportional DRAM activity power, mW per GB/s. */
+    double mem_mw_per_gbps = 60.0;
+    /** GPU dynamic coefficient, mW per (MHz · V² · busy). */
+    double gpu_dyn_mw_per_mhz_v2 = 2.2;
+    /** GPU leakage, mW per V³ (single rail). */
+    double gpu_leak_mw_per_v3 = 30.0;
+};
+
+/** Instantaneous operating state fed to the model. */
+struct PowerInputs {
+    Gigahertz cpu_freq;
+    Volts cpu_voltage;
+    int online_cores = 4;
+    /** Busy core-seconds per second (foreground + background), 0..cores. */
+    double busy_cores = 0.0;
+    /** Current 0-based bandwidth level. */
+    int bw_level = 0;
+    /** Actual bus traffic, GB/s. */
+    double mem_gbps = 0.0;
+    /** App-specific component power (decoder, camera, radio), mW. */
+    double app_component_mw = 0.0;
+    /** GPU clock, MHz. */
+    double gpu_mhz = 200.0;
+    /** GPU rail voltage. */
+    Volts gpu_voltage{0.80};
+    /** GPU busy fraction in [0, 1]. */
+    double gpu_busy = 0.0;
+    /** Instrumentation/controller overhead power, mW. */
+    double overhead_mw = 0.0;
+};
+
+/** Per-rail decomposition of device power. */
+struct PowerBreakdown {
+    double cpu_mw = 0.0;
+    double gpu_mw = 0.0;
+    double mem_mw = 0.0;
+    double base_mw = 0.0;
+    double app_component_mw = 0.0;
+    double overhead_mw = 0.0;
+
+    /** Whole-device power. */
+    double
+    total_mw() const
+    {
+        return cpu_mw + gpu_mw + mem_mw + base_mw + app_component_mw + overhead_mw;
+    }
+};
+
+/** Evaluates device power from operating state. Stateless and copyable. */
+class PowerModel {
+  public:
+    explicit PowerModel(PowerModelParams params = {});
+
+    /** Computes the per-rail power breakdown for the given state. */
+    PowerBreakdown Compute(const PowerInputs& inputs) const;
+
+    /** Convenience: total device power. */
+    Milliwatts TotalPower(const PowerInputs& inputs) const;
+
+    const PowerModelParams& params() const { return params_; }
+
+  private:
+    PowerModelParams params_;
+};
+
+/** Power coefficients calibrated for the Nexus 6 against Table I. */
+PowerModelParams MakeNexus6PowerParams();
+
+}  // namespace aeo
+
+#endif  // AEO_POWER_POWER_MODEL_H_

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The discrete-event queue at the heart of the device simulator.
+ *
+ * Events are callbacks scheduled at absolute simulated times. Ties are
+ * broken by insertion order so runs are deterministic. Events can be
+ * cancelled through the id returned at scheduling time.
+ */
+#ifndef AEO_SIM_EVENT_QUEUE_H_
+#define AEO_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace aeo {
+
+/** Opaque handle identifying a scheduled event. */
+using EventId = uint64_t;
+
+/** Sentinel returned for "no event". */
+inline constexpr EventId kInvalidEventId = 0;
+
+/** Time-ordered queue of callbacks with stable tie-breaking. */
+class EventQueue {
+  public:
+    EventQueue() = default;
+
+    /** Schedules @p fn at absolute time @p when; returns a cancellable id. */
+    EventId Schedule(SimTime when, std::function<void()> fn);
+
+    /**
+     * Cancels a previously scheduled event.
+     *
+     * @return true if the event was pending and is now cancelled; false if it
+     *         already ran, was already cancelled, or the id is unknown.
+     */
+    bool Cancel(EventId id);
+
+    /** True when no runnable events remain. */
+    bool Empty() const;
+
+    /** Time of the earliest pending event; panics if empty. */
+    SimTime NextTime() const;
+
+    /**
+     * Removes and runs the earliest pending event.
+     *
+     * @return the time of the event that ran; panics if empty.
+     */
+    SimTime RunNext();
+
+    /** Number of pending (non-cancelled) events. */
+    size_t PendingCount() const { return pending_count_; }
+
+    /** Total events executed so far (for instrumentation). */
+    uint64_t executed_count() const { return executed_count_; }
+
+  private:
+    struct Entry {
+        SimTime when;
+        uint64_t seq;
+        EventId id;
+        // Heap entries hold an index into callbacks_ to keep the heap POD-ish;
+        // the callback itself lives in the map below.
+    };
+
+    struct EntryLater {
+        bool
+        operator()(const Entry& a, const Entry& b) const
+        {
+            if (a.when != b.when) {
+                return a.when > b.when;
+            }
+            return a.seq > b.seq;
+        }
+    };
+
+    void DropCancelledHead() const;
+
+    mutable std::priority_queue<Entry, std::vector<Entry>, EntryLater> heap_;
+    std::unordered_map<EventId, std::function<void()>> callbacks_;
+    uint64_t next_seq_ = 1;
+    EventId next_id_ = 1;
+    size_t pending_count_ = 0;
+    uint64_t executed_count_ = 0;
+};
+
+}  // namespace aeo
+
+#endif  // AEO_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,50 @@
+#include "sim/periodic_task.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace aeo {
+
+PeriodicTask::PeriodicTask(Simulator* sim, std::function<void()> fn)
+    : sim_(sim), fn_(std::move(fn))
+{
+    AEO_ASSERT(sim_ != nullptr, "PeriodicTask needs a simulator");
+    AEO_ASSERT(fn_ != nullptr, "PeriodicTask needs a callback");
+}
+
+PeriodicTask::~PeriodicTask()
+{
+    Stop();
+}
+
+void
+PeriodicTask::Start(SimTime period)
+{
+    AEO_ASSERT(period > SimTime::Zero(), "period must be positive");
+    Stop();
+    period_ = period;
+    running_ = true;
+    pending_ = sim_->ScheduleAfter(period_, [this] { Fire(); });
+}
+
+void
+PeriodicTask::Stop()
+{
+    if (pending_ != kInvalidEventId) {
+        sim_->Cancel(pending_);
+        pending_ = kInvalidEventId;
+    }
+    running_ = false;
+}
+
+void
+PeriodicTask::Fire()
+{
+    pending_ = kInvalidEventId;
+    // Reschedule before running so the callback can Stop() us.
+    pending_ = sim_->ScheduleAfter(period_, [this] { Fire(); });
+    fn_();
+}
+
+}  // namespace aeo

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The simulation executive: owns the clock and the event queue and runs
+ * events in time order until a stop condition.
+ */
+#ifndef AEO_SIM_SIMULATOR_H_
+#define AEO_SIM_SIMULATOR_H_
+
+#include <functional>
+
+#include "sim/event_queue.h"
+#include "sim/time.h"
+
+namespace aeo {
+
+/** Event-driven simulation executive. */
+class Simulator {
+  public:
+    Simulator() = default;
+
+    Simulator(const Simulator&) = delete;
+    Simulator& operator=(const Simulator&) = delete;
+
+    /** Current simulated time. */
+    SimTime Now() const { return now_; }
+
+    /** Schedules @p fn after @p delay (≥ 0) from now. */
+    EventId ScheduleAfter(SimTime delay, std::function<void()> fn);
+
+    /** Schedules @p fn at absolute time @p when (≥ now). */
+    EventId ScheduleAt(SimTime when, std::function<void()> fn);
+
+    /** Cancels a pending event; see EventQueue::Cancel. */
+    bool Cancel(EventId id) { return queue_.Cancel(id); }
+
+    /**
+     * Runs events until simulated time reaches @p deadline, Stop() is called,
+     * or the queue drains. The clock is left at min(deadline, stop time).
+     */
+    void RunUntil(SimTime deadline);
+
+    /** Runs for @p duration from the current time. */
+    void RunFor(SimTime duration) { RunUntil(now_ + duration); }
+
+    /** Requests that the run loop return after the current event. */
+    void Stop() { stop_requested_ = true; }
+
+    /** True if Stop() ended the last run before its deadline. */
+    bool stopped() const { return stop_requested_; }
+
+    /** Events executed since construction. */
+    uint64_t executed_events() const { return queue_.executed_count(); }
+
+  private:
+    EventQueue queue_;
+    SimTime now_;
+    bool stop_requested_ = false;
+};
+
+}  // namespace aeo
+
+#endif  // AEO_SIM_SIMULATOR_H_

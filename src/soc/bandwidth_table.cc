@@ -1,0 +1,63 @@
+#include "soc/bandwidth_table.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace aeo {
+
+BandwidthTable::BandwidthTable(std::vector<MegabytesPerSecond> levels)
+    : levels_(std::move(levels))
+{
+    AEO_ASSERT(!levels_.empty(), "bandwidth table must not be empty");
+    for (size_t i = 1; i < levels_.size(); ++i) {
+        AEO_ASSERT(levels_[i] > levels_[i - 1],
+                   "bandwidths not strictly increasing at level %zu", i);
+    }
+}
+
+MegabytesPerSecond
+BandwidthTable::BandwidthAt(int level) const
+{
+    AEO_ASSERT(level >= 0 && level < size(), "bandwidth level %d out of [0, %d)",
+               level, size());
+    return levels_[static_cast<size_t>(level)];
+}
+
+int
+BandwidthTable::LevelAtOrAbove(MegabytesPerSecond need) const
+{
+    for (int level = 0; level < size(); ++level) {
+        if (levels_[static_cast<size_t>(level)] >= need) {
+            return level;
+        }
+    }
+    return max_level();
+}
+
+int
+BandwidthTable::ClosestLevel(MegabytesPerSecond bw) const
+{
+    int best = 0;
+    double best_dist = std::fabs(levels_[0].value() - bw.value());
+    for (int level = 1; level < size(); ++level) {
+        const double dist =
+            std::fabs(levels_[static_cast<size_t>(level)].value() - bw.value());
+        if (dist < best_dist) {
+            best = level;
+            best_dist = dist;
+        }
+    }
+    return best;
+}
+
+std::string
+BandwidthTable::PaperLabel(int level) const
+{
+    AEO_ASSERT(level >= 0 && level < size(), "bandwidth level %d out of [0, %d)",
+               level, size());
+    return StrFormat("%d", level + 1);
+}
+
+}  // namespace aeo

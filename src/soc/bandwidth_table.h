@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The memory-bus bandwidth table: the discrete set of bandwidths devfreq can
+ * select (Table II lists the 13 Nexus 6 bandwidths).
+ */
+#ifndef AEO_SOC_BANDWIDTH_TABLE_H_
+#define AEO_SOC_BANDWIDTH_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace aeo {
+
+/** Immutable, ascending table of memory-bus bandwidth levels. */
+class BandwidthTable {
+  public:
+    /** @param levels Bandwidths in strictly increasing order. */
+    explicit BandwidthTable(std::vector<MegabytesPerSecond> levels);
+
+    /** Number of levels. */
+    int size() const { return static_cast<int>(levels_.size()); }
+
+    /** Bandwidth at 0-based @p level. */
+    MegabytesPerSecond BandwidthAt(int level) const;
+
+    /** Lowest level (always 0). */
+    int min_level() const { return 0; }
+
+    /** Highest level. */
+    int max_level() const { return size() - 1; }
+
+    /** Smallest level whose bandwidth is ≥ @p need; max_level() if none. */
+    int LevelAtOrAbove(MegabytesPerSecond need) const;
+
+    /** The level whose bandwidth is closest to @p bw. */
+    int ClosestLevel(MegabytesPerSecond bw) const;
+
+    /** Paper-style 1-based label for a 0-based level. */
+    std::string PaperLabel(int level) const;
+
+  private:
+    std::vector<MegabytesPerSecond> levels_;
+};
+
+}  // namespace aeo
+
+#endif  // AEO_SOC_BANDWIDTH_TABLE_H_

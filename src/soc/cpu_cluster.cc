@@ -1,0 +1,62 @@
+#include "soc/cpu_cluster.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace aeo {
+
+CpuCluster::CpuCluster(FrequencyTable table, int num_cores)
+    : table_(std::move(table)), num_cores_(num_cores), online_cores_(num_cores)
+{
+    AEO_ASSERT(num_cores_ >= 1, "cluster needs at least one core");
+}
+
+void
+CpuCluster::SetLevel(int level)
+{
+    AEO_ASSERT(level >= 0 && level < table_.size(), "level %d out of [0, %d)",
+               level, table_.size());
+    if (level == level_) {
+        return;
+    }
+    if (pre_change_) {
+        pre_change_();
+    }
+    level_ = level;
+    ++transition_count_;
+    if (post_change_) {
+        post_change_();
+    }
+}
+
+void
+CpuCluster::SetOnlineCores(int cores)
+{
+    AEO_ASSERT(cores >= 1 && cores <= num_cores_, "online cores %d out of [1, %d]",
+               cores, num_cores_);
+    if (cores == online_cores_) {
+        return;
+    }
+    if (pre_change_) {
+        pre_change_();
+    }
+    online_cores_ = cores;
+    if (post_change_) {
+        post_change_();
+    }
+}
+
+void
+CpuCluster::SetPreChangeListener(std::function<void()> listener)
+{
+    pre_change_ = std::move(listener);
+}
+
+void
+CpuCluster::SetPostChangeListener(std::function<void()> listener)
+{
+    post_change_ = std::move(listener);
+}
+
+}  // namespace aeo

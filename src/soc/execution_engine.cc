@@ -1,0 +1,86 @@
+#include "soc/execution_engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace aeo {
+
+ExecutionEngine::ExecutionEngine(ExecutionModelParams params) : params_(params)
+{
+    AEO_ASSERT(params_.bandwidth_efficiency > 0.0 && params_.bandwidth_efficiency <= 1.0,
+               "bandwidth efficiency %f out of (0, 1]", params_.bandwidth_efficiency);
+    AEO_ASSERT(params_.background_share >= 0.0 && params_.background_share < 1.0,
+               "background share %f out of [0, 1)", params_.background_share);
+}
+
+ExecutionRates
+ExecutionEngine::ComputeWith(const WorkloadDemand& demand, Gigahertz freq,
+                             double effective_gbps, double max_cores) const
+{
+    AEO_ASSERT(demand.ipc > 0.0, "ipc must be positive");
+    AEO_ASSERT(demand.parallelism > 0.0, "parallelism must be positive");
+    AEO_ASSERT(demand.mem_bytes_per_instr >= 0.0, "negative memory intensity");
+
+    ExecutionRates rates;
+    const double usable_cores = std::min(demand.parallelism, max_cores);
+    if (usable_cores <= 0.0 || effective_gbps <= 0.0) {
+        return rates;
+    }
+
+    // Per-instruction time in nanoseconds: compute + memory, serialized.
+    const double t_cpu_ns = 1.0 / (freq.value() * demand.ipc * usable_cores);
+    const double t_mem_ns = demand.mem_bytes_per_instr / effective_gbps;
+    const double capacity_gips = 1.0 / (t_cpu_ns + t_mem_ns);
+
+    rates.capacity_gips = capacity_gips;
+    rates.gips = std::min(demand.demand_gips, capacity_gips);
+    // Memory-stall time occupies the issuing core, so busy time is the full
+    // per-instruction latency (matches how Linux accounts CPU load).
+    rates.busy_cores = rates.gips / capacity_gips * usable_cores;
+    rates.mem_gbps = rates.gips * demand.mem_bytes_per_instr +
+                     rates.busy_cores * params_.prefetch_gbps_per_busy_core;
+    return rates;
+}
+
+ExecutionRates
+ExecutionEngine::Compute(const WorkloadDemand& demand, Gigahertz freq,
+                         MegabytesPerSecond bandwidth, int online_cores) const
+{
+    const double effective_gbps =
+        bandwidth.value() / 1000.0 * params_.bandwidth_efficiency;
+    return ComputeWith(demand, freq, effective_gbps,
+                       static_cast<double>(online_cores));
+}
+
+SharedExecutionRates
+ExecutionEngine::ComputeShared(const WorkloadDemand& foreground,
+                               const WorkloadDemand& background, Gigahertz freq,
+                               MegabytesPerSecond bandwidth, int online_cores) const
+{
+    SharedExecutionRates shared;
+    const double total_gbps =
+        bandwidth.value() / 1000.0 * params_.bandwidth_efficiency;
+    const double cores = static_cast<double>(online_cores);
+
+    // Background first, capped at its share of cores and bandwidth. The
+    // kernel keeps background residents alive regardless of foreground load.
+    WorkloadDemand bg = background;
+    bg.demand_gips = std::min(bg.demand_gips,
+                              params_.background_share *
+                                  (freq.value() * bg.ipc * bg.parallelism));
+    shared.background = ComputeWith(bg, freq, total_gbps * params_.background_share,
+                                    cores * params_.background_share);
+
+    // Foreground sees the leftover bandwidth and cores.
+    const double remaining_gbps =
+        std::max(1e-9, total_gbps - shared.background.mem_gbps);
+    const double remaining_cores =
+        std::max(0.25, cores - shared.background.busy_cores);
+    shared.foreground =
+        ComputeWith(foreground, freq, remaining_gbps, remaining_cores);
+    return shared;
+}
+
+}  // namespace aeo

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The analytic execution (performance) model.
+ *
+ * The controller in the paper only ever observes application performance in
+ * GIPS as a function of the system configuration (CPU frequency × memory
+ * bandwidth). This model produces that observable surface with the
+ * qualitative properties the paper reports:
+ *
+ *  - compute-bound work scales ~linearly with CPU frequency,
+ *  - memory-intensive work saturates as bandwidth becomes the bottleneck,
+ *  - rate-paced applications (games, video/audio players, video calls) cap
+ *    at their demand and leave the CPU partially idle,
+ *  - a background load steals bandwidth and core time.
+ *
+ * Per-instruction latency is modelled as serial compute + memory time
+ * (no overlap):
+ *
+ *     t_instr = 1 / (f · ipc · parallelism) + bytes_per_instr / bw_effective
+ *     rate    = min(demand, 1 / t_instr)
+ */
+#ifndef AEO_SOC_EXECUTION_ENGINE_H_
+#define AEO_SOC_EXECUTION_ENGINE_H_
+
+#include <limits>
+
+#include "common/units.h"
+
+namespace aeo {
+
+/** Demand a workload places on the SoC while in its current phase. */
+struct WorkloadDemand {
+    /** Per-core instructions per cycle achieved by this code. */
+    double ipc = 1.0;
+    /** Effective number of concurrently busy cores (1 .. num_cores). */
+    double parallelism = 1.0;
+    /** Average bytes of bus traffic per instruction. */
+    double mem_bytes_per_instr = 0.0;
+    /** Rate cap in GIPS; infinity for self-paced (batch) work. */
+    double demand_gips = std::numeric_limits<double>::infinity();
+
+    /** True when the workload runs as fast as the hardware allows. */
+    bool self_paced() const { return !(demand_gips < std::numeric_limits<double>::infinity()); }
+};
+
+/** What a workload achieves at a given configuration. */
+struct ExecutionRates {
+    /** Achieved instruction rate. */
+    double gips = 0.0;
+    /** Core-seconds consumed per second of wall time (0 .. num_cores). */
+    double busy_cores = 0.0;
+    /** Bus traffic generated, GB/s. */
+    double mem_gbps = 0.0;
+    /** Hardware-limited rate at this configuration (ignoring demand cap). */
+    double capacity_gips = 0.0;
+
+    /** CPU load as a governor sees it: busy fraction of allotted cores. */
+    double
+    LoadFraction(double allotted_cores) const
+    {
+        if (allotted_cores <= 0.0) {
+            return 0.0;
+        }
+        const double load = busy_cores / allotted_cores;
+        return load > 1.0 ? 1.0 : load;
+    }
+};
+
+/** Tunable constants of the execution model. */
+struct ExecutionModelParams {
+    /** Fraction of nominal bus bandwidth usable by instruction streams. */
+    double bandwidth_efficiency = 0.85;
+    /** Fraction of capacity a background load may claim before yielding. */
+    double background_share = 0.35;
+    /**
+     * Prefetcher/writeback bus traffic per busy core, GB/s. This traffic is
+     * latency-tolerant (it does not gate instruction throughput) but the
+     * cpubw_hwmon governor cannot tell it apart from demand traffic — the
+     * reason the default bandwidth governor over-provisions the bus for
+     * busy workloads (§V-D, Fig. 5).
+     */
+    double prefetch_gbps_per_busy_core = 0.15;
+};
+
+/** Combined foreground + background rates at one configuration. */
+struct SharedExecutionRates {
+    ExecutionRates foreground;
+    ExecutionRates background;
+};
+
+/** Evaluates the analytic performance model. Stateless and copyable. */
+class ExecutionEngine {
+  public:
+    explicit ExecutionEngine(ExecutionModelParams params = {});
+
+    /** Rates for a single workload running alone. */
+    ExecutionRates Compute(const WorkloadDemand& demand, Gigahertz freq,
+                           MegabytesPerSecond bandwidth, int online_cores) const;
+
+    /**
+     * Rates when a foreground workload shares the SoC with a background
+     * load. The background is serviced first up to @c background_share of
+     * capacity (kernel timeslicing keeps background tasks alive); the
+     * foreground then sees the remaining bandwidth and cores.
+     */
+    SharedExecutionRates ComputeShared(const WorkloadDemand& foreground,
+                                       const WorkloadDemand& background,
+                                       Gigahertz freq,
+                                       MegabytesPerSecond bandwidth,
+                                       int online_cores) const;
+
+    const ExecutionModelParams& params() const { return params_; }
+
+  private:
+    ExecutionRates ComputeWith(const WorkloadDemand& demand, Gigahertz freq,
+                               double effective_gbps, double max_cores) const;
+
+    ExecutionModelParams params_;
+};
+
+}  // namespace aeo
+
+#endif  // AEO_SOC_EXECUTION_ENGINE_H_

@@ -1,0 +1,74 @@
+#include "soc/frequency_table.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace aeo {
+
+FrequencyTable::FrequencyTable(std::vector<OppEntry> entries)
+    : entries_(std::move(entries))
+{
+    AEO_ASSERT(!entries_.empty(), "frequency table must not be empty");
+    for (size_t i = 1; i < entries_.size(); ++i) {
+        AEO_ASSERT(entries_[i].frequency > entries_[i - 1].frequency,
+                   "frequencies not strictly increasing at level %zu", i);
+        AEO_ASSERT(entries_[i].voltage >= entries_[i - 1].voltage,
+                   "voltage must be non-decreasing with frequency at level %zu", i);
+    }
+}
+
+Gigahertz
+FrequencyTable::FrequencyAt(int level) const
+{
+    AEO_ASSERT(level >= 0 && level < size(), "frequency level %d out of [0, %d)",
+               level, size());
+    return entries_[static_cast<size_t>(level)].frequency;
+}
+
+Volts
+FrequencyTable::VoltageAt(int level) const
+{
+    AEO_ASSERT(level >= 0 && level < size(), "frequency level %d out of [0, %d)",
+               level, size());
+    return entries_[static_cast<size_t>(level)].voltage;
+}
+
+int
+FrequencyTable::ClosestLevel(Gigahertz freq) const
+{
+    int best = 0;
+    double best_dist = std::fabs(entries_[0].frequency.value() - freq.value());
+    for (int level = 1; level < size(); ++level) {
+        const double dist =
+            std::fabs(entries_[static_cast<size_t>(level)].frequency.value() -
+                      freq.value());
+        if (dist < best_dist) {
+            best = level;
+            best_dist = dist;
+        }
+    }
+    return best;
+}
+
+int
+FrequencyTable::LevelAtOrAbove(Gigahertz freq) const
+{
+    for (int level = 0; level < size(); ++level) {
+        if (entries_[static_cast<size_t>(level)].frequency >= freq) {
+            return level;
+        }
+    }
+    return max_level();
+}
+
+std::string
+FrequencyTable::PaperLabel(int level) const
+{
+    AEO_ASSERT(level >= 0 && level < size(), "frequency level %d out of [0, %d)",
+               level, size());
+    return StrFormat("%d", level + 1);
+}
+
+}  // namespace aeo

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The CPU operating-performance-point (OPP) table: the discrete set of
+ * frequency/voltage pairs the cluster supports (Table II of the paper lists
+ * the 18 Nexus 6 frequencies).
+ *
+ * Levels are 0-based in code; the paper numbers them 1-based. Helpers that
+ * format for display use the paper's numbering.
+ */
+#ifndef AEO_SOC_FREQUENCY_TABLE_H_
+#define AEO_SOC_FREQUENCY_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace aeo {
+
+/** One operating point: clock frequency and the rail voltage it requires. */
+struct OppEntry {
+    Gigahertz frequency;
+    Volts voltage;
+};
+
+/** Immutable, ascending table of CPU operating points. */
+class FrequencyTable {
+  public:
+    /** @param entries Operating points in strictly increasing frequency. */
+    explicit FrequencyTable(std::vector<OppEntry> entries);
+
+    /** Number of levels. */
+    int size() const { return static_cast<int>(entries_.size()); }
+
+    /** Frequency at 0-based @p level. */
+    Gigahertz FrequencyAt(int level) const;
+
+    /** Voltage at 0-based @p level. */
+    Volts VoltageAt(int level) const;
+
+    /** Lowest level (always 0). */
+    int min_level() const { return 0; }
+
+    /** Highest level. */
+    int max_level() const { return size() - 1; }
+
+    /**
+     * The level whose frequency is closest to @p freq (exact matches
+     * preferred; ties resolve to the lower level).
+     */
+    int ClosestLevel(Gigahertz freq) const;
+
+    /** Lowest level with frequency ≥ @p freq; max_level() if none. */
+    int LevelAtOrAbove(Gigahertz freq) const;
+
+    /** Paper-style 1-based label for a 0-based level (e.g. "10"). */
+    std::string PaperLabel(int level) const;
+
+  private:
+    std::vector<OppEntry> entries_;
+};
+
+}  // namespace aeo
+
+#endif  // AEO_SOC_FREQUENCY_TABLE_H_

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The GPU frequency domain (Adreno 420 on the Nexus 6).
+ *
+ * §VII of the paper names GPU frequency as the first extension target for
+ * the control framework ("Our next steps are to include GPU frequencies,
+ * network packet rate, etc."). The GPU renders in proportion to the
+ * application's progress (render work per giga-instruction of app work);
+ * when the GPU cannot keep up it becomes a co-bottleneck and throttles the
+ * application's effective rate.
+ */
+#ifndef AEO_SOC_GPU_DOMAIN_H_
+#define AEO_SOC_GPU_DOMAIN_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace aeo {
+
+/** One GPU operating point. */
+struct GpuOpp {
+    /** Core clock, MHz. */
+    double mhz;
+    /** Rail voltage. */
+    Volts voltage;
+};
+
+/** A DVFS-capable GPU with discrete frequency levels. */
+class GpuDomain {
+  public:
+    /** @param opps Operating points in strictly increasing frequency. */
+    explicit GpuDomain(std::vector<GpuOpp> opps);
+
+    /** Number of levels. */
+    int size() const { return static_cast<int>(opps_.size()); }
+
+    /** Current 0-based level. */
+    int level() const { return level_; }
+
+    /** Lowest level. */
+    int min_level() const { return 0; }
+
+    /** Highest level. */
+    int max_level() const { return size() - 1; }
+
+    /** Clock at @p level, MHz. */
+    double MhzAt(int level) const;
+
+    /** Voltage at @p level. */
+    Volts VoltageAt(int level) const;
+
+    /** Current clock, MHz. */
+    double mhz() const { return MhzAt(level_); }
+
+    /** Current voltage. */
+    Volts voltage() const { return VoltageAt(level_); }
+
+    /**
+     * Render capacity at @p level in abstract render-units per second
+     * (1 unit/s per MHz: capacity is frequency-proportional).
+     */
+    double CapacityAt(int level) const { return MhzAt(level); }
+
+    /** The level whose clock is closest to @p mhz. */
+    int ClosestLevel(double mhz) const;
+
+    /** Smallest level with clock ≥ @p mhz; max_level() if none. */
+    int LevelAtOrAbove(double mhz) const;
+
+    /** Switches levels; counts a transition when it changes. */
+    void SetLevel(int level);
+
+    /** Registers a callback invoked *before* any state change. */
+    void SetPreChangeListener(std::function<void()> listener);
+
+    /** Registers a callback invoked *after* any state change. */
+    void SetPostChangeListener(std::function<void()> listener);
+
+    /** Number of frequency transitions performed. */
+    uint64_t transition_count() const { return transition_count_; }
+
+  private:
+    std::vector<GpuOpp> opps_;
+    int level_ = 0;
+    uint64_t transition_count_ = 0;
+    std::function<void()> pre_change_;
+    std::function<void()> post_change_;
+};
+
+/** Builds the Adreno 420 operating-point table. */
+GpuDomain MakeAdreno420();
+
+/** Number of Adreno 420 frequency levels. */
+inline constexpr int kAdreno420Levels = 5;
+
+}  // namespace aeo
+
+#endif  // AEO_SOC_GPU_DOMAIN_H_

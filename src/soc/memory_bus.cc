@@ -1,0 +1,41 @@
+#include "soc/memory_bus.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace aeo {
+
+MemoryBus::MemoryBus(BandwidthTable table) : table_(std::move(table)) {}
+
+void
+MemoryBus::SetLevel(int level)
+{
+    AEO_ASSERT(level >= 0 && level < table_.size(), "bandwidth level %d out of [0, %d)",
+               level, table_.size());
+    if (level == level_) {
+        return;
+    }
+    if (pre_change_) {
+        pre_change_();
+    }
+    level_ = level;
+    ++transition_count_;
+    if (post_change_) {
+        post_change_();
+    }
+}
+
+void
+MemoryBus::SetPreChangeListener(std::function<void()> listener)
+{
+    pre_change_ = std::move(listener);
+}
+
+void
+MemoryBus::SetPostChangeListener(std::function<void()> listener)
+{
+    post_change_ = std::move(listener);
+}
+
+}  // namespace aeo

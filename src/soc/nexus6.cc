@@ -1,0 +1,61 @@
+#include "soc/nexus6.h"
+
+#include <array>
+#include <cmath>
+
+namespace aeo {
+
+namespace {
+
+// Table II, CPU frequencies (GHz), levels 1..18 in the paper's numbering.
+constexpr std::array<double, kNexus6CpuLevels> kCpuGhz = {
+    0.3000, 0.4224, 0.6528, 0.7296, 0.8832, 0.9600, 1.0368, 1.1904, 1.2672,
+    1.4976, 1.5744, 1.7280, 1.9584, 2.2656, 2.4576, 2.4960, 2.5728, 2.6496,
+};
+
+// Table II, memory bandwidths (MBps), levels 1..13.
+constexpr std::array<double, kNexus6BwLevels> kBwMbps = {
+    762, 1144, 1525, 2288, 3051, 3952, 4684, 5996, 7019, 8056, 10101, 12145,
+    16250,
+};
+
+// Krait 450 rail voltage as a function of frequency. The shape (affine with
+// a mild super-linear tail) follows published msm8974/apq8084 regulator
+// tables; absolute values are calibrated so the power model reproduces the
+// paper's Table I anchor points (see tests/soc/nexus6_calibration_test.cc).
+double
+VoltageForGhz(double ghz)
+{
+    constexpr double kVmin = 0.80;
+    constexpr double kVmax = 1.15;
+    constexpr double kFmin = 0.3000;
+    constexpr double kFmax = 2.6496;
+    const double t = (ghz - kFmin) / (kFmax - kFmin);
+    return kVmin + (kVmax - kVmin) * std::pow(t, 1.15);
+}
+
+}  // namespace
+
+FrequencyTable
+MakeNexus6FrequencyTable()
+{
+    std::vector<OppEntry> entries;
+    entries.reserve(kCpuGhz.size());
+    for (const double ghz : kCpuGhz) {
+        entries.push_back(OppEntry{Gigahertz(ghz), Volts(VoltageForGhz(ghz))});
+    }
+    return FrequencyTable(std::move(entries));
+}
+
+BandwidthTable
+MakeNexus6BandwidthTable()
+{
+    std::vector<MegabytesPerSecond> levels;
+    levels.reserve(kBwMbps.size());
+    for (const double mbps : kBwMbps) {
+        levels.push_back(MegabytesPerSecond(mbps));
+    }
+    return BandwidthTable(std::move(levels));
+}
+
+}  // namespace aeo

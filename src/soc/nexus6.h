@@ -1,0 +1,32 @@
+/**
+ * @file
+ * The Nexus 6 platform specification: the exact CPU-frequency and
+ * memory-bandwidth tables from Table II of the paper, with a calibrated
+ * voltage curve for the Krait 450 cluster.
+ */
+#ifndef AEO_SOC_NEXUS6_H_
+#define AEO_SOC_NEXUS6_H_
+
+#include "soc/bandwidth_table.h"
+#include "soc/frequency_table.h"
+
+namespace aeo {
+
+/** Number of CPU frequency levels on the Nexus 6 (Table II). */
+inline constexpr int kNexus6CpuLevels = 18;
+
+/** Number of memory-bandwidth levels on the Nexus 6 (Table II). */
+inline constexpr int kNexus6BwLevels = 13;
+
+/** Number of Krait 450 cores. */
+inline constexpr int kNexus6Cores = 4;
+
+/** Builds the 18-entry Nexus 6 CPU OPP table (frequencies from Table II). */
+FrequencyTable MakeNexus6FrequencyTable();
+
+/** Builds the 13-entry Nexus 6 bandwidth table (bandwidths from Table II). */
+BandwidthTable MakeNexus6BandwidthTable();
+
+}  // namespace aeo
+
+#endif  // AEO_SOC_NEXUS6_H_

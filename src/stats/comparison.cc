@@ -1,0 +1,32 @@
+#include "stats/comparison.h"
+
+#include <sstream>
+
+#include "common/strings.h"
+#include "common/text_table.h"
+
+namespace aeo {
+
+ComparisonReport::ComparisonReport(std::string title) : title_(std::move(title)) {}
+
+void
+ComparisonReport::Add(const std::string& label, double paper_value,
+                      double measured_value, const std::string& unit)
+{
+    rows_.push_back(ComparisonRow{label, paper_value, measured_value, unit});
+}
+
+std::string
+ComparisonReport::ToString() const
+{
+    TextTable table({"quantity", "paper", "measured", "unit"});
+    for (const auto& row : rows_) {
+        table.AddRow({row.label, StrFormat("%.2f", row.paper_value),
+                      StrFormat("%.2f", row.measured_value), row.unit});
+    }
+    std::ostringstream out;
+    out << "== " << title_ << " ==\n" << table.ToString();
+    return out.str();
+}
+
+}  // namespace aeo

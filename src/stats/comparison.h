@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Paper-vs-measured comparison records — every benchmark harness emits these
+ * so EXPERIMENTS.md can track how closely the reproduction matches the
+ * published shape.
+ */
+#ifndef AEO_STATS_COMPARISON_H_
+#define AEO_STATS_COMPARISON_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace aeo {
+
+/** One compared quantity: what the paper reported vs what we measured. */
+struct ComparisonRow {
+    std::string label;
+    double paper_value = 0.0;
+    double measured_value = 0.0;
+    std::string unit;
+};
+
+/** Collects comparison rows and renders them as a table. */
+class ComparisonReport {
+  public:
+    /** @param title Heading printed above the table. */
+    explicit ComparisonReport(std::string title);
+
+    /** Adds one compared quantity. */
+    void Add(const std::string& label, double paper_value, double measured_value,
+             const std::string& unit);
+
+    /** Renders the full report. */
+    std::string ToString() const;
+
+    /** Access to the raw rows (for tests). */
+    const std::vector<ComparisonRow>& rows() const { return rows_; }
+
+  private:
+    std::string title_;
+    std::vector<ComparisonRow> rows_;
+};
+
+}  // namespace aeo
+
+#endif  // AEO_STATS_COMPARISON_H_

@@ -1,0 +1,95 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace aeo {
+
+Histogram::Histogram(size_t bins) : weights_(bins, 0.0)
+{
+    AEO_ASSERT(bins > 0, "histogram needs at least one bin");
+}
+
+void
+Histogram::Add(size_t bin, double weight)
+{
+    AEO_ASSERT(bin < weights_.size(), "bin %zu out of %zu", bin, weights_.size());
+    AEO_ASSERT(weight >= 0.0, "negative histogram weight %f", weight);
+    weights_[bin] += weight;
+}
+
+double
+Histogram::WeightAt(size_t bin) const
+{
+    AEO_ASSERT(bin < weights_.size(), "bin %zu out of %zu", bin, weights_.size());
+    return weights_[bin];
+}
+
+double
+Histogram::TotalWeight() const
+{
+    double total = 0.0;
+    for (const double w : weights_) {
+        total += w;
+    }
+    return total;
+}
+
+double
+Histogram::FractionAt(size_t bin) const
+{
+    const double total = TotalWeight();
+    if (total <= 0.0) {
+        return 0.0;
+    }
+    return WeightAt(bin) / total;
+}
+
+size_t
+Histogram::ModeBin() const
+{
+    return static_cast<size_t>(
+        std::max_element(weights_.begin(), weights_.end()) - weights_.begin());
+}
+
+std::vector<double>
+Histogram::Fractions() const
+{
+    std::vector<double> out(weights_.size());
+    for (size_t i = 0; i < weights_.size(); ++i) {
+        out[i] = FractionAt(i);
+    }
+    return out;
+}
+
+std::string
+Histogram::ToBarChart(const std::vector<std::string>& labels, size_t width) const
+{
+    AEO_ASSERT(labels.size() == weights_.size(), "label count %zu != bin count %zu",
+               labels.size(), weights_.size());
+    size_t label_width = 0;
+    for (const auto& label : labels) {
+        label_width = std::max(label_width, label.size());
+    }
+    const double max_fraction =
+        weights_.empty() ? 0.0 : FractionAt(ModeBin());
+
+    std::ostringstream out;
+    for (size_t i = 0; i < weights_.size(); ++i) {
+        const double frac = FractionAt(i);
+        const size_t bar =
+            max_fraction > 0.0
+                ? static_cast<size_t>(frac / max_fraction *
+                                      static_cast<double>(width) + 0.5)
+                : 0;
+        out << StrFormat("  %-*s %6.2f%% |%s\n", static_cast<int>(label_width),
+                         labels[i].c_str(), frac * 100.0,
+                         std::string(bar, '#').c_str());
+    }
+    return out.str();
+}
+
+}  // namespace aeo

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Discrete residency histogram used to reproduce the paper's Figures 1, 4
+ * and 5 (percentage of time spent at each CPU-frequency / bandwidth level).
+ */
+#ifndef AEO_STATS_HISTOGRAM_H_
+#define AEO_STATS_HISTOGRAM_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace aeo {
+
+/** Weighted histogram over a fixed set of integer-indexed bins. */
+class Histogram {
+  public:
+    /** Creates a histogram with @p bins empty bins. */
+    explicit Histogram(size_t bins);
+
+    /** Adds @p weight to @p bin. */
+    void Add(size_t bin, double weight);
+
+    /** Number of bins. */
+    size_t size() const { return weights_.size(); }
+
+    /** Raw accumulated weight in @p bin. */
+    double WeightAt(size_t bin) const;
+
+    /** Sum of all bin weights. */
+    double TotalWeight() const;
+
+    /** Bin weight as a fraction of the total (0 when the total is 0). */
+    double FractionAt(size_t bin) const;
+
+    /** Bin weight as a percentage of the total. */
+    double PercentAt(size_t bin) const { return FractionAt(bin) * 100.0; }
+
+    /** Index of the heaviest bin (lowest index wins ties). */
+    size_t ModeBin() const;
+
+    /** All fractions as a vector (sums to 1 when total > 0). */
+    std::vector<double> Fractions() const;
+
+    /**
+     * Renders a horizontal ASCII bar chart: one row per bin with its label,
+     * percentage, and a bar scaled so the heaviest bin spans @p width chars.
+     */
+    std::string ToBarChart(const std::vector<std::string>& labels,
+                           size_t width = 40) const;
+
+  private:
+    std::vector<double> weights_;
+};
+
+}  // namespace aeo
+
+#endif  // AEO_STATS_HISTOGRAM_H_

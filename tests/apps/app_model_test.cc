@@ -1,0 +1,213 @@
+#include "apps/app_model.h"
+
+#include <gtest/gtest.h>
+
+namespace aeo {
+namespace {
+
+AppSpec
+TimedSpec(double seconds, double gips_cap)
+{
+    AppSpec spec;
+    spec.name = "timed";
+    AppPhase phase;
+    phase.name = "steady";
+    phase.kind = PhaseKind::kTimed;
+    phase.demand.demand_gips = gips_cap;
+    phase.duration = SimTime::FromSecondsF(seconds);
+    spec.phases.push_back(phase);
+    return spec;
+}
+
+TEST(AppModelTest, TimedPhaseEndsAfterDuration)
+{
+    AppModel app(TimedSpec(2.0, 0.1), 1);
+    EXPECT_FALSE(app.Finished());
+    app.Advance(SimTime::FromSeconds(1), 0.1);
+    EXPECT_FALSE(app.Finished());
+    app.Advance(SimTime::FromSeconds(1), 0.1);
+    EXPECT_TRUE(app.Finished());
+}
+
+TEST(AppModelTest, WorkPhaseEndsWhenWorkDrains)
+{
+    AppSpec spec;
+    spec.name = "batch";
+    AppPhase phase;
+    phase.name = "chunk";
+    phase.kind = PhaseKind::kWork;
+    phase.work_gi = 1.0;
+    spec.phases.push_back(phase);
+    AppModel app(spec, 1);
+
+    app.Advance(SimTime::FromSeconds(1), 0.6);
+    EXPECT_FALSE(app.Finished());
+    app.Advance(SimTime::FromSeconds(1), 0.4);
+    EXPECT_TRUE(app.Finished());
+    EXPECT_DOUBLE_EQ(app.total_executed_gi(), 1.0);
+}
+
+TEST(AppModelTest, PhasesRunInSequence)
+{
+    AppSpec spec;
+    spec.name = "seq";
+    AppPhase a = TimedSpec(1.0, 0.1).phases[0];
+    a.name = "first";
+    AppPhase b = TimedSpec(1.0, 0.2).phases[0];
+    b.name = "second";
+    spec.phases = {a, b};
+    AppModel app(spec, 1);
+
+    EXPECT_EQ(app.CurrentPhaseName(), "first");
+    app.Advance(SimTime::FromSeconds(1), 0.0);
+    EXPECT_EQ(app.CurrentPhaseName(), "second");
+    app.Advance(SimTime::FromSeconds(1), 0.0);
+    EXPECT_TRUE(app.Finished());
+    EXPECT_EQ(app.CurrentPhaseName(), "done");
+}
+
+TEST(AppModelTest, LoopingSpecNeverFinishes)
+{
+    AppSpec spec = TimedSpec(1.0, 0.1);
+    spec.loop = true;
+    AppModel app(spec, 1);
+    for (int i = 0; i < 100; ++i) {
+        app.Advance(SimTime::FromSeconds(1), 0.1);
+    }
+    EXPECT_FALSE(app.Finished());
+    EXPECT_EQ(app.total_elapsed(), SimTime::FromSeconds(100));
+}
+
+TEST(AppModelTest, TimeToBoundaryForTimedPhase)
+{
+    AppModel app(TimedSpec(2.0, 0.1), 1);
+    app.Advance(SimTime::Millis(500), 0.0);
+    const auto boundary = app.TimeToBoundary(1.0);
+    ASSERT_TRUE(boundary.has_value());
+    EXPECT_EQ(*boundary, SimTime::Millis(1500));
+}
+
+TEST(AppModelTest, TimeToBoundaryForWorkPhaseUsesRate)
+{
+    AppSpec spec;
+    spec.name = "batch";
+    AppPhase phase;
+    phase.kind = PhaseKind::kWork;
+    phase.work_gi = 2.0;
+    spec.phases.push_back(phase);
+    AppModel app(spec, 1);
+
+    const auto boundary = app.TimeToBoundary(0.5);
+    ASSERT_TRUE(boundary.has_value());
+    EXPECT_EQ(*boundary, SimTime::FromSeconds(4));
+    // Zero rate: no predictable boundary.
+    EXPECT_FALSE(app.TimeToBoundary(0.0).has_value());
+}
+
+TEST(AppModelTest, FinishedModelHasIdleDemand)
+{
+    AppModel app(TimedSpec(1.0, 5.0), 1);
+    app.Advance(SimTime::FromSeconds(1), 0.0);
+    ASSERT_TRUE(app.Finished());
+    EXPECT_DOUBLE_EQ(app.CurrentDemand().demand_gips, 0.0);
+    EXPECT_DOUBLE_EQ(app.CurrentComponentPower(), 0.0);
+    EXPECT_FALSE(app.TimeToBoundary(1.0).has_value());
+}
+
+AppSpec
+FrameSpec(double frame_work_gi, double period_s, double duration_s)
+{
+    AppSpec spec;
+    spec.name = "frames";
+    AppPhase phase;
+    phase.name = "render";
+    phase.kind = PhaseKind::kFrame;
+    phase.demand.ipc = 1.0;
+    phase.demand.parallelism = 1.0;
+    phase.frame_work_gi = frame_work_gi;
+    phase.frame_period = SimTime::FromSecondsF(period_s);
+    phase.duration = SimTime::FromSecondsF(duration_s);
+    phase.slack_demand.demand_gips = 0.0;
+    spec.phases.push_back(phase);
+    return spec;
+}
+
+TEST(AppModelTest, FrameLoopAlternatesComputeAndSlack)
+{
+    // 0.01 Gi per 100 ms frame; at 0.2 GIPS compute takes 50 ms.
+    AppModel app(FrameSpec(0.01, 0.1, 10.0), 1);
+    // Compute sub-state: boundary is work completion.
+    auto boundary = app.TimeToBoundary(0.2);
+    ASSERT_TRUE(boundary.has_value());
+    EXPECT_EQ(*boundary, SimTime::Millis(50));
+    app.Advance(SimTime::Millis(50), 0.01);
+    // Now in slack until the 100 ms period boundary.
+    boundary = app.TimeToBoundary(0.2);
+    ASSERT_TRUE(boundary.has_value());
+    EXPECT_NEAR(boundary->seconds(), 0.05, 1e-6);
+    EXPECT_DOUBLE_EQ(app.CurrentDemand().demand_gips, 0.0);
+    // After the slack a new frame starts computing.
+    app.Advance(*boundary, 0.0);
+    EXPECT_GT(app.CurrentDemand().demand_gips, 0.0);
+}
+
+TEST(AppModelTest, OverrunningFramesSkipSlack)
+{
+    // 0.01 Gi per 100 ms frame at only 0.05 GIPS: compute takes 200 ms.
+    AppModel app(FrameSpec(0.01, 0.1, 10.0), 1);
+    app.Advance(SimTime::Millis(200), 0.01);  // completes exactly at overrun
+    // No slack: next frame starts computing immediately.
+    EXPECT_GT(app.CurrentDemand().demand_gips, 0.0);
+}
+
+TEST(AppModelTest, FramePhaseEndsAtDuration)
+{
+    AppModel app(FrameSpec(0.01, 0.1, 0.5), 7);
+    for (int i = 0; i < 10; ++i) {
+        app.Advance(SimTime::Millis(100), 0.002);
+    }
+    EXPECT_TRUE(app.Finished());
+}
+
+TEST(AppModelTest, JitterVariesWorkButDeterministically)
+{
+    AppSpec spec;
+    spec.name = "jittered";
+    spec.jitter_rel = 0.2;
+    AppPhase phase;
+    phase.kind = PhaseKind::kWork;
+    phase.work_gi = 1.0;
+    spec.phases = {phase, phase, phase};
+
+    AppModel a(spec, 42);
+    AppModel b(spec, 42);
+    // Same seed → identical boundaries.
+    for (int i = 0; i < 3; ++i) {
+        const auto ta = a.TimeToBoundary(1.0);
+        const auto tb = b.TimeToBoundary(1.0);
+        ASSERT_TRUE(ta && tb);
+        EXPECT_EQ(*ta, *tb);
+        a.Advance(*ta, ta->seconds());
+        b.Advance(*tb, tb->seconds());
+    }
+
+    // Different seed → different jitter.
+    AppModel c(spec, 43);
+    const auto tc = c.TimeToBoundary(1.0);
+    AppModel d(spec, 42);
+    const auto td = d.TimeToBoundary(1.0);
+    ASSERT_TRUE(tc && td);
+    EXPECT_NE(*tc, *td);
+}
+
+TEST(AppModelTest, TotalsAccumulate)
+{
+    AppModel app(TimedSpec(10.0, 1.0), 1);
+    app.Advance(SimTime::FromSeconds(2), 1.5);
+    app.Advance(SimTime::FromSeconds(3), 2.5);
+    EXPECT_DOUBLE_EQ(app.total_executed_gi(), 4.0);
+    EXPECT_EQ(app.total_elapsed(), SimTime::FromSeconds(5));
+}
+
+}  // namespace
+}  // namespace aeo

@@ -1,0 +1,37 @@
+#include "apps/app_registry.h"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+namespace aeo {
+namespace {
+
+TEST(AppRegistryTest, AllPaperAppsPresent)
+{
+    const auto names = BuiltinAppNames();
+    ASSERT_EQ(names.size(), 7u);
+    for (const auto& name : names) {
+        EXPECT_TRUE(IsBuiltinApp(name)) << name;
+        const AppSpec spec = MakeAppSpecByName(name);
+        EXPECT_EQ(spec.name, name);
+        EXPECT_FALSE(spec.phases.empty());
+    }
+}
+
+TEST(AppRegistryTest, UnknownAppIsFatal)
+{
+    EXPECT_FALSE(IsBuiltinApp("Netflix"));
+    EXPECT_THROW(MakeAppSpecByName("Netflix"), FatalError);
+}
+
+TEST(AppRegistryTest, OrderMatchesPaperPresentation)
+{
+    const auto names = BuiltinAppNames();
+    EXPECT_EQ(names.front(), "VidCon");
+    EXPECT_EQ(names[5], "Spotify");
+    EXPECT_EQ(names.back(), "eBook");
+}
+
+}  // namespace
+}  // namespace aeo

@@ -1,0 +1,81 @@
+#include "apps/background_load.h"
+
+#include <gtest/gtest.h>
+
+namespace aeo {
+namespace {
+
+TEST(BackgroundLoadTest, NamesMatchPaper)
+{
+    EXPECT_EQ(ToString(BackgroundKind::kNoLoad), "NL");
+    EXPECT_EQ(ToString(BackgroundKind::kBaseline), "BL");
+    EXPECT_EQ(ToString(BackgroundKind::kHeavy), "HL");
+}
+
+TEST(BackgroundLoadTest, FreeMemoryOrderingMatchesPaper)
+{
+    // §V-C: free memory is 1 GB (NL) > 500 MB (BL) > 134 MB (HL).
+    const BackgroundEnv nl = MakeBackgroundEnv(BackgroundKind::kNoLoad);
+    const BackgroundEnv bl = MakeBackgroundEnv(BackgroundKind::kBaseline);
+    const BackgroundEnv hl = MakeBackgroundEnv(BackgroundKind::kHeavy);
+    EXPECT_GT(nl.free_memory_mb, bl.free_memory_mb);
+    EXPECT_GT(bl.free_memory_mb, hl.free_memory_mb);
+    EXPECT_NEAR(hl.free_memory_mb, 134.0, 1.0);
+}
+
+TEST(BackgroundLoadTest, MemoryPressureGrowsWithLoad)
+{
+    const BackgroundEnv nl = MakeBackgroundEnv(BackgroundKind::kNoLoad);
+    const BackgroundEnv bl = MakeBackgroundEnv(BackgroundKind::kBaseline);
+    const BackgroundEnv hl = MakeBackgroundEnv(BackgroundKind::kHeavy);
+    EXPECT_LE(nl.fg_mem_intensity_multiplier, bl.fg_mem_intensity_multiplier);
+    EXPECT_LT(bl.fg_mem_intensity_multiplier, hl.fg_mem_intensity_multiplier);
+}
+
+TEST(BackgroundLoadTest, LoadavgPressureIsSimilarAcrossLoads)
+{
+    // §V-C: loadavg is 6.3 / 6.7 / 6.6 — nearly identical; memory differs.
+    for (const auto kind : {BackgroundKind::kNoLoad, BackgroundKind::kBaseline,
+                            BackgroundKind::kHeavy}) {
+        const BackgroundEnv env = MakeBackgroundEnv(kind);
+        EXPECT_GT(env.resident_tasks, 6.0);
+        EXPECT_LT(env.resident_tasks, 7.0);
+    }
+}
+
+TEST(BackgroundLoadTest, SpecsLoopAndAreRunnable)
+{
+    for (const auto kind : {BackgroundKind::kNoLoad, BackgroundKind::kBaseline,
+                            BackgroundKind::kHeavy}) {
+        const BackgroundEnv env = MakeBackgroundEnv(kind);
+        EXPECT_TRUE(env.spec.loop);
+        AppModel model(env.spec, 5);
+        for (int i = 0; i < 1000; ++i) {
+            model.Advance(SimTime::Millis(100), 0.01);
+        }
+        EXPECT_FALSE(model.Finished());
+    }
+}
+
+TEST(BackgroundLoadTest, HeavierLoadDemandsMoreCompute)
+{
+    // Average the demand cap over the idle phases as a load proxy.
+    const auto avg_idle_demand = [](const BackgroundEnv& env) {
+        double sum = 0.0;
+        int count = 0;
+        for (const AppPhase& phase : env.spec.phases) {
+            if (phase.kind == PhaseKind::kTimed) {
+                sum += phase.demand.demand_gips;
+                ++count;
+            }
+        }
+        return sum / count;
+    };
+    EXPECT_LT(avg_idle_demand(MakeBackgroundEnv(BackgroundKind::kNoLoad)),
+              avg_idle_demand(MakeBackgroundEnv(BackgroundKind::kBaseline)));
+    EXPECT_LT(avg_idle_demand(MakeBackgroundEnv(BackgroundKind::kBaseline)),
+              avg_idle_demand(MakeBackgroundEnv(BackgroundKind::kHeavy)));
+}
+
+}  // namespace
+}  // namespace aeo

@@ -1,0 +1,66 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace aeo {
+namespace {
+
+TEST(CsvWriterTest, WritesHeaderAndRows)
+{
+    CsvWriter writer({"a", "b"});
+    writer.AddRow({"1", "2"});
+    writer.AddRow({"x", "y"});
+    EXPECT_EQ(writer.ToString(), "a,b\n1,2\nx,y\n");
+    EXPECT_EQ(writer.row_count(), 2u);
+}
+
+TEST(CsvWriterTest, EscapesSpecialCharacters)
+{
+    CsvWriter writer({"text"});
+    writer.AddRow({"has,comma"});
+    writer.AddRow({"has\"quote"});
+    EXPECT_EQ(writer.ToString(), "text\n\"has,comma\"\n\"has\"\"quote\"\n");
+}
+
+TEST(CsvWriterTest, NumericRowFormatting)
+{
+    CsvWriter writer({"x", "y"});
+    writer.AddNumericRow({1.5, 2.0});
+    EXPECT_EQ(writer.ToString(), "x,y\n1.5,2\n");
+}
+
+TEST(ParseCsvTest, RoundTripsSimpleTable)
+{
+    const auto rows = ParseCsv("a,b\n1,2\n3,4\n");
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_EQ(rows[0][0], "a");
+    EXPECT_EQ(rows[2][1], "4");
+}
+
+TEST(ParseCsvTest, SkipsBlankLines)
+{
+    const auto rows = ParseCsv("a\n\n1\n  \n2\n");
+    EXPECT_EQ(rows.size(), 3u);
+}
+
+TEST(CsvFileTest, WriteAndReadBack)
+{
+    const std::string path = ::testing::TempDir() + "/aeo_csv_test.csv";
+    CsvWriter writer({"k", "v"});
+    writer.AddRow({"alpha", "1"});
+    writer.WriteFile(path);
+    EXPECT_EQ(ReadFileToString(path), "k,v\nalpha,1\n");
+    std::remove(path.c_str());
+}
+
+TEST(CsvFileTest, ReadMissingFileIsFatal)
+{
+    EXPECT_THROW(ReadFileToString("/nonexistent/aeo/file.csv"), FatalError);
+}
+
+}  // namespace
+}  // namespace aeo

@@ -1,0 +1,47 @@
+#include "common/interpolate.h"
+
+#include <gtest/gtest.h>
+
+namespace aeo {
+namespace {
+
+TEST(PiecewiseLinearTest, ExactAtKnots)
+{
+    const PiecewiseLinear fn({762, 3051, 16250}, {1.0, 1.4, 1.6});
+    EXPECT_DOUBLE_EQ(fn(762), 1.0);
+    EXPECT_DOUBLE_EQ(fn(3051), 1.4);
+    EXPECT_DOUBLE_EQ(fn(16250), 1.6);
+}
+
+TEST(PiecewiseLinearTest, LinearBetweenKnots)
+{
+    const PiecewiseLinear fn({0.0, 10.0}, {100.0, 200.0});
+    EXPECT_DOUBLE_EQ(fn(2.5), 125.0);
+    EXPECT_DOUBLE_EQ(fn(5.0), 150.0);
+}
+
+TEST(PiecewiseLinearTest, ClampsOutsideRange)
+{
+    const PiecewiseLinear fn({1.0, 2.0}, {10.0, 20.0});
+    EXPECT_DOUBLE_EQ(fn(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(fn(5.0), 20.0);
+}
+
+TEST(PiecewiseLinearTest, SingleKnotIsConstant)
+{
+    const PiecewiseLinear fn({3.0}, {7.0});
+    EXPECT_DOUBLE_EQ(fn(-1.0), 7.0);
+    EXPECT_DOUBLE_EQ(fn(3.0), 7.0);
+    EXPECT_DOUBLE_EQ(fn(100.0), 7.0);
+}
+
+TEST(PiecewiseLinearTest, PicksCorrectSegment)
+{
+    const PiecewiseLinear fn({0.0, 1.0, 2.0, 4.0}, {0.0, 10.0, 10.0, 0.0});
+    EXPECT_DOUBLE_EQ(fn(0.5), 5.0);
+    EXPECT_DOUBLE_EQ(fn(1.5), 10.0);
+    EXPECT_DOUBLE_EQ(fn(3.0), 5.0);
+}
+
+}  // namespace
+}  // namespace aeo

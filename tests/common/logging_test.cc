@@ -1,0 +1,43 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace aeo {
+namespace {
+
+TEST(LoggingTest, FatalThrowsWithFormattedMessage)
+{
+    try {
+        Fatal("bad value %d for '%s'", 42, "knob");
+        FAIL() << "Fatal did not throw";
+    } catch (const FatalError& e) {
+        EXPECT_STREQ(e.what(), "bad value 42 for 'knob'");
+    }
+}
+
+TEST(LoggingTest, LogLevelRoundTrips)
+{
+    const LogLevel before = GetLogLevel();
+    SetLogLevel(LogLevel::kQuiet);
+    EXPECT_EQ(GetLogLevel(), LogLevel::kQuiet);
+    SetLogLevel(before);
+}
+
+TEST(LoggingTest, AssertPassesOnTrueCondition)
+{
+    AEO_ASSERT(1 + 1 == 2, "math works");
+    SUCCEED();
+}
+
+TEST(LoggingDeathTest, AssertAbortsOnFalseCondition)
+{
+    EXPECT_DEATH({ AEO_ASSERT(false, "expected failure %d", 7); }, "expected failure 7");
+}
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH({ AEO_PANIC("boom %s", "now"); }, "boom now");
+}
+
+}  // namespace
+}  // namespace aeo

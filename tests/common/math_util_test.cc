@@ -1,0 +1,73 @@
+#include "common/math_util.h"
+
+#include <gtest/gtest.h>
+
+namespace aeo {
+namespace {
+
+TEST(ClampTest, ClampsBothEnds)
+{
+    EXPECT_DOUBLE_EQ(Clamp(5.0, 0.0, 1.0), 1.0);
+    EXPECT_DOUBLE_EQ(Clamp(-5.0, 0.0, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(Clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+TEST(LerpTest, Interpolates)
+{
+    EXPECT_DOUBLE_EQ(Lerp(10.0, 20.0, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(Lerp(10.0, 20.0, 1.0), 20.0);
+    EXPECT_DOUBLE_EQ(Lerp(10.0, 20.0, 0.25), 12.5);
+}
+
+TEST(ApproxEqualTest, RelativeAndAbsolute)
+{
+    EXPECT_TRUE(ApproxEqual(1.0, 1.0 + 1e-12));
+    EXPECT_FALSE(ApproxEqual(1.0, 1.001));
+    EXPECT_TRUE(ApproxEqual(1.0, 1.001, 1e-2));
+    EXPECT_TRUE(ApproxEqual(1e9, 1e9 + 1.0, 1e-8));
+}
+
+TEST(PercentChangeTest, SignConvention)
+{
+    EXPECT_DOUBLE_EQ(PercentChange(100.0, 125.0), 25.0);
+    EXPECT_DOUBLE_EQ(PercentChange(100.0, 75.0), -25.0);
+}
+
+TEST(MeanStdDevTest, KnownValues)
+{
+    const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    EXPECT_DOUBLE_EQ(Mean(xs), 5.0);
+    EXPECT_NEAR(StdDev(xs), 2.138, 1e-3);
+}
+
+TEST(MeanStdDevTest, DegenerateInputs)
+{
+    EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(StdDev({}), 0.0);
+    EXPECT_DOUBLE_EQ(StdDev({3.0}), 0.0);
+}
+
+TEST(MinMaxTest, FindsExtremes)
+{
+    const std::vector<double> xs = {3.0, -1.0, 7.0, 2.0};
+    EXPECT_DOUBLE_EQ(Min(xs), -1.0);
+    EXPECT_DOUBLE_EQ(Max(xs), 7.0);
+}
+
+TEST(PercentileTest, InterpolatesOrderStatistics)
+{
+    const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 5.0};
+    EXPECT_DOUBLE_EQ(Percentile(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(Percentile(xs, 100.0), 5.0);
+    EXPECT_DOUBLE_EQ(Percentile(xs, 50.0), 3.0);
+    EXPECT_DOUBLE_EQ(Percentile(xs, 25.0), 2.0);
+    EXPECT_DOUBLE_EQ(Percentile(xs, 62.5), 3.5);
+}
+
+TEST(PercentileTest, SingleElement)
+{
+    EXPECT_DOUBLE_EQ(Percentile({42.0}, 99.0), 42.0);
+}
+
+}  // namespace
+}  // namespace aeo

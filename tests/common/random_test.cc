@@ -1,0 +1,120 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/math_util.h"
+
+namespace aeo {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.NextU64(), b.NextU64());
+    }
+}
+
+TEST(RngTest, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.NextU64() == b.NextU64()) {
+            ++same;
+        }
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double x = rng.NextDouble();
+        EXPECT_GE(x, 0.0);
+        EXPECT_LT(x, 1.0);
+    }
+}
+
+TEST(RngTest, UniformRespectsRange)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.Uniform(-2.0, 5.0);
+        EXPECT_GE(x, -2.0);
+        EXPECT_LT(x, 5.0);
+    }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusively)
+{
+    Rng rng(11);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const int64_t x = rng.UniformInt(0, 9);
+        EXPECT_GE(x, 0);
+        EXPECT_LE(x, 9);
+        saw_lo = saw_lo || x == 0;
+        saw_hi = saw_hi || x == 9;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, GaussianHasRequestedMoments)
+{
+    Rng rng(13);
+    std::vector<double> samples;
+    samples.reserve(50000);
+    for (int i = 0; i < 50000; ++i) {
+        samples.push_back(rng.Gaussian(10.0, 2.0));
+    }
+    EXPECT_NEAR(Mean(samples), 10.0, 0.05);
+    EXPECT_NEAR(StdDev(samples), 2.0, 0.05);
+}
+
+TEST(RngTest, BernoulliMatchesProbability)
+{
+    Rng rng(17);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        hits += rng.Bernoulli(0.3) ? 1 : 0;
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, ExponentialHasRequestedMean)
+{
+    Rng rng(19);
+    std::vector<double> samples;
+    for (int i = 0; i < 50000; ++i) {
+        const double x = rng.Exponential(4.0);
+        EXPECT_GE(x, 0.0);
+        samples.push_back(x);
+    }
+    EXPECT_NEAR(Mean(samples), 4.0, 0.15);
+}
+
+TEST(RngTest, ForkProducesIndependentStream)
+{
+    Rng parent(23);
+    Rng child = parent.Fork();
+    // The child stream should differ from the parent's continuation.
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (parent.NextU64() == child.NextU64()) {
+            ++same;
+        }
+    }
+    EXPECT_EQ(same, 0);
+}
+
+}  // namespace
+}  // namespace aeo

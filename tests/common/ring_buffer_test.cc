@@ -1,0 +1,58 @@
+#include "common/ring_buffer.h"
+
+#include <gtest/gtest.h>
+
+namespace aeo {
+namespace {
+
+TEST(RingBufferTest, FillsUpToCapacity)
+{
+    RingBuffer<int> ring(3);
+    EXPECT_TRUE(ring.empty());
+    ring.Push(1);
+    ring.Push(2);
+    EXPECT_EQ(ring.size(), 2u);
+    EXPECT_FALSE(ring.full());
+    ring.Push(3);
+    EXPECT_TRUE(ring.full());
+}
+
+TEST(RingBufferTest, EvictsOldestWhenFull)
+{
+    RingBuffer<int> ring(3);
+    for (int i = 1; i <= 5; ++i) {
+        ring.Push(i);
+    }
+    EXPECT_EQ(ring.size(), 3u);
+    EXPECT_EQ(ring[0], 3);
+    EXPECT_EQ(ring[1], 4);
+    EXPECT_EQ(ring[2], 5);
+    EXPECT_EQ(ring.back(), 5);
+}
+
+TEST(RingBufferTest, ToVectorPreservesOrder)
+{
+    RingBuffer<int> ring(4);
+    for (int i = 0; i < 10; ++i) {
+        ring.Push(i);
+    }
+    const std::vector<int> out = ring.ToVector();
+    ASSERT_EQ(out.size(), 4u);
+    EXPECT_EQ(out.front(), 6);
+    EXPECT_EQ(out.back(), 9);
+}
+
+TEST(RingBufferTest, ClearEmpties)
+{
+    RingBuffer<int> ring(2);
+    ring.Push(1);
+    ring.Push(2);
+    ring.Clear();
+    EXPECT_TRUE(ring.empty());
+    ring.Push(9);
+    EXPECT_EQ(ring.back(), 9);
+    EXPECT_EQ(ring[0], 9);
+}
+
+}  // namespace
+}  // namespace aeo

@@ -1,0 +1,92 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace aeo {
+namespace {
+
+TEST(StrFormatTest, FormatsLikePrintf)
+{
+    EXPECT_EQ(StrFormat("x=%d y=%.2f s=%s", 3, 2.5, "hi"), "x=3 y=2.50 s=hi");
+}
+
+TEST(StrFormatTest, NoArgumentsPassesThrough)
+{
+    EXPECT_EQ(StrFormat("plain"), "plain");
+}
+
+TEST(StrFormatTest, LongOutputIsNotTruncated)
+{
+    const std::string big(5000, 'a');
+    EXPECT_EQ(StrFormat("%s", big.c_str()).size(), 5000u);
+}
+
+TEST(SplitTest, SplitsAndKeepsEmptyFields)
+{
+    const auto fields = Split("a,,b,", ',');
+    ASSERT_EQ(fields.size(), 4u);
+    EXPECT_EQ(fields[0], "a");
+    EXPECT_EQ(fields[1], "");
+    EXPECT_EQ(fields[2], "b");
+    EXPECT_EQ(fields[3], "");
+}
+
+TEST(SplitTest, NoSeparatorYieldsWholeString)
+{
+    const auto fields = Split("abc", ',');
+    ASSERT_EQ(fields.size(), 1u);
+    EXPECT_EQ(fields[0], "abc");
+}
+
+TEST(TrimTest, RemovesSurroundingWhitespace)
+{
+    EXPECT_EQ(Trim("  hello\tworld \n"), "hello\tworld");
+    EXPECT_EQ(Trim("   "), "");
+    EXPECT_EQ(Trim(""), "");
+}
+
+TEST(JoinTest, JoinsWithSeparator)
+{
+    EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(Join({}, ","), "");
+    EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StartsEndsWithTest, Basics)
+{
+    EXPECT_TRUE(StartsWith("scaling_governor", "scaling"));
+    EXPECT_FALSE(StartsWith("gov", "governor"));
+    EXPECT_TRUE(EndsWith("cur_freq", "freq"));
+    EXPECT_FALSE(EndsWith("freq", "cur_freq"));
+}
+
+TEST(ParseDoubleTest, ParsesValidInput)
+{
+    double value = 0.0;
+    EXPECT_TRUE(ParseDouble("3.25", &value));
+    EXPECT_DOUBLE_EQ(value, 3.25);
+    EXPECT_TRUE(ParseDouble("  -1e3 ", &value));
+    EXPECT_DOUBLE_EQ(value, -1000.0);
+}
+
+TEST(ParseDoubleTest, RejectsGarbage)
+{
+    double value = 0.0;
+    EXPECT_FALSE(ParseDouble("", &value));
+    EXPECT_FALSE(ParseDouble("12x", &value));
+    EXPECT_FALSE(ParseDouble("abc", &value));
+}
+
+TEST(ParseInt64Test, ParsesAndRejects)
+{
+    long long value = 0;
+    EXPECT_TRUE(ParseInt64("2649600", &value));
+    EXPECT_EQ(value, 2649600);
+    EXPECT_TRUE(ParseInt64("-5", &value));
+    EXPECT_EQ(value, -5);
+    EXPECT_FALSE(ParseInt64("1.5", &value));
+    EXPECT_FALSE(ParseInt64("", &value));
+}
+
+}  // namespace
+}  // namespace aeo

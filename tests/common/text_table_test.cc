@@ -1,0 +1,73 @@
+#include "common/text_table.h"
+
+#include <gtest/gtest.h>
+
+namespace aeo {
+namespace {
+
+TEST(TextTableTest, RendersHeaderAndRows)
+{
+    TextTable table({"App", "Energy"});
+    table.AddRow({"VidCon", "25.3%"});
+    const std::string out = table.ToString();
+    EXPECT_NE(out.find("App"), std::string::npos);
+    EXPECT_NE(out.find("VidCon"), std::string::npos);
+    EXPECT_NE(out.find("25.3%"), std::string::npos);
+}
+
+TEST(TextTableTest, ColumnsAreAligned)
+{
+    TextTable table({"name", "value"});
+    table.AddRow({"a", "1"});
+    table.AddRow({"longer-name", "22"});
+    const std::string out = table.ToString();
+    // Every rendered line has the same width.
+    size_t width = 0;
+    size_t start = 0;
+    while (start < out.size()) {
+        const size_t end = out.find('\n', start);
+        const size_t len = end - start;
+        if (width == 0) {
+            width = len;
+        }
+        EXPECT_EQ(len, width);
+        start = end + 1;
+    }
+}
+
+TEST(TextTableTest, SeparatorAddsRuler)
+{
+    TextTable table({"x"});
+    table.AddRow({"1"});
+    table.AddSeparator();
+    table.AddRow({"2"});
+    const std::string out = table.ToString();
+    // Rulers: top, under header, separator, bottom = 4 lines starting with '+'.
+    int rulers = 0;
+    size_t start = 0;
+    while (start < out.size()) {
+        if (out[start] == '+') {
+            ++rulers;
+        }
+        const size_t end = out.find('\n', start);
+        if (end == std::string::npos) {
+            break;
+        }
+        start = end + 1;
+    }
+    EXPECT_EQ(rulers, 4);
+}
+
+TEST(TextTableTest, AlignmentIsConfigurable)
+{
+    TextTable table({"l", "r"});
+    table.SetAlignment({Align::kLeft, Align::kRight});
+    table.AddRow({"ab", "1"});
+    table.AddRow({"c", "22"});
+    const std::string out = table.ToString();
+    EXPECT_NE(out.find("| ab |"), std::string::npos);
+    EXPECT_NE(out.find("|  1 |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aeo

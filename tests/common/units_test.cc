@@ -1,0 +1,73 @@
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+namespace aeo {
+namespace {
+
+using namespace unit_literals;
+
+TEST(UnitsTest, ArithmeticWithinAUnit)
+{
+    const Milliwatts a(1500.0);
+    const Milliwatts b(500.0);
+    EXPECT_DOUBLE_EQ((a + b).value(), 2000.0);
+    EXPECT_DOUBLE_EQ((a - b).value(), 1000.0);
+    EXPECT_DOUBLE_EQ((a * 2.0).value(), 3000.0);
+    EXPECT_DOUBLE_EQ((a / 3.0).value(), 500.0);
+    EXPECT_DOUBLE_EQ(a / b, 3.0);
+}
+
+TEST(UnitsTest, ComparisonOperators)
+{
+    EXPECT_LT(Gigahertz(0.3), Gigahertz(2.65));
+    EXPECT_GE(Gips(1.0), Gips(1.0));
+    EXPECT_EQ(Joules(5.0), Joules(5.0));
+}
+
+TEST(UnitsTest, PowerTimesTimeIsEnergy)
+{
+    const Joules e = Milliwatts(2000.0) * Seconds(3.0);
+    EXPECT_DOUBLE_EQ(e.value(), 6.0);  // 2 W × 3 s
+    EXPECT_DOUBLE_EQ((Seconds(3.0) * Milliwatts(2000.0)).value(), 6.0);
+}
+
+TEST(UnitsTest, AveragePowerInverts)
+{
+    const Milliwatts p = AveragePower(Joules(6.0), Seconds(3.0));
+    EXPECT_DOUBLE_EQ(p.value(), 2000.0);
+}
+
+TEST(UnitsTest, ConversionHelpers)
+{
+    EXPECT_DOUBLE_EQ(Gigahertz(1.4976).megahertz(), 1497.6);
+    EXPECT_DOUBLE_EQ(MegabytesPerSecond(762).bytes_per_second(), 762e6);
+    EXPECT_DOUBLE_EQ(Milliwatts(1500).watts(), 1.5);
+    EXPECT_DOUBLE_EQ(Joules(2.0).millijoules(), 2000.0);
+    EXPECT_DOUBLE_EQ(Gips(0.129).instructions_per_second(), 0.129e9);
+}
+
+TEST(UnitsTest, GigaInstructions)
+{
+    EXPECT_DOUBLE_EQ(GigaInstructions(Gips(2.0), Seconds(10.0)), 20.0);
+}
+
+TEST(UnitsTest, Literals)
+{
+    EXPECT_DOUBLE_EQ((1.5_GHz).value(), 1.5);
+    EXPECT_DOUBLE_EQ((762_MBps).value(), 762.0);
+    EXPECT_DOUBLE_EQ((1623.57_mW).value(), 1623.57);
+    EXPECT_DOUBLE_EQ((2_s).value(), 2.0);
+}
+
+TEST(UnitsTest, CompoundAssignment)
+{
+    Joules e(1.0);
+    e += Joules(2.0);
+    EXPECT_DOUBLE_EQ(e.value(), 3.0);
+    e -= Joules(0.5);
+    EXPECT_DOUBLE_EQ(e.value(), 2.5);
+}
+
+}  // namespace
+}  // namespace aeo

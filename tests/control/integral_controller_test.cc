@@ -1,0 +1,72 @@
+#include "control/integral_controller.h"
+
+#include <gtest/gtest.h>
+
+namespace aeo {
+namespace {
+
+TEST(IntegralControllerTest, StepAccumulatesScaledError)
+{
+    AdaptiveIntegralController controller(1.0, 0.0, 10.0);
+    // s = 1 + e/b = 1 + 0.5/0.5 = 2.
+    EXPECT_DOUBLE_EQ(controller.Step(0.5, 0.5), 2.0);
+    EXPECT_DOUBLE_EQ(controller.output(), 2.0);
+    // Negative error integrates downward.
+    EXPECT_DOUBLE_EQ(controller.Step(-0.25, 0.5), 1.5);
+}
+
+TEST(IntegralControllerTest, OutputIsClamped)
+{
+    AdaptiveIntegralController controller(1.0, 1.0, 2.0);
+    EXPECT_DOUBLE_EQ(controller.Step(100.0, 1.0), 2.0);
+    EXPECT_DOUBLE_EQ(controller.Step(-100.0, 1.0), 1.0);
+}
+
+TEST(IntegralControllerTest, AdaptiveGainScalesWithBaseSpeed)
+{
+    AdaptiveIntegralController slow_app(1.0, 0.0, 100.0);
+    AdaptiveIntegralController fast_app(1.0, 0.0, 100.0);
+    // The same GIPS error moves a slow app (small b) much more.
+    slow_app.Step(0.1, 0.129);  // AngryBirds-like base speed
+    fast_app.Step(0.1, 0.471);  // VidCon-like base speed
+    EXPECT_GT(slow_app.output(), fast_app.output());
+    EXPECT_NEAR(slow_app.output(), 1.0 + 0.1 / 0.129, 1e-12);
+}
+
+TEST(IntegralControllerTest, ConvergesOnStaticPlant)
+{
+    // Plant: y = s · b with b = 0.2; target r = 0.5 → s* = 2.5.
+    const double b = 0.2;
+    const double target = 0.5;
+    AdaptiveIntegralController controller(1.0, 0.5, 5.0);
+    double s = controller.output();
+    for (int i = 0; i < 50; ++i) {
+        const double y = s * b;
+        s = controller.Step(target - y, b);
+    }
+    EXPECT_NEAR(s, 2.5, 1e-6);
+}
+
+TEST(IntegralControllerTest, SetOutputRangeReclamps)
+{
+    AdaptiveIntegralController controller(5.0, 0.0, 10.0);
+    controller.SetOutputRange(0.0, 3.0);
+    EXPECT_DOUBLE_EQ(controller.output(), 3.0);
+}
+
+TEST(IntegralControllerTest, ResetRestoresState)
+{
+    AdaptiveIntegralController controller(1.0, 0.0, 10.0);
+    controller.Step(5.0, 1.0);
+    controller.Reset(2.0);
+    EXPECT_DOUBLE_EQ(controller.output(), 2.0);
+}
+
+TEST(IntegralControllerDeathTest, RejectsNonPositiveGainDenominator)
+{
+    AdaptiveIntegralController controller(1.0, 0.0, 10.0);
+    EXPECT_DEATH(controller.Step(1.0, 0.0), "positive");
+}
+
+}  // namespace
+}  // namespace aeo

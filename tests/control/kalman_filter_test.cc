@@ -1,0 +1,83 @@
+#include "control/kalman_filter.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace aeo {
+namespace {
+
+TEST(KalmanFilterTest, ConvergesToConstantState)
+{
+    ScalarKalmanFilter filter(0.5, 1.0, 1e-6, 0.01);
+    for (int i = 0; i < 200; ++i) {
+        filter.Update(2.0, 1.0);  // noiseless z = x, true x = 2
+    }
+    EXPECT_NEAR(filter.estimate(), 2.0, 1e-3);
+    EXPECT_LT(filter.variance(), 0.01);
+}
+
+TEST(KalmanFilterTest, FiltersNoisyMeasurements)
+{
+    Rng rng(123);
+    ScalarKalmanFilter filter(0.1, 0.5, 1e-7, 0.04);
+    const double truth = 0.129;  // AngryBirds base speed
+    for (int i = 0; i < 500; ++i) {
+        filter.Update(truth + rng.Gaussian(0.0, 0.02), 1.0);
+    }
+    EXPECT_NEAR(filter.estimate(), truth, 0.01);
+}
+
+TEST(KalmanFilterTest, TimeVaryingObservationGain)
+{
+    // y = h·x with varying h (the controller's applied speedup).
+    ScalarKalmanFilter filter(1.0, 1.0, 1e-6, 0.001);
+    const double truth = 0.25;
+    Rng rng(7);
+    for (int i = 0; i < 300; ++i) {
+        const double h = 1.0 + 0.5 * rng.NextDouble() * 2.0;  // 1..2
+        filter.Update(h * truth, h);
+    }
+    EXPECT_NEAR(filter.estimate(), truth, 1e-3);
+}
+
+TEST(KalmanFilterTest, TracksDriftingState)
+{
+    ScalarKalmanFilter filter(1.0, 0.1, 1e-3, 0.01);
+    double truth = 1.0;
+    for (int i = 0; i < 500; ++i) {
+        truth += 0.002;  // slow drift
+        filter.Update(truth, 1.0);
+    }
+    EXPECT_NEAR(filter.estimate(), truth, 0.05);
+}
+
+TEST(KalmanFilterTest, HugeMeasurementVarianceFreezesEstimate)
+{
+    // This is how the controller disables the filter in the ablation.
+    ScalarKalmanFilter filter(0.3, 0.01, 0.0, 1e12);
+    for (int i = 0; i < 100; ++i) {
+        filter.Update(5.0, 1.0);
+    }
+    EXPECT_NEAR(filter.estimate(), 0.3, 1e-6);
+}
+
+TEST(KalmanFilterTest, VarianceShrinksWithInformativeUpdates)
+{
+    ScalarKalmanFilter filter(0.0, 10.0, 0.0, 0.1);
+    const double v0 = filter.variance();
+    filter.Update(1.0, 1.0);
+    EXPECT_LT(filter.variance(), v0);
+}
+
+TEST(KalmanFilterTest, ResetReinitializes)
+{
+    ScalarKalmanFilter filter(1.0, 1.0, 1e-4, 0.01);
+    filter.Update(3.0, 1.0);
+    filter.Reset(0.5, 2.0);
+    EXPECT_DOUBLE_EQ(filter.estimate(), 0.5);
+    EXPECT_DOUBLE_EQ(filter.variance(), 2.0);
+}
+
+}  // namespace
+}  // namespace aeo

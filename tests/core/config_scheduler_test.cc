@@ -1,0 +1,119 @@
+#include "core/config_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "device/device.h"
+
+namespace aeo {
+namespace {
+
+ProfileTable
+TwoConfigTable()
+{
+    std::vector<ProfileEntry> entries = {
+        {SystemConfig{2, 0}, 1.0, 1000.0},
+        {SystemConfig{4, 4}, 1.5, 1500.0},
+    };
+    return ProfileTable("sched-test", std::move(entries), 0.2);
+}
+
+class ConfigSchedulerTest : public ::testing::Test {
+  protected:
+    ConfigSchedulerTest() : scheduler_(&device_)
+    {
+        device_.UseUserspaceGovernors();
+    }
+
+    Device device_;
+    ConfigScheduler scheduler_;
+};
+
+TEST_F(ConfigSchedulerTest, ApplyConfigNowSetsBothLevels)
+{
+    scheduler_.ApplyConfigNow(SystemConfig{9, 7});
+    EXPECT_EQ(device_.cluster().level(), 9);
+    EXPECT_EQ(device_.bus().level(), 7);
+    EXPECT_EQ(scheduler_.write_count(), 2u);
+}
+
+TEST_F(ConfigSchedulerTest, CpuOnlyConfigLeavesBusAlone)
+{
+    device_.bus().SetLevel(5);
+    scheduler_.ApplyConfigNow(SystemConfig{9, kBwDefaultGovernor});
+    EXPECT_EQ(device_.cluster().level(), 9);
+    EXPECT_EQ(device_.bus().level(), 5);
+    EXPECT_EQ(scheduler_.write_count(), 1u);
+}
+
+TEST_F(ConfigSchedulerTest, TwoSlotScheduleSwitchesMidCycle)
+{
+    const ProfileTable table = TwoConfigTable();
+    ConfigSchedule schedule;
+    schedule.slots = {ScheduleSlot{0, 1.2}, ScheduleSlot{1, 0.8}};
+    scheduler_.Apply(schedule, table);
+
+    // First slot applied immediately.
+    EXPECT_EQ(device_.cluster().level(), 2);
+    // Second slot applies 1.2 s into the cycle.
+    device_.sim().RunUntil(SimTime::FromSecondsF(1.19));
+    EXPECT_EQ(device_.cluster().level(), 2);
+    device_.sim().RunUntil(SimTime::FromSecondsF(1.21));
+    EXPECT_EQ(device_.cluster().level(), 4);
+    EXPECT_EQ(device_.bus().level(), 4);
+}
+
+TEST_F(ConfigSchedulerTest, DwellsQuantizeToTheGrid)
+{
+    // 0.73 s rounds to 0.8 s on the 200 ms grid; the cycle total holds.
+    const ProfileTable table = TwoConfigTable();
+    ConfigSchedule schedule;
+    schedule.slots = {ScheduleSlot{0, 0.73}, ScheduleSlot{1, 1.27}};
+    scheduler_.Apply(schedule, table);
+
+    device_.sim().RunUntil(SimTime::FromSecondsF(0.79));
+    EXPECT_EQ(device_.cluster().level(), 2);
+    device_.sim().RunUntil(SimTime::FromSecondsF(0.81));
+    EXPECT_EQ(device_.cluster().level(), 4);
+}
+
+TEST_F(ConfigSchedulerTest, SubDwellSlotMergesIntoTheOther)
+{
+    // 60 ms rounds to zero on the 200 ms grid: the whole cycle goes to the
+    // other slot and no mid-cycle switch is scheduled.
+    const ProfileTable table = TwoConfigTable();
+    ConfigSchedule schedule;
+    schedule.slots = {ScheduleSlot{0, 0.06}, ScheduleSlot{1, 1.94}};
+    scheduler_.Apply(schedule, table);
+
+    EXPECT_EQ(device_.cluster().level(), 4);  // straight to the second slot
+    const uint64_t transitions = device_.cluster().transition_count();
+    device_.sim().RunUntil(SimTime::FromSeconds(3));
+    EXPECT_EQ(device_.cluster().transition_count(), transitions);
+}
+
+TEST_F(ConfigSchedulerTest, ReapplyCancelsPendingSwitches)
+{
+    const ProfileTable table = TwoConfigTable();
+    ConfigSchedule schedule;
+    schedule.slots = {ScheduleSlot{0, 1.0}, ScheduleSlot{1, 1.0}};
+    scheduler_.Apply(schedule, table);
+    // A new cycle arrives before the pending switch fires.
+    ConfigSchedule hold;
+    hold.slots = {ScheduleSlot{0, 2.0}};
+    scheduler_.Apply(hold, table);
+    device_.sim().RunUntil(SimTime::FromSeconds(3));
+    // The cancelled switch never happened.
+    EXPECT_EQ(device_.cluster().level(), 2);
+}
+
+TEST_F(ConfigSchedulerTest, SingleSlotAppliesImmediately)
+{
+    const ProfileTable table = TwoConfigTable();
+    ConfigSchedule schedule;
+    schedule.slots = {ScheduleSlot{1, 2.0}};
+    scheduler_.Apply(schedule, table);
+    EXPECT_EQ(device_.cluster().level(), 4);
+}
+
+}  // namespace
+}  // namespace aeo

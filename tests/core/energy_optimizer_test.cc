@@ -1,0 +1,166 @@
+#include "core/energy_optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace aeo {
+namespace {
+
+ProfileTable
+SimpleTable()
+{
+    std::vector<ProfileEntry> entries = {
+        {SystemConfig{0, 0}, 1.0, 100.0},  {SystemConfig{1, 0}, 1.5, 160.0},
+        {SystemConfig{2, 0}, 2.0, 250.0},  {SystemConfig{3, 0}, 2.5, 380.0},
+        {SystemConfig{4, 0}, 3.0, 600.0},
+    };
+    return ProfileTable("test", std::move(entries), 0.2);
+}
+
+TEST(EnergyOptimizerTest, ExactSpeedupUsesSingleConfig)
+{
+    const ProfileTable table = SimpleTable();
+    const EnergyOptimizer optimizer(&table);
+    const ConfigSchedule schedule = optimizer.Optimize(2.0, 2.0);
+    ASSERT_EQ(schedule.slots.size(), 1u);
+    EXPECT_EQ(table.entries()[schedule.slots[0].entry_index].speedup, 2.0);
+    EXPECT_NEAR(schedule.slots[0].seconds, 2.0, 1e-12);
+    EXPECT_NEAR(schedule.expected_speedup, 2.0, 1e-12);
+}
+
+TEST(EnergyOptimizerTest, IntermediateSpeedupBlendsNeighbors)
+{
+    const ProfileTable table = SimpleTable();
+    const EnergyOptimizer optimizer(&table);
+    const ConfigSchedule schedule = optimizer.Optimize(1.75, 2.0);
+    ASSERT_EQ(schedule.slots.size(), 2u);
+    const double s_low = table.entries()[schedule.slots[0].entry_index].speedup;
+    const double s_high = table.entries()[schedule.slots[1].entry_index].speedup;
+    EXPECT_LE(s_low, 1.75);
+    EXPECT_GE(s_high, 1.75);
+    EXPECT_NEAR(schedule.slots[0].seconds + schedule.slots[1].seconds, 2.0, 1e-12);
+    EXPECT_NEAR(schedule.expected_speedup, 1.75, 1e-9);
+}
+
+TEST(EnergyOptimizerTest, SpeedupBelowRangeClampsToCheapestConfig)
+{
+    const ProfileTable table = SimpleTable();
+    const EnergyOptimizer optimizer(&table);
+    const ConfigSchedule schedule = optimizer.Optimize(0.2, 2.0);
+    ASSERT_EQ(schedule.slots.size(), 1u);
+    EXPECT_NEAR(schedule.expected_power_mw, 100.0, 1e-9);
+}
+
+TEST(EnergyOptimizerTest, SpeedupAboveRangeClampsToFastestConfig)
+{
+    const ProfileTable table = SimpleTable();
+    const EnergyOptimizer optimizer(&table);
+    const ConfigSchedule schedule = optimizer.Optimize(99.0, 2.0);
+    ASSERT_EQ(schedule.slots.size(), 1u);
+    EXPECT_NEAR(schedule.expected_power_mw, 600.0, 1e-9);
+    EXPECT_NEAR(schedule.expected_speedup, 3.0, 1e-12);
+}
+
+TEST(EnergyOptimizerTest, SkipsNonHullConfigurations)
+{
+    // Entry at speedup 1.5 is overpriced: blending 1.0 and 2.0 is cheaper.
+    std::vector<ProfileEntry> entries = {
+        {SystemConfig{0, 0}, 1.0, 100.0},
+        {SystemConfig{1, 0}, 1.5, 400.0},  // above the segment (100+250)/2=175
+        {SystemConfig{2, 0}, 2.0, 250.0},
+    };
+    const ProfileTable table("test", std::move(entries), 0.2);
+    const EnergyOptimizer optimizer(&table);
+    const ConfigSchedule schedule = optimizer.Optimize(1.5, 2.0);
+    ASSERT_EQ(schedule.slots.size(), 2u);
+    EXPECT_NEAR(schedule.expected_power_mw, 175.0, 1e-9);
+}
+
+TEST(EnergyOptimizerTest, DescendingHullStillMeetsEqualityConstraint)
+{
+    // The slowest config is also the most power hungry (possible in
+    // CPU-only tables where the default bandwidth governor misbehaves).
+    // The paper's LP holds performance *at* the target (equality (5)), so
+    // the required speedup is met exactly even though exceeding it would
+    // be cheaper.
+    std::vector<ProfileEntry> entries = {
+        {SystemConfig{0, 0}, 1.0, 500.0},
+        {SystemConfig{1, 0}, 1.5, 200.0},
+        {SystemConfig{2, 0}, 2.0, 300.0},
+    };
+    const ProfileTable table("test", std::move(entries), 0.2);
+    const EnergyOptimizer optimizer(&table);
+    const ConfigSchedule exact = optimizer.Optimize(1.0, 2.0);
+    ASSERT_EQ(exact.slots.size(), 1u);
+    EXPECT_NEAR(exact.expected_power_mw, 500.0, 1e-9);
+    EXPECT_NEAR(exact.expected_speedup, 1.0, 1e-12);
+    // A blend on the descending segment meets 1.25 exactly with a mix.
+    const ConfigSchedule blend = optimizer.Optimize(1.25, 2.0);
+    ASSERT_EQ(blend.slots.size(), 2u);
+    EXPECT_NEAR(blend.expected_speedup, 1.25, 1e-9);
+    EXPECT_NEAR(blend.expected_power_mw, 350.0, 1e-9);
+}
+
+/** Property test: all three backends agree on the optimal power across
+ * random tables and required speedups. */
+TEST(EnergyOptimizerTest, BackendsAgreeOnRandomTables)
+{
+    Rng rng(2017);
+    for (int trial = 0; trial < 40; ++trial) {
+        const int n = static_cast<int>(rng.UniformInt(2, 25));
+        std::vector<ProfileEntry> entries;
+        double speedup = 1.0;
+        for (int i = 0; i < n; ++i) {
+            ProfileEntry entry;
+            entry.config = SystemConfig{i, 0};
+            entry.speedup = speedup;
+            entry.power_mw = rng.Uniform(100.0, 3000.0);
+            entries.push_back(entry);
+            speedup += rng.Uniform(0.01, 0.5);
+        }
+        const ProfileTable table("random", std::move(entries), 0.3);
+        const EnergyOptimizer hull(&table, OptimizerBackend::kConvexHull);
+        const EnergyOptimizer pairs(&table, OptimizerBackend::kPairSearch);
+        const EnergyOptimizer simplex(&table, OptimizerBackend::kSimplex);
+
+        for (int k = 0; k < 10; ++k) {
+            const double s =
+                rng.Uniform(table.min_speedup() * 0.9, table.max_speedup() * 1.1);
+            const ConfigSchedule a = hull.Optimize(s, 2.0);
+            const ConfigSchedule b = pairs.Optimize(s, 2.0);
+            const ConfigSchedule c = simplex.Optimize(s, 2.0);
+            EXPECT_NEAR(a.expected_power_mw, b.expected_power_mw, 1e-6)
+                << "trial " << trial << " speedup " << s;
+            EXPECT_NEAR(a.expected_power_mw, c.expected_power_mw, 1e-5)
+                << "trial " << trial << " speedup " << s;
+            // All backends meet the (clamped) performance constraint.
+            const double clamped =
+                std::min(std::max(s, table.min_speedup()), table.max_speedup());
+            EXPECT_NEAR(a.expected_speedup, clamped, 1e-6);
+            EXPECT_NEAR(b.expected_speedup, clamped, 1e-6);
+            EXPECT_NEAR(c.expected_speedup, clamped, 1e-6);
+            // Paper property: at most two non-zero dwells.
+            EXPECT_LE(a.slots.size(), 2u);
+            EXPECT_LE(b.slots.size(), 2u);
+            EXPECT_LE(c.slots.size(), 2u);
+        }
+    }
+}
+
+TEST(EnergyOptimizerTest, HullIndicesAreConvexAndIncreasing)
+{
+    const ProfileTable table = SimpleTable();
+    const EnergyOptimizer optimizer(&table);
+    const auto& hull = optimizer.hull_indices();
+    ASSERT_GE(hull.size(), 2u);
+    for (size_t i = 1; i < hull.size(); ++i) {
+        EXPECT_LT(table.entries()[hull[i - 1]].speedup,
+                  table.entries()[hull[i]].speedup);
+        EXPECT_LT(table.entries()[hull[i - 1]].power_mw,
+                  table.entries()[hull[i]].power_mw);
+    }
+}
+
+}  // namespace
+}  // namespace aeo

@@ -1,0 +1,60 @@
+#include "core/load_adaptive.h"
+
+#include <gtest/gtest.h>
+
+namespace aeo {
+namespace {
+
+ProfileTable
+Table(double power)
+{
+    return ProfileTable("x", {{SystemConfig{0, 0}, 1.0, power}}, 0.1);
+}
+
+LoadAdaptiveProfile
+ThreeLoads()
+{
+    // The paper's free-memory signatures: NL 1 GB, BL 500 MB, HL 134 MB.
+    std::vector<LoadConditionProfile> conditions;
+    conditions.push_back(LoadConditionProfile{1024.0, Table(1000.0), 0.5});
+    conditions.push_back(LoadConditionProfile{500.0, Table(1100.0), 0.45});
+    conditions.push_back(LoadConditionProfile{134.0, Table(1250.0), 0.4});
+    return LoadAdaptiveProfile(std::move(conditions));
+}
+
+TEST(LoadAdaptiveProfileTest, ExactSignaturesSelectThemselves)
+{
+    const LoadAdaptiveProfile adaptive = ThreeLoads();
+    EXPECT_DOUBLE_EQ(adaptive.SelectFor(1024.0).default_gips, 0.5);
+    EXPECT_DOUBLE_EQ(adaptive.SelectFor(500.0).default_gips, 0.45);
+    EXPECT_DOUBLE_EQ(adaptive.SelectFor(134.0).default_gips, 0.4);
+}
+
+TEST(LoadAdaptiveProfileTest, NearestSignatureWinsOnLogScale)
+{
+    const LoadAdaptiveProfile adaptive = ThreeLoads();
+    // 700 MB: log-nearest to 500 MB (ratio 1.4) vs 1024 (1.46).
+    EXPECT_DOUBLE_EQ(adaptive.SelectFor(700.0).default_gips, 0.45);
+    // 300 MB: ratio 1.67 to 500 vs 2.24 to 134 → BL.
+    EXPECT_DOUBLE_EQ(adaptive.SelectFor(300.0).default_gips, 0.45);
+    // 150 MB → HL; 2 GB → NL.
+    EXPECT_DOUBLE_EQ(adaptive.SelectFor(150.0).default_gips, 0.4);
+    EXPECT_DOUBLE_EQ(adaptive.SelectFor(2048.0).default_gips, 0.5);
+}
+
+TEST(LoadAdaptiveProfileTest, SingleConditionAlwaysSelected)
+{
+    std::vector<LoadConditionProfile> one;
+    one.push_back(LoadConditionProfile{500.0, Table(1000.0), 0.3});
+    const LoadAdaptiveProfile adaptive(std::move(one));
+    EXPECT_DOUBLE_EQ(adaptive.SelectFor(50.0).default_gips, 0.3);
+    EXPECT_DOUBLE_EQ(adaptive.SelectFor(5000.0).default_gips, 0.3);
+}
+
+TEST(LoadAdaptiveProfileDeathTest, RejectsEmptyAndInvalid)
+{
+    EXPECT_DEATH(LoadAdaptiveProfile({}), "at least one");
+}
+
+}  // namespace
+}  // namespace aeo

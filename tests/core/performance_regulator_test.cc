@@ -1,0 +1,114 @@
+#include "core/performance_regulator.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace aeo {
+namespace {
+
+RegulatorConfig
+Config(double target, double base, double max_speedup)
+{
+    RegulatorConfig config;
+    config.target_gips = target;
+    config.initial_base_speed = base;
+    config.min_speedup = 1.0;
+    config.max_speedup = max_speedup;
+    return config;
+}
+
+TEST(PerformanceRegulatorTest, InitialSpeedupFromProfiledBaseSpeed)
+{
+    const PerformanceRegulator regulator(Config(0.2, 0.1, 5.0));
+    EXPECT_DOUBLE_EQ(regulator.applied_speedup(), 2.0);
+}
+
+TEST(PerformanceRegulatorTest, ConvergesOnIdealPlant)
+{
+    // Plant: y = s·b, true b = 0.129, target 0.21.
+    const double b = 0.129;
+    const double target = 0.21;
+    PerformanceRegulator regulator(Config(target, 0.15, 5.0));  // wrong b̂₀
+    double s = regulator.applied_speedup();
+    for (int i = 0; i < 60; ++i) {
+        s = regulator.Step(s * b);
+    }
+    EXPECT_NEAR(s * b, target, 1e-4);
+    EXPECT_NEAR(regulator.base_speed_estimate(), b, 0.01);
+}
+
+TEST(PerformanceRegulatorTest, ConvergesUnderMeasurementNoise)
+{
+    const double b = 0.471;  // VidCon
+    const double target = 1.1;
+    PerformanceRegulator regulator(Config(target, 0.471, 6.0));
+    Rng rng(5);
+    double s = regulator.applied_speedup();
+    double sum = 0.0;
+    int count = 0;
+    for (int i = 0; i < 200; ++i) {
+        const double y = s * b * (1.0 + rng.Gaussian(0.0, 0.02));
+        s = regulator.Step(y);
+        if (i >= 100) {
+            sum += s * b;
+            ++count;
+        }
+    }
+    EXPECT_NEAR(sum / count, target, target * 0.02);
+}
+
+TEST(PerformanceRegulatorTest, TracksBaseSpeedChange)
+{
+    // The application's base speed drops mid-run (phase change): the
+    // regulator must push the speedup up to compensate.
+    const double target = 0.3;
+    PerformanceRegulator regulator(Config(target, 0.2, 10.0));
+    double s = regulator.applied_speedup();
+    for (int i = 0; i < 50; ++i) {
+        s = regulator.Step(s * 0.2);
+    }
+    const double s_before = s;
+    for (int i = 0; i < 80; ++i) {
+        s = regulator.Step(s * 0.1);  // base speed halved
+    }
+    EXPECT_GT(s, s_before * 1.5);
+    EXPECT_NEAR(s * 0.1, target, target * 0.02);
+    EXPECT_NEAR(regulator.base_speed_estimate(), 0.1, 0.02);
+}
+
+TEST(PerformanceRegulatorTest, OutputClampedToAchievableRange)
+{
+    PerformanceRegulator regulator(Config(100.0, 0.1, 3.0));  // unreachable target
+    double s = regulator.applied_speedup();
+    for (int i = 0; i < 20; ++i) {
+        s = regulator.Step(s * 0.1);
+    }
+    EXPECT_DOUBLE_EQ(s, 3.0);
+}
+
+TEST(PerformanceRegulatorTest, ErrorIsReported)
+{
+    PerformanceRegulator regulator(Config(0.5, 0.25, 5.0));
+    regulator.Step(0.4);
+    EXPECT_NEAR(regulator.last_error(), 0.1, 1e-12);
+}
+
+TEST(PerformanceRegulatorTest, TargetCanChangeAtRuntime)
+{
+    const double b = 0.2;
+    PerformanceRegulator regulator(Config(0.3, b, 10.0));
+    double s = regulator.applied_speedup();
+    for (int i = 0; i < 50; ++i) {
+        s = regulator.Step(s * b);
+    }
+    regulator.set_target_gips(0.6);
+    EXPECT_DOUBLE_EQ(regulator.target_gips(), 0.6);
+    for (int i = 0; i < 50; ++i) {
+        s = regulator.Step(s * b);
+    }
+    EXPECT_NEAR(s * b, 0.6, 1e-3);
+}
+
+}  // namespace
+}  // namespace aeo

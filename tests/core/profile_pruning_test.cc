@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tests of the §V-A application-specific table pruning: rows whose speedup
+ * advantage over a cheaper row is within measurement noise are dropped.
+ */
+#include <gtest/gtest.h>
+
+#include "core/profile_table.h"
+
+namespace aeo {
+namespace {
+
+ProfileTable
+Table(std::vector<ProfileEntry> entries)
+{
+    return ProfileTable("prune-test", std::move(entries), 0.1);
+}
+
+TEST(ProfilePruningTest, DropsFlatExpensiveTail)
+{
+    // MX-Player-like: performance varies <0.5 % beyond the first level but
+    // power keeps climbing — everything above the cheapest row goes.
+    const ProfileTable table = Table({
+        {SystemConfig{4, 0}, 1.000, 2000.0},
+        {SystemConfig{6, 0}, 1.002, 2200.0},
+        {SystemConfig{8, 0}, 1.003, 2500.0},
+        {SystemConfig{17, 0}, 1.004, 3700.0},
+    });
+    const ProfileTable pruned = table.PruneEpsilonDominated(0.01);
+    ASSERT_EQ(pruned.size(), 1u);
+    EXPECT_EQ(pruned.entries()[0].config, (SystemConfig{4, 0}));
+}
+
+TEST(ProfilePruningTest, KeepsGenuineSpeedupLadder)
+{
+    // AngryBirds-like: real speedup per step — nothing is dropped.
+    const ProfileTable table = Table({
+        {SystemConfig{0, 0}, 1.00, 1600.0},
+        {SystemConfig{2, 0}, 1.45, 1900.0},
+        {SystemConfig{4, 0}, 1.84, 2200.0},
+    });
+    const ProfileTable pruned = table.PruneEpsilonDominated(0.01);
+    EXPECT_EQ(pruned.size(), 3u);
+}
+
+TEST(ProfilePruningTest, DenseLadderIsNotChainErased)
+{
+    // 13 bandwidth columns with tiny per-step gains but a real cumulative
+    // gain: pruning must thin the ladder, not erase the cumulative speedup.
+    std::vector<ProfileEntry> entries;
+    for (int bw = 0; bw < 13; ++bw) {
+        entries.push_back(ProfileEntry{SystemConfig{0, bw}, 1.0 + 0.01 * bw,
+                                       1000.0 + 30.0 * bw});
+    }
+    const ProfileTable pruned = Table(entries).PruneEpsilonDominated(0.02);
+    // Cumulative +12 % speedup survives...
+    EXPECT_NEAR(pruned.max_speedup(), 1.12, 1e-9);
+    // ...but the ladder is thinned (steps of >2 % of max).
+    EXPECT_LT(pruned.size(), 13u);
+    EXPECT_GE(pruned.size(), 4u);
+}
+
+TEST(ProfilePruningTest, ExpensiveSlowRowIsDominated)
+{
+    const ProfileTable table = Table({
+        {SystemConfig{0, 0}, 1.00, 1000.0},
+        {SystemConfig{0, 12}, 1.001, 1360.0},  // +0.1 % for +360 mW
+        {SystemConfig{2, 0}, 1.40, 1300.0},
+    });
+    const ProfileTable pruned = table.PruneEpsilonDominated(0.01);
+    ASSERT_EQ(pruned.size(), 2u);
+    EXPECT_EQ(pruned.entries()[0].config, (SystemConfig{0, 0}));
+    EXPECT_EQ(pruned.entries()[1].config, (SystemConfig{2, 0}));
+}
+
+TEST(ProfilePruningTest, ZeroEpsilonKeepsParetoRows)
+{
+    const ProfileTable table = Table({
+        {SystemConfig{0, 0}, 1.00, 1000.0},
+        {SystemConfig{1, 0}, 1.10, 1100.0},
+        {SystemConfig{2, 0}, 1.05, 1200.0},  // strictly dominated by row 1
+    });
+    const ProfileTable pruned = table.PruneEpsilonDominated(0.0);
+    EXPECT_EQ(pruned.size(), 2u);
+    for (const ProfileEntry& entry : pruned.entries()) {
+        EXPECT_NE(entry.config, (SystemConfig{2, 0}));
+    }
+}
+
+TEST(ProfilePruningTest, BaseSpeedSurvivesPruning)
+{
+    const ProfileTable table = Table({
+        {SystemConfig{0, 0}, 1.00, 1000.0},
+        {SystemConfig{1, 0}, 1.50, 1100.0},
+    });
+    const ProfileTable pruned = table.PruneEpsilonDominated(0.01);
+    EXPECT_DOUBLE_EQ(pruned.base_speed_gips(), table.base_speed_gips());
+    EXPECT_EQ(pruned.app_name(), table.app_name());
+}
+
+}  // namespace
+}  // namespace aeo

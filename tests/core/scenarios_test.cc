@@ -1,0 +1,59 @@
+#include "core/scenarios.h"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+namespace aeo {
+namespace {
+
+TEST(ScenariosTest, EvaluationSetMatchesPaper)
+{
+    const auto names = EvaluationAppNames();
+    ASSERT_EQ(names.size(), 6u);
+    EXPECT_EQ(names[0], "VidCon");
+    EXPECT_EQ(names[5], "Spotify");
+}
+
+TEST(ScenariosTest, RunDurationsMatchSectionIV)
+{
+    EXPECT_EQ(GetAppScenario("AngryBirds").run_duration, SimTime::FromSeconds(200));
+    EXPECT_EQ(GetAppScenario("WeChat").run_duration, SimTime::FromSeconds(100));
+    EXPECT_EQ(GetAppScenario("MXPlayer").run_duration, SimTime::FromSeconds(137));
+    EXPECT_EQ(GetAppScenario("Spotify").run_duration, SimTime::FromSeconds(100));
+}
+
+TEST(ScenariosTest, BatchFlagsMatchDeadlineCriticalApps)
+{
+    EXPECT_TRUE(GetAppScenario("VidCon").batch);
+    EXPECT_TRUE(GetAppScenario("MobileBench").batch);
+    EXPECT_FALSE(GetAppScenario("AngryBirds").batch);
+    EXPECT_FALSE(GetAppScenario("Spotify").batch);
+}
+
+TEST(ScenariosTest, ProfileRestrictionsMatchSectionV)
+{
+    // VidCon/MobileBench: paper levels 7-18 → 0-based 6..17.
+    const auto vidcon = GetAppScenario("VidCon").profile_cpu_levels;
+    EXPECT_EQ(vidcon.front(), 6);
+    EXPECT_EQ(vidcon.back(), 17);
+    // AngryBirds: alternate levels of 1-5.
+    const auto ab = GetAppScenario("AngryBirds").profile_cpu_levels;
+    EXPECT_EQ(ab, (std::vector<int>{0, 2, 4}));
+    // WeChat: alternate levels of 3-7 (camera fails below 3).
+    const auto wechat = GetAppScenario("WeChat").profile_cpu_levels;
+    EXPECT_EQ(wechat, (std::vector<int>{2, 4, 6}));
+    // MX Player: levels 5-18 (stutter below 5).
+    EXPECT_EQ(GetAppScenario("MXPlayer").profile_cpu_levels.front(), 4);
+    // Spotify: levels 1, 3, 5 only.
+    EXPECT_EQ(GetAppScenario("Spotify").profile_cpu_levels,
+              (std::vector<int>{0, 2, 4}));
+}
+
+TEST(ScenariosTest, UnknownAppIsFatal)
+{
+    EXPECT_THROW(GetAppScenario("Fortnite"), FatalError);
+}
+
+}  // namespace
+}  // namespace aeo

@@ -1,0 +1,30 @@
+#include "core/system_config.h"
+
+#include <gtest/gtest.h>
+
+namespace aeo {
+namespace {
+
+TEST(SystemConfigTest, OrderingIsLexicographic)
+{
+    EXPECT_LT((SystemConfig{0, 5}), (SystemConfig{1, 0}));
+    EXPECT_LT((SystemConfig{1, 0}), (SystemConfig{1, 3}));
+    EXPECT_EQ((SystemConfig{2, 2}), (SystemConfig{2, 2}));
+}
+
+TEST(SystemConfigTest, ToStringUsesPaperNumbering)
+{
+    EXPECT_EQ((SystemConfig{4, 0}).ToString(), "(5, 1)");
+    EXPECT_EQ((SystemConfig{0, 12}).ToString(), "(1, 13)");
+}
+
+TEST(SystemConfigTest, CpuOnlySentinel)
+{
+    const SystemConfig cpu_only{9, kBwDefaultGovernor};
+    EXPECT_FALSE(cpu_only.controls_bandwidth());
+    EXPECT_EQ(cpu_only.ToString(), "(10, default)");
+    EXPECT_TRUE((SystemConfig{9, 0}).controls_bandwidth());
+}
+
+}  // namespace
+}  // namespace aeo

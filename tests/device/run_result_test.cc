@@ -1,0 +1,64 @@
+#include "device/run_result.h"
+
+#include <gtest/gtest.h>
+
+namespace aeo {
+namespace {
+
+RunResult
+MakeResult(double energy, double gips, double duration, bool finished)
+{
+    RunResult result;
+    result.app_name = "app";
+    result.load_name = "BL";
+    result.policy_name = "test";
+    result.energy_j = energy;
+    result.measured_energy_j = energy;
+    result.avg_gips = gips;
+    result.duration_s = duration;
+    result.app_finished = finished;
+    return result;
+}
+
+TEST(RunResultTest, EnergySavingsSignConvention)
+{
+    const RunResult baseline = MakeResult(100.0, 1.0, 60.0, false);
+    const RunResult better = MakeResult(75.0, 1.0, 60.0, false);
+    const RunResult worse = MakeResult(120.0, 1.0, 60.0, false);
+    EXPECT_NEAR(better.EnergySavingsPercent(baseline), 25.0, 1e-9);
+    EXPECT_NEAR(worse.EnergySavingsPercent(baseline), -20.0, 1e-9);
+}
+
+TEST(RunResultTest, PacedRunsCompareGips)
+{
+    const RunResult baseline = MakeResult(100.0, 2.0, 60.0, false);
+    const RunResult faster = MakeResult(100.0, 2.2, 60.0, false);
+    EXPECT_NEAR(faster.PerformanceDeltaPercent(baseline), 10.0, 1e-9);
+}
+
+TEST(RunResultTest, BatchRunsCompareExecutionTime)
+{
+    // Deadline-critical apps: performance is execution time (§V-A).
+    const RunResult baseline = MakeResult(100.0, 2.0, 59.0, true);
+    const RunResult slightly_slower = MakeResult(80.0, 2.0, 59.24, true);
+    EXPECT_NEAR(slightly_slower.PerformanceDeltaPercent(baseline), -0.4, 0.01);
+}
+
+TEST(RunResultTest, MixedFinishFallsBackToGips)
+{
+    const RunResult baseline = MakeResult(100.0, 2.0, 60.0, true);
+    const RunResult timed_out = MakeResult(100.0, 1.8, 400.0, false);
+    EXPECT_NEAR(timed_out.PerformanceDeltaPercent(baseline), -10.0, 1e-9);
+}
+
+TEST(RunResultTest, SummaryMentionsKeyNumbers)
+{
+    const RunResult result = MakeResult(42.5, 1.25, 60.0, true);
+    const std::string summary = result.Summary();
+    EXPECT_NE(summary.find("app"), std::string::npos);
+    EXPECT_NE(summary.find("1.250"), std::string::npos);
+    EXPECT_NE(summary.find("completed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aeo

@@ -1,0 +1,42 @@
+#include "kernel/loadavg.h"
+
+#include <gtest/gtest.h>
+
+namespace aeo {
+namespace {
+
+TEST(LoadAvgTest, StartsAtResidentPressure)
+{
+    const LoadAvg load(6.3);
+    EXPECT_DOUBLE_EQ(load.value(), 6.3);
+}
+
+TEST(LoadAvgTest, ConvergesTowardRunnableCount)
+{
+    LoadAvg load(6.0);
+    for (int i = 0; i < 600; ++i) {
+        load.Advance(2.0, SimTime::FromSeconds(1));  // target 8.0
+    }
+    EXPECT_NEAR(load.value(), 8.0, 0.01);
+}
+
+TEST(LoadAvgTest, OneMinuteTimeConstant)
+{
+    LoadAvg load(0.0);
+    load.Advance(1.0, SimTime::FromSeconds(60));
+    // After one time constant: 1 − e⁻¹ ≈ 0.632.
+    EXPECT_NEAR(load.value(), 0.632, 0.001);
+}
+
+TEST(LoadAvgTest, ResidentChangeShiftsTarget)
+{
+    LoadAvg load(6.0);
+    load.set_resident_tasks(7.0);
+    for (int i = 0; i < 600; ++i) {
+        load.Advance(0.0, SimTime::FromSeconds(1));
+    }
+    EXPECT_NEAR(load.value(), 7.0, 0.01);
+}
+
+}  // namespace
+}  // namespace aeo

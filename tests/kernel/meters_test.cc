@@ -1,0 +1,100 @@
+#include "kernel/meters.h"
+
+#include <gtest/gtest.h>
+
+namespace aeo {
+namespace {
+
+TEST(CpuLoadMeterTest, AccumulatesBusyTime)
+{
+    CpuLoadMeter meter;
+    meter.Advance(2.0, 0.5, SimTime::FromSeconds(1));
+    meter.Advance(4.0, 1.0, SimTime::FromSeconds(1));
+    EXPECT_DOUBLE_EQ(meter.busy_core_seconds(), 6.0);
+    EXPECT_EQ(meter.elapsed(), SimTime::FromSeconds(2));
+}
+
+TEST(CpuLoadWindowTest, ComputesWindowedLoad)
+{
+    CpuLoadMeter meter;
+    CpuLoadWindow window(&meter);
+    meter.Advance(2.0, 0.5, SimTime::FromSeconds(1));  // 2 busy cores of 4 → 0.5
+    EXPECT_DOUBLE_EQ(window.SampleLoad(4), 0.5);
+    meter.Advance(4.0, 1.0, SimTime::FromSeconds(1));  // full load
+    EXPECT_DOUBLE_EQ(window.SampleLoad(4), 1.0);
+}
+
+TEST(CpuLoadWindowTest, WindowRestartsAfterSample)
+{
+    CpuLoadMeter meter;
+    CpuLoadWindow window(&meter);
+    meter.Advance(4.0, 1.0, SimTime::FromSeconds(1));
+    window.SampleLoad(4);
+    meter.Advance(0.0, 0.0, SimTime::FromSeconds(1));
+    EXPECT_DOUBLE_EQ(window.SampleLoad(4), 0.0);
+}
+
+TEST(CpuLoadWindowTest, NoElapsedTimeGivesZero)
+{
+    CpuLoadMeter meter;
+    CpuLoadWindow window(&meter);
+    EXPECT_DOUBLE_EQ(window.SampleLoad(4), 0.0);
+}
+
+TEST(CpuLoadWindowTest, LoadIsClampedToOne)
+{
+    CpuLoadMeter meter;
+    CpuLoadWindow window(&meter);
+    meter.Advance(8.0, 1.0, SimTime::FromSeconds(1));  // more than 4 cores' worth
+    EXPECT_DOUBLE_EQ(window.SampleLoad(4), 1.0);
+}
+
+TEST(CpuLoadWindowTest, CoreLoadTracksBusiestCore)
+{
+    CpuLoadMeter meter;
+    CpuLoadWindow window(&meter);
+    // A 2-thread burst: 2 busy cores, busiest pegged at 1.0. The 4-core
+    // average is 0.5 but the core load — what interactive samples — is 1.0.
+    meter.Advance(2.0, 1.0, SimTime::FromSeconds(1));
+    EXPECT_DOUBLE_EQ(window.SampleCoreLoad(), 1.0);
+    meter.Advance(1.2, 0.6, SimTime::FromSeconds(1));
+    EXPECT_DOUBLE_EQ(window.SampleCoreLoad(), 0.6);
+}
+
+TEST(CpuLoadWindowTest, CoreLoadWindowRestartsAndMixes)
+{
+    CpuLoadMeter meter;
+    CpuLoadWindow window(&meter);
+    meter.Advance(2.0, 1.0, SimTime::FromSeconds(1));
+    meter.Advance(0.0, 0.0, SimTime::FromSeconds(1));
+    EXPECT_DOUBLE_EQ(window.SampleCoreLoad(), 0.5);  // 1 s at 1.0, 1 s at 0
+    meter.Advance(1.0, 0.25, SimTime::FromSeconds(2));
+    EXPECT_DOUBLE_EQ(window.SampleCoreLoad(), 0.25);
+}
+
+TEST(BusTrafficMeterTest, AccumulatesGigabytes)
+{
+    BusTrafficMeter meter;
+    meter.Advance(2.0, SimTime::FromSeconds(3));
+    EXPECT_DOUBLE_EQ(meter.gigabytes(), 6.0);
+}
+
+TEST(BusTrafficWindowTest, ComputesWindowedMbps)
+{
+    BusTrafficMeter meter;
+    BusTrafficWindow window(&meter, SimTime::Zero());
+    meter.Advance(1.0, SimTime::FromSeconds(2));  // 1 GB/s for 2 s
+    EXPECT_NEAR(window.SampleMbps(SimTime::FromSeconds(2)), 1000.0, 1e-9);
+    meter.Advance(0.5, SimTime::FromSeconds(2));
+    EXPECT_NEAR(window.SampleMbps(SimTime::FromSeconds(4)), 500.0, 1e-9);
+}
+
+TEST(BusTrafficWindowTest, ZeroWindowGivesZero)
+{
+    BusTrafficMeter meter;
+    BusTrafficWindow window(&meter, SimTime::Zero());
+    EXPECT_DOUBLE_EQ(window.SampleMbps(SimTime::Zero()), 0.0);
+}
+
+}  // namespace
+}  // namespace aeo

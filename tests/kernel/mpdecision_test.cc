@@ -1,0 +1,74 @@
+#include "kernel/mpdecision.h"
+
+#include <gtest/gtest.h>
+
+#include "soc/nexus6.h"
+
+namespace aeo {
+namespace {
+
+class MpdecisionTest : public ::testing::Test {
+  protected:
+    MpdecisionTest()
+        : cluster_(MakeNexus6FrequencyTable(), 4), hotplug_(&sim_, &cluster_, &meter_)
+    {
+    }
+
+    void
+    Drive(SimTime duration, double busy_per_online)
+    {
+        const SimTime slice = SimTime::Millis(10);
+        SimTime done;
+        while (done < duration) {
+            const double busy =
+                busy_per_online * static_cast<double>(cluster_.online_cores());
+            meter_.Advance(busy, busy_per_online, slice);
+            sim_.RunFor(slice);
+            done += slice;
+        }
+    }
+
+    Simulator sim_;
+    CpuCluster cluster_;
+    CpuLoadMeter meter_;
+    Mpdecision hotplug_;
+};
+
+TEST_F(MpdecisionTest, OfflinesCoresWhenIdle)
+{
+    hotplug_.Start();
+    Drive(SimTime::FromSeconds(1), 0.05);
+    EXPECT_EQ(cluster_.online_cores(), 1);
+    EXPECT_GE(hotplug_.transition_count(), 3u);
+}
+
+TEST_F(MpdecisionTest, OnlinesCoresUnderLoad)
+{
+    hotplug_.Start();
+    Drive(SimTime::FromSeconds(1), 0.05);
+    ASSERT_EQ(cluster_.online_cores(), 1);
+    Drive(SimTime::FromSeconds(1), 0.95);
+    EXPECT_EQ(cluster_.online_cores(), 4);
+}
+
+TEST_F(MpdecisionTest, HoldsInTheDeadBand)
+{
+    hotplug_.Start();
+    Drive(SimTime::Millis(500), 0.5);
+    const int online = cluster_.online_cores();
+    Drive(SimTime::FromSeconds(1), 0.5);
+    EXPECT_EQ(cluster_.online_cores(), online);
+}
+
+TEST_F(MpdecisionTest, StopRestoresAllCores)
+{
+    hotplug_.Start();
+    Drive(SimTime::FromSeconds(1), 0.05);
+    ASSERT_LT(cluster_.online_cores(), 4);
+    hotplug_.Stop();
+    EXPECT_EQ(cluster_.online_cores(), 4);
+    EXPECT_FALSE(hotplug_.running());
+}
+
+}  // namespace
+}  // namespace aeo

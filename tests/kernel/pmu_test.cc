@@ -1,0 +1,39 @@
+#include "kernel/pmu.h"
+
+#include <gtest/gtest.h>
+
+namespace aeo {
+namespace {
+
+TEST(PmuTest, CountersStartAtZero)
+{
+    const Pmu pmu;
+    EXPECT_DOUBLE_EQ(pmu.giga_instructions(), 0.0);
+    EXPECT_DOUBLE_EQ(pmu.giga_cycles(), 0.0);
+    EXPECT_DOUBLE_EQ(pmu.traffic_gb(), 0.0);
+}
+
+TEST(PmuTest, AdvanceAccumulatesAllCounters)
+{
+    Pmu pmu;
+    pmu.Advance(/*gips=*/0.5, /*freq_ghz=*/1.0, /*busy_cores=*/2.0, /*gbps=*/0.25,
+                SimTime::FromSeconds(4));
+    EXPECT_DOUBLE_EQ(pmu.giga_instructions(), 2.0);
+    EXPECT_DOUBLE_EQ(pmu.giga_cycles(), 8.0);  // 1 GHz × 2 cores × 4 s
+    EXPECT_DOUBLE_EQ(pmu.traffic_gb(), 1.0);
+}
+
+TEST(PmuTest, CountersAreMonotonic)
+{
+    Pmu pmu;
+    double last = 0.0;
+    for (int i = 0; i < 10; ++i) {
+        pmu.Advance(0.1, 0.3, 1.0, 0.01, SimTime::Millis(100));
+        EXPECT_GE(pmu.giga_instructions(), last);
+        last = pmu.giga_instructions();
+    }
+    EXPECT_NEAR(last, 0.1, 1e-12);
+}
+
+}  // namespace
+}  // namespace aeo

@@ -1,0 +1,86 @@
+#include "kernel/sysfs.h"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+namespace aeo {
+namespace {
+
+TEST(SysfsTest, RegisterAndRead)
+{
+    Sysfs sysfs;
+    sysfs.Register("/sys/test/value", SysfsFile{[] { return "42"; }, nullptr});
+    EXPECT_TRUE(sysfs.Exists("/sys/test/value"));
+    EXPECT_EQ(sysfs.Read("/sys/test/value"), "42");
+}
+
+TEST(SysfsTest, WritableFileInvokesWriter)
+{
+    Sysfs sysfs;
+    std::string stored = "initial";
+    sysfs.Register("/sys/knob",
+                   SysfsFile{[&] { return stored; },
+                             [&](const std::string& value) {
+                                 if (value == "bad") {
+                                     return false;
+                                 }
+                                 stored = value;
+                                 return true;
+                             }});
+    EXPECT_TRUE(sysfs.Write("/sys/knob", "hello"));
+    EXPECT_EQ(sysfs.Read("/sys/knob"), "hello");
+    EXPECT_FALSE(sysfs.Write("/sys/knob", "bad"));
+    EXPECT_EQ(sysfs.Read("/sys/knob"), "hello");
+}
+
+TEST(SysfsTest, ReadMissingFileIsFatal)
+{
+    Sysfs sysfs;
+    EXPECT_THROW(sysfs.Read("/nope"), FatalError);
+}
+
+TEST(SysfsTest, WriteToReadOnlyFileIsFatal)
+{
+    Sysfs sysfs;
+    sysfs.Register("/sys/ro", SysfsFile{[] { return "x"; }, nullptr});
+    EXPECT_THROW(sysfs.Write("/sys/ro", "y"), FatalError);
+}
+
+TEST(SysfsTest, ListReturnsSortedMatchingPaths)
+{
+    Sysfs sysfs;
+    sysfs.Register("/sys/b", SysfsFile{[] { return ""; }, nullptr});
+    sysfs.Register("/sys/a", SysfsFile{[] { return ""; }, nullptr});
+    sysfs.Register("/proc/x", SysfsFile{[] { return ""; }, nullptr});
+    const auto paths = sysfs.List("/sys");
+    ASSERT_EQ(paths.size(), 2u);
+    EXPECT_EQ(paths[0], "/sys/a");
+    EXPECT_EQ(paths[1], "/sys/b");
+}
+
+TEST(SysfsTest, UnregisterRemoves)
+{
+    Sysfs sysfs;
+    sysfs.Register("/sys/tmp", SysfsFile{[] { return ""; }, nullptr});
+    sysfs.Unregister("/sys/tmp");
+    EXPECT_FALSE(sysfs.Exists("/sys/tmp"));
+}
+
+TEST(SysfsDeathTest, DuplicateRegistrationPanics)
+{
+    Sysfs sysfs;
+    sysfs.Register("/sys/dup", SysfsFile{[] { return ""; }, nullptr});
+    EXPECT_DEATH(sysfs.Register("/sys/dup", SysfsFile{[] { return ""; }, nullptr}),
+                 "registered twice");
+}
+
+TEST(SysfsDeathTest, RelativePathPanics)
+{
+    Sysfs sysfs;
+    EXPECT_DEATH(sysfs.Register("relative", SysfsFile{[] { return ""; }, nullptr}),
+                 "absolute");
+}
+
+}  // namespace
+}  // namespace aeo

@@ -1,0 +1,76 @@
+#include "lp/schedule_lp.h"
+
+#include <gtest/gtest.h>
+
+namespace aeo {
+namespace {
+
+TEST(ScheduleLpTest, BuildsThePaperProgram)
+{
+    const LpProblem problem =
+        BuildScheduleLp({1.0, 1.5, 2.0}, {100.0, 150.0, 260.0}, 1.25, 2.0);
+    ASSERT_EQ(problem.objective.size(), 3u);
+    ASSERT_EQ(problem.eq_lhs.size(), 2u);
+    EXPECT_DOUBLE_EQ(problem.eq_rhs[0], 2.5);  // s·T
+    EXPECT_DOUBLE_EQ(problem.eq_rhs[1], 2.0);  // T
+    EXPECT_DOUBLE_EQ(problem.eq_lhs[1][0], 1.0);
+}
+
+TEST(ScheduleLpTest, OptimalUsesBracketingPair)
+{
+    // Speedups {1, 2}, powers {100, 300}; required 1.5 over T = 2 s:
+    // τ = (1, 1), energy 400 mW·s → u has exactly two non-zeros.
+    const LpSolution solution =
+        SolveScheduleLp({1.0, 2.0}, {100.0, 300.0}, 1.5, 2.0);
+    ASSERT_TRUE(solution.feasible);
+    EXPECT_NEAR(solution.x[0], 1.0, 1e-9);
+    EXPECT_NEAR(solution.x[1], 1.0, 1e-9);
+    EXPECT_NEAR(solution.objective_value, 400.0, 1e-9);
+}
+
+TEST(ScheduleLpTest, SkipsDominatedConfiguration)
+{
+    // Config 1 is dominated: same speedup band but pricier than blending
+    // 0 and 2. LP must route around it.
+    const LpSolution solution =
+        SolveScheduleLp({1.0, 1.5, 2.0}, {100.0, 400.0, 200.0}, 1.5, 2.0);
+    ASSERT_TRUE(solution.feasible);
+    EXPECT_NEAR(solution.x[1], 0.0, 1e-9);
+    EXPECT_NEAR(solution.objective_value, 300.0, 1e-9);  // (1+1)·(100+200)/2
+}
+
+TEST(ScheduleLpTest, ExactSpeedupUsesSingleConfig)
+{
+    const LpSolution solution =
+        SolveScheduleLp({1.0, 1.5, 2.0}, {100.0, 150.0, 260.0}, 1.5, 2.0);
+    ASSERT_TRUE(solution.feasible);
+    EXPECT_NEAR(solution.x[1], 2.0, 1e-9);
+}
+
+TEST(ScheduleLpTest, InfeasibleAboveMaxSpeedup)
+{
+    const LpSolution solution = SolveScheduleLp({1.0, 2.0}, {100.0, 300.0}, 3.0, 2.0);
+    EXPECT_FALSE(solution.feasible);
+}
+
+TEST(ScheduleLpTest, AtMostTwoNonZeroDwells)
+{
+    // Property the paper states (§III-B3): an optimal solution exists with
+    // at most two non-zero dwell times.
+    const std::vector<double> speedups = {1.0, 1.2, 1.5, 1.7, 2.0, 2.3, 2.6};
+    const std::vector<double> powers = {100, 130, 180, 210, 280, 350, 430};
+    for (double s = 1.0; s <= 2.6; s += 0.1) {
+        const LpSolution solution = SolveScheduleLp(speedups, powers, s, 2.0);
+        ASSERT_TRUE(solution.feasible) << "speedup " << s;
+        int nonzero = 0;
+        for (const double t : solution.x) {
+            if (t > 1e-7) {
+                ++nonzero;
+            }
+        }
+        EXPECT_LE(nonzero, 2) << "speedup " << s;
+    }
+}
+
+}  // namespace
+}  // namespace aeo

@@ -1,0 +1,131 @@
+#include "lp/simplex.h"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+namespace aeo {
+namespace {
+
+TEST(SimplexTest, SolvesTrivialSingleVariable)
+{
+    // min 2x s.t. x = 3.
+    LpProblem problem;
+    problem.objective = {2.0};
+    problem.eq_lhs = {{1.0}};
+    problem.eq_rhs = {3.0};
+    const LpSolution solution = SolveSimplex(problem);
+    ASSERT_TRUE(solution.feasible);
+    EXPECT_NEAR(solution.objective_value, 6.0, 1e-9);
+    EXPECT_NEAR(solution.x[0], 3.0, 1e-9);
+}
+
+TEST(SimplexTest, PicksCheaperVariable)
+{
+    // min 5a + 1b s.t. a + b = 10 → all weight on b.
+    LpProblem problem;
+    problem.objective = {5.0, 1.0};
+    problem.eq_lhs = {{1.0, 1.0}};
+    problem.eq_rhs = {10.0};
+    const LpSolution solution = SolveSimplex(problem);
+    ASSERT_TRUE(solution.feasible);
+    EXPECT_NEAR(solution.objective_value, 10.0, 1e-9);
+    EXPECT_NEAR(solution.x[0], 0.0, 1e-9);
+    EXPECT_NEAR(solution.x[1], 10.0, 1e-9);
+}
+
+TEST(SimplexTest, TwoConstraintBlend)
+{
+    // min p·u s.t. s·u = 1.5·T, 1·u = T with speedups {1, 2}, powers {1, 4},
+    // T = 2: the blend is u = (1, 1), objective 5.
+    LpProblem problem;
+    problem.objective = {1.0, 4.0};
+    problem.eq_lhs = {{1.0, 2.0}, {1.0, 1.0}};
+    problem.eq_rhs = {3.0, 2.0};
+    const LpSolution solution = SolveSimplex(problem);
+    ASSERT_TRUE(solution.feasible);
+    EXPECT_NEAR(solution.x[0], 1.0, 1e-9);
+    EXPECT_NEAR(solution.x[1], 1.0, 1e-9);
+    EXPECT_NEAR(solution.objective_value, 5.0, 1e-9);
+}
+
+TEST(SimplexTest, DetectsInfeasibility)
+{
+    // x = 1 and x = 2 simultaneously.
+    LpProblem problem;
+    problem.objective = {1.0};
+    problem.eq_lhs = {{1.0}, {1.0}};
+    problem.eq_rhs = {1.0, 2.0};
+    const LpSolution solution = SolveSimplex(problem);
+    EXPECT_FALSE(solution.feasible);
+}
+
+TEST(SimplexTest, InfeasibleWhenRhsUnreachable)
+{
+    // x + y = -1 with x, y ≥ 0.
+    LpProblem problem;
+    problem.objective = {1.0, 1.0};
+    problem.eq_lhs = {{1.0, 1.0}};
+    problem.eq_rhs = {-1.0};
+    const LpSolution solution = SolveSimplex(problem);
+    EXPECT_FALSE(solution.feasible);
+}
+
+TEST(SimplexTest, DetectsUnboundedness)
+{
+    // min -x s.t. x - y = 1: x can grow without bound.
+    LpProblem problem;
+    problem.objective = {-1.0, 0.0};
+    problem.eq_lhs = {{1.0, -1.0}};
+    problem.eq_rhs = {1.0};
+    const LpSolution solution = SolveSimplex(problem);
+    EXPECT_TRUE(solution.unbounded);
+}
+
+TEST(SimplexTest, HandlesNegativeRhsByRowScaling)
+{
+    // -x = -4 → x = 4.
+    LpProblem problem;
+    problem.objective = {1.0};
+    problem.eq_lhs = {{-1.0}};
+    problem.eq_rhs = {-4.0};
+    const LpSolution solution = SolveSimplex(problem);
+    ASSERT_TRUE(solution.feasible);
+    EXPECT_NEAR(solution.x[0], 4.0, 1e-9);
+}
+
+TEST(SimplexTest, DegenerateConstraintsTerminate)
+{
+    // Redundant rows (same constraint twice) must not cycle.
+    LpProblem problem;
+    problem.objective = {1.0, 2.0};
+    problem.eq_lhs = {{1.0, 1.0}, {2.0, 2.0}};
+    problem.eq_rhs = {4.0, 8.0};
+    const LpSolution solution = SolveSimplex(problem);
+    ASSERT_TRUE(solution.feasible);
+    EXPECT_NEAR(solution.objective_value, 4.0, 1e-9);  // all on x0
+}
+
+TEST(SimplexTest, ModeratelySizedProblem)
+{
+    // min Σ i·x_i s.t. Σ x_i = 1, Σ (i+1)·x_i = 3  over 50 vars.
+    const size_t n = 50;
+    LpProblem problem;
+    problem.objective.resize(n);
+    std::vector<double> row1(n), row2(n);
+    for (size_t i = 0; i < n; ++i) {
+        problem.objective[i] = static_cast<double>(i);
+        row1[i] = 1.0;
+        row2[i] = static_cast<double>(i + 1);
+    }
+    problem.eq_lhs = {row1, row2};
+    problem.eq_rhs = {1.0, 3.0};
+    const LpSolution solution = SolveSimplex(problem);
+    ASSERT_TRUE(solution.feasible);
+    // Row 2 forces Σ(i+1)x = 3 with Σx = 1: the cheapest vertex is x2 = 1
+    // alone (coefficients 1·x0 + 3·x2), objective 2·1 = 2.
+    EXPECT_NEAR(solution.objective_value, 2.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace aeo

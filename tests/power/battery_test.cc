@@ -1,0 +1,39 @@
+#include "power/battery.h"
+
+#include <gtest/gtest.h>
+
+namespace aeo {
+namespace {
+
+TEST(BatteryTest, FullEnergyMatchesCapacity)
+{
+    const Battery battery;  // Nexus 6: 3220 mAh @ 3.8 V
+    EXPECT_NEAR(battery.FullEnergy().value(), 3220 * 3.6 * 3.8, 1e-6);
+    EXPECT_DOUBLE_EQ(battery.StateOfCharge(), 1.0);
+}
+
+TEST(BatteryTest, DrainReducesCharge)
+{
+    Battery battery(BatteryParams{1000.0, 4.0});  // 14400 J
+    battery.Drain(Joules(7200.0));
+    EXPECT_NEAR(battery.StateOfCharge(), 0.5, 1e-12);
+    EXPECT_NEAR(battery.RemainingEnergy().value(), 7200.0, 1e-9);
+}
+
+TEST(BatteryTest, CannotGoBelowEmpty)
+{
+    Battery battery(BatteryParams{10.0, 1.0});  // 36 J
+    battery.Drain(Joules(100.0));
+    EXPECT_DOUBLE_EQ(battery.StateOfCharge(), 0.0);
+    EXPECT_TRUE(battery.Empty());
+}
+
+TEST(BatteryTest, TimeToEmptyAtConstantDraw)
+{
+    Battery battery(BatteryParams{1000.0, 3.6});  // 12960 J
+    const SimTime t = battery.TimeToEmpty(Milliwatts(1296.0));
+    EXPECT_NEAR(t.seconds(), 10000.0, 1.0);
+}
+
+}  // namespace
+}  // namespace aeo

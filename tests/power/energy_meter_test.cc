@@ -1,0 +1,57 @@
+#include "power/energy_meter.h"
+
+#include <gtest/gtest.h>
+
+namespace aeo {
+namespace {
+
+TEST(EnergyMeterTest, IntegratesPiecewiseConstantPower)
+{
+    EnergyMeter meter;
+    meter.Accumulate(Milliwatts(1000.0), SimTime::FromSeconds(2));  // 2 J
+    meter.Accumulate(Milliwatts(500.0), SimTime::FromSeconds(4));   // 2 J
+    EXPECT_NEAR(meter.energy().value(), 4.0, 1e-12);
+    EXPECT_EQ(meter.elapsed(), SimTime::FromSeconds(6));
+}
+
+TEST(EnergyMeterTest, AveragePowerIsEnergyOverTime)
+{
+    EnergyMeter meter;
+    meter.Accumulate(Milliwatts(2000.0), SimTime::FromSeconds(1));
+    meter.Accumulate(Milliwatts(1000.0), SimTime::FromSeconds(3));
+    EXPECT_NEAR(meter.AveragePower().value(), 1250.0, 1e-9);
+}
+
+TEST(EnergyMeterTest, EmptyMeterHasZeroAverage)
+{
+    EnergyMeter meter;
+    EXPECT_DOUBLE_EQ(meter.AveragePower().value(), 0.0);
+}
+
+TEST(EnergyMeterTest, ZeroDurationSegmentsAreHarmless)
+{
+    EnergyMeter meter;
+    meter.Accumulate(Milliwatts(5000.0), SimTime::Zero());
+    EXPECT_DOUBLE_EQ(meter.energy().value(), 0.0);
+}
+
+TEST(EnergyMeterTest, ResetClears)
+{
+    EnergyMeter meter;
+    meter.Accumulate(Milliwatts(1000.0), SimTime::FromSeconds(1));
+    meter.Reset();
+    EXPECT_DOUBLE_EQ(meter.energy().value(), 0.0);
+    EXPECT_EQ(meter.elapsed(), SimTime::Zero());
+}
+
+TEST(EnergyMeterTest, MicrosecondResolutionAccumulates)
+{
+    EnergyMeter meter;
+    for (int i = 0; i < 1000000; ++i) {
+        meter.Accumulate(Milliwatts(1000.0), SimTime::Micros(1));
+    }
+    EXPECT_NEAR(meter.energy().value(), 1.0, 1e-6);  // 1 W × 1 s
+}
+
+}  // namespace
+}  // namespace aeo

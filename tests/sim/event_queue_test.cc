@@ -1,0 +1,99 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace aeo {
+namespace {
+
+TEST(EventQueueTest, RunsInTimeOrder)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    queue.Schedule(SimTime::Millis(30), [&] { order.push_back(3); });
+    queue.Schedule(SimTime::Millis(10), [&] { order.push_back(1); });
+    queue.Schedule(SimTime::Millis(20), [&] { order.push_back(2); });
+    while (!queue.Empty()) {
+        queue.RunNext();
+    }
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TiesBreakByInsertionOrder)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i) {
+        queue.Schedule(SimTime::Millis(7), [&order, i] { order.push_back(i); });
+    }
+    while (!queue.Empty()) {
+        queue.RunNext();
+    }
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, CancelPreventsExecution)
+{
+    EventQueue queue;
+    bool ran = false;
+    const EventId id = queue.Schedule(SimTime::Millis(5), [&] { ran = true; });
+    EXPECT_TRUE(queue.Cancel(id));
+    EXPECT_TRUE(queue.Empty());
+    EXPECT_FALSE(ran);
+}
+
+TEST(EventQueueTest, CancelTwiceReturnsFalse)
+{
+    EventQueue queue;
+    const EventId id = queue.Schedule(SimTime::Millis(5), [] {});
+    EXPECT_TRUE(queue.Cancel(id));
+    EXPECT_FALSE(queue.Cancel(id));
+    EXPECT_FALSE(queue.Cancel(99999));
+}
+
+TEST(EventQueueTest, NextTimeSkipsCancelled)
+{
+    EventQueue queue;
+    const EventId early = queue.Schedule(SimTime::Millis(1), [] {});
+    queue.Schedule(SimTime::Millis(9), [] {});
+    queue.Cancel(early);
+    EXPECT_EQ(queue.NextTime(), SimTime::Millis(9));
+}
+
+TEST(EventQueueTest, RunNextReturnsEventTime)
+{
+    EventQueue queue;
+    queue.Schedule(SimTime::Millis(42), [] {});
+    EXPECT_EQ(queue.RunNext(), SimTime::Millis(42));
+}
+
+TEST(EventQueueTest, EventsCanScheduleMoreEvents)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    queue.Schedule(SimTime::Millis(1), [&] {
+        order.push_back(1);
+        queue.Schedule(SimTime::Millis(2), [&] { order.push_back(2); });
+    });
+    while (!queue.Empty()) {
+        queue.RunNext();
+    }
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueueTest, PendingCountTracksState)
+{
+    EventQueue queue;
+    const EventId a = queue.Schedule(SimTime::Millis(1), [] {});
+    queue.Schedule(SimTime::Millis(2), [] {});
+    EXPECT_EQ(queue.PendingCount(), 2u);
+    queue.Cancel(a);
+    EXPECT_EQ(queue.PendingCount(), 1u);
+    queue.RunNext();
+    EXPECT_EQ(queue.PendingCount(), 0u);
+    EXPECT_EQ(queue.executed_count(), 1u);
+}
+
+}  // namespace
+}  // namespace aeo

@@ -1,0 +1,74 @@
+#include "sim/periodic_task.h"
+
+#include <gtest/gtest.h>
+
+namespace aeo {
+namespace {
+
+TEST(PeriodicTaskTest, FiresAtEveryPeriod)
+{
+    Simulator sim;
+    int fires = 0;
+    PeriodicTask task(&sim, [&] { ++fires; });
+    task.Start(SimTime::Millis(100));
+    sim.RunUntil(SimTime::FromSeconds(1));
+    EXPECT_EQ(fires, 10);
+}
+
+TEST(PeriodicTaskTest, StopHaltsFiring)
+{
+    Simulator sim;
+    int fires = 0;
+    PeriodicTask task(&sim, [&] { ++fires; });
+    task.Start(SimTime::Millis(100));
+    sim.RunUntil(SimTime::Millis(350));
+    task.Stop();
+    sim.RunUntil(SimTime::FromSeconds(10));
+    EXPECT_EQ(fires, 3);
+    EXPECT_FALSE(task.running());
+}
+
+TEST(PeriodicTaskTest, RestartChangesPeriod)
+{
+    Simulator sim;
+    int fires = 0;
+    PeriodicTask task(&sim, [&] { ++fires; });
+    task.Start(SimTime::Millis(100));
+    sim.RunUntil(SimTime::Millis(250));
+    EXPECT_EQ(fires, 2);
+    task.Start(SimTime::Millis(500));  // restart with a longer period
+    sim.RunUntil(SimTime::Millis(1250));
+    EXPECT_EQ(fires, 4);
+    EXPECT_EQ(task.period(), SimTime::Millis(500));
+}
+
+TEST(PeriodicTaskTest, CallbackMayStopItsOwnTask)
+{
+    Simulator sim;
+    int fires = 0;
+    PeriodicTask task(&sim, [&] {
+        ++fires;
+        if (fires == 3) {
+            task.Stop();
+        }
+    });
+    task.Start(SimTime::Millis(10));
+    sim.RunUntil(SimTime::FromSeconds(1));
+    EXPECT_EQ(fires, 3);
+}
+
+TEST(PeriodicTaskTest, DestructionCancelsCleanly)
+{
+    Simulator sim;
+    int fires = 0;
+    {
+        PeriodicTask task(&sim, [&] { ++fires; });
+        task.Start(SimTime::Millis(10));
+        sim.RunUntil(SimTime::Millis(25));
+    }
+    sim.RunUntil(SimTime::FromSeconds(1));
+    EXPECT_EQ(fires, 2);
+}
+
+}  // namespace
+}  // namespace aeo

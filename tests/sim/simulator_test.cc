@@ -1,0 +1,77 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+namespace aeo {
+namespace {
+
+TEST(SimulatorTest, ClockAdvancesToDeadline)
+{
+    Simulator sim;
+    sim.RunUntil(SimTime::FromSeconds(5));
+    EXPECT_EQ(sim.Now(), SimTime::FromSeconds(5));
+}
+
+TEST(SimulatorTest, EventsSeeTheirOwnTime)
+{
+    Simulator sim;
+    SimTime seen;
+    sim.ScheduleAfter(SimTime::Millis(250), [&] { seen = sim.Now(); });
+    sim.RunUntil(SimTime::FromSeconds(1));
+    EXPECT_EQ(seen, SimTime::Millis(250));
+}
+
+TEST(SimulatorTest, EventsBeyondDeadlineDoNotRun)
+{
+    Simulator sim;
+    bool ran = false;
+    sim.ScheduleAfter(SimTime::FromSeconds(10), [&] { ran = true; });
+    sim.RunUntil(SimTime::FromSeconds(1));
+    EXPECT_FALSE(ran);
+    EXPECT_EQ(sim.Now(), SimTime::FromSeconds(1));
+    // A later run picks the event up.
+    sim.RunUntil(SimTime::FromSeconds(20));
+    EXPECT_TRUE(ran);
+}
+
+TEST(SimulatorTest, StopEndsRunEarly)
+{
+    Simulator sim;
+    sim.ScheduleAfter(SimTime::Millis(100), [&] { sim.Stop(); });
+    bool later_ran = false;
+    sim.ScheduleAfter(SimTime::Millis(200), [&] { later_ran = true; });
+    sim.RunUntil(SimTime::FromSeconds(1));
+    EXPECT_TRUE(sim.stopped());
+    EXPECT_FALSE(later_ran);
+    EXPECT_EQ(sim.Now(), SimTime::Millis(100));
+}
+
+TEST(SimulatorTest, RunForIsRelative)
+{
+    Simulator sim;
+    sim.RunFor(SimTime::FromSeconds(2));
+    sim.RunFor(SimTime::FromSeconds(3));
+    EXPECT_EQ(sim.Now(), SimTime::FromSeconds(5));
+}
+
+TEST(SimulatorTest, CancelWorksThroughSimulator)
+{
+    Simulator sim;
+    bool ran = false;
+    const EventId id = sim.ScheduleAfter(SimTime::Millis(10), [&] { ran = true; });
+    EXPECT_TRUE(sim.Cancel(id));
+    sim.RunUntil(SimTime::FromSeconds(1));
+    EXPECT_FALSE(ran);
+}
+
+TEST(SimulatorTest, ScheduleAtAbsoluteTime)
+{
+    Simulator sim;
+    SimTime seen;
+    sim.ScheduleAt(SimTime::FromSeconds(3), [&] { seen = sim.Now(); });
+    sim.RunUntil(SimTime::FromSeconds(4));
+    EXPECT_EQ(seen, SimTime::FromSeconds(3));
+}
+
+}  // namespace
+}  // namespace aeo

@@ -1,0 +1,52 @@
+#include "sim/time.h"
+
+#include <gtest/gtest.h>
+
+namespace aeo {
+namespace {
+
+TEST(SimTimeTest, Constructors)
+{
+    EXPECT_EQ(SimTime::Micros(1500).micros(), 1500);
+    EXPECT_EQ(SimTime::Millis(3).micros(), 3000);
+    EXPECT_EQ(SimTime::FromSeconds(2).micros(), 2000000);
+    EXPECT_EQ(SimTime::FromSecondsF(0.0005).micros(), 500);
+    EXPECT_EQ(SimTime::Zero().micros(), 0);
+}
+
+TEST(SimTimeTest, RoundsToNearestMicrosecond)
+{
+    EXPECT_EQ(SimTime::FromSecondsF(1e-6 * 0.4).micros(), 0);
+    EXPECT_EQ(SimTime::FromSecondsF(1e-6 * 0.6).micros(), 1);
+}
+
+TEST(SimTimeTest, Arithmetic)
+{
+    const SimTime a = SimTime::Millis(500);
+    const SimTime b = SimTime::Millis(200);
+    EXPECT_EQ((a + b).micros(), 700000);
+    EXPECT_EQ((a - b).micros(), 300000);
+    EXPECT_EQ((b * 3).micros(), 600000);
+    SimTime c = a;
+    c += b;
+    EXPECT_EQ(c.millis(), 700.0);
+    c -= a;
+    EXPECT_EQ(c, b);
+}
+
+TEST(SimTimeTest, Comparisons)
+{
+    EXPECT_LT(SimTime::Millis(1), SimTime::Millis(2));
+    EXPECT_GE(SimTime::FromSeconds(1), SimTime::Millis(1000));
+}
+
+TEST(SimTimeTest, Conversions)
+{
+    const SimTime t = SimTime::Millis(2500);
+    EXPECT_DOUBLE_EQ(t.seconds(), 2.5);
+    EXPECT_DOUBLE_EQ(t.millis(), 2500.0);
+    EXPECT_DOUBLE_EQ(t.ToSeconds().value(), 2.5);
+}
+
+}  // namespace
+}  // namespace aeo

@@ -1,0 +1,52 @@
+#include "soc/bandwidth_table.h"
+
+#include <gtest/gtest.h>
+
+#include "soc/nexus6.h"
+
+namespace aeo {
+namespace {
+
+BandwidthTable
+SmallTable()
+{
+    return BandwidthTable({MegabytesPerSecond(762), MegabytesPerSecond(3051),
+                           MegabytesPerSecond(16250)});
+}
+
+TEST(BandwidthTableTest, BasicAccessors)
+{
+    const BandwidthTable table = SmallTable();
+    EXPECT_EQ(table.size(), 3);
+    EXPECT_DOUBLE_EQ(table.BandwidthAt(1).value(), 3051.0);
+    EXPECT_EQ(table.max_level(), 2);
+}
+
+TEST(BandwidthTableTest, LevelAtOrAbove)
+{
+    const BandwidthTable table = SmallTable();
+    EXPECT_EQ(table.LevelAtOrAbove(MegabytesPerSecond(100)), 0);
+    EXPECT_EQ(table.LevelAtOrAbove(MegabytesPerSecond(762)), 0);
+    EXPECT_EQ(table.LevelAtOrAbove(MegabytesPerSecond(763)), 1);
+    EXPECT_EQ(table.LevelAtOrAbove(MegabytesPerSecond(99999)), 2);
+}
+
+TEST(BandwidthTableTest, ClosestLevel)
+{
+    const BandwidthTable table = SmallTable();
+    EXPECT_EQ(table.ClosestLevel(MegabytesPerSecond(800)), 0);
+    EXPECT_EQ(table.ClosestLevel(MegabytesPerSecond(3000)), 1);
+    EXPECT_EQ(table.ClosestLevel(MegabytesPerSecond(12000)), 2);
+}
+
+TEST(Nexus6BandwidthTableTest, MatchesTableII)
+{
+    const BandwidthTable table = MakeNexus6BandwidthTable();
+    ASSERT_EQ(table.size(), kNexus6BwLevels);
+    EXPECT_DOUBLE_EQ(table.BandwidthAt(0).value(), 762.0);     // level 1
+    EXPECT_DOUBLE_EQ(table.BandwidthAt(4).value(), 3051.0);    // level 5
+    EXPECT_DOUBLE_EQ(table.BandwidthAt(12).value(), 16250.0);  // level 13
+}
+
+}  // namespace
+}  // namespace aeo

@@ -1,0 +1,68 @@
+#include "soc/cpu_cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "soc/nexus6.h"
+
+namespace aeo {
+namespace {
+
+TEST(CpuClusterTest, StartsAtLowestLevel)
+{
+    CpuCluster cluster(MakeNexus6FrequencyTable(), 4);
+    EXPECT_EQ(cluster.level(), 0);
+    EXPECT_DOUBLE_EQ(cluster.frequency().value(), 0.3);
+    EXPECT_EQ(cluster.num_cores(), 4);
+    EXPECT_EQ(cluster.online_cores(), 4);
+}
+
+TEST(CpuClusterTest, SetLevelChangesFrequencyAndCounts)
+{
+    CpuCluster cluster(MakeNexus6FrequencyTable(), 4);
+    cluster.SetLevel(9);
+    EXPECT_DOUBLE_EQ(cluster.frequency().value(), 1.4976);
+    EXPECT_EQ(cluster.transition_count(), 1u);
+    cluster.SetLevel(9);  // no-op
+    EXPECT_EQ(cluster.transition_count(), 1u);
+    cluster.SetLevel(0);
+    EXPECT_EQ(cluster.transition_count(), 2u);
+}
+
+TEST(CpuClusterTest, ListenersFireAroundChanges)
+{
+    CpuCluster cluster(MakeNexus6FrequencyTable(), 4);
+    int pre = 0;
+    int post = 0;
+    int level_at_pre = -1;
+    cluster.SetPreChangeListener([&] {
+        ++pre;
+        level_at_pre = cluster.level();
+    });
+    cluster.SetPostChangeListener([&] { ++post; });
+    cluster.SetLevel(5);
+    EXPECT_EQ(pre, 1);
+    EXPECT_EQ(post, 1);
+    EXPECT_EQ(level_at_pre, 0);  // pre sees the old state
+    cluster.SetLevel(5);         // unchanged: no listener calls
+    EXPECT_EQ(pre, 1);
+}
+
+TEST(CpuClusterTest, HotplugTracksOnlineCores)
+{
+    CpuCluster cluster(MakeNexus6FrequencyTable(), 4);
+    cluster.SetOnlineCores(2);
+    EXPECT_EQ(cluster.online_cores(), 2);
+    cluster.SetOnlineCores(4);
+    EXPECT_EQ(cluster.online_cores(), 4);
+}
+
+TEST(CpuClusterDeathTest, RejectsBadLevel)
+{
+    CpuCluster cluster(MakeNexus6FrequencyTable(), 4);
+    EXPECT_DEATH(cluster.SetLevel(18), "out of");
+    EXPECT_DEATH(cluster.SetLevel(-1), "out of");
+    EXPECT_DEATH(cluster.SetOnlineCores(0), "out of");
+}
+
+}  // namespace
+}  // namespace aeo

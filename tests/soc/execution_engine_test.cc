@@ -1,0 +1,154 @@
+#include "soc/execution_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "soc/nexus6.h"
+
+namespace aeo {
+namespace {
+
+WorkloadDemand
+SelfPaced(double ipc, double par, double bpi)
+{
+    WorkloadDemand demand;
+    demand.ipc = ipc;
+    demand.parallelism = par;
+    demand.mem_bytes_per_instr = bpi;
+    return demand;
+}
+
+TEST(ExecutionEngineTest, ComputeBoundScalesWithFrequency)
+{
+    const ExecutionEngine engine;
+    const WorkloadDemand demand = SelfPaced(1.0, 2.0, 0.0);
+    const auto slow = engine.Compute(demand, Gigahertz(0.5), MegabytesPerSecond(762), 4);
+    const auto fast = engine.Compute(demand, Gigahertz(2.0), MegabytesPerSecond(762), 4);
+    EXPECT_NEAR(fast.gips / slow.gips, 4.0, 1e-9);
+}
+
+TEST(ExecutionEngineTest, MemoryBoundSaturatesWithBandwidth)
+{
+    const ExecutionEngine engine;
+    const WorkloadDemand demand = SelfPaced(2.0, 4.0, 8.0);  // heavy traffic
+    const auto narrow =
+        engine.Compute(demand, Gigahertz(2.0), MegabytesPerSecond(762), 4);
+    const auto wide =
+        engine.Compute(demand, Gigahertz(2.0), MegabytesPerSecond(16250), 4);
+    // Bandwidth-dominated: doubling frequency barely helps, bandwidth does.
+    EXPECT_GT(wide.gips / narrow.gips, 5.0);
+    const auto faster_clock =
+        engine.Compute(demand, Gigahertz(2.6496), MegabytesPerSecond(762), 4);
+    EXPECT_LT(faster_clock.gips / narrow.gips, 1.1);
+}
+
+TEST(ExecutionEngineTest, DemandCapLimitsRateAndLoad)
+{
+    const ExecutionEngine engine;
+    WorkloadDemand demand = SelfPaced(1.0, 2.0, 0.0);
+    demand.demand_gips = 0.5;
+    const auto rates = engine.Compute(demand, Gigahertz(2.0), MegabytesPerSecond(762), 4);
+    EXPECT_DOUBLE_EQ(rates.gips, 0.5);
+    EXPECT_GT(rates.capacity_gips, 3.9);
+    // Busy time shrinks proportionally when demand-capped.
+    EXPECT_NEAR(rates.busy_cores, 0.5 / rates.capacity_gips * 2.0, 1e-9);
+    EXPECT_LT(rates.LoadFraction(4), 0.1);
+}
+
+TEST(ExecutionEngineTest, SaturatedWorkloadBusiesItsCores)
+{
+    const ExecutionEngine engine;
+    const WorkloadDemand demand = SelfPaced(0.172, 2.5, 0.06);  // AngryBirds-like
+    const auto rates = engine.Compute(demand, Gigahertz(0.3), MegabytesPerSecond(762), 4);
+    EXPECT_NEAR(rates.busy_cores, 2.5, 1e-9);
+    EXPECT_DOUBLE_EQ(rates.gips, rates.capacity_gips);
+}
+
+TEST(ExecutionEngineTest, TrafficFollowsRateAndPrefetch)
+{
+    const ExecutionEngine engine;
+    const WorkloadDemand demand = SelfPaced(1.0, 1.0, 0.5);
+    const auto rates = engine.Compute(demand, Gigahertz(1.0), MegabytesPerSecond(8056), 4);
+    // Demand traffic (gips × bytes/instr) plus the prefetcher streams that
+    // scale with busy cores — the traffic cpubw_hwmon actually sees.
+    const double prefetch = engine.params().prefetch_gbps_per_busy_core;
+    EXPECT_NEAR(rates.mem_gbps, rates.gips * 0.5 + rates.busy_cores * prefetch, 1e-12);
+}
+
+TEST(ExecutionEngineTest, ParallelismIsCappedByCores)
+{
+    const ExecutionEngine engine;
+    const WorkloadDemand demand = SelfPaced(1.0, 8.0, 0.0);
+    const auto rates = engine.Compute(demand, Gigahertz(1.0), MegabytesPerSecond(762), 4);
+    EXPECT_NEAR(rates.capacity_gips, 4.0, 1e-9);
+    EXPECT_NEAR(rates.busy_cores, 4.0, 1e-9);
+}
+
+TEST(ExecutionEngineTest, BackgroundStealsBandwidth)
+{
+    const ExecutionEngine engine;
+    const WorkloadDemand fg = SelfPaced(2.0, 4.0, 4.0);  // memory hungry
+    WorkloadDemand bg = SelfPaced(0.6, 1.0, 2.0);
+    bg.demand_gips = 0.05;
+    const auto alone = engine.Compute(fg, Gigahertz(1.0), MegabytesPerSecond(762), 4);
+    const auto shared =
+        engine.ComputeShared(fg, bg, Gigahertz(1.0), MegabytesPerSecond(762), 4);
+    EXPECT_LT(shared.foreground.gips, alone.gips);
+    EXPECT_GT(shared.background.gips, 0.0);
+}
+
+TEST(ExecutionEngineTest, LoadFractionClamps)
+{
+    ExecutionRates rates;
+    rates.busy_cores = 5.0;
+    EXPECT_DOUBLE_EQ(rates.LoadFraction(4), 1.0);
+    EXPECT_DOUBLE_EQ(rates.LoadFraction(0), 0.0);
+}
+
+/** Property sweep: GIPS is monotonically non-decreasing in both frequency
+ * and bandwidth across the full Nexus 6 grid, for several workload mixes. */
+class MonotonicityTest
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(MonotonicityTest, GipsMonotoneOverGrid)
+{
+    const auto [ipc, par, bpi] = GetParam();
+    const ExecutionEngine engine;
+    const FrequencyTable freqs = MakeNexus6FrequencyTable();
+    const BandwidthTable bws = MakeNexus6BandwidthTable();
+    const WorkloadDemand demand = SelfPaced(ipc, par, bpi);
+
+    for (int bw = 0; bw < bws.size(); ++bw) {
+        double prev = 0.0;
+        for (int f = 0; f < freqs.size(); ++f) {
+            const auto rates = engine.Compute(demand, freqs.FrequencyAt(f),
+                                              bws.BandwidthAt(bw), 4);
+            EXPECT_GE(rates.gips, prev - 1e-12)
+                << "f level " << f << " bw level " << bw;
+            prev = rates.gips;
+        }
+    }
+    for (int f = 0; f < freqs.size(); ++f) {
+        double prev = 0.0;
+        for (int bw = 0; bw < bws.size(); ++bw) {
+            const auto rates = engine.Compute(demand, freqs.FrequencyAt(f),
+                                              bws.BandwidthAt(bw), 4);
+            EXPECT_GE(rates.gips, prev - 1e-12)
+                << "f level " << f << " bw level " << bw;
+            prev = rates.gips;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WorkloadMixes, MonotonicityTest,
+    ::testing::Values(std::make_tuple(0.55, 3.0, 0.10),   // VidCon-like
+                      std::make_tuple(0.80, 3.0, 0.45),   // MobileBench-like
+                      std::make_tuple(0.172, 2.5, 0.06),  // AngryBirds-like
+                      std::make_tuple(0.12, 1.0, 0.35),   // MXPlayer-like
+                      std::make_tuple(1.00, 4.0, 2.00),   // memory-heavy
+                      std::make_tuple(1.50, 1.0, 0.00))); // pure compute
+
+}  // namespace
+}  // namespace aeo

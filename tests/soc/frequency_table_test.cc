@@ -1,0 +1,76 @@
+#include "soc/frequency_table.h"
+
+#include <gtest/gtest.h>
+
+#include "soc/nexus6.h"
+
+namespace aeo {
+namespace {
+
+FrequencyTable
+SmallTable()
+{
+    return FrequencyTable({{Gigahertz(0.3), Volts(0.8)},
+                           {Gigahertz(1.0), Volts(0.9)},
+                           {Gigahertz(2.0), Volts(1.1)}});
+}
+
+TEST(FrequencyTableTest, BasicAccessors)
+{
+    const FrequencyTable table = SmallTable();
+    EXPECT_EQ(table.size(), 3);
+    EXPECT_EQ(table.min_level(), 0);
+    EXPECT_EQ(table.max_level(), 2);
+    EXPECT_DOUBLE_EQ(table.FrequencyAt(1).value(), 1.0);
+    EXPECT_DOUBLE_EQ(table.VoltageAt(2).value(), 1.1);
+}
+
+TEST(FrequencyTableTest, ClosestLevel)
+{
+    const FrequencyTable table = SmallTable();
+    EXPECT_EQ(table.ClosestLevel(Gigahertz(0.31)), 0);
+    EXPECT_EQ(table.ClosestLevel(Gigahertz(0.64)), 0);  // ties go lower
+    EXPECT_EQ(table.ClosestLevel(Gigahertz(0.66)), 1);
+    EXPECT_EQ(table.ClosestLevel(Gigahertz(99.0)), 2);
+}
+
+TEST(FrequencyTableTest, LevelAtOrAbove)
+{
+    const FrequencyTable table = SmallTable();
+    EXPECT_EQ(table.LevelAtOrAbove(Gigahertz(0.0)), 0);
+    EXPECT_EQ(table.LevelAtOrAbove(Gigahertz(0.3)), 0);
+    EXPECT_EQ(table.LevelAtOrAbove(Gigahertz(0.31)), 1);
+    EXPECT_EQ(table.LevelAtOrAbove(Gigahertz(1.5)), 2);
+    // Above the top: clamps to the highest level.
+    EXPECT_EQ(table.LevelAtOrAbove(Gigahertz(9.9)), 2);
+}
+
+TEST(FrequencyTableTest, PaperLabelIsOneBased)
+{
+    const FrequencyTable table = SmallTable();
+    EXPECT_EQ(table.PaperLabel(0), "1");
+    EXPECT_EQ(table.PaperLabel(2), "3");
+}
+
+TEST(Nexus6FrequencyTableTest, MatchesTableII)
+{
+    const FrequencyTable table = MakeNexus6FrequencyTable();
+    ASSERT_EQ(table.size(), kNexus6CpuLevels);
+    EXPECT_DOUBLE_EQ(table.FrequencyAt(0).value(), 0.3000);   // level 1
+    EXPECT_DOUBLE_EQ(table.FrequencyAt(4).value(), 0.8832);   // level 5
+    EXPECT_DOUBLE_EQ(table.FrequencyAt(9).value(), 1.4976);   // level 10
+    EXPECT_DOUBLE_EQ(table.FrequencyAt(17).value(), 2.6496);  // level 18
+}
+
+TEST(Nexus6FrequencyTableTest, VoltageIsMonotonic)
+{
+    const FrequencyTable table = MakeNexus6FrequencyTable();
+    for (int level = 1; level < table.size(); ++level) {
+        EXPECT_GE(table.VoltageAt(level).value(), table.VoltageAt(level - 1).value());
+    }
+    EXPECT_GT(table.VoltageAt(0).value(), 0.5);
+    EXPECT_LT(table.VoltageAt(17).value(), 1.5);
+}
+
+}  // namespace
+}  // namespace aeo

@@ -1,0 +1,46 @@
+#include "soc/memory_bus.h"
+
+#include <gtest/gtest.h>
+
+#include "soc/nexus6.h"
+
+namespace aeo {
+namespace {
+
+TEST(MemoryBusTest, StartsAtLowestLevel)
+{
+    MemoryBus bus(MakeNexus6BandwidthTable());
+    EXPECT_EQ(bus.level(), 0);
+    EXPECT_DOUBLE_EQ(bus.bandwidth().value(), 762.0);
+}
+
+TEST(MemoryBusTest, SetLevelChangesBandwidth)
+{
+    MemoryBus bus(MakeNexus6BandwidthTable());
+    bus.SetLevel(12);
+    EXPECT_DOUBLE_EQ(bus.bandwidth().value(), 16250.0);
+    EXPECT_EQ(bus.transition_count(), 1u);
+}
+
+TEST(MemoryBusTest, ListenersFireOnChangeOnly)
+{
+    MemoryBus bus(MakeNexus6BandwidthTable());
+    int pre = 0;
+    int post = 0;
+    bus.SetPreChangeListener([&] { ++pre; });
+    bus.SetPostChangeListener([&] { ++post; });
+    bus.SetLevel(3);
+    bus.SetLevel(3);
+    bus.SetLevel(4);
+    EXPECT_EQ(pre, 2);
+    EXPECT_EQ(post, 2);
+}
+
+TEST(MemoryBusDeathTest, RejectsBadLevel)
+{
+    MemoryBus bus(MakeNexus6BandwidthTable());
+    EXPECT_DEATH(bus.SetLevel(13), "out of");
+}
+
+}  // namespace
+}  // namespace aeo

@@ -1,0 +1,29 @@
+#include "stats/comparison.h"
+
+#include <gtest/gtest.h>
+
+namespace aeo {
+namespace {
+
+TEST(ComparisonReportTest, RendersTitleAndRows)
+{
+    ComparisonReport report("Table III: VidCon");
+    report.Add("energy savings", 25.3, 24.8, "%");
+    report.Add("performance delta", -0.4, -0.2, "%");
+    const std::string out = report.ToString();
+    EXPECT_NE(out.find("Table III: VidCon"), std::string::npos);
+    EXPECT_NE(out.find("energy savings"), std::string::npos);
+    EXPECT_NE(out.find("25.30"), std::string::npos);
+    EXPECT_NE(out.find("24.80"), std::string::npos);
+    ASSERT_EQ(report.rows().size(), 2u);
+    EXPECT_DOUBLE_EQ(report.rows()[0].paper_value, 25.3);
+}
+
+TEST(ComparisonReportTest, EmptyReportStillRenders)
+{
+    ComparisonReport report("empty");
+    EXPECT_NE(report.ToString().find("empty"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aeo

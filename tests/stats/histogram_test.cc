@@ -1,0 +1,78 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+namespace aeo {
+namespace {
+
+TEST(HistogramTest, AccumulatesWeights)
+{
+    Histogram hist(4);
+    hist.Add(0, 1.0);
+    hist.Add(0, 2.0);
+    hist.Add(3, 1.0);
+    EXPECT_DOUBLE_EQ(hist.WeightAt(0), 3.0);
+    EXPECT_DOUBLE_EQ(hist.WeightAt(1), 0.0);
+    EXPECT_DOUBLE_EQ(hist.TotalWeight(), 4.0);
+}
+
+TEST(HistogramTest, FractionsSumToOne)
+{
+    Histogram hist(5);
+    hist.Add(1, 2.0);
+    hist.Add(2, 3.0);
+    hist.Add(4, 5.0);
+    const auto fractions = hist.Fractions();
+    double sum = 0.0;
+    for (const double f : fractions) {
+        sum += f;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(fractions[4], 0.5);
+}
+
+TEST(HistogramTest, EmptyHistogramHasZeroFractions)
+{
+    Histogram hist(3);
+    EXPECT_DOUBLE_EQ(hist.FractionAt(0), 0.0);
+    EXPECT_DOUBLE_EQ(hist.TotalWeight(), 0.0);
+}
+
+TEST(HistogramTest, ModeBinFindsHeaviest)
+{
+    Histogram hist(6);
+    hist.Add(2, 1.0);
+    hist.Add(5, 3.0);
+    hist.Add(0, 2.0);
+    EXPECT_EQ(hist.ModeBin(), 5u);
+}
+
+TEST(HistogramTest, PercentMatchesFraction)
+{
+    Histogram hist(2);
+    hist.Add(0, 1.0);
+    hist.Add(1, 3.0);
+    EXPECT_DOUBLE_EQ(hist.PercentAt(1), 75.0);
+}
+
+TEST(HistogramTest, BarChartContainsLabelsAndPercents)
+{
+    Histogram hist(2);
+    hist.Add(0, 9.0);
+    hist.Add(1, 1.0);
+    const std::string chart = hist.ToBarChart({"low", "high"}, 10);
+    EXPECT_NE(chart.find("low"), std::string::npos);
+    EXPECT_NE(chart.find("90.00%"), std::string::npos);
+    EXPECT_NE(chart.find("##########"), std::string::npos);
+}
+
+TEST(HistogramDeathTest, OutOfRangeBinPanics)
+{
+    Histogram hist(2);
+    EXPECT_DEATH(hist.Add(2, 1.0), "bin 2 out of 2");
+}
+
+}  // namespace
+}  // namespace aeo

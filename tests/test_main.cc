@@ -1,0 +1,12 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+int
+main(int argc, char** argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    // Keep test output clean: only warnings and worse.
+    aeo::SetLogLevel(aeo::LogLevel::kWarn);
+    return RUN_ALL_TESTS();
+}
