@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_controller_params.dir/ablation_controller_params.cc.o"
+  "CMakeFiles/ablation_controller_params.dir/ablation_controller_params.cc.o.d"
+  "ablation_controller_params"
+  "ablation_controller_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_controller_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

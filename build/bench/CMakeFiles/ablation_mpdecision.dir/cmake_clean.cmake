@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mpdecision.dir/ablation_mpdecision.cc.o"
+  "CMakeFiles/ablation_mpdecision.dir/ablation_mpdecision.cc.o.d"
+  "ablation_mpdecision"
+  "ablation_mpdecision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mpdecision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

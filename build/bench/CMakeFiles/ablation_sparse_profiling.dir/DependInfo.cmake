@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_sparse_profiling.cc" "bench/CMakeFiles/ablation_sparse_profiling.dir/ablation_sparse_profiling.cc.o" "gcc" "bench/CMakeFiles/ablation_sparse_profiling.dir/ablation_sparse_profiling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/aeo_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/aeo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/aeo_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/aeo_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/aeo_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/aeo_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/aeo_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/aeo_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/aeo_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aeo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/aeo_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aeo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

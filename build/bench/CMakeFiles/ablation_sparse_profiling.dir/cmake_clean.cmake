@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sparse_profiling.dir/ablation_sparse_profiling.cc.o"
+  "CMakeFiles/ablation_sparse_profiling.dir/ablation_sparse_profiling.cc.o.d"
+  "ablation_sparse_profiling"
+  "ablation_sparse_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sparse_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aeo_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/aeo_bench_common.dir/bench_common.cc.o.d"
+  "CMakeFiles/aeo_bench_common.dir/paper_data.cc.o"
+  "CMakeFiles/aeo_bench_common.dir/paper_data.cc.o.d"
+  "libaeo_bench_common.a"
+  "libaeo_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aeo_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

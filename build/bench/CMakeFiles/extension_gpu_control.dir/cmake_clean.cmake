@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_gpu_control.dir/extension_gpu_control.cc.o"
+  "CMakeFiles/extension_gpu_control.dir/extension_gpu_control.cc.o.d"
+  "extension_gpu_control"
+  "extension_gpu_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_gpu_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

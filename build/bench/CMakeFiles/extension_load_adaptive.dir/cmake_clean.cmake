@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_load_adaptive.dir/extension_load_adaptive.cc.o"
+  "CMakeFiles/extension_load_adaptive.dir/extension_load_adaptive.cc.o.d"
+  "extension_load_adaptive"
+  "extension_load_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_load_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

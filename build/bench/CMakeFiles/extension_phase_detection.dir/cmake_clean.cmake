@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_phase_detection.dir/extension_phase_detection.cc.o"
+  "CMakeFiles/extension_phase_detection.dir/extension_phase_detection.cc.o.d"
+  "extension_phase_detection"
+  "extension_phase_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_phase_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

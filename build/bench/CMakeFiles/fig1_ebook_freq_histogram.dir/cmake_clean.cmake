@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_ebook_freq_histogram.dir/fig1_ebook_freq_histogram.cc.o"
+  "CMakeFiles/fig1_ebook_freq_histogram.dir/fig1_ebook_freq_histogram.cc.o.d"
+  "fig1_ebook_freq_histogram"
+  "fig1_ebook_freq_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_ebook_freq_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

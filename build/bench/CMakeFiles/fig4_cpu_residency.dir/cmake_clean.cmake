@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_cpu_residency.dir/fig4_cpu_residency.cc.o"
+  "CMakeFiles/fig4_cpu_residency.dir/fig4_cpu_residency.cc.o.d"
+  "fig4_cpu_residency"
+  "fig4_cpu_residency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_cpu_residency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

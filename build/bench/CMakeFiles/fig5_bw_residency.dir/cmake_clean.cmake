@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_bw_residency.dir/fig5_bw_residency.cc.o"
+  "CMakeFiles/fig5_bw_residency.dir/fig5_bw_residency.cc.o.d"
+  "fig5_bw_residency"
+  "fig5_bw_residency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_bw_residency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

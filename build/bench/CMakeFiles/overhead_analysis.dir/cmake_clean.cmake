@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overhead_analysis.dir/overhead_analysis.cc.o"
+  "CMakeFiles/overhead_analysis.dir/overhead_analysis.cc.o.d"
+  "overhead_analysis"
+  "overhead_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhead_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

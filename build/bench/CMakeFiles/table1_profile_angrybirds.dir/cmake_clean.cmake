@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_profile_angrybirds.dir/table1_profile_angrybirds.cc.o"
+  "CMakeFiles/table1_profile_angrybirds.dir/table1_profile_angrybirds.cc.o.d"
+  "table1_profile_angrybirds"
+  "table1_profile_angrybirds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_profile_angrybirds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

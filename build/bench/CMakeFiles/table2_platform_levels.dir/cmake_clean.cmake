@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_platform_levels.dir/table2_platform_levels.cc.o"
+  "CMakeFiles/table2_platform_levels.dir/table2_platform_levels.cc.o.d"
+  "table2_platform_levels"
+  "table2_platform_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_platform_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_controller_vs_default.dir/table3_controller_vs_default.cc.o"
+  "CMakeFiles/table3_controller_vs_default.dir/table3_controller_vs_default.cc.o.d"
+  "table3_controller_vs_default"
+  "table3_controller_vs_default.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_controller_vs_default.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

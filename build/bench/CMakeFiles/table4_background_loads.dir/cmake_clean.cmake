@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_background_loads.dir/table4_background_loads.cc.o"
+  "CMakeFiles/table4_background_loads.dir/table4_background_loads.cc.o.d"
+  "table4_background_loads"
+  "table4_background_loads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_background_loads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

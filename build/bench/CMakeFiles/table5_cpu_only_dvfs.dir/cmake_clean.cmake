@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_cpu_only_dvfs.dir/table5_cpu_only_dvfs.cc.o"
+  "CMakeFiles/table5_cpu_only_dvfs.dir/table5_cpu_only_dvfs.cc.o.d"
+  "table5_cpu_only_dvfs"
+  "table5_cpu_only_dvfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_cpu_only_dvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

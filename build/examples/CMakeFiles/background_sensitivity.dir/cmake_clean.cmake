@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/background_sensitivity.dir/background_sensitivity.cpp.o"
+  "CMakeFiles/background_sensitivity.dir/background_sensitivity.cpp.o.d"
+  "background_sensitivity"
+  "background_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/background_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

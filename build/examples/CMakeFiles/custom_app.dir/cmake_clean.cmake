@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_app.dir/custom_app.cpp.o"
+  "CMakeFiles/custom_app.dir/custom_app.cpp.o.d"
+  "custom_app"
+  "custom_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/governor_study.dir/governor_study.cpp.o"
+  "CMakeFiles/governor_study.dir/governor_study.cpp.o.d"
+  "governor_study"
+  "governor_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/governor_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

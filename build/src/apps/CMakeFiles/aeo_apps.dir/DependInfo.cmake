@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/app_model.cc" "src/apps/CMakeFiles/aeo_apps.dir/app_model.cc.o" "gcc" "src/apps/CMakeFiles/aeo_apps.dir/app_model.cc.o.d"
+  "/root/repo/src/apps/app_registry.cc" "src/apps/CMakeFiles/aeo_apps.dir/app_registry.cc.o" "gcc" "src/apps/CMakeFiles/aeo_apps.dir/app_registry.cc.o.d"
+  "/root/repo/src/apps/background_load.cc" "src/apps/CMakeFiles/aeo_apps.dir/background_load.cc.o" "gcc" "src/apps/CMakeFiles/aeo_apps.dir/background_load.cc.o.d"
+  "/root/repo/src/apps/workloads.cc" "src/apps/CMakeFiles/aeo_apps.dir/workloads.cc.o" "gcc" "src/apps/CMakeFiles/aeo_apps.dir/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aeo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aeo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/aeo_soc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

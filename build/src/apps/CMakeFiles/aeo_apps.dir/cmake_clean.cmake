@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aeo_apps.dir/app_model.cc.o"
+  "CMakeFiles/aeo_apps.dir/app_model.cc.o.d"
+  "CMakeFiles/aeo_apps.dir/app_registry.cc.o"
+  "CMakeFiles/aeo_apps.dir/app_registry.cc.o.d"
+  "CMakeFiles/aeo_apps.dir/background_load.cc.o"
+  "CMakeFiles/aeo_apps.dir/background_load.cc.o.d"
+  "CMakeFiles/aeo_apps.dir/workloads.cc.o"
+  "CMakeFiles/aeo_apps.dir/workloads.cc.o.d"
+  "libaeo_apps.a"
+  "libaeo_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aeo_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

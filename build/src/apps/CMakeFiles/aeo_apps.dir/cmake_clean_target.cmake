@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaeo_apps.a"
+)

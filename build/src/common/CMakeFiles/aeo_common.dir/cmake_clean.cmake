@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aeo_common.dir/csv.cc.o"
+  "CMakeFiles/aeo_common.dir/csv.cc.o.d"
+  "CMakeFiles/aeo_common.dir/interpolate.cc.o"
+  "CMakeFiles/aeo_common.dir/interpolate.cc.o.d"
+  "CMakeFiles/aeo_common.dir/logging.cc.o"
+  "CMakeFiles/aeo_common.dir/logging.cc.o.d"
+  "CMakeFiles/aeo_common.dir/math_util.cc.o"
+  "CMakeFiles/aeo_common.dir/math_util.cc.o.d"
+  "CMakeFiles/aeo_common.dir/random.cc.o"
+  "CMakeFiles/aeo_common.dir/random.cc.o.d"
+  "CMakeFiles/aeo_common.dir/strings.cc.o"
+  "CMakeFiles/aeo_common.dir/strings.cc.o.d"
+  "CMakeFiles/aeo_common.dir/text_table.cc.o"
+  "CMakeFiles/aeo_common.dir/text_table.cc.o.d"
+  "libaeo_common.a"
+  "libaeo_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aeo_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/control/integral_controller.cc" "src/control/CMakeFiles/aeo_control.dir/integral_controller.cc.o" "gcc" "src/control/CMakeFiles/aeo_control.dir/integral_controller.cc.o.d"
+  "/root/repo/src/control/kalman_filter.cc" "src/control/CMakeFiles/aeo_control.dir/kalman_filter.cc.o" "gcc" "src/control/CMakeFiles/aeo_control.dir/kalman_filter.cc.o.d"
+  "/root/repo/src/control/phase_detector.cc" "src/control/CMakeFiles/aeo_control.dir/phase_detector.cc.o" "gcc" "src/control/CMakeFiles/aeo_control.dir/phase_detector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aeo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aeo_control.dir/integral_controller.cc.o"
+  "CMakeFiles/aeo_control.dir/integral_controller.cc.o.d"
+  "CMakeFiles/aeo_control.dir/kalman_filter.cc.o"
+  "CMakeFiles/aeo_control.dir/kalman_filter.cc.o.d"
+  "CMakeFiles/aeo_control.dir/phase_detector.cc.o"
+  "CMakeFiles/aeo_control.dir/phase_detector.cc.o.d"
+  "libaeo_control.a"
+  "libaeo_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aeo_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for aeo_control.
+# This may be replaced when dependencies are built.

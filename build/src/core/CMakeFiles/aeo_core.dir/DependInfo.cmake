@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/config_scheduler.cc" "src/core/CMakeFiles/aeo_core.dir/config_scheduler.cc.o" "gcc" "src/core/CMakeFiles/aeo_core.dir/config_scheduler.cc.o.d"
+  "/root/repo/src/core/energy_optimizer.cc" "src/core/CMakeFiles/aeo_core.dir/energy_optimizer.cc.o" "gcc" "src/core/CMakeFiles/aeo_core.dir/energy_optimizer.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/core/CMakeFiles/aeo_core.dir/experiment.cc.o" "gcc" "src/core/CMakeFiles/aeo_core.dir/experiment.cc.o.d"
+  "/root/repo/src/core/load_adaptive.cc" "src/core/CMakeFiles/aeo_core.dir/load_adaptive.cc.o" "gcc" "src/core/CMakeFiles/aeo_core.dir/load_adaptive.cc.o.d"
+  "/root/repo/src/core/offline_profiler.cc" "src/core/CMakeFiles/aeo_core.dir/offline_profiler.cc.o" "gcc" "src/core/CMakeFiles/aeo_core.dir/offline_profiler.cc.o.d"
+  "/root/repo/src/core/online_controller.cc" "src/core/CMakeFiles/aeo_core.dir/online_controller.cc.o" "gcc" "src/core/CMakeFiles/aeo_core.dir/online_controller.cc.o.d"
+  "/root/repo/src/core/performance_regulator.cc" "src/core/CMakeFiles/aeo_core.dir/performance_regulator.cc.o" "gcc" "src/core/CMakeFiles/aeo_core.dir/performance_regulator.cc.o.d"
+  "/root/repo/src/core/profile_table.cc" "src/core/CMakeFiles/aeo_core.dir/profile_table.cc.o" "gcc" "src/core/CMakeFiles/aeo_core.dir/profile_table.cc.o.d"
+  "/root/repo/src/core/scenarios.cc" "src/core/CMakeFiles/aeo_core.dir/scenarios.cc.o" "gcc" "src/core/CMakeFiles/aeo_core.dir/scenarios.cc.o.d"
+  "/root/repo/src/core/system_config.cc" "src/core/CMakeFiles/aeo_core.dir/system_config.cc.o" "gcc" "src/core/CMakeFiles/aeo_core.dir/system_config.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aeo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aeo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/aeo_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/aeo_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/aeo_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/aeo_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/aeo_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/aeo_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/aeo_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/aeo_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aeo_core.dir/config_scheduler.cc.o"
+  "CMakeFiles/aeo_core.dir/config_scheduler.cc.o.d"
+  "CMakeFiles/aeo_core.dir/energy_optimizer.cc.o"
+  "CMakeFiles/aeo_core.dir/energy_optimizer.cc.o.d"
+  "CMakeFiles/aeo_core.dir/experiment.cc.o"
+  "CMakeFiles/aeo_core.dir/experiment.cc.o.d"
+  "CMakeFiles/aeo_core.dir/load_adaptive.cc.o"
+  "CMakeFiles/aeo_core.dir/load_adaptive.cc.o.d"
+  "CMakeFiles/aeo_core.dir/offline_profiler.cc.o"
+  "CMakeFiles/aeo_core.dir/offline_profiler.cc.o.d"
+  "CMakeFiles/aeo_core.dir/online_controller.cc.o"
+  "CMakeFiles/aeo_core.dir/online_controller.cc.o.d"
+  "CMakeFiles/aeo_core.dir/performance_regulator.cc.o"
+  "CMakeFiles/aeo_core.dir/performance_regulator.cc.o.d"
+  "CMakeFiles/aeo_core.dir/profile_table.cc.o"
+  "CMakeFiles/aeo_core.dir/profile_table.cc.o.d"
+  "CMakeFiles/aeo_core.dir/scenarios.cc.o"
+  "CMakeFiles/aeo_core.dir/scenarios.cc.o.d"
+  "CMakeFiles/aeo_core.dir/system_config.cc.o"
+  "CMakeFiles/aeo_core.dir/system_config.cc.o.d"
+  "libaeo_core.a"
+  "libaeo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aeo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

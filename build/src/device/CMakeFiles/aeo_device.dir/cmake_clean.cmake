@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aeo_device.dir/device.cc.o"
+  "CMakeFiles/aeo_device.dir/device.cc.o.d"
+  "CMakeFiles/aeo_device.dir/run_result.cc.o"
+  "CMakeFiles/aeo_device.dir/run_result.cc.o.d"
+  "libaeo_device.a"
+  "libaeo_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aeo_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

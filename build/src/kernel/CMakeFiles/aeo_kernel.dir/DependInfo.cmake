@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/cpufreq.cc" "src/kernel/CMakeFiles/aeo_kernel.dir/cpufreq.cc.o" "gcc" "src/kernel/CMakeFiles/aeo_kernel.dir/cpufreq.cc.o.d"
+  "/root/repo/src/kernel/devfreq.cc" "src/kernel/CMakeFiles/aeo_kernel.dir/devfreq.cc.o" "gcc" "src/kernel/CMakeFiles/aeo_kernel.dir/devfreq.cc.o.d"
+  "/root/repo/src/kernel/governors/cpufreq_conservative.cc" "src/kernel/CMakeFiles/aeo_kernel.dir/governors/cpufreq_conservative.cc.o" "gcc" "src/kernel/CMakeFiles/aeo_kernel.dir/governors/cpufreq_conservative.cc.o.d"
+  "/root/repo/src/kernel/governors/cpufreq_interactive.cc" "src/kernel/CMakeFiles/aeo_kernel.dir/governors/cpufreq_interactive.cc.o" "gcc" "src/kernel/CMakeFiles/aeo_kernel.dir/governors/cpufreq_interactive.cc.o.d"
+  "/root/repo/src/kernel/governors/cpufreq_ondemand.cc" "src/kernel/CMakeFiles/aeo_kernel.dir/governors/cpufreq_ondemand.cc.o" "gcc" "src/kernel/CMakeFiles/aeo_kernel.dir/governors/cpufreq_ondemand.cc.o.d"
+  "/root/repo/src/kernel/governors/cpufreq_performance.cc" "src/kernel/CMakeFiles/aeo_kernel.dir/governors/cpufreq_performance.cc.o" "gcc" "src/kernel/CMakeFiles/aeo_kernel.dir/governors/cpufreq_performance.cc.o.d"
+  "/root/repo/src/kernel/governors/cpufreq_powersave.cc" "src/kernel/CMakeFiles/aeo_kernel.dir/governors/cpufreq_powersave.cc.o" "gcc" "src/kernel/CMakeFiles/aeo_kernel.dir/governors/cpufreq_powersave.cc.o.d"
+  "/root/repo/src/kernel/governors/cpufreq_userspace.cc" "src/kernel/CMakeFiles/aeo_kernel.dir/governors/cpufreq_userspace.cc.o" "gcc" "src/kernel/CMakeFiles/aeo_kernel.dir/governors/cpufreq_userspace.cc.o.d"
+  "/root/repo/src/kernel/governors/devfreq_cpubw_hwmon.cc" "src/kernel/CMakeFiles/aeo_kernel.dir/governors/devfreq_cpubw_hwmon.cc.o" "gcc" "src/kernel/CMakeFiles/aeo_kernel.dir/governors/devfreq_cpubw_hwmon.cc.o.d"
+  "/root/repo/src/kernel/governors/devfreq_simple.cc" "src/kernel/CMakeFiles/aeo_kernel.dir/governors/devfreq_simple.cc.o" "gcc" "src/kernel/CMakeFiles/aeo_kernel.dir/governors/devfreq_simple.cc.o.d"
+  "/root/repo/src/kernel/gpufreq.cc" "src/kernel/CMakeFiles/aeo_kernel.dir/gpufreq.cc.o" "gcc" "src/kernel/CMakeFiles/aeo_kernel.dir/gpufreq.cc.o.d"
+  "/root/repo/src/kernel/input_boost.cc" "src/kernel/CMakeFiles/aeo_kernel.dir/input_boost.cc.o" "gcc" "src/kernel/CMakeFiles/aeo_kernel.dir/input_boost.cc.o.d"
+  "/root/repo/src/kernel/loadavg.cc" "src/kernel/CMakeFiles/aeo_kernel.dir/loadavg.cc.o" "gcc" "src/kernel/CMakeFiles/aeo_kernel.dir/loadavg.cc.o.d"
+  "/root/repo/src/kernel/meters.cc" "src/kernel/CMakeFiles/aeo_kernel.dir/meters.cc.o" "gcc" "src/kernel/CMakeFiles/aeo_kernel.dir/meters.cc.o.d"
+  "/root/repo/src/kernel/mpdecision.cc" "src/kernel/CMakeFiles/aeo_kernel.dir/mpdecision.cc.o" "gcc" "src/kernel/CMakeFiles/aeo_kernel.dir/mpdecision.cc.o.d"
+  "/root/repo/src/kernel/perf_tool.cc" "src/kernel/CMakeFiles/aeo_kernel.dir/perf_tool.cc.o" "gcc" "src/kernel/CMakeFiles/aeo_kernel.dir/perf_tool.cc.o.d"
+  "/root/repo/src/kernel/pmu.cc" "src/kernel/CMakeFiles/aeo_kernel.dir/pmu.cc.o" "gcc" "src/kernel/CMakeFiles/aeo_kernel.dir/pmu.cc.o.d"
+  "/root/repo/src/kernel/sysfs.cc" "src/kernel/CMakeFiles/aeo_kernel.dir/sysfs.cc.o" "gcc" "src/kernel/CMakeFiles/aeo_kernel.dir/sysfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aeo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aeo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/aeo_soc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

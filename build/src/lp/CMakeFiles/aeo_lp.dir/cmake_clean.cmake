@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aeo_lp.dir/schedule_lp.cc.o"
+  "CMakeFiles/aeo_lp.dir/schedule_lp.cc.o.d"
+  "CMakeFiles/aeo_lp.dir/simplex.cc.o"
+  "CMakeFiles/aeo_lp.dir/simplex.cc.o.d"
+  "libaeo_lp.a"
+  "libaeo_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aeo_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/battery.cc" "src/power/CMakeFiles/aeo_power.dir/battery.cc.o" "gcc" "src/power/CMakeFiles/aeo_power.dir/battery.cc.o.d"
+  "/root/repo/src/power/energy_meter.cc" "src/power/CMakeFiles/aeo_power.dir/energy_meter.cc.o" "gcc" "src/power/CMakeFiles/aeo_power.dir/energy_meter.cc.o.d"
+  "/root/repo/src/power/monsoon.cc" "src/power/CMakeFiles/aeo_power.dir/monsoon.cc.o" "gcc" "src/power/CMakeFiles/aeo_power.dir/monsoon.cc.o.d"
+  "/root/repo/src/power/power_model.cc" "src/power/CMakeFiles/aeo_power.dir/power_model.cc.o" "gcc" "src/power/CMakeFiles/aeo_power.dir/power_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aeo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aeo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/aeo_soc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aeo_power.dir/battery.cc.o"
+  "CMakeFiles/aeo_power.dir/battery.cc.o.d"
+  "CMakeFiles/aeo_power.dir/energy_meter.cc.o"
+  "CMakeFiles/aeo_power.dir/energy_meter.cc.o.d"
+  "CMakeFiles/aeo_power.dir/monsoon.cc.o"
+  "CMakeFiles/aeo_power.dir/monsoon.cc.o.d"
+  "CMakeFiles/aeo_power.dir/power_model.cc.o"
+  "CMakeFiles/aeo_power.dir/power_model.cc.o.d"
+  "libaeo_power.a"
+  "libaeo_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aeo_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

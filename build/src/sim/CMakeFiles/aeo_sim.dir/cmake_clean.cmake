@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aeo_sim.dir/event_queue.cc.o"
+  "CMakeFiles/aeo_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/aeo_sim.dir/periodic_task.cc.o"
+  "CMakeFiles/aeo_sim.dir/periodic_task.cc.o.d"
+  "CMakeFiles/aeo_sim.dir/simulator.cc.o"
+  "CMakeFiles/aeo_sim.dir/simulator.cc.o.d"
+  "libaeo_sim.a"
+  "libaeo_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aeo_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

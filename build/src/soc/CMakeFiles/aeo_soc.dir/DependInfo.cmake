@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/soc/bandwidth_table.cc" "src/soc/CMakeFiles/aeo_soc.dir/bandwidth_table.cc.o" "gcc" "src/soc/CMakeFiles/aeo_soc.dir/bandwidth_table.cc.o.d"
+  "/root/repo/src/soc/cpu_cluster.cc" "src/soc/CMakeFiles/aeo_soc.dir/cpu_cluster.cc.o" "gcc" "src/soc/CMakeFiles/aeo_soc.dir/cpu_cluster.cc.o.d"
+  "/root/repo/src/soc/execution_engine.cc" "src/soc/CMakeFiles/aeo_soc.dir/execution_engine.cc.o" "gcc" "src/soc/CMakeFiles/aeo_soc.dir/execution_engine.cc.o.d"
+  "/root/repo/src/soc/frequency_table.cc" "src/soc/CMakeFiles/aeo_soc.dir/frequency_table.cc.o" "gcc" "src/soc/CMakeFiles/aeo_soc.dir/frequency_table.cc.o.d"
+  "/root/repo/src/soc/gpu_domain.cc" "src/soc/CMakeFiles/aeo_soc.dir/gpu_domain.cc.o" "gcc" "src/soc/CMakeFiles/aeo_soc.dir/gpu_domain.cc.o.d"
+  "/root/repo/src/soc/memory_bus.cc" "src/soc/CMakeFiles/aeo_soc.dir/memory_bus.cc.o" "gcc" "src/soc/CMakeFiles/aeo_soc.dir/memory_bus.cc.o.d"
+  "/root/repo/src/soc/nexus6.cc" "src/soc/CMakeFiles/aeo_soc.dir/nexus6.cc.o" "gcc" "src/soc/CMakeFiles/aeo_soc.dir/nexus6.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aeo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aeo_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

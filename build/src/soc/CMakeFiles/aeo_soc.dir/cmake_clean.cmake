@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aeo_soc.dir/bandwidth_table.cc.o"
+  "CMakeFiles/aeo_soc.dir/bandwidth_table.cc.o.d"
+  "CMakeFiles/aeo_soc.dir/cpu_cluster.cc.o"
+  "CMakeFiles/aeo_soc.dir/cpu_cluster.cc.o.d"
+  "CMakeFiles/aeo_soc.dir/execution_engine.cc.o"
+  "CMakeFiles/aeo_soc.dir/execution_engine.cc.o.d"
+  "CMakeFiles/aeo_soc.dir/frequency_table.cc.o"
+  "CMakeFiles/aeo_soc.dir/frequency_table.cc.o.d"
+  "CMakeFiles/aeo_soc.dir/gpu_domain.cc.o"
+  "CMakeFiles/aeo_soc.dir/gpu_domain.cc.o.d"
+  "CMakeFiles/aeo_soc.dir/memory_bus.cc.o"
+  "CMakeFiles/aeo_soc.dir/memory_bus.cc.o.d"
+  "CMakeFiles/aeo_soc.dir/nexus6.cc.o"
+  "CMakeFiles/aeo_soc.dir/nexus6.cc.o.d"
+  "libaeo_soc.a"
+  "libaeo_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aeo_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aeo_stats.dir/comparison.cc.o"
+  "CMakeFiles/aeo_stats.dir/comparison.cc.o.d"
+  "CMakeFiles/aeo_stats.dir/histogram.cc.o"
+  "CMakeFiles/aeo_stats.dir/histogram.cc.o.d"
+  "libaeo_stats.a"
+  "libaeo_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aeo_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aeo_test_main.dir/test_main.cc.o"
+  "CMakeFiles/aeo_test_main.dir/test_main.cc.o.d"
+  "libaeo_test_main.a"
+  "libaeo_test_main.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aeo_test_main.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

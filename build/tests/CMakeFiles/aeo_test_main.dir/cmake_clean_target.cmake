@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaeo_test_main.a"
+)

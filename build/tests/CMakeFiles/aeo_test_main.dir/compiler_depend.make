@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for aeo_test_main.
+# This may be replaced when dependencies are built.

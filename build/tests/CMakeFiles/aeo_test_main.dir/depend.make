@@ -1,0 +1,2 @@
+# Empty dependencies file for aeo_test_main.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps/app_model_test.cc" "tests/CMakeFiles/apps_test.dir/apps/app_model_test.cc.o" "gcc" "tests/CMakeFiles/apps_test.dir/apps/app_model_test.cc.o.d"
+  "/root/repo/tests/apps/app_registry_test.cc" "tests/CMakeFiles/apps_test.dir/apps/app_registry_test.cc.o" "gcc" "tests/CMakeFiles/apps_test.dir/apps/app_registry_test.cc.o.d"
+  "/root/repo/tests/apps/background_load_test.cc" "tests/CMakeFiles/apps_test.dir/apps/background_load_test.cc.o" "gcc" "tests/CMakeFiles/apps_test.dir/apps/background_load_test.cc.o.d"
+  "/root/repo/tests/apps/workloads_test.cc" "tests/CMakeFiles/apps_test.dir/apps/workloads_test.cc.o" "gcc" "tests/CMakeFiles/apps_test.dir/apps/workloads_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tests/CMakeFiles/aeo_test_main.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/aeo_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/aeo_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aeo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aeo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

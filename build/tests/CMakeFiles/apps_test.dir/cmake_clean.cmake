@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_test.dir/apps/app_model_test.cc.o"
+  "CMakeFiles/apps_test.dir/apps/app_model_test.cc.o.d"
+  "CMakeFiles/apps_test.dir/apps/app_registry_test.cc.o"
+  "CMakeFiles/apps_test.dir/apps/app_registry_test.cc.o.d"
+  "CMakeFiles/apps_test.dir/apps/background_load_test.cc.o"
+  "CMakeFiles/apps_test.dir/apps/background_load_test.cc.o.d"
+  "CMakeFiles/apps_test.dir/apps/workloads_test.cc.o"
+  "CMakeFiles/apps_test.dir/apps/workloads_test.cc.o.d"
+  "apps_test"
+  "apps_test.pdb"
+  "apps_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

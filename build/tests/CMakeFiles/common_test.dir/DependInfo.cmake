@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/csv_test.cc" "tests/CMakeFiles/common_test.dir/common/csv_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/csv_test.cc.o.d"
+  "/root/repo/tests/common/interpolate_test.cc" "tests/CMakeFiles/common_test.dir/common/interpolate_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/interpolate_test.cc.o.d"
+  "/root/repo/tests/common/logging_test.cc" "tests/CMakeFiles/common_test.dir/common/logging_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/logging_test.cc.o.d"
+  "/root/repo/tests/common/math_util_test.cc" "tests/CMakeFiles/common_test.dir/common/math_util_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/math_util_test.cc.o.d"
+  "/root/repo/tests/common/random_test.cc" "tests/CMakeFiles/common_test.dir/common/random_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/random_test.cc.o.d"
+  "/root/repo/tests/common/ring_buffer_test.cc" "tests/CMakeFiles/common_test.dir/common/ring_buffer_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/ring_buffer_test.cc.o.d"
+  "/root/repo/tests/common/strings_test.cc" "tests/CMakeFiles/common_test.dir/common/strings_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/strings_test.cc.o.d"
+  "/root/repo/tests/common/text_table_test.cc" "tests/CMakeFiles/common_test.dir/common/text_table_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/text_table_test.cc.o.d"
+  "/root/repo/tests/common/units_test.cc" "tests/CMakeFiles/common_test.dir/common/units_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/units_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tests/CMakeFiles/aeo_test_main.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aeo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_test.dir/common/csv_test.cc.o"
+  "CMakeFiles/common_test.dir/common/csv_test.cc.o.d"
+  "CMakeFiles/common_test.dir/common/interpolate_test.cc.o"
+  "CMakeFiles/common_test.dir/common/interpolate_test.cc.o.d"
+  "CMakeFiles/common_test.dir/common/logging_test.cc.o"
+  "CMakeFiles/common_test.dir/common/logging_test.cc.o.d"
+  "CMakeFiles/common_test.dir/common/math_util_test.cc.o"
+  "CMakeFiles/common_test.dir/common/math_util_test.cc.o.d"
+  "CMakeFiles/common_test.dir/common/random_test.cc.o"
+  "CMakeFiles/common_test.dir/common/random_test.cc.o.d"
+  "CMakeFiles/common_test.dir/common/ring_buffer_test.cc.o"
+  "CMakeFiles/common_test.dir/common/ring_buffer_test.cc.o.d"
+  "CMakeFiles/common_test.dir/common/strings_test.cc.o"
+  "CMakeFiles/common_test.dir/common/strings_test.cc.o.d"
+  "CMakeFiles/common_test.dir/common/text_table_test.cc.o"
+  "CMakeFiles/common_test.dir/common/text_table_test.cc.o.d"
+  "CMakeFiles/common_test.dir/common/units_test.cc.o"
+  "CMakeFiles/common_test.dir/common/units_test.cc.o.d"
+  "common_test"
+  "common_test.pdb"
+  "common_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/control/integral_controller_test.cc" "tests/CMakeFiles/control_test.dir/control/integral_controller_test.cc.o" "gcc" "tests/CMakeFiles/control_test.dir/control/integral_controller_test.cc.o.d"
+  "/root/repo/tests/control/kalman_filter_test.cc" "tests/CMakeFiles/control_test.dir/control/kalman_filter_test.cc.o" "gcc" "tests/CMakeFiles/control_test.dir/control/kalman_filter_test.cc.o.d"
+  "/root/repo/tests/control/phase_detector_test.cc" "tests/CMakeFiles/control_test.dir/control/phase_detector_test.cc.o" "gcc" "tests/CMakeFiles/control_test.dir/control/phase_detector_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tests/CMakeFiles/aeo_test_main.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/aeo_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aeo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

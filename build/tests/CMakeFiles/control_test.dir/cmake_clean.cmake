@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/control_test.dir/control/integral_controller_test.cc.o"
+  "CMakeFiles/control_test.dir/control/integral_controller_test.cc.o.d"
+  "CMakeFiles/control_test.dir/control/kalman_filter_test.cc.o"
+  "CMakeFiles/control_test.dir/control/kalman_filter_test.cc.o.d"
+  "CMakeFiles/control_test.dir/control/phase_detector_test.cc.o"
+  "CMakeFiles/control_test.dir/control/phase_detector_test.cc.o.d"
+  "control_test"
+  "control_test.pdb"
+  "control_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/control_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

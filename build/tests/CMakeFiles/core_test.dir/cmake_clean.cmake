@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/config_scheduler_test.cc.o"
+  "CMakeFiles/core_test.dir/core/config_scheduler_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/energy_optimizer_test.cc.o"
+  "CMakeFiles/core_test.dir/core/energy_optimizer_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/load_adaptive_test.cc.o"
+  "CMakeFiles/core_test.dir/core/load_adaptive_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/online_controller_test.cc.o"
+  "CMakeFiles/core_test.dir/core/online_controller_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/performance_regulator_test.cc.o"
+  "CMakeFiles/core_test.dir/core/performance_regulator_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/profile_pruning_test.cc.o"
+  "CMakeFiles/core_test.dir/core/profile_pruning_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/profile_table_test.cc.o"
+  "CMakeFiles/core_test.dir/core/profile_table_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/scenarios_test.cc.o"
+  "CMakeFiles/core_test.dir/core/scenarios_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/system_config_test.cc.o"
+  "CMakeFiles/core_test.dir/core/system_config_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_test.dir/device/device_test.cc.o"
+  "CMakeFiles/device_test.dir/device/device_test.cc.o.d"
+  "CMakeFiles/device_test.dir/device/gpu_integration_test.cc.o"
+  "CMakeFiles/device_test.dir/device/gpu_integration_test.cc.o.d"
+  "CMakeFiles/device_test.dir/device/run_result_test.cc.o"
+  "CMakeFiles/device_test.dir/device/run_result_test.cc.o.d"
+  "device_test"
+  "device_test.pdb"
+  "device_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

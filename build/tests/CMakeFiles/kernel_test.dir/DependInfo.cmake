@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/kernel/cpufreq_test.cc" "tests/CMakeFiles/kernel_test.dir/kernel/cpufreq_test.cc.o" "gcc" "tests/CMakeFiles/kernel_test.dir/kernel/cpufreq_test.cc.o.d"
+  "/root/repo/tests/kernel/devfreq_test.cc" "tests/CMakeFiles/kernel_test.dir/kernel/devfreq_test.cc.o" "gcc" "tests/CMakeFiles/kernel_test.dir/kernel/devfreq_test.cc.o.d"
+  "/root/repo/tests/kernel/governors_test.cc" "tests/CMakeFiles/kernel_test.dir/kernel/governors_test.cc.o" "gcc" "tests/CMakeFiles/kernel_test.dir/kernel/governors_test.cc.o.d"
+  "/root/repo/tests/kernel/gpufreq_test.cc" "tests/CMakeFiles/kernel_test.dir/kernel/gpufreq_test.cc.o" "gcc" "tests/CMakeFiles/kernel_test.dir/kernel/gpufreq_test.cc.o.d"
+  "/root/repo/tests/kernel/input_boost_test.cc" "tests/CMakeFiles/kernel_test.dir/kernel/input_boost_test.cc.o" "gcc" "tests/CMakeFiles/kernel_test.dir/kernel/input_boost_test.cc.o.d"
+  "/root/repo/tests/kernel/loadavg_test.cc" "tests/CMakeFiles/kernel_test.dir/kernel/loadavg_test.cc.o" "gcc" "tests/CMakeFiles/kernel_test.dir/kernel/loadavg_test.cc.o.d"
+  "/root/repo/tests/kernel/meters_test.cc" "tests/CMakeFiles/kernel_test.dir/kernel/meters_test.cc.o" "gcc" "tests/CMakeFiles/kernel_test.dir/kernel/meters_test.cc.o.d"
+  "/root/repo/tests/kernel/mpdecision_test.cc" "tests/CMakeFiles/kernel_test.dir/kernel/mpdecision_test.cc.o" "gcc" "tests/CMakeFiles/kernel_test.dir/kernel/mpdecision_test.cc.o.d"
+  "/root/repo/tests/kernel/perf_tool_test.cc" "tests/CMakeFiles/kernel_test.dir/kernel/perf_tool_test.cc.o" "gcc" "tests/CMakeFiles/kernel_test.dir/kernel/perf_tool_test.cc.o.d"
+  "/root/repo/tests/kernel/pmu_test.cc" "tests/CMakeFiles/kernel_test.dir/kernel/pmu_test.cc.o" "gcc" "tests/CMakeFiles/kernel_test.dir/kernel/pmu_test.cc.o.d"
+  "/root/repo/tests/kernel/sysfs_test.cc" "tests/CMakeFiles/kernel_test.dir/kernel/sysfs_test.cc.o" "gcc" "tests/CMakeFiles/kernel_test.dir/kernel/sysfs_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tests/CMakeFiles/aeo_test_main.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/aeo_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/aeo_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aeo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aeo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

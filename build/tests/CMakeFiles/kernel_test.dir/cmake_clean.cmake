@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_test.dir/kernel/cpufreq_test.cc.o"
+  "CMakeFiles/kernel_test.dir/kernel/cpufreq_test.cc.o.d"
+  "CMakeFiles/kernel_test.dir/kernel/devfreq_test.cc.o"
+  "CMakeFiles/kernel_test.dir/kernel/devfreq_test.cc.o.d"
+  "CMakeFiles/kernel_test.dir/kernel/governors_test.cc.o"
+  "CMakeFiles/kernel_test.dir/kernel/governors_test.cc.o.d"
+  "CMakeFiles/kernel_test.dir/kernel/gpufreq_test.cc.o"
+  "CMakeFiles/kernel_test.dir/kernel/gpufreq_test.cc.o.d"
+  "CMakeFiles/kernel_test.dir/kernel/input_boost_test.cc.o"
+  "CMakeFiles/kernel_test.dir/kernel/input_boost_test.cc.o.d"
+  "CMakeFiles/kernel_test.dir/kernel/loadavg_test.cc.o"
+  "CMakeFiles/kernel_test.dir/kernel/loadavg_test.cc.o.d"
+  "CMakeFiles/kernel_test.dir/kernel/meters_test.cc.o"
+  "CMakeFiles/kernel_test.dir/kernel/meters_test.cc.o.d"
+  "CMakeFiles/kernel_test.dir/kernel/mpdecision_test.cc.o"
+  "CMakeFiles/kernel_test.dir/kernel/mpdecision_test.cc.o.d"
+  "CMakeFiles/kernel_test.dir/kernel/perf_tool_test.cc.o"
+  "CMakeFiles/kernel_test.dir/kernel/perf_tool_test.cc.o.d"
+  "CMakeFiles/kernel_test.dir/kernel/pmu_test.cc.o"
+  "CMakeFiles/kernel_test.dir/kernel/pmu_test.cc.o.d"
+  "CMakeFiles/kernel_test.dir/kernel/sysfs_test.cc.o"
+  "CMakeFiles/kernel_test.dir/kernel/sysfs_test.cc.o.d"
+  "kernel_test"
+  "kernel_test.pdb"
+  "kernel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

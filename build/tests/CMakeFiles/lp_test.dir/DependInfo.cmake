@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/lp/schedule_lp_test.cc" "tests/CMakeFiles/lp_test.dir/lp/schedule_lp_test.cc.o" "gcc" "tests/CMakeFiles/lp_test.dir/lp/schedule_lp_test.cc.o.d"
+  "/root/repo/tests/lp/simplex_test.cc" "tests/CMakeFiles/lp_test.dir/lp/simplex_test.cc.o" "gcc" "tests/CMakeFiles/lp_test.dir/lp/simplex_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tests/CMakeFiles/aeo_test_main.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/aeo_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aeo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_test.dir/lp/schedule_lp_test.cc.o"
+  "CMakeFiles/lp_test.dir/lp/schedule_lp_test.cc.o.d"
+  "CMakeFiles/lp_test.dir/lp/simplex_test.cc.o"
+  "CMakeFiles/lp_test.dir/lp/simplex_test.cc.o.d"
+  "lp_test"
+  "lp_test.pdb"
+  "lp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

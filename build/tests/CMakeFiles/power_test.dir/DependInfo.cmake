@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/power/battery_test.cc" "tests/CMakeFiles/power_test.dir/power/battery_test.cc.o" "gcc" "tests/CMakeFiles/power_test.dir/power/battery_test.cc.o.d"
+  "/root/repo/tests/power/energy_meter_test.cc" "tests/CMakeFiles/power_test.dir/power/energy_meter_test.cc.o" "gcc" "tests/CMakeFiles/power_test.dir/power/energy_meter_test.cc.o.d"
+  "/root/repo/tests/power/monsoon_test.cc" "tests/CMakeFiles/power_test.dir/power/monsoon_test.cc.o" "gcc" "tests/CMakeFiles/power_test.dir/power/monsoon_test.cc.o.d"
+  "/root/repo/tests/power/power_model_test.cc" "tests/CMakeFiles/power_test.dir/power/power_model_test.cc.o" "gcc" "tests/CMakeFiles/power_test.dir/power/power_model_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tests/CMakeFiles/aeo_test_main.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/aeo_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/aeo_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aeo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aeo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_test.dir/power/battery_test.cc.o"
+  "CMakeFiles/power_test.dir/power/battery_test.cc.o.d"
+  "CMakeFiles/power_test.dir/power/energy_meter_test.cc.o"
+  "CMakeFiles/power_test.dir/power/energy_meter_test.cc.o.d"
+  "CMakeFiles/power_test.dir/power/monsoon_test.cc.o"
+  "CMakeFiles/power_test.dir/power/monsoon_test.cc.o.d"
+  "CMakeFiles/power_test.dir/power/power_model_test.cc.o"
+  "CMakeFiles/power_test.dir/power/power_model_test.cc.o.d"
+  "power_test"
+  "power_test.pdb"
+  "power_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

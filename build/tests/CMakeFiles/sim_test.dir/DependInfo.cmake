@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/event_queue_test.cc" "tests/CMakeFiles/sim_test.dir/sim/event_queue_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/event_queue_test.cc.o.d"
+  "/root/repo/tests/sim/periodic_task_test.cc" "tests/CMakeFiles/sim_test.dir/sim/periodic_task_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/periodic_task_test.cc.o.d"
+  "/root/repo/tests/sim/simulator_test.cc" "tests/CMakeFiles/sim_test.dir/sim/simulator_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/simulator_test.cc.o.d"
+  "/root/repo/tests/sim/time_test.cc" "tests/CMakeFiles/sim_test.dir/sim/time_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/time_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tests/CMakeFiles/aeo_test_main.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aeo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aeo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/soc/bandwidth_table_test.cc" "tests/CMakeFiles/soc_test.dir/soc/bandwidth_table_test.cc.o" "gcc" "tests/CMakeFiles/soc_test.dir/soc/bandwidth_table_test.cc.o.d"
+  "/root/repo/tests/soc/cpu_cluster_test.cc" "tests/CMakeFiles/soc_test.dir/soc/cpu_cluster_test.cc.o" "gcc" "tests/CMakeFiles/soc_test.dir/soc/cpu_cluster_test.cc.o.d"
+  "/root/repo/tests/soc/execution_engine_test.cc" "tests/CMakeFiles/soc_test.dir/soc/execution_engine_test.cc.o" "gcc" "tests/CMakeFiles/soc_test.dir/soc/execution_engine_test.cc.o.d"
+  "/root/repo/tests/soc/frequency_table_test.cc" "tests/CMakeFiles/soc_test.dir/soc/frequency_table_test.cc.o" "gcc" "tests/CMakeFiles/soc_test.dir/soc/frequency_table_test.cc.o.d"
+  "/root/repo/tests/soc/gpu_domain_test.cc" "tests/CMakeFiles/soc_test.dir/soc/gpu_domain_test.cc.o" "gcc" "tests/CMakeFiles/soc_test.dir/soc/gpu_domain_test.cc.o.d"
+  "/root/repo/tests/soc/memory_bus_test.cc" "tests/CMakeFiles/soc_test.dir/soc/memory_bus_test.cc.o" "gcc" "tests/CMakeFiles/soc_test.dir/soc/memory_bus_test.cc.o.d"
+  "/root/repo/tests/soc/nexus6_calibration_test.cc" "tests/CMakeFiles/soc_test.dir/soc/nexus6_calibration_test.cc.o" "gcc" "tests/CMakeFiles/soc_test.dir/soc/nexus6_calibration_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tests/CMakeFiles/aeo_test_main.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/aeo_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/aeo_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/aeo_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/aeo_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/aeo_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aeo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/aeo_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aeo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_test.dir/soc/bandwidth_table_test.cc.o"
+  "CMakeFiles/soc_test.dir/soc/bandwidth_table_test.cc.o.d"
+  "CMakeFiles/soc_test.dir/soc/cpu_cluster_test.cc.o"
+  "CMakeFiles/soc_test.dir/soc/cpu_cluster_test.cc.o.d"
+  "CMakeFiles/soc_test.dir/soc/execution_engine_test.cc.o"
+  "CMakeFiles/soc_test.dir/soc/execution_engine_test.cc.o.d"
+  "CMakeFiles/soc_test.dir/soc/frequency_table_test.cc.o"
+  "CMakeFiles/soc_test.dir/soc/frequency_table_test.cc.o.d"
+  "CMakeFiles/soc_test.dir/soc/gpu_domain_test.cc.o"
+  "CMakeFiles/soc_test.dir/soc/gpu_domain_test.cc.o.d"
+  "CMakeFiles/soc_test.dir/soc/memory_bus_test.cc.o"
+  "CMakeFiles/soc_test.dir/soc/memory_bus_test.cc.o.d"
+  "CMakeFiles/soc_test.dir/soc/nexus6_calibration_test.cc.o"
+  "CMakeFiles/soc_test.dir/soc/nexus6_calibration_test.cc.o.d"
+  "soc_test"
+  "soc_test.pdb"
+  "soc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
