@@ -1,0 +1,263 @@
+/**
+ * @file
+ * R1 — Robustness: the hardened controller under injected kernel-interface
+ * and instrumentation faults (no paper counterpart; see DESIGN.md §"Failure
+ * model & degraded mode").
+ *
+ * Sweeps a transient fault rate applied simultaneously to sysfs actuation
+ * (EBUSY + latency spikes), PMU reads (drops + stale values) and the power
+ * meter (missed windows), and reports the controller's performance
+ * violation, energy relative to the fault-free run, and the hardening
+ * machinery's counters. A final 100 % sticky-failure case demonstrates the
+ * watchdog reverting to the stock governors within K = 3 control cycles.
+ *
+ * Emits robustness_fault_sweep.csv alongside the text table.
+ */
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/app_registry.h"
+#include "bench_common.h"
+#include "common/csv.h"
+#include "common/logging.h"
+#include "common/strings.h"
+#include "common/text_table.h"
+#include "core/offline_profiler.h"
+#include "core/online_controller.h"
+#include "core/scenarios.h"
+#include "device/device.h"
+
+namespace aeo {
+namespace {
+
+constexpr const char kApp[] = "AngryBirds";
+constexpr uint64_t kSeed = 2017;
+
+std::vector<FaultRule>
+TransientFaults(double rate)
+{
+    std::vector<FaultRule> rules;
+
+    FaultRule actuation;  // EBUSY + latency spikes on the cpufreq tree
+    actuation.path_prefix = kCpufreqSysfsRoot;
+    actuation.fail_probability = rate;
+    actuation.errc = FaultErrc::kBusy;
+    actuation.latency_spike_probability = rate;
+    rules.push_back(actuation);
+    actuation.path_prefix = kDevfreqSysfsRoot;
+    rules.push_back(actuation);
+
+    FaultRule pmu;  // dropped and stale performance-counter reads
+    pmu.path_prefix = kPmuFaultPath;
+    pmu.fail_probability = rate;
+    pmu.errc = FaultErrc::kIo;
+    pmu.stale_probability = rate;
+    rules.push_back(pmu);
+
+    FaultRule meter;  // missed power-meter sample windows
+    meter.path_prefix = kMonsoonFaultPath;
+    meter.fail_probability = rate;
+    meter.errc = FaultErrc::kIo;
+    rules.push_back(meter);
+
+    return rules;
+}
+
+struct SweepRow {
+    double rate = 0.0;
+    double energy_j = 0.0;
+    double avg_gips = 0.0;
+    double violation_pct = 0.0;   // shortfall of delivered vs target perf
+    double degraded_frac = 0.0;   // cycles run in degraded mode
+    uint64_t retries = 0;
+    uint64_t failed_ops = 0;
+    uint64_t dropped_pmu = 0;
+    uint64_t stale_pmu = 0;
+    uint64_t dropped_meter = 0;
+    uint64_t fault_events = 0;
+    bool fallback = false;
+};
+
+SweepRow
+RunAtRate(const ProfileTable& table, double target_gips, double rate)
+{
+    const AppScenario scenario = GetAppScenario(kApp);
+    DeviceConfig device_config;
+    device_config.seed = kSeed + 2000;
+    device_config.fault_rules = TransientFaults(rate);
+    Device device(device_config);
+    device.LaunchApp(MakeAppSpecByName(kApp));
+
+    ControllerConfig config;
+    config.target_gips = target_gips;
+    OnlineController controller(&device, table, config);
+    controller.Start();
+    device.RunFor(scenario.run_duration);
+    controller.Stop();
+
+    const RunResult result = device.CollectResult("controller+faults");
+    SweepRow row;
+    row.rate = rate;
+    row.energy_j = result.energy_j;
+    row.avg_gips = result.avg_gips;
+    row.violation_pct =
+        std::max(0.0, target_gips - result.avg_gips) / target_gips * 100.0;
+    row.degraded_frac =
+        controller.cycle_count() > 0
+            ? static_cast<double>(controller.degraded_cycle_count()) /
+                  static_cast<double>(controller.cycle_count())
+            : 0.0;
+    row.retries = controller.scheduler().stats().retries;
+    row.failed_ops = controller.scheduler().stats().failed_ops;
+    row.dropped_pmu = device.perf().dropped_sample_count();
+    row.stale_pmu = device.perf().stale_sample_count();
+    row.dropped_meter = device.monitor().dropped_sample_count();
+    row.fault_events = device.fault_injector() != nullptr
+                           ? device.fault_injector()->trace().size()
+                           : 0;
+    row.fallback = controller.fallback_engaged();
+    return row;
+}
+
+void
+StickyFailureDemo(const ProfileTable& table, double target_gips)
+{
+    FaultRule sticky;
+    sticky.path_prefix = std::string(kCpufreqSysfsRoot) + "/scaling_setspeed";
+    sticky.fail_probability = 1.0;
+    sticky.errc = FaultErrc::kIo;
+    sticky.duration = FaultDuration::kSticky;
+
+    DeviceConfig device_config;
+    device_config.seed = kSeed + 3000;
+    device_config.fault_rules = {sticky};
+    Device device(device_config);
+    device.LaunchApp(MakeAppSpecByName(kApp));
+
+    ControllerConfig config;
+    config.target_gips = target_gips;
+    OnlineController controller(&device, table, config);
+    controller.Start();
+    device.RunFor(GetAppScenario(kApp).run_duration);
+    controller.Stop();
+
+    std::printf(
+        "100%% sticky actuation failure: watchdog %s after %zu control "
+        "cycle(s)\n  (K = %d; Start's initial apply is the first strike), "
+        "governors now %s/%s.\n",
+        controller.fallback_engaged() ? "reverted to stock governors"
+                                      : "DID NOT ENGAGE",
+        controller.cycle_count(), config.watchdog_threshold,
+        device.cpufreq().governor_name().c_str(),
+        device.devfreq().governor_name().c_str());
+}
+
+}  // namespace
+}  // namespace aeo
+
+int
+main(int argc, char** argv)
+{
+    using namespace aeo;
+    SetLogLevel(LogLevel::kQuiet);
+    const bool fast = argc > 1 && std::strcmp(argv[1], "--fast") == 0;
+    bench::PrintHeader("R1 / robustness",
+                       "Fault-rate sweep: hardened controller vs injected "
+                       "sysfs/PMU/meter failures");
+
+    // Clean profile and target, exactly as the §V procedure would obtain
+    // them (faults perturb the controlled run, not the offline data).
+    const AppScenario scenario = GetAppScenario(kApp);
+    ProfilerOptions profiler_options;
+    profiler_options.runs = fast ? 1 : 3;
+    profiler_options.cpu_levels = scenario.profile_cpu_levels;
+    profiler_options.measure_duration = scenario.profile_duration;
+    profiler_options.seed = kSeed + 1000;
+    const ProfileTable table =
+        OfflineProfiler().Profile(MakeAppSpecByName(kApp), profiler_options);
+
+    DeviceConfig default_config;
+    default_config.seed = kSeed;
+    Device default_device(default_config);
+    default_device.UseDefaultGovernors();
+    default_device.LaunchApp(MakeAppSpecByName(kApp));
+    default_device.RunFor(scenario.run_duration);
+    const double target = default_device.CollectResult("default").avg_gips;
+
+    const std::vector<double> rates =
+        fast ? std::vector<double>{0.0, 0.05, 0.25}
+             : std::vector<double>{0.0, 0.01, 0.02, 0.05, 0.10, 0.25, 0.50};
+
+    TextTable text({"Fault rate", "Energy (J)", "vs fault-free", "Violation",
+                    "Degraded", "Retries", "Failed ops", "PMU drop/stale",
+                    "Meter drop", "Fallback"});
+    CsvWriter csv({"fault_rate", "energy_j", "energy_vs_fault_free_pct",
+                   "avg_gips", "violation_pct", "degraded_cycle_frac",
+                   "retries", "failed_ops", "dropped_pmu", "stale_pmu",
+                   "dropped_meter", "fault_events", "fallback_engaged"});
+
+    double fault_free_energy = 0.0;
+    double fault_free_violation = 0.0;
+    double violation_at_5pct = -1.0;
+    for (const double rate : rates) {
+        const SweepRow row = RunAtRate(table, target, rate);
+        if (rate == 0.0) {
+            fault_free_energy = row.energy_j;
+            fault_free_violation = row.violation_pct;
+        }
+        if (rate == 0.05) {
+            violation_at_5pct = row.violation_pct;
+        }
+        const double energy_delta_pct =
+            fault_free_energy > 0.0
+                ? (row.energy_j / fault_free_energy - 1.0) * 100.0
+                : 0.0;
+        text.AddRow({StrFormat("%.0f%%", rate * 100.0),
+                     StrFormat("%.1f", row.energy_j),
+                     StrFormat("%+.2f%%", energy_delta_pct),
+                     StrFormat("%.2f%%", row.violation_pct),
+                     StrFormat("%.0f%%", row.degraded_frac * 100.0),
+                     StrFormat("%llu", static_cast<unsigned long long>(row.retries)),
+                     StrFormat("%llu", static_cast<unsigned long long>(row.failed_ops)),
+                     StrFormat("%llu/%llu",
+                               static_cast<unsigned long long>(row.dropped_pmu),
+                               static_cast<unsigned long long>(row.stale_pmu)),
+                     StrFormat("%llu", static_cast<unsigned long long>(row.dropped_meter)),
+                     row.fallback ? "YES" : "no"});
+        csv.AddRow({StrFormat("%.2f", rate), StrFormat("%.6g", row.energy_j),
+                    StrFormat("%.6g", energy_delta_pct),
+                    StrFormat("%.6g", row.avg_gips),
+                    StrFormat("%.6g", row.violation_pct),
+                    StrFormat("%.6g", row.degraded_frac),
+                    StrFormat("%llu", static_cast<unsigned long long>(row.retries)),
+                    StrFormat("%llu", static_cast<unsigned long long>(row.failed_ops)),
+                    StrFormat("%llu", static_cast<unsigned long long>(row.dropped_pmu)),
+                    StrFormat("%llu", static_cast<unsigned long long>(row.stale_pmu)),
+                    StrFormat("%llu", static_cast<unsigned long long>(row.dropped_meter)),
+                    StrFormat("%llu", static_cast<unsigned long long>(row.fault_events)),
+                    row.fallback ? "1" : "0"});
+        std::fflush(stdout);
+    }
+    std::printf("%s\n", text.ToString().c_str());
+
+    const std::string csv_path = "robustness_fault_sweep.csv";
+    csv.WriteFile(csv_path);
+    std::printf("Wrote %s\n\n", csv_path.c_str());
+
+    if (violation_at_5pct >= 0.0) {
+        // The acceptance bar: violation at a 5 % fault rate within 2× the
+        // fault-free violation (with a 1 % absolute floor, since the
+        // fault-free controller regulates to well under a percent).
+        const double bound = std::max(2.0 * fault_free_violation, 1.0);
+        std::printf("Acceptance: violation at 5%% faults = %.2f%% "
+                    "(fault-free %.2f%%, bound %.2f%%) — %s\n\n",
+                    violation_at_5pct, fault_free_violation, bound,
+                    violation_at_5pct <= bound ? "PASS" : "FAIL");
+    }
+
+    StickyFailureDemo(table, target);
+    return 0;
+}

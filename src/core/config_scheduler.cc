@@ -1,43 +1,185 @@
 #include "core/config_scheduler.h"
 
+#include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "common/logging.h"
 #include "common/strings.h"
 
 namespace aeo {
 
-ConfigScheduler::ConfigScheduler(Device* device, SimTime min_dwell)
-    : device_(device), min_dwell_(min_dwell)
+ConfigScheduler::ConfigScheduler(Device* device, SimTime min_dwell,
+                                 ActuationRetryPolicy retry)
+    : device_(device), min_dwell_(min_dwell), retry_(retry)
 {
     AEO_ASSERT(device_ != nullptr, "scheduler needs a device");
     AEO_ASSERT(min_dwell_ > SimTime::Zero(), "minimum dwell must be positive");
+    AEO_ASSERT(retry_.max_retries >= 0, "negative retry count");
+    AEO_ASSERT(retry_.initial_backoff > SimTime::Zero(),
+               "backoff must be positive");
+    if (retry_.budget <= SimTime::Zero()) {
+        retry_.budget = min_dwell_;
+    }
+}
+
+FaultErrc
+ConfigScheduler::WriteWithRetry(const std::string& path, const std::string& value)
+{
+    Sysfs& sysfs = device_->sysfs();
+    // The backoff clock is budget accounting, not event scheduling: the
+    // retries complete atomically inside the actuating event, but the
+    // delays they would have cost are charged against the min-dwell budget
+    // so a flaky node can only be retried as often as 200 ms permits.
+    SimTime spent = SimTime::Zero();
+    SimTime backoff = retry_.initial_backoff;
+    FaultErrc errc = sysfs.TryWrite(path, value);
+    spent += sysfs.last_injected_latency();
+    for (int attempt = 0; attempt < retry_.max_retries; ++attempt) {
+        const bool retryable = errc == FaultErrc::kBusy ||
+                               errc == FaultErrc::kIo ||
+                               errc == FaultErrc::kNoEnt;
+        if (!retryable || spent + backoff > retry_.budget) {
+            break;
+        }
+        spent += backoff;
+        backoff = backoff * 2;
+        ++stats_.retries;
+        errc = sysfs.TryWrite(path, value);
+        spent += sysfs.last_injected_latency();
+    }
+    return errc;
+}
+
+bool
+ConfigScheduler::WriteWithFallback(const std::string& path,
+                                   const std::vector<std::string>& candidates)
+{
+    AEO_ASSERT(!candidates.empty(), "no candidate values for '%s'", path.c_str());
+    for (size_t i = 0; i < candidates.size(); ++i) {
+        const FaultErrc errc = WriteWithRetry(path, candidates[i]);
+        if (errc == FaultErrc::kOk) {
+            if (i > 0) {
+                ++stats_.inval_fallbacks;
+                Warn("sysfs write '%s' <- '%s' rejected; fell back to nearest "
+                     "accepted value '%s'",
+                     path.c_str(), candidates[0].c_str(), candidates[i].c_str());
+            }
+            ++stats_.writes;
+            NoteOpOutcome(true);
+            return true;
+        }
+        if (errc != FaultErrc::kInval) {
+            // Transient retries exhausted (or the node is gone/read-only):
+            // trying a different value will not help.
+            Warn("sysfs write '%s' <- '%s' failed: %s (retries exhausted)",
+                 path.c_str(), candidates[i].c_str(), FaultErrcName(errc));
+            ++stats_.failed_ops;
+            NoteOpOutcome(false);
+            return false;
+        }
+        // EINVAL: this value is rejected; walk to the next-nearest one.
+    }
+    Warn("sysfs write '%s': all %zu candidate values rejected", path.c_str(),
+         candidates.size());
+    ++stats_.failed_ops;
+    NoteOpOutcome(false);
+    return false;
 }
 
 void
+ConfigScheduler::NoteOpOutcome(bool ok)
+{
+    if (!ok && cycle_open_) {
+        cycle_has_failure_ = true;
+    }
+}
+
+int
+ConfigScheduler::consecutive_failed_applies() const
+{
+    return failed_cycles_in_a_row_ + (cycle_open_ && cycle_has_failure_ ? 1 : 0);
+}
+
+namespace {
+
+/** Level indices of @p size, ordered by distance of value(i) from
+ * value(target), target itself first (ties resolve to the lower level). */
+template <typename ValueAt>
+std::vector<int>
+LevelsByDistance(int size, int target, ValueAt value_at)
+{
+    std::vector<int> levels(static_cast<size_t>(size));
+    std::iota(levels.begin(), levels.end(), 0);
+    const double want = value_at(target);
+    std::stable_sort(levels.begin(), levels.end(), [&](int a, int b) {
+        return std::abs(value_at(a) - want) < std::abs(value_at(b) - want);
+    });
+    return levels;
+}
+
+}  // namespace
+
+bool
 ConfigScheduler::ApplyConfigNow(const SystemConfig& config)
 {
-    Sysfs& sysfs = device_->sysfs();
-    const long long khz = std::llround(
-        device_->cluster().table().FrequencyAt(config.cpu_level).megahertz() *
-        1000.0);
-    sysfs.Write(std::string(kCpufreqSysfsRoot) + "/scaling_setspeed",
-                StrFormat("%lld", khz));
-    ++write_count_;
+    bool all_ok = true;
+
+    const FrequencyTable& cpu_table = device_->cluster().table();
+    const auto cpu_khz = [&cpu_table](int level) {
+        return static_cast<double>(
+            std::llround(cpu_table.FrequencyAt(level).megahertz() * 1000.0));
+    };
+    std::vector<std::string> cpu_candidates;
+    for (const int level :
+         LevelsByDistance(cpu_table.size(), config.cpu_level, cpu_khz)) {
+        cpu_candidates.push_back(
+            StrFormat("%lld", static_cast<long long>(cpu_khz(level))));
+    }
+    all_ok &= WriteWithFallback(
+        std::string(kCpufreqSysfsRoot) + "/scaling_setspeed", cpu_candidates);
+
     if (config.controls_bandwidth()) {
-        const long long mbps = std::llround(
-            device_->bus().table().BandwidthAt(config.bw_level).value());
-        sysfs.Write(std::string(kDevfreqSysfsRoot) + "/userspace/set_freq",
-                    StrFormat("%lld", mbps));
-        ++write_count_;
+        const BandwidthTable& bw_table = device_->bus().table();
+        const auto bw_mbps = [&bw_table](int level) {
+            return static_cast<double>(
+                std::llround(bw_table.BandwidthAt(level).value()));
+        };
+        std::vector<std::string> bw_candidates;
+        for (const int level :
+             LevelsByDistance(bw_table.size(), config.bw_level, bw_mbps)) {
+            bw_candidates.push_back(
+                StrFormat("%lld", static_cast<long long>(bw_mbps(level))));
+        }
+        all_ok &= WriteWithFallback(
+            std::string(kDevfreqSysfsRoot) + "/userspace/set_freq", bw_candidates);
     }
+
     if (config.controls_gpu()) {
-        const long long mhz =
-            std::llround(device_->gpu().MhzAt(config.gpu_level));
-        sysfs.Write(std::string(kGpuSysfsRoot) + "/userspace/set_freq",
-                    StrFormat("%lld", mhz));
-        ++write_count_;
+        GpuDomain& gpu = device_->gpu();
+        const auto gpu_mhz = [&gpu](int level) {
+            return static_cast<double>(std::llround(gpu.MhzAt(level)));
+        };
+        std::vector<std::string> gpu_candidates;
+        for (const int level :
+             LevelsByDistance(gpu.size(), config.gpu_level, gpu_mhz)) {
+            gpu_candidates.push_back(
+                StrFormat("%lld", static_cast<long long>(gpu_mhz(level))));
+        }
+        all_ok &= WriteWithFallback(
+            std::string(kGpuSysfsRoot) + "/userspace/set_freq", gpu_candidates);
     }
+
+    return all_ok;
+}
+
+void
+ConfigScheduler::CancelPending()
+{
+    for (const EventId id : pending_) {
+        device_->sim().Cancel(id);
+    }
+    pending_.clear();
 }
 
 void
@@ -45,11 +187,15 @@ ConfigScheduler::Apply(const ConfigSchedule& schedule, const ProfileTable& table
 {
     AEO_ASSERT(!schedule.slots.empty(), "empty schedule");
 
-    // Cancel configuration switches still pending from the previous cycle.
-    for (const EventId id : pending_) {
-        device_->sim().Cancel(id);
+    // Cancel configuration switches still pending from the previous cycle
+    // and fold that cycle's outcome into the consecutive-failure counter.
+    CancelPending();
+    if (cycle_open_) {
+        failed_cycles_in_a_row_ =
+            cycle_has_failure_ ? failed_cycles_in_a_row_ + 1 : 0;
     }
-    pending_.clear();
+    cycle_open_ = true;
+    cycle_has_failure_ = false;
 
     // Quantize each dwell to the min-dwell grid. With at most two slots,
     // rounding the first and giving the remainder to the second preserves

@@ -5,11 +5,23 @@
  * files, honouring the 200 ms minimum dwell the paper's implementation
  * enforces (§V-A: "the smallest duration for the CPUs to stay at any given
  * frequency is 200 ms"). Not to be confused with the OS scheduler.
+ *
+ * Actuation is hardened against the failures a real Nexus 6 exhibits:
+ *
+ *  - transient errors (EBUSY/EIO, injected or real) are retried with capped
+ *    exponential backoff, the cumulative delay bounded by the min-dwell
+ *    budget so a flaky write can never eat into the next slot;
+ *  - EINVAL (a rejected target) falls back to the nearest accepted
+ *    frequency, walking outward through the OPP table;
+ *  - every exhausted operation is counted, and consecutive fully-failed
+ *    Apply() cycles are tracked so the controller's watchdog can revert to
+ *    the stock governors after K strikes.
  */
 #ifndef AEO_CORE_CONFIG_SCHEDULER_H_
 #define AEO_CORE_CONFIG_SCHEDULER_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/energy_optimizer.h"
@@ -18,36 +30,102 @@
 
 namespace aeo {
 
+/** Retry/backoff tuning for sysfs actuation. */
+struct ActuationRetryPolicy {
+    /** Maximum retries per write after the initial attempt. */
+    int max_retries = 4;
+    /** First backoff delay; doubles on each subsequent retry. */
+    SimTime initial_backoff = SimTime::Millis(12);
+    /**
+     * Ceiling on the cumulative backoff (plus injected latency) one write
+     * may consume. Zero = use the scheduler's min dwell, keeping retrial
+     * inside the 200 ms dwell budget.
+     */
+    SimTime budget = SimTime::Zero();
+};
+
+/** Counters describing how actuation has gone so far. */
+struct ActuationStats {
+    /** Successful sysfs configuration writes. */
+    uint64_t writes = 0;
+    /** Retry attempts after transient failures. */
+    uint64_t retries = 0;
+    /** EINVAL fallbacks to a neighbouring accepted frequency. */
+    uint64_t inval_fallbacks = 0;
+    /** Writes that exhausted their retry budget and gave up. */
+    uint64_t failed_ops = 0;
+};
+
 /** Applies configuration schedules to the device. */
 class ConfigScheduler {
   public:
     /**
      * @param device    The plant; must outlive the scheduler.
      * @param min_dwell Minimum time at any configuration (200 ms).
+     * @param retry     Retry/backoff tuning for flaky sysfs writes.
      */
-    ConfigScheduler(Device* device, SimTime min_dwell = SimTime::Millis(200));
+    ConfigScheduler(Device* device, SimTime min_dwell = SimTime::Millis(200),
+                    ActuationRetryPolicy retry = {});
 
     /**
      * Quantizes dwells to the minimum-dwell grid (preserving the cycle
      * total) and schedules the sysfs writes over the coming cycle. Slots
-     * rounding to zero are merged into the remaining slot.
+     * rounding to zero are merged into the remaining slot. Starts a new
+     * actuation cycle for failure accounting: the previous cycle's outcome
+     * is folded into consecutive_failed_applies() first.
      *
      * @param schedule Optimizer output (1 or 2 slots).
      * @param table    The profile table the slot indices refer to.
      */
     void Apply(const ConfigSchedule& schedule, const ProfileTable& table);
 
-    /** Writes one configuration immediately. */
-    void ApplyConfigNow(const SystemConfig& config);
+    /**
+     * Writes one configuration immediately, retrying transient failures and
+     * substituting the nearest accepted level on EINVAL.
+     *
+     * @return true if every subsystem write eventually succeeded.
+     */
+    bool ApplyConfigNow(const SystemConfig& config);
 
-    /** Total sysfs configuration writes performed. */
-    uint64_t write_count() const { return write_count_; }
+    /** Cancels configuration switches still pending from the current cycle
+     * (used when the controller hands the device back to stock governors). */
+    void CancelPending();
+
+    /** Total successful sysfs configuration writes performed. */
+    uint64_t write_count() const { return stats_.writes; }
+
+    /** Actuation health counters. */
+    const ActuationStats& stats() const { return stats_; }
+
+    /**
+     * Number of Apply() cycles in a row — including the current one — whose
+     * actuation failed (at least one write exhausted its retries). The
+     * controller's watchdog reverts to the stock governors when this
+     * reaches its threshold.
+     */
+    int consecutive_failed_applies() const;
 
   private:
+    /** Retries @p value at @p path under the backoff budget. */
+    FaultErrc WriteWithRetry(const std::string& path, const std::string& value);
+
+    /** One subsystem write with EINVAL fallback over candidate values,
+     * ordered preferred-first. */
+    bool WriteWithFallback(const std::string& path,
+                           const std::vector<std::string>& candidates);
+
+    void NoteOpOutcome(bool ok);
+
     Device* device_;
     SimTime min_dwell_;
-    uint64_t write_count_ = 0;
+    ActuationRetryPolicy retry_;
+    ActuationStats stats_;
     std::vector<EventId> pending_;
+    /** Completed Apply() cycles that failed, consecutively. */
+    int failed_cycles_in_a_row_ = 0;
+    /** Whether any op has failed in the current cycle. */
+    bool cycle_has_failure_ = false;
+    bool cycle_open_ = false;
 };
 
 }  // namespace aeo

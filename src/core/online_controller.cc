@@ -1,5 +1,7 @@
 #include "core/online_controller.h"
 
+#include <cmath>
+
 #include "common/logging.h"
 
 namespace aeo {
@@ -23,6 +25,28 @@ MakeRegulatorConfig(const ProfileTable& table, const ControllerConfig& config)
     return reg;
 }
 
+/** Best-effort governor switch: transient errors get a few immediate
+ * retries, and a write that still fails is survivable (the watchdog covers
+ * persistent actuation failure), so warn instead of aborting. */
+void
+TrySetGovernor(Sysfs& sysfs, const std::string& path, const std::string& value)
+{
+    FaultErrc errc = FaultErrc::kOk;
+    for (int attempt = 0; attempt < 3; ++attempt) {
+        errc = sysfs.TryWrite(path, value);
+        const bool retryable = errc == FaultErrc::kBusy ||
+                               errc == FaultErrc::kIo ||
+                               errc == FaultErrc::kNoEnt;
+        if (!retryable) {
+            break;
+        }
+    }
+    if (errc != FaultErrc::kOk) {
+        Warn("governor switch '%s' <- '%s' failed: %s", path.c_str(),
+             value.c_str(), FaultErrcName(errc));
+    }
+}
+
 }  // namespace
 
 OnlineController::OnlineController(Device* device, ProfileTable table,
@@ -32,13 +56,15 @@ OnlineController::OnlineController(Device* device, ProfileTable table,
       config_(config),
       optimizer_(&table_, config.backend),
       regulator_(MakeRegulatorConfig(table_, config)),
-      scheduler_(device, config.min_dwell),
+      scheduler_(device, config.min_dwell, config.retry),
       cycle_task_(&device->sim(), [this] { RunCycle(); }),
       controls_bandwidth_(table_.entries().front().config.controls_bandwidth()),
       controls_gpu_(table_.entries().front().config.controls_gpu())
 {
     AEO_ASSERT(device_ != nullptr, "controller needs a device");
     AEO_ASSERT(config_.target_gips > 0.0, "controller needs a performance target");
+    AEO_ASSERT(config_.watchdog_threshold > 0, "watchdog threshold must be positive");
+    AEO_ASSERT(config_.plausibility_factor > 0.0, "plausibility factor must be positive");
     for (const ProfileEntry& entry : table_.entries()) {
         AEO_ASSERT(entry.config.controls_bandwidth() == controls_bandwidth_,
                    "profile table mixes coordinated and CPU-only rows");
@@ -51,19 +77,24 @@ void
 OnlineController::Start()
 {
     Sysfs& sysfs = device_->sysfs();
-    sysfs.Write(std::string(kCpufreqSysfsRoot) + "/scaling_governor", "userspace");
+    TrySetGovernor(sysfs, std::string(kCpufreqSysfsRoot) + "/scaling_governor",
+                   "userspace");
     if (controls_bandwidth_) {
-        sysfs.Write(std::string(kDevfreqSysfsRoot) + "/governor", "userspace");
+        TrySetGovernor(sysfs, std::string(kDevfreqSysfsRoot) + "/governor",
+                       "userspace");
     } else {
         // CPU-only controller (§V-D): the bus stays with the default
         // governor, taking decisions in an independent, isolated manner.
-        sysfs.Write(std::string(kDevfreqSysfsRoot) + "/governor", "cpubw_hwmon");
+        TrySetGovernor(sysfs, std::string(kDevfreqSysfsRoot) + "/governor",
+                       "cpubw_hwmon");
     }
     if (controls_gpu_) {
         // §VII extension: GPU frequency joins the coordinated configuration.
-        sysfs.Write(std::string(kGpuSysfsRoot) + "/governor", "userspace");
+        TrySetGovernor(sysfs, std::string(kGpuSysfsRoot) + "/governor",
+                       "userspace");
     } else {
-        sysfs.Write(std::string(kGpuSysfsRoot) + "/governor", "msm-adreno-tz");
+        TrySetGovernor(sysfs, std::string(kGpuSysfsRoot) + "/governor",
+                       "msm-adreno-tz");
     }
 
     // Charge the controller's own computation and actuation to the plant
@@ -84,6 +115,13 @@ OnlineController::Start()
     const ConfigSchedule initial =
         optimizer_.Optimize(s0, config_.control_cycle.seconds());
     scheduler_.Apply(initial, table_);
+    last_schedule_ = initial;
+    has_last_schedule_ = true;
+
+    if (scheduler_.consecutive_failed_applies() >= config_.watchdog_threshold) {
+        EngageFallback();
+        return;
+    }
 
     cycle_task_.Start(config_.control_cycle);
 }
@@ -104,30 +142,84 @@ OnlineController::base_speed_estimate() const
 }
 
 void
+OnlineController::EngageFallback()
+{
+    if (fallback_engaged_) {
+        return;
+    }
+    fallback_engaged_ = true;
+    Warn("watchdog: %d consecutive control cycles failed to actuate; "
+         "reverting to the stock governors",
+         scheduler_.consecutive_failed_applies());
+    scheduler_.CancelPending();
+    Sysfs& sysfs = device_->sysfs();
+    // Best effort: if even these writes fail, the device keeps whatever
+    // governors it has — there is nothing further a userspace agent can do.
+    TrySetGovernor(sysfs, std::string(kCpufreqSysfsRoot) + "/scaling_governor",
+                   "interactive");
+    TrySetGovernor(sysfs, std::string(kDevfreqSysfsRoot) + "/governor",
+                   "cpubw_hwmon");
+    TrySetGovernor(sysfs, std::string(kGpuSysfsRoot) + "/governor",
+                   "msm-adreno-tz");
+    Stop();
+}
+
+void
 OnlineController::RunCycle()
 {
-    // (1) Measure: average of the perf samples in the elapsed cycle.
-    const double measured = device_->perf().DrainWindowAverage();
+    if (fallback_engaged_) {
+        return;
+    }
 
-    // (2) Regulate: required speedup for the next cycle.
-    const double required = regulator_.Step(measured);
+    // (1) Measure: average of the perf samples in the elapsed cycle. The
+    // window can be empty (every sample dropped by an injected PMU fault)
+    // or garbage (counter glitch); either way the cycle runs degraded:
+    // the Kalman estimate holds and the previous schedule is reapplied.
+    const PerfWindow window = device_->perf().DrainWindow();
+    const bool plausible =
+        window.samples > 0 && std::isfinite(window.avg_gips) &&
+        window.avg_gips > 0.0 &&
+        window.avg_gips <= config_.plausibility_factor *
+                               regulator_.base_speed_estimate() *
+                               table_.max_speedup();
 
-    // (3) Optimize: minimum-energy dwell schedule realizing it.
-    const ConfigSchedule schedule =
-        optimizer_.Optimize(required, config_.control_cycle.seconds());
+    double required;
+    ConfigSchedule schedule;
+    if (plausible) {
+        // (2) Regulate: required speedup for the next cycle.
+        required = regulator_.Step(window.avg_gips);
+
+        // (3) Optimize: minimum-energy dwell schedule realizing it.
+        schedule = optimizer_.Optimize(required, config_.control_cycle.seconds());
+        last_schedule_ = schedule;
+        has_last_schedule_ = true;
+    } else {
+        ++degraded_cycle_count_;
+        required = regulator_.applied_speedup();
+        schedule = has_last_schedule_
+                       ? last_schedule_
+                       : optimizer_.Optimize(required,
+                                             config_.control_cycle.seconds());
+    }
 
     // (4) Actuate.
     scheduler_.Apply(schedule, table_);
 
     ControlCycleRecord record;
     record.time_s = device_->sim().Now().seconds();
-    record.measured_gips = measured;
+    record.measured_gips = window.avg_gips;
     record.required_speedup = required;
     record.base_speed_estimate = regulator_.base_speed_estimate();
     record.expected_power_mw = schedule.expected_power_mw;
     record.low_config = table_.entries()[schedule.slots.front().entry_index].config;
     record.high_config = table_.entries()[schedule.slots.back().entry_index].config;
+    record.perf_samples = window.samples;
+    record.degraded = !plausible;
     history_.push_back(record);
+
+    if (scheduler_.consecutive_failed_applies() >= config_.watchdog_threshold) {
+        EngageFallback();
+    }
 }
 
 }  // namespace aeo

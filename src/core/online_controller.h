@@ -14,6 +14,12 @@
  * control — the difference is entirely in the profile table it is given
  * (CPU-only tables carry the kBwDefaultGovernor sentinel and leave the bus
  * with cpubw_hwmon, reproducing the §V-D ablation).
+ *
+ * The loop degrades gracefully under failure (see DESIGN.md §"Failure
+ * model"): a missing or implausible performance measurement holds the
+ * Kalman estimate and reuses the previous schedule, and a watchdog hands
+ * the device back to the stock governors after K consecutive control
+ * cycles whose actuation failed.
  */
 #ifndef AEO_CORE_ONLINE_CONTROLLER_H_
 #define AEO_CORE_ONLINE_CONTROLLER_H_
@@ -51,6 +57,20 @@ struct ControllerConfig {
     /** Cost per sysfs actuation write (§V-A1: ~14 mW during transitions). */
     double actuation_power_mw = 14.0;
     double actuation_seconds = 0.0002;
+    /** Retry/backoff policy handed to the config scheduler. */
+    ActuationRetryPolicy retry = {};
+    /**
+     * Watchdog threshold K: after this many consecutive control cycles whose
+     * actuation failed, the controller abandons userspace control and hands
+     * the device back to the stock governors.
+     */
+    int watchdog_threshold = 3;
+    /**
+     * Plausibility ceiling for a measured performance sample, as a multiple
+     * of (base-speed estimate × max profiled speedup). A window average
+     * above this is treated as garbage and the cycle runs degraded.
+     */
+    double plausibility_factor = 4.0;
 };
 
 /** One per-cycle record for analysis. */
@@ -62,6 +82,11 @@ struct ControlCycleRecord {
     double expected_power_mw = 0.0;
     SystemConfig low_config;
     SystemConfig high_config;
+    /** Perf samples the measurement averaged over (0 = all dropped). */
+    uint64_t perf_samples = 0;
+    /** True if this cycle ran in degraded mode (held estimate, reused the
+     * previous schedule) because the measurement was missing or garbage. */
+    bool degraded = false;
 };
 
 /** The feedback controller driving one device. */
@@ -99,8 +124,21 @@ class OnlineController {
     /** The regulator (for tests). */
     const PerformanceRegulator& regulator() const { return regulator_; }
 
+    /** The scheduler (actuation health counters, for tests and benches). */
+    const ConfigScheduler& scheduler() const { return scheduler_; }
+
+    /** True once the watchdog has handed the device back to the stock
+     * governors; the control cycle no longer runs. */
+    bool fallback_engaged() const { return fallback_engaged_; }
+
+    /** Cycles that ran in degraded mode (missing/garbage measurement). */
+    uint64_t degraded_cycle_count() const { return degraded_cycle_count_; }
+
   private:
     void RunCycle();
+
+    /** Watchdog action: revert to the stock governors and stop actuating. */
+    void EngageFallback();
 
     Device* device_;
     ProfileTable table_;
@@ -112,6 +150,10 @@ class OnlineController {
     std::vector<ControlCycleRecord> history_;
     bool controls_bandwidth_;
     bool controls_gpu_;
+    ConfigSchedule last_schedule_;
+    bool has_last_schedule_ = false;
+    bool fallback_engaged_ = false;
+    uint64_t degraded_cycle_count_ = 0;
 };
 
 }  // namespace aeo

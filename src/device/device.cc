@@ -75,6 +75,20 @@ Device::Device(DeviceConfig config)
         &sim_, [this] { return CurrentPower(); }, seeder.Fork().NextU64(),
         config_.monsoon);
 
+    // The injector's seed is derived outside the seeder.Fork() chain so that
+    // configuring (or clearing) fault rules never shifts the component RNG
+    // streams: a fault-free run is bit-identical either way.
+    if (!config_.fault_rules.empty()) {
+        fault_injector_ =
+            std::make_unique<FaultInjector>(config_.seed ^ 0xFA171FA171ULL);
+        for (const FaultRule& rule : config_.fault_rules) {
+            fault_injector_->AddRule(rule);
+        }
+        sysfs_.SetFaultInjector(fault_injector_.get());
+        perf_->SetFaultInjector(fault_injector_.get());
+        monitor_->SetFaultInjector(fault_injector_.get());
+    }
+
     background_env_ = MakeBackgroundEnv(BackgroundKind::kBaseline);
     background_ =
         std::make_unique<AppModel>(background_env_.spec, seeder.Fork().NextU64());
@@ -161,6 +175,15 @@ Device::DisableMpdecision()
 void
 Device::EnableInputBoost(InputBoostParams params)
 {
+    // The cpu_boost module parameter node only exists on kernels built with
+    // the driver (the paper's build compiles it out), so probe it instead of
+    // asserting; absent or unparsable, the params' default floor stands.
+    const std::string raw = sysfs_.ReadOrDefault(
+        "/sys/module/cpu_boost/parameters/input_boost_freq", "");
+    long long khz = 0;
+    if (!raw.empty() && ParseInt64(raw, &khz) && khz > 0) {
+        params.boost_freq = Gigahertz(static_cast<double>(khz) / 1e6);
+    }
     input_boost_ = std::make_unique<InputBoost>(&sim_, cpufreq_.get(), params);
 }
 

@@ -25,10 +25,12 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "apps/app_model.h"
 #include "apps/background_load.h"
 #include "device/run_result.h"
+#include "fault/fault_injector.h"
 #include "kernel/cpufreq.h"
 #include "kernel/devfreq.h"
 #include "kernel/gpufreq.h"
@@ -71,6 +73,14 @@ struct DeviceConfig {
     MonsoonConfig monsoon;
     /** perf sampler setup. */
     PerfToolConfig perf;
+    /**
+     * Fault-injection rules (see fault/fault_injector.h). When non-empty a
+     * deterministic FaultInjector — seeded independently of the component
+     * RNG streams, so fault-free runs are bit-identical with or without
+     * this field — is attached to the sysfs tree, the perf tool and the
+     * power monitor.
+     */
+    std::vector<FaultRule> fault_rules;
 };
 
 /** The simulated Nexus 6. */
@@ -154,6 +164,9 @@ class Device {
     const AppModel* foreground() const { return foreground_.get(); }
     double loadavg() const { return loadavg_.value(); }
 
+    /** The fault injector, or nullptr when no fault rules were configured. */
+    FaultInjector* fault_injector() { return fault_injector_.get(); }
+
     /** Free memory the current background environment leaves, MB — the
      * runtime load signature the §V-C extension keys on. */
     double free_memory_mb() const { return background_env_.free_memory_mb; }
@@ -206,6 +219,7 @@ class Device {
     std::unique_ptr<InputBoost> input_boost_;
     std::unique_ptr<PerfTool> perf_;
     std::unique_ptr<MonsoonMonitor> monitor_;
+    std::unique_ptr<FaultInjector> fault_injector_;
 
     std::unique_ptr<AppModel> foreground_;
     std::unique_ptr<AppModel> background_;

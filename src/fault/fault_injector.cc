@@ -1,0 +1,181 @@
+#include "fault/fault_injector.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace aeo {
+
+const char*
+FaultErrcName(FaultErrc errc)
+{
+    switch (errc) {
+    case FaultErrc::kOk:
+        return "OK";
+    case FaultErrc::kNoEnt:
+        return "ENOENT";
+    case FaultErrc::kBusy:
+        return "EBUSY";
+    case FaultErrc::kInval:
+        return "EINVAL";
+    case FaultErrc::kPerm:
+        return "EACCES";
+    case FaultErrc::kIo:
+        return "EIO";
+    }
+    return "?";
+}
+
+bool
+operator==(const FaultEvent& a, const FaultEvent& b)
+{
+    return a.op_index == b.op_index && a.path == b.path &&
+           a.is_write == b.is_write && a.errc == b.errc && a.stale == b.stale &&
+           a.latency_us == b.latency_us;
+}
+
+FaultInjector::FaultInjector(uint64_t seed) : rng_(seed) {}
+
+void
+FaultInjector::AddRule(FaultRule rule)
+{
+    AEO_ASSERT(!rule.path_prefix.empty(), "fault rule needs a path prefix");
+    AEO_ASSERT(rule.fail_probability >= 0.0 && rule.fail_probability <= 1.0 &&
+                   rule.stale_probability >= 0.0 && rule.stale_probability <= 1.0 &&
+                   rule.latency_spike_probability >= 0.0 &&
+                   rule.latency_spike_probability <= 1.0 &&
+                   rule.disappear_probability >= 0.0 &&
+                   rule.disappear_probability <= 1.0,
+               "fault probabilities for '%s' out of [0, 1]",
+               rule.path_prefix.c_str());
+    rules_.push_back(std::move(rule));
+}
+
+void
+FaultInjector::Clear()
+{
+    rules_.clear();
+    sticky_.clear();
+    gone_.clear();
+}
+
+FaultDecision
+FaultInjector::OnRead(const std::string& path)
+{
+    return Decide(path, /*is_write=*/false);
+}
+
+FaultDecision
+FaultInjector::OnWrite(const std::string& path)
+{
+    return Decide(path, /*is_write=*/true);
+}
+
+bool
+FaultInjector::IsGone(const std::string& path) const
+{
+    return gone_.count(path) != 0;
+}
+
+void
+FaultInjector::Repair(const std::string& path)
+{
+    sticky_.erase(path);
+    gone_.erase(path);
+}
+
+void
+FaultInjector::RepairAll()
+{
+    sticky_.clear();
+    gone_.clear();
+}
+
+FaultDecision
+FaultInjector::Decide(const std::string& path, bool is_write)
+{
+    ++op_count_;
+    FaultDecision decision;
+
+    // Latched state wins: a disappeared path stays ENOENT and a sticky
+    // failure keeps returning its error until repaired.
+    if (gone_.count(path) != 0) {
+        decision.errc = FaultErrc::kNoEnt;
+        Record(path, is_write, decision);
+        return decision;
+    }
+    if (const auto it = sticky_.find(path); it != sticky_.end()) {
+        decision.errc = it->second;
+        Record(path, is_write, decision);
+        return decision;
+    }
+
+    FaultRule* rule = nullptr;
+    for (FaultRule& candidate : rules_) {
+        if (StartsWith(path, candidate.path_prefix)) {
+            rule = &candidate;
+            break;
+        }
+    }
+    if (rule == nullptr || rule->max_triggers == 0) {
+        return decision;
+    }
+
+    const auto consume_trigger = [&] {
+        if (rule->max_triggers > 0) {
+            --rule->max_triggers;
+        }
+    };
+
+    if (rule->disappear_probability > 0.0 &&
+        rng_.Bernoulli(rule->disappear_probability)) {
+        consume_trigger();
+        gone_.insert(path);
+        decision.errc = FaultErrc::kNoEnt;
+        Record(path, is_write, decision);
+        return decision;
+    }
+    if (rule->fail_probability > 0.0 && rng_.Bernoulli(rule->fail_probability)) {
+        consume_trigger();
+        decision.errc = rule->errc;
+        if (rule->duration == FaultDuration::kSticky) {
+            sticky_.emplace(path, rule->errc);
+        }
+        Record(path, is_write, decision);
+        return decision;
+    }
+    if (!is_write && rule->stale_probability > 0.0 &&
+        rng_.Bernoulli(rule->stale_probability)) {
+        consume_trigger();
+        decision.stale = true;
+    }
+    if (rule->latency_spike_probability > 0.0 &&
+        rng_.Bernoulli(rule->latency_spike_probability)) {
+        consume_trigger();
+        decision.latency = rule->latency_spike;
+    }
+    if (decision.stale || decision.latency > SimTime::Zero()) {
+        Record(path, is_write, decision);
+    }
+    return decision;
+}
+
+void
+FaultInjector::Record(const std::string& path, bool is_write,
+                      const FaultDecision& decision)
+{
+    if (trace_.size() >= trace_limit_) {
+        return;
+    }
+    FaultEvent event;
+    event.op_index = op_count_ - 1;
+    event.path = path;
+    event.is_write = is_write;
+    event.errc = decision.errc;
+    event.stale = decision.stale;
+    event.latency_us = decision.latency.micros();
+    trace_.push_back(std::move(event));
+}
+
+}  // namespace aeo

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Deterministic fault injection for the kernel-interface and measurement
+ * paths.
+ *
+ * On a real Nexus 6 the controller's I/O is not reliable: sysfs writes
+ * return EBUSY while a governor transition is in flight, mpdecision hotplugs
+ * a core and its cpufreq directory vanishes mid-run, perf drops samples
+ * under load, and the power meter occasionally misses its window (Hoque et
+ * al. document this class of Android measurement flakiness in detail). The
+ * FaultInjector reproduces those failure modes inside the simulation:
+ * guarded operations (virtual sysfs reads/writes, PMU counter reads, power
+ * meter samples) consult it and receive an error code, a stale value, or an
+ * added latency instead of the clean result.
+ *
+ * All decisions come from one explicitly seeded Rng, consumed in operation
+ * order, so a given seed and operation sequence produce bit-identical fault
+ * traces — experiments with faults stay as reproducible as those without.
+ */
+#ifndef AEO_FAULT_FAULT_INJECTOR_H_
+#define AEO_FAULT_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "sim/time.h"
+
+namespace aeo {
+
+/** Errno-style outcome of one guarded operation. */
+enum class FaultErrc {
+    kOk = 0,
+    kNoEnt,  ///< ENOENT — path disappeared (hotplug-style).
+    kBusy,   ///< EBUSY — transient contention on the node.
+    kInval,  ///< EINVAL — the value was rejected.
+    kPerm,   ///< EACCES — write to a read-only node.
+    kIo,     ///< EIO — the operation failed outright.
+};
+
+/** Human-readable errno-style name ("EBUSY", ...). */
+const char* FaultErrcName(FaultErrc errc);
+
+/** Whether a triggered fault clears itself or latches. */
+enum class FaultDuration {
+    kTransient,  ///< Each operation rolls independently.
+    kSticky,     ///< Once triggered, the path keeps failing until Repair().
+};
+
+/** One failure mode covering all paths with a common prefix. */
+struct FaultRule {
+    /** Operations on paths starting with this prefix are covered. */
+    std::string path_prefix;
+    /** Per-operation probability of returning @ref errc. */
+    double fail_probability = 0.0;
+    /** Error injected when the failure fires. */
+    FaultErrc errc = FaultErrc::kBusy;
+    /** Transient (default) or sticky failure. */
+    FaultDuration duration = FaultDuration::kTransient;
+    /** Reads only: probability of serving the previous value unchanged. */
+    double stale_probability = 0.0;
+    /** Probability of the operation completing late. */
+    double latency_spike_probability = 0.0;
+    /** Added latency when a spike fires. */
+    SimTime latency_spike = SimTime::Millis(50);
+    /**
+     * Per-operation probability that the path disappears entirely (sticky
+     * ENOENT + Exists() false), as when mpdecision offlines a core.
+     */
+    double disappear_probability = 0.0;
+    /** Stop firing after this many triggers; negative = unlimited. Lets
+     * tests stage exact failure counts deterministically. */
+    int max_triggers = -1;
+};
+
+/** What the injector decided for one operation. */
+struct FaultDecision {
+    FaultErrc errc = FaultErrc::kOk;
+    /** Reads only: serve the last successfully read value. */
+    bool stale = false;
+    /** Added completion latency (zero when no spike fired). */
+    SimTime latency = SimTime::Zero();
+
+    bool ok() const { return errc == FaultErrc::kOk; }
+};
+
+/** One non-clean decision, recorded for determinism checks and reports. */
+struct FaultEvent {
+    uint64_t op_index = 0;
+    std::string path;
+    bool is_write = false;
+    FaultErrc errc = FaultErrc::kOk;
+    bool stale = false;
+    int64_t latency_us = 0;
+};
+
+bool operator==(const FaultEvent& a, const FaultEvent& b);
+
+/** Seeded source of injected failures for guarded I/O paths. */
+class FaultInjector {
+  public:
+    /** @param seed Seed for the decision stream. */
+    explicit FaultInjector(uint64_t seed);
+
+    /** Adds a failure mode; rules are consulted in insertion order and the
+     * first prefix match wins. */
+    void AddRule(FaultRule rule);
+
+    /** Drops all rules and latched state (the trace is kept). */
+    void Clear();
+
+    /** Consults the rules for a read of @p path. */
+    FaultDecision OnRead(const std::string& path);
+
+    /** Consults the rules for a write to @p path. */
+    FaultDecision OnWrite(const std::string& path);
+
+    /** True if @p path has disappeared (hotplug-style). */
+    bool IsGone(const std::string& path) const;
+
+    /** Clears sticky/disappeared state latched for @p path. */
+    void Repair(const std::string& path);
+
+    /** Clears all sticky/disappeared state. */
+    void RepairAll();
+
+    /** Operations consulted so far (clean ones included). */
+    uint64_t op_count() const { return op_count_; }
+
+    /** Non-clean decisions, in operation order (capped; see below). */
+    const std::vector<FaultEvent>& trace() const { return trace_; }
+
+    /** Caps the retained trace; older entries are kept, new ones dropped. */
+    void set_trace_limit(size_t limit) { trace_limit_ = limit; }
+
+  private:
+    FaultDecision Decide(const std::string& path, bool is_write);
+    void Record(const std::string& path, bool is_write,
+                const FaultDecision& decision);
+
+    Rng rng_;
+    std::vector<FaultRule> rules_;
+    /** Paths whose sticky failure has latched, with the latched error. */
+    std::map<std::string, FaultErrc> sticky_;
+    /** Paths that have disappeared. */
+    std::set<std::string> gone_;
+    uint64_t op_count_ = 0;
+    std::vector<FaultEvent> trace_;
+    size_t trace_limit_ = 100000;
+};
+
+}  // namespace aeo
+
+#endif  // AEO_FAULT_FAULT_INJECTOR_H_

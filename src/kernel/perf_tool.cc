@@ -31,6 +31,7 @@ PerfTool::Start()
         sync_hook_();
     }
     last_instr_reading_ = pmu_->giga_instructions();
+    last_reading_time_ = sim_->Now();
     task_.Start(period_);
 }
 
@@ -66,29 +67,61 @@ PerfTool::TakeSample()
     if (sync_hook_) {
         sync_hook_();
     }
-    const double instr = pmu_->giga_instructions();
-    const double true_gips = (instr - last_instr_reading_) / period_.seconds();
-    last_instr_reading_ = instr;
-    const double measured =
-        std::max(0.0, true_gips * (1.0 + rng_.Gaussian(0.0, config_.noise_rel_stddev)));
-    last_sample_ = GipsSample{sim_->Now(), measured};
+    const SimTime now = sim_->Now();
+    bool stale = false;
+    if (injector_ != nullptr) {
+        const FaultDecision decision = injector_->OnRead(kPmuFaultPath);
+        if (!decision.ok()) {
+            // perf missed this interval entirely — no reading is recorded.
+            // The next successful sample averages over the elapsed gap, so
+            // the rate stays well-defined; the window just has fewer
+            // samples (possibly none).
+            ++dropped_sample_count_;
+            return;
+        }
+        stale = decision.stale;
+    }
+    double measured;
+    if (stale) {
+        // A stale counter read repeats the previous value: the delta is
+        // zero and the sample reads as 0 GIPS — plausible-looking garbage,
+        // exactly what a wedged PMU produces on hardware.
+        ++stale_sample_count_;
+        measured = 0.0;
+    } else {
+        const double instr = pmu_->giga_instructions();
+        const double elapsed = (now - last_reading_time_).seconds();
+        const double true_gips =
+            elapsed > 0.0 ? (instr - last_instr_reading_) / elapsed : 0.0;
+        last_instr_reading_ = instr;
+        last_reading_time_ = now;
+        measured = std::max(
+            0.0, true_gips * (1.0 + rng_.Gaussian(0.0, config_.noise_rel_stddev)));
+    }
+    last_sample_ = GipsSample{now, measured};
     ++sample_count_;
     window_sum_ += measured;
     ++window_count_;
 }
 
-double
-PerfTool::DrainWindowAverage()
+PerfWindow
+PerfTool::DrainWindow()
 {
-    double result;
+    PerfWindow window;
+    window.samples = window_count_;
     if (window_count_ > 0) {
-        result = window_sum_ / static_cast<double>(window_count_);
-    } else {
-        result = last_sample_.gips;
+        window.avg_gips = window_sum_ / static_cast<double>(window_count_);
     }
     window_sum_ = 0.0;
     window_count_ = 0;
-    return result;
+    return window;
+}
+
+double
+PerfTool::DrainWindowAverage()
+{
+    const PerfWindow window = DrainWindow();
+    return window.samples > 0 ? window.avg_gips : last_sample_.gips;
 }
 
 }  // namespace aeo

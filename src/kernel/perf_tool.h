@@ -22,11 +22,15 @@
 
 #include "common/random.h"
 #include "common/units.h"
+#include "fault/fault_injector.h"
 #include "kernel/pmu.h"
 #include "sim/periodic_task.h"
 #include "sim/simulator.h"
 
 namespace aeo {
+
+/** Injector path guarding PMU counter reads (perf sampling). */
+inline constexpr const char kPmuFaultPath[] = "/sys/kernel/pmu/instructions";
 
 /** Configuration of the perf sampler. */
 struct PerfToolConfig {
@@ -44,6 +48,15 @@ struct PerfToolConfig {
 struct GipsSample {
     SimTime when;
     double gips = 0.0;
+};
+
+/** One control-cycle measurement window. */
+struct PerfWindow {
+    /** Average GIPS of the window's samples; 0 when none arrived. */
+    double avg_gips = 0.0;
+    /** Samples that actually arrived in the window. The controller treats
+     * an empty window (all samples dropped) as "no measurement". */
+    uint64_t samples = 0;
 };
 
 /** Periodic GIPS sampler over the PMU instruction counter. */
@@ -83,16 +96,31 @@ class PerfTool {
     GipsSample LastSample() const { return last_sample_; }
 
     /**
-     * Average GIPS of the samples taken since the previous call to this
-     * method (the controller calls this once per control cycle; the paper's
-     * controller likewise averages the ~2 perf readings per cycle).
-     * Falls back to the last sample if none arrived in the window, and 0 if
-     * nothing has been sampled yet.
+     * The samples taken since the previous drain (the controller calls this
+     * once per control cycle; the paper's controller likewise averages the
+     * ~2 perf readings per cycle). Dropped samples (injected PMU faults)
+     * reduce the window's count, possibly to zero — the caller decides how
+     * to degrade.
+     */
+    PerfWindow DrainWindow();
+
+    /**
+     * Legacy drain: the window average, falling back to the last sample if
+     * none arrived in the window, and 0 if nothing has been sampled yet.
      */
     double DrainWindowAverage();
 
     /** Number of samples taken since Start(). */
     uint64_t sample_count() const { return sample_count_; }
+
+    /** Samples lost to injected PMU read failures. */
+    uint64_t dropped_sample_count() const { return dropped_sample_count_; }
+
+    /** Samples served stale counter values (measured as 0 GIPS). */
+    uint64_t stale_sample_count() const { return stale_sample_count_; }
+
+    /** Hooks an injector into PMU reads; nullptr disables injection. */
+    void SetFaultInjector(FaultInjector* injector) { injector_ = injector; }
 
     /** Registers a hook that brings the PMU up to date before sampling. */
     void SetSyncHook(std::function<void()> hook) { sync_hook_ = std::move(hook); }
@@ -107,9 +135,13 @@ class PerfTool {
     PerfToolConfig config_;
     SimTime period_;
     PeriodicTask task_;
+    FaultInjector* injector_ = nullptr;
     double last_instr_reading_ = 0.0;
+    SimTime last_reading_time_;
     GipsSample last_sample_;
     uint64_t sample_count_ = 0;
+    uint64_t dropped_sample_count_ = 0;
+    uint64_t stale_sample_count_ = 0;
     double window_sum_ = 0.0;
     uint64_t window_count_ = 0;
 };

@@ -15,42 +15,110 @@ Sysfs::Register(const std::string& path, SysfsFile file)
     AEO_ASSERT(file.read != nullptr, "sysfs file '%s' needs a reader", path.c_str());
     const auto [it, inserted] = files_.emplace(path, std::move(file));
     (void)it;
-    AEO_ASSERT(inserted, "sysfs path '%s' registered twice", path.c_str());
+    AEO_ASSERT(inserted,
+               "sysfs path '%s' registered twice (conflicts with the existing "
+               "registration at that path)",
+               path.c_str());
 }
 
 void
 Sysfs::Unregister(const std::string& path)
 {
     files_.erase(path);
+    read_cache_.erase(path);
 }
 
 bool
 Sysfs::Exists(const std::string& path) const
 {
+    if (injector_ != nullptr && injector_->IsGone(path)) {
+        return false;
+    }
     return files_.find(path) != files_.end();
+}
+
+SysfsReadResult
+Sysfs::TryRead(const std::string& path) const
+{
+    last_latency_ = SimTime::Zero();
+    SysfsReadResult result;
+    const auto it = files_.find(path);
+    if (it == files_.end()) {
+        result.errc = FaultErrc::kNoEnt;
+        return result;
+    }
+    if (injector_ != nullptr) {
+        const FaultDecision decision = injector_->OnRead(path);
+        last_latency_ = decision.latency;
+        if (!decision.ok()) {
+            result.errc = decision.errc;
+            return result;
+        }
+        if (decision.stale) {
+            const auto cached = read_cache_.find(path);
+            if (cached != read_cache_.end()) {
+                result.value = cached->second;
+                return result;
+            }
+            // Nothing cached yet: fall through to a genuine read.
+        }
+    }
+    result.value = it->second.read();
+    read_cache_[path] = result.value;
+    return result;
+}
+
+FaultErrc
+Sysfs::TryWrite(const std::string& path, const std::string& value)
+{
+    last_latency_ = SimTime::Zero();
+    const auto it = files_.find(path);
+    if (it == files_.end()) {
+        return FaultErrc::kNoEnt;
+    }
+    if (injector_ != nullptr) {
+        const FaultDecision decision = injector_->OnWrite(path);
+        last_latency_ = decision.latency;
+        if (!decision.ok()) {
+            return decision.errc;
+        }
+    }
+    if (it->second.write == nullptr) {
+        return FaultErrc::kPerm;
+    }
+    return it->second.write(value) ? FaultErrc::kOk : FaultErrc::kInval;
+}
+
+std::string
+Sysfs::ReadOrDefault(const std::string& path, const std::string& fallback) const
+{
+    const SysfsReadResult result = TryRead(path);
+    return result.ok() ? result.value : fallback;
 }
 
 std::string
 Sysfs::Read(const std::string& path) const
 {
-    const auto it = files_.find(path);
-    if (it == files_.end()) {
-        Fatal("sysfs read of nonexistent file '%s'", path.c_str());
+    const SysfsReadResult result = TryRead(path);
+    if (!result.ok()) {
+        Fatal("sysfs read of '%s' failed: %s", path.c_str(),
+              FaultErrcName(result.errc));
     }
-    return it->second.read();
+    return result.value;
 }
 
 bool
 Sysfs::Write(const std::string& path, const std::string& value)
 {
-    const auto it = files_.find(path);
-    if (it == files_.end()) {
-        Fatal("sysfs write to nonexistent file '%s'", path.c_str());
+    const FaultErrc errc = TryWrite(path, value);
+    switch (errc) {
+    case FaultErrc::kOk:
+        return true;
+    case FaultErrc::kInval:
+        return false;  // EINVAL stays a value, matching the documented API.
+    default:
+        Fatal("sysfs write to '%s' failed: %s", path.c_str(), FaultErrcName(errc));
     }
-    if (it->second.write == nullptr) {
-        Fatal("sysfs write to read-only file '%s'", path.c_str());
-    }
-    return it->second.write(value);
 }
 
 std::vector<std::string>

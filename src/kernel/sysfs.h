@@ -3,6 +3,16 @@
  * A virtual sysfs: the string-valued file tree through which Android
  * userspace (and our controller, exactly like the paper's) reads and writes
  * kernel tunables such as scaling_governor and scaling_setspeed (§IV-A).
+ *
+ * Two access styles coexist:
+ *
+ *  - TryRead()/TryWrite() report failures as FaultErrc values. They are the
+ *    path an optional FaultInjector hooks into, so injected ENOENT/EBUSY/
+ *    EINVAL (and stale reads or latency spikes) propagate to hardened
+ *    callers as data, never as Fatal().
+ *  - The legacy Read()/Write() wrappers are thin asserting shims over the
+ *    Try variants: they Fatal() on any error other than value rejection,
+ *    preserving the behaviour existing callers were written against.
  */
 #ifndef AEO_KERNEL_SYSFS_H_
 #define AEO_KERNEL_SYSFS_H_
@@ -11,6 +21,8 @@
 #include <map>
 #include <string>
 #include <vector>
+
+#include "fault/fault_injector.h"
 
 namespace aeo {
 
@@ -22,36 +34,81 @@ struct SysfsFile {
     std::function<bool(const std::string&)> write;
 };
 
+/** Outcome of a TryRead(). */
+struct SysfsReadResult {
+    FaultErrc errc = FaultErrc::kOk;
+    std::string value;
+
+    bool ok() const { return errc == FaultErrc::kOk; }
+};
+
 /** A tree of virtual files addressed by absolute slash-separated paths. */
 class Sysfs {
   public:
     Sysfs() = default;
 
-    /** Registers a file; panics if the path is already taken. */
+    /** Registers a file; panics naming the conflicting path if taken. */
     void Register(const std::string& path, SysfsFile file);
 
     /** Removes a file if present. */
     void Unregister(const std::string& path);
 
-    /** True if a file exists at @p path. */
+    /** True if a file exists at @p path (and has not disappeared under
+     * injected hotplug-style faults). */
     bool Exists(const std::string& path) const;
 
-    /** Reads a file; Fatal() if it does not exist. */
+    /**
+     * Reads a file, reporting failure as a value: kNoEnt when the path is
+     * absent (or has disappeared under fault injection) and any injected
+     * error otherwise. A stale-read fault serves the previous successfully
+     * read contents — indistinguishable from a fresh value, as on hardware.
+     */
+    SysfsReadResult TryRead(const std::string& path) const;
+
+    /**
+     * Writes a file, reporting failure as a value: kNoEnt when absent,
+     * kPerm when read-only, kInval when the file rejects the value, or any
+     * injected error.
+     */
+    FaultErrc TryWrite(const std::string& path, const std::string& value);
+
+    /**
+     * Reads a file that may legitimately be absent (e.g. the input_boost
+     * node some kernels lack): returns @p fallback on any failure.
+     */
+    std::string ReadOrDefault(const std::string& path,
+                              const std::string& fallback) const;
+
+    /** Asserting shim over TryRead(); Fatal() on any failure. */
     std::string Read(const std::string& path) const;
 
     /**
-     * Writes a file.
-     *
-     * Fatal() if the file does not exist or is read-only; returns the file's
-     * acceptance of the value (false = invalid value, like EINVAL).
+     * Asserting shim over TryWrite(): Fatal() if the file does not exist or
+     * is read-only; returns the file's acceptance of the value (false =
+     * invalid value, like EINVAL).
      */
     bool Write(const std::string& path, const std::string& value);
 
     /** All registered paths with the given prefix, sorted. */
     std::vector<std::string> List(const std::string& prefix) const;
 
+    /** Hooks an injector into the Try paths; nullptr disables injection.
+     * Not owned; must outlive the sysfs or be unhooked first. */
+    void SetFaultInjector(FaultInjector* injector) { injector_ = injector; }
+
+    /** The hooked injector, if any. */
+    FaultInjector* fault_injector() const { return injector_; }
+
+    /** Added latency the most recent Try operation suffered (zero when no
+     * spike fired); callers that model time can charge it to their budget. */
+    SimTime last_injected_latency() const { return last_latency_; }
+
   private:
     std::map<std::string, SysfsFile> files_;
+    FaultInjector* injector_ = nullptr;
+    /** Last good contents per path, serving injected stale reads. */
+    mutable std::map<std::string, std::string> read_cache_;
+    mutable SimTime last_latency_ = SimTime::Zero();
 };
 
 }  // namespace aeo

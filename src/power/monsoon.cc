@@ -38,6 +38,10 @@ MonsoonMonitor::Stop()
 void
 MonsoonMonitor::TakeSample()
 {
+    if (injector_ != nullptr && !injector_->OnRead(kMonsoonFaultPath).ok()) {
+        ++dropped_sample_count_;
+        return;
+    }
     const double true_mw = power_source_().value();
     const double measured_mw =
         true_mw * (1.0 + rng_.Gaussian(0.0, config_.noise_rel_stddev));

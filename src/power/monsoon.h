@@ -18,10 +18,14 @@
 
 #include "common/random.h"
 #include "common/units.h"
+#include "fault/fault_injector.h"
 #include "sim/periodic_task.h"
 #include "sim/simulator.h"
 
 namespace aeo {
+
+/** Injector path guarding power-meter samples. */
+inline constexpr const char kMonsoonFaultPath[] = "/dev/monsoon/sample";
 
 /** Configuration of the simulated power monitor. */
 struct MonsoonConfig {
@@ -60,6 +64,14 @@ class MonsoonMonitor {
     /** Number of samples taken. */
     uint64_t sample_count() const { return sample_count_; }
 
+    /** Samples lost to injected meter failures (USB glitches etc.). The
+     * running average simply spans fewer samples — as with the real
+     * instrument, a dropped window biases nothing, it only thins the data. */
+    uint64_t dropped_sample_count() const { return dropped_sample_count_; }
+
+    /** Hooks an injector into the sampling path; nullptr disables. */
+    void SetFaultInjector(FaultInjector* injector) { injector_ = injector; }
+
     /** Average of all measured samples. */
     Milliwatts MeasuredAveragePower() const;
 
@@ -83,10 +95,12 @@ class MonsoonMonitor {
     Rng rng_;
     MonsoonConfig config_;
     PeriodicTask task_;
+    FaultInjector* injector_ = nullptr;
     SimTime start_time_;
     SimTime last_sample_time_;
     double power_sum_mw_ = 0.0;
     uint64_t sample_count_ = 0;
+    uint64_t dropped_sample_count_ = 0;
     std::vector<PowerSample> trace_;
 };
 

@@ -1,5 +1,7 @@
 #include "core/config_scheduler.h"
 
+#include <cstdlib>
+
 #include <gtest/gtest.h>
 
 #include "device/device.h"
@@ -113,6 +115,125 @@ TEST_F(ConfigSchedulerTest, SingleSlotAppliesImmediately)
     schedule.slots = {ScheduleSlot{1, 2.0}};
     scheduler_.Apply(schedule, table);
     EXPECT_EQ(device_.cluster().level(), 4);
+}
+
+// --- Hardened actuation ----------------------------------------------------
+
+DeviceConfig
+FaultyDeviceConfig(FaultRule rule)
+{
+    DeviceConfig config;
+    config.fault_rules.push_back(std::move(rule));
+    return config;
+}
+
+std::string
+SetspeedPath()
+{
+    return std::string(kCpufreqSysfsRoot) + "/scaling_setspeed";
+}
+
+TEST(ConfigSchedulerFaultTest, TransientWriteFailureIsRetriedToSuccess)
+{
+    FaultRule rule;
+    rule.path_prefix = SetspeedPath();
+    rule.fail_probability = 1.0;
+    rule.errc = FaultErrc::kBusy;
+    rule.max_triggers = 2;  // fail, fail, then clean
+    Device device(FaultyDeviceConfig(rule));
+    device.UseUserspaceGovernors();
+    ConfigScheduler scheduler(&device);
+
+    EXPECT_TRUE(scheduler.ApplyConfigNow(SystemConfig{9, kBwDefaultGovernor}));
+    EXPECT_EQ(device.cluster().level(), 9);
+    EXPECT_EQ(scheduler.stats().retries, 2u);
+    EXPECT_EQ(scheduler.stats().failed_ops, 0u);
+    EXPECT_EQ(scheduler.write_count(), 1u);
+}
+
+TEST(ConfigSchedulerFaultTest, RetryExhaustionCountsAFailedOp)
+{
+    FaultRule rule;
+    rule.path_prefix = SetspeedPath();
+    rule.fail_probability = 1.0;
+    rule.errc = FaultErrc::kIo;
+    Device device(FaultyDeviceConfig(rule));
+    device.UseUserspaceGovernors();
+    const int start_level = device.cluster().level();
+    ActuationRetryPolicy policy;  // 4 retries, 12 ms backoff, 200 ms budget
+    ConfigScheduler scheduler(&device, SimTime::Millis(200), policy);
+
+    EXPECT_FALSE(scheduler.ApplyConfigNow(SystemConfig{9, kBwDefaultGovernor}));
+    EXPECT_EQ(device.cluster().level(), start_level);
+    EXPECT_EQ(scheduler.stats().retries, 4u);
+    EXPECT_EQ(scheduler.stats().failed_ops, 1u);
+    EXPECT_EQ(scheduler.write_count(), 0u);
+}
+
+TEST(ConfigSchedulerFaultTest, BackoffStaysWithinTheDwellBudget)
+{
+    FaultRule rule;
+    rule.path_prefix = SetspeedPath();
+    rule.fail_probability = 1.0;
+    rule.errc = FaultErrc::kBusy;
+    Device device(FaultyDeviceConfig(rule));
+    device.UseUserspaceGovernors();
+    // 100 permitted retries, but doubling from 50 ms only 2 fit in 200 ms
+    // (50 + 100 = 150; the next 200 ms step would overrun).
+    ActuationRetryPolicy policy;
+    policy.max_retries = 100;
+    policy.initial_backoff = SimTime::Millis(50);
+    ConfigScheduler scheduler(&device, SimTime::Millis(200), policy);
+
+    EXPECT_FALSE(scheduler.ApplyConfigNow(SystemConfig{9, kBwDefaultGovernor}));
+    EXPECT_EQ(scheduler.stats().retries, 2u);
+}
+
+TEST(ConfigSchedulerFaultTest, EinvalFallsBackToTheNearestAcceptedFrequency)
+{
+    FaultRule rule;
+    rule.path_prefix = SetspeedPath();
+    rule.fail_probability = 1.0;
+    rule.errc = FaultErrc::kInval;
+    rule.max_triggers = 1;  // only the preferred value is rejected
+    Device device(FaultyDeviceConfig(rule));
+    device.UseUserspaceGovernors();
+    ConfigScheduler scheduler(&device);
+
+    EXPECT_TRUE(scheduler.ApplyConfigNow(SystemConfig{5, kBwDefaultGovernor}));
+    EXPECT_EQ(scheduler.stats().inval_fallbacks, 1u);
+    // The accepted value is the nearest neighbour of the rejected target.
+    const int level = device.cluster().level();
+    EXPECT_NE(level, 5);
+    EXPECT_EQ(std::abs(level - 5), 1);
+}
+
+TEST(ConfigSchedulerFaultTest, ConsecutiveFailedAppliesTrackTheChain)
+{
+    FaultRule rule;
+    rule.path_prefix = SetspeedPath();
+    rule.fail_probability = 1.0;
+    rule.errc = FaultErrc::kIo;
+    rule.duration = FaultDuration::kSticky;
+    Device device(FaultyDeviceConfig(rule));
+    device.UseUserspaceGovernors();
+    ConfigScheduler scheduler(&device);
+    const ProfileTable table = TwoConfigTable();
+    ConfigSchedule hold;
+    hold.slots = {ScheduleSlot{0, 2.0}};
+
+    EXPECT_EQ(scheduler.consecutive_failed_applies(), 0);
+    scheduler.Apply(hold, table);
+    EXPECT_EQ(scheduler.consecutive_failed_applies(), 1);
+    scheduler.Apply(hold, table);
+    EXPECT_EQ(scheduler.consecutive_failed_applies(), 2);
+
+    // Repair the node: the chain resets once a clean cycle completes.
+    device.fault_injector()->RepairAll();
+    device.fault_injector()->Clear();
+    scheduler.Apply(hold, table);
+    scheduler.Apply(hold, table);
+    EXPECT_EQ(scheduler.consecutive_failed_applies(), 0);
 }
 
 }  // namespace

@@ -108,6 +108,88 @@ TEST(OnlineControllerTest, OverheadPowerChargedWhileRunning)
     EXPECT_LT(power_with - power_without, 50.0);  // small: <10 ms at ~25 mW
 }
 
+TEST(OnlineControllerTest, WatchdogRevertsToStockGovernorsOnStickyFailure)
+{
+    // 100 % sticky EIO on the CPU speed file: every actuation attempt fails.
+    FaultRule rule;
+    rule.path_prefix = std::string(kCpufreqSysfsRoot) + "/scaling_setspeed";
+    rule.fail_probability = 1.0;
+    rule.errc = FaultErrc::kIo;
+    rule.duration = FaultDuration::kSticky;
+    DeviceConfig device_config;
+    device_config.fault_rules.push_back(rule);
+    Device device(device_config);
+    device.LaunchApp(MakeSpotifySpec());
+
+    ControllerConfig config;
+    config.target_gips = 0.06;
+    config.watchdog_threshold = 3;
+    OnlineController controller(&device, CoordinatedTable(), config);
+    controller.Start();
+    EXPECT_FALSE(controller.fallback_engaged());
+
+    // Start's apply is strike one; within two more control cycles (K = 3)
+    // the watchdog hands the device back to the stock governors.
+    device.RunFor(SimTime::FromSeconds(3 * 2));
+    EXPECT_TRUE(controller.fallback_engaged());
+    EXPECT_EQ(device.cpufreq().governor_name(), "interactive");
+    EXPECT_EQ(device.devfreq().governor_name(), "cpubw_hwmon");
+    EXPECT_FALSE(device.perf().running());
+    EXPECT_GE(controller.scheduler().stats().failed_ops, 3u);
+
+    // The control cycle is dead: no further cycles accumulate.
+    const size_t cycles = controller.cycle_count();
+    device.RunFor(SimTime::FromSeconds(6));
+    EXPECT_EQ(controller.cycle_count(), cycles);
+    controller.Stop();  // idempotent after fallback
+}
+
+TEST(OnlineControllerTest, MissingPerfSamplesRunTheCycleDegraded)
+{
+    // Every PMU read fails: each cycle's measurement window is empty.
+    FaultRule rule;
+    rule.path_prefix = kPmuFaultPath;
+    rule.fail_probability = 1.0;
+    rule.errc = FaultErrc::kIo;
+    DeviceConfig device_config;
+    device_config.fault_rules.push_back(rule);
+    Device device(device_config);
+    device.LaunchApp(MakeSpotifySpec());
+
+    ControllerConfig config;
+    config.target_gips = 0.06;
+    OnlineController controller(&device, CoordinatedTable(), config);
+    controller.Start();
+    const double estimate_before = controller.base_speed_estimate();
+    device.RunFor(SimTime::FromSeconds(9));
+    controller.Stop();
+
+    ASSERT_GE(controller.cycle_count(), 4u);
+    EXPECT_EQ(controller.degraded_cycle_count(), controller.cycle_count());
+    for (const ControlCycleRecord& record : controller.history()) {
+        EXPECT_TRUE(record.degraded);
+        EXPECT_EQ(record.perf_samples, 0u);
+    }
+    // Degraded cycles hold the Kalman estimate instead of feeding it junk.
+    EXPECT_DOUBLE_EQ(controller.base_speed_estimate(), estimate_before);
+    // Actuation still works, so the watchdog stays quiet.
+    EXPECT_FALSE(controller.fallback_engaged());
+}
+
+TEST(OnlineControllerTest, HealthyLoopIsNeverDegraded)
+{
+    Device device;
+    device.LaunchApp(MakeSpotifySpec());
+    ControllerConfig config;
+    config.target_gips = 0.06;
+    OnlineController controller(&device, CoordinatedTable(), config);
+    controller.Start();
+    device.RunFor(SimTime::FromSeconds(9));
+    controller.Stop();
+    EXPECT_EQ(controller.degraded_cycle_count(), 0u);
+    EXPECT_FALSE(controller.fallback_engaged());
+}
+
 TEST(OnlineControllerDeathTest, MixedTableIsRejected)
 {
     Device device;

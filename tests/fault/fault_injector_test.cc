@@ -1,0 +1,194 @@
+#include "fault/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+namespace aeo {
+namespace {
+
+FaultRule
+BusyRule(const std::string& prefix, double probability)
+{
+    FaultRule rule;
+    rule.path_prefix = prefix;
+    rule.fail_probability = probability;
+    rule.errc = FaultErrc::kBusy;
+    return rule;
+}
+
+TEST(FaultInjectorTest, CleanWithoutRules)
+{
+    FaultInjector injector(1);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_TRUE(injector.OnRead("/sys/anything").ok());
+        EXPECT_TRUE(injector.OnWrite("/sys/anything").ok());
+    }
+    EXPECT_EQ(injector.op_count(), 200u);
+    EXPECT_TRUE(injector.trace().empty());
+}
+
+TEST(FaultInjectorTest, OnlyMatchingPrefixIsAffected)
+{
+    FaultInjector injector(1);
+    injector.AddRule(BusyRule("/sys/flaky", 1.0));
+    EXPECT_EQ(injector.OnWrite("/sys/flaky/node").errc, FaultErrc::kBusy);
+    EXPECT_TRUE(injector.OnWrite("/sys/solid/node").ok());
+}
+
+TEST(FaultInjectorTest, SameSeedSameOpsGiveIdenticalTraces)
+{
+    const auto run = [](uint64_t seed) {
+        FaultInjector injector(seed);
+        FaultRule rule = BusyRule("/sys/a", 0.3);
+        rule.stale_probability = 0.2;
+        rule.latency_spike_probability = 0.1;
+        injector.AddRule(rule);
+        injector.AddRule(BusyRule("/sys/b", 0.5));
+        for (int i = 0; i < 500; ++i) {
+            injector.OnRead(i % 2 == 0 ? "/sys/a/x" : "/sys/b/y");
+            injector.OnWrite(i % 3 == 0 ? "/sys/a/x" : "/sys/b/y");
+        }
+        return injector.trace();
+    };
+    const std::vector<FaultEvent> first = run(42);
+    const std::vector<FaultEvent> second = run(42);
+    ASSERT_FALSE(first.empty());
+    ASSERT_EQ(first.size(), second.size());
+    for (size_t i = 0; i < first.size(); ++i) {
+        EXPECT_EQ(first[i], second[i]) << "trace diverges at event " << i;
+    }
+    // A different seed produces a different trace (overwhelmingly likely
+    // over 1000 operations at these probabilities).
+    EXPECT_FALSE(run(43) == first);
+}
+
+TEST(FaultInjectorTest, TransientFaultsClearOnTheirOwn)
+{
+    FaultInjector injector(7);
+    FaultRule rule = BusyRule("/sys/flaky", 0.5);
+    rule.max_triggers = 1;
+    injector.AddRule(rule);
+    // After the single allowed trigger, every operation is clean again.
+    int failures = 0;
+    for (int i = 0; i < 200; ++i) {
+        if (!injector.OnWrite("/sys/flaky/node").ok()) {
+            ++failures;
+        }
+    }
+    EXPECT_EQ(failures, 1);
+}
+
+TEST(FaultInjectorTest, StickyFaultLatchesUntilRepair)
+{
+    FaultInjector injector(7);
+    FaultRule rule = BusyRule("/sys/flaky", 1.0);
+    rule.errc = FaultErrc::kIo;
+    rule.duration = FaultDuration::kSticky;
+    rule.max_triggers = 1;  // One roll latches; the latch needs no budget.
+    injector.AddRule(rule);
+
+    EXPECT_EQ(injector.OnWrite("/sys/flaky/node").errc, FaultErrc::kIo);
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(injector.OnWrite("/sys/flaky/node").errc, FaultErrc::kIo);
+    }
+    // Another path under the same prefix has not latched (and the rule's
+    // trigger budget is spent), so it stays clean.
+    EXPECT_TRUE(injector.OnWrite("/sys/flaky/other").ok());
+
+    injector.Repair("/sys/flaky/node");
+    EXPECT_TRUE(injector.OnWrite("/sys/flaky/node").ok());
+}
+
+TEST(FaultInjectorTest, DisappearanceIsStickyEnoent)
+{
+    FaultInjector injector(3);
+    FaultRule rule;
+    rule.path_prefix = "/sys/hotplug";
+    rule.disappear_probability = 1.0;
+    rule.max_triggers = 1;
+    injector.AddRule(rule);
+
+    EXPECT_EQ(injector.OnRead("/sys/hotplug/cpu1").errc, FaultErrc::kNoEnt);
+    EXPECT_TRUE(injector.IsGone("/sys/hotplug/cpu1"));
+    EXPECT_EQ(injector.OnWrite("/sys/hotplug/cpu1").errc, FaultErrc::kNoEnt);
+    EXPECT_FALSE(injector.IsGone("/sys/hotplug/cpu2"));
+
+    injector.RepairAll();
+    EXPECT_FALSE(injector.IsGone("/sys/hotplug/cpu1"));
+    EXPECT_TRUE(injector.OnRead("/sys/hotplug/cpu1").ok());
+}
+
+TEST(FaultInjectorTest, LatencySpikeReportsTheRuleDelay)
+{
+    FaultInjector injector(11);
+    FaultRule rule;
+    rule.path_prefix = "/sys/slow";
+    rule.latency_spike_probability = 1.0;
+    rule.latency_spike = SimTime::Millis(80);
+    injector.AddRule(rule);
+
+    const FaultDecision decision = injector.OnWrite("/sys/slow/node");
+    EXPECT_TRUE(decision.ok());  // late, not failed
+    EXPECT_EQ(decision.latency, SimTime::Millis(80));
+}
+
+TEST(FaultInjectorTest, StaleAppliesToReadsOnly)
+{
+    FaultInjector injector(13);
+    FaultRule rule;
+    rule.path_prefix = "/sys/stale";
+    rule.stale_probability = 1.0;
+    injector.AddRule(rule);
+
+    EXPECT_TRUE(injector.OnRead("/sys/stale/node").stale);
+    EXPECT_FALSE(injector.OnWrite("/sys/stale/node").stale);
+}
+
+TEST(FaultInjectorTest, FirstMatchingRuleWins)
+{
+    FaultInjector injector(17);
+    FaultRule specific = BusyRule("/sys/devfreq/node", 1.0);
+    specific.errc = FaultErrc::kInval;
+    injector.AddRule(specific);
+    injector.AddRule(BusyRule("/sys/devfreq", 1.0));
+
+    EXPECT_EQ(injector.OnWrite("/sys/devfreq/node").errc, FaultErrc::kInval);
+    EXPECT_EQ(injector.OnWrite("/sys/devfreq/other").errc, FaultErrc::kBusy);
+}
+
+TEST(FaultInjectorTest, TraceRecordsOpIndexAndKind)
+{
+    FaultInjector injector(19);
+    injector.AddRule(BusyRule("/sys/x", 1.0));
+    injector.OnRead("/sys/clean");   // op index 0, clean: not recorded
+    injector.OnWrite("/sys/x/n");    // op index 1, recorded
+    ASSERT_EQ(injector.trace().size(), 1u);
+    const FaultEvent& event = injector.trace().front();
+    EXPECT_EQ(event.op_index, 1u);
+    EXPECT_TRUE(event.is_write);
+    EXPECT_EQ(event.errc, FaultErrc::kBusy);
+    EXPECT_EQ(event.path, "/sys/x/n");
+}
+
+TEST(FaultInjectorTest, ClearDropsRulesAndLatchedState)
+{
+    FaultInjector injector(23);
+    FaultRule rule = BusyRule("/sys/x", 1.0);
+    rule.duration = FaultDuration::kSticky;
+    injector.AddRule(rule);
+    EXPECT_FALSE(injector.OnWrite("/sys/x/n").ok());
+    injector.Clear();
+    EXPECT_TRUE(injector.OnWrite("/sys/x/n").ok());
+}
+
+TEST(FaultInjectorTest, ErrcNamesAreErrnoStyle)
+{
+    EXPECT_STREQ(FaultErrcName(FaultErrc::kOk), "OK");
+    EXPECT_STREQ(FaultErrcName(FaultErrc::kNoEnt), "ENOENT");
+    EXPECT_STREQ(FaultErrcName(FaultErrc::kBusy), "EBUSY");
+    EXPECT_STREQ(FaultErrcName(FaultErrc::kInval), "EINVAL");
+    EXPECT_STREQ(FaultErrcName(FaultErrc::kPerm), "EACCES");
+    EXPECT_STREQ(FaultErrcName(FaultErrc::kIo), "EIO");
+}
+
+}  // namespace
+}  // namespace aeo

@@ -67,12 +67,156 @@ TEST(SysfsTest, UnregisterRemoves)
     EXPECT_FALSE(sysfs.Exists("/sys/tmp"));
 }
 
+TEST(SysfsTest, TryReadReportsErrorsAsValues)
+{
+    Sysfs sysfs;
+    sysfs.Register("/sys/test/value", SysfsFile{[] { return "42"; }, nullptr});
+
+    const SysfsReadResult hit = sysfs.TryRead("/sys/test/value");
+    EXPECT_TRUE(hit.ok());
+    EXPECT_EQ(hit.value, "42");
+
+    const SysfsReadResult miss = sysfs.TryRead("/nope");
+    EXPECT_EQ(miss.errc, FaultErrc::kNoEnt);
+}
+
+TEST(SysfsTest, TryWriteReportsReadOnlyAndRejection)
+{
+    Sysfs sysfs;
+    sysfs.Register("/sys/ro", SysfsFile{[] { return "x"; }, nullptr});
+    sysfs.Register("/sys/knob",
+                   SysfsFile{[] { return ""; },
+                             [](const std::string& value) { return value != "bad"; }});
+
+    EXPECT_EQ(sysfs.TryWrite("/sys/ro", "y"), FaultErrc::kPerm);
+    EXPECT_EQ(sysfs.TryWrite("/nope", "y"), FaultErrc::kNoEnt);
+    EXPECT_EQ(sysfs.TryWrite("/sys/knob", "bad"), FaultErrc::kInval);
+    EXPECT_EQ(sysfs.TryWrite("/sys/knob", "good"), FaultErrc::kOk);
+}
+
+TEST(SysfsTest, ReadOrDefaultFallsBackOnAnyFailure)
+{
+    Sysfs sysfs;
+    sysfs.Register("/sys/present", SysfsFile{[] { return "1497600"; }, nullptr});
+    EXPECT_EQ(sysfs.ReadOrDefault("/sys/present", "0"), "1497600");
+    EXPECT_EQ(sysfs.ReadOrDefault("/sys/absent", "fallback"), "fallback");
+}
+
+TEST(SysfsTest, InjectedWriteErrorPropagatesThroughTryWrite)
+{
+    Sysfs sysfs;
+    std::string stored;
+    sysfs.Register("/sys/knob", SysfsFile{[&] { return stored; },
+                                          [&](const std::string& value) {
+                                              stored = value;
+                                              return true;
+                                          }});
+    FaultInjector injector(5);
+    FaultRule rule;
+    rule.path_prefix = "/sys/knob";
+    rule.fail_probability = 1.0;
+    rule.errc = FaultErrc::kBusy;
+    rule.max_triggers = 1;
+    injector.AddRule(rule);
+    sysfs.SetFaultInjector(&injector);
+
+    EXPECT_EQ(sysfs.TryWrite("/sys/knob", "v1"), FaultErrc::kBusy);
+    EXPECT_TRUE(stored.empty());  // the failed write never reached the file
+    EXPECT_EQ(sysfs.TryWrite("/sys/knob", "v2"), FaultErrc::kOk);
+    EXPECT_EQ(stored, "v2");
+}
+
+TEST(SysfsTest, StaleReadServesThePreviousContents)
+{
+    Sysfs sysfs;
+    std::string stored = "old";
+    sysfs.Register("/sys/counter", SysfsFile{[&] { return stored; }, nullptr});
+
+    FaultInjector injector(5);
+    FaultRule rule;
+    rule.path_prefix = "/sys/counter";
+    rule.stale_probability = 1.0;
+    rule.max_triggers = 1;
+    injector.AddRule(rule);
+    sysfs.SetFaultInjector(&injector);
+
+    // The first read has nothing cached, so the stale fault (whose trigger
+    // this consumes) degrades to a genuine read — which primes the cache.
+    EXPECT_EQ(sysfs.TryRead("/sys/counter").value, "old");
+    injector.Clear();
+    injector.AddRule(rule);
+
+    stored = "new";
+    const SysfsReadResult stale = sysfs.TryRead("/sys/counter");
+    EXPECT_TRUE(stale.ok());
+    EXPECT_EQ(stale.value, "old");  // served from the cache, not the file
+    EXPECT_EQ(sysfs.TryRead("/sys/counter").value, "new");
+}
+
+TEST(SysfsTest, DisappearedPathReportsEnoentAndNotExists)
+{
+    Sysfs sysfs;
+    sysfs.Register("/sys/cpu1/online", SysfsFile{[] { return "1"; }, nullptr});
+
+    FaultInjector injector(5);
+    FaultRule rule;
+    rule.path_prefix = "/sys/cpu1";
+    rule.disappear_probability = 1.0;
+    rule.max_triggers = 1;
+    injector.AddRule(rule);
+    sysfs.SetFaultInjector(&injector);
+
+    EXPECT_EQ(sysfs.TryRead("/sys/cpu1/online").errc, FaultErrc::kNoEnt);
+    EXPECT_FALSE(sysfs.Exists("/sys/cpu1/online"));
+    injector.RepairAll();
+    EXPECT_TRUE(sysfs.Exists("/sys/cpu1/online"));
+}
+
+TEST(SysfsTest, InjectedLatencyIsReportedToTheCaller)
+{
+    Sysfs sysfs;
+    sysfs.Register("/sys/slow", SysfsFile{[] { return ""; },
+                                          [](const std::string&) { return true; }});
+    FaultInjector injector(5);
+    FaultRule rule;
+    rule.path_prefix = "/sys/slow";
+    rule.latency_spike_probability = 1.0;
+    rule.latency_spike = SimTime::Millis(30);
+    rule.max_triggers = 1;
+    injector.AddRule(rule);
+    sysfs.SetFaultInjector(&injector);
+
+    EXPECT_EQ(sysfs.TryWrite("/sys/slow", "x"), FaultErrc::kOk);
+    EXPECT_EQ(sysfs.last_injected_latency(), SimTime::Millis(30));
+    EXPECT_EQ(sysfs.TryWrite("/sys/slow", "x"), FaultErrc::kOk);
+    EXPECT_EQ(sysfs.last_injected_latency(), SimTime::Zero());
+}
+
+TEST(SysfsTest, LegacyShimsSurfaceInjectedFaultsAsFatal)
+{
+    Sysfs sysfs;
+    sysfs.Register("/sys/knob", SysfsFile{[] { return "v"; },
+                                          [](const std::string&) { return true; }});
+    FaultInjector injector(5);
+    FaultRule rule;
+    rule.path_prefix = "/sys/knob";
+    rule.fail_probability = 1.0;
+    rule.errc = FaultErrc::kIo;
+    injector.AddRule(rule);
+    sysfs.SetFaultInjector(&injector);
+
+    EXPECT_THROW(sysfs.Read("/sys/knob"), FatalError);
+    EXPECT_THROW(sysfs.Write("/sys/knob", "x"), FatalError);
+}
+
 TEST(SysfsDeathTest, DuplicateRegistrationPanics)
 {
     Sysfs sysfs;
     sysfs.Register("/sys/dup", SysfsFile{[] { return ""; }, nullptr});
+    // The panic names the conflicting path so the colliding component is
+    // identifiable from the message alone.
     EXPECT_DEATH(sysfs.Register("/sys/dup", SysfsFile{[] { return ""; }, nullptr}),
-                 "registered twice");
+                 "'/sys/dup' registered twice");
 }
 
 TEST(SysfsDeathTest, RelativePathPanics)
