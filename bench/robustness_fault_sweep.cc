@@ -41,11 +41,12 @@ TransientFaults(double rate)
 {
     std::vector<FaultRule> rules;
 
-    FaultRule actuation;  // EBUSY + latency spikes on the cpufreq tree
+    FaultRule actuation;  // EBUSY + latency spikes + lying writes (cpufreq)
     actuation.path_prefix = kCpufreqSysfsRoot;
     actuation.fail_probability = rate;
     actuation.errc = FaultErrc::kBusy;
     actuation.latency_spike_probability = rate;
+    actuation.silent_clamp_probability = rate;
     rules.push_back(actuation);
     actuation.path_prefix = kDevfreqSysfsRoot;
     rules.push_back(actuation);
@@ -74,6 +75,8 @@ struct SweepRow {
     double degraded_frac = 0.0;   // cycles run in degraded mode
     uint64_t retries = 0;
     uint64_t failed_ops = 0;
+    uint64_t silent_clamps = 0;
+    uint64_t readback_failures = 0;
     uint64_t dropped_pmu = 0;
     uint64_t stale_pmu = 0;
     uint64_t dropped_meter = 0;
@@ -112,6 +115,8 @@ RunAtRate(const ProfileTable& table, double target_gips, double rate)
             : 0.0;
     row.retries = controller.scheduler().stats().retries;
     row.failed_ops = controller.scheduler().stats().failed_ops;
+    row.silent_clamps = controller.scheduler().stats().silent_clamps;
+    row.readback_failures = controller.scheduler().stats().readback_failures;
     row.dropped_pmu = device.perf().dropped_sample_count();
     row.stale_pmu = device.perf().stale_sample_count();
     row.dropped_meter = device.monitor().dropped_sample_count();
@@ -191,12 +196,16 @@ main(int argc, char** argv)
         fast ? std::vector<double>{0.0, 0.05, 0.25}
              : std::vector<double>{0.0, 0.01, 0.02, 0.05, 0.10, 0.25, 0.50};
 
+    // "Failed/Lied": writes the kernel *rejected* vs writes it *accepted but
+    // did not apply* (silent clamps caught by read-back) — distinct failure
+    // modes with distinct controller responses (retry/watchdog vs masking).
     TextTable text({"Fault rate", "Energy (J)", "vs fault-free", "Violation",
-                    "Degraded", "Retries", "Failed ops", "PMU drop/stale",
+                    "Degraded", "Retries", "Failed/Lied", "PMU drop/stale",
                     "Meter drop", "Fallback"});
     CsvWriter csv({"fault_rate", "energy_j", "energy_vs_fault_free_pct",
                    "avg_gips", "violation_pct", "degraded_cycle_frac",
-                   "retries", "failed_ops", "dropped_pmu", "stale_pmu",
+                   "retries", "failed_ops", "silent_clamps",
+                   "readback_failures", "dropped_pmu", "stale_pmu",
                    "dropped_meter", "fault_events", "fallback_engaged"});
 
     double fault_free_energy = 0.0;
@@ -221,7 +230,9 @@ main(int argc, char** argv)
                      StrFormat("%.2f%%", row.violation_pct),
                      StrFormat("%.0f%%", row.degraded_frac * 100.0),
                      StrFormat("%llu", static_cast<unsigned long long>(row.retries)),
-                     StrFormat("%llu", static_cast<unsigned long long>(row.failed_ops)),
+                     StrFormat("%llu/%llu",
+                               static_cast<unsigned long long>(row.failed_ops),
+                               static_cast<unsigned long long>(row.silent_clamps)),
                      StrFormat("%llu/%llu",
                                static_cast<unsigned long long>(row.dropped_pmu),
                                static_cast<unsigned long long>(row.stale_pmu)),
@@ -234,6 +245,8 @@ main(int argc, char** argv)
                     StrFormat("%.6g", row.degraded_frac),
                     StrFormat("%llu", static_cast<unsigned long long>(row.retries)),
                     StrFormat("%llu", static_cast<unsigned long long>(row.failed_ops)),
+                    StrFormat("%llu", static_cast<unsigned long long>(row.silent_clamps)),
+                    StrFormat("%llu", static_cast<unsigned long long>(row.readback_failures)),
                     StrFormat("%llu", static_cast<unsigned long long>(row.dropped_pmu)),
                     StrFormat("%llu", static_cast<unsigned long long>(row.stale_pmu)),
                     StrFormat("%llu", static_cast<unsigned long long>(row.dropped_meter)),
@@ -250,11 +263,22 @@ main(int argc, char** argv)
     if (violation_at_5pct >= 0.0) {
         // The acceptance bar: violation at a 5 % fault rate within 2× the
         // fault-free violation (with a 1 % absolute floor, since the
-        // fault-free controller regulates to well under a percent).
-        const double bound = std::max(2.0 * fault_free_violation, 1.0);
+        // fault-free controller regulates to well under a percent), plus
+        // the physically-unavoidable loss from lying writes: a dwell whose
+        // write was silently clamped really ran at clamp_factor × the
+        // requested frequency, and a rate regulator cannot retroactively
+        // mint the instructions that dwell never executed. Worst case that
+        // loss is rate × (1 − factor) of delivered performance.
+        const FaultRule reference = TransientFaults(0.05).front();
+        const double physical_loss_pct = 0.05 *
+            (1.0 - reference.silent_clamp_factor) * 100.0;
+        const double bound =
+            std::max(2.0 * fault_free_violation, 1.0) + physical_loss_pct;
         std::printf("Acceptance: violation at 5%% faults = %.2f%% "
-                    "(fault-free %.2f%%, bound %.2f%%) — %s\n\n",
-                    violation_at_5pct, fault_free_violation, bound,
+                    "(fault-free %.2f%%, clamp-loss allowance %.2f%%, "
+                    "bound %.2f%%) — %s\n\n",
+                    violation_at_5pct, fault_free_violation,
+                    physical_loss_pct, bound,
                     violation_at_5pct <= bound ? "PASS" : "FAIL");
     }
 

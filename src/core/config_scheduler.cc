@@ -53,7 +53,8 @@ ConfigScheduler::WriteWithRetry(const std::string& path, const std::string& valu
 
 bool
 ConfigScheduler::WriteWithFallback(const std::string& path,
-                                   const std::vector<std::string>& candidates)
+                                   const std::vector<std::string>& candidates,
+                                   size_t* accepted_index)
 {
     AEO_ASSERT(!candidates.empty(), "no candidate values for '%s'", path.c_str());
     for (size_t i = 0; i < candidates.size(); ++i) {
@@ -66,6 +67,9 @@ ConfigScheduler::WriteWithFallback(const std::string& path,
                      path.c_str(), candidates[0].c_str(), candidates[i].c_str());
             }
             ++stats_.writes;
+            if (accepted_index != nullptr) {
+                *accepted_index = i;
+            }
             NoteOpOutcome(true);
             return true;
         }
@@ -101,6 +105,38 @@ ConfigScheduler::consecutive_failed_applies() const
     return failed_cycles_in_a_row_ + (cycle_open_ && cycle_has_failure_ ? 1 : 0);
 }
 
+void
+ConfigScheduler::ResetFailureTracking()
+{
+    failed_cycles_in_a_row_ = 0;
+    cycle_has_failure_ = false;
+    cycle_open_ = false;
+}
+
+void
+ConfigScheduler::VerifyDelivery(const std::string& readback_path,
+                                const std::function<int(long long)>& to_level,
+                                ActuationDelivery* delivery)
+{
+    if (!readback_ || !delivery->write_ok) {
+        return;
+    }
+    const SysfsReadResult result = device_->sysfs().TryRead(readback_path);
+    long long raw = 0;
+    if (!result.ok() || !ParseInt64(Trim(result.value), &raw)) {
+        // The write stands but cannot be checked; stay conservative and
+        // report it unverified rather than guessing either way.
+        ++stats_.readback_failures;
+        return;
+    }
+    delivery->verified = true;
+    delivery->delivered_level = to_level(raw);
+    ++stats_.verified_writes;
+    if (delivery->delivered_level != delivery->requested_level) {
+        ++stats_.silent_clamps;
+    }
+}
+
 namespace {
 
 /** Level indices of @p size, ordered by distance of value(i) from
@@ -123,21 +159,38 @@ LevelsByDistance(int size, int target, ValueAt value_at)
 bool
 ConfigScheduler::ApplyConfigNow(const SystemConfig& config)
 {
-    bool all_ok = true;
+    DwellDelivery delivery;
+    delivery.requested_config = config;
 
-    const FrequencyTable& cpu_table = device_->cluster().table();
-    const auto cpu_khz = [&cpu_table](int level) {
-        return static_cast<double>(
-            std::llround(cpu_table.FrequencyAt(level).megahertz() * 1000.0));
-    };
-    std::vector<std::string> cpu_candidates;
-    for (const int level :
-         LevelsByDistance(cpu_table.size(), config.cpu_level, cpu_khz)) {
-        cpu_candidates.push_back(
-            StrFormat("%lld", static_cast<long long>(cpu_khz(level))));
+    {
+        const FrequencyTable& cpu_table = device_->cluster().table();
+        const auto cpu_khz = [&cpu_table](int level) {
+            return static_cast<double>(
+                std::llround(cpu_table.FrequencyAt(level).megahertz() * 1000.0));
+        };
+        const std::vector<int> levels =
+            LevelsByDistance(cpu_table.size(), config.cpu_level, cpu_khz);
+        std::vector<std::string> candidates;
+        for (const int level : levels) {
+            candidates.push_back(
+                StrFormat("%lld", static_cast<long long>(cpu_khz(level))));
+        }
+        delivery.cpu.attempted = true;
+        size_t accepted = 0;
+        delivery.cpu.write_ok = WriteWithFallback(
+            std::string(kCpufreqSysfsRoot) + "/scaling_setspeed", candidates,
+            &accepted);
+        // Verify against the level whose value was *accepted* — an EINVAL
+        // fallback is not a clamp, the substituted value was the request.
+        delivery.cpu.requested_level =
+            delivery.cpu.write_ok ? levels[accepted] : config.cpu_level;
+        VerifyDelivery(std::string(kCpufreqSysfsRoot) + "/scaling_cur_freq",
+                       [&cpu_table](long long khz) {
+                           return cpu_table.ClosestLevel(
+                               Gigahertz(static_cast<double>(khz) / 1e6));
+                       },
+                       &delivery.cpu);
     }
-    all_ok &= WriteWithFallback(
-        std::string(kCpufreqSysfsRoot) + "/scaling_setspeed", cpu_candidates);
 
     if (config.controls_bandwidth()) {
         const BandwidthTable& bw_table = device_->bus().table();
@@ -145,14 +198,26 @@ ConfigScheduler::ApplyConfigNow(const SystemConfig& config)
             return static_cast<double>(
                 std::llround(bw_table.BandwidthAt(level).value()));
         };
-        std::vector<std::string> bw_candidates;
-        for (const int level :
-             LevelsByDistance(bw_table.size(), config.bw_level, bw_mbps)) {
-            bw_candidates.push_back(
+        const std::vector<int> levels =
+            LevelsByDistance(bw_table.size(), config.bw_level, bw_mbps);
+        std::vector<std::string> candidates;
+        for (const int level : levels) {
+            candidates.push_back(
                 StrFormat("%lld", static_cast<long long>(bw_mbps(level))));
         }
-        all_ok &= WriteWithFallback(
-            std::string(kDevfreqSysfsRoot) + "/userspace/set_freq", bw_candidates);
+        delivery.bw.attempted = true;
+        size_t accepted = 0;
+        delivery.bw.write_ok = WriteWithFallback(
+            std::string(kDevfreqSysfsRoot) + "/userspace/set_freq", candidates,
+            &accepted);
+        delivery.bw.requested_level =
+            delivery.bw.write_ok ? levels[accepted] : config.bw_level;
+        VerifyDelivery(std::string(kDevfreqSysfsRoot) + "/cur_freq",
+                       [&bw_table](long long mbps) {
+                           return bw_table.ClosestLevel(
+                               MegabytesPerSecond(static_cast<double>(mbps)));
+                       },
+                       &delivery.bw);
     }
 
     if (config.controls_gpu()) {
@@ -160,17 +225,34 @@ ConfigScheduler::ApplyConfigNow(const SystemConfig& config)
         const auto gpu_mhz = [&gpu](int level) {
             return static_cast<double>(std::llround(gpu.MhzAt(level)));
         };
-        std::vector<std::string> gpu_candidates;
-        for (const int level :
-             LevelsByDistance(gpu.size(), config.gpu_level, gpu_mhz)) {
-            gpu_candidates.push_back(
+        const std::vector<int> levels =
+            LevelsByDistance(gpu.size(), config.gpu_level, gpu_mhz);
+        std::vector<std::string> candidates;
+        for (const int level : levels) {
+            candidates.push_back(
                 StrFormat("%lld", static_cast<long long>(gpu_mhz(level))));
         }
-        all_ok &= WriteWithFallback(
-            std::string(kGpuSysfsRoot) + "/userspace/set_freq", gpu_candidates);
+        delivery.gpu.attempted = true;
+        size_t accepted = 0;
+        delivery.gpu.write_ok = WriteWithFallback(
+            std::string(kGpuSysfsRoot) + "/userspace/set_freq", candidates,
+            &accepted);
+        delivery.gpu.requested_level =
+            delivery.gpu.write_ok ? levels[accepted] : config.gpu_level;
+        VerifyDelivery(std::string(kGpuSysfsRoot) + "/cur_freq",
+                       [&gpu](long long mhz) {
+                           return gpu.ClosestLevel(static_cast<double>(mhz));
+                       },
+                       &delivery.gpu);
     }
 
-    return all_ok;
+    cycle_deliveries_.push_back(delivery);
+
+    const auto subsystem_ok = [](const ActuationDelivery& d) {
+        return !d.attempted || d.write_ok;
+    };
+    return subsystem_ok(delivery.cpu) && subsystem_ok(delivery.bw) &&
+           subsystem_ok(delivery.gpu);
 }
 
 void
@@ -196,6 +278,7 @@ ConfigScheduler::Apply(const ConfigSchedule& schedule, const ProfileTable& table
     }
     cycle_open_ = true;
     cycle_has_failure_ = false;
+    cycle_deliveries_.clear();
 
     // Quantize each dwell to the min-dwell grid. With at most two slots,
     // rounding the first and giving the remainder to the second preserves
@@ -228,11 +311,16 @@ ConfigScheduler::Apply(const ConfigSchedule& schedule, const ProfileTable& table
     SimTime offset = SimTime::Zero();
     for (size_t i = 0; i < quantized.size(); ++i) {
         const SystemConfig config = table.entries()[quantized[i].entry_index].config;
+        const double seconds = quantized[i].seconds;
         if (i == 0) {
             ApplyConfigNow(config);
+            cycle_deliveries_.back().seconds = seconds;
         } else {
-            pending_.push_back(device_->sim().ScheduleAfter(
-                offset, [this, config] { ApplyConfigNow(config); }));
+            pending_.push_back(
+                device_->sim().ScheduleAfter(offset, [this, config, seconds] {
+                    ApplyConfigNow(config);
+                    cycle_deliveries_.back().seconds = seconds;
+                }));
         }
         offset += SimTime::FromSecondsF(quantized[i].seconds);
     }

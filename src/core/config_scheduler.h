@@ -15,12 +15,17 @@
  *    frequency, walking outward through the OPP table;
  *  - every exhausted operation is counted, and consecutive fully-failed
  *    Apply() cycles are tracked so the controller's watchdog can revert to
- *    the stock governors after K strikes.
+ *    the stock governors after K strikes;
+ *  - every accepted write is *verified by read-back*: the subsystem's
+ *    cur_freq is re-read and compared against the request, so a write that
+ *    succeeds but silently delivers a lower operating point (msm_thermal's
+ *    clamp, an injected silent-clamp fault) is detected rather than trusted.
  */
 #ifndef AEO_CORE_CONFIG_SCHEDULER_H_
 #define AEO_CORE_CONFIG_SCHEDULER_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -52,8 +57,54 @@ struct ActuationStats {
     uint64_t retries = 0;
     /** EINVAL fallbacks to a neighbouring accepted frequency. */
     uint64_t inval_fallbacks = 0;
-    /** Writes that exhausted their retry budget and gave up. */
+    /**
+     * Writes that exhausted their retry budget and gave up — the write
+     * itself *failed* (the kernel returned an error). Distinct from
+     * silent_clamps below, where the write succeeded but lied.
+     */
     uint64_t failed_ops = 0;
+    /** Writes whose read-back verification completed. */
+    uint64_t verified_writes = 0;
+    /**
+     * Writes that were *accepted but not applied*: the write reported
+     * success yet read-back showed a different operating point (thermal
+     * throttling, an injected silent clamp). Invisible without read-back.
+     */
+    uint64_t silent_clamps = 0;
+    /** Read-backs that themselves failed, leaving the write unverified. */
+    uint64_t readback_failures = 0;
+};
+
+/** Requested-vs-delivered outcome of one subsystem write. */
+struct ActuationDelivery {
+    /** Whether this subsystem was actuated at all in the dwell. */
+    bool attempted = false;
+    /** Whether the write (after retries/fallback) reported success. */
+    bool write_ok = false;
+    /** Whether read-back verification completed. */
+    bool verified = false;
+    /** Level the scheduler asked for (after any EINVAL fallback). */
+    int requested_level = -1;
+    /** Level read back from the device; -1 when unverified. */
+    int delivered_level = -1;
+
+    /** True when the device silently delivered less than requested. */
+    bool
+    clamped() const
+    {
+        return verified && delivered_level < requested_level;
+    }
+};
+
+/** Per-dwell delivery record across the actuated subsystems. */
+struct DwellDelivery {
+    /** The configuration the slot asked for. */
+    SystemConfig requested_config;
+    /** Planned dwell duration, seconds (0 for out-of-cycle applies). */
+    double seconds = 0.0;
+    ActuationDelivery cpu;
+    ActuationDelivery bw;
+    ActuationDelivery gpu;
 };
 
 /** Applies configuration schedules to the device. */
@@ -98,6 +149,31 @@ class ConfigScheduler {
     const ActuationStats& stats() const { return stats_; }
 
     /**
+     * Enables/disables post-write read-back verification (on by default).
+     * Verification re-reads the subsystem's cur_freq after every accepted
+     * write and records requested-vs-delivered levels, exposing silent
+     * clamps that a write-only actuator cannot see.
+     */
+    void SetReadbackVerification(bool on) { readback_ = on; }
+
+    /**
+     * Delivery records accumulated since the last Apply() opened a cycle
+     * (slot writes land here as their events fire). The controller drains
+     * them at the next cycle boundary to learn what the device actually ran.
+     */
+    const std::vector<DwellDelivery>& cycle_deliveries() const
+    {
+        return cycle_deliveries_;
+    }
+
+    /**
+     * Clears the consecutive-failure accounting (used when the watchdog
+     * re-engages control after a fallback period: old strikes must not
+     * count against the fresh start).
+     */
+    void ResetFailureTracking();
+
+    /**
      * Number of Apply() cycles in a row — including the current one — whose
      * actuation failed (at least one write exhausted its retries). The
      * controller's watchdog reverts to the stock governors when this
@@ -110,9 +186,17 @@ class ConfigScheduler {
     FaultErrc WriteWithRetry(const std::string& path, const std::string& value);
 
     /** One subsystem write with EINVAL fallback over candidate values,
-     * ordered preferred-first. */
+     * ordered preferred-first. @p accepted_index receives the index of the
+     * candidate that succeeded (untouched on failure). */
     bool WriteWithFallback(const std::string& path,
-                           const std::vector<std::string>& candidates);
+                           const std::vector<std::string>& candidates,
+                           size_t* accepted_index = nullptr);
+
+    /** Re-reads @p readback_path and fills in the verification half of
+     * @p delivery; @p to_level maps the raw read value to a table level. */
+    void VerifyDelivery(const std::string& readback_path,
+                        const std::function<int(long long)>& to_level,
+                        ActuationDelivery* delivery);
 
     void NoteOpOutcome(bool ok);
 
@@ -121,6 +205,8 @@ class ConfigScheduler {
     ActuationRetryPolicy retry_;
     ActuationStats stats_;
     std::vector<EventId> pending_;
+    std::vector<DwellDelivery> cycle_deliveries_;
+    bool readback_ = true;
     /** Completed Apply() cycles that failed, consecutively. */
     int failed_cycles_in_a_row_ = 0;
     /** Whether any op has failed in the current cycle. */

@@ -1,8 +1,11 @@
 #include "core/online_controller.h"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/logging.h"
+#include "common/strings.h"
 
 namespace aeo {
 
@@ -57,20 +60,31 @@ OnlineController::OnlineController(Device* device, ProfileTable table,
       optimizer_(&table_, config.backend),
       regulator_(MakeRegulatorConfig(table_, config)),
       scheduler_(device, config.min_dwell, config.retry),
+      drift_(table_.size(), config.drift),
       cycle_task_(&device->sim(), [this] { RunCycle(); }),
+      probe_task_(&device->sim(), [this] { ProbeRecovery(); }),
       controls_bandwidth_(table_.entries().front().config.controls_bandwidth()),
-      controls_gpu_(table_.entries().front().config.controls_gpu())
+      controls_gpu_(table_.entries().front().config.controls_gpu()),
+      active_table_(&table_),
+      active_optimizer_(&optimizer_)
 {
     AEO_ASSERT(device_ != nullptr, "controller needs a device");
     AEO_ASSERT(config_.target_gips > 0.0, "controller needs a performance target");
     AEO_ASSERT(config_.watchdog_threshold > 0, "watchdog threshold must be positive");
     AEO_ASSERT(config_.plausibility_factor > 0.0, "plausibility factor must be positive");
-    for (const ProfileEntry& entry : table_.entries()) {
+    AEO_ASSERT(config_.cap_recheck_cycles > 0, "cap recheck must be positive");
+    AEO_ASSERT(config_.cap_confirm_cycles > 0, "cap confirm must be positive");
+    AEO_ASSERT(config_.reengage_probe_cycles > 0 && config_.reengage_successes > 0,
+               "re-engagement tuning must be positive");
+    for (size_t i = 0; i < table_.entries().size(); ++i) {
+        const ProfileEntry& entry = table_.entries()[i];
         AEO_ASSERT(entry.config.controls_bandwidth() == controls_bandwidth_,
                    "profile table mixes coordinated and CPU-only rows");
         AEO_ASSERT(entry.config.controls_gpu() == controls_gpu_,
                    "profile table mixes GPU-controlled and default-GPU rows");
+        config_index_.emplace(entry.config, i);
     }
+    scheduler_.SetReadbackVerification(config_.readback_verification);
 }
 
 void
@@ -110,12 +124,15 @@ OnlineController::Start()
     device_->perf().Start();
     device_->Sync();
 
-    // Apply the initial schedule from the profiled base speed.
+    // Apply the initial schedule from the profiled base speed (over the
+    // working table, which still excludes any caps learned before a
+    // watchdog round-trip).
     const double s0 = regulator_.applied_speedup();
     const ConfigSchedule initial =
-        optimizer_.Optimize(s0, config_.control_cycle.seconds());
-    scheduler_.Apply(initial, table_);
+        active_optimizer_->Optimize(s0, config_.control_cycle.seconds());
+    scheduler_.Apply(initial, *active_table_);
     last_schedule_ = initial;
+    last_schedule_version_ = table_version_;
     has_last_schedule_ = true;
 
     if (scheduler_.consecutive_failed_applies() >= config_.watchdog_threshold) {
@@ -128,6 +145,13 @@ OnlineController::Start()
 
 void
 OnlineController::Stop()
+{
+    probe_task_.Stop();
+    StopControl();
+}
+
+void
+OnlineController::StopControl()
 {
     cycle_task_.Stop();
     device_->perf().Stop();
@@ -161,7 +185,246 @@ OnlineController::EngageFallback()
                    "cpubw_hwmon");
     TrySetGovernor(sysfs, std::string(kGpuSysfsRoot) + "/governor",
                    "msm-adreno-tz");
-    Stop();
+    StopControl();
+    if (config_.reengage) {
+        // Keep probing the actuation path; once it stays healthy long
+        // enough the controller takes the device back.
+        probe_successes_ = 0;
+        probe_task_.Start(config_.control_cycle *
+                          config_.reengage_probe_cycles);
+    }
+}
+
+void
+OnlineController::ProbeRecovery()
+{
+    // Poke the one node control cannot live without. Under a stock governor
+    // scaling_setspeed rejects the value with EINVAL — that still proves the
+    // path is alive; transport-level errors (EIO/EBUSY/ENOENT) prove it is
+    // not. "0" is harmless even if a userspace governor were active: no
+    // table has a 0 kHz level to switch to.
+    const FaultErrc errc = device_->sysfs().TryWrite(
+        std::string(kCpufreqSysfsRoot) + "/scaling_setspeed", "0");
+    const bool healthy = errc == FaultErrc::kOk || errc == FaultErrc::kInval;
+    if (!healthy) {
+        probe_successes_ = 0;
+        return;
+    }
+    if (++probe_successes_ >= config_.reengage_successes) {
+        probe_task_.Stop();
+        Reengage();
+    }
+}
+
+void
+OnlineController::Reengage()
+{
+    ++reengage_count_;
+    Warn("watchdog: actuation path healthy for %d probes; re-engaging control",
+         probe_successes_);
+    probe_successes_ = 0;
+    scheduler_.ResetFailureTracking();
+    fallback_engaged_ = false;
+    Start();
+}
+
+int
+OnlineController::ReadPolicyCapLevel() const
+{
+    const SysfsReadResult result = device_->sysfs().TryRead(
+        std::string(kCpufreqSysfsRoot) + "/scaling_max_freq");
+    long long khz = 0;
+    if (!result.ok() || !ParseInt64(Trim(result.value), &khz) || khz <= 0) {
+        // Unreadable is not evidence of a clamp; assume uncapped.
+        return kNoCap;
+    }
+    return device_->cluster().table().ClosestLevel(
+        Gigahertz(static_cast<double>(khz) / 1e6));
+}
+
+double
+OnlineController::ReadZoneTempC() const
+{
+    // Absent on thermally unmodelled devices; TryRead returns ENOENT for an
+    // unregistered path before consulting any fault injector.
+    const SysfsReadResult result =
+        device_->sysfs().TryRead("/sys/class/thermal/thermal_zone0/temp");
+    long long millideg = 0;
+    if (!result.ok() || !ParseInt64(Trim(result.value), &millideg)) {
+        return kLeakageReferenceC;
+    }
+    return static_cast<double>(millideg) / 1000.0;
+}
+
+void
+OnlineController::ConsumeDeliveries(double measured_gips,
+                                    double measured_power_mw,
+                                    bool measurement_plausible)
+{
+    // Copy: Apply() later this cycle clears the scheduler's records.
+    const std::vector<DwellDelivery> deliveries = scheduler_.cycle_deliveries();
+
+    // --- Clamp learning from read-back mismatches -------------------------
+    if (config_.readback_verification) {
+        bool saw_mismatch = false;
+        int cycle_cpu_cap = kNoCap;
+        int cycle_bw_cap = kNoCap;
+        for (const DwellDelivery& dwell : deliveries) {
+            if (dwell.cpu.clamped()) {
+                cycle_cpu_cap =
+                    std::min(cycle_cpu_cap, dwell.cpu.delivered_level);
+                saw_mismatch = true;
+            }
+            if (dwell.bw.attempted && dwell.bw.clamped()) {
+                cycle_bw_cap =
+                    std::min(cycle_bw_cap, dwell.bw.delivered_level);
+                saw_mismatch = true;
+            }
+        }
+        if (saw_mismatch) {
+            // Debounce: a persistent clamp re-confirms every cycle and is
+            // trusted after cap_confirm_cycles; an isolated lying write is
+            // transient noise and must not mask the feasible set.
+            mismatch_streak_ = std::min(mismatch_streak_ + 1,
+                                        config_.cap_confirm_cycles);
+            if (mismatch_streak_ >= config_.cap_confirm_cycles ||
+                mismatch_cpu_cap_ != kNoCap || mismatch_bw_cap_ != kNoCap) {
+                mismatch_cpu_cap_ = std::min(mismatch_cpu_cap_, cycle_cpu_cap);
+                mismatch_bw_cap_ = std::min(mismatch_bw_cap_, cycle_bw_cap);
+            }
+            mismatch_cap_age_ = 0;
+        } else {
+            mismatch_streak_ = 0;
+            if (mismatch_cpu_cap_ != kNoCap || mismatch_bw_cap_ != kNoCap) {
+                // No re-confirmation: let a stale clamp expire so the
+                // controller re-probes the full table once the device has
+                // recovered.
+                if (++mismatch_cap_age_ >= config_.cap_recheck_cycles) {
+                    mismatch_cpu_cap_ = kNoCap;
+                    mismatch_bw_cap_ = kNoCap;
+                    mismatch_cap_age_ = 0;
+                }
+            }
+        }
+    }
+
+    // --- Drift observation ------------------------------------------------
+    if (!config_.drift.enabled || !measurement_plausible ||
+        measured_power_mw <= 0.0) {
+        return;
+    }
+    double total_seconds = 0.0;
+    for (const DwellDelivery& dwell : deliveries) {
+        total_seconds += dwell.seconds;
+    }
+    if (total_seconds <= 0.0) {
+        return;
+    }
+
+    // Attribute the cycle to the configurations the device actually ran
+    // (delivered levels where verified, requested otherwise) and predict
+    // what the *original* table says that mixture should have produced.
+    struct Visit {
+        size_t entry_index;
+        double weight;
+    };
+    std::vector<Visit> visits;
+    double covered = 0.0;
+    double predicted_power_mw = 0.0;
+    double predicted_speedup = 0.0;
+    for (const DwellDelivery& dwell : deliveries) {
+        SystemConfig effective = dwell.requested_config;
+        if (dwell.cpu.verified) {
+            effective.cpu_level = dwell.cpu.delivered_level;
+        }
+        if (dwell.bw.attempted && dwell.bw.verified) {
+            effective.bw_level = dwell.bw.delivered_level;
+        }
+        if (dwell.gpu.attempted && dwell.gpu.verified) {
+            effective.gpu_level = dwell.gpu.delivered_level;
+        }
+        const auto it = config_index_.find(effective);
+        if (it == config_index_.end()) {
+            continue;  // Delivered an unprofiled point; nothing to compare.
+        }
+        const double weight = dwell.seconds / total_seconds;
+        const ProfileEntry& entry = table_.entries()[it->second];
+        predicted_power_mw += weight * entry.power_mw;
+        predicted_speedup += weight * entry.speedup;
+        covered += weight;
+        visits.push_back(Visit{it->second, weight});
+    }
+    // Only attribute when the visited rows explain (essentially) the whole
+    // cycle — a partially unprofiled cycle would smear foreign residuals
+    // onto the rows that were matched.
+    if (covered < 0.999 || predicted_power_mw <= 0.0 ||
+        predicted_speedup <= 0.0) {
+        return;
+    }
+    const double base = regulator_.base_speed_estimate();
+    if (base <= 0.0) {
+        return;
+    }
+    const double measured_speedup = measured_gips / base;
+    const double power_residual = measured_power_mw / predicted_power_mw;
+    const double speedup_residual = measured_speedup / predicted_speedup;
+    const double now_s = device_->sim().Now().seconds();
+    for (const Visit& visit : visits) {
+        drift_.Observe(now_s, visit.entry_index, visit.weight, power_residual,
+                       speedup_residual);
+    }
+}
+
+bool
+OnlineController::RefreshWorkingTable(int cpu_cap, int bw_cap)
+{
+    std::vector<ProfileEntry> rows;
+    rows.reserve(table_.size());
+    bool changed = false;
+    for (size_t i = 0; i < table_.entries().size(); ++i) {
+        const ProfileEntry& entry = table_.entries()[i];
+        const bool reachable =
+            entry.config.cpu_level <= cpu_cap &&
+            (!entry.config.controls_bandwidth() ||
+             entry.config.bw_level <= bw_cap);
+        if (!reachable) {
+            changed = true;
+            continue;
+        }
+        ProfileEntry corrected = entry;
+        const double power_factor = drift_.PowerCorrection(i);
+        const double speedup_factor = drift_.SpeedupCorrection(i);
+        if (power_factor != 1.0 || speedup_factor != 1.0) {
+            corrected.power_mw *= power_factor;
+            corrected.speedup *= speedup_factor;
+            changed = true;
+        }
+        rows.push_back(corrected);
+    }
+
+    if (!changed) {
+        // Healthy: plan over the originals, bit-identical to a controller
+        // without this machinery.
+        if (active_table_ != &table_) {
+            ++table_version_;
+        }
+        active_table_ = &table_;
+        active_optimizer_ = &optimizer_;
+        working_table_.reset();
+        working_optimizer_.reset();
+        return true;
+    }
+    if (rows.empty()) {
+        return false;
+    }
+    working_table_ = std::make_unique<ProfileTable>(table_.app_name(), rows,
+                                                    table_.base_speed_gips());
+    working_optimizer_ = std::make_unique<EnergyOptimizer>(working_table_.get(),
+                                                           config_.backend);
+    active_table_ = working_table_.get();
+    active_optimizer_ = working_optimizer_.get();
+    ++table_version_;
+    return true;
 }
 
 void
@@ -176,6 +439,8 @@ OnlineController::RunCycle()
     // or garbage (counter glitch); either way the cycle runs degraded:
     // the Kalman estimate holds and the previous schedule is reapplied.
     const PerfWindow window = device_->perf().DrainWindow();
+    const double measured_power_mw =
+        device_->monitor().DrainWindowAveragePower().value();
     const bool plausible =
         window.samples > 0 && std::isfinite(window.avg_gips) &&
         window.avg_gips > 0.0 &&
@@ -183,27 +448,62 @@ OnlineController::RunCycle()
                                regulator_.base_speed_estimate() *
                                table_.max_speedup();
 
+    // (1b) Verify: what did the device actually run last cycle? Learn caps
+    // from read-back mismatches and feed the drift detector, then re-derive
+    // the feasible set under the kernel's advertised frequency ceiling.
+    ConsumeDeliveries(window.avg_gips, measured_power_mw, plausible);
+    const int policy_cap =
+        config_.readback_verification ? ReadPolicyCapLevel() : kNoCap;
+    const int cpu_cap = std::min(policy_cap, mismatch_cpu_cap_);
+    const int bw_cap = mismatch_bw_cap_;
+    if (!RefreshWorkingTable(cpu_cap, bw_cap)) {
+        Warn("no profiled configuration reachable under cpu cap level %d; "
+             "handing the device back to the stock governors",
+             cpu_cap);
+        EngageFallback();
+        return;
+    }
+
     double required;
     ConfigSchedule schedule;
     if (plausible) {
         // (2) Regulate: required speedup for the next cycle.
         required = regulator_.Step(window.avg_gips);
 
-        // (3) Optimize: minimum-energy dwell schedule realizing it.
-        schedule = optimizer_.Optimize(required, config_.control_cycle.seconds());
+        // (3) Optimize: minimum-energy dwell schedule realizing it over the
+        // *reachable* (masked, drift-corrected) table.
+        schedule = active_optimizer_->Optimize(required,
+                                               config_.control_cycle.seconds());
         last_schedule_ = schedule;
+        last_schedule_version_ = table_version_;
         has_last_schedule_ = true;
     } else {
         ++degraded_cycle_count_;
         required = regulator_.applied_speedup();
-        schedule = has_last_schedule_
-                       ? last_schedule_
-                       : optimizer_.Optimize(required,
-                                             config_.control_cycle.seconds());
+        if (has_last_schedule_ && last_schedule_version_ == table_version_) {
+            schedule = last_schedule_;
+        } else {
+            // The remembered schedule indexes a table that no longer exists;
+            // re-solve over the current one instead of replaying stale slots.
+            schedule = active_optimizer_->Optimize(
+                required, config_.control_cycle.seconds());
+            last_schedule_ = schedule;
+            last_schedule_version_ = table_version_;
+            has_last_schedule_ = true;
+        }
+    }
+
+    // Safe mode: even the best reachable configuration falls short of the
+    // requirement. The optimizer already clamps the schedule to the
+    // reachable ceiling, so the device dwells at its best feasible point —
+    // bounded by the thermal cap — while the envelope is recorded.
+    const bool safe_mode = required > active_table_->max_speedup() + 1e-9;
+    if (safe_mode) {
+        ++safe_mode_cycle_count_;
     }
 
     // (4) Actuate.
-    scheduler_.Apply(schedule, table_);
+    scheduler_.Apply(schedule, *active_table_);
 
     ControlCycleRecord record;
     record.time_s = device_->sim().Now().seconds();
@@ -211,10 +511,17 @@ OnlineController::RunCycle()
     record.required_speedup = required;
     record.base_speed_estimate = regulator_.base_speed_estimate();
     record.expected_power_mw = schedule.expected_power_mw;
-    record.low_config = table_.entries()[schedule.slots.front().entry_index].config;
-    record.high_config = table_.entries()[schedule.slots.back().entry_index].config;
+    record.low_config =
+        active_table_->entries()[schedule.slots.front().entry_index].config;
+    record.high_config =
+        active_table_->entries()[schedule.slots.back().entry_index].config;
     record.perf_samples = window.samples;
     record.degraded = !plausible;
+    record.temp_c = ReadZoneTempC();
+    record.cpu_cap_level =
+        cpu_cap >= device_->cluster().table().max_level() ? -1 : cpu_cap;
+    record.safe_mode = safe_mode;
+    record.measured_power_mw = measured_power_mw;
     history_.push_back(record);
 
     if (scheduler_.consecutive_failed_applies() >= config_.watchdog_threshold) {

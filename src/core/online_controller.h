@@ -20,16 +20,30 @@
  * Kalman estimate and reuses the previous schedule, and a watchdog hands
  * the device back to the stock governors after K consecutive control
  * cycles whose actuation failed.
+ *
+ * Beyond erroring writes, the loop defends against writes that *lie*:
+ * every dwell is verified by read-back, clamped-away configurations
+ * (thermal throttling, injected silent clamps) are masked out of the
+ * feasible set and the LP re-solved over the reachable subset, and when
+ * even that subset cannot meet the target the controller runs a safe-mode
+ * envelope at the best reachable operating point. A profile-drift detector
+ * compares measured (speedup, power) against the table's predictions for
+ * the configurations actually delivered and applies bounded multiplicative
+ * corrections once the residual is persistent. After a watchdog fallback,
+ * periodic probes of the actuation path re-engage control once the device
+ * has healed.
  */
 #ifndef AEO_CORE_ONLINE_CONTROLLER_H_
 #define AEO_CORE_ONLINE_CONTROLLER_H_
 
+#include <map>
 #include <memory>
 #include <vector>
 
 #include "core/config_scheduler.h"
 #include "core/energy_optimizer.h"
 #include "core/performance_regulator.h"
+#include "core/profile_drift.h"
 #include "core/profile_table.h"
 #include "device/device.h"
 #include "sim/periodic_task.h"
@@ -71,6 +85,41 @@ struct ControllerConfig {
      * above this is treated as garbage and the cycle runs degraded.
      */
     double plausibility_factor = 4.0;
+    /**
+     * Read-back verification of every actuation write (see ConfigScheduler).
+     * Clamped configurations discovered this way are masked out of the
+     * feasible set and the LP re-solved over what the device can actually
+     * reach. Off, the controller trusts writes blindly (pre-hardening
+     * behaviour).
+     */
+    bool readback_verification = true;
+    /**
+     * A clamp learned from read-back mismatches expires after this many
+     * cycles without re-confirmation, letting the controller re-probe the
+     * full table once the device has cooled. (The policy-limit cap read
+     * from scaling_max_freq refreshes every cycle and needs no expiry.)
+     */
+    int cap_recheck_cycles = 5;
+    /**
+     * A mismatch cap only engages after clamp evidence in this many
+     * consecutive control cycles. A genuine silent clamp (thermal ceiling,
+     * firmware limit) re-confirms every cycle and is trusted after one
+     * extra cycle; an isolated lying write — a transient fault — never
+     * repeats back-to-back and is ignored rather than allowed to mask the
+     * feasible set. 1 restores engage-on-first-sight.
+     */
+    int cap_confirm_cycles = 2;
+    /** Online profile-drift detection and correction. */
+    DriftConfig drift;
+    /**
+     * Watchdog re-engagement: after the fallback to stock governors, probe
+     * the actuation path every reengage_probe_cycles control cycles and
+     * resume control after reengage_successes consecutive healthy probes.
+     * Off, the fallback is terminal (pre-hardening behaviour).
+     */
+    bool reengage = true;
+    int reengage_probe_cycles = 5;
+    int reengage_successes = 3;
 };
 
 /** One per-cycle record for analysis. */
@@ -87,6 +136,16 @@ struct ControlCycleRecord {
     /** True if this cycle ran in degraded mode (held estimate, reused the
      * previous schedule) because the measurement was missing or garbage. */
     bool degraded = false;
+    /** Zone temperature at the cycle boundary, °C (reference temperature
+     * when no thermal zone is exposed). */
+    double temp_c = kLeakageReferenceC;
+    /** CPU cap the cycle planned under, as a level (-1 = uncapped). */
+    int cpu_cap_level = -1;
+    /** True when the reachable set could not meet the performance target
+     * and the controller ran inside the safe-mode envelope. */
+    bool safe_mode = false;
+    /** Average power the monitor measured over the elapsed cycle, mW. */
+    double measured_power_mw = 0.0;
 };
 
 /** The feedback controller driving one device. */
@@ -128,11 +187,28 @@ class OnlineController {
     const ConfigScheduler& scheduler() const { return scheduler_; }
 
     /** True once the watchdog has handed the device back to the stock
-     * governors; the control cycle no longer runs. */
+     * governors; the control cycle no longer runs (but recovery probing
+     * may re-engage it — see reengage_count()). */
     bool fallback_engaged() const { return fallback_engaged_; }
 
     /** Cycles that ran in degraded mode (missing/garbage measurement). */
     uint64_t degraded_cycle_count() const { return degraded_cycle_count_; }
+
+    /** Times the watchdog re-engaged control after a fallback. */
+    uint64_t reengage_count() const { return reengage_count_; }
+
+    /** Cycles spent in the safe-mode envelope (target unreachable). */
+    uint64_t safe_mode_cycle_count() const { return safe_mode_cycle_count_; }
+
+    /** The drift detector (trace and corrections, for tests and benches). */
+    const ProfileDriftDetector& drift() const { return drift_; }
+
+    /**
+     * The table the optimizer currently plans over: the offline profile
+     * with clamped-away rows masked out and drift corrections applied.
+     * Identical to table() while the device is healthy.
+     */
+    const ProfileTable& working_table() const { return *active_table_; }
 
   private:
     void RunCycle();
@@ -140,20 +216,70 @@ class OnlineController {
     /** Watchdog action: revert to the stock governors and stop actuating. */
     void EngageFallback();
 
+    /** Stops the control cycle and sampling without touching probe state. */
+    void StopControl();
+
+    /** One recovery probe of the actuation path after a fallback. */
+    void ProbeRecovery();
+
+    /** Resumes control after enough healthy probes. */
+    void Reengage();
+
+    /** Consumes the elapsed cycle's delivery records: learns caps from
+     * read-back mismatches and feeds the drift detector. */
+    void ConsumeDeliveries(double measured_gips, double measured_power_mw,
+                           bool measurement_plausible);
+
+    /** Reads the kernel's advertised frequency ceiling (scaling_max_freq). */
+    int ReadPolicyCapLevel() const;
+
+    /** Zone temperature, or the leakage reference when unexposed. */
+    double ReadZoneTempC() const;
+
+    /** Rebuilds (or retires) the masked + drift-corrected working table
+     * under the given caps. Returns false when the reachable set is empty. */
+    bool RefreshWorkingTable(int cpu_cap, int bw_cap);
+
     Device* device_;
     ProfileTable table_;
     ControllerConfig config_;
     EnergyOptimizer optimizer_;
     PerformanceRegulator regulator_;
     ConfigScheduler scheduler_;
+    ProfileDriftDetector drift_;
     PeriodicTask cycle_task_;
+    PeriodicTask probe_task_;
     std::vector<ControlCycleRecord> history_;
     bool controls_bandwidth_;
     bool controls_gpu_;
+    /** Original row index per configuration (for drift attribution). */
+    std::map<SystemConfig, size_t> config_index_;
     ConfigSchedule last_schedule_;
     bool has_last_schedule_ = false;
+    /** Bumped on every working-table change; a remembered schedule's slot
+     * indices are only valid while the version matches. */
+    uint64_t table_version_ = 0;
+    uint64_t last_schedule_version_ = 0;
     bool fallback_engaged_ = false;
     uint64_t degraded_cycle_count_ = 0;
+    uint64_t reengage_count_ = 0;
+    uint64_t safe_mode_cycle_count_ = 0;
+    int probe_successes_ = 0;
+
+    /** Caps learned from read-back mismatches (INT_MAX sentinels = none). */
+    int mismatch_cpu_cap_ = kNoCap;
+    int mismatch_bw_cap_ = kNoCap;
+    int mismatch_cap_age_ = 0;
+    /** Consecutive cycles with clamp evidence (debounce counter). */
+    int mismatch_streak_ = 0;
+
+    /** The masked/corrected table when active; the originals otherwise. */
+    std::unique_ptr<ProfileTable> working_table_;
+    std::unique_ptr<EnergyOptimizer> working_optimizer_;
+    const ProfileTable* active_table_;
+    const EnergyOptimizer* active_optimizer_;
+
+    static constexpr int kNoCap = 1 << 20;
 };
 
 }  // namespace aeo

@@ -196,6 +196,22 @@ Device::NotifyTouch()
 }
 
 void
+Device::EnableThermal(ThermalParams thermal_params, MsmThermalParams msm_params)
+{
+    AEO_ASSERT(thermal_ == nullptr, "thermal subsystem enabled twice");
+    Sync();
+    thermal_ = std::make_unique<ThermalModel>(thermal_params);
+    msm_thermal_ = std::make_unique<MsmThermal>(&sim_, cpufreq_.get(),
+                                                thermal_.get(), &sysfs_,
+                                                msm_params);
+    msm_thermal_->SetSyncHook([this] { IntegrateToNow(); });
+    msm_thermal_->Start();
+    // Temperature now feeds leakage, so rates must reflect the new inputs.
+    RecomputeRates();
+    RescheduleBoundary();
+}
+
+void
 Device::UseUserspaceGovernors()
 {
     sysfs_.Write(std::string(kCpufreqSysfsRoot) + "/scaling_governor", "userspace");
@@ -265,6 +281,8 @@ Device::CurrentPower() const
     inputs.gpu_voltage = gpu_.voltage();
     inputs.gpu_busy = gpu_busy_;
     inputs.overhead_mw = perf_->power_overhead_mw() + controller_overhead_mw_;
+    inputs.temp_c = thermal_ != nullptr ? thermal_->temperature_c()
+                                        : kLeakageReferenceC;
     return power_model_.TotalPower(inputs);
 }
 
@@ -298,7 +316,13 @@ Device::IntegrateToNow()
     AEO_ASSERT(dt >= SimTime::Zero(), "time went backwards");
     if (dt > SimTime::Zero()) {
         const Seconds seconds = dt.ToSeconds();
-        energy_meter_.Accumulate(CurrentPower(), dt);
+        // Power is evaluated once at the segment's entry temperature and
+        // held constant across it — consistent for both energy and heat.
+        const Milliwatts power = CurrentPower();
+        energy_meter_.Accumulate(power, dt);
+        if (thermal_ != nullptr) {
+            thermal_->Advance(power, dt);
+        }
         cpu_residency_.Add(static_cast<size_t>(cluster_.level()), seconds.value());
         bw_residency_.Add(static_cast<size_t>(bus_.level()), seconds.value());
         gpu_residency_.Add(static_cast<size_t>(gpu_.level()), seconds.value());

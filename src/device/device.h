@@ -36,6 +36,7 @@
 #include "kernel/gpufreq.h"
 #include "kernel/input_boost.h"
 #include "kernel/mpdecision.h"
+#include "kernel/msm_thermal.h"
 #include "kernel/loadavg.h"
 #include "kernel/meters.h"
 #include "kernel/perf_tool.h"
@@ -49,6 +50,7 @@
 #include "soc/execution_engine.h"
 #include "soc/gpu_domain.h"
 #include "soc/memory_bus.h"
+#include "soc/thermal_model.h"
 #include "stats/histogram.h"
 
 namespace aeo {
@@ -129,6 +131,18 @@ class Device {
     /** Delivers a touch event (no-op unless input boost is enabled). */
     void NotifyTouch();
 
+    /**
+     * Enables the thermal subsystem: a lumped-RC package model heated by
+     * dissipated power plus the msm_thermal driver that polls it and clamps
+     * the CPU frequency table in stages. Off by default — without it the
+     * device is thermally unconstrained and runs are bit-identical to
+     * builds predating the subsystem. Typically paired with a non-zero
+     * PowerModelParams::leak_temp_coeff_per_c so heat feeds back into
+     * leakage (and thus into profile drift).
+     */
+    void EnableThermal(ThermalParams thermal_params = {},
+                       MsmThermalParams msm_params = {});
+
     /** Pins a fixed configuration via the userspace governors. */
     void PinConfiguration(int cpu_level, int bw_level);
 
@@ -166,6 +180,12 @@ class Device {
 
     /** The fault injector, or nullptr when no fault rules were configured. */
     FaultInjector* fault_injector() { return fault_injector_.get(); }
+
+    /** The thermal model, or nullptr unless EnableThermal was called. */
+    const ThermalModel* thermal_model() const { return thermal_.get(); }
+
+    /** The msm_thermal driver, or nullptr unless EnableThermal was called. */
+    MsmThermal* msm_thermal() { return msm_thermal_.get(); }
 
     /** Free memory the current background environment leaves, MB — the
      * runtime load signature the §V-C extension keys on. */
@@ -217,6 +237,8 @@ class Device {
     std::unique_ptr<GpuFreqPolicy> gpufreq_;
     std::unique_ptr<Mpdecision> mpdecision_;
     std::unique_ptr<InputBoost> input_boost_;
+    std::unique_ptr<ThermalModel> thermal_;
+    std::unique_ptr<MsmThermal> msm_thermal_;
     std::unique_ptr<PerfTool> perf_;
     std::unique_ptr<MonsoonMonitor> monitor_;
     std::unique_ptr<FaultInjector> fault_injector_;

@@ -32,7 +32,7 @@ operator==(const FaultEvent& a, const FaultEvent& b)
 {
     return a.op_index == b.op_index && a.path == b.path &&
            a.is_write == b.is_write && a.errc == b.errc && a.stale == b.stale &&
-           a.latency_us == b.latency_us;
+           a.latency_us == b.latency_us && a.silent_clamp == b.silent_clamp;
 }
 
 FaultInjector::FaultInjector(uint64_t seed) : rng_(seed) {}
@@ -46,8 +46,13 @@ FaultInjector::AddRule(FaultRule rule)
                    rule.latency_spike_probability >= 0.0 &&
                    rule.latency_spike_probability <= 1.0 &&
                    rule.disappear_probability >= 0.0 &&
-                   rule.disappear_probability <= 1.0,
+                   rule.disappear_probability <= 1.0 &&
+                   rule.silent_clamp_probability >= 0.0 &&
+                   rule.silent_clamp_probability <= 1.0,
                "fault probabilities for '%s' out of [0, 1]",
+               rule.path_prefix.c_str());
+    AEO_ASSERT(rule.silent_clamp_factor > 0.0 && rule.silent_clamp_factor <= 1.0,
+               "silent clamp factor for '%s' out of (0, 1]",
                rule.path_prefix.c_str());
     rules_.push_back(std::move(rule));
 }
@@ -145,6 +150,14 @@ FaultInjector::Decide(const std::string& path, bool is_write)
         Record(path, is_write, decision);
         return decision;
     }
+    if (is_write && rule->silent_clamp_probability > 0.0 &&
+        rng_.Bernoulli(rule->silent_clamp_probability)) {
+        consume_trigger();
+        decision.silent_clamp = true;
+        decision.clamp_factor = rule->silent_clamp_factor;
+        Record(path, is_write, decision);
+        return decision;
+    }
     if (!is_write && rule->stale_probability > 0.0 &&
         rng_.Bernoulli(rule->stale_probability)) {
         consume_trigger();
@@ -175,6 +188,7 @@ FaultInjector::Record(const std::string& path, bool is_write,
     event.errc = decision.errc;
     event.stale = decision.stale;
     event.latency_us = decision.latency.micros();
+    event.silent_clamp = decision.silent_clamp;
     trace_.push_back(std::move(event));
 }
 

@@ -71,6 +71,16 @@ struct FaultRule {
      * ENOENT + Exists() false), as when mpdecision offlines a core.
      */
     double disappear_probability = 0.0;
+    /**
+     * Writes only: probability of a *silent clamp* — the write reports
+     * success but a lower value is applied, as when msm_thermal caps
+     * scaling_max_freq underneath a userspace-governor write. Numeric
+     * payloads are scaled by @ref silent_clamp_factor before reaching the
+     * file; only read-back can expose the substitution.
+     */
+    double silent_clamp_probability = 0.0;
+    /** Multiplier applied to the written value when a silent clamp fires. */
+    double silent_clamp_factor = 0.5;
     /** Stop firing after this many triggers; negative = unlimited. Lets
      * tests stage exact failure counts deterministically. */
     int max_triggers = -1;
@@ -83,6 +93,10 @@ struct FaultDecision {
     bool stale = false;
     /** Added completion latency (zero when no spike fired). */
     SimTime latency = SimTime::Zero();
+    /** Writes only: report success but apply a clamped-down value. */
+    bool silent_clamp = false;
+    /** Multiplier for the applied value when silently clamped. */
+    double clamp_factor = 1.0;
 
     bool ok() const { return errc == FaultErrc::kOk; }
 };
@@ -95,6 +109,7 @@ struct FaultEvent {
     FaultErrc errc = FaultErrc::kOk;
     bool stale = false;
     int64_t latency_us = 0;
+    bool silent_clamp = false;
 };
 
 bool operator==(const FaultEvent& a, const FaultEvent& b);

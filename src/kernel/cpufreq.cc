@@ -21,6 +21,7 @@ CpufreqPolicy::CpufreqPolicy(Simulator* sim, CpuCluster* cluster,
                    sysfs_ != nullptr,
                "cpufreq policy wired with null dependency");
     max_level_limit_ = cluster_->table().max_level();
+    thermal_cap_level_ = cluster_->table().max_level();
     RegisterSysfsFiles();
 }
 
@@ -77,8 +78,28 @@ CpufreqPolicy::AvailableGovernors() const
 void
 CpufreqPolicy::RequestLevel(int level)
 {
-    const int clamped = std::clamp(level, min_level_limit_, max_level_limit_);
-    cluster_->SetLevel(clamped);
+    // The thermal cap binds over the user limits — when the driver has
+    // clamped below scaling_min_freq, the cap wins (as on hardware, where
+    // msm_thermal writes policy->max underneath userspace).
+    const int ceiling = effective_max_level();
+    const int floor = std::min(min_level_limit_, ceiling);
+    cluster_->SetLevel(std::clamp(level, floor, ceiling));
+}
+
+int
+CpufreqPolicy::effective_max_level() const
+{
+    return std::min(max_level_limit_, thermal_cap_level_);
+}
+
+void
+CpufreqPolicy::SetThermalCapLevel(int level)
+{
+    AEO_ASSERT(level >= 0 && level < table().size(), "bad thermal cap level %d",
+               level);
+    thermal_cap_level_ = level;
+    // Re-clamp the current operating point under the new ceiling.
+    RequestLevel(cluster_->level());
 }
 
 void
@@ -158,7 +179,9 @@ CpufreqPolicy::RegisterSysfsFiles()
 
     sysfs_->Register(
         sysfs_root_ + "/scaling_max_freq",
-        SysfsFile{[this, khz_of] { return khz_of(table().FrequencyAt(max_level_limit_)); },
+        // Reads report the *effective* limit — msm_thermal's clamp shows
+        // through here, which is how a watchful userspace can detect it.
+        SysfsFile{[this, khz_of] { return khz_of(table().FrequencyAt(effective_max_level())); },
                   [this, parse_khz](const std::string& value) {
                       Gigahertz freq;
                       if (!parse_khz(value, &freq)) {

@@ -129,6 +129,21 @@ class CpufreqPolicy {
     /** Sets the scaling limits (inclusive level range). */
     void SetLevelLimits(int min_level, int max_level);
 
+    /**
+     * Thermal ceiling imposed by the msm_thermal driver, as a level. Unlike
+     * the user limits it is owned by the kernel: userspace cannot raise it,
+     * requests above it are clamped *silently* (the write still succeeds),
+     * and scaling_max_freq reads report the effective — thermally capped —
+     * limit, exactly how msm_thermal mutates policy->max on hardware.
+     */
+    void SetThermalCapLevel(int level);
+
+    /** Current thermal ceiling (table max when unthrottled). */
+    int thermal_cap_level() const { return thermal_cap_level_; }
+
+    /** The binding upper limit: min(user limit, thermal cap). */
+    int effective_max_level() const;
+
   private:
     void RegisterSysfsFiles();
 
@@ -142,6 +157,7 @@ class CpufreqPolicy {
     std::function<void()> sync_hook_;
     int min_level_limit_ = 0;
     int max_level_limit_ = 0;
+    int thermal_cap_level_ = 0;
 };
 
 }  // namespace aeo

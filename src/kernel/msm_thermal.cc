@@ -1,0 +1,154 @@
+#include "kernel/msm_thermal.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace aeo {
+
+MsmThermal::MsmThermal(Simulator* sim, CpufreqPolicy* policy,
+                       const ThermalModel* model, Sysfs* sysfs,
+                       MsmThermalParams params)
+    : sim_(sim),
+      policy_(policy),
+      model_(model),
+      sysfs_(sysfs),
+      params_(params),
+      poll_task_(sim, [this] { Poll(); })
+{
+    AEO_ASSERT(sim_ != nullptr && policy_ != nullptr && model_ != nullptr &&
+                   sysfs_ != nullptr,
+               "msm_thermal wired with null dependency");
+    AEO_ASSERT(params_.poll_period > SimTime::Zero(), "bad thermal poll period");
+    AEO_ASSERT(params_.levels_per_step > 0, "bad thermal step size");
+    AEO_ASSERT(params_.min_cap_level >= 0 &&
+                   params_.min_cap_level <= policy_->table().max_level(),
+               "bad thermal min cap level %d", params_.min_cap_level);
+    AEO_ASSERT(params_.hysteresis_c >= 0.0, "bad thermal hysteresis");
+    cap_level_ = policy_->table().max_level();
+    RegisterSysfsFiles();
+}
+
+MsmThermal::~MsmThermal()
+{
+    poll_task_.Stop();
+}
+
+void
+MsmThermal::Start()
+{
+    poll_task_.Start(params_.poll_period);
+}
+
+void
+MsmThermal::Stop()
+{
+    poll_task_.Stop();
+    ApplyCap(policy_->table().max_level());
+}
+
+int
+MsmThermal::stage() const
+{
+    const int shed = policy_->table().max_level() - cap_level_;
+    return (shed + params_.levels_per_step - 1) / params_.levels_per_step;
+}
+
+void
+MsmThermal::Poll()
+{
+    // The zone sensor reads the *current* die temperature, so the lazily
+    // integrated thermal model must be brought up to now first.
+    if (sync_hook_) {
+        sync_hook_();
+    }
+    if (!enabled_) {
+        if (cap_level_ != policy_->table().max_level()) {
+            ApplyCap(policy_->table().max_level());
+            ++unclamp_events_;
+        }
+        return;
+    }
+    const double temp = model_->temperature_c();
+    if (temp >= params_.trigger_temp_c) {
+        const int next = std::max(params_.min_cap_level,
+                                  cap_level_ - params_.levels_per_step);
+        if (next != cap_level_) {
+            ApplyCap(next);
+            ++clamp_events_;
+            max_stage_ = std::max(max_stage_, stage());
+        }
+    } else if (temp <= params_.trigger_temp_c - params_.hysteresis_c) {
+        const int next = std::min(policy_->table().max_level(),
+                                  cap_level_ + params_.levels_per_step);
+        if (next != cap_level_) {
+            ApplyCap(next);
+            ++unclamp_events_;
+        }
+    }
+}
+
+void
+MsmThermal::ApplyCap(int level)
+{
+    cap_level_ = level;
+    policy_->SetThermalCapLevel(level);
+}
+
+void
+MsmThermal::RegisterSysfsFiles()
+{
+    sysfs_->Register(
+        std::string(kThermalZoneSysfsRoot) + "/temp",
+        SysfsFile{[this] {
+                      if (sync_hook_) {
+                          sync_hook_();
+                      }
+                      // Zone temperature in millidegrees, as on Linux.
+                      return StrFormat("%lld",
+                                       static_cast<long long>(std::llround(
+                                           model_->temperature_c() * 1000.0)));
+                  },
+                  nullptr});
+
+    sysfs_->Register(std::string(kMsmThermalSysfsRoot) + "/enabled",
+                     SysfsFile{
+                         [this] { return std::string(enabled_ ? "Y" : "N"); },
+                         [this](const std::string& value) {
+                             const std::string v = Trim(value);
+                             if (v == "Y" || v == "y" || v == "1") {
+                                 enabled_ = true;
+                                 return true;
+                             }
+                             if (v == "N" || v == "n" || v == "0") {
+                                 enabled_ = false;
+                                 return true;
+                             }
+                             return false;
+                         },
+                     });
+
+    sysfs_->Register(std::string(kMsmThermalSysfsRoot) + "/temp_threshold",
+                     SysfsFile{
+                         [this] {
+                             return StrFormat("%lld",
+                                              static_cast<long long>(std::llround(
+                                                  params_.trigger_temp_c)));
+                         },
+                         [this](const std::string& value) {
+                             long long celsius = 0;
+                             if (!ParseInt64(Trim(value), &celsius) ||
+                                 celsius <= 0) {
+                                 return false;
+                             }
+                             params_.trigger_temp_c =
+                                 static_cast<double>(celsius);
+                             return true;
+                         },
+                     });
+}
+
+}  // namespace aeo

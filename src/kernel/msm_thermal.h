@@ -1,0 +1,119 @@
+/**
+ * @file
+ * A model of Qualcomm's msm_thermal driver, the in-kernel throttling agent
+ * the paper's Nexus 6 ships with: it polls the SoC thermal zone and, when
+ * the die runs hot, steps the CPU frequency ceiling down in stages —
+ * *silently*, underneath whatever governor userspace selected. A userspace
+ * write to scaling_setspeed keeps "succeeding" while the delivered
+ * frequency is lower; only read-back (scaling_cur_freq / scaling_max_freq)
+ * exposes the clamp. This is the silent failure mode the thermal-robustness
+ * layer closes the loop against.
+ *
+ * Exposed sysfs nodes (real paths from the MSM kernel tree):
+ *
+ *   /sys/class/thermal/thermal_zone0/temp            zone temp, m°C (RO)
+ *   /sys/module/msm_thermal/parameters/enabled       "Y"/"N" (RW)
+ *   /sys/module/msm_thermal/parameters/temp_threshold  °C (RW)
+ */
+#ifndef AEO_KERNEL_MSM_THERMAL_H_
+#define AEO_KERNEL_MSM_THERMAL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "kernel/cpufreq.h"
+#include "kernel/sysfs.h"
+#include "sim/periodic_task.h"
+#include "sim/simulator.h"
+#include "soc/thermal_model.h"
+
+namespace aeo {
+
+/** Sysfs directory of the thermal zone the driver monitors. */
+inline constexpr const char kThermalZoneSysfsRoot[] =
+    "/sys/class/thermal/thermal_zone0";
+
+/** Sysfs directory of the driver's module parameters. */
+inline constexpr const char kMsmThermalSysfsRoot[] =
+    "/sys/module/msm_thermal/parameters";
+
+/** Driver tuning (defaults follow the stock MSM configuration's shape). */
+struct MsmThermalParams {
+    /** Polling interval (the stock driver checks every 250 ms). */
+    SimTime poll_period = SimTime::Millis(250);
+    /** Zone temperature at which throttling starts, °C. */
+    double trigger_temp_c = 42.0;
+    /** Degrees below the trigger before a stage is unwound. */
+    double hysteresis_c = 3.0;
+    /** OPP levels shed (or restored) per hot (cool) poll — the stage size. */
+    int levels_per_step = 2;
+    /** Lowest level the cap may reach (the driver never stalls the SoC). */
+    int min_cap_level = 4;
+};
+
+/** Polls a thermal zone and stages the cpufreq ceiling up or down. */
+class MsmThermal {
+  public:
+    /**
+     * @param sim     Simulation executive; must outlive the driver.
+     * @param policy  The cpufreq policy whose ceiling is managed.
+     * @param model   Zone temperature source; must outlive the driver.
+     * @param sysfs   Virtual sysfs in which to expose the nodes.
+     * @param params  Driver tuning.
+     */
+    MsmThermal(Simulator* sim, CpufreqPolicy* policy, const ThermalModel* model,
+               Sysfs* sysfs, MsmThermalParams params = {});
+
+    ~MsmThermal();
+
+    MsmThermal(const MsmThermal&) = delete;
+    MsmThermal& operator=(const MsmThermal&) = delete;
+
+    /** Starts polling. */
+    void Start();
+
+    /** Stops polling and restores the unthrottled ceiling. */
+    void Stop();
+
+    /** Current frequency ceiling imposed on the policy, as a level. */
+    int cap_level() const { return cap_level_; }
+
+    /** Throttling stage: 0 = unthrottled, each stage sheds levels_per_step. */
+    int stage() const;
+
+    /** Deepest stage reached since construction. */
+    int max_stage_reached() const { return max_stage_; }
+
+    /** Number of polls that tightened the cap. */
+    uint64_t clamp_event_count() const { return clamp_events_; }
+
+    /** Number of polls that relaxed the cap. */
+    uint64_t unclamp_event_count() const { return unclamp_events_; }
+
+    /** Registers a hook that integrates the thermal model up to now. */
+    void SetSyncHook(std::function<void()> hook) { sync_hook_ = std::move(hook); }
+
+    const MsmThermalParams& params() const { return params_; }
+
+  private:
+    void Poll();
+    void ApplyCap(int level);
+    void RegisterSysfsFiles();
+
+    Simulator* sim_;
+    CpufreqPolicy* policy_;
+    const ThermalModel* model_;
+    Sysfs* sysfs_;
+    MsmThermalParams params_;
+    std::function<void()> sync_hook_;
+    PeriodicTask poll_task_;
+    bool enabled_ = true;
+    int cap_level_;
+    int max_stage_ = 0;
+    uint64_t clamp_events_ = 0;
+    uint64_t unclamp_events_ = 0;
+};
+
+}  // namespace aeo
+
+#endif  // AEO_KERNEL_MSM_THERMAL_H_

@@ -1,5 +1,7 @@
 #include "kernel/sysfs.h"
 
+#include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "common/logging.h"
@@ -76,17 +78,30 @@ Sysfs::TryWrite(const std::string& path, const std::string& value)
     if (it == files_.end()) {
         return FaultErrc::kNoEnt;
     }
+    std::string applied = value;
     if (injector_ != nullptr) {
         const FaultDecision decision = injector_->OnWrite(path);
         last_latency_ = decision.latency;
         if (!decision.ok()) {
             return decision.errc;
         }
+        if (decision.silent_clamp) {
+            // Silent clamp: the write is accepted but a scaled-down value
+            // reaches the file — only read-back can expose the difference.
+            // Non-numeric payloads (governor names) pass through unchanged.
+            long long numeric = 0;
+            if (ParseInt64(Trim(applied), &numeric) && numeric > 0) {
+                const long long clamped = std::max(
+                    1LL, static_cast<long long>(std::llround(
+                             static_cast<double>(numeric) * decision.clamp_factor)));
+                applied = StrFormat("%lld", clamped);
+            }
+        }
     }
     if (it->second.write == nullptr) {
         return FaultErrc::kPerm;
     }
-    return it->second.write(value) ? FaultErrc::kOk : FaultErrc::kInval;
+    return it->second.write(applied) ? FaultErrc::kOk : FaultErrc::kInval;
 }
 
 std::string

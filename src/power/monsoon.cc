@@ -47,6 +47,8 @@ MonsoonMonitor::TakeSample()
         true_mw * (1.0 + rng_.Gaussian(0.0, config_.noise_rel_stddev));
     power_sum_mw_ += measured_mw;
     ++sample_count_;
+    window_sum_mw_ += measured_mw;
+    ++window_count_;
     last_sample_time_ = sim_->Now();
     if (config_.trace_decimation > 0 &&
         sample_count_ % static_cast<uint64_t>(config_.trace_decimation) == 0) {
@@ -61,6 +63,18 @@ MonsoonMonitor::MeasuredAveragePower() const
         return Milliwatts(0.0);
     }
     return Milliwatts(power_sum_mw_ / static_cast<double>(sample_count_));
+}
+
+Milliwatts
+MonsoonMonitor::DrainWindowAveragePower()
+{
+    if (window_count_ == 0) {
+        return MeasuredAveragePower();
+    }
+    const Milliwatts avg(window_sum_mw_ / static_cast<double>(window_count_));
+    window_sum_mw_ = 0.0;
+    window_count_ = 0;
+    return avg;
 }
 
 Joules
@@ -80,6 +94,8 @@ MonsoonMonitor::Reset()
 {
     power_sum_mw_ = 0.0;
     sample_count_ = 0;
+    window_sum_mw_ = 0.0;
+    window_count_ = 0;
     trace_.clear();
     start_time_ = sim_->Now();
     last_sample_time_ = start_time_;

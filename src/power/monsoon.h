@@ -75,6 +75,18 @@ class MonsoonMonitor {
     /** Average of all measured samples. */
     Milliwatts MeasuredAveragePower() const;
 
+    /**
+     * Average power over the samples taken since the previous drain, then
+     * resets the window. Gives the controller a per-control-cycle power
+     * measurement (for profile-drift detection) without disturbing the
+     * cumulative statistics above. Falls back to the running average when
+     * the window is empty (e.g. total meter dropout).
+     */
+    Milliwatts DrainWindowAveragePower();
+
+    /** Samples currently accumulated in the drain window. */
+    uint64_t window_sample_count() const { return window_count_; }
+
     /** Measured energy: average power × observed duration. */
     Joules MeasuredEnergy() const;
 
@@ -100,6 +112,8 @@ class MonsoonMonitor {
     SimTime last_sample_time_;
     double power_sum_mw_ = 0.0;
     uint64_t sample_count_ = 0;
+    double window_sum_mw_ = 0.0;
+    uint64_t window_count_ = 0;
     uint64_t dropped_sample_count_ = 0;
     std::vector<PowerSample> trace_;
 };

@@ -28,14 +28,19 @@ PowerModel::Compute(const PowerInputs& inputs) const
     const double busy = std::min(inputs.busy_cores, cores);
     const double idle = cores - busy;
 
+    // Leakage scales with die temperature when the coefficient is enabled;
+    // the factor never drops below zero for (unphysical) sub-ambient dies.
+    const double leak_scale = std::max(
+        0.0, 1.0 + params_.leak_temp_coeff_per_c * (inputs.temp_c - kLeakageReferenceC));
+
     const double dyn_unit = params_.cpu_dyn_mw_per_ghz_v2 * f * v * v;
     out.cpu_mw = dyn_unit * (busy + params_.cpu_idle_residue * idle) +
-                 params_.cpu_leak_mw_per_v3 * v * v * v * cores;
+                 params_.cpu_leak_mw_per_v3 * v * v * v * cores * leak_scale;
 
     const double gv = inputs.gpu_voltage.value();
     out.gpu_mw = params_.gpu_dyn_mw_per_mhz_v2 * inputs.gpu_mhz * gv * gv *
                      inputs.gpu_busy +
-                 params_.gpu_leak_mw_per_v3 * gv * gv * gv;
+                 params_.gpu_leak_mw_per_v3 * gv * gv * gv * leak_scale;
 
     out.mem_mw = params_.mem_static_mw +
                  params_.mem_mw_per_level * static_cast<double>(inputs.bw_level) +

@@ -48,7 +48,19 @@ struct PowerModelParams {
     double gpu_dyn_mw_per_mhz_v2 = 2.2;
     /** GPU leakage, mW per V³ (single rail). */
     double gpu_leak_mw_per_v3 = 30.0;
+    /**
+     * Relative growth of CPU/GPU leakage per °C above the 25 °C calibration
+     * point (sub-threshold leakage rises steeply with die temperature).
+     * Zero — the default — reproduces the temperature-independent model the
+     * profile tables were calibrated against; thermal experiments set it to
+     * make the (speedup, power) surface drift as the package heats, the
+     * effect the online drift detector corrects for.
+     */
+    double leak_temp_coeff_per_c = 0.0;
 };
+
+/** Die temperature at which the leakage coefficients were calibrated, °C. */
+inline constexpr double kLeakageReferenceC = 25.0;
 
 /** Instantaneous operating state fed to the model. */
 struct PowerInputs {
@@ -71,6 +83,8 @@ struct PowerInputs {
     double gpu_busy = 0.0;
     /** Instrumentation/controller overhead power, mW. */
     double overhead_mw = 0.0;
+    /** Die temperature, °C (scales leakage when the model enables it). */
+    double temp_c = kLeakageReferenceC;
 };
 
 /** Per-rail decomposition of device power. */

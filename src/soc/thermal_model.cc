@@ -1,0 +1,49 @@
+#include "soc/thermal_model.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace aeo {
+
+ThermalModel::ThermalModel(ThermalParams params)
+    : params_(params), temp_c_(params.ambient_c)
+{
+    AEO_ASSERT(params_.resistance_c_per_w > 0.0,
+               "thermal resistance must be positive");
+    AEO_ASSERT(params_.capacitance_j_per_c > 0.0,
+               "thermal capacitance must be positive");
+}
+
+void
+ThermalModel::Advance(Milliwatts power, SimTime dt)
+{
+    AEO_ASSERT(dt >= SimTime::Zero(), "negative thermal timestep");
+    if (dt == SimTime::Zero()) {
+        return;
+    }
+    const double t_inf = SteadyStateC(power);
+    const double rc = params_.resistance_c_per_w * params_.capacitance_j_per_c;
+    temp_c_ = t_inf + (temp_c_ - t_inf) * std::exp(-dt.seconds() / rc);
+}
+
+double
+ThermalModel::SteadyStateC(Milliwatts power) const
+{
+    return params_.ambient_c + power.value() / 1000.0 * params_.resistance_c_per_w;
+}
+
+SimTime
+ThermalModel::TimeConstant() const
+{
+    return SimTime::FromSecondsF(params_.resistance_c_per_w *
+                                 params_.capacitance_j_per_c);
+}
+
+void
+ThermalModel::Reset(double temp_c)
+{
+    temp_c_ = temp_c;
+}
+
+}  // namespace aeo

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * A deterministic lumped-RC thermal model of the SoC package.
+ *
+ * Dissipated device power heats one thermal mass; heat leaks to ambient
+ * through a fixed junction-to-ambient resistance. Between events the power
+ * is piecewise-constant (the device model guarantees it), so each segment
+ * integrates the first-order response exactly:
+ *
+ *   T(t + dt) = T_inf + (T(t) − T_inf) · exp(−dt / RC),   T_inf = T_amb + P·R
+ *
+ * which is unconditionally stable and bit-reproducible regardless of how
+ * the simulation slices time. The msm_thermal driver (src/kernel) polls the
+ * resulting zone temperature and clamps the CPU frequency table in stages —
+ * the silent-throttling failure mode documented for commercial mobile
+ * platforms (arXiv:1904.09814).
+ */
+#ifndef AEO_SOC_THERMAL_MODEL_H_
+#define AEO_SOC_THERMAL_MODEL_H_
+
+#include "common/units.h"
+#include "sim/time.h"
+
+namespace aeo {
+
+/** Lumped thermal constants (defaults give a phone-like response). */
+struct ThermalParams {
+    /** Ambient (and initial) temperature, °C. */
+    double ambient_c = 25.0;
+    /**
+     * Junction-to-ambient thermal resistance, °C/W. With 8 °C/W a 2.5 W
+     * sustained load settles 20 °C above ambient — the regime where the
+     * Nexus 6's msm_thermal starts stepping the frequency table down.
+     */
+    double resistance_c_per_w = 8.0;
+    /** Effective package heat capacity, J/°C (sets the RC time constant). */
+    double capacitance_j_per_c = 6.0;
+};
+
+/** Integrates package temperature from piecewise-constant power. */
+class ThermalModel {
+  public:
+    explicit ThermalModel(ThermalParams params = {});
+
+    /** Advances the temperature across a segment of constant power. */
+    void Advance(Milliwatts power, SimTime dt);
+
+    /** Current package temperature, °C. */
+    double temperature_c() const { return temp_c_; }
+
+    /** Steady-state temperature a constant power level would reach, °C. */
+    double SteadyStateC(Milliwatts power) const;
+
+    /** Thermal time constant RC. */
+    SimTime TimeConstant() const;
+
+    /** Resets to @p temp_c (construction resets to ambient). */
+    void Reset(double temp_c);
+
+    const ThermalParams& params() const { return params_; }
+
+  private:
+    ThermalParams params_;
+    double temp_c_;
+};
+
+}  // namespace aeo
+
+#endif  // AEO_SOC_THERMAL_MODEL_H_

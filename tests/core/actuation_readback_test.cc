@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Read-back verification of actuation writes: the scheduler re-reads each
+ * subsystem's cur_freq after an accepted write, so a write that *fails* is
+ * counted apart from a write that *lies* (reports success while the device
+ * runs a lower operating point — msm_thermal's clamp or an injected
+ * silent-clamp fault).
+ */
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/config_scheduler.h"
+#include "device/device.h"
+
+namespace aeo {
+namespace {
+
+std::unique_ptr<Device>
+MakeDevice(std::vector<FaultRule> rules = {})
+{
+    DeviceConfig config;
+    config.seed = 99;
+    config.fault_rules = std::move(rules);
+    auto device = std::make_unique<Device>(config);
+    device->UseUserspaceGovernors();
+    return device;
+}
+
+FaultRule
+SilentClampOnSetspeed(double factor)
+{
+    FaultRule rule;
+    rule.path_prefix = std::string(kCpufreqSysfsRoot) + "/scaling_setspeed";
+    rule.silent_clamp_probability = 1.0;
+    rule.silent_clamp_factor = factor;
+    return rule;
+}
+
+TEST(ActuationReadbackTest, CleanWritesVerifyAsDelivered)
+{
+    auto device = MakeDevice();
+    ConfigScheduler scheduler(device.get());
+    EXPECT_TRUE(scheduler.ApplyConfigNow(SystemConfig{9, 7}));
+
+    const ActuationStats& stats = scheduler.stats();
+    EXPECT_EQ(stats.writes, 2u);
+    EXPECT_EQ(stats.verified_writes, 2u);
+    EXPECT_EQ(stats.silent_clamps, 0u);
+    EXPECT_EQ(stats.readback_failures, 0u);
+    EXPECT_EQ(stats.failed_ops, 0u);
+
+    ASSERT_EQ(scheduler.cycle_deliveries().size(), 1u);
+    const DwellDelivery& dwell = scheduler.cycle_deliveries().front();
+    EXPECT_TRUE(dwell.cpu.attempted);
+    EXPECT_TRUE(dwell.cpu.verified);
+    EXPECT_EQ(dwell.cpu.requested_level, 9);
+    EXPECT_EQ(dwell.cpu.delivered_level, 9);
+    EXPECT_FALSE(dwell.cpu.clamped());
+    EXPECT_TRUE(dwell.bw.verified);
+    EXPECT_EQ(dwell.bw.delivered_level, 7);
+    EXPECT_FALSE(dwell.gpu.attempted);  // GPU left to its default governor
+}
+
+TEST(ActuationReadbackTest, SilentClampIsCountedAsClampNotFailure)
+{
+    auto device = MakeDevice({SilentClampOnSetspeed(0.5)});
+    ConfigScheduler scheduler(device.get());
+    // The clamped write still *reports* success — only read-back sees it.
+    EXPECT_TRUE(scheduler.ApplyConfigNow(
+        SystemConfig{17, kBwDefaultGovernor}));
+
+    const ActuationStats& stats = scheduler.stats();
+    EXPECT_EQ(stats.writes, 1u);
+    EXPECT_EQ(stats.silent_clamps, 1u);
+    EXPECT_EQ(stats.failed_ops, 0u);  // the two failure modes stay distinct
+
+    const DwellDelivery& dwell = scheduler.cycle_deliveries().front();
+    EXPECT_TRUE(dwell.cpu.write_ok);
+    EXPECT_TRUE(dwell.cpu.verified);
+    EXPECT_EQ(dwell.cpu.requested_level, 17);
+    EXPECT_LT(dwell.cpu.delivered_level, 17);
+    EXPECT_TRUE(dwell.cpu.clamped());
+}
+
+TEST(ActuationReadbackTest, FailedWriteIsCountedAsFailureNotClamp)
+{
+    FaultRule sticky;
+    sticky.path_prefix = std::string(kCpufreqSysfsRoot) + "/scaling_setspeed";
+    sticky.fail_probability = 1.0;
+    sticky.errc = FaultErrc::kIo;
+    sticky.duration = FaultDuration::kSticky;
+    auto device = MakeDevice({sticky});
+    ConfigScheduler scheduler(device.get());
+    EXPECT_FALSE(scheduler.ApplyConfigNow(
+        SystemConfig{10, kBwDefaultGovernor}));
+
+    const ActuationStats& stats = scheduler.stats();
+    EXPECT_GE(stats.failed_ops, 1u);
+    EXPECT_EQ(stats.silent_clamps, 0u);
+    EXPECT_EQ(stats.verified_writes, 0u);  // nothing succeeded to verify
+
+    const DwellDelivery& dwell = scheduler.cycle_deliveries().front();
+    EXPECT_TRUE(dwell.cpu.attempted);
+    EXPECT_FALSE(dwell.cpu.write_ok);
+    EXPECT_FALSE(dwell.cpu.verified);
+    EXPECT_FALSE(dwell.cpu.clamped());
+}
+
+TEST(ActuationReadbackTest, ThermalCapShowsUpAsSilentClamp)
+{
+    auto device = MakeDevice();
+    ConfigScheduler scheduler(device.get());
+    device->cpufreq().SetThermalCapLevel(4);
+
+    EXPECT_TRUE(scheduler.ApplyConfigNow(
+        SystemConfig{10, kBwDefaultGovernor}));
+    EXPECT_EQ(scheduler.stats().silent_clamps, 1u);
+
+    const DwellDelivery& dwell = scheduler.cycle_deliveries().front();
+    EXPECT_EQ(dwell.cpu.requested_level, 10);
+    EXPECT_EQ(dwell.cpu.delivered_level, 4);
+    EXPECT_TRUE(dwell.cpu.clamped());
+}
+
+TEST(ActuationReadbackTest, EinvalFallbackIsNotMistakenForAClamp)
+{
+    // One EINVAL forces the fallback walk to a neighbouring frequency; the
+    // verification must compare against the *accepted* candidate, not the
+    // original request, or every fallback would read as a clamp.
+    FaultRule reject;
+    reject.path_prefix = std::string(kCpufreqSysfsRoot) + "/scaling_setspeed";
+    reject.fail_probability = 1.0;
+    reject.errc = FaultErrc::kInval;
+    reject.max_triggers = 1;
+    auto device = MakeDevice({reject});
+    ConfigScheduler scheduler(device.get());
+
+    EXPECT_TRUE(scheduler.ApplyConfigNow(
+        SystemConfig{9, kBwDefaultGovernor}));
+    EXPECT_GE(scheduler.stats().inval_fallbacks, 1u);
+    EXPECT_EQ(scheduler.stats().silent_clamps, 0u);
+
+    const DwellDelivery& dwell = scheduler.cycle_deliveries().front();
+    EXPECT_TRUE(dwell.cpu.verified);
+    EXPECT_EQ(dwell.cpu.delivered_level, dwell.cpu.requested_level);
+    EXPECT_FALSE(dwell.cpu.clamped());
+}
+
+TEST(ActuationReadbackTest, VerificationCanBeDisabled)
+{
+    auto device = MakeDevice({SilentClampOnSetspeed(0.5)});
+    ConfigScheduler scheduler(device.get());
+    scheduler.SetReadbackVerification(false);
+
+    // Pre-hardening behaviour: the lie goes unnoticed.
+    EXPECT_TRUE(scheduler.ApplyConfigNow(
+        SystemConfig{17, kBwDefaultGovernor}));
+    EXPECT_EQ(scheduler.stats().verified_writes, 0u);
+    EXPECT_EQ(scheduler.stats().silent_clamps, 0u);
+    const DwellDelivery& dwell = scheduler.cycle_deliveries().front();
+    EXPECT_TRUE(dwell.cpu.write_ok);
+    EXPECT_FALSE(dwell.cpu.verified);
+}
+
+}  // namespace
+}  // namespace aeo

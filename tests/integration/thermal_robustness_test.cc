@@ -1,0 +1,402 @@
+/**
+ * @file
+ * Thermal-robustness integration tests: the hardened control loop against
+ * the silent adversaries — msm_thermal clamping the frequency table under
+ * sustained load, injected silent-clamp faults, profile drift from
+ * temperature-dependent leakage — plus the watchdog's re-engagement path.
+ *
+ * The acceptance bar (DESIGN.md §"Failure model"): with the thermal
+ * adversary at its harshest stage the controller still meets the target
+ * whenever the reachable set permits, never dwells on a clamped-away
+ * configuration, keeps drift-corrected power predictions within 10 % of
+ * measurements, and fault-free runs remain bit-identical to a controller
+ * without the hardening machinery.
+ */
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "apps/app_registry.h"
+#include "core/offline_profiler.h"
+#include "core/online_controller.h"
+#include "core/scenarios.h"
+#include "device/device.h"
+
+namespace aeo {
+namespace {
+
+constexpr double kTarget = 0.20;  // AngryBirds: between base and saturation
+
+ProfileTable
+ProfileFast(const std::string& app)
+{
+    const OfflineProfiler profiler;
+    ProfilerOptions options;
+    options.runs = 1;
+    options.measure_duration = SimTime::FromSeconds(10);
+    options.cpu_levels = GetAppScenario(app).profile_cpu_levels;
+    return profiler.Profile(MakeAppSpecByName(app), options);
+}
+
+/** A fast-heating package so a 2-minute run spans several clamp stages. */
+ThermalParams
+HotPackage()
+{
+    ThermalParams params;
+    params.resistance_c_per_w = 12.0;
+    params.capacitance_j_per_c = 1.0;  // RC = 12 s
+    return params;
+}
+
+/** Checks the cycle never planned above the cap it reported planning under. */
+void
+ExpectNoDwellOnClampedConfigs(const std::vector<ControlCycleRecord>& history)
+{
+    for (const ControlCycleRecord& record : history) {
+        if (record.cpu_cap_level < 0) {
+            continue;
+        }
+        EXPECT_LE(record.low_config.cpu_level, record.cpu_cap_level)
+            << "planned below-slot above the cap at t=" << record.time_s;
+        EXPECT_LE(record.high_config.cpu_level, record.cpu_cap_level)
+            << "planned above-slot above the cap at t=" << record.time_s;
+    }
+}
+
+TEST(ThermalRobustnessTest, ThrottlingAdversaryIsMaskedNotFatal)
+{
+    const ProfileTable table = ProfileFast("AngryBirds");
+
+    DeviceConfig device_config;
+    device_config.seed = 555;
+    Device device(device_config);
+    device.LaunchApp(MakeAppSpecByName("AngryBirds"));
+    MsmThermalParams msm;
+    msm.trigger_temp_c = 30.0;  // sustained load crosses this within ~10 s
+    msm.levels_per_step = 2;
+    msm.min_cap_level = 9;      // harshest stage still reaches the target
+    device.EnableThermal(HotPackage(), msm);
+
+    ControllerConfig config;
+    config.target_gips = kTarget;
+    OnlineController controller(&device, table, config);
+    controller.Start();
+    device.RunFor(SimTime::FromSeconds(120));
+    controller.Stop();
+    const RunResult result = device.CollectResult("controller+thermal");
+
+    // The adversary actually fired, repeatedly and in stages.
+    ASSERT_NE(device.msm_thermal(), nullptr);
+    EXPECT_GE(device.msm_thermal()->max_stage_reached(), 1);
+    EXPECT_GT(device.msm_thermal()->clamp_event_count(), 0u);
+
+    // Clamps are silent successes, not write failures: the watchdog must
+    // never trip, and the loop must run the full campaign.
+    EXPECT_FALSE(controller.fallback_engaged());
+    EXPECT_GE(controller.cycle_count(), 50u);
+    EXPECT_GT(result.duration_s, 119.0);
+
+    // The controller saw the cap (via read-back / scaling_max_freq) and
+    // planned only over the reachable subset.
+    bool saw_cap = false;
+    bool saw_heat = false;
+    for (const ControlCycleRecord& record : controller.history()) {
+        saw_cap = saw_cap || record.cpu_cap_level >= 0;
+        saw_heat = saw_heat || record.temp_c > msm.trigger_temp_c;
+    }
+    EXPECT_TRUE(saw_cap);
+    EXPECT_TRUE(saw_heat);
+    ExpectNoDwellOnClampedConfigs(controller.history());
+
+    // With the floor chosen so the target stays reachable, the throttled
+    // steady state still regulates to the target.
+    double late_gips = 0.0;
+    int late = 0;
+    for (const ControlCycleRecord& record : controller.history()) {
+        if (record.time_s > 60.0 && !record.degraded && !record.safe_mode) {
+            late_gips += record.measured_gips;
+            ++late;
+        }
+    }
+    ASSERT_GT(late, 10);
+    EXPECT_NEAR(late_gips / late, kTarget, 0.12 * kTarget);
+}
+
+TEST(ThermalRobustnessTest, InjectedSilentClampEpisodeIsDetectedAndOutlived)
+{
+    const ProfileTable table = ProfileFast("AngryBirds");
+
+    FaultRule clamp;  // one msm_thermal-style episode: 10 lying writes
+    clamp.path_prefix = std::string(kCpufreqSysfsRoot) + "/scaling_setspeed";
+    clamp.silent_clamp_probability = 1.0;
+    clamp.silent_clamp_factor = 0.5;
+    clamp.max_triggers = 10;
+
+    DeviceConfig device_config;
+    device_config.seed = 555;
+    device_config.fault_rules = {clamp};
+    Device device(device_config);
+    device.LaunchApp(MakeAppSpecByName("AngryBirds"));
+
+    ControllerConfig config;
+    config.target_gips = kTarget;
+    OnlineController controller(&device, table, config);
+    controller.Start();
+    device.RunFor(SimTime::FromSeconds(120));
+    controller.Stop();
+    const RunResult result = device.CollectResult("controller+silent-clamps");
+
+    // Read-back caught the lies and filed them apart from write failures.
+    const ActuationStats& stats = controller.scheduler().stats();
+    EXPECT_GE(stats.silent_clamps, 1u);
+    EXPECT_EQ(stats.failed_ops, 0u);
+    EXPECT_FALSE(controller.fallback_engaged());
+    ExpectNoDwellOnClampedConfigs(controller.history());
+
+    // Once the episode ends the learned cap expires and the loop returns to
+    // the target (same bar as the transient-fault campaign: twice the
+    // fault-free tolerance).
+    double late_gips = 0.0;
+    int late = 0;
+    for (const ControlCycleRecord& record : controller.history()) {
+        if (record.time_s > 80.0 && !record.degraded) {
+            late_gips += record.measured_gips;
+            ++late;
+        }
+    }
+    ASSERT_GT(late, 5);
+    EXPECT_NEAR(late_gips / late, kTarget, 2.0 * 0.06 * kTarget);
+    EXPECT_GT(result.duration_s, 119.0);
+}
+
+TEST(ThermalRobustnessTest, OneOffLyingWriteDoesNotMaskTheFeasibleSet)
+{
+    const ProfileTable table = ProfileFast("AngryBirds");
+
+    // One cycle's worth of lying writes, never re-confirmed. (Two triggers:
+    // the first write requests the lowest level, where a halved frequency
+    // still maps to the same level and nothing is detectably clamped; the
+    // second hits the cycle's high slot.)
+    FaultRule lie;
+    lie.path_prefix = std::string(kCpufreqSysfsRoot) + "/scaling_setspeed";
+    lie.silent_clamp_probability = 1.0;
+    lie.silent_clamp_factor = 0.5;
+    lie.max_triggers = 2;
+
+    DeviceConfig device_config;
+    device_config.seed = 555;
+    device_config.fault_rules = {lie};
+    Device device(device_config);
+    device.LaunchApp(MakeAppSpecByName("AngryBirds"));
+
+    ControllerConfig config;
+    config.target_gips = kTarget;
+    OnlineController controller(&device, table, config);
+    controller.Start();
+    device.RunFor(SimTime::FromSeconds(60));
+    controller.Stop();
+
+    // Read-back caught the lie...
+    EXPECT_GE(controller.scheduler().stats().silent_clamps, 1u);
+    // ...but one cycle of evidence is below cap_confirm_cycles, so no
+    // mismatch cap ever engages and the plan keeps the full table.
+    for (const ControlCycleRecord& record : controller.history()) {
+        EXPECT_LT(record.cpu_cap_level, 0)
+            << "a one-off lie engaged a cap at t=" << record.time_s;
+    }
+    EXPECT_FALSE(controller.fallback_engaged());
+}
+
+TEST(ThermalRobustnessTest, SafeModeEngagesWhenTheTargetBecomesUnreachable)
+{
+    const ProfileTable table = ProfileFast("AngryBirds");
+
+    DeviceConfig device_config;
+    device_config.seed = 555;
+    Device device(device_config);
+    device.LaunchApp(MakeAppSpecByName("AngryBirds"));
+    MsmThermalParams msm;
+    msm.trigger_temp_c = 28.0;
+    msm.levels_per_step = 6;  // harsh: plunges to the floor within a second
+    msm.min_cap_level = GetAppScenario("AngryBirds").profile_cpu_levels.front();
+    device.EnableThermal(HotPackage(), msm);
+
+    ControllerConfig config;
+    // Near the top of the profiled range: unreachable once clamped.
+    config.target_gips = table.GipsForSpeedup(0.9 * table.max_speedup());
+    OnlineController controller(&device, table, config);
+    controller.Start();
+    device.RunFor(SimTime::FromSeconds(60));
+    controller.Stop();
+
+    // The reachable set shrank below the target: the controller runs the
+    // safe-mode envelope at the best reachable point instead of failing.
+    EXPECT_GT(controller.safe_mode_cycle_count(), 0u);
+    EXPECT_FALSE(controller.fallback_engaged());
+    EXPECT_GE(controller.cycle_count(), 25u);
+    ExpectNoDwellOnClampedConfigs(controller.history());
+}
+
+TEST(ThermalRobustnessTest, DriftCorrectionTracksLeakageHeating)
+{
+    const ProfileTable table = ProfileFast("AngryBirds");
+
+    DeviceConfig device_config;
+    device_config.seed = 555;
+    // Strong temperature-dependent leakage: the profiled power surface
+    // (measured cold) drifts as the package heats.
+    device_config.power_params.leak_temp_coeff_per_c = 0.08;
+    Device device(device_config);
+    device.LaunchApp(MakeAppSpecByName("AngryBirds"));
+    MsmThermalParams msm;
+    msm.trigger_temp_c = 1000.0;  // pure drift: no clamping in this test
+    device.EnableThermal(HotPackage(), msm);
+
+    ControllerConfig config;
+    config.target_gips = kTarget;
+    config.drift.enabled = true;
+    OnlineController controller(&device, table, config);
+    controller.Start();
+    device.RunFor(SimTime::FromSeconds(120));
+    controller.Stop();
+
+    // The package heated and the detector observed the drift.
+    const std::vector<ControlCycleRecord>& history = controller.history();
+    ASSERT_GT(history.size(), 40u);
+    EXPECT_GT(history.back().temp_c, 30.0);
+    EXPECT_GT(controller.drift().observation_count(), 0u);
+
+    // Acceptance: drift-corrected predicted power tracks measured power to
+    // within 10 % once the EWMA has converged. Record i's expectation is the
+    // plan the *next* record measures, so compare aligned pairs.
+    double rel_err_sum = 0.0;
+    int pairs = 0;
+    for (size_t i = 0; i + 1 < history.size(); ++i) {
+        const ControlCycleRecord& plan = history[i];
+        const ControlCycleRecord& outcome = history[i + 1];
+        if (plan.time_s <= 60.0 || plan.degraded || outcome.degraded ||
+            outcome.measured_power_mw <= 0.0) {
+            continue;
+        }
+        rel_err_sum += std::abs(plan.expected_power_mw -
+                                outcome.measured_power_mw) /
+                       outcome.measured_power_mw;
+        ++pairs;
+    }
+    ASSERT_GT(pairs, 10);
+    EXPECT_LE(rel_err_sum / pairs, 0.10);
+    EXPECT_TRUE(controller.drift().AnyCorrection());
+}
+
+TEST(ThermalRobustnessTest, ReadbackMachineryIsInvisibleWhenHealthy)
+{
+    // Acceptance: fault-free runs are bit-identical with the hardening on or
+    // off — read-backs, cap reads and zone-temperature reads are pure, and
+    // no RNG stream shifts.
+    const ProfileTable table = ProfileFast("AngryBirds");
+
+    auto run = [&](bool readback) {
+        DeviceConfig device_config;
+        device_config.seed = 555;
+        Device device(device_config);
+        device.LaunchApp(MakeAppSpecByName("AngryBirds"));
+        ControllerConfig config;
+        config.target_gips = kTarget;
+        config.readback_verification = readback;
+        OnlineController controller(&device, table, config);
+        controller.Start();
+        device.RunFor(SimTime::FromSeconds(60));
+        controller.Stop();
+        return device.CollectResult(readback ? "verified" : "blind");
+    };
+
+    const RunResult verified = run(true);
+    const RunResult blind = run(false);
+    EXPECT_EQ(verified.energy_j, blind.energy_j);  // bit-identical
+    EXPECT_EQ(verified.avg_gips, blind.avg_gips);
+    EXPECT_EQ(verified.avg_power_mw, blind.avg_power_mw);
+}
+
+TEST(ThermalRobustnessTest, CoolThermalSubsystemDoesNotPerturbTheRun)
+{
+    // With the zone below trigger and zero leakage coefficient the thermal
+    // subsystem is pure observation: energy matches a thermally
+    // unconstrained device to numerical identity.
+    const ProfileTable table = ProfileFast("AngryBirds");
+
+    auto run = [&](bool thermal) {
+        DeviceConfig device_config;
+        device_config.seed = 555;
+        Device device(device_config);
+        device.LaunchApp(MakeAppSpecByName("AngryBirds"));
+        if (thermal) {
+            MsmThermalParams msm;
+            msm.trigger_temp_c = 500.0;  // never reached
+            device.EnableThermal(ThermalParams{}, msm);
+        }
+        ControllerConfig config;
+        config.target_gips = kTarget;
+        OnlineController controller(&device, table, config);
+        controller.Start();
+        device.RunFor(SimTime::FromSeconds(60));
+        controller.Stop();
+        return device.CollectResult(thermal ? "thermal" : "plain");
+    };
+
+    const RunResult with = run(true);
+    const RunResult without = run(false);
+    EXPECT_EQ(with.energy_j, without.energy_j);
+    EXPECT_EQ(with.avg_gips, without.avg_gips);
+}
+
+TEST(ThermalRobustnessTest, WatchdogReengagesAfterTheDeviceHeals)
+{
+    const ProfileTable table = ProfileFast("AngryBirds");
+
+    FaultRule sticky;  // latches on the first write, then never re-arms
+    sticky.path_prefix = std::string(kCpufreqSysfsRoot) + "/scaling_setspeed";
+    sticky.fail_probability = 1.0;
+    sticky.errc = FaultErrc::kIo;
+    sticky.duration = FaultDuration::kSticky;
+    sticky.max_triggers = 1;
+
+    DeviceConfig device_config;
+    device_config.seed = 555;
+    device_config.fault_rules = {sticky};
+    Device device(device_config);
+    device.LaunchApp(MakeAppSpecByName("AngryBirds"));
+
+    ControllerConfig config;
+    config.target_gips = kTarget;
+    OnlineController controller(&device, table, config);
+    controller.Start();
+    // The kernel path heals mid-run (a reboot of the flaky subsystem); the
+    // recovery probes then see healthy writes and re-engage control.
+    device.sim().ScheduleAt(SimTime::FromSeconds(20), [&device] {
+        device.fault_injector()->RepairAll();
+    });
+    device.RunFor(SimTime::FromSeconds(120));
+    controller.Stop();
+    const RunResult result = device.CollectResult("controller+reengage");
+
+    EXPECT_EQ(controller.reengage_count(), 1u);
+    EXPECT_FALSE(controller.fallback_engaged());
+    EXPECT_GT(controller.scheduler().stats().failed_ops, 0u);
+    // Control resumed: a healthy tail of cycles regulates to the target.
+    EXPECT_GE(controller.cycle_count(), 20u);
+    double late_gips = 0.0;
+    int late = 0;
+    for (const ControlCycleRecord& record : controller.history()) {
+        if (record.time_s > 80.0 && !record.degraded) {
+            late_gips += record.measured_gips;
+            ++late;
+        }
+    }
+    ASSERT_GT(late, 5);
+    EXPECT_NEAR(late_gips / late, kTarget, 2.0 * 0.06 * kTarget);
+    EXPECT_GT(result.duration_s, 119.0);
+}
+
+}  // namespace
+}  // namespace aeo

@@ -1,0 +1,90 @@
+#include "soc/thermal_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace aeo {
+namespace {
+
+TEST(ThermalModelTest, StartsAtAmbient)
+{
+    const ThermalModel model;
+    EXPECT_DOUBLE_EQ(model.temperature_c(), 25.0);
+}
+
+TEST(ThermalModelTest, SteadyStateIsAmbientPlusPowerTimesResistance)
+{
+    const ThermalModel model;  // 8 °C/W
+    EXPECT_DOUBLE_EQ(model.SteadyStateC(Milliwatts(2500.0)), 45.0);
+    EXPECT_DOUBLE_EQ(model.SteadyStateC(Milliwatts(0.0)), 25.0);
+}
+
+TEST(ThermalModelTest, TimeConstantIsResistanceTimesCapacitance)
+{
+    ThermalParams params;
+    params.resistance_c_per_w = 8.0;
+    params.capacitance_j_per_c = 6.0;
+    const ThermalModel model(params);
+    EXPECT_DOUBLE_EQ(model.TimeConstant().seconds(), 48.0);
+}
+
+TEST(ThermalModelTest, OneTimeConstantCoversTheExponentialFraction)
+{
+    ThermalModel model;
+    const double steady = model.SteadyStateC(Milliwatts(2500.0));
+    model.Advance(Milliwatts(2500.0), model.TimeConstant());
+    const double expected = steady + (25.0 - steady) * std::exp(-1.0);
+    EXPECT_NEAR(model.temperature_c(), expected, 1e-9);
+}
+
+TEST(ThermalModelTest, ConvergesToSteadyStateUnderSustainedPower)
+{
+    ThermalModel model;
+    // Ten time constants: within a hundredth of a degree of steady state.
+    model.Advance(Milliwatts(2500.0), model.TimeConstant() * 10);
+    EXPECT_NEAR(model.temperature_c(), 45.0, 0.01);
+}
+
+TEST(ThermalModelTest, IntegrationIsInvariantToTimeSlicing)
+{
+    // The closed-form segment update must not depend on how the simulation
+    // slices time: one 20 s step and 2000 × 10 ms steps land on (essentially)
+    // the same temperature.
+    ThermalModel coarse;
+    ThermalModel fine;
+    coarse.Advance(Milliwatts(3000.0), SimTime::FromSeconds(20));
+    for (int i = 0; i < 2000; ++i) {
+        fine.Advance(Milliwatts(3000.0), SimTime::Millis(10));
+    }
+    EXPECT_NEAR(coarse.temperature_c(), fine.temperature_c(), 1e-9);
+}
+
+TEST(ThermalModelTest, CoolsBackToAmbientWhenIdle)
+{
+    ThermalModel model;
+    model.Advance(Milliwatts(4000.0), model.TimeConstant() * 5);
+    EXPECT_GT(model.temperature_c(), 40.0);
+    model.Advance(Milliwatts(0.0), model.TimeConstant() * 10);
+    EXPECT_NEAR(model.temperature_c(), 25.0, 0.01);
+}
+
+TEST(ThermalModelTest, ZeroDtLeavesTemperatureUntouched)
+{
+    ThermalModel model;
+    model.Advance(Milliwatts(2500.0), SimTime::FromSeconds(10));
+    const double before = model.temperature_c();
+    model.Advance(Milliwatts(2500.0), SimTime::Zero());
+    EXPECT_DOUBLE_EQ(model.temperature_c(), before);
+}
+
+TEST(ThermalModelTest, ResetRestartsFromTheGivenTemperature)
+{
+    ThermalModel model;
+    model.Advance(Milliwatts(4000.0), SimTime::FromSeconds(100));
+    model.Reset(30.0);
+    EXPECT_DOUBLE_EQ(model.temperature_c(), 30.0);
+}
+
+}  // namespace
+}  // namespace aeo
