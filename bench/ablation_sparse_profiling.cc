@@ -11,7 +11,6 @@
  */
 #include <cmath>
 #include <cstdio>
-#include <cstring>
 
 #include "apps/app_registry.h"
 #include "bench_common.h"
@@ -55,7 +54,8 @@ int
 main(int argc, char** argv)
 {
     SetLogLevel(LogLevel::kWarn);
-    const bool fast = argc > 1 && std::strcmp(argv[1], "--fast") == 0;
+    const bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
+    const bool fast = args.fast;
     bench::PrintHeader("E10 / §III-A ablation",
                        "Sparse (9x2 + interpolation) vs dense (full grid) profiling");
 
@@ -69,6 +69,9 @@ main(int argc, char** argv)
         sparse_options.seed = 2017;
         sparse_options.sparse_profiling = true;
         sparse_options.prune_epsilon = 0.0;  // compare raw tables
+        // The dense 18×13 grid dominates this bench; fan its (config, run)
+        // jobs across the batch layer (the tables are bit-identical).
+        sparse_options.batch = args.batch;
 
         ExperimentOptions dense_options = sparse_options;
         dense_options.sparse_profiling = false;

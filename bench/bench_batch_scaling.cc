@@ -1,0 +1,118 @@
+/**
+ * @file
+ * P1 — Batch-layer scaling: wall-clock time of a dense offline profile
+ * (the full 18×13 = 234-configuration grid, one run each) executed serially
+ * and through the batch layer at increasing worker counts.
+ *
+ * The profile is the repo's heaviest embarrassingly-parallel workload —
+ * every (configuration, run) job builds its own seeded Device — so it is
+ * the honest yardstick for the layer: near-linear speedup up to the
+ * machine's core count, and bit-identical tables at every worker count
+ * (asserted here via ToCsv() comparison, not just claimed).
+ *
+ * Emits BENCH_batch_scaling.json with wall seconds and speedup per jobs
+ * value. --fast shrinks the grid and probes jobs={2} only (CI smoke);
+ * --jobs=N is ignored — this bench sweeps the worker count itself.
+ */
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/app_registry.h"
+#include "bench_common.h"
+#include "common/logging.h"
+#include "common/strings.h"
+#include "common/text_table.h"
+#include "core/offline_profiler.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace aeo;
+    using Clock = std::chrono::steady_clock;
+    SetLogLevel(LogLevel::kWarn);
+    const bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
+    bench::PrintHeader("P1 / batch scaling",
+                       "Dense-profile wall clock: serial vs batch workers");
+
+    ProfilerOptions options;
+    options.sparse = false;  // the full 18×13 grid
+    options.runs = 1;
+    options.measure_duration =
+        args.fast ? SimTime::FromSeconds(2) : SimTime::FromSeconds(5);
+    options.seed = 2017;
+    if (args.fast) {
+        options.cpu_levels = {0, 8, 17};  // 3×13 = 39 configurations
+    }
+
+    const AppSpec app = MakeAppSpecByName("AngryBirds");
+    const OfflineProfiler profiler;
+
+    const std::vector<int> sweep =
+        args.fast ? std::vector<int>{2} : std::vector<int>{2, 4, 8};
+
+    struct Point {
+        int jobs;
+        double seconds;
+        double speedup;
+        bool identical;
+    };
+    std::vector<Point> points;
+
+    options.batch.jobs = 1;
+    const auto serial_start = Clock::now();
+    const ProfileTable serial_table = profiler.Profile(app, options);
+    const double serial_seconds =
+        std::chrono::duration<double>(Clock::now() - serial_start).count();
+    const std::string serial_csv = serial_table.ToCsv();
+    points.push_back(Point{1, serial_seconds, 1.0, true});
+
+    for (const int jobs : sweep) {
+        options.batch.jobs = jobs;
+        const auto start = Clock::now();
+        const ProfileTable table = profiler.Profile(app, options);
+        const double seconds =
+            std::chrono::duration<double>(Clock::now() - start).count();
+        const bool identical = table.ToCsv() == serial_csv;
+        if (!identical) {
+            std::fprintf(stderr,
+                         "FAIL: jobs=%d produced a different table than "
+                         "serial — determinism contract broken\n",
+                         jobs);
+        }
+        points.push_back(
+            Point{jobs, seconds, seconds > 0.0 ? serial_seconds / seconds : 0.0,
+                  identical});
+    }
+
+    TextTable text({"Jobs", "Wall (s)", "Speedup", "Bit-identical"});
+    for (const Point& p : points) {
+        text.AddRow({StrFormat("%d", p.jobs), StrFormat("%.2f", p.seconds),
+                     StrFormat("%.2fx", p.speedup), p.identical ? "yes" : "NO"});
+    }
+    std::printf("%s\n", text.ToString().c_str());
+
+    std::string json = "{\n  \"bench\": \"batch_scaling\",\n  \"grid_configs\": " +
+                       StrFormat("%zu", serial_table.size()) + ",\n  \"points\": [\n";
+    for (size_t i = 0; i < points.size(); ++i) {
+        json += StrFormat("    {\"jobs\": %d, \"wall_seconds\": %.4f, "
+                          "\"speedup\": %.3f, \"bit_identical\": %s}%s\n",
+                          points[i].jobs, points[i].seconds, points[i].speedup,
+                          points[i].identical ? "true" : "false",
+                          i + 1 < points.size() ? "," : "");
+    }
+    json += "  ]\n}\n";
+    const std::string json_path = "BENCH_batch_scaling.json";
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    AEO_ASSERT(f != nullptr, "cannot open %s", json_path.c_str());
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("Wrote %s\n", json_path.c_str());
+
+    bool all_identical = true;
+    for (const Point& p : points) {
+        all_identical = all_identical && p.identical;
+    }
+    return all_identical ? 0 : 1;
+}

@@ -1,10 +1,26 @@
 #include "bench_common.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "common/strings.h"
 
 namespace aeo::bench {
+
+BenchArgs
+ParseBenchArgs(int argc, char** argv)
+{
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--fast") == 0) {
+            args.fast = true;
+        } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+            args.batch.jobs = std::atoi(argv[i] + 7);
+        }
+    }
+    return args;
+}
 
 void
 PrintHeader(const std::string& experiment_id, const std::string& title)

@@ -9,9 +9,22 @@
 #include <string>
 #include <vector>
 
+#include "core/batch_runner.h"
 #include "device/run_result.h"
 
 namespace aeo::bench {
+
+/** Command-line options shared by the harness binaries. */
+struct BenchArgs {
+    /** --fast: reduced grids/durations for CI smoke runs. */
+    bool fast = false;
+    /** --jobs=N: batch-layer worker count (default: all hardware threads).
+     * Results are bit-identical at any value; only wall-clock changes. */
+    BatchOptions batch;
+};
+
+/** Parses --fast and --jobs=N anywhere in argv; ignores everything else. */
+BenchArgs ParseBenchArgs(int argc, char** argv);
 
 /** Prints a banner naming the experiment and the paper artifact. */
 void PrintHeader(const std::string& experiment_id, const std::string& title);

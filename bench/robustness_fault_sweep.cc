@@ -15,7 +15,7 @@
  */
 #include <algorithm>
 #include <cstdio>
-#include <cstring>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -25,6 +25,7 @@
 #include "common/logging.h"
 #include "common/strings.h"
 #include "common/text_table.h"
+#include "core/batch_runner.h"
 #include "core/offline_profiler.h"
 #include "core/online_controller.h"
 #include "core/scenarios.h"
@@ -168,7 +169,8 @@ main(int argc, char** argv)
 {
     using namespace aeo;
     SetLogLevel(LogLevel::kQuiet);
-    const bool fast = argc > 1 && std::strcmp(argv[1], "--fast") == 0;
+    const bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
+    const bool fast = args.fast;
     bench::PrintHeader("R1 / robustness",
                        "Fault-rate sweep: hardened controller vs injected "
                        "sysfs/PMU/meter failures");
@@ -181,6 +183,7 @@ main(int argc, char** argv)
     profiler_options.cpu_levels = scenario.profile_cpu_levels;
     profiler_options.measure_duration = scenario.profile_duration;
     profiler_options.seed = kSeed + 1000;
+    profiler_options.batch = args.batch;
     const ProfileTable table =
         OfflineProfiler().Profile(MakeAppSpecByName(kApp), profiler_options);
 
@@ -208,11 +211,21 @@ main(int argc, char** argv)
                    "readback_failures", "dropped_pmu", "stale_pmu",
                    "dropped_meter", "fault_events", "fallback_engaged"});
 
+    // Each rate's controlled run is seeded and self-contained: fan them out,
+    // then do the vs-fault-free math in rate order (0.0 is first).
+    std::vector<std::function<SweepRow()>> sweep_tasks;
+    for (const double rate : rates) {
+        sweep_tasks.push_back(
+            [&table, target, rate] { return RunAtRate(table, target, rate); });
+    }
+    const std::vector<SweepRow> sweep_rows =
+        BatchRunner(args.batch).RunOrdered(std::move(sweep_tasks));
+
     double fault_free_energy = 0.0;
     double fault_free_violation = 0.0;
     double violation_at_5pct = -1.0;
-    for (const double rate : rates) {
-        const SweepRow row = RunAtRate(table, target, rate);
+    for (const SweepRow& row : sweep_rows) {
+        const double rate = row.rate;
         if (rate == 0.0) {
             fault_free_energy = row.energy_j;
             fault_free_violation = row.violation_pct;

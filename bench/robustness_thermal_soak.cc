@@ -18,7 +18,7 @@
  */
 #include <algorithm>
 #include <cstdio>
-#include <cstring>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -29,6 +29,7 @@
 #include "common/logging.h"
 #include "common/strings.h"
 #include "common/text_table.h"
+#include "core/batch_runner.h"
 #include "core/offline_profiler.h"
 #include "core/online_controller.h"
 #include "core/scenarios.h"
@@ -128,7 +129,8 @@ main(int argc, char** argv)
 {
     using namespace aeo;
     SetLogLevel(LogLevel::kQuiet);
-    const bool fast = argc > 1 && std::strcmp(argv[1], "--fast") == 0;
+    const bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
+    const bool fast = args.fast;
     bench::PrintHeader("R2 / thermal soak",
                        "Sustained load under msm_thermal staging: clamp-aware "
                        "vs clamp-oblivious control");
@@ -139,14 +141,23 @@ main(int argc, char** argv)
     profiler_options.cpu_levels = scenario.profile_cpu_levels;
     profiler_options.measure_duration = scenario.profile_duration;
     profiler_options.seed = kSeed + 1000;
+    profiler_options.batch = args.batch;
     const ProfileTable table =
         OfflineProfiler().Profile(MakeAppSpecByName(kApp), profiler_options);
     const double target = 0.20;  // between AngryBirds' base and saturation
     const SimTime duration =
         fast ? SimTime::FromSeconds(60) : SimTime::FromSeconds(180);
 
-    const SoakRun aware = RunSoak(table, target, duration, true);
-    const SoakRun oblivious = RunSoak(table, target, duration, false);
+    // The two soaks are independent seeded runs — one batch job each.
+    std::vector<std::function<SoakRun()>> soak_tasks;
+    soak_tasks.push_back(
+        [&] { return RunSoak(table, target, duration, true); });
+    soak_tasks.push_back(
+        [&] { return RunSoak(table, target, duration, false); });
+    std::vector<SoakRun> soaks =
+        BatchRunner(args.batch).RunOrdered(std::move(soak_tasks));
+    const SoakRun aware = std::move(soaks[0]);
+    const SoakRun oblivious = std::move(soaks[1]);
 
     // --- Per-cycle trace --------------------------------------------------
     const int max_level = MakeNexus6FrequencyTable().max_level();

@@ -5,7 +5,6 @@
  * under the baseline background load.
  */
 #include <cstdio>
-#include <cstring>
 
 #include "bench_common.h"
 #include "common/logging.h"
@@ -19,24 +18,32 @@ main(int argc, char** argv)
 {
     using namespace aeo;
     SetLogLevel(LogLevel::kWarn);
-    const bool fast = argc > 1 && std::strcmp(argv[1], "--fast") == 0;
+    const bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
     bench::PrintHeader("E4 / Table III",
                        "Controller vs default governors (baseline load)");
 
     ExperimentHarness harness;
     ExperimentOptions options;
-    options.profile_runs = fast ? 1 : 3;
+    options.profile_runs = args.fast ? 1 : 3;
     options.seed = 2017;
+
+    // One batch job per application; outcomes land in TableIII row order.
+    std::vector<ComparisonJob> jobs;
+    for (const auto& row : paper::TableIII()) {
+        jobs.push_back(ComparisonJob{row.app, options});
+    }
+    const std::vector<ExperimentOutcome> outcomes =
+        harness.RunComparisons(std::move(jobs), args.batch);
 
     TextTable table({"Application", "Perf (paper)", "Perf (ours)",
                      "Energy (paper)", "Energy (ours)"});
+    size_t i = 0;
     for (const auto& row : paper::TableIII()) {
-        const ExperimentOutcome outcome = harness.RunComparison(row.app, options);
+        const ExperimentOutcome& outcome = outcomes[i++];
         table.AddRow({row.app, StrFormat("%+.1f%%", row.perf_delta_pct),
                       StrFormat("%+.1f%%", outcome.perf_delta_pct),
                       StrFormat("%.1f%%", row.energy_savings_pct),
                       StrFormat("%.1f%%", outcome.energy_savings_pct)});
-        std::fflush(stdout);
     }
     std::printf("%s\n", table.ToString().c_str());
     std::printf("Positive performance = controller faster than default;\n"

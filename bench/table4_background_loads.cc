@@ -7,7 +7,6 @@
  * default governors in the same condition.
  */
 #include <cstdio>
-#include <cstring>
 
 #include "bench_common.h"
 #include "common/logging.h"
@@ -21,7 +20,7 @@ main(int argc, char** argv)
 {
     using namespace aeo;
     SetLogLevel(LogLevel::kWarn);
-    const bool fast = argc > 1 && std::strcmp(argv[1], "--fast") == 0;
+    const bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
     bench::PrintHeader("E7 / Table IV",
                        "Background-load sensitivity (profiled under BL)");
 
@@ -37,17 +36,28 @@ main(int argc, char** argv)
         {BackgroundKind::kHeavy, paper::TableIV_HL()},
     };
 
-    TextTable table({"Application", "Load", "Perf (paper)", "Perf (ours)",
-                     "Energy (paper)", "Energy (ours)"});
+    // Fan the 6 apps × 3 loads grid across the batch layer, then render the
+    // rows in the original (app-major) order.
+    std::vector<ComparisonJob> jobs;
     for (const std::string& app : EvaluationAppNames()) {
         for (const LoadCase& load_case : cases) {
             ExperimentOptions options;
-            options.profile_runs = fast ? 1 : 3;
+            options.profile_runs = args.fast ? 1 : 3;
             options.seed = 2017;
             options.profile_load = BackgroundKind::kBaseline;  // §V-C: BL data
             options.run_load = load_case.kind;
-            const ExperimentOutcome outcome = harness.RunComparison(app, options);
+            jobs.push_back(ComparisonJob{app, options});
+        }
+    }
+    const std::vector<ExperimentOutcome> outcomes =
+        harness.RunComparisons(std::move(jobs), args.batch);
 
+    TextTable table({"Application", "Load", "Perf (paper)", "Perf (ours)",
+                     "Energy (paper)", "Energy (ours)"});
+    size_t i = 0;
+    for (const std::string& app : EvaluationAppNames()) {
+        for (const LoadCase& load_case : cases) {
+            const ExperimentOutcome& outcome = outcomes[i++];
             double paper_perf = 0.0;
             double paper_energy = 0.0;
             for (const auto& row : load_case.paper_rows) {
@@ -61,7 +71,6 @@ main(int argc, char** argv)
                           StrFormat("%+.1f%%", outcome.perf_delta_pct),
                           StrFormat("%.1f%%", paper_energy),
                           StrFormat("%.1f%%", outcome.energy_savings_pct)});
-            std::fflush(stdout);
         }
         table.AddSeparator();
     }

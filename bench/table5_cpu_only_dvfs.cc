@@ -8,7 +8,6 @@
  * higher-than-necessary bandwidth for most of the runtime.
  */
 #include <cstdio>
-#include <cstring>
 
 #include "bench_common.h"
 #include "common/logging.h"
@@ -22,25 +21,36 @@ main(int argc, char** argv)
 {
     using namespace aeo;
     SetLogLevel(LogLevel::kWarn);
-    const bool fast = argc > 1 && std::strcmp(argv[1], "--fast") == 0;
+    const bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
     bench::PrintHeader("E8 / Table V", "CPU-only DVFS controller vs default");
 
     ExperimentHarness harness;
+
+    // Per app, the CPU-only ablation then the coordinated comparison: two
+    // batch jobs, interleaved in submission order.
+    std::vector<ComparisonJob> jobs;
+    for (const auto& row : paper::TableV()) {
+        ExperimentOptions cpu_only;
+        cpu_only.profile_runs = args.fast ? 1 : 3;
+        cpu_only.seed = 2017;
+        cpu_only.cpu_only = true;
+        jobs.push_back(ComparisonJob{row.app, cpu_only});
+
+        ExperimentOptions coordinated = cpu_only;
+        coordinated.cpu_only = false;
+        jobs.push_back(ComparisonJob{row.app, coordinated});
+    }
+    const std::vector<ExperimentOutcome> outcomes =
+        harness.RunComparisons(std::move(jobs), args.batch);
 
     TextTable table({"Application", "Perf (paper)", "Perf (ours)",
                      "Energy (paper)", "Energy (ours)", "Coordinated (ours)"});
     double coordinated_sum = 0.0;
     double cpu_only_sum = 0.0;
+    size_t i = 0;
     for (const auto& row : paper::TableV()) {
-        ExperimentOptions cpu_only;
-        cpu_only.profile_runs = fast ? 1 : 3;
-        cpu_only.seed = 2017;
-        cpu_only.cpu_only = true;
-        const ExperimentOutcome ablation = harness.RunComparison(row.app, cpu_only);
-
-        ExperimentOptions coordinated = cpu_only;
-        coordinated.cpu_only = false;
-        const ExperimentOutcome full = harness.RunComparison(row.app, coordinated);
+        const ExperimentOutcome& ablation = outcomes[i++];
+        const ExperimentOutcome& full = outcomes[i++];
 
         coordinated_sum += full.energy_savings_pct;
         cpu_only_sum += ablation.energy_savings_pct;
@@ -50,7 +60,6 @@ main(int argc, char** argv)
                       StrFormat("%.1f%%", row.energy_savings_pct),
                       StrFormat("%.1f%%", ablation.energy_savings_pct),
                       StrFormat("%.1f%%", full.energy_savings_pct)});
-        std::fflush(stdout);
     }
     std::printf("%s\n", table.ToString().c_str());
     std::printf("Average savings — coordinated: %.1f%%, CPU-only: %.1f%%.\n"

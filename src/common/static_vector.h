@@ -1,0 +1,86 @@
+/**
+ * @file
+ * A fixed-capacity, inline-storage vector: the hot-path replacement for
+ * tiny std::vectors whose size has a provable compile-time bound (e.g. a
+ * ConfigSchedule's dwell slots — the schedule LP admits an optimum with at
+ * most two non-zero dwells, §III-B3). No heap allocation, trivially
+ * copyable for trivially-copyable T, asserts on overflow.
+ */
+#ifndef AEO_COMMON_STATIC_VECTOR_H_
+#define AEO_COMMON_STATIC_VECTOR_H_
+
+#include <array>
+#include <cstddef>
+#include <initializer_list>
+
+#include "common/logging.h"
+
+namespace aeo {
+
+/** A vector with inline storage for at most N elements. */
+template <typename T, size_t N>
+class StaticVector {
+  public:
+    StaticVector() = default;
+
+    StaticVector(std::initializer_list<T> init)
+    {
+        AEO_ASSERT(init.size() <= N, "StaticVector overflow: %zu > %zu",
+                   init.size(), N);
+        for (const T& value : init) {
+            items_[size_++] = value;
+        }
+    }
+
+    StaticVector&
+    operator=(std::initializer_list<T> init)
+    {
+        *this = StaticVector(init);
+        return *this;
+    }
+
+    void
+    push_back(const T& value)
+    {
+        AEO_ASSERT(size_ < N, "StaticVector overflow: capacity %zu", N);
+        items_[size_++] = value;
+    }
+
+    void clear() { size_ = 0; }
+
+    size_t size() const { return size_; }
+    static constexpr size_t capacity() { return N; }
+    bool empty() const { return size_ == 0; }
+
+    T&
+    operator[](size_t i)
+    {
+        AEO_ASSERT(i < size_, "StaticVector index %zu out of range %zu", i, size_);
+        return items_[i];
+    }
+
+    const T&
+    operator[](size_t i) const
+    {
+        AEO_ASSERT(i < size_, "StaticVector index %zu out of range %zu", i, size_);
+        return items_[i];
+    }
+
+    T& front() { return (*this)[0]; }
+    const T& front() const { return (*this)[0]; }
+    T& back() { return (*this)[size_ - 1]; }
+    const T& back() const { return (*this)[size_ - 1]; }
+
+    T* begin() { return items_.data(); }
+    T* end() { return items_.data() + size_; }
+    const T* begin() const { return items_.data(); }
+    const T* end() const { return items_.data() + size_; }
+
+  private:
+    std::array<T, N> items_{};
+    size_t size_ = 0;
+};
+
+}  // namespace aeo
+
+#endif  // AEO_COMMON_STATIC_VECTOR_H_

@@ -1,0 +1,65 @@
+#include "common/thread_pool.h"
+
+#include "common/logging.h"
+
+namespace aeo {
+
+ThreadPool::ThreadPool(size_t num_threads, size_t max_queue)
+    : max_queue_(max_queue > 0 ? max_queue : 2 * num_threads)
+{
+    AEO_ASSERT(num_threads >= 1, "thread pool needs at least one worker");
+    workers_.reserve(num_threads);
+    for (size_t i = 0; i < num_threads; ++i) {
+        workers_.emplace_back([this] { WorkerLoop(); });
+    }
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+        // Discard unstarted tasks; their futures report broken_promise.
+        queue_.clear();
+    }
+    task_ready_.notify_all();
+    space_ready_.notify_all();
+    for (std::thread& worker : workers_) {
+        worker.join();
+    }
+}
+
+void
+ThreadPool::Enqueue(std::function<void()> task)
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        space_ready_.wait(lock,
+                          [this] { return stopping_ || queue_.size() < max_queue_; });
+        AEO_ASSERT(!stopping_, "Submit() on a stopping thread pool");
+        queue_.push_back(std::move(task));
+    }
+    task_ready_.notify_one();
+}
+
+void
+ThreadPool::WorkerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            task_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty()) {
+                return;  // stopping_ and nothing left to run
+            }
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        space_ready_.notify_one();
+        // Any exception is already captured in the task's promise.
+        task();
+    }
+}
+
+}  // namespace aeo

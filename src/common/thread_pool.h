@@ -1,0 +1,88 @@
+/**
+ * @file
+ * A fixed-size worker pool with a futures-based Submit() and a bounded task
+ * queue. The pool is the mechanism under the batch-execution layer
+ * (core/batch_runner.h): callers submit self-contained closures and collect
+ * std::futures, so results are consumed in whatever order the *caller*
+ * chooses — which is how BatchRunner guarantees submission-order results
+ * regardless of completion order.
+ *
+ * Design notes:
+ *  - The queue is bounded (default 2× the worker count): a producer that
+ *    fans out hundreds of thousands of jobs blocks in Submit() instead of
+ *    materializing every closure at once.
+ *  - Exceptions thrown by a task are captured into its future (the
+ *    std::packaged_task contract) and rethrow at future::get(); workers
+ *    never die.
+ *  - Destruction drains nothing: tasks already dequeued finish, queued
+ *    tasks are discarded (their futures report broken_promise). Callers
+ *    that need every result — BatchRunner does — get() every future before
+ *    the pool goes away.
+ */
+#ifndef AEO_COMMON_THREAD_POOL_H_
+#define AEO_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace aeo {
+
+/** Fixed-size worker pool with a bounded task queue. */
+class ThreadPool {
+  public:
+    /**
+     * @param num_threads Worker count; must be >= 1.
+     * @param max_queue   Queue bound; 0 = 2 * num_threads.
+     */
+    explicit ThreadPool(size_t num_threads, size_t max_queue = 0);
+
+    /** Joins all workers; queued-but-unstarted tasks are discarded. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /**
+     * Enqueues @p fn, blocking while the queue is full. The returned future
+     * yields fn's result or rethrows its exception.
+     */
+    template <typename F>
+    auto
+    Submit(F&& fn) -> std::future<std::invoke_result_t<F>>
+    {
+        using R = std::invoke_result_t<F>;
+        // std::function requires copyable callables; packaged_task is
+        // move-only, so it rides behind a shared_ptr.
+        auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+        std::future<R> future = task->get_future();
+        Enqueue([task] { (*task)(); });
+        return future;
+    }
+
+    /** Number of worker threads. */
+    size_t size() const { return workers_.size(); }
+
+  private:
+    void Enqueue(std::function<void()> task);
+    void WorkerLoop();
+
+    std::mutex mutex_;
+    std::condition_variable task_ready_;
+    std::condition_variable space_ready_;
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+    size_t max_queue_;
+    bool stopping_ = false;
+};
+
+}  // namespace aeo
+
+#endif  // AEO_COMMON_THREAD_POOL_H_

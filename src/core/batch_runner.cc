@@ -1,0 +1,24 @@
+#include "core/batch_runner.h"
+
+#include <thread>
+
+#include "common/logging.h"
+
+namespace aeo {
+
+int
+ResolveJobs(const BatchOptions& options)
+{
+    if (options.jobs > 0) {
+        return options.jobs;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+BatchRunner::BatchRunner(BatchOptions options) : jobs_(ResolveJobs(options))
+{
+    AEO_ASSERT(jobs_ >= 1, "batch runner needs at least one job");
+}
+
+}  // namespace aeo

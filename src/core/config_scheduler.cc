@@ -9,6 +9,47 @@
 
 namespace aeo {
 
+namespace {
+
+/** Level indices of @p size, ordered by distance of value(i) from
+ * value(target), target itself first (ties resolve to the lower level). */
+template <typename ValueAt>
+std::vector<int>
+LevelsByDistance(int size, int target, ValueAt value_at)
+{
+    std::vector<int> levels(static_cast<size_t>(size));
+    std::iota(levels.begin(), levels.end(), 0);
+    const double want = value_at(target);
+    std::stable_sort(levels.begin(), levels.end(), [&](int a, int b) {
+        return std::abs(value_at(a) - want) < std::abs(value_at(b) - want);
+    });
+    return levels;
+}
+
+/** Fills a plan's per-target candidate orders from an integral level-value
+ * map: candidates[t] are value(level) strings ordered nearest-to-t first. */
+template <typename ValueAt>
+void
+PrecomputeCandidates(int size, ValueAt value_at,
+                     std::vector<std::vector<std::string>>* candidates,
+                     std::vector<std::vector<int>>* levels_out)
+{
+    candidates->resize(static_cast<size_t>(size));
+    levels_out->resize(static_cast<size_t>(size));
+    for (int target = 0; target < size; ++target) {
+        std::vector<int> order = LevelsByDistance(size, target, value_at);
+        auto& strings = (*candidates)[static_cast<size_t>(target)];
+        strings.reserve(order.size());
+        for (const int level : order) {
+            strings.push_back(
+                StrFormat("%lld", static_cast<long long>(value_at(level))));
+        }
+        (*levels_out)[static_cast<size_t>(target)] = std::move(order);
+    }
+}
+
+}  // namespace
+
 ConfigScheduler::ConfigScheduler(Device* device, SimTime min_dwell,
                                  ActuationRetryPolicy retry)
     : device_(device), min_dwell_(min_dwell), retry_(retry)
@@ -21,10 +62,54 @@ ConfigScheduler::ConfigScheduler(Device* device, SimTime min_dwell,
     if (retry_.budget <= SimTime::Zero()) {
         retry_.budget = min_dwell_;
     }
+
+    // Precompute every actuation plan once: the OPP tables are immutable for
+    // the device's lifetime, so the per-dwell path below never formats a
+    // value string, builds a path, or sorts a fallback order again.
+    Sysfs& sysfs = device_->sysfs();
+
+    const FrequencyTable& cpu_table = device_->cluster().table();
+    const auto cpu_khz = [&cpu_table](int level) {
+        return static_cast<double>(
+            std::llround(cpu_table.FrequencyAt(level).megahertz() * 1000.0));
+    };
+    cpu_plan_.set = sysfs.Open(std::string(kCpufreqSysfsRoot) + "/scaling_setspeed");
+    cpu_plan_.readback =
+        sysfs.Open(std::string(kCpufreqSysfsRoot) + "/scaling_cur_freq");
+    PrecomputeCandidates(cpu_table.size(), cpu_khz, &cpu_plan_.candidates,
+                         &cpu_plan_.levels);
+    cpu_plan_.to_level = [&cpu_table](long long khz) {
+        return cpu_table.ClosestLevel(Gigahertz(static_cast<double>(khz) / 1e6));
+    };
+
+    const BandwidthTable& bw_table = device_->bus().table();
+    const auto bw_mbps = [&bw_table](int level) {
+        return static_cast<double>(std::llround(bw_table.BandwidthAt(level).value()));
+    };
+    bw_plan_.set =
+        sysfs.Open(std::string(kDevfreqSysfsRoot) + "/userspace/set_freq");
+    bw_plan_.readback = sysfs.Open(std::string(kDevfreqSysfsRoot) + "/cur_freq");
+    PrecomputeCandidates(bw_table.size(), bw_mbps, &bw_plan_.candidates,
+                         &bw_plan_.levels);
+    bw_plan_.to_level = [&bw_table](long long mbps) {
+        return bw_table.ClosestLevel(MegabytesPerSecond(static_cast<double>(mbps)));
+    };
+
+    GpuDomain& gpu = device_->gpu();
+    const auto gpu_mhz = [&gpu](int level) {
+        return static_cast<double>(std::llround(gpu.MhzAt(level)));
+    };
+    gpu_plan_.set = sysfs.Open(std::string(kGpuSysfsRoot) + "/userspace/set_freq");
+    gpu_plan_.readback = sysfs.Open(std::string(kGpuSysfsRoot) + "/cur_freq");
+    PrecomputeCandidates(gpu.size(), gpu_mhz, &gpu_plan_.candidates,
+                         &gpu_plan_.levels);
+    gpu_plan_.to_level = [&gpu](long long mhz) {
+        return gpu.ClosestLevel(static_cast<double>(mhz));
+    };
 }
 
 FaultErrc
-ConfigScheduler::WriteWithRetry(const std::string& path, const std::string& value)
+ConfigScheduler::WriteWithRetry(SysfsHandle node, const std::string& value)
 {
     Sysfs& sysfs = device_->sysfs();
     // The backoff clock is budget accounting, not event scheduling: the
@@ -33,7 +118,7 @@ ConfigScheduler::WriteWithRetry(const std::string& path, const std::string& valu
     // so a flaky node can only be retried as often as 200 ms permits.
     SimTime spent = SimTime::Zero();
     SimTime backoff = retry_.initial_backoff;
-    FaultErrc errc = sysfs.TryWrite(path, value);
+    FaultErrc errc = sysfs.TryWrite(node, value);
     spent += sysfs.last_injected_latency();
     for (int attempt = 0; attempt < retry_.max_retries; ++attempt) {
         const bool retryable = errc == FaultErrc::kBusy ||
@@ -45,26 +130,28 @@ ConfigScheduler::WriteWithRetry(const std::string& path, const std::string& valu
         spent += backoff;
         backoff = backoff * 2;
         ++stats_.retries;
-        errc = sysfs.TryWrite(path, value);
+        errc = sysfs.TryWrite(node, value);
         spent += sysfs.last_injected_latency();
     }
     return errc;
 }
 
 bool
-ConfigScheduler::WriteWithFallback(const std::string& path,
+ConfigScheduler::WriteWithFallback(SysfsHandle node,
                                    const std::vector<std::string>& candidates,
                                    size_t* accepted_index)
 {
-    AEO_ASSERT(!candidates.empty(), "no candidate values for '%s'", path.c_str());
+    AEO_ASSERT(!candidates.empty(), "no candidate values for '%s'",
+               device_->sysfs().PathOf(node).c_str());
     for (size_t i = 0; i < candidates.size(); ++i) {
-        const FaultErrc errc = WriteWithRetry(path, candidates[i]);
+        const FaultErrc errc = WriteWithRetry(node, candidates[i]);
         if (errc == FaultErrc::kOk) {
             if (i > 0) {
                 ++stats_.inval_fallbacks;
                 Warn("sysfs write '%s' <- '%s' rejected; fell back to nearest "
                      "accepted value '%s'",
-                     path.c_str(), candidates[0].c_str(), candidates[i].c_str());
+                     device_->sysfs().PathOf(node).c_str(), candidates[0].c_str(),
+                     candidates[i].c_str());
             }
             ++stats_.writes;
             if (accepted_index != nullptr) {
@@ -77,15 +164,16 @@ ConfigScheduler::WriteWithFallback(const std::string& path,
             // Transient retries exhausted (or the node is gone/read-only):
             // trying a different value will not help.
             Warn("sysfs write '%s' <- '%s' failed: %s (retries exhausted)",
-                 path.c_str(), candidates[i].c_str(), FaultErrcName(errc));
+                 device_->sysfs().PathOf(node).c_str(), candidates[i].c_str(),
+                 FaultErrcName(errc));
             ++stats_.failed_ops;
             NoteOpOutcome(false);
             return false;
         }
         // EINVAL: this value is rejected; walk to the next-nearest one.
     }
-    Warn("sysfs write '%s': all %zu candidate values rejected", path.c_str(),
-         candidates.size());
+    Warn("sysfs write '%s': all %zu candidate values rejected",
+         device_->sysfs().PathOf(node).c_str(), candidates.size());
     ++stats_.failed_ops;
     NoteOpOutcome(false);
     return false;
@@ -114,14 +202,13 @@ ConfigScheduler::ResetFailureTracking()
 }
 
 void
-ConfigScheduler::VerifyDelivery(const std::string& readback_path,
-                                const std::function<int(long long)>& to_level,
+ConfigScheduler::VerifyDelivery(const SubsystemActuator& plan,
                                 ActuationDelivery* delivery)
 {
     if (!readback_ || !delivery->write_ok) {
         return;
     }
-    const SysfsReadResult result = device_->sysfs().TryRead(readback_path);
+    const SysfsReadResult result = device_->sysfs().TryRead(plan.readback);
     long long raw = 0;
     if (!result.ok() || !ParseInt64(Trim(result.value), &raw)) {
         // The write stands but cannot be checked; stay conservative and
@@ -130,31 +217,27 @@ ConfigScheduler::VerifyDelivery(const std::string& readback_path,
         return;
     }
     delivery->verified = true;
-    delivery->delivered_level = to_level(raw);
+    delivery->delivered_level = plan.to_level(raw);
     ++stats_.verified_writes;
     if (delivery->delivered_level != delivery->requested_level) {
         ++stats_.silent_clamps;
     }
 }
 
-namespace {
-
-/** Level indices of @p size, ordered by distance of value(i) from
- * value(target), target itself first (ties resolve to the lower level). */
-template <typename ValueAt>
-std::vector<int>
-LevelsByDistance(int size, int target, ValueAt value_at)
+void
+ConfigScheduler::ActuateSubsystem(const SubsystemActuator& plan, int target,
+                                  ActuationDelivery* delivery)
 {
-    std::vector<int> levels(static_cast<size_t>(size));
-    std::iota(levels.begin(), levels.end(), 0);
-    const double want = value_at(target);
-    std::stable_sort(levels.begin(), levels.end(), [&](int a, int b) {
-        return std::abs(value_at(a) - want) < std::abs(value_at(b) - want);
-    });
-    return levels;
+    const auto& candidates = plan.candidates[static_cast<size_t>(target)];
+    const auto& levels = plan.levels[static_cast<size_t>(target)];
+    delivery->attempted = true;
+    size_t accepted = 0;
+    delivery->write_ok = WriteWithFallback(plan.set, candidates, &accepted);
+    // Verify against the level whose value was *accepted* — an EINVAL
+    // fallback is not a clamp, the substituted value was the request.
+    delivery->requested_level = delivery->write_ok ? levels[accepted] : target;
+    VerifyDelivery(plan, delivery);
 }
-
-}  // namespace
 
 bool
 ConfigScheduler::ApplyConfigNow(const SystemConfig& config)
@@ -162,88 +245,12 @@ ConfigScheduler::ApplyConfigNow(const SystemConfig& config)
     DwellDelivery delivery;
     delivery.requested_config = config;
 
-    {
-        const FrequencyTable& cpu_table = device_->cluster().table();
-        const auto cpu_khz = [&cpu_table](int level) {
-            return static_cast<double>(
-                std::llround(cpu_table.FrequencyAt(level).megahertz() * 1000.0));
-        };
-        const std::vector<int> levels =
-            LevelsByDistance(cpu_table.size(), config.cpu_level, cpu_khz);
-        std::vector<std::string> candidates;
-        for (const int level : levels) {
-            candidates.push_back(
-                StrFormat("%lld", static_cast<long long>(cpu_khz(level))));
-        }
-        delivery.cpu.attempted = true;
-        size_t accepted = 0;
-        delivery.cpu.write_ok = WriteWithFallback(
-            std::string(kCpufreqSysfsRoot) + "/scaling_setspeed", candidates,
-            &accepted);
-        // Verify against the level whose value was *accepted* — an EINVAL
-        // fallback is not a clamp, the substituted value was the request.
-        delivery.cpu.requested_level =
-            delivery.cpu.write_ok ? levels[accepted] : config.cpu_level;
-        VerifyDelivery(std::string(kCpufreqSysfsRoot) + "/scaling_cur_freq",
-                       [&cpu_table](long long khz) {
-                           return cpu_table.ClosestLevel(
-                               Gigahertz(static_cast<double>(khz) / 1e6));
-                       },
-                       &delivery.cpu);
-    }
-
+    ActuateSubsystem(cpu_plan_, config.cpu_level, &delivery.cpu);
     if (config.controls_bandwidth()) {
-        const BandwidthTable& bw_table = device_->bus().table();
-        const auto bw_mbps = [&bw_table](int level) {
-            return static_cast<double>(
-                std::llround(bw_table.BandwidthAt(level).value()));
-        };
-        const std::vector<int> levels =
-            LevelsByDistance(bw_table.size(), config.bw_level, bw_mbps);
-        std::vector<std::string> candidates;
-        for (const int level : levels) {
-            candidates.push_back(
-                StrFormat("%lld", static_cast<long long>(bw_mbps(level))));
-        }
-        delivery.bw.attempted = true;
-        size_t accepted = 0;
-        delivery.bw.write_ok = WriteWithFallback(
-            std::string(kDevfreqSysfsRoot) + "/userspace/set_freq", candidates,
-            &accepted);
-        delivery.bw.requested_level =
-            delivery.bw.write_ok ? levels[accepted] : config.bw_level;
-        VerifyDelivery(std::string(kDevfreqSysfsRoot) + "/cur_freq",
-                       [&bw_table](long long mbps) {
-                           return bw_table.ClosestLevel(
-                               MegabytesPerSecond(static_cast<double>(mbps)));
-                       },
-                       &delivery.bw);
+        ActuateSubsystem(bw_plan_, config.bw_level, &delivery.bw);
     }
-
     if (config.controls_gpu()) {
-        GpuDomain& gpu = device_->gpu();
-        const auto gpu_mhz = [&gpu](int level) {
-            return static_cast<double>(std::llround(gpu.MhzAt(level)));
-        };
-        const std::vector<int> levels =
-            LevelsByDistance(gpu.size(), config.gpu_level, gpu_mhz);
-        std::vector<std::string> candidates;
-        for (const int level : levels) {
-            candidates.push_back(
-                StrFormat("%lld", static_cast<long long>(gpu_mhz(level))));
-        }
-        delivery.gpu.attempted = true;
-        size_t accepted = 0;
-        delivery.gpu.write_ok = WriteWithFallback(
-            std::string(kGpuSysfsRoot) + "/userspace/set_freq", candidates,
-            &accepted);
-        delivery.gpu.requested_level =
-            delivery.gpu.write_ok ? levels[accepted] : config.gpu_level;
-        VerifyDelivery(std::string(kGpuSysfsRoot) + "/cur_freq",
-                       [&gpu](long long mhz) {
-                           return gpu.ClosestLevel(static_cast<double>(mhz));
-                       },
-                       &delivery.gpu);
+        ActuateSubsystem(gpu_plan_, config.gpu_level, &delivery.gpu);
     }
 
     cycle_deliveries_.push_back(delivery);
@@ -290,7 +297,7 @@ ConfigScheduler::Apply(const ConfigSchedule& schedule, const ProfileTable& table
         total += slot.seconds;
     }
 
-    std::vector<ScheduleSlot> quantized;
+    ScheduleSlots quantized;
     if (schedule.slots.size() == 1) {
         quantized.push_back(schedule.slots.front());
     } else {

@@ -20,6 +20,11 @@
  *    cur_freq is re-read and compared against the request, so a write that
  *    succeeds but silently delivers a lower operating point (msm_thermal's
  *    clamp, an injected silent-clamp fault) is detected rather than trusted.
+ *
+ * The per-dwell path is allocation-free: sysfs nodes are opened once as
+ * interned SysfsHandles, and the candidate value strings for every target
+ * level (nearest-first, for the EINVAL fallback walk) are precomputed at
+ * construction from the device's immutable OPP tables.
  */
 #ifndef AEO_CORE_CONFIG_SCHEDULER_H_
 #define AEO_CORE_CONFIG_SCHEDULER_H_
@@ -182,25 +187,47 @@ class ConfigScheduler {
     int consecutive_failed_applies() const;
 
   private:
-    /** Retries @p value at @p path under the backoff budget. */
-    FaultErrc WriteWithRetry(const std::string& path, const std::string& value);
+    /**
+     * Everything needed to actuate one subsystem without allocating: the
+     * interned set/readback nodes, and — per target level — the candidate
+     * value strings (and their level indices) ordered by distance from the
+     * target, which the EINVAL fallback walks outward.
+     */
+    struct SubsystemActuator {
+        SysfsHandle set;
+        SysfsHandle readback;
+        std::vector<std::vector<std::string>> candidates;
+        std::vector<std::vector<int>> levels;
+        /** Maps a raw readback value to the nearest table level. */
+        std::function<int(long long)> to_level;
+    };
+
+    /** Retries @p value at @p node under the backoff budget. */
+    FaultErrc WriteWithRetry(SysfsHandle node, const std::string& value);
 
     /** One subsystem write with EINVAL fallback over candidate values,
      * ordered preferred-first. @p accepted_index receives the index of the
      * candidate that succeeded (untouched on failure). */
-    bool WriteWithFallback(const std::string& path,
+    bool WriteWithFallback(SysfsHandle node,
                            const std::vector<std::string>& candidates,
                            size_t* accepted_index = nullptr);
 
-    /** Re-reads @p readback_path and fills in the verification half of
-     * @p delivery; @p to_level maps the raw read value to a table level. */
-    void VerifyDelivery(const std::string& readback_path,
-                        const std::function<int(long long)>& to_level,
+    /** Writes @p target on @p plan's node (with fallback + read-back) and
+     * records the outcome in @p delivery. */
+    void ActuateSubsystem(const SubsystemActuator& plan, int target,
+                          ActuationDelivery* delivery);
+
+    /** Re-reads @p plan's readback node and fills in the verification half
+     * of @p delivery. */
+    void VerifyDelivery(const SubsystemActuator& plan,
                         ActuationDelivery* delivery);
 
     void NoteOpOutcome(bool ok);
 
     Device* device_;
+    SubsystemActuator cpu_plan_;
+    SubsystemActuator bw_plan_;
+    SubsystemActuator gpu_plan_;
     SimTime min_dwell_;
     ActuationRetryPolicy retry_;
     ActuationStats stats_;

@@ -145,24 +145,52 @@ ConfigSchedule
 EnergyOptimizer::OptimizePairs(double speedup, double cycle_seconds) const
 {
     // The paper's O(N²) search: enumerate every (c_l, c_h) bracketing pair,
-    // split the cycle to meet the speedup, keep the cheapest.
+    // split the cycle to meet the speedup, keep the cheapest. Non-bracketing
+    // rows are filtered *once* into the low/high candidate lists (instead of
+    // re-testing both sides of every (l, h) combination), and each surviving
+    // pair is costed arithmetically — the winning schedule is constructed
+    // exactly once at the end.
     const auto& entries = table_->entries();
-    ConfigSchedule best;
+    std::vector<size_t> lows;
+    std::vector<size_t> highs;
+    lows.reserve(entries.size());
+    highs.reserve(entries.size());
+    for (size_t i = 0; i < entries.size(); ++i) {
+        if (entries[i].speedup <= speedup) {
+            lows.push_back(i);
+        }
+        if (entries[i].speedup >= speedup) {
+            highs.push_back(i);
+        }
+    }
+    size_t best_l = entries.size();
+    size_t best_h = entries.size();
     double best_power = std::numeric_limits<double>::infinity();
-    for (size_t l = 0; l < entries.size(); ++l) {
-        for (size_t h = 0; h < entries.size(); ++h) {
-            if (entries[l].speedup > speedup || entries[h].speedup < speedup) {
-                continue;
+    for (const size_t l : lows) {
+        for (const size_t h : highs) {
+            // Same arithmetic (and accumulation order) as MakePair, without
+            // materializing the candidate.
+            double t_low = 0.0;
+            double t_high = 0.0;
+            SplitDwell(entries[l].speedup, entries[h].speedup, speedup,
+                       cycle_seconds, &t_low, &t_high);
+            double power_time = 0.0;
+            if (t_low > 0.0) {
+                power_time += entries[l].power_mw * t_low;
             }
-            const ConfigSchedule candidate = MakePair(l, h, speedup, cycle_seconds);
-            if (candidate.expected_power_mw < best_power) {
-                best_power = candidate.expected_power_mw;
-                best = candidate;
+            if (t_high > 0.0 && h != l) {
+                power_time += entries[h].power_mw * t_high;
+            }
+            const double power = power_time / cycle_seconds;
+            if (power < best_power) {
+                best_power = power;
+                best_l = l;
+                best_h = h;
             }
         }
     }
-    AEO_ASSERT(!best.slots.empty(), "pair search found no feasible schedule");
-    return best;
+    AEO_ASSERT(best_l < entries.size(), "pair search found no feasible schedule");
+    return MakePair(best_l, best_h, speedup, cycle_seconds);
 }
 
 ConfigSchedule
@@ -192,10 +220,11 @@ EnergyOptimizer::OptimizeSimplex(double speedup, double cycle_seconds) const
         }
     }
     // Present lower-speedup slot first, like the other backends.
-    std::sort(schedule.slots.begin(), schedule.slots.end(),
-              [&](const ScheduleSlot& a, const ScheduleSlot& b) {
-                  return speedups[a.entry_index] < speedups[b.entry_index];
-              });
+    if (schedule.slots.size() == 2 &&
+        speedups[schedule.slots[1].entry_index] <
+            speedups[schedule.slots[0].entry_index]) {
+        std::swap(schedule.slots[0], schedule.slots[1]);
+    }
     schedule.expected_power_mw = power_time / cycle_seconds;
     schedule.expected_speedup = speedup_time / cycle_seconds;
     return schedule;

@@ -21,6 +21,7 @@
 
 #include <vector>
 
+#include "common/static_vector.h"
 #include "core/profile_table.h"
 
 namespace aeo {
@@ -33,10 +34,18 @@ struct ScheduleSlot {
     double seconds = 0.0;
 };
 
+/**
+ * The dwell slots of one schedule. The LP (4)–(7) provably admits an
+ * optimum with at most two non-zero dwells (configurations bracketing the
+ * required speedup, Fig. 3), so the storage is inline: building, copying
+ * and replaying a schedule on the per-cycle control path allocates nothing.
+ */
+using ScheduleSlots = StaticVector<ScheduleSlot, 2>;
+
 /** An energy-optimal control input u_n. */
 struct ConfigSchedule {
     /** Non-zero dwells, in application order (lower speedup first). */
-    std::vector<ScheduleSlot> slots;
+    ScheduleSlots slots;
     /** Expected average power over the cycle, mW. */
     double expected_power_mw = 0.0;
     /** Expected average speedup over the cycle. */

@@ -49,6 +49,7 @@ ExperimentHarness::ProfileApp(const std::string& app_name,
                                             : scenario.profile_duration;
     profiler_options.load = options.profile_load;
     profiler_options.seed = options.seed + 1000;
+    profiler_options.batch = options.batch;
     const OfflineProfiler profiler(factory_);
     ProfileTable table = profiler.Profile(MakeAppSpecByName(app_name), profiler_options);
     if (options.prune_epsilon > 0.0) {
@@ -101,6 +102,28 @@ ExperimentHarness::RunComparison(const std::string& app_name,
     outcome.energy_savings_pct =
         outcome.controller_run.EnergySavingsPercent(outcome.default_run);
     return outcome;
+}
+
+std::vector<ExperimentOutcome>
+ExperimentHarness::RunComparisons(std::vector<ComparisonJob> jobs,
+                                  const BatchOptions& batch) const
+{
+    const BatchRunner runner(batch);
+    if (runner.jobs() > 1) {
+        // The comparison is the unit of parallelism; its inner profiling
+        // runs serially so pools never nest (and the worker count never
+        // multiplies).
+        for (ComparisonJob& job : jobs) {
+            job.options.batch.jobs = 1;
+        }
+    }
+    std::vector<std::function<ExperimentOutcome()>> tasks;
+    tasks.reserve(jobs.size());
+    for (const ComparisonJob& job : jobs) {
+        tasks.push_back(
+            [this, &job] { return RunComparison(job.app_name, job.options); });
+    }
+    return runner.RunOrdered(std::move(tasks));
 }
 
 }  // namespace aeo

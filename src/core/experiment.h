@@ -47,6 +47,19 @@ struct ExperimentOptions {
     ControllerConfig controller;
     /** Base seed; default/profiling/controller runs use distinct streams. */
     uint64_t seed = 7;
+    /**
+     * Parallel fan-out for the profiling stage of this comparison (see
+     * ProfilerOptions::batch). Ignored — forced serial — when the
+     * comparison itself runs inside a RunComparisons() fan-out, so pools
+     * never nest.
+     */
+    BatchOptions batch;
+};
+
+/** One entry in a RunComparisons() sweep. */
+struct ComparisonJob {
+    std::string app_name;
+    ExperimentOptions options;
 };
 
 /** Everything one comparison produces. */
@@ -84,6 +97,16 @@ class ExperimentHarness {
     /** The full §V procedure: default → profile → controller → compare. */
     ExperimentOutcome RunComparison(const std::string& app_name,
                                     const ExperimentOptions& options = {}) const;
+
+    /**
+     * Runs a sweep of independent comparisons across the batch layer and
+     * returns the outcomes in @p jobs order. Each comparison is one batch
+     * job (its inner profiling is forced serial so pools never nest); every
+     * outcome is bit-identical to calling RunComparison() directly,
+     * regardless of worker count.
+     */
+    std::vector<ExperimentOutcome> RunComparisons(std::vector<ComparisonJob> jobs,
+                                                  const BatchOptions& batch = {}) const;
 
   private:
     void DriveRun(Device* device, const AppScenario& scenario) const;

@@ -8,6 +8,86 @@
 
 namespace aeo {
 
+namespace {
+
+/** One measurement run's averages (the unit of batch parallelism). */
+struct RunSample {
+    double gips = 0.0;
+    double power_mw = 0.0;
+};
+
+/**
+ * One pinned run on a fresh device. Self-contained: the device is built
+ * from a seed derived only from (options.seed, config, run), so the sample
+ * is identical whether the run executes serially or on a pool worker.
+ */
+RunSample
+MeasureOneRun(const DeviceFactory& factory, const AppSpec& app,
+              const SystemConfig& config, const ProfilerOptions& options, int run)
+{
+    const uint64_t seed =
+        options.seed + 7919ULL * static_cast<uint64_t>(run) +
+        131071ULL * static_cast<uint64_t>(config.cpu_level * 512 +
+                                          (config.gpu_level + 1) * 64 +
+                                          config.bw_level + 1);
+    std::unique_ptr<Device> device = factory(seed);
+    device->SetBackground(MakeBackgroundEnv(options.load));
+    Sysfs& sysfs = device->sysfs();
+    const SysfsHandle gpu_governor =
+        sysfs.Open(std::string(kGpuSysfsRoot) + "/governor");
+    if (config.controls_gpu()) {
+        sysfs.Write(gpu_governor, "userspace");
+        sysfs.Write(sysfs.Open(std::string(kGpuSysfsRoot) + "/userspace/set_freq"),
+                    StrFormat("%lld", static_cast<long long>(
+                                          device->gpu().MhzAt(config.gpu_level) + 0.5)));
+    } else {
+        // Everything outside the configuration tuple runs under its
+        // default governor during profiling, as on the paper's phone.
+        sysfs.Write(gpu_governor, "msm-adreno-tz");
+    }
+    if (config.controls_bandwidth()) {
+        device->PinConfiguration(config.cpu_level, config.bw_level);
+    } else {
+        // CPU-only: pin the CPU, leave the bus with its default governor.
+        sysfs.Write(sysfs.Open(std::string(kDevfreqSysfsRoot) + "/governor"),
+                    "cpubw_hwmon");
+        sysfs.Write(
+            sysfs.Open(std::string(kCpufreqSysfsRoot) + "/scaling_governor"),
+            "userspace");
+        const long long khz = static_cast<long long>(
+            device->cluster().table().FrequencyAt(config.cpu_level).megahertz() *
+                1000.0 +
+            0.5);
+        sysfs.Write(
+            sysfs.Open(std::string(kCpufreqSysfsRoot) + "/scaling_setspeed"),
+            StrFormat("%lld", khz));
+    }
+    device->LaunchApp(app);
+    device->RunFor(options.measure_duration);
+    const RunResult result = device->CollectResult("profiling");
+    return RunSample{result.avg_gips, result.measured_avg_power_mw};
+}
+
+/** Reduces @p runs consecutive samples starting at @p first into one
+ * measurement, accumulating in run order (the serial summation order). */
+ProfileMeasurement
+ReduceRuns(const SystemConfig& config, const RunSample* first, int runs)
+{
+    double gips_sum = 0.0;
+    double power_sum = 0.0;
+    for (int run = 0; run < runs; ++run) {
+        gips_sum += first[run].gips;
+        power_sum += first[run].power_mw;
+    }
+    ProfileMeasurement measurement;
+    measurement.config = config;
+    measurement.gips = gips_sum / runs;
+    measurement.power_mw = power_sum / runs;
+    return measurement;
+}
+
+}  // namespace
+
 DeviceFactory
 MakeDefaultDeviceFactory()
 {
@@ -28,61 +108,19 @@ OfflineProfiler::MeasureConfig(const AppSpec& app, const SystemConfig& config,
                                const ProfilerOptions& options) const
 {
     AEO_ASSERT(options.runs >= 1, "need at least one run");
-    double gips_sum = 0.0;
-    double power_sum = 0.0;
+    std::vector<RunSample> samples;
+    samples.reserve(static_cast<size_t>(options.runs));
     for (int run = 0; run < options.runs; ++run) {
-        const uint64_t seed =
-            options.seed + 7919ULL * static_cast<uint64_t>(run) +
-            131071ULL * static_cast<uint64_t>(config.cpu_level * 512 +
-                                              (config.gpu_level + 1) * 64 +
-                                              config.bw_level + 1);
-        std::unique_ptr<Device> device = factory_(seed);
-        device->SetBackground(MakeBackgroundEnv(options.load));
-        if (config.controls_gpu()) {
-            device->sysfs().Write(std::string(kGpuSysfsRoot) + "/governor",
-                                  "userspace");
-            device->sysfs().Write(
-                std::string(kGpuSysfsRoot) + "/userspace/set_freq",
-                StrFormat("%lld", static_cast<long long>(
-                                      device->gpu().MhzAt(config.gpu_level) + 0.5)));
-        } else {
-            // Everything outside the configuration tuple runs under its
-            // default governor during profiling, as on the paper's phone.
-            device->sysfs().Write(std::string(kGpuSysfsRoot) + "/governor",
-                                  "msm-adreno-tz");
-        }
-        if (config.controls_bandwidth()) {
-            device->PinConfiguration(config.cpu_level, config.bw_level);
-        } else {
-            // CPU-only: pin the CPU, leave the bus with its default governor.
-            device->sysfs().Write(
-                std::string(kDevfreqSysfsRoot) + "/governor", "cpubw_hwmon");
-            device->sysfs().Write(
-                std::string(kCpufreqSysfsRoot) + "/scaling_governor", "userspace");
-            const long long khz = static_cast<long long>(
-                device->cluster().table().FrequencyAt(config.cpu_level).megahertz() *
-                    1000.0 +
-                0.5);
-            device->sysfs().Write(
-                std::string(kCpufreqSysfsRoot) + "/scaling_setspeed",
-                StrFormat("%lld", khz));
-        }
-        device->LaunchApp(app);
-        device->RunFor(options.measure_duration);
-        const RunResult result = device->CollectResult("profiling");
-        gips_sum += result.avg_gips;
-        power_sum += result.measured_avg_power_mw;
+        samples.push_back(MeasureOneRun(factory_, app, config, options, run));
     }
-    ProfileMeasurement measurement;
-    measurement.config = config;
-    measurement.gips = gips_sum / options.runs;
-    measurement.power_mw = power_sum / options.runs;
-    return measurement;
+    return ReduceRuns(config, samples.data(), options.runs);
 }
 
 ProfileTable
 OfflineProfiler::Profile(const AppSpec& app, const ProfilerOptions& options) const
 {
+    AEO_ASSERT(options.runs >= 1, "need at least one run");
+
     // CPU levels to measure: the caller's exact pruned list (§V-A), or —
     // when none is given — the paper's "each alternate CPU frequency" over
     // the full range in sparse mode.
@@ -95,39 +133,62 @@ OfflineProfiler::Profile(const AppSpec& app, const ProfilerOptions& options) con
     }
     std::sort(cpu_grid.begin(), cpu_grid.end());
 
-    std::vector<ProfileMeasurement> measurements;
+    // The measurement grid, in the same order the serial loops visited it.
+    std::vector<SystemConfig> grid;
     if (options.cpu_only) {
+        grid.reserve(cpu_grid.size());
         for (const int cpu : cpu_grid) {
-            measurements.push_back(
-                MeasureConfig(app, SystemConfig{cpu, kBwDefaultGovernor}, options));
+            grid.push_back(SystemConfig{cpu, kBwDefaultGovernor});
         }
-        return ProfileTable::FromMeasurements(app.name, measurements);
-    }
-
-    const int bw_max = kNexus6BwLevels - 1;
-    std::vector<int> bw_grid;
-    if (options.sparse) {
-        bw_grid = {0, bw_max};
     } else {
-        for (int bw = 0; bw <= bw_max; ++bw) {
-            bw_grid.push_back(bw);
+        const int bw_max = kNexus6BwLevels - 1;
+        std::vector<int> bw_grid;
+        if (options.sparse) {
+            bw_grid = {0, bw_max};
+        } else {
+            for (int bw = 0; bw <= bw_max; ++bw) {
+                bw_grid.push_back(bw);
+            }
         }
-    }
-
-    std::vector<int> gpu_grid = options.gpu_levels;
-    if (gpu_grid.empty()) {
-        gpu_grid.push_back(kGpuDefaultGovernor);
-    }
-    for (const int cpu : cpu_grid) {
-        for (const int bw : bw_grid) {
-            for (const int gpu : gpu_grid) {
-                measurements.push_back(
-                    MeasureConfig(app, SystemConfig{cpu, bw, gpu}, options));
+        std::vector<int> gpu_grid = options.gpu_levels;
+        if (gpu_grid.empty()) {
+            gpu_grid.push_back(kGpuDefaultGovernor);
+        }
+        grid.reserve(cpu_grid.size() * bw_grid.size() * gpu_grid.size());
+        for (const int cpu : cpu_grid) {
+            for (const int bw : bw_grid) {
+                for (const int gpu : gpu_grid) {
+                    grid.push_back(SystemConfig{cpu, bw, gpu});
+                }
             }
         }
     }
+
+    // Fan the (configuration, run) grid across the batch layer — every run
+    // is one job on its own seeded device — then reduce each configuration's
+    // runs in submission order, so the table is bit-identical to a serial
+    // profile at any worker count.
+    std::vector<std::function<RunSample()>> tasks;
+    tasks.reserve(grid.size() * static_cast<size_t>(options.runs));
+    for (const SystemConfig& config : grid) {
+        for (int run = 0; run < options.runs; ++run) {
+            tasks.push_back([this, &app, config, &options, run] {
+                return MeasureOneRun(factory_, app, config, options, run);
+            });
+        }
+    }
+    const BatchRunner runner(options.batch);
+    const std::vector<RunSample> samples = runner.RunOrdered(std::move(tasks));
+
+    std::vector<ProfileMeasurement> measurements;
+    measurements.reserve(grid.size());
+    for (size_t i = 0; i < grid.size(); ++i) {
+        measurements.push_back(ReduceRuns(
+            grid[i], &samples[i * static_cast<size_t>(options.runs)], options.runs));
+    }
+
     ProfileTable table = ProfileTable::FromMeasurements(app.name, measurements);
-    if (options.sparse) {
+    if (!options.cpu_only && options.sparse) {
         table = table.InterpolateBandwidths(MakeNexus6BandwidthTable());
     }
     return table;

@@ -19,6 +19,7 @@
 
 #include "apps/app_model.h"
 #include "apps/background_load.h"
+#include "core/batch_runner.h"
 #include "core/profile_table.h"
 #include "device/device.h"
 
@@ -57,6 +58,14 @@ struct ProfilerOptions {
     BackgroundKind load = BackgroundKind::kBaseline;
     /** Seed for the profiling runs. */
     uint64_t seed = 1000;
+    /**
+     * Parallel fan-out of the (configuration, run) grid. Every run builds
+     * its own seeded Device, so the measurements are independent; results
+     * are reduced in submission order, making the table bit-identical to a
+     * serial profile at any worker count. jobs = 1 forces the historical
+     * serial path.
+     */
+    BatchOptions batch;
 };
 
 /** The offline profiling stage. */

@@ -32,11 +32,11 @@ MakeRegulatorConfig(const ProfileTable& table, const ControllerConfig& config)
  * retries, and a write that still fails is survivable (the watchdog covers
  * persistent actuation failure), so warn instead of aborting. */
 void
-TrySetGovernor(Sysfs& sysfs, const std::string& path, const std::string& value)
+TrySetGovernor(Sysfs& sysfs, SysfsHandle node, const std::string& value)
 {
     FaultErrc errc = FaultErrc::kOk;
     for (int attempt = 0; attempt < 3; ++attempt) {
-        errc = sysfs.TryWrite(path, value);
+        errc = sysfs.TryWrite(node, value);
         const bool retryable = errc == FaultErrc::kBusy ||
                                errc == FaultErrc::kIo ||
                                errc == FaultErrc::kNoEnt;
@@ -45,7 +45,7 @@ TrySetGovernor(Sysfs& sysfs, const std::string& path, const std::string& value)
         }
     }
     if (errc != FaultErrc::kOk) {
-        Warn("governor switch '%s' <- '%s' failed: %s", path.c_str(),
+        Warn("governor switch '%s' <- '%s' failed: %s", sysfs.PathOf(node).c_str(),
              value.c_str(), FaultErrcName(errc));
     }
 }
@@ -76,6 +76,14 @@ OnlineController::OnlineController(Device* device, ProfileTable table,
     AEO_ASSERT(config_.cap_confirm_cycles > 0, "cap confirm must be positive");
     AEO_ASSERT(config_.reengage_probe_cycles > 0 && config_.reengage_successes > 0,
                "re-engagement tuning must be positive");
+    Sysfs& sysfs = device_->sysfs();
+    cap_node_ = sysfs.Open(std::string(kCpufreqSysfsRoot) + "/scaling_max_freq");
+    temp_node_ = sysfs.Open("/sys/class/thermal/thermal_zone0/temp");
+    probe_node_ = sysfs.Open(std::string(kCpufreqSysfsRoot) + "/scaling_setspeed");
+    cpu_governor_node_ =
+        sysfs.Open(std::string(kCpufreqSysfsRoot) + "/scaling_governor");
+    bw_governor_node_ = sysfs.Open(std::string(kDevfreqSysfsRoot) + "/governor");
+    gpu_governor_node_ = sysfs.Open(std::string(kGpuSysfsRoot) + "/governor");
     for (size_t i = 0; i < table_.entries().size(); ++i) {
         const ProfileEntry& entry = table_.entries()[i];
         AEO_ASSERT(entry.config.controls_bandwidth() == controls_bandwidth_,
@@ -91,24 +99,19 @@ void
 OnlineController::Start()
 {
     Sysfs& sysfs = device_->sysfs();
-    TrySetGovernor(sysfs, std::string(kCpufreqSysfsRoot) + "/scaling_governor",
-                   "userspace");
+    TrySetGovernor(sysfs, cpu_governor_node_, "userspace");
     if (controls_bandwidth_) {
-        TrySetGovernor(sysfs, std::string(kDevfreqSysfsRoot) + "/governor",
-                       "userspace");
+        TrySetGovernor(sysfs, bw_governor_node_, "userspace");
     } else {
         // CPU-only controller (§V-D): the bus stays with the default
         // governor, taking decisions in an independent, isolated manner.
-        TrySetGovernor(sysfs, std::string(kDevfreqSysfsRoot) + "/governor",
-                       "cpubw_hwmon");
+        TrySetGovernor(sysfs, bw_governor_node_, "cpubw_hwmon");
     }
     if (controls_gpu_) {
         // §VII extension: GPU frequency joins the coordinated configuration.
-        TrySetGovernor(sysfs, std::string(kGpuSysfsRoot) + "/governor",
-                       "userspace");
+        TrySetGovernor(sysfs, gpu_governor_node_, "userspace");
     } else {
-        TrySetGovernor(sysfs, std::string(kGpuSysfsRoot) + "/governor",
-                       "msm-adreno-tz");
+        TrySetGovernor(sysfs, gpu_governor_node_, "msm-adreno-tz");
     }
 
     // Charge the controller's own computation and actuation to the plant
@@ -179,12 +182,9 @@ OnlineController::EngageFallback()
     Sysfs& sysfs = device_->sysfs();
     // Best effort: if even these writes fail, the device keeps whatever
     // governors it has — there is nothing further a userspace agent can do.
-    TrySetGovernor(sysfs, std::string(kCpufreqSysfsRoot) + "/scaling_governor",
-                   "interactive");
-    TrySetGovernor(sysfs, std::string(kDevfreqSysfsRoot) + "/governor",
-                   "cpubw_hwmon");
-    TrySetGovernor(sysfs, std::string(kGpuSysfsRoot) + "/governor",
-                   "msm-adreno-tz");
+    TrySetGovernor(sysfs, cpu_governor_node_, "interactive");
+    TrySetGovernor(sysfs, bw_governor_node_, "cpubw_hwmon");
+    TrySetGovernor(sysfs, gpu_governor_node_, "msm-adreno-tz");
     StopControl();
     if (config_.reengage) {
         // Keep probing the actuation path; once it stays healthy long
@@ -203,8 +203,7 @@ OnlineController::ProbeRecovery()
     // path is alive; transport-level errors (EIO/EBUSY/ENOENT) prove it is
     // not. "0" is harmless even if a userspace governor were active: no
     // table has a 0 kHz level to switch to.
-    const FaultErrc errc = device_->sysfs().TryWrite(
-        std::string(kCpufreqSysfsRoot) + "/scaling_setspeed", "0");
+    const FaultErrc errc = device_->sysfs().TryWrite(probe_node_, "0");
     const bool healthy = errc == FaultErrc::kOk || errc == FaultErrc::kInval;
     if (!healthy) {
         probe_successes_ = 0;
@@ -231,8 +230,7 @@ OnlineController::Reengage()
 int
 OnlineController::ReadPolicyCapLevel() const
 {
-    const SysfsReadResult result = device_->sysfs().TryRead(
-        std::string(kCpufreqSysfsRoot) + "/scaling_max_freq");
+    const SysfsReadResult result = device_->sysfs().TryRead(cap_node_);
     long long khz = 0;
     if (!result.ok() || !ParseInt64(Trim(result.value), &khz) || khz <= 0) {
         // Unreadable is not evidence of a clamp; assume uncapped.
@@ -247,8 +245,7 @@ OnlineController::ReadZoneTempC() const
 {
     // Absent on thermally unmodelled devices; TryRead returns ENOENT for an
     // unregistered path before consulting any fault injector.
-    const SysfsReadResult result =
-        device_->sysfs().TryRead("/sys/class/thermal/thermal_zone0/temp");
+    const SysfsReadResult result = device_->sysfs().TryRead(temp_node_);
     long long millideg = 0;
     if (!result.ok() || !ParseInt64(Trim(result.value), &millideg)) {
         return kLeakageReferenceC;

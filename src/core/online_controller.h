@@ -243,6 +243,14 @@ class OnlineController {
     Device* device_;
     ProfileTable table_;
     ControllerConfig config_;
+    /** Interned sysfs nodes for the per-cycle reads and governor switches
+     * (opened once at construction; no path strings built while running). */
+    SysfsHandle cap_node_;
+    SysfsHandle temp_node_;
+    SysfsHandle probe_node_;
+    SysfsHandle cpu_governor_node_;
+    SysfsHandle bw_governor_node_;
+    SysfsHandle gpu_governor_node_;
     EnergyOptimizer optimizer_;
     PerformanceRegulator regulator_;
     ConfigScheduler scheduler_;

@@ -117,6 +117,15 @@ Device::Device(DeviceConfig config)
         RescheduleBoundary();
     });
 
+    cpu_governor_node_ =
+        sysfs_.Open(std::string(kCpufreqSysfsRoot) + "/scaling_governor");
+    bw_governor_node_ = sysfs_.Open(std::string(kDevfreqSysfsRoot) + "/governor");
+    gpu_governor_node_ = sysfs_.Open(std::string(kGpuSysfsRoot) + "/governor");
+    cpu_setspeed_node_ =
+        sysfs_.Open(std::string(kCpufreqSysfsRoot) + "/scaling_setspeed");
+    bw_setfreq_node_ =
+        sysfs_.Open(std::string(kDevfreqSysfsRoot) + "/userspace/set_freq");
+
     last_update_ = sim_.Now();
     RecomputeRates();
     RescheduleBoundary();
@@ -149,9 +158,9 @@ Device::SetBackground(const BackgroundEnv& env)
 void
 Device::UseDefaultGovernors()
 {
-    sysfs_.Write(std::string(kCpufreqSysfsRoot) + "/scaling_governor", "interactive");
-    sysfs_.Write(std::string(kDevfreqSysfsRoot) + "/governor", "cpubw_hwmon");
-    sysfs_.Write(std::string(kGpuSysfsRoot) + "/governor", "msm-adreno-tz");
+    sysfs_.Write(cpu_governor_node_, "interactive");
+    sysfs_.Write(bw_governor_node_, "cpubw_hwmon");
+    sysfs_.Write(gpu_governor_node_, "msm-adreno-tz");
 }
 
 void
@@ -214,8 +223,8 @@ Device::EnableThermal(ThermalParams thermal_params, MsmThermalParams msm_params)
 void
 Device::UseUserspaceGovernors()
 {
-    sysfs_.Write(std::string(kCpufreqSysfsRoot) + "/scaling_governor", "userspace");
-    sysfs_.Write(std::string(kDevfreqSysfsRoot) + "/governor", "userspace");
+    sysfs_.Write(cpu_governor_node_, "userspace");
+    sysfs_.Write(bw_governor_node_, "userspace");
 }
 
 void
@@ -226,10 +235,8 @@ Device::PinConfiguration(int cpu_level, int bw_level)
         cluster_.table().FrequencyAt(cpu_level).megahertz() * 1000.0);
     const long long mbps =
         std::llround(bus_.table().BandwidthAt(bw_level).value());
-    sysfs_.Write(std::string(kCpufreqSysfsRoot) + "/scaling_setspeed",
-                 StrFormat("%lld", khz));
-    sysfs_.Write(std::string(kDevfreqSysfsRoot) + "/userspace/set_freq",
-                 StrFormat("%lld", mbps));
+    sysfs_.Write(cpu_setspeed_node_, StrFormat("%lld", khz));
+    sysfs_.Write(bw_setfreq_node_, StrFormat("%lld", mbps));
 }
 
 void

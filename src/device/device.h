@@ -219,6 +219,12 @@ class Device {
     DeviceConfig config_;
     Simulator sim_;
     Sysfs sysfs_;
+    /** Interned governor/setspeed nodes for the pinning helpers. */
+    SysfsHandle cpu_governor_node_;
+    SysfsHandle bw_governor_node_;
+    SysfsHandle gpu_governor_node_;
+    SysfsHandle cpu_setspeed_node_;
+    SysfsHandle bw_setfreq_node_;
 
     CpuCluster cluster_;
     MemoryBus bus_;

@@ -21,66 +21,124 @@ Sysfs::Register(const std::string& path, SysfsFile file)
                "sysfs path '%s' registered twice (conflicts with the existing "
                "registration at that path)",
                path.c_str());
+    ++generation_;
 }
 
 void
-Sysfs::Unregister(const std::string& path)
+Sysfs::Unregister(std::string_view path)
 {
-    files_.erase(path);
-    read_cache_.erase(path);
+    const auto it = files_.find(path);
+    if (it != files_.end()) {
+        files_.erase(it);
+        ++generation_;
+    }
+    const auto interned = intern_.find(path);
+    if (interned != intern_.end()) {
+        // Parity with the historical read-cache erase: a re-registered file
+        // must not serve pre-removal contents as a stale read.
+        nodes_[interned->second].last_good.clear();
+        nodes_[interned->second].has_last_good = false;
+    }
+}
+
+SysfsHandle
+Sysfs::Open(std::string_view path) const
+{
+    const auto it = intern_.find(path);
+    if (it != intern_.end()) {
+        return SysfsHandle(it->second);
+    }
+    const size_t index = nodes_.size();
+    nodes_.emplace_back();
+    nodes_.back().path = std::string(path);
+    intern_.emplace(nodes_.back().path, index);
+    return SysfsHandle(index);
+}
+
+const std::string&
+Sysfs::PathOf(SysfsHandle handle) const
+{
+    AEO_ASSERT(handle.valid() && handle.index_ < nodes_.size(),
+               "PathOf() on an unopened sysfs handle");
+    return nodes_[handle.index_].path;
+}
+
+Sysfs::Node&
+Sysfs::ResolveNode(SysfsHandle handle) const
+{
+    AEO_ASSERT(handle.valid() && handle.index_ < nodes_.size(),
+               "sysfs access through an unopened handle");
+    Node& node = nodes_[handle.index_];
+    if (node.seen_generation != generation_) {
+        const auto it = files_.find(std::string_view(node.path));
+        node.file = it != files_.end() ? &it->second : nullptr;
+        node.seen_generation = generation_;
+    }
+    return node;
 }
 
 bool
-Sysfs::Exists(const std::string& path) const
+Sysfs::Exists(std::string_view path) const
 {
-    if (injector_ != nullptr && injector_->IsGone(path)) {
+    const Node& node = ResolveNode(Open(path));
+    if (injector_ != nullptr && injector_->IsGone(node.path)) {
         return false;
     }
-    return files_.find(path) != files_.end();
+    return node.file != nullptr;
 }
 
 SysfsReadResult
-Sysfs::TryRead(const std::string& path) const
+Sysfs::TryRead(std::string_view path) const
+{
+    return TryRead(Open(path));
+}
+
+SysfsReadResult
+Sysfs::TryRead(SysfsHandle handle) const
 {
     last_latency_ = SimTime::Zero();
+    Node& node = ResolveNode(handle);
     SysfsReadResult result;
-    const auto it = files_.find(path);
-    if (it == files_.end()) {
+    if (node.file == nullptr) {
         result.errc = FaultErrc::kNoEnt;
         return result;
     }
     if (injector_ != nullptr) {
-        const FaultDecision decision = injector_->OnRead(path);
+        const FaultDecision decision = injector_->OnRead(node.path);
         last_latency_ = decision.latency;
         if (!decision.ok()) {
             result.errc = decision.errc;
             return result;
         }
-        if (decision.stale) {
-            const auto cached = read_cache_.find(path);
-            if (cached != read_cache_.end()) {
-                result.value = cached->second;
-                return result;
-            }
-            // Nothing cached yet: fall through to a genuine read.
+        if (decision.stale && node.has_last_good) {
+            result.value = node.last_good;
+            return result;
         }
+        // Nothing cached yet: fall through to a genuine read.
     }
-    result.value = it->second.read();
-    read_cache_[path] = result.value;
+    result.value = node.file->read();
+    node.last_good = result.value;
+    node.has_last_good = true;
     return result;
 }
 
 FaultErrc
-Sysfs::TryWrite(const std::string& path, const std::string& value)
+Sysfs::TryWrite(std::string_view path, const std::string& value)
+{
+    return TryWrite(Open(path), value);
+}
+
+FaultErrc
+Sysfs::TryWrite(SysfsHandle handle, const std::string& value)
 {
     last_latency_ = SimTime::Zero();
-    const auto it = files_.find(path);
-    if (it == files_.end()) {
+    Node& node = ResolveNode(handle);
+    if (node.file == nullptr) {
         return FaultErrc::kNoEnt;
     }
     std::string applied = value;
     if (injector_ != nullptr) {
-        const FaultDecision decision = injector_->OnWrite(path);
+        const FaultDecision decision = injector_->OnWrite(node.path);
         last_latency_ = decision.latency;
         if (!decision.ok()) {
             return decision.errc;
@@ -98,46 +156,59 @@ Sysfs::TryWrite(const std::string& path, const std::string& value)
             }
         }
     }
-    if (it->second.write == nullptr) {
+    if (node.file->write == nullptr) {
         return FaultErrc::kPerm;
     }
-    return it->second.write(applied) ? FaultErrc::kOk : FaultErrc::kInval;
+    return node.file->write(applied) ? FaultErrc::kOk : FaultErrc::kInval;
 }
 
 std::string
-Sysfs::ReadOrDefault(const std::string& path, const std::string& fallback) const
+Sysfs::ReadOrDefault(std::string_view path, const std::string& fallback) const
 {
     const SysfsReadResult result = TryRead(path);
     return result.ok() ? result.value : fallback;
 }
 
 std::string
-Sysfs::Read(const std::string& path) const
+Sysfs::Read(std::string_view path) const
 {
-    const SysfsReadResult result = TryRead(path);
+    return Read(Open(path));
+}
+
+std::string
+Sysfs::Read(SysfsHandle handle) const
+{
+    const SysfsReadResult result = TryRead(handle);
     if (!result.ok()) {
-        Fatal("sysfs read of '%s' failed: %s", path.c_str(),
+        Fatal("sysfs read of '%s' failed: %s", PathOf(handle).c_str(),
               FaultErrcName(result.errc));
     }
     return result.value;
 }
 
 bool
-Sysfs::Write(const std::string& path, const std::string& value)
+Sysfs::Write(std::string_view path, const std::string& value)
 {
-    const FaultErrc errc = TryWrite(path, value);
+    return Write(Open(path), value);
+}
+
+bool
+Sysfs::Write(SysfsHandle handle, const std::string& value)
+{
+    const FaultErrc errc = TryWrite(handle, value);
     switch (errc) {
     case FaultErrc::kOk:
         return true;
     case FaultErrc::kInval:
         return false;  // EINVAL stays a value, matching the documented API.
     default:
-        Fatal("sysfs write to '%s' failed: %s", path.c_str(), FaultErrcName(errc));
+        Fatal("sysfs write to '%s' failed: %s", PathOf(handle).c_str(),
+              FaultErrcName(errc));
     }
 }
 
 std::vector<std::string>
-Sysfs::List(const std::string& prefix) const
+Sysfs::List(std::string_view prefix) const
 {
     std::vector<std::string> out;
     for (const auto& [path, file] : files_) {
@@ -145,6 +216,7 @@ Sysfs::List(const std::string& prefix) const
             out.push_back(path);
         }
     }
+    std::sort(out.begin(), out.end());
     return out;
 }
 

@@ -13,13 +13,24 @@
  *  - The legacy Read()/Write() wrappers are thin asserting shims over the
  *    Try variants: they Fatal() on any error other than value rejection,
  *    preserving the behaviour existing callers were written against.
+ *
+ * Addressing is interned: every path resolves once to a SysfsHandle — an
+ * index into a node table — and all access goes through nodes. Hot-path
+ * callers (the config scheduler's per-dwell writes, the controller's
+ * per-cycle cap/temperature reads) Open() their handles once and then pay
+ * neither string construction nor a map lookup per operation; path-based
+ * callers pay one hashed lookup (the intern table is an unordered_map with
+ * heterogeneous string_view lookup, so no temporary std::string is built).
  */
 #ifndef AEO_KERNEL_SYSFS_H_
 #define AEO_KERNEL_SYSFS_H_
 
+#include <cstddef>
+#include <deque>
 #include <functional>
-#include <map>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "fault/fault_injector.h"
@@ -42,6 +53,26 @@ struct SysfsReadResult {
     bool ok() const { return errc == FaultErrc::kOk; }
 };
 
+/**
+ * An interned sysfs path: open once, then read/write by index with no
+ * per-operation string building or hashing. A handle stays valid for the
+ * lifetime of the Sysfs that issued it, across Register/Unregister of the
+ * underlying file (operations report ENOENT while the file is absent,
+ * exactly like a path-based access).
+ */
+class SysfsHandle {
+  public:
+    SysfsHandle() = default;
+
+    /** True once obtained from Sysfs::Open(). */
+    bool valid() const { return index_ != static_cast<size_t>(-1); }
+
+  private:
+    friend class Sysfs;
+    explicit SysfsHandle(size_t index) : index_(index) {}
+    size_t index_ = static_cast<size_t>(-1);
+};
+
 /** A tree of virtual files addressed by absolute slash-separated paths. */
 class Sysfs {
   public:
@@ -51,11 +82,21 @@ class Sysfs {
     void Register(const std::string& path, SysfsFile file);
 
     /** Removes a file if present. */
-    void Unregister(const std::string& path);
+    void Unregister(std::string_view path);
+
+    /**
+     * Interns @p path and returns its handle. Idempotent; the file need not
+     * be registered (yet) — an access through the handle then reports
+     * ENOENT, exactly like the path-based calls.
+     */
+    SysfsHandle Open(std::string_view path) const;
+
+    /** The absolute path a handle was opened for. */
+    const std::string& PathOf(SysfsHandle handle) const;
 
     /** True if a file exists at @p path (and has not disappeared under
      * injected hotplug-style faults). */
-    bool Exists(const std::string& path) const;
+    bool Exists(std::string_view path) const;
 
     /**
      * Reads a file, reporting failure as a value: kNoEnt when the path is
@@ -63,34 +104,46 @@ class Sysfs {
      * error otherwise. A stale-read fault serves the previous successfully
      * read contents — indistinguishable from a fresh value, as on hardware.
      */
-    SysfsReadResult TryRead(const std::string& path) const;
+    SysfsReadResult TryRead(std::string_view path) const;
+
+    /** Handle variant of TryRead(); no per-call lookup or allocation. */
+    SysfsReadResult TryRead(SysfsHandle handle) const;
 
     /**
      * Writes a file, reporting failure as a value: kNoEnt when absent,
      * kPerm when read-only, kInval when the file rejects the value, or any
      * injected error.
      */
-    FaultErrc TryWrite(const std::string& path, const std::string& value);
+    FaultErrc TryWrite(std::string_view path, const std::string& value);
+
+    /** Handle variant of TryWrite(); no per-call lookup or allocation. */
+    FaultErrc TryWrite(SysfsHandle handle, const std::string& value);
 
     /**
      * Reads a file that may legitimately be absent (e.g. the input_boost
      * node some kernels lack): returns @p fallback on any failure.
      */
-    std::string ReadOrDefault(const std::string& path,
+    std::string ReadOrDefault(std::string_view path,
                               const std::string& fallback) const;
 
     /** Asserting shim over TryRead(); Fatal() on any failure. */
-    std::string Read(const std::string& path) const;
+    std::string Read(std::string_view path) const;
+
+    /** Asserting shim over TryRead(SysfsHandle); Fatal() on any failure. */
+    std::string Read(SysfsHandle handle) const;
 
     /**
      * Asserting shim over TryWrite(): Fatal() if the file does not exist or
      * is read-only; returns the file's acceptance of the value (false =
      * invalid value, like EINVAL).
      */
-    bool Write(const std::string& path, const std::string& value);
+    bool Write(std::string_view path, const std::string& value);
+
+    /** Asserting shim over TryWrite(SysfsHandle). */
+    bool Write(SysfsHandle handle, const std::string& value);
 
     /** All registered paths with the given prefix, sorted. */
-    std::vector<std::string> List(const std::string& prefix) const;
+    std::vector<std::string> List(std::string_view prefix) const;
 
     /** Hooks an injector into the Try paths; nullptr disables injection.
      * Not owned; must outlive the sysfs or be unhooked first. */
@@ -104,10 +157,39 @@ class Sysfs {
     SimTime last_injected_latency() const { return last_latency_; }
 
   private:
-    std::map<std::string, SysfsFile> files_;
+    /** Transparent hasher: lookups by string_view build no temporaries. */
+    struct StringHash {
+        using is_transparent = void;
+        size_t
+        operator()(std::string_view text) const
+        {
+            return std::hash<std::string_view>{}(text);
+        }
+    };
+
+    /** One interned path: resolution cache + stale-read cache. */
+    struct Node {
+        std::string path;
+        /** Resolved registration, revalidated when generation_ moves. */
+        const SysfsFile* file = nullptr;
+        uint64_t seen_generation = 0;
+        /** Last good contents, serving injected stale reads. */
+        std::string last_good;
+        bool has_last_good = false;
+    };
+
+    /** The node behind a handle, with its registration freshly resolved. */
+    Node& ResolveNode(SysfsHandle handle) const;
+
+    std::unordered_map<std::string, SysfsFile, StringHash, std::equal_to<>> files_;
+    /** Interned path -> node index; nodes never disappear. */
+    mutable std::unordered_map<std::string, size_t, StringHash, std::equal_to<>>
+        intern_;
+    /** Deque: node addresses stay stable as new paths intern. */
+    mutable std::deque<Node> nodes_;
+    /** Bumped by Register/Unregister to invalidate cached resolutions. */
+    uint64_t generation_ = 1;
     FaultInjector* injector_ = nullptr;
-    /** Last good contents per path, serving injected stale reads. */
-    mutable std::map<std::string, std::string> read_cache_;
     mutable SimTime last_latency_ = SimTime::Zero();
 };
 

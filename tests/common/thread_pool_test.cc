@@ -1,0 +1,87 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <future>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace aeo {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask)
+{
+    ThreadPool pool(4);
+    std::atomic<int> counter{0};
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 100; ++i) {
+        futures.push_back(pool.Submit([&counter] { ++counter; }));
+    }
+    for (auto& f : futures) {
+        f.get();
+    }
+    EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, FuturesReturnValuesInSubmissionOrder)
+{
+    ThreadPool pool(3);
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 50; ++i) {
+        futures.push_back(pool.Submit([i] { return i * i; }));
+    }
+    // Whatever order the workers finish in, future k holds task k's result.
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_EQ(futures[static_cast<size_t>(i)].get(), i * i);
+    }
+}
+
+TEST(ThreadPoolTest, ExceptionsPropagateThroughFutures)
+{
+    ThreadPool pool(2);
+    auto ok = pool.Submit([] { return 7; });
+    auto boom = pool.Submit(
+        []() -> int { throw std::runtime_error("task failed"); });
+    EXPECT_EQ(ok.get(), 7);
+    EXPECT_THROW(boom.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, BoundedQueueAcceptsMoreTasksThanCapacity)
+{
+    // Queue capacity 2 with a single worker: Submit must block (not drop,
+    // not deadlock) until the worker drains the backlog.
+    ThreadPool pool(1, 2);
+    std::atomic<int> counter{0};
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 20; ++i) {
+        futures.push_back(pool.Submit([&counter] { ++counter; }));
+    }
+    for (auto& f : futures) {
+        f.get();
+    }
+    EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPoolTest, SingleWorkerPreservesExecutionOrder)
+{
+    // One worker pops front-to-back, so side effects happen in submission
+    // order — the property the jobs=1-equivalence of the batch layer builds
+    // on.
+    ThreadPool pool(1);
+    std::vector<int> order;
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 25; ++i) {
+        futures.push_back(pool.Submit([&order, i] { order.push_back(i); }));
+    }
+    for (auto& f : futures) {
+        f.get();
+    }
+    ASSERT_EQ(order.size(), 25u);
+    for (int i = 0; i < 25; ++i) {
+        EXPECT_EQ(order[static_cast<size_t>(i)], i);
+    }
+}
+
+}  // namespace
+}  // namespace aeo
