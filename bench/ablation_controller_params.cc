@@ -10,7 +10,6 @@
  *  - the minimum dwell (200 ms, §V-A).
  */
 #include <cstdio>
-#include <cstring>
 
 #include "bench_common.h"
 #include "common/logging.h"
@@ -23,7 +22,7 @@ main(int argc, char** argv)
 {
     using namespace aeo;
     SetLogLevel(LogLevel::kWarn);
-    const bool fast = argc > 1 && std::strcmp(argv[1], "--fast") == 0;
+    const bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
     bench::PrintHeader("E11 / controller ablations",
                        "Control cycle, Kalman filter, minimum dwell (AngryBirds)");
 
@@ -34,7 +33,7 @@ main(int argc, char** argv)
 
     const auto run = [&](const std::string& label, ControllerConfig config) {
         ExperimentOptions options;
-        options.profile_runs = fast ? 1 : 3;
+        options.profile_runs = args.ProfileRuns();
         options.seed = 2017;
         options.controller = config;
         const ExperimentOutcome outcome = harness.RunComparison(app, options);

@@ -55,7 +55,6 @@ main(int argc, char** argv)
 {
     SetLogLevel(LogLevel::kWarn);
     const bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
-    const bool fast = args.fast;
     bench::PrintHeader("E10 / §III-A ablation",
                        "Sparse (9x2 + interpolation) vs dense (full grid) profiling");
 
@@ -65,7 +64,7 @@ main(int argc, char** argv)
 
     for (const std::string& app : {std::string("AngryBirds"), std::string("Spotify")}) {
         ExperimentOptions sparse_options;
-        sparse_options.profile_runs = fast ? 1 : 3;
+        sparse_options.profile_runs = args.ProfileRuns();
         sparse_options.seed = 2017;
         sparse_options.sparse_profiling = true;
         sparse_options.prune_epsilon = 0.0;  // compare raw tables

@@ -17,6 +17,10 @@ ParseBenchArgs(int argc, char** argv)
             args.fast = true;
         } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
             args.batch.jobs = std::atoi(argv[i] + 7);
+        } else if (std::strncmp(argv[i], "--runs=", 7) == 0) {
+            args.runs = std::atoi(argv[i] + 7);
+        } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+            args.out = argv[i] + 6;
         }
     }
     return args;

@@ -21,9 +21,31 @@ struct BenchArgs {
     /** --jobs=N: batch-layer worker count (default: all hardware threads).
      * Results are bit-identical at any value; only wall-clock changes. */
     BatchOptions batch;
+    /** --runs=N: overrides the bench's profiling run count (0 = use the
+     * bench default, which usually depends on --fast). */
+    int runs = 0;
+    /** --out=PATH: overrides the bench's CSV artifact path. */
+    std::string out;
+
+    /** Profiling run count: the --runs override if given, else the bench
+     * default for the current speed mode. */
+    int ProfileRuns(int full_default = 3, int fast_default = 1) const
+    {
+        if (runs > 0) {
+            return runs;
+        }
+        return fast ? fast_default : full_default;
+    }
+
+    /** CSV artifact path: the --out override if given, else @p default_name. */
+    std::string OutputPath(const std::string& default_name) const
+    {
+        return out.empty() ? default_name : out;
+    }
 };
 
-/** Parses --fast and --jobs=N anywhere in argv; ignores everything else. */
+/** Parses --fast, --jobs=N, --runs=N and --out=PATH anywhere in argv;
+ * ignores everything else. */
 BenchArgs ParseBenchArgs(int argc, char** argv);
 
 /** Prints a banner naming the experiment and the paper artifact. */

@@ -22,6 +22,7 @@
 #include "common/text_table.h"
 #include "core/offline_profiler.h"
 #include "core/online_controller.h"
+#include "platform/sim_platform.h"
 
 namespace {
 
@@ -74,7 +75,8 @@ RunControlled(const ProfileTable& table, double target, uint64_t seed,
     device.LaunchApp(MakeRacer3DSpec());
     ControllerConfig controller_config;
     controller_config.target_gips = target;
-    OnlineController controller(&device, table, controller_config);
+    platform::SimPlatform plat(&device);
+    OnlineController controller(&plat, table, controller_config);
     controller.Start();
     device.RunFor(SimTime::FromSeconds(120));
     controller.Stop();

@@ -13,7 +13,6 @@
  *     nearest to the runtime environment's.
  */
 #include <cstdio>
-#include <cstring>
 
 #include "bench_common.h"
 #include "common/logging.h"
@@ -32,7 +31,7 @@ int
 main(int argc, char** argv)
 {
     SetLogLevel(LogLevel::kWarn);
-    const bool fast = argc > 1 && std::strcmp(argv[1], "--fast") == 0;
+    const bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
     bench::PrintHeader("E13 / §V-C extension",
                        "Load-adaptive profile selection (MobileBench)");
 
@@ -47,7 +46,7 @@ main(int argc, char** argv)
     std::vector<LoadConditionProfile> conditions;
     for (const BackgroundKind kind : kinds) {
         ExperimentOptions options;
-        options.profile_runs = fast ? 1 : 3;
+        options.profile_runs = args.ProfileRuns();
         options.profile_load = kind;
         options.seed = 2017;
         ProfileTable table = harness.ProfileApp(app, options);
@@ -62,7 +61,7 @@ main(int argc, char** argv)
                      "perf (BL table)", "perf (adaptive)"});
     for (const BackgroundKind kind : kinds) {
         ExperimentOptions options;
-        options.profile_runs = fast ? 1 : 3;
+        options.profile_runs = args.ProfileRuns();
         options.run_load = kind;
         options.seed = 2017;
 

@@ -22,6 +22,7 @@
 #include "control/phase_detector.h"
 #include "core/experiment.h"
 #include "core/online_controller.h"
+#include "platform/sim_platform.h"
 
 namespace {
 
@@ -50,7 +51,8 @@ DetectPhases(const std::string& app)
     device.LaunchApp(MakeAppSpecByName(app));
     ControllerConfig controller_config;
     controller_config.target_gips = baseline.avg_gips;
-    OnlineController controller(&device, table, controller_config);
+    platform::SimPlatform plat(&device);
+    OnlineController controller(&plat, table, controller_config);
     controller.Start();
     device.RunFor(SimTime::FromSeconds(60));
     controller.Stop();

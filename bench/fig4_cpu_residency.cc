@@ -8,7 +8,6 @@
  * (e.g. AngryBirds on 3 and 5, Spotify on 1 and 3).
  */
 #include <cstdio>
-#include <cstring>
 
 #include "bench_common.h"
 #include "common/logging.h"
@@ -19,12 +18,12 @@ main(int argc, char** argv)
 {
     using namespace aeo;
     SetLogLevel(LogLevel::kWarn);
-    const bool fast = argc > 1 && std::strcmp(argv[1], "--fast") == 0;
+    const bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
     bench::PrintHeader("E5 / Fig. 4", "CPU-frequency residency: controller vs default");
 
     ExperimentHarness harness;
     ExperimentOptions options;
-    options.profile_runs = fast ? 1 : 3;
+    options.profile_runs = args.ProfileRuns();
     options.seed = 2017;
 
     for (const std::string& app : EvaluationAppNames()) {

@@ -7,7 +7,6 @@
  * test cases.
  */
 #include <cstdio>
-#include <cstring>
 
 #include "bench_common.h"
 #include "common/logging.h"
@@ -18,13 +17,13 @@ main(int argc, char** argv)
 {
     using namespace aeo;
     SetLogLevel(LogLevel::kWarn);
-    const bool fast = argc > 1 && std::strcmp(argv[1], "--fast") == 0;
+    const bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
     bench::PrintHeader("E6 / Fig. 5",
                        "Memory-bandwidth residency: controller vs default");
 
     ExperimentHarness harness;
     ExperimentOptions options;
-    options.profile_runs = fast ? 1 : 3;
+    options.profile_runs = args.ProfileRuns();
     options.seed = 2017;
 
     double controller_bw1_sum = 0.0;

@@ -30,6 +30,7 @@
 #include "core/online_controller.h"
 #include "core/scenarios.h"
 #include "device/device.h"
+#include "platform/sim_platform.h"
 
 namespace aeo {
 namespace {
@@ -97,7 +98,8 @@ RunAtRate(const ProfileTable& table, double target_gips, double rate)
 
     ControllerConfig config;
     config.target_gips = target_gips;
-    OnlineController controller(&device, table, config);
+    platform::SimPlatform plat(&device);
+    OnlineController controller(&plat, table, config);
     controller.Start();
     device.RunFor(scenario.run_duration);
     controller.Stop();
@@ -114,10 +116,10 @@ RunAtRate(const ProfileTable& table, double target_gips, double rate)
             ? static_cast<double>(controller.degraded_cycle_count()) /
                   static_cast<double>(controller.cycle_count())
             : 0.0;
-    row.retries = controller.scheduler().stats().retries;
-    row.failed_ops = controller.scheduler().stats().failed_ops;
-    row.silent_clamps = controller.scheduler().stats().silent_clamps;
-    row.readback_failures = controller.scheduler().stats().readback_failures;
+    row.retries = controller.actuator().stats().retries;
+    row.failed_ops = controller.actuator().stats().failed_ops;
+    row.silent_clamps = controller.actuator().stats().silent_clamps;
+    row.readback_failures = controller.actuator().stats().readback_failures;
     row.dropped_pmu = device.perf().dropped_sample_count();
     row.stale_pmu = device.perf().stale_sample_count();
     row.dropped_meter = device.monitor().dropped_sample_count();
@@ -145,7 +147,8 @@ StickyFailureDemo(const ProfileTable& table, double target_gips)
 
     ControllerConfig config;
     config.target_gips = target_gips;
-    OnlineController controller(&device, table, config);
+    platform::SimPlatform plat(&device);
+    OnlineController controller(&plat, table, config);
     controller.Start();
     device.RunFor(GetAppScenario(kApp).run_duration);
     controller.Stop();
@@ -179,7 +182,7 @@ main(int argc, char** argv)
     // them (faults perturb the controlled run, not the offline data).
     const AppScenario scenario = GetAppScenario(kApp);
     ProfilerOptions profiler_options;
-    profiler_options.runs = fast ? 1 : 3;
+    profiler_options.runs = args.ProfileRuns();
     profiler_options.cpu_levels = scenario.profile_cpu_levels;
     profiler_options.measure_duration = scenario.profile_duration;
     profiler_options.seed = kSeed + 1000;
@@ -269,7 +272,8 @@ main(int argc, char** argv)
     }
     std::printf("%s\n", text.ToString().c_str());
 
-    const std::string csv_path = "robustness_fault_sweep.csv";
+    const std::string csv_path =
+        args.OutputPath("robustness_fault_sweep.csv");
     csv.WriteFile(csv_path);
     std::printf("Wrote %s\n\n", csv_path.c_str());
 

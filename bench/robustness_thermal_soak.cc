@@ -34,6 +34,7 @@
 #include "core/online_controller.h"
 #include "core/scenarios.h"
 #include "device/device.h"
+#include "platform/sim_platform.h"
 #include "soc/nexus6.h"
 
 namespace aeo {
@@ -68,7 +69,7 @@ SoakThrottling()
 struct SoakRun {
     RunResult result;
     std::vector<ControlCycleRecord> history;
-    ActuationStats stats;
+    platform::ActuationStats stats;
     uint64_t safe_mode_cycles = 0;
     int max_stage = 0;
     uint64_t clamp_events = 0;
@@ -92,7 +93,8 @@ RunSoak(const ProfileTable& table, double target_gips, SimTime duration,
     config.target_gips = target_gips;
     config.readback_verification = clamp_aware;
     config.drift.enabled = clamp_aware;
-    OnlineController controller(&device, table, config);
+    platform::SimPlatform plat(&device);
+    OnlineController controller(&plat, table, config);
     controller.Start();
     device.RunFor(duration);
     controller.Stop();
@@ -101,7 +103,7 @@ RunSoak(const ProfileTable& table, double target_gips, SimTime duration,
     run.result = device.CollectResult(clamp_aware ? "clamp-aware"
                                                   : "clamp-oblivious");
     run.history = controller.history();
-    run.stats = controller.scheduler().stats();
+    run.stats = controller.actuator().stats();
     run.safe_mode_cycles = controller.safe_mode_cycle_count();
     run.max_stage = device.msm_thermal()->max_stage_reached();
     run.clamp_events = device.msm_thermal()->clamp_event_count();
@@ -137,7 +139,7 @@ main(int argc, char** argv)
 
     const AppScenario scenario = GetAppScenario(kApp);
     ProfilerOptions profiler_options;
-    profiler_options.runs = fast ? 1 : 3;
+    profiler_options.runs = args.ProfileRuns();
     profiler_options.cpu_levels = scenario.profile_cpu_levels;
     profiler_options.measure_duration = scenario.profile_duration;
     profiler_options.seed = kSeed + 1000;
@@ -177,7 +179,8 @@ main(int argc, char** argv)
                     a.safe_mode ? "1" : "0", StrFormat("%.6g", o.measured_gips),
                     StrFormat("%.6g", o.measured_power_mw)});
     }
-    const std::string csv_path = "robustness_thermal_soak.csv";
+    const std::string csv_path =
+        args.OutputPath("robustness_thermal_soak.csv");
     csv.WriteFile(csv_path);
 
     // --- Summary ----------------------------------------------------------

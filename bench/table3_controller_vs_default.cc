@@ -24,7 +24,7 @@ main(int argc, char** argv)
 
     ExperimentHarness harness;
     ExperimentOptions options;
-    options.profile_runs = args.fast ? 1 : 3;
+    options.profile_runs = args.ProfileRuns();
     options.seed = 2017;
 
     // One batch job per application; outcomes land in TableIII row order.

@@ -42,7 +42,7 @@ main(int argc, char** argv)
     for (const std::string& app : EvaluationAppNames()) {
         for (const LoadCase& load_case : cases) {
             ExperimentOptions options;
-            options.profile_runs = args.fast ? 1 : 3;
+            options.profile_runs = args.ProfileRuns();
             options.seed = 2017;
             options.profile_load = BackgroundKind::kBaseline;  // §V-C: BL data
             options.run_load = load_case.kind;

@@ -31,7 +31,7 @@ main(int argc, char** argv)
     std::vector<ComparisonJob> jobs;
     for (const auto& row : paper::TableV()) {
         ExperimentOptions cpu_only;
-        cpu_only.profile_runs = args.fast ? 1 : 3;
+        cpu_only.profile_runs = args.ProfileRuns();
         cpu_only.seed = 2017;
         cpu_only.cpu_only = true;
         jobs.push_back(ComparisonJob{row.app, cpu_only});

@@ -15,6 +15,7 @@
 #include "core/experiment.h"
 #include "core/offline_profiler.h"
 #include "core/online_controller.h"
+#include "platform/sim_platform.h"
 
 using namespace aeo;
 
@@ -88,7 +89,8 @@ main()
     controlled_device.LaunchApp(MakeTranscriberSpec());
     ControllerConfig controller_config;
     controller_config.target_gips = baseline.avg_gips;
-    OnlineController controller(&controlled_device, table, controller_config);
+    platform::SimPlatform controlled_platform(&controlled_device);
+    OnlineController controller(&controlled_platform, table, controller_config);
     controller.Start();
     controlled_device.RunFor(SimTime::FromSeconds(120));
     controller.Stop();

@@ -1,0 +1,178 @@
+#include "core/controller_state_machine.h"
+
+#include "common/logging.h"
+
+namespace aeo {
+
+namespace {
+
+/** What the transition table prescribes for a (state, event) pair. */
+enum class Action {
+    kIllegal,
+    /** Legal, no mode change. */
+    kStay,
+    kToNormal,
+    kToDegraded,
+    kToSafeMode,
+    /** Watchdog action: PROBE when re-engagement is on, else terminal. */
+    kTripFallback,
+    /** One healthy probe; NORMAL once the quorum is met. */
+    kProbeSuccess,
+    /** One failed probe; the quorum counter restarts. */
+    kProbeFailure,
+};
+
+// The single transition table. Rows are states, columns are events in
+// declaration order: CycleStart, PerfReadOk, PerfReadFailed,
+// ActuationMismatch, ClampConfirmed, CapExpired, DriftCorrected,
+// TargetUnreachable, FeasibleSetEmpty, WatchdogTrip, ProbeOk, ProbeFailed,
+// ControlStopped.
+constexpr Action kIll = Action::kIllegal;
+constexpr Action kSty = Action::kStay;
+
+constexpr Action
+    kTransitionTable[kControllerStateCount][kControllerEventCount] = {
+        // NORMAL: full control vocabulary; probes never run here.
+        {kSty, Action::kToNormal, Action::kToDegraded, kSty, kSty, kSty, kSty,
+         Action::kToSafeMode, Action::kTripFallback, Action::kTripFallback,
+         kIll, kIll, kSty},
+        // DEGRADED: identical — degradation is re-evaluated every cycle.
+        {kSty, Action::kToNormal, Action::kToDegraded, kSty, kSty, kSty, kSty,
+         Action::kToSafeMode, Action::kTripFallback, Action::kTripFallback,
+         kIll, kIll, kSty},
+        // SAFE_MODE: identical — the envelope lifts as soon as the target
+        // is reachable again.
+        {kSty, Action::kToNormal, Action::kToDegraded, kSty, kSty, kSty, kSty,
+         Action::kToSafeMode, Action::kTripFallback, Action::kTripFallback,
+         kIll, kIll, kSty},
+        // PROBE: the control cycle is stopped, so only probe outcomes (and
+        // a final Stop) are meaningful.
+        {kIll, kIll, kIll, kIll, kIll, kIll, kIll, kIll, kIll, kIll,
+         Action::kProbeSuccess, Action::kProbeFailure, kSty},
+        // FALLBACK_STOCK: terminal.
+        {kIll, kIll, kIll, kIll, kIll, kIll, kIll, kIll, kIll, kIll, kIll,
+         kIll, kSty},
+};
+
+Action
+LookUp(ControllerState state, ControllerEvent event)
+{
+    return kTransitionTable[static_cast<int>(state)][static_cast<int>(event)];
+}
+
+}  // namespace
+
+const char*
+ControllerStateName(ControllerState state)
+{
+    switch (state) {
+        case ControllerState::kNormal: return "NORMAL";
+        case ControllerState::kDegraded: return "DEGRADED";
+        case ControllerState::kSafeMode: return "SAFE_MODE";
+        case ControllerState::kProbe: return "PROBE";
+        case ControllerState::kFallbackStock: return "FALLBACK_STOCK";
+    }
+    return "?";
+}
+
+const char*
+ControllerEventName(ControllerEvent event)
+{
+    switch (event) {
+        case ControllerEvent::kCycleStart: return "CycleStart";
+        case ControllerEvent::kPerfReadOk: return "PerfReadOk";
+        case ControllerEvent::kPerfReadFailed: return "PerfReadFailed";
+        case ControllerEvent::kActuationMismatch: return "ActuationMismatch";
+        case ControllerEvent::kClampConfirmed: return "ClampConfirmed";
+        case ControllerEvent::kCapExpired: return "CapExpired";
+        case ControllerEvent::kDriftCorrected: return "DriftCorrected";
+        case ControllerEvent::kTargetUnreachable: return "TargetUnreachable";
+        case ControllerEvent::kFeasibleSetEmpty: return "FeasibleSetEmpty";
+        case ControllerEvent::kWatchdogTrip: return "WatchdogTrip";
+        case ControllerEvent::kProbeOk: return "ProbeOk";
+        case ControllerEvent::kProbeFailed: return "ProbeFailed";
+        case ControllerEvent::kControlStopped: return "ControlStopped";
+    }
+    return "?";
+}
+
+ControllerStateMachine::ControllerStateMachine(StateMachineOptions options,
+                                               ControllerState initial)
+    : options_(options), state_(initial)
+{
+    AEO_ASSERT(options_.reengage_successes > 0,
+               "re-engagement quorum must be positive");
+}
+
+StateTransition
+ControllerStateMachine::Dispatch(ControllerEvent event)
+{
+    const ControllerState from = state_;
+    switch (LookUp(from, event)) {
+        case Action::kIllegal:
+            ++illegal_dispatches_;
+            Warn("controller state machine: event %s is illegal in state %s",
+                 ControllerEventName(event), ControllerStateName(from));
+            return StateTransition{from, false, false};
+        case Action::kStay:
+            break;
+        case Action::kToNormal:
+            state_ = ControllerState::kNormal;
+            break;
+        case Action::kToDegraded:
+            state_ = ControllerState::kDegraded;
+            break;
+        case Action::kToSafeMode:
+            state_ = ControllerState::kSafeMode;
+            break;
+        case Action::kTripFallback:
+            probe_successes_ = 0;
+            state_ = options_.reengage ? ControllerState::kProbe
+                                       : ControllerState::kFallbackStock;
+            break;
+        case Action::kProbeSuccess:
+            if (++probe_successes_ >= options_.reengage_successes) {
+                probe_successes_ = 0;
+                state_ = ControllerState::kNormal;
+            }
+            break;
+        case Action::kProbeFailure:
+            probe_successes_ = 0;
+            break;
+    }
+    return StateTransition{state_, true, state_ != from};
+}
+
+bool
+ControllerStateMachine::ActionFor(ControllerState state, ControllerEvent event,
+                                  const StateMachineOptions& options,
+                                  ControllerState* next)
+{
+    switch (LookUp(state, event)) {
+        case Action::kIllegal:
+            return false;
+        case Action::kStay:
+        case Action::kProbeFailure:
+            *next = state;
+            return true;
+        case Action::kToNormal:
+            *next = ControllerState::kNormal;
+            return true;
+        case Action::kToDegraded:
+            *next = ControllerState::kDegraded;
+            return true;
+        case Action::kToSafeMode:
+            *next = ControllerState::kSafeMode;
+            return true;
+        case Action::kTripFallback:
+            *next = options.reengage ? ControllerState::kProbe
+                                     : ControllerState::kFallbackStock;
+            return true;
+        case Action::kProbeSuccess:
+            *next = ControllerState::kNormal;
+            return true;
+    }
+    return false;
+}
+
+}  // namespace aeo

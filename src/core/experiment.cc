@@ -2,6 +2,7 @@
 
 #include "apps/app_registry.h"
 #include "common/logging.h"
+#include "platform/sim_platform.h"
 
 namespace aeo {
 
@@ -71,7 +72,8 @@ ExperimentHarness::RunWithController(const std::string& app_name,
 
     ControllerConfig config = options.controller;
     config.target_gips = target_gips;
-    OnlineController controller(device.get(), table, config);
+    platform::SimPlatform platform(device.get());
+    OnlineController controller(&platform, table, config);
     controller.Start();
     DriveRun(device.get(), scenario);
     controller.Stop();

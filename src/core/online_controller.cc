@@ -5,7 +5,6 @@
 #include <utility>
 
 #include "common/logging.h"
-#include "common/strings.h"
 
 namespace aeo {
 
@@ -28,47 +27,34 @@ MakeRegulatorConfig(const ProfileTable& table, const ControllerConfig& config)
     return reg;
 }
 
-/** Best-effort governor switch: transient errors get a few immediate
- * retries, and a write that still fails is survivable (the watchdog covers
- * persistent actuation failure), so warn instead of aborting. */
-void
-TrySetGovernor(Sysfs& sysfs, SysfsHandle node, const std::string& value)
+StateMachineOptions
+MakeStateMachineOptions(const ControllerConfig& config)
 {
-    FaultErrc errc = FaultErrc::kOk;
-    for (int attempt = 0; attempt < 3; ++attempt) {
-        errc = sysfs.TryWrite(node, value);
-        const bool retryable = errc == FaultErrc::kBusy ||
-                               errc == FaultErrc::kIo ||
-                               errc == FaultErrc::kNoEnt;
-        if (!retryable) {
-            break;
-        }
-    }
-    if (errc != FaultErrc::kOk) {
-        Warn("governor switch '%s' <- '%s' failed: %s", sysfs.PathOf(node).c_str(),
-             value.c_str(), FaultErrcName(errc));
-    }
+    StateMachineOptions options;
+    options.reengage = config.reengage;
+    options.reengage_successes = config.reengage_successes;
+    return options;
 }
 
 }  // namespace
 
-OnlineController::OnlineController(Device* device, ProfileTable table,
-                                   ControllerConfig config)
-    : device_(device),
+OnlineController::OnlineController(platform::Platform* platform,
+                                   ProfileTable table, ControllerConfig config)
+    : platform_(platform),
       table_(std::move(table)),
       config_(config),
       optimizer_(&table_, config.backend),
       regulator_(MakeRegulatorConfig(table_, config)),
-      scheduler_(device, config.min_dwell, config.retry),
       drift_(table_.size(), config.drift),
-      cycle_task_(&device->sim(), [this] { RunCycle(); }),
-      probe_task_(&device->sim(), [this] { ProbeRecovery(); }),
+      machine_(MakeStateMachineOptions(config)),
+      cycle_task_(&platform->sim(), [this] { RunCycle(); }),
+      probe_task_(&platform->sim(), [this] { ProbeRecovery(); }),
       controls_bandwidth_(table_.entries().front().config.controls_bandwidth()),
       controls_gpu_(table_.entries().front().config.controls_gpu()),
       active_table_(&table_),
       active_optimizer_(&optimizer_)
 {
-    AEO_ASSERT(device_ != nullptr, "controller needs a device");
+    AEO_ASSERT(platform_ != nullptr, "controller needs a platform");
     AEO_ASSERT(config_.target_gips > 0.0, "controller needs a performance target");
     AEO_ASSERT(config_.watchdog_threshold > 0, "watchdog threshold must be positive");
     AEO_ASSERT(config_.plausibility_factor > 0.0, "plausibility factor must be positive");
@@ -76,14 +62,6 @@ OnlineController::OnlineController(Device* device, ProfileTable table,
     AEO_ASSERT(config_.cap_confirm_cycles > 0, "cap confirm must be positive");
     AEO_ASSERT(config_.reengage_probe_cycles > 0 && config_.reengage_successes > 0,
                "re-engagement tuning must be positive");
-    Sysfs& sysfs = device_->sysfs();
-    cap_node_ = sysfs.Open(std::string(kCpufreqSysfsRoot) + "/scaling_max_freq");
-    temp_node_ = sysfs.Open("/sys/class/thermal/thermal_zone0/temp");
-    probe_node_ = sysfs.Open(std::string(kCpufreqSysfsRoot) + "/scaling_setspeed");
-    cpu_governor_node_ =
-        sysfs.Open(std::string(kCpufreqSysfsRoot) + "/scaling_governor");
-    bw_governor_node_ = sysfs.Open(std::string(kDevfreqSysfsRoot) + "/governor");
-    gpu_governor_node_ = sysfs.Open(std::string(kGpuSysfsRoot) + "/governor");
     for (size_t i = 0; i < table_.entries().size(); ++i) {
         const ProfileEntry& entry = table_.entries()[i];
         AEO_ASSERT(entry.config.controls_bandwidth() == controls_bandwidth_,
@@ -92,27 +70,15 @@ OnlineController::OnlineController(Device* device, ProfileTable table,
                    "profile table mixes GPU-controlled and default-GPU rows");
         config_index_.emplace(entry.config, i);
     }
-    scheduler_.SetReadbackVerification(config_.readback_verification);
+    platform::Actuator& actuator = platform_->actuator();
+    actuator.ConfigureActuation(config_.min_dwell, config_.retry);
+    actuator.SetReadbackVerification(config_.readback_verification);
 }
 
 void
 OnlineController::Start()
 {
-    Sysfs& sysfs = device_->sysfs();
-    TrySetGovernor(sysfs, cpu_governor_node_, "userspace");
-    if (controls_bandwidth_) {
-        TrySetGovernor(sysfs, bw_governor_node_, "userspace");
-    } else {
-        // CPU-only controller (§V-D): the bus stays with the default
-        // governor, taking decisions in an independent, isolated manner.
-        TrySetGovernor(sysfs, bw_governor_node_, "cpubw_hwmon");
-    }
-    if (controls_gpu_) {
-        // §VII extension: GPU frequency joins the coordinated configuration.
-        TrySetGovernor(sysfs, gpu_governor_node_, "userspace");
-    } else {
-        TrySetGovernor(sysfs, gpu_governor_node_, "msm-adreno-tz");
-    }
+    platform_->governors().PinForControl(controls_bandwidth_, controls_gpu_);
 
     // Charge the controller's own computation and actuation to the plant
     // (§V-A1): <10 ms at ~25 mW per cycle plus ~14 mW during transitions.
@@ -122,10 +88,10 @@ OnlineController::Start()
         (config_.compute_seconds * config_.compute_power_mw +
          writes_per_cycle * config_.actuation_seconds * config_.actuation_power_mw) /
         config_.control_cycle.seconds();
-    device_->SetControllerOverheadPower(overhead_mw);
+    platform_->SetControllerOverheadPower(overhead_mw);
 
-    device_->perf().Start();
-    device_->Sync();
+    platform_->perf().StartSampling();
+    platform_->Sync();
 
     // Apply the initial schedule from the profiled base speed (over the
     // working table, which still excludes any caps learned before a
@@ -133,13 +99,14 @@ OnlineController::Start()
     const double s0 = regulator_.applied_speedup();
     const ConfigSchedule initial =
         active_optimizer_->Optimize(s0, config_.control_cycle.seconds());
-    scheduler_.Apply(initial, *active_table_);
+    Actuate(initial);
     last_schedule_ = initial;
     last_schedule_version_ = table_version_;
     has_last_schedule_ = true;
 
-    if (scheduler_.consecutive_failed_applies() >= config_.watchdog_threshold) {
-        EngageFallback();
+    if (platform_->actuator().consecutive_failed_applies() >=
+        config_.watchdog_threshold) {
+        EngageFallback(ControllerEvent::kWatchdogTrip);
         return;
     }
 
@@ -151,15 +118,16 @@ OnlineController::Stop()
 {
     probe_task_.Stop();
     StopControl();
+    machine_.Dispatch(ControllerEvent::kControlStopped);
 }
 
 void
 OnlineController::StopControl()
 {
     cycle_task_.Stop();
-    device_->perf().Stop();
-    device_->SetControllerOverheadPower(0.0);
-    device_->Sync();
+    platform_->perf().StopSampling();
+    platform_->SetControllerOverheadPower(0.0);
+    platform_->Sync();
 }
 
 double
@@ -169,27 +137,34 @@ OnlineController::base_speed_estimate() const
 }
 
 void
-OnlineController::EngageFallback()
+OnlineController::Actuate(const ConfigSchedule& schedule)
 {
-    if (fallback_engaged_) {
+    platform::ActuationPlan plan;
+    for (const ScheduleSlot& slot : schedule.slots) {
+        plan.push_back(platform::PlannedDwell{
+            active_table_->entries()[slot.entry_index].config, slot.seconds});
+    }
+    platform_->actuator().Apply(plan);
+}
+
+void
+OnlineController::EngageFallback(ControllerEvent trigger)
+{
+    if (machine_.fallback_engaged()) {
         return;
     }
-    fallback_engaged_ = true;
+    machine_.Dispatch(trigger);
     Warn("watchdog: %d consecutive control cycles failed to actuate; "
          "reverting to the stock governors",
-         scheduler_.consecutive_failed_applies());
-    scheduler_.CancelPending();
-    Sysfs& sysfs = device_->sysfs();
+         platform_->actuator().consecutive_failed_applies());
+    platform_->actuator().CancelPending();
     // Best effort: if even these writes fail, the device keeps whatever
     // governors it has — there is nothing further a userspace agent can do.
-    TrySetGovernor(sysfs, cpu_governor_node_, "interactive");
-    TrySetGovernor(sysfs, bw_governor_node_, "cpubw_hwmon");
-    TrySetGovernor(sysfs, gpu_governor_node_, "msm-adreno-tz");
+    platform_->governors().RestoreStock();
     StopControl();
     if (config_.reengage) {
         // Keep probing the actuation path; once it stays healthy long
         // enough the controller takes the device back.
-        probe_successes_ = 0;
         probe_task_.Start(config_.control_cycle *
                           config_.reengage_probe_cycles);
     }
@@ -198,18 +173,11 @@ OnlineController::EngageFallback()
 void
 OnlineController::ProbeRecovery()
 {
-    // Poke the one node control cannot live without. Under a stock governor
-    // scaling_setspeed rejects the value with EINVAL — that still proves the
-    // path is alive; transport-level errors (EIO/EBUSY/ENOENT) prove it is
-    // not. "0" is harmless even if a userspace governor were active: no
-    // table has a 0 kHz level to switch to.
-    const FaultErrc errc = device_->sysfs().TryWrite(probe_node_, "0");
-    const bool healthy = errc == FaultErrc::kOk || errc == FaultErrc::kInval;
-    if (!healthy) {
-        probe_successes_ = 0;
-        return;
-    }
-    if (++probe_successes_ >= config_.reengage_successes) {
+    const bool healthy = platform_->actuator().ProbeActuationPath();
+    const StateTransition transition = machine_.Dispatch(
+        healthy ? ControllerEvent::kProbeOk : ControllerEvent::kProbeFailed);
+    if (transition.changed) {
+        // Quorum met: the machine is back in NORMAL.
         probe_task_.Stop();
         Reengage();
     }
@@ -220,37 +188,9 @@ OnlineController::Reengage()
 {
     ++reengage_count_;
     Warn("watchdog: actuation path healthy for %d probes; re-engaging control",
-         probe_successes_);
-    probe_successes_ = 0;
-    scheduler_.ResetFailureTracking();
-    fallback_engaged_ = false;
+         config_.reengage_successes);
+    platform_->actuator().ResetFailureTracking();
     Start();
-}
-
-int
-OnlineController::ReadPolicyCapLevel() const
-{
-    const SysfsReadResult result = device_->sysfs().TryRead(cap_node_);
-    long long khz = 0;
-    if (!result.ok() || !ParseInt64(Trim(result.value), &khz) || khz <= 0) {
-        // Unreadable is not evidence of a clamp; assume uncapped.
-        return kNoCap;
-    }
-    return device_->cluster().table().ClosestLevel(
-        Gigahertz(static_cast<double>(khz) / 1e6));
-}
-
-double
-OnlineController::ReadZoneTempC() const
-{
-    // Absent on thermally unmodelled devices; TryRead returns ENOENT for an
-    // unregistered path before consulting any fault injector.
-    const SysfsReadResult result = device_->sysfs().TryRead(temp_node_);
-    long long millideg = 0;
-    if (!result.ok() || !ParseInt64(Trim(result.value), &millideg)) {
-        return kLeakageReferenceC;
-    }
-    return static_cast<double>(millideg) / 1000.0;
 }
 
 void
@@ -258,8 +198,12 @@ OnlineController::ConsumeDeliveries(double measured_gips,
                                     double measured_power_mw,
                                     bool measurement_plausible)
 {
-    // Copy: Apply() later this cycle clears the scheduler's records.
-    const std::vector<DwellDelivery> deliveries = scheduler_.cycle_deliveries();
+    using platform::DwellDelivery;
+    constexpr int kNoCap = platform::kNoCapLevel;
+
+    // Copy: Apply() later this cycle clears the actuator's records.
+    const std::vector<DwellDelivery> deliveries =
+        platform_->actuator().cycle_deliveries();
 
     // --- Clamp learning from read-back mismatches -------------------------
     if (config_.readback_verification) {
@@ -279,6 +223,7 @@ OnlineController::ConsumeDeliveries(double measured_gips,
             }
         }
         if (saw_mismatch) {
+            machine_.Dispatch(ControllerEvent::kActuationMismatch);
             // Debounce: a persistent clamp re-confirms every cycle and is
             // trusted after cap_confirm_cycles; an isolated lying write is
             // transient noise and must not mask the feasible set.
@@ -286,6 +231,7 @@ OnlineController::ConsumeDeliveries(double measured_gips,
                                         config_.cap_confirm_cycles);
             if (mismatch_streak_ >= config_.cap_confirm_cycles ||
                 mismatch_cpu_cap_ != kNoCap || mismatch_bw_cap_ != kNoCap) {
+                machine_.Dispatch(ControllerEvent::kClampConfirmed);
                 mismatch_cpu_cap_ = std::min(mismatch_cpu_cap_, cycle_cpu_cap);
                 mismatch_bw_cap_ = std::min(mismatch_bw_cap_, cycle_bw_cap);
             }
@@ -297,6 +243,7 @@ OnlineController::ConsumeDeliveries(double measured_gips,
                 // controller re-probes the full table once the device has
                 // recovered.
                 if (++mismatch_cap_age_ >= config_.cap_recheck_cycles) {
+                    machine_.Dispatch(ControllerEvent::kCapExpired);
                     mismatch_cpu_cap_ = kNoCap;
                     mismatch_bw_cap_ = kNoCap;
                     mismatch_cap_age_ = 0;
@@ -365,7 +312,7 @@ OnlineController::ConsumeDeliveries(double measured_gips,
     const double measured_speedup = measured_gips / base;
     const double power_residual = measured_power_mw / predicted_power_mw;
     const double speedup_residual = measured_speedup / predicted_speedup;
-    const double now_s = device_->sim().Now().seconds();
+    const double now_s = platform_->sim().Now().seconds();
     for (const Visit& visit : visits) {
         drift_.Observe(now_s, visit.entry_index, visit.weight, power_residual,
                        speedup_residual);
@@ -378,6 +325,7 @@ OnlineController::RefreshWorkingTable(int cpu_cap, int bw_cap)
     std::vector<ProfileEntry> rows;
     rows.reserve(table_.size());
     bool changed = false;
+    bool drift_corrected = false;
     for (size_t i = 0; i < table_.entries().size(); ++i) {
         const ProfileEntry& entry = table_.entries()[i];
         const bool reachable =
@@ -395,6 +343,7 @@ OnlineController::RefreshWorkingTable(int cpu_cap, int bw_cap)
             corrected.power_mw *= power_factor;
             corrected.speedup *= speedup_factor;
             changed = true;
+            drift_corrected = true;
         }
         rows.push_back(corrected);
     }
@@ -414,6 +363,9 @@ OnlineController::RefreshWorkingTable(int cpu_cap, int bw_cap)
     if (rows.empty()) {
         return false;
     }
+    if (drift_corrected) {
+        machine_.Dispatch(ControllerEvent::kDriftCorrected);
+    }
     working_table_ = std::make_unique<ProfileTable>(table_.app_name(), rows,
                                                     table_.base_speed_gips());
     working_optimizer_ = std::make_unique<EnergyOptimizer>(working_table_.get(),
@@ -427,37 +379,40 @@ OnlineController::RefreshWorkingTable(int cpu_cap, int bw_cap)
 void
 OnlineController::RunCycle()
 {
-    if (fallback_engaged_) {
+    if (machine_.fallback_engaged()) {
         return;
     }
+    machine_.Dispatch(ControllerEvent::kCycleStart);
 
     // (1) Measure: average of the perf samples in the elapsed cycle. The
     // window can be empty (every sample dropped by an injected PMU fault)
     // or garbage (counter glitch); either way the cycle runs degraded:
     // the Kalman estimate holds and the previous schedule is reapplied.
-    const PerfWindow window = device_->perf().DrainWindow();
-    const double measured_power_mw =
-        device_->monitor().DrainWindowAveragePower().value();
+    const platform::PerfWindow window = platform_->perf().DrainWindow();
+    const double measured_power_mw = platform_->perf().DrainAveragePowerMw();
     const bool plausible =
         window.samples > 0 && std::isfinite(window.avg_gips) &&
         window.avg_gips > 0.0 &&
         window.avg_gips <= config_.plausibility_factor *
                                regulator_.base_speed_estimate() *
                                table_.max_speedup();
+    machine_.Dispatch(plausible ? ControllerEvent::kPerfReadOk
+                                : ControllerEvent::kPerfReadFailed);
 
     // (1b) Verify: what did the device actually run last cycle? Learn caps
     // from read-back mismatches and feed the drift detector, then re-derive
     // the feasible set under the kernel's advertised frequency ceiling.
     ConsumeDeliveries(window.avg_gips, measured_power_mw, plausible);
-    const int policy_cap =
-        config_.readback_verification ? ReadPolicyCapLevel() : kNoCap;
+    const int policy_cap = config_.readback_verification
+                               ? platform_->thermals().ReadCpuCapLevel()
+                               : platform::kNoCapLevel;
     const int cpu_cap = std::min(policy_cap, mismatch_cpu_cap_);
     const int bw_cap = mismatch_bw_cap_;
     if (!RefreshWorkingTable(cpu_cap, bw_cap)) {
         Warn("no profiled configuration reachable under cpu cap level %d; "
              "handing the device back to the stock governors",
              cpu_cap);
-        EngageFallback();
+        EngageFallback(ControllerEvent::kFeasibleSetEmpty);
         return;
     }
 
@@ -496,14 +451,15 @@ OnlineController::RunCycle()
     // bounded by the thermal cap — while the envelope is recorded.
     const bool safe_mode = required > active_table_->max_speedup() + 1e-9;
     if (safe_mode) {
+        machine_.Dispatch(ControllerEvent::kTargetUnreachable);
         ++safe_mode_cycle_count_;
     }
 
     // (4) Actuate.
-    scheduler_.Apply(schedule, *active_table_);
+    Actuate(schedule);
 
     ControlCycleRecord record;
-    record.time_s = device_->sim().Now().seconds();
+    record.time_s = platform_->sim().Now().seconds();
     record.measured_gips = window.avg_gips;
     record.required_speedup = required;
     record.base_speed_estimate = regulator_.base_speed_estimate();
@@ -514,15 +470,16 @@ OnlineController::RunCycle()
         active_table_->entries()[schedule.slots.back().entry_index].config;
     record.perf_samples = window.samples;
     record.degraded = !plausible;
-    record.temp_c = ReadZoneTempC();
+    record.temp_c = platform_->thermals().ReadZoneTempC();
     record.cpu_cap_level =
-        cpu_cap >= device_->cluster().table().max_level() ? -1 : cpu_cap;
+        cpu_cap >= platform_->max_cpu_level() ? -1 : cpu_cap;
     record.safe_mode = safe_mode;
     record.measured_power_mw = measured_power_mw;
     history_.push_back(record);
 
-    if (scheduler_.consecutive_failed_applies() >= config_.watchdog_threshold) {
-        EngageFallback();
+    if (platform_->actuator().consecutive_failed_applies() >=
+        config_.watchdog_threshold) {
+        EngageFallback(ControllerEvent::kWatchdogTrip);
     }
 }
 

@@ -7,31 +7,35 @@
  *     speed estimator) to obtain the required speedup s_n,
  *  3. runs the energy optimizer (the LP of equations (4)–(7)) to obtain the
  *     dwell-time schedule u_n, and
- *  4. hands u_n to the scheduler S, which actuates the userspace governors
- *     through sysfs.
+ *  4. hands u_n to the platform's actuator, which drives the userspace
+ *     governors through sysfs.
+ *
+ * The controller talks to hardware exclusively through the narrow
+ * aeo::platform interfaces (perf sampling, actuation, governor pinning,
+ * thermal read-back); it never touches sysfs or the device model itself,
+ * so it runs unchanged against the simulated Nexus 6 (SimPlatform) or a
+ * scripted test double (FakePlatform).
  *
  * The controller works for both coordinated (CPU + bandwidth) and CPU-only
  * control — the difference is entirely in the profile table it is given
  * (CPU-only tables carry the kBwDefaultGovernor sentinel and leave the bus
  * with cpubw_hwmon, reproducing the §V-D ablation).
  *
- * The loop degrades gracefully under failure (see DESIGN.md §"Failure
- * model"): a missing or implausible performance measurement holds the
- * Kalman estimate and reuses the previous schedule, and a watchdog hands
- * the device back to the stock governors after K consecutive control
- * cycles whose actuation failed.
+ * Operating modes are tracked by one explicit ControllerStateMachine (see
+ * controller_state_machine.h and DESIGN.md §10): a missing or implausible
+ * measurement moves the loop to DEGRADED (hold the Kalman estimate, reuse
+ * the previous schedule), an unreachable target to SAFE_MODE (dwell at the
+ * best feasible point), and a watchdog trip after K consecutive failed
+ * actuation cycles to PROBE or FALLBACK_STOCK (stock governors rule;
+ * periodic probes re-engage control once the device has healed).
  *
  * Beyond erroring writes, the loop defends against writes that *lie*:
  * every dwell is verified by read-back, clamped-away configurations
  * (thermal throttling, injected silent clamps) are masked out of the
- * feasible set and the LP re-solved over the reachable subset, and when
- * even that subset cannot meet the target the controller runs a safe-mode
- * envelope at the best reachable operating point. A profile-drift detector
- * compares measured (speedup, power) against the table's predictions for
- * the configurations actually delivered and applies bounded multiplicative
- * corrections once the residual is persistent. After a watchdog fallback,
- * periodic probes of the actuation path re-engage control once the device
- * has healed.
+ * feasible set and the LP re-solved over the reachable subset. A profile-
+ * drift detector compares measured (speedup, power) against the table's
+ * predictions for the configurations actually delivered and applies
+ * bounded multiplicative corrections once the residual is persistent.
  */
 #ifndef AEO_CORE_ONLINE_CONTROLLER_H_
 #define AEO_CORE_ONLINE_CONTROLLER_H_
@@ -40,12 +44,13 @@
 #include <memory>
 #include <vector>
 
-#include "core/config_scheduler.h"
+#include "core/controller_state_machine.h"
 #include "core/energy_optimizer.h"
 #include "core/performance_regulator.h"
 #include "core/profile_drift.h"
 #include "core/profile_table.h"
-#include "device/device.h"
+#include "platform/platform.h"
+#include "power/power_model.h"
 #include "sim/periodic_task.h"
 
 namespace aeo {
@@ -71,8 +76,8 @@ struct ControllerConfig {
     /** Cost per sysfs actuation write (§V-A1: ~14 mW during transitions). */
     double actuation_power_mw = 14.0;
     double actuation_seconds = 0.0002;
-    /** Retry/backoff policy handed to the config scheduler. */
-    ActuationRetryPolicy retry = {};
+    /** Retry/backoff policy handed to the platform's actuator. */
+    platform::ActuationRetryPolicy retry = {};
     /**
      * Watchdog threshold K: after this many consecutive control cycles whose
      * actuation failed, the controller abandons userspace control and hands
@@ -86,11 +91,11 @@ struct ControllerConfig {
      */
     double plausibility_factor = 4.0;
     /**
-     * Read-back verification of every actuation write (see ConfigScheduler).
-     * Clamped configurations discovered this way are masked out of the
-     * feasible set and the LP re-solved over what the device can actually
-     * reach. Off, the controller trusts writes blindly (pre-hardening
-     * behaviour).
+     * Read-back verification of every actuation write (see the Actuator
+     * interface). Clamped configurations discovered this way are masked out
+     * of the feasible set and the LP re-solved over what the device can
+     * actually reach. Off, the controller trusts writes blindly
+     * (pre-hardening behaviour).
      */
     bool readback_verification = true;
     /**
@@ -148,15 +153,16 @@ struct ControlCycleRecord {
     double measured_power_mw = 0.0;
 };
 
-/** The feedback controller driving one device. */
+/** The feedback controller driving one device, through its platform. */
 class OnlineController {
   public:
     /**
-     * @param device Plant; must outlive the controller.
-     * @param table  Offline profile of the controlled application (copied).
-     * @param config Tuning; target_gips must be positive.
+     * @param platform Hardware access; must outlive the controller.
+     * @param table    Offline profile of the controlled application (copied).
+     * @param config   Tuning; target_gips must be positive.
      */
-    OnlineController(Device* device, ProfileTable table, ControllerConfig config);
+    OnlineController(platform::Platform* platform, ProfileTable table,
+                     ControllerConfig config);
 
     /**
      * Takes over the device: switches the governors to userspace (bandwidth
@@ -183,13 +189,22 @@ class OnlineController {
     /** The regulator (for tests). */
     const PerformanceRegulator& regulator() const { return regulator_; }
 
-    /** The scheduler (actuation health counters, for tests and benches). */
-    const ConfigScheduler& scheduler() const { return scheduler_; }
+    /** The actuator (actuation health counters, for tests and benches). */
+    const platform::Actuator& actuator() const
+    {
+        return platform_->actuator();
+    }
+
+    /** Current operating mode. */
+    ControllerState state() const { return machine_.state(); }
+
+    /** The mode tracker (for tests). */
+    const ControllerStateMachine& machine() const { return machine_; }
 
     /** True once the watchdog has handed the device back to the stock
      * governors; the control cycle no longer runs (but recovery probing
      * may re-engage it — see reengage_count()). */
-    bool fallback_engaged() const { return fallback_engaged_; }
+    bool fallback_engaged() const { return machine_.fallback_engaged(); }
 
     /** Cycles that ran in degraded mode (missing/garbage measurement). */
     uint64_t degraded_cycle_count() const { return degraded_cycle_count_; }
@@ -213,8 +228,13 @@ class OnlineController {
   private:
     void RunCycle();
 
-    /** Watchdog action: revert to the stock governors and stop actuating. */
-    void EngageFallback();
+    /** Resolves @p schedule's slots against the active table and hands the
+     * dwell plan to the platform's actuator. */
+    void Actuate(const ConfigSchedule& schedule);
+
+    /** Watchdog action on @p trigger: revert to the stock governors and
+     * stop actuating (then probe for recovery when re-engagement is on). */
+    void EngageFallback(ControllerEvent trigger);
 
     /** Stops the control cycle and sampling without touching probe state. */
     void StopControl();
@@ -230,31 +250,17 @@ class OnlineController {
     void ConsumeDeliveries(double measured_gips, double measured_power_mw,
                            bool measurement_plausible);
 
-    /** Reads the kernel's advertised frequency ceiling (scaling_max_freq). */
-    int ReadPolicyCapLevel() const;
-
-    /** Zone temperature, or the leakage reference when unexposed. */
-    double ReadZoneTempC() const;
-
     /** Rebuilds (or retires) the masked + drift-corrected working table
      * under the given caps. Returns false when the reachable set is empty. */
     bool RefreshWorkingTable(int cpu_cap, int bw_cap);
 
-    Device* device_;
+    platform::Platform* platform_;
     ProfileTable table_;
     ControllerConfig config_;
-    /** Interned sysfs nodes for the per-cycle reads and governor switches
-     * (opened once at construction; no path strings built while running). */
-    SysfsHandle cap_node_;
-    SysfsHandle temp_node_;
-    SysfsHandle probe_node_;
-    SysfsHandle cpu_governor_node_;
-    SysfsHandle bw_governor_node_;
-    SysfsHandle gpu_governor_node_;
     EnergyOptimizer optimizer_;
     PerformanceRegulator regulator_;
-    ConfigScheduler scheduler_;
     ProfileDriftDetector drift_;
+    ControllerStateMachine machine_;
     PeriodicTask cycle_task_;
     PeriodicTask probe_task_;
     std::vector<ControlCycleRecord> history_;
@@ -268,15 +274,13 @@ class OnlineController {
      * indices are only valid while the version matches. */
     uint64_t table_version_ = 0;
     uint64_t last_schedule_version_ = 0;
-    bool fallback_engaged_ = false;
     uint64_t degraded_cycle_count_ = 0;
     uint64_t reengage_count_ = 0;
     uint64_t safe_mode_cycle_count_ = 0;
-    int probe_successes_ = 0;
 
-    /** Caps learned from read-back mismatches (INT_MAX sentinels = none). */
-    int mismatch_cpu_cap_ = kNoCap;
-    int mismatch_bw_cap_ = kNoCap;
+    /** Caps learned from read-back mismatches (sentinels = none). */
+    int mismatch_cpu_cap_ = platform::kNoCapLevel;
+    int mismatch_bw_cap_ = platform::kNoCapLevel;
     int mismatch_cap_age_ = 0;
     /** Consecutive cycles with clamp evidence (debounce counter). */
     int mismatch_streak_ = 0;
@@ -286,8 +290,6 @@ class OnlineController {
     std::unique_ptr<EnergyOptimizer> working_optimizer_;
     const ProfileTable* active_table_;
     const EnergyOptimizer* active_optimizer_;
-
-    static constexpr int kNoCap = 1 << 20;
 };
 
 }  // namespace aeo

@@ -1,4 +1,4 @@
-#include "core/config_scheduler.h"
+#include "platform/config_scheduler.h"
 
 #include <algorithm>
 #include <cmath>
@@ -6,8 +6,9 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "device/device.h"
 
-namespace aeo {
+namespace aeo::platform {
 
 namespace {
 
@@ -52,16 +53,10 @@ PrecomputeCandidates(int size, ValueAt value_at,
 
 ConfigScheduler::ConfigScheduler(Device* device, SimTime min_dwell,
                                  ActuationRetryPolicy retry)
-    : device_(device), min_dwell_(min_dwell), retry_(retry)
+    : device_(device)
 {
     AEO_ASSERT(device_ != nullptr, "scheduler needs a device");
-    AEO_ASSERT(min_dwell_ > SimTime::Zero(), "minimum dwell must be positive");
-    AEO_ASSERT(retry_.max_retries >= 0, "negative retry count");
-    AEO_ASSERT(retry_.initial_backoff > SimTime::Zero(),
-               "backoff must be positive");
-    if (retry_.budget <= SimTime::Zero()) {
-        retry_.budget = min_dwell_;
-    }
+    ConfigureActuation(min_dwell, retry);
 
     // Precompute every actuation plan once: the OPP tables are immutable for
     // the device's lifetime, so the per-dwell path below never formats a
@@ -106,6 +101,21 @@ ConfigScheduler::ConfigScheduler(Device* device, SimTime min_dwell,
     gpu_plan_.to_level = [&gpu](long long mhz) {
         return gpu.ClosestLevel(static_cast<double>(mhz));
     };
+}
+
+void
+ConfigScheduler::ConfigureActuation(SimTime min_dwell,
+                                    const ActuationRetryPolicy& retry)
+{
+    min_dwell_ = min_dwell;
+    retry_ = retry;
+    AEO_ASSERT(min_dwell_ > SimTime::Zero(), "minimum dwell must be positive");
+    AEO_ASSERT(retry_.max_retries >= 0, "negative retry count");
+    AEO_ASSERT(retry_.initial_backoff > SimTime::Zero(),
+               "backoff must be positive");
+    if (retry_.budget <= SimTime::Zero()) {
+        retry_.budget = min_dwell_;
+    }
 }
 
 FaultErrc
@@ -201,6 +211,17 @@ ConfigScheduler::ResetFailureTracking()
     cycle_open_ = false;
 }
 
+bool
+ConfigScheduler::ProbeActuationPath()
+{
+    // Under a stock governor scaling_setspeed rejects the value with EINVAL
+    // — that still proves the path is alive; transport-level errors
+    // (EIO/EBUSY/ENOENT) prove it is not. "0" is harmless even if a
+    // userspace governor were active: no table has a 0 kHz level.
+    const FaultErrc errc = device_->sysfs().TryWrite(cpu_plan_.set, "0");
+    return errc == FaultErrc::kOk || errc == FaultErrc::kInval;
+}
+
 void
 ConfigScheduler::VerifyDelivery(const SubsystemActuator& plan,
                                 ActuationDelivery* delivery)
@@ -272,9 +293,9 @@ ConfigScheduler::CancelPending()
 }
 
 void
-ConfigScheduler::Apply(const ConfigSchedule& schedule, const ProfileTable& table)
+ConfigScheduler::Apply(const ActuationPlan& plan)
 {
-    AEO_ASSERT(!schedule.slots.empty(), "empty schedule");
+    AEO_ASSERT(!plan.empty(), "empty actuation plan");
 
     // Cancel configuration switches still pending from the previous cycle
     // and fold that cycle's outcome into the consecutive-failure counter.
@@ -293,31 +314,31 @@ ConfigScheduler::Apply(const ConfigSchedule& schedule, const ProfileTable& table
     // into the other.
     const double grid = min_dwell_.seconds();
     double total = 0.0;
-    for (const ScheduleSlot& slot : schedule.slots) {
-        total += slot.seconds;
+    for (const PlannedDwell& dwell : plan) {
+        total += dwell.seconds;
     }
 
-    ScheduleSlots quantized;
-    if (schedule.slots.size() == 1) {
-        quantized.push_back(schedule.slots.front());
+    ActuationPlan quantized;
+    if (plan.size() == 1) {
+        quantized.push_back(plan.front());
     } else {
-        const ScheduleSlot& first = schedule.slots.front();
+        const PlannedDwell& first = plan.front();
         const double rounded = std::round(first.seconds / grid) * grid;
         if (rounded <= 0.0) {
-            quantized.push_back(ScheduleSlot{schedule.slots.back().entry_index, total});
+            quantized.push_back(PlannedDwell{plan.back().config, total});
         } else if (rounded >= total) {
-            quantized.push_back(ScheduleSlot{first.entry_index, total});
+            quantized.push_back(PlannedDwell{first.config, total});
         } else {
-            quantized.push_back(ScheduleSlot{first.entry_index, rounded});
+            quantized.push_back(PlannedDwell{first.config, rounded});
             quantized.push_back(
-                ScheduleSlot{schedule.slots.back().entry_index, total - rounded});
+                PlannedDwell{plan.back().config, total - rounded});
         }
     }
 
     // Apply the first slot now; schedule the rest.
     SimTime offset = SimTime::Zero();
     for (size_t i = 0; i < quantized.size(); ++i) {
-        const SystemConfig config = table.entries()[quantized[i].entry_index].config;
+        const SystemConfig config = quantized[i].config;
         const double seconds = quantized[i].seconds;
         if (i == 0) {
             ApplyConfigNow(config);
@@ -333,4 +354,4 @@ ConfigScheduler::Apply(const ConfigSchedule& schedule, const ProfileTable& table
     }
 }
 
-}  // namespace aeo
+}  // namespace aeo::platform

@@ -10,11 +10,15 @@
 
 #include <gtest/gtest.h>
 
-#include "core/config_scheduler.h"
+#include "platform/config_scheduler.h"
 #include "device/device.h"
 
 namespace aeo {
 namespace {
+
+using platform::ActuationStats;
+using platform::ConfigScheduler;
+using platform::DwellDelivery;
 
 std::unique_ptr<Device>
 MakeDevice(std::vector<FaultRule> rules = {})

@@ -9,6 +9,7 @@
 
 #include "apps/workloads.h"
 #include "device/device.h"
+#include "platform/sim_platform.h"
 
 namespace aeo {
 namespace {
@@ -40,7 +41,8 @@ TEST(OnlineControllerTest, StartTakesOverBothGovernors)
     device.LaunchApp(MakeSpotifySpec());
     ControllerConfig config;
     config.target_gips = 0.06;
-    OnlineController controller(&device, CoordinatedTable(), config);
+    platform::SimPlatform plat(&device);
+    OnlineController controller(&plat, CoordinatedTable(), config);
     controller.Start();
     EXPECT_EQ(device.cpufreq().governor_name(), "userspace");
     EXPECT_EQ(device.devfreq().governor_name(), "userspace");
@@ -55,7 +57,8 @@ TEST(OnlineControllerTest, CpuOnlyTableKeepsHwmonOnTheBus)
     device.LaunchApp(MakeSpotifySpec());
     ControllerConfig config;
     config.target_gips = 0.06;
-    OnlineController controller(&device, CpuOnlyTable(), config);
+    platform::SimPlatform plat(&device);
+    OnlineController controller(&plat, CpuOnlyTable(), config);
     controller.Start();
     EXPECT_EQ(device.cpufreq().governor_name(), "userspace");
     EXPECT_EQ(device.devfreq().governor_name(), "cpubw_hwmon");
@@ -68,7 +71,8 @@ TEST(OnlineControllerTest, CyclesAccumulateAtThePaperRate)
     device.LaunchApp(MakeSpotifySpec());
     ControllerConfig config;
     config.target_gips = 0.06;
-    OnlineController controller(&device, CoordinatedTable(), config);
+    platform::SimPlatform plat(&device);
+    OnlineController controller(&plat, CoordinatedTable(), config);
     controller.Start();
     device.RunFor(SimTime::FromSeconds(21));
     controller.Stop();
@@ -83,7 +87,8 @@ TEST(OnlineControllerTest, CustomCycleDurationHonoured)
     ControllerConfig config;
     config.target_gips = 0.06;
     config.control_cycle = SimTime::FromSeconds(4);
-    OnlineController controller(&device, CoordinatedTable(), config);
+    platform::SimPlatform plat(&device);
+    OnlineController controller(&plat, CoordinatedTable(), config);
     controller.Start();
     device.RunFor(SimTime::FromSeconds(21));
     controller.Stop();
@@ -96,7 +101,8 @@ TEST(OnlineControllerTest, OverheadPowerChargedWhileRunning)
     device.LaunchApp(MakeSpotifySpec());
     ControllerConfig config;
     config.target_gips = 0.06;
-    OnlineController controller(&device, CoordinatedTable(), config);
+    platform::SimPlatform plat(&device);
+    OnlineController controller(&plat, CoordinatedTable(), config);
     controller.Start();
     // The §V-A1 budget: compute + actuation, spread over the cycle —
     // visible as a small but non-zero overhead on the plant.
@@ -124,7 +130,8 @@ TEST(OnlineControllerTest, WatchdogRevertsToStockGovernorsOnStickyFailure)
     ControllerConfig config;
     config.target_gips = 0.06;
     config.watchdog_threshold = 3;
-    OnlineController controller(&device, CoordinatedTable(), config);
+    platform::SimPlatform plat(&device);
+    OnlineController controller(&plat, CoordinatedTable(), config);
     controller.Start();
     EXPECT_FALSE(controller.fallback_engaged());
 
@@ -135,7 +142,7 @@ TEST(OnlineControllerTest, WatchdogRevertsToStockGovernorsOnStickyFailure)
     EXPECT_EQ(device.cpufreq().governor_name(), "interactive");
     EXPECT_EQ(device.devfreq().governor_name(), "cpubw_hwmon");
     EXPECT_FALSE(device.perf().running());
-    EXPECT_GE(controller.scheduler().stats().failed_ops, 3u);
+    EXPECT_GE(controller.actuator().stats().failed_ops, 3u);
 
     // The control cycle is dead: no further cycles accumulate.
     const size_t cycles = controller.cycle_count();
@@ -158,7 +165,8 @@ TEST(OnlineControllerTest, MissingPerfSamplesRunTheCycleDegraded)
 
     ControllerConfig config;
     config.target_gips = 0.06;
-    OnlineController controller(&device, CoordinatedTable(), config);
+    platform::SimPlatform plat(&device);
+    OnlineController controller(&plat, CoordinatedTable(), config);
     controller.Start();
     const double estimate_before = controller.base_speed_estimate();
     device.RunFor(SimTime::FromSeconds(9));
@@ -182,7 +190,8 @@ TEST(OnlineControllerTest, HealthyLoopIsNeverDegraded)
     device.LaunchApp(MakeSpotifySpec());
     ControllerConfig config;
     config.target_gips = 0.06;
-    OnlineController controller(&device, CoordinatedTable(), config);
+    platform::SimPlatform plat(&device);
+    OnlineController controller(&plat, CoordinatedTable(), config);
     controller.Start();
     device.RunFor(SimTime::FromSeconds(9));
     controller.Stop();
@@ -201,7 +210,8 @@ TEST(OnlineControllerDeathTest, MixedTableIsRejected)
     const ProfileTable mixed("bad", std::move(entries), 0.06);
     ControllerConfig config;
     config.target_gips = 0.06;
-    EXPECT_DEATH(OnlineController(&device, mixed, config), "mixes");
+    platform::SimPlatform plat(&device);
+    EXPECT_DEATH(OnlineController(&plat, mixed, config), "mixes");
 }
 
 }  // namespace

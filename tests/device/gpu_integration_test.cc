@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "core/online_controller.h"
+#include "platform/sim_platform.h"
 #include "device/device.h"
 
 namespace aeo {
@@ -94,7 +95,8 @@ TEST(GpuIntegrationTest, ExtendedControllerDrivesGpuThroughSysfs)
     };
     ControllerConfig config;
     config.target_gips = 0.25;
-    OnlineController controller(&device, ProfileTable("x", entries, 0.2), config);
+    platform::SimPlatform plat(&device);
+    OnlineController controller(&plat, ProfileTable("x", entries, 0.2), config);
     controller.Start();
     EXPECT_EQ(device.gpufreq().governor_name(), "userspace");
     device.RunFor(SimTime::FromSeconds(10));

@@ -8,6 +8,7 @@
 #include "apps/app_registry.h"
 #include "core/offline_profiler.h"
 #include "core/online_controller.h"
+#include "platform/sim_platform.h"
 #include "core/scenarios.h"
 #include "device/device.h"
 
@@ -42,7 +43,8 @@ RunControlled(const std::string& app, double target_gips, SimTime duration,
     device.LaunchApp(MakeAppSpecByName(app));
     ControllerConfig config;
     config.target_gips = target_gips;
-    OnlineController controller(&device, table, config);
+    platform::SimPlatform plat(&device);
+    OnlineController controller(&plat, table, config);
     controller.Start();
     device.RunFor(duration);
     controller.Stop();
@@ -96,7 +98,8 @@ TEST(ControllerIntegrationTest, ControllerSwitchesGovernorsToUserspace)
     device.LaunchApp(MakeAppSpecByName("Spotify"));
     ControllerConfig config;
     config.target_gips = 0.04;
-    OnlineController controller(&device, table, config);
+    platform::SimPlatform plat(&device);
+    OnlineController controller(&plat, table, config);
     controller.Start();
     EXPECT_EQ(device.sysfs().Read(std::string(kCpufreqSysfsRoot) + "/scaling_governor"),
               "userspace");
@@ -121,7 +124,8 @@ TEST(ControllerIntegrationTest, CpuOnlyModeLeavesBusWithHwmon)
     device.LaunchApp(MakeAppSpecByName("Spotify"));
     ControllerConfig config;
     config.target_gips = 0.04;
-    OnlineController controller(&device, table, config);
+    platform::SimPlatform plat(&device);
+    OnlineController controller(&plat, table, config);
     controller.Start();
     EXPECT_EQ(device.sysfs().Read(std::string(kDevfreqSysfsRoot) + "/governor"),
               "cpubw_hwmon");
@@ -141,7 +145,8 @@ TEST(ControllerIntegrationTest, HistoryRecordsSchedules)
     device.LaunchApp(MakeAppSpecByName("AngryBirds"));
     ControllerConfig config;
     config.target_gips = 0.20;
-    OnlineController controller(&device, table, config);
+    platform::SimPlatform plat(&device);
+    OnlineController controller(&plat, table, config);
     controller.Start();
     device.RunFor(SimTime::FromSeconds(30));
     controller.Stop();

@@ -15,6 +15,7 @@
 #include "apps/app_registry.h"
 #include "core/offline_profiler.h"
 #include "core/online_controller.h"
+#include "platform/sim_platform.h"
 #include "core/scenarios.h"
 #include "device/device.h"
 
@@ -83,7 +84,8 @@ RunControlled(const ProfileTable& table, std::vector<FaultRule> rules,
     device.LaunchApp(MakeAppSpecByName("AngryBirds"));
     ControllerConfig config;
     config.target_gips = kTarget;
-    OnlineController controller(&device, table, config);
+    platform::SimPlatform plat(&device);
+    OnlineController controller(&plat, table, config);
     controller.Start();
     device.RunFor(SimTime::FromSeconds(60));
     controller.Stop();

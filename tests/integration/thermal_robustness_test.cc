@@ -20,6 +20,7 @@
 #include "apps/app_registry.h"
 #include "core/offline_profiler.h"
 #include "core/online_controller.h"
+#include "platform/sim_platform.h"
 #include "core/scenarios.h"
 #include "device/device.h"
 
@@ -80,7 +81,8 @@ TEST(ThermalRobustnessTest, ThrottlingAdversaryIsMaskedNotFatal)
 
     ControllerConfig config;
     config.target_gips = kTarget;
-    OnlineController controller(&device, table, config);
+    platform::SimPlatform plat(&device);
+    OnlineController controller(&plat, table, config);
     controller.Start();
     device.RunFor(SimTime::FromSeconds(120));
     controller.Stop();
@@ -141,14 +143,15 @@ TEST(ThermalRobustnessTest, InjectedSilentClampEpisodeIsDetectedAndOutlived)
 
     ControllerConfig config;
     config.target_gips = kTarget;
-    OnlineController controller(&device, table, config);
+    platform::SimPlatform plat(&device);
+    OnlineController controller(&plat, table, config);
     controller.Start();
     device.RunFor(SimTime::FromSeconds(120));
     controller.Stop();
     const RunResult result = device.CollectResult("controller+silent-clamps");
 
     // Read-back caught the lies and filed them apart from write failures.
-    const ActuationStats& stats = controller.scheduler().stats();
+    const platform::ActuationStats& stats = controller.actuator().stats();
     EXPECT_GE(stats.silent_clamps, 1u);
     EXPECT_EQ(stats.failed_ops, 0u);
     EXPECT_FALSE(controller.fallback_engaged());
@@ -192,13 +195,14 @@ TEST(ThermalRobustnessTest, OneOffLyingWriteDoesNotMaskTheFeasibleSet)
 
     ControllerConfig config;
     config.target_gips = kTarget;
-    OnlineController controller(&device, table, config);
+    platform::SimPlatform plat(&device);
+    OnlineController controller(&plat, table, config);
     controller.Start();
     device.RunFor(SimTime::FromSeconds(60));
     controller.Stop();
 
     // Read-back caught the lie...
-    EXPECT_GE(controller.scheduler().stats().silent_clamps, 1u);
+    EXPECT_GE(controller.actuator().stats().silent_clamps, 1u);
     // ...but one cycle of evidence is below cap_confirm_cycles, so no
     // mismatch cap ever engages and the plan keeps the full table.
     for (const ControlCycleRecord& record : controller.history()) {
@@ -225,7 +229,8 @@ TEST(ThermalRobustnessTest, SafeModeEngagesWhenTheTargetBecomesUnreachable)
     ControllerConfig config;
     // Near the top of the profiled range: unreachable once clamped.
     config.target_gips = table.GipsForSpeedup(0.9 * table.max_speedup());
-    OnlineController controller(&device, table, config);
+    platform::SimPlatform plat(&device);
+    OnlineController controller(&plat, table, config);
     controller.Start();
     device.RunFor(SimTime::FromSeconds(60));
     controller.Stop();
@@ -256,7 +261,8 @@ TEST(ThermalRobustnessTest, DriftCorrectionTracksLeakageHeating)
     ControllerConfig config;
     config.target_gips = kTarget;
     config.drift.enabled = true;
-    OnlineController controller(&device, table, config);
+    platform::SimPlatform plat(&device);
+    OnlineController controller(&plat, table, config);
     controller.Start();
     device.RunFor(SimTime::FromSeconds(120));
     controller.Stop();
@@ -304,7 +310,8 @@ TEST(ThermalRobustnessTest, ReadbackMachineryIsInvisibleWhenHealthy)
         ControllerConfig config;
         config.target_gips = kTarget;
         config.readback_verification = readback;
-        OnlineController controller(&device, table, config);
+        platform::SimPlatform plat(&device);
+    OnlineController controller(&plat, table, config);
         controller.Start();
         device.RunFor(SimTime::FromSeconds(60));
         controller.Stop();
@@ -337,7 +344,8 @@ TEST(ThermalRobustnessTest, CoolThermalSubsystemDoesNotPerturbTheRun)
         }
         ControllerConfig config;
         config.target_gips = kTarget;
-        OnlineController controller(&device, table, config);
+        platform::SimPlatform plat(&device);
+    OnlineController controller(&plat, table, config);
         controller.Start();
         device.RunFor(SimTime::FromSeconds(60));
         controller.Stop();
@@ -369,7 +377,8 @@ TEST(ThermalRobustnessTest, WatchdogReengagesAfterTheDeviceHeals)
 
     ControllerConfig config;
     config.target_gips = kTarget;
-    OnlineController controller(&device, table, config);
+    platform::SimPlatform plat(&device);
+    OnlineController controller(&plat, table, config);
     controller.Start();
     // The kernel path heals mid-run (a reboot of the flaky subsystem); the
     // recovery probes then see healthy writes and re-engage control.
@@ -382,7 +391,7 @@ TEST(ThermalRobustnessTest, WatchdogReengagesAfterTheDeviceHeals)
 
     EXPECT_EQ(controller.reengage_count(), 1u);
     EXPECT_FALSE(controller.fallback_engaged());
-    EXPECT_GT(controller.scheduler().stats().failed_ops, 0u);
+    EXPECT_GT(controller.actuator().stats().failed_ops, 0u);
     // Control resumed: a healthy tail of cycles regulates to the target.
     EXPECT_GE(controller.cycle_count(), 20u);
     double late_gips = 0.0;

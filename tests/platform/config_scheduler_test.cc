@@ -1,13 +1,19 @@
-#include "core/config_scheduler.h"
+#include "platform/config_scheduler.h"
 
 #include <cstdlib>
 
 #include <gtest/gtest.h>
 
+#include "core/profile_table.h"
 #include "device/device.h"
 
 namespace aeo {
 namespace {
+
+using platform::ActuationPlan;
+using platform::ActuationRetryPolicy;
+using platform::ConfigScheduler;
+using platform::PlannedDwell;
 
 ProfileTable
 TwoConfigTable()
@@ -50,9 +56,10 @@ TEST_F(ConfigSchedulerTest, CpuOnlyConfigLeavesBusAlone)
 TEST_F(ConfigSchedulerTest, TwoSlotScheduleSwitchesMidCycle)
 {
     const ProfileTable table = TwoConfigTable();
-    ConfigSchedule schedule;
-    schedule.slots = {ScheduleSlot{0, 1.2}, ScheduleSlot{1, 0.8}};
-    scheduler_.Apply(schedule, table);
+    ActuationPlan plan;
+    plan.push_back(PlannedDwell{table.entries()[0].config, 1.2});
+    plan.push_back(PlannedDwell{table.entries()[1].config, 0.8});
+    scheduler_.Apply(plan);
 
     // First slot applied immediately.
     EXPECT_EQ(device_.cluster().level(), 2);
@@ -68,9 +75,10 @@ TEST_F(ConfigSchedulerTest, DwellsQuantizeToTheGrid)
 {
     // 0.73 s rounds to 0.8 s on the 200 ms grid; the cycle total holds.
     const ProfileTable table = TwoConfigTable();
-    ConfigSchedule schedule;
-    schedule.slots = {ScheduleSlot{0, 0.73}, ScheduleSlot{1, 1.27}};
-    scheduler_.Apply(schedule, table);
+    ActuationPlan plan;
+    plan.push_back(PlannedDwell{table.entries()[0].config, 0.73});
+    plan.push_back(PlannedDwell{table.entries()[1].config, 1.27});
+    scheduler_.Apply(plan);
 
     device_.sim().RunUntil(SimTime::FromSecondsF(0.79));
     EXPECT_EQ(device_.cluster().level(), 2);
@@ -83,9 +91,10 @@ TEST_F(ConfigSchedulerTest, SubDwellSlotMergesIntoTheOther)
     // 60 ms rounds to zero on the 200 ms grid: the whole cycle goes to the
     // other slot and no mid-cycle switch is scheduled.
     const ProfileTable table = TwoConfigTable();
-    ConfigSchedule schedule;
-    schedule.slots = {ScheduleSlot{0, 0.06}, ScheduleSlot{1, 1.94}};
-    scheduler_.Apply(schedule, table);
+    ActuationPlan plan;
+    plan.push_back(PlannedDwell{table.entries()[0].config, 0.06});
+    plan.push_back(PlannedDwell{table.entries()[1].config, 1.94});
+    scheduler_.Apply(plan);
 
     EXPECT_EQ(device_.cluster().level(), 4);  // straight to the second slot
     const uint64_t transitions = device_.cluster().transition_count();
@@ -96,13 +105,14 @@ TEST_F(ConfigSchedulerTest, SubDwellSlotMergesIntoTheOther)
 TEST_F(ConfigSchedulerTest, ReapplyCancelsPendingSwitches)
 {
     const ProfileTable table = TwoConfigTable();
-    ConfigSchedule schedule;
-    schedule.slots = {ScheduleSlot{0, 1.0}, ScheduleSlot{1, 1.0}};
-    scheduler_.Apply(schedule, table);
+    ActuationPlan plan;
+    plan.push_back(PlannedDwell{table.entries()[0].config, 1.0});
+    plan.push_back(PlannedDwell{table.entries()[1].config, 1.0});
+    scheduler_.Apply(plan);
     // A new cycle arrives before the pending switch fires.
-    ConfigSchedule hold;
-    hold.slots = {ScheduleSlot{0, 2.0}};
-    scheduler_.Apply(hold, table);
+    ActuationPlan hold;
+    hold.push_back(PlannedDwell{table.entries()[0].config, 2.0});
+    scheduler_.Apply(hold);
     device_.sim().RunUntil(SimTime::FromSeconds(3));
     // The cancelled switch never happened.
     EXPECT_EQ(device_.cluster().level(), 2);
@@ -111,9 +121,9 @@ TEST_F(ConfigSchedulerTest, ReapplyCancelsPendingSwitches)
 TEST_F(ConfigSchedulerTest, SingleSlotAppliesImmediately)
 {
     const ProfileTable table = TwoConfigTable();
-    ConfigSchedule schedule;
-    schedule.slots = {ScheduleSlot{1, 2.0}};
-    scheduler_.Apply(schedule, table);
+    ActuationPlan plan;
+    plan.push_back(PlannedDwell{table.entries()[1].config, 2.0});
+    scheduler_.Apply(plan);
     EXPECT_EQ(device_.cluster().level(), 4);
 }
 
@@ -219,20 +229,20 @@ TEST(ConfigSchedulerFaultTest, ConsecutiveFailedAppliesTrackTheChain)
     device.UseUserspaceGovernors();
     ConfigScheduler scheduler(&device);
     const ProfileTable table = TwoConfigTable();
-    ConfigSchedule hold;
-    hold.slots = {ScheduleSlot{0, 2.0}};
+    ActuationPlan hold;
+    hold.push_back(PlannedDwell{table.entries()[0].config, 2.0});
 
     EXPECT_EQ(scheduler.consecutive_failed_applies(), 0);
-    scheduler.Apply(hold, table);
+    scheduler.Apply(hold);
     EXPECT_EQ(scheduler.consecutive_failed_applies(), 1);
-    scheduler.Apply(hold, table);
+    scheduler.Apply(hold);
     EXPECT_EQ(scheduler.consecutive_failed_applies(), 2);
 
     // Repair the node: the chain resets once a clean cycle completes.
     device.fault_injector()->RepairAll();
     device.fault_injector()->Clear();
-    scheduler.Apply(hold, table);
-    scheduler.Apply(hold, table);
+    scheduler.Apply(hold);
+    scheduler.Apply(hold);
     EXPECT_EQ(scheduler.consecutive_failed_applies(), 0);
 }
 

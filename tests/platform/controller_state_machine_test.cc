@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Exhaustive coverage of the ControllerStateMachine transition table: every
+ * (state, event) pair is checked against an independently-written oracle,
+ * so adding a state or event without extending the table (or this oracle)
+ * fails loudly. Scenario tests then walk the multi-step paths the
+ * controller actually takes (watchdog → probe → re-engage, degraded
+ * round-trips, terminal fallback).
+ */
+#include "core/controller_state_machine.h"
+
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace aeo {
+namespace {
+
+using S = ControllerState;
+using E = ControllerEvent;
+
+const std::vector<S> kAllStates = {S::kNormal, S::kDegraded, S::kSafeMode,
+                                   S::kProbe, S::kFallbackStock};
+const std::vector<E> kAllEvents = {
+    E::kCycleStart,       E::kPerfReadOk,      E::kPerfReadFailed,
+    E::kActuationMismatch, E::kClampConfirmed, E::kCapExpired,
+    E::kDriftCorrected,   E::kTargetUnreachable, E::kFeasibleSetEmpty,
+    E::kWatchdogTrip,     E::kProbeOk,         E::kProbeFailed,
+    E::kControlStopped,
+};
+
+/** Independent re-statement of the intended table: nullopt = illegal. */
+std::optional<S>
+Oracle(S state, E event, bool reengage)
+{
+    const S trip = reengage ? S::kProbe : S::kFallbackStock;
+    if (event == E::kControlStopped) {
+        return state;  // Stop() is legal everywhere and changes nothing.
+    }
+    switch (state) {
+        case S::kNormal:
+        case S::kDegraded:
+        case S::kSafeMode:
+            switch (event) {
+                case E::kCycleStart:
+                case E::kActuationMismatch:
+                case E::kClampConfirmed:
+                case E::kCapExpired:
+                case E::kDriftCorrected:
+                    return state;
+                case E::kPerfReadOk:
+                    return S::kNormal;
+                case E::kPerfReadFailed:
+                    return S::kDegraded;
+                case E::kTargetUnreachable:
+                    return S::kSafeMode;
+                case E::kFeasibleSetEmpty:
+                case E::kWatchdogTrip:
+                    return trip;
+                default:
+                    return std::nullopt;  // probe outcomes
+            }
+        case S::kProbe:
+            switch (event) {
+                case E::kProbeOk:
+                    return S::kNormal;  // at quorum
+                case E::kProbeFailed:
+                    return S::kProbe;
+                default:
+                    return std::nullopt;
+            }
+        case S::kFallbackStock:
+            return std::nullopt;  // terminal
+    }
+    return std::nullopt;
+}
+
+TEST(ControllerStateMachineTable, EveryPairMatchesTheOracle)
+{
+    for (const bool reengage : {true, false}) {
+        StateMachineOptions options;
+        options.reengage = reengage;
+        for (const S state : kAllStates) {
+            for (const E event : kAllEvents) {
+                SCOPED_TRACE(testing::Message()
+                             << ControllerStateName(state) << " x "
+                             << ControllerEventName(event)
+                             << " (reengage=" << reengage << ")");
+                const std::optional<S> want = Oracle(state, event, reengage);
+                S next = S::kNormal;
+                const bool legal =
+                    ControllerStateMachine::ActionFor(state, event, options,
+                                                      &next);
+                ASSERT_EQ(legal, want.has_value());
+                if (want.has_value()) {
+                    EXPECT_EQ(next, *want);
+                }
+            }
+        }
+    }
+}
+
+TEST(ControllerStateMachineTable, DispatchAgreesWithActionForOnEveryPair)
+{
+    // Dispatch from every state (reached via a forced initial state) must
+    // land where the table says — with the one quorum-dependent exception:
+    // a single ProbeOk below the quorum keeps the machine in PROBE.
+    StateMachineOptions options;  // reengage on, quorum 3
+    for (const S state : kAllStates) {
+        for (const E event : kAllEvents) {
+            SCOPED_TRACE(testing::Message() << ControllerStateName(state)
+                                            << " x "
+                                            << ControllerEventName(event));
+            ControllerStateMachine machine(options, state);
+            const StateTransition transition = machine.Dispatch(event);
+            S want = state;
+            const bool legal =
+                ControllerStateMachine::ActionFor(state, event, options, &want);
+            EXPECT_EQ(transition.legal, legal);
+            if (state == S::kProbe && event == E::kProbeOk) {
+                want = S::kProbe;  // 1 of 3 healthy probes: quorum not met
+            }
+            EXPECT_EQ(transition.state, legal ? want : state);
+            EXPECT_EQ(machine.state(), transition.state);
+            EXPECT_EQ(transition.changed, transition.state != state);
+            EXPECT_EQ(machine.illegal_dispatch_count(), legal ? 0u : 1u);
+        }
+    }
+}
+
+TEST(ControllerStateMachine, IllegalDispatchStaysPutAndCounts)
+{
+    ControllerStateMachine machine;
+    const StateTransition transition = machine.Dispatch(E::kProbeOk);
+    EXPECT_FALSE(transition.legal);
+    EXPECT_FALSE(transition.changed);
+    EXPECT_EQ(machine.state(), S::kNormal);
+    EXPECT_EQ(machine.illegal_dispatch_count(), 1u);
+}
+
+TEST(ControllerStateMachine, WatchdogTripProbesAndReengagesAtQuorum)
+{
+    StateMachineOptions options;
+    options.reengage_successes = 3;
+    ControllerStateMachine machine(options);
+    EXPECT_TRUE(machine.control_engaged());
+
+    machine.Dispatch(E::kWatchdogTrip);
+    EXPECT_EQ(machine.state(), S::kProbe);
+    EXPECT_TRUE(machine.fallback_engaged());
+
+    // Two healthy probes, a failure (counter restarts), then the quorum.
+    machine.Dispatch(E::kProbeOk);
+    machine.Dispatch(E::kProbeOk);
+    EXPECT_EQ(machine.probe_successes(), 2);
+    machine.Dispatch(E::kProbeFailed);
+    EXPECT_EQ(machine.probe_successes(), 0);
+    machine.Dispatch(E::kProbeOk);
+    machine.Dispatch(E::kProbeOk);
+    EXPECT_EQ(machine.state(), S::kProbe);
+    const StateTransition last = machine.Dispatch(E::kProbeOk);
+    EXPECT_TRUE(last.changed);
+    EXPECT_EQ(machine.state(), S::kNormal);
+    EXPECT_EQ(machine.probe_successes(), 0);
+    EXPECT_TRUE(machine.control_engaged());
+}
+
+TEST(ControllerStateMachine, FallbackIsTerminalWithoutReengagement)
+{
+    StateMachineOptions options;
+    options.reengage = false;
+    ControllerStateMachine machine(options);
+    machine.Dispatch(E::kWatchdogTrip);
+    EXPECT_EQ(machine.state(), S::kFallbackStock);
+    const StateTransition transition = machine.Dispatch(E::kProbeOk);
+    EXPECT_FALSE(transition.legal);
+    EXPECT_EQ(machine.state(), S::kFallbackStock);
+}
+
+TEST(ControllerStateMachine, DegradedAndSafeModeRoundTrips)
+{
+    ControllerStateMachine machine;
+    machine.Dispatch(E::kCycleStart);
+    machine.Dispatch(E::kPerfReadFailed);
+    EXPECT_EQ(machine.state(), S::kDegraded);
+
+    // A degraded cycle whose target is also unreachable ends in SAFE_MODE.
+    machine.Dispatch(E::kTargetUnreachable);
+    EXPECT_EQ(machine.state(), S::kSafeMode);
+
+    // The next plausible measurement lifts both.
+    machine.Dispatch(E::kCycleStart);
+    machine.Dispatch(E::kPerfReadOk);
+    EXPECT_EQ(machine.state(), S::kNormal);
+}
+
+TEST(ControllerStateMachine, ClampLifecycleEventsDoNotChangeTheMode)
+{
+    ControllerStateMachine machine;
+    machine.Dispatch(E::kPerfReadFailed);
+    for (const E event : {E::kActuationMismatch, E::kClampConfirmed,
+                          E::kDriftCorrected, E::kCapExpired}) {
+        const StateTransition transition = machine.Dispatch(event);
+        EXPECT_TRUE(transition.legal);
+        EXPECT_FALSE(transition.changed);
+        EXPECT_EQ(machine.state(), S::kDegraded);
+    }
+    EXPECT_EQ(machine.illegal_dispatch_count(), 0u);
+}
+
+TEST(ControllerStateMachine, FeasibleSetEmptyTripsLikeTheWatchdog)
+{
+    ControllerStateMachine machine;
+    machine.Dispatch(E::kFeasibleSetEmpty);
+    EXPECT_EQ(machine.state(), S::kProbe);
+}
+
+}  // namespace
+}  // namespace aeo
