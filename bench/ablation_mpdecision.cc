@@ -24,7 +24,7 @@ using namespace aeo;
 
 struct Probe {
     double gips;
-    double power_mw;
+    Milliwatts power_mw;
     uint64_t hotplugs;
 };
 
@@ -77,10 +77,10 @@ main()
                      "GIPS error", "power error"});
     const auto row = [&](const char* name, const Probe& probe) {
         table.AddRow({name, StrFormat("%.4f", probe.gips),
-                      StrFormat("%.0f", probe.power_mw),
+                      StrFormat("%.0f", probe.power_mw.value()),
                       StrFormat("%+.1f%%", (probe.gips / clean.gips - 1.0) * 100.0),
                       StrFormat("%+.1f%%",
-                                (probe.power_mw / clean.power_mw - 1.0) * 100.0)});
+                                (probe.power_mw.value() / clean.power_mw.value() - 1.0) * 100.0)});
     };
     row("paper setup (both disabled)", clean);
     row("mpdecision enabled", hotplug);

@@ -36,7 +36,7 @@ CompareTables(const ProfileTable& sparse, const ProfileTable& dense,
     for (const ProfileEntry& s : sparse.entries()) {
         for (const ProfileEntry& d : dense.entries()) {
             if (s.config == d.config) {
-                const double perr = std::fabs(s.power_mw - d.power_mw) / d.power_mw;
+                const double perr = std::fabs(s.power_mw.value() - d.power_mw.value()) / d.power_mw.value();
                 const double serr = std::fabs(s.speedup - d.speedup) / d.speedup;
                 *max_power_err = std::max(*max_power_err, perr);
                 *max_speedup_err = std::max(*max_speedup_err, serr);

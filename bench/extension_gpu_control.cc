@@ -115,12 +115,12 @@ main()
 
     TextTable table({"policy", "GIPS", "avg power (mW)", "energy savings"});
     table.AddRow({"default governors", StrFormat("%.3f", base.avg_gips),
-                  StrFormat("%.0f", base.measured_avg_power_mw), "--"});
+                  StrFormat("%.0f", base.measured_avg_power_mw.value()), "--"});
     table.AddRow({"controller (CPU+BW, paper)", StrFormat("%.3f", paper_run.avg_gips),
-                  StrFormat("%.0f", paper_run.measured_avg_power_mw),
+                  StrFormat("%.0f", paper_run.measured_avg_power_mw.value()),
                   StrFormat("%.1f%%", paper_run.EnergySavingsPercent(base))});
     table.AddRow({"controller (CPU+BW+GPU, SVII)", StrFormat("%.3f", ext_run.avg_gips),
-                  StrFormat("%.0f", ext_run.measured_avg_power_mw),
+                  StrFormat("%.0f", ext_run.measured_avg_power_mw.value()),
                   StrFormat("%.1f%%", ext_run.EnergySavingsPercent(base))});
     std::printf("%s\n", table.ToString().c_str());
     std::printf("Adding the GPU to the configuration tuple recovers the margin\n"

@@ -34,8 +34,9 @@ MakeTable(int configs)
     std::vector<ProfileEntry> entries;
     double speedup = 1.0;
     for (int i = 0; i < configs; ++i) {
-        entries.push_back(ProfileEntry{SystemConfig{i / 13, i % 13}, speedup,
-                                       1000.0 + 15.0 * i + rng.Uniform(0, 30)});
+        entries.push_back(ProfileEntry{
+            SystemConfig{i / 13, i % 13}, speedup,
+            Milliwatts(1000.0 + 15.0 * i + rng.Uniform(0, 30))});
         speedup += rng.Uniform(0.002, 0.02);
     }
     return ProfileTable("bench", std::move(entries), 0.2);
@@ -137,11 +138,11 @@ PrintOverheadReport()
                perf.power_overhead_mw(), "mW");
     ControllerConfig controller;
     report.Add("regulator+optimizer compute budget", paper::kControllerComputeMs,
-               controller.compute_seconds * 1000.0, "ms");
+               controller.compute_seconds.milliseconds(), "ms");
     report.Add("controller compute power", paper::kControllerComputePowerMw,
-               controller.compute_power_mw, "mW");
+               controller.compute_power_mw.value(), "mW");
     report.Add("actuation power", paper::kActuationPowerMw,
-               controller.actuation_power_mw, "mW");
+               controller.actuation_power_mw.value(), "mW");
     std::printf("%s\n", report.ToString().c_str());
     std::printf("The microbenchmarks above verify the per-cycle computation is\n"
                 "orders of magnitude below the paper's 10 ms budget even at the\n"

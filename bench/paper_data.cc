@@ -61,10 +61,10 @@ const std::vector<ProfileRow>&
 TableI()
 {
     static const std::vector<ProfileRow> kRows = {
-        {1, 1, 1.0, 1623.57},
-        {1, 3, 1.0038, 1682.83},
-        {1, 5, 1.0077, 1742.09},
-        {5, 1, 1.837, 2219.22},
+        {1, 1, 1.0, Milliwatts(1623.57)},
+        {1, 3, 1.0038, Milliwatts(1682.83)},
+        {1, 5, 1.0077, Milliwatts(1742.09)},
+        {5, 1, 1.837, Milliwatts(2219.22)},
     };
     return kRows;
 }

@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "common/units.h"
+
 namespace aeo::paper {
 
 /** One application row of Tables III / IV / V. */
@@ -34,7 +36,7 @@ struct ProfileRow {
     int cpu_level_1based;
     int bw_level_1based;
     double speedup;
-    double power_mw;
+    Milliwatts power_mw;
 };
 const std::vector<ProfileRow>& TableI();
 

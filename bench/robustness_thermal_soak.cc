@@ -175,9 +175,9 @@ main(int argc, char** argv)
                     StrFormat("%d", a.cpu_cap_level),
                     StrFormat("%d", StageOf(a, max_level)),
                     StrFormat("%.6g", target), StrFormat("%.6g", a.measured_gips),
-                    StrFormat("%.6g", a.measured_power_mw),
+                    StrFormat("%.6g", a.measured_power_mw.value()),
                     a.safe_mode ? "1" : "0", StrFormat("%.6g", o.measured_gips),
-                    StrFormat("%.6g", o.measured_power_mw)});
+                    StrFormat("%.6g", o.measured_power_mw.value())});
     }
     const std::string csv_path =
         args.OutputPath("robustness_thermal_soak.csv");

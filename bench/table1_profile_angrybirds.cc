@@ -39,7 +39,7 @@ main()
         for (const ProfileEntry& entry : table.entries()) {
             if (entry.config == config) {
                 speedups.Add(config.ToString(), row.speedup, entry.speedup, "x");
-                powers.Add(config.ToString(), row.power_mw, entry.power_mw, "mW");
+                powers.Add(config.ToString(), row.power_mw.value(), entry.power_mw.value(), "mW");
             }
         }
     }

@@ -32,9 +32,9 @@ main()
 
     const Battery battery;  // stock Nexus 6 pack
     const SimTime default_life = battery.TimeToEmpty(
-        Milliwatts(outcome.default_run.measured_avg_power_mw));
+        Milliwatts(outcome.default_run.measured_avg_power_mw.value()));
     const SimTime controlled_life = battery.TimeToEmpty(
-        Milliwatts(outcome.controller_run.measured_avg_power_mw));
+        Milliwatts(outcome.controller_run.measured_avg_power_mw.value()));
 
     std::printf("full-battery playback time, default governors: %.1f h\n",
                 default_life.seconds() / 3600.0);

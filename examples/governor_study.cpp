@@ -60,7 +60,7 @@ main(int argc, char** argv)
     for (const auto& [cpu, bus] : combos) {
         const RunResult result = RunWithGovernors(app, cpu, bus, 21);
         table.AddRow({cpu + " + " + bus, StrFormat("%.3f", result.avg_gips),
-                      StrFormat("%.0f", result.measured_avg_power_mw),
+                      StrFormat("%.0f", result.measured_avg_power_mw.value()),
                       StrFormat("%.1f", result.measured_energy_j),
                       StrFormat("%llu", static_cast<unsigned long long>(
                                             result.cpu_transitions))});

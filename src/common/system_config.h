@@ -5,8 +5,8 @@
  * exactly the paper's choice. The CPU-only controller variant (§V-D) leaves
  * the bandwidth to the default governor, expressed with kBwDefaultGovernor.
  */
-#ifndef AEO_CORE_SYSTEM_CONFIG_H_
-#define AEO_CORE_SYSTEM_CONFIG_H_
+#ifndef AEO_COMMON_SYSTEM_CONFIG_H_
+#define AEO_COMMON_SYSTEM_CONFIG_H_
 
 #include <compare>
 #include <string>
@@ -44,4 +44,4 @@ struct SystemConfig {
 
 }  // namespace aeo
 
-#endif  // AEO_CORE_SYSTEM_CONFIG_H_
+#endif  // AEO_COMMON_SYSTEM_CONFIG_H_

@@ -57,6 +57,21 @@ class Gigahertz : public internal::Quantity<Gigahertz> {
   public:
     using Quantity::Quantity;
     constexpr double megahertz() const { return value() * 1e3; }
+    /** kHz count, staged through megahertz() — the sysfs-boundary scaling
+     * the kernel drivers have always used, kept bit-identical. */
+    constexpr double kilohertz() const { return megahertz() * 1000.0; }
+};
+
+/**
+ * Clock frequency in kilohertz — the unit cpufreq sysfs nodes speak
+ * (scaling_setspeed, scaling_max_freq). Kept distinct from Gigahertz so a
+ * sysfs-scale number can never silently flow into model math.
+ */
+class Kilohertz : public internal::Quantity<Kilohertz> {
+  public:
+    using Quantity::Quantity;
+    constexpr double megahertz() const { return value() * 1e-3; }
+    constexpr Gigahertz gigahertz() const { return Gigahertz(value() * 1e-6); }
 };
 
 /** Memory-bus bandwidth in megabytes per second. */
@@ -97,7 +112,24 @@ class Gips : public internal::Quantity<Gips> {
 class Seconds : public internal::Quantity<Seconds> {
   public:
     using Quantity::Quantity;
+    constexpr double milliseconds() const { return value() * 1e3; }
 };
+
+/** Milliseconds as a continuous quantity (dwell and overhead budgets). */
+class Milliseconds : public internal::Quantity<Milliseconds> {
+  public:
+    using Quantity::Quantity;
+    constexpr Seconds seconds() const { return Seconds(value() * 1e-3); }
+};
+
+/**
+ * Tagged-constructor spellings enforced by `aeo-lint`'s unit-suffix rule:
+ * a numeric literal may only reach a `khz`/`mbps`/`mw`/`ms`-named field
+ * wrapped as KHz(x), MBps(x), Milliwatts(x) or Millis(x).
+ */
+using KHz = Kilohertz;
+using MBps = MegabytesPerSecond;
+using Millis = Milliseconds;
 
 /** Energy = power × time. */
 constexpr Joules

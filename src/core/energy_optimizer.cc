@@ -64,8 +64,9 @@ EnergyOptimizer::EnergyOptimizer(const ProfileTable* table, OptimizerBackend bac
             const ProfileEntry& b = entries[hull_[hull_.size() - 1]];
             const ProfileEntry& c = entries[idx];
             // Keep b only if it lies strictly below segment a–c.
-            const double cross = (b.speedup - a.speedup) * (c.power_mw - a.power_mw) -
-                                 (b.power_mw - a.power_mw) * (c.speedup - a.speedup);
+            const double cross =
+                (b.speedup - a.speedup) * (c.power_mw.value() - a.power_mw.value()) -
+                (b.power_mw.value() - a.power_mw.value()) * (c.speedup - a.speedup);
             return cross > 0.0;
         };
         while (!cross_ok()) {
@@ -96,10 +97,10 @@ EnergyOptimizer::MakePair(size_t low, size_t high, double speedup,
     double power_time = 0.0;
     double speedup_time = 0.0;
     for (const ScheduleSlot& slot : schedule.slots) {
-        power_time += entries[slot.entry_index].power_mw * slot.seconds;
+        power_time += entries[slot.entry_index].power_mw.value() * slot.seconds;
         speedup_time += entries[slot.entry_index].speedup * slot.seconds;
     }
-    schedule.expected_power_mw = power_time / cycle_seconds;
+    schedule.expected_power_mw = Milliwatts(power_time / cycle_seconds);
     schedule.expected_speedup = speedup_time / cycle_seconds;
     return schedule;
 }
@@ -176,10 +177,10 @@ EnergyOptimizer::OptimizePairs(double speedup, double cycle_seconds) const
                        cycle_seconds, &t_low, &t_high);
             double power_time = 0.0;
             if (t_low > 0.0) {
-                power_time += entries[l].power_mw * t_low;
+                power_time += entries[l].power_mw.value() * t_low;
             }
             if (t_high > 0.0 && h != l) {
-                power_time += entries[h].power_mw * t_high;
+                power_time += entries[h].power_mw.value() * t_high;
             }
             const double power = power_time / cycle_seconds;
             if (power < best_power) {
@@ -203,7 +204,7 @@ EnergyOptimizer::OptimizeSimplex(double speedup, double cycle_seconds) const
     powers.reserve(entries.size());
     for (const ProfileEntry& entry : entries) {
         speedups.push_back(entry.speedup);
-        powers.push_back(entry.power_mw);
+        powers.push_back(entry.power_mw.value());
     }
     const LpSolution solution =
         SolveScheduleLp(speedups, powers, speedup, cycle_seconds);
@@ -225,7 +226,7 @@ EnergyOptimizer::OptimizeSimplex(double speedup, double cycle_seconds) const
             speedups[schedule.slots[0].entry_index]) {
         std::swap(schedule.slots[0], schedule.slots[1]);
     }
-    schedule.expected_power_mw = power_time / cycle_seconds;
+    schedule.expected_power_mw = Milliwatts(power_time / cycle_seconds);
     schedule.expected_speedup = speedup_time / cycle_seconds;
     return schedule;
 }

@@ -46,8 +46,8 @@ using ScheduleSlots = StaticVector<ScheduleSlot, 2>;
 struct ConfigSchedule {
     /** Non-zero dwells, in application order (lower speedup first). */
     ScheduleSlots slots;
-    /** Expected average power over the cycle, mW. */
-    double expected_power_mw = 0.0;
+    /** Expected average power over the cycle. */
+    Milliwatts expected_power_mw;
     /** Expected average speedup over the cycle. */
     double expected_speedup = 0.0;
 };

@@ -13,7 +13,7 @@ namespace {
 /** One measurement run's averages (the unit of batch parallelism). */
 struct RunSample {
     double gips = 0.0;
-    double power_mw = 0.0;
+    Milliwatts power_mw;
 };
 
 /**
@@ -55,8 +55,7 @@ MeasureOneRun(const DeviceFactory& factory, const AppSpec& app,
             sysfs.Open(std::string(kCpufreqSysfsRoot) + "/scaling_governor"),
             "userspace");
         const long long khz = static_cast<long long>(
-            device->cluster().table().FrequencyAt(config.cpu_level).megahertz() *
-                1000.0 +
+            device->cluster().table().FrequencyAt(config.cpu_level).kilohertz() +
             0.5);
         sysfs.Write(
             sysfs.Open(std::string(kCpufreqSysfsRoot) + "/scaling_setspeed"),
@@ -77,12 +76,12 @@ ReduceRuns(const SystemConfig& config, const RunSample* first, int runs)
     double power_sum = 0.0;
     for (int run = 0; run < runs; ++run) {
         gips_sum += first[run].gips;
-        power_sum += first[run].power_mw;
+        power_sum += first[run].power_mw.value();
     }
     ProfileMeasurement measurement;
     measurement.config = config;
     measurement.gips = gips_sum / runs;
-    measurement.power_mw = power_sum / runs;
+    measurement.power_mw = Milliwatts(power_sum / runs);
     return measurement;
 }
 

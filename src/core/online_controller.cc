@@ -85,8 +85,9 @@ OnlineController::Start()
     const double writes_per_cycle =
         2.0 * (1.0 + (controls_bandwidth_ ? 1.0 : 0.0) + (controls_gpu_ ? 1.0 : 0.0));
     const double overhead_mw =
-        (config_.compute_seconds * config_.compute_power_mw +
-         writes_per_cycle * config_.actuation_seconds * config_.actuation_power_mw) /
+        (config_.compute_seconds.value() * config_.compute_power_mw.value() +
+         writes_per_cycle * config_.actuation_seconds.value() *
+             config_.actuation_power_mw.value()) /
         config_.control_cycle.seconds();
     platform_->SetControllerOverheadPower(overhead_mw);
 
@@ -195,7 +196,7 @@ OnlineController::Reengage()
 
 void
 OnlineController::ConsumeDeliveries(double measured_gips,
-                                    double measured_power_mw,
+                                    Milliwatts measured_power_mw,
                                     bool measurement_plausible)
 {
     using platform::DwellDelivery;
@@ -254,7 +255,7 @@ OnlineController::ConsumeDeliveries(double measured_gips,
 
     // --- Drift observation ------------------------------------------------
     if (!config_.drift.enabled || !measurement_plausible ||
-        measured_power_mw <= 0.0) {
+        measured_power_mw.value() <= 0.0) {
         return;
     }
     double total_seconds = 0.0;
@@ -293,7 +294,7 @@ OnlineController::ConsumeDeliveries(double measured_gips,
         }
         const double weight = dwell.seconds / total_seconds;
         const ProfileEntry& entry = table_.entries()[it->second];
-        predicted_power_mw += weight * entry.power_mw;
+        predicted_power_mw += weight * entry.power_mw.value();
         predicted_speedup += weight * entry.speedup;
         covered += weight;
         visits.push_back(Visit{it->second, weight});
@@ -310,7 +311,7 @@ OnlineController::ConsumeDeliveries(double measured_gips,
         return;
     }
     const double measured_speedup = measured_gips / base;
-    const double power_residual = measured_power_mw / predicted_power_mw;
+    const double power_residual = measured_power_mw.value() / predicted_power_mw;
     const double speedup_residual = measured_speedup / predicted_speedup;
     const double now_s = platform_->sim().Now().seconds();
     for (const Visit& visit : visits) {
@@ -340,7 +341,7 @@ OnlineController::RefreshWorkingTable(int cpu_cap, int bw_cap)
         const double power_factor = drift_.PowerCorrection(i);
         const double speedup_factor = drift_.SpeedupCorrection(i);
         if (power_factor != 1.0 || speedup_factor != 1.0) {
-            corrected.power_mw *= power_factor;
+            corrected.power_mw = corrected.power_mw * power_factor;
             corrected.speedup *= speedup_factor;
             changed = true;
             drift_corrected = true;
@@ -389,7 +390,8 @@ OnlineController::RunCycle()
     // or garbage (counter glitch); either way the cycle runs degraded:
     // the Kalman estimate holds and the previous schedule is reapplied.
     const platform::PerfWindow window = platform_->perf().DrainWindow();
-    const double measured_power_mw = platform_->perf().DrainAveragePowerMw();
+    const Milliwatts measured_power_mw =
+        Milliwatts(platform_->perf().DrainAveragePowerMw());
     const bool plausible =
         window.samples > 0 && std::isfinite(window.avg_gips) &&
         window.avg_gips > 0.0 &&

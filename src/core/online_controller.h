@@ -71,11 +71,11 @@ struct ControllerConfig {
     /** Disable the Kalman filter (ablation): hold b̂ at the profiled value. */
     bool use_kalman = true;
     /** Regulator+optimizer computation cost (§V-A1: <10 ms at ~25 mW). */
-    double compute_power_mw = 25.0;
-    double compute_seconds = 0.010;
+    Milliwatts compute_power_mw = Milliwatts(25.0);
+    Seconds compute_seconds = Seconds(0.010);
     /** Cost per sysfs actuation write (§V-A1: ~14 mW during transitions). */
-    double actuation_power_mw = 14.0;
-    double actuation_seconds = 0.0002;
+    Milliwatts actuation_power_mw = Milliwatts(14.0);
+    Seconds actuation_seconds = Seconds(0.0002);
     /** Retry/backoff policy handed to the platform's actuator. */
     platform::ActuationRetryPolicy retry = {};
     /**
@@ -133,7 +133,7 @@ struct ControlCycleRecord {
     double measured_gips = 0.0;
     double required_speedup = 0.0;
     double base_speed_estimate = 0.0;
-    double expected_power_mw = 0.0;
+    Milliwatts expected_power_mw;
     SystemConfig low_config;
     SystemConfig high_config;
     /** Perf samples the measurement averaged over (0 = all dropped). */
@@ -149,8 +149,8 @@ struct ControlCycleRecord {
     /** True when the reachable set could not meet the performance target
      * and the controller ran inside the safe-mode envelope. */
     bool safe_mode = false;
-    /** Average power the monitor measured over the elapsed cycle, mW. */
-    double measured_power_mw = 0.0;
+    /** Average power the monitor measured over the elapsed cycle. */
+    Milliwatts measured_power_mw;
 };
 
 /** The feedback controller driving one device, through its platform. */
@@ -247,7 +247,7 @@ class OnlineController {
 
     /** Consumes the elapsed cycle's delivery records: learns caps from
      * read-back mismatches and feeds the drift detector. */
-    void ConsumeDeliveries(double measured_gips, double measured_power_mw,
+    void ConsumeDeliveries(double measured_gips, Milliwatts measured_power_mw,
                            bool measurement_plausible);
 
     /** Rebuilds (or retires) the masked + drift-corrected working table

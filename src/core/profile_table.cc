@@ -37,8 +37,8 @@ ProfileTable::Validate() const
     for (const ProfileEntry& entry : entries_) {
         AEO_ASSERT(entry.speedup > 0.0, "non-positive speedup %f at %s", entry.speedup,
                    entry.config.ToString().c_str());
-        AEO_ASSERT(entry.power_mw > 0.0, "non-positive power %f at %s", entry.power_mw,
-                   entry.config.ToString().c_str());
+        AEO_ASSERT(entry.power_mw.value() > 0.0, "non-positive power %f at %s",
+                   entry.power_mw.value(), entry.config.ToString().c_str());
     }
 }
 
@@ -96,7 +96,7 @@ ProfileTable::InterpolateBandwidths(const BandwidthTable& bw_table) const
         for (const ProfileEntry& row : rows) {
             xs.push_back(bw_table.BandwidthAt(row.config.bw_level).value());
             speedups.push_back(row.speedup);
-            powers.push_back(row.power_mw);
+            powers.push_back(row.power_mw.value());
         }
         const PiecewiseLinear speedup_fn(xs, speedups);
         const PiecewiseLinear power_fn(xs, powers);
@@ -106,7 +106,7 @@ ProfileTable::InterpolateBandwidths(const BandwidthTable& bw_table) const
         for (int bw = lo; bw <= hi; ++bw) {
             const double mbps = bw_table.BandwidthAt(bw).value();
             dense.push_back(ProfileEntry{SystemConfig{cpu_level, bw, gpu_level},
-                                         speedup_fn(mbps), power_fn(mbps)});
+                                         speedup_fn(mbps), Milliwatts(power_fn(mbps))});
         }
     }
     return ProfileTable(app_name_, std::move(dense), base_speed_gips_);
@@ -153,7 +153,7 @@ ProfileTable::ToCsv() const
                        StrFormat("%d", entry.config.bw_level),
                        StrFormat("%d", entry.config.gpu_level),
                        StrFormat("%.9g", entry.speedup),
-                       StrFormat("%.9g", entry.power_mw)});
+                       StrFormat("%.9g", entry.power_mw.value())});
     }
     return writer.ToString();
 }
@@ -185,7 +185,7 @@ ProfileTable::FromCsv(const std::string& app_name, const std::string& csv,
         entries.push_back(ProfileEntry{
             SystemConfig{static_cast<int>(cpu), static_cast<int>(bw),
                          static_cast<int>(gpu)},
-            speedup, power});
+            speedup, Milliwatts(power)});
     }
     return ProfileTable(app_name, std::move(entries), base_speed_gips);
 }
@@ -202,7 +202,7 @@ ProfileTable::ToString() const
         const ProfileEntry& entry = entries_[i];
         out << StrFormat("  %-4zu %-14s %10.4f %12.2f\n", i + 1,
                          entry.config.ToString().c_str(), entry.speedup,
-                         entry.power_mw);
+                         entry.power_mw.value());
     }
     return out.str();
 }

@@ -11,7 +11,8 @@
 #include <string>
 #include <vector>
 
-#include "core/system_config.h"
+#include "common/units.h"
+#include "common/system_config.h"
 #include "soc/bandwidth_table.h"
 
 namespace aeo {
@@ -21,8 +22,8 @@ struct ProfileEntry {
     SystemConfig config;
     /** Average speedup 𝕊 relative to the base configuration. */
     double speedup = 1.0;
-    /** Average device power ℙ at this configuration, mW. */
-    double power_mw = 0.0;
+    /** Average device power ℙ at this configuration. */
+    Milliwatts power_mw;
 };
 
 /** Raw measurement before normalization. */
@@ -30,8 +31,8 @@ struct ProfileMeasurement {
     SystemConfig config;
     /** Average application performance, GIPS. */
     double gips = 0.0;
-    /** Average device power, mW. */
-    double power_mw = 0.0;
+    /** Average device power. */
+    Milliwatts power_mw;
 };
 
 /** Immutable profile table sorted by ascending speedup. */

@@ -187,6 +187,7 @@ Device::EnableInputBoost(InputBoostParams params)
     // The cpu_boost module parameter node only exists on kernels built with
     // the driver (the paper's build compiles it out), so probe it instead of
     // asserting; absent or unparsable, the params' default floor stands.
+    // aeo-lint: allow(sysfs-literal) -- optional module node, single probe site.
     const std::string raw = sysfs_.ReadOrDefault(
         "/sys/module/cpu_boost/parameters/input_boost_freq", "");
     long long khz = 0;
@@ -231,8 +232,8 @@ void
 Device::PinConfiguration(int cpu_level, int bw_level)
 {
     UseUserspaceGovernors();
-    const long long khz = std::llround(
-        cluster_.table().FrequencyAt(cpu_level).megahertz() * 1000.0);
+    const long long khz =
+        std::llround(cluster_.table().FrequencyAt(cpu_level).kilohertz());
     const long long mbps =
         std::llround(bus_.table().BandwidthAt(bw_level).value());
     sysfs_.Write(cpu_setspeed_node_, StrFormat("%lld", khz));
@@ -451,10 +452,10 @@ Device::CollectResult(const std::string& policy_name) const
     result.policy_name = policy_name;
 
     result.energy_j = energy_meter_.energy().value();
-    result.avg_power_mw = energy_meter_.AveragePower().value();
+    result.avg_power_mw = energy_meter_.AveragePower();
     if (monitor_->sample_count() > 0) {
         result.measured_energy_j = monitor_->MeasuredEnergy().value();
-        result.measured_avg_power_mw = monitor_->MeasuredAveragePower().value();
+        result.measured_avg_power_mw = monitor_->MeasuredAveragePower();
     } else {
         result.measured_energy_j = result.energy_j;
         result.measured_avg_power_mw = result.avg_power_mw;

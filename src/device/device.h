@@ -55,11 +55,17 @@
 
 namespace aeo {
 
-/** Sysfs mount points used by the Nexus 6 build. */
+/** Sysfs mount points used by the Nexus 6 build. These are the repo's
+ * intern-once definitions: every other layer refers to these constants, so
+ * the paths live here by design rather than in src/kernel (which takes the
+ * roots as constructor parameters). */
+// aeo-lint: allow(sysfs-literal) -- intern-once canonical Nexus 6 node roots.
 inline constexpr const char kCpufreqSysfsRoot[] =
     "/sys/devices/system/cpu/cpu0/cpufreq";
+// aeo-lint: allow(sysfs-literal) -- intern-once canonical Nexus 6 node roots.
 inline constexpr const char kDevfreqSysfsRoot[] =
     "/sys/class/devfreq/qcom,cpubw";
+// aeo-lint: allow(sysfs-literal) -- intern-once canonical Nexus 6 node roots.
 inline constexpr const char kGpuSysfsRoot[] =
     "/sys/class/kgsl/kgsl-3d0/devfreq";
 

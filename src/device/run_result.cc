@@ -31,7 +31,7 @@ RunResult::Summary() const
     return StrFormat(
         "%s [%s, %s]: %.1f s, %.3f GIPS, %.0f mW avg, %.1f J%s",
         app_name.c_str(), policy_name.c_str(), load_name.c_str(), duration_s,
-        avg_gips, measured_avg_power_mw, measured_energy_j,
+        avg_gips, measured_avg_power_mw.value(), measured_energy_j,
         app_finished ? " (completed)" : "");
 }
 

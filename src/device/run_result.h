@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "common/units.h"
+
 namespace aeo {
 
 /** Outcome of one application run on the device. */
@@ -23,10 +25,10 @@ struct RunResult {
     double energy_j = 0.0;
     /** Energy as the Monsoon monitor measured it, J. */
     double measured_energy_j = 0.0;
-    /** Exact average device power, mW. */
-    double avg_power_mw = 0.0;
-    /** Monsoon-measured average power, mW. */
-    double measured_avg_power_mw = 0.0;
+    /** Exact average device power. */
+    Milliwatts avg_power_mw;
+    /** Average power as the Monsoon monitor measured it. */
+    Milliwatts measured_avg_power_mw;
 
     /** Wall-clock duration of the run, s. */
     double duration_s = 0.0;

@@ -123,7 +123,7 @@ void
 CpufreqPolicy::RegisterSysfsFiles()
 {
     const auto khz_of = [](Gigahertz f) {
-        return StrFormat("%lld", static_cast<long long>(f.megahertz() * 1000.0 + 0.5));
+        return StrFormat("%lld", static_cast<long long>(f.kilohertz() + 0.5));
     };
 
     sysfs_->Register(sysfs_root_ + "/scaling_governor",

@@ -9,6 +9,7 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 
 #include "kernel/cpufreq.h"
 #include "sim/periodic_task.h"

@@ -7,6 +7,7 @@
 #define AEO_KERNEL_GOVERNORS_CPUFREQ_PERFORMANCE_H_
 
 #include <memory>
+#include <string>
 
 #include "kernel/cpufreq.h"
 

@@ -8,6 +8,7 @@
 #define AEO_KERNEL_GOVERNORS_CPUFREQ_USERSPACE_H_
 
 #include <memory>
+#include <string>
 
 #include "kernel/cpufreq.h"
 

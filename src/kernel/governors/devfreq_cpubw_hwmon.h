@@ -15,6 +15,7 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 
 #include "kernel/devfreq.h"
 #include "sim/periodic_task.h"

@@ -7,6 +7,7 @@
 #define AEO_KERNEL_GOVERNORS_DEVFREQ_SIMPLE_H_
 
 #include <memory>
+#include <string>
 
 #include "kernel/devfreq.h"
 

@@ -13,7 +13,7 @@
 #include <cstdint>
 
 #include "common/static_vector.h"
-#include "core/system_config.h"
+#include "common/system_config.h"
 #include "sim/time.h"
 
 namespace aeo::platform {

@@ -1,6 +1,7 @@
 #include "stats/histogram.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <sstream>
 
 #include "common/logging.h"

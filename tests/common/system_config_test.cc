@@ -1,4 +1,4 @@
-#include "core/system_config.h"
+#include "common/system_config.h"
 
 #include <gtest/gtest.h>
 

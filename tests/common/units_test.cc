@@ -60,6 +60,30 @@ TEST(UnitsTest, Literals)
     EXPECT_DOUBLE_EQ((2_s).value(), 2.0);
 }
 
+TEST(UnitsTest, KilohertzConversions)
+{
+    EXPECT_DOUBLE_EQ(KHz(2649600.0).megahertz(), 2649.6);
+    EXPECT_DOUBLE_EQ(KHz(2649600.0).gigahertz().value(), 2.6496);
+    EXPECT_DOUBLE_EQ(Gigahertz(2.6496).kilohertz(), 2649600.0);
+    // Exactly the sysfs-boundary arithmetic the kernel drivers use.
+    EXPECT_EQ(Gigahertz(1.4976).kilohertz(), Gigahertz(1.4976).megahertz() * 1000.0);
+}
+
+TEST(UnitsTest, MillisecondsConversions)
+{
+    EXPECT_DOUBLE_EQ(Millis(200.0).seconds().value(), 0.2);
+    EXPECT_DOUBLE_EQ(Seconds(2.0).milliseconds(), 2000.0);
+}
+
+TEST(UnitsTest, TaggedConstructorAliases)
+{
+    // The spellings the aeo-lint unit-suffix rule accepts.
+    EXPECT_DOUBLE_EQ(KHz(300000.0).value(), 300000.0);
+    EXPECT_DOUBLE_EQ(MBps(762.0).value(), 762.0);
+    EXPECT_DOUBLE_EQ(Milliwatts(14.0).value(), 14.0);
+    EXPECT_DOUBLE_EQ(Millis(200.0).value(), 200.0);
+}
+
 TEST(UnitsTest, CompoundAssignment)
 {
     Joules e(1.0);

@@ -11,9 +11,9 @@ ProfileTable
 SimpleTable()
 {
     std::vector<ProfileEntry> entries = {
-        {SystemConfig{0, 0}, 1.0, 100.0},  {SystemConfig{1, 0}, 1.5, 160.0},
-        {SystemConfig{2, 0}, 2.0, 250.0},  {SystemConfig{3, 0}, 2.5, 380.0},
-        {SystemConfig{4, 0}, 3.0, 600.0},
+        {SystemConfig{0, 0}, 1.0, Milliwatts(100.0)},  {SystemConfig{1, 0}, 1.5, Milliwatts(160.0)},
+        {SystemConfig{2, 0}, 2.0, Milliwatts(250.0)},  {SystemConfig{3, 0}, 2.5, Milliwatts(380.0)},
+        {SystemConfig{4, 0}, 3.0, Milliwatts(600.0)},
     };
     return ProfileTable("test", std::move(entries), 0.2);
 }
@@ -49,7 +49,7 @@ TEST(EnergyOptimizerTest, SpeedupBelowRangeClampsToCheapestConfig)
     const EnergyOptimizer optimizer(&table);
     const ConfigSchedule schedule = optimizer.Optimize(0.2, 2.0);
     ASSERT_EQ(schedule.slots.size(), 1u);
-    EXPECT_NEAR(schedule.expected_power_mw, 100.0, 1e-9);
+    EXPECT_NEAR(schedule.expected_power_mw.value(), 100.0, 1e-9);
 }
 
 TEST(EnergyOptimizerTest, SpeedupAboveRangeClampsToFastestConfig)
@@ -58,7 +58,7 @@ TEST(EnergyOptimizerTest, SpeedupAboveRangeClampsToFastestConfig)
     const EnergyOptimizer optimizer(&table);
     const ConfigSchedule schedule = optimizer.Optimize(99.0, 2.0);
     ASSERT_EQ(schedule.slots.size(), 1u);
-    EXPECT_NEAR(schedule.expected_power_mw, 600.0, 1e-9);
+    EXPECT_NEAR(schedule.expected_power_mw.value(), 600.0, 1e-9);
     EXPECT_NEAR(schedule.expected_speedup, 3.0, 1e-12);
 }
 
@@ -66,15 +66,15 @@ TEST(EnergyOptimizerTest, SkipsNonHullConfigurations)
 {
     // Entry at speedup 1.5 is overpriced: blending 1.0 and 2.0 is cheaper.
     std::vector<ProfileEntry> entries = {
-        {SystemConfig{0, 0}, 1.0, 100.0},
-        {SystemConfig{1, 0}, 1.5, 400.0},  // above the segment (100+250)/2=175
-        {SystemConfig{2, 0}, 2.0, 250.0},
+        {SystemConfig{0, 0}, 1.0, Milliwatts(100.0)},
+        {SystemConfig{1, 0}, 1.5, Milliwatts(400.0)},  // above the segment (100+250)/2=175
+        {SystemConfig{2, 0}, 2.0, Milliwatts(250.0)},
     };
     const ProfileTable table("test", std::move(entries), 0.2);
     const EnergyOptimizer optimizer(&table);
     const ConfigSchedule schedule = optimizer.Optimize(1.5, 2.0);
     ASSERT_EQ(schedule.slots.size(), 2u);
-    EXPECT_NEAR(schedule.expected_power_mw, 175.0, 1e-9);
+    EXPECT_NEAR(schedule.expected_power_mw.value(), 175.0, 1e-9);
 }
 
 TEST(EnergyOptimizerTest, DescendingHullStillMeetsEqualityConstraint)
@@ -85,21 +85,21 @@ TEST(EnergyOptimizerTest, DescendingHullStillMeetsEqualityConstraint)
     // the required speedup is met exactly even though exceeding it would
     // be cheaper.
     std::vector<ProfileEntry> entries = {
-        {SystemConfig{0, 0}, 1.0, 500.0},
-        {SystemConfig{1, 0}, 1.5, 200.0},
-        {SystemConfig{2, 0}, 2.0, 300.0},
+        {SystemConfig{0, 0}, 1.0, Milliwatts(500.0)},
+        {SystemConfig{1, 0}, 1.5, Milliwatts(200.0)},
+        {SystemConfig{2, 0}, 2.0, Milliwatts(300.0)},
     };
     const ProfileTable table("test", std::move(entries), 0.2);
     const EnergyOptimizer optimizer(&table);
     const ConfigSchedule exact = optimizer.Optimize(1.0, 2.0);
     ASSERT_EQ(exact.slots.size(), 1u);
-    EXPECT_NEAR(exact.expected_power_mw, 500.0, 1e-9);
+    EXPECT_NEAR(exact.expected_power_mw.value(), 500.0, 1e-9);
     EXPECT_NEAR(exact.expected_speedup, 1.0, 1e-12);
     // A blend on the descending segment meets 1.25 exactly with a mix.
     const ConfigSchedule blend = optimizer.Optimize(1.25, 2.0);
     ASSERT_EQ(blend.slots.size(), 2u);
     EXPECT_NEAR(blend.expected_speedup, 1.25, 1e-9);
-    EXPECT_NEAR(blend.expected_power_mw, 350.0, 1e-9);
+    EXPECT_NEAR(blend.expected_power_mw.value(), 350.0, 1e-9);
 }
 
 /** Property test: all three backends agree on the optimal power across
@@ -115,7 +115,7 @@ TEST(EnergyOptimizerTest, BackendsAgreeOnRandomTables)
             ProfileEntry entry;
             entry.config = SystemConfig{i, 0};
             entry.speedup = speedup;
-            entry.power_mw = rng.Uniform(100.0, 3000.0);
+            entry.power_mw = Milliwatts(rng.Uniform(100.0, 3000.0));
             entries.push_back(entry);
             speedup += rng.Uniform(0.01, 0.5);
         }
@@ -130,9 +130,9 @@ TEST(EnergyOptimizerTest, BackendsAgreeOnRandomTables)
             const ConfigSchedule a = hull.Optimize(s, 2.0);
             const ConfigSchedule b = pairs.Optimize(s, 2.0);
             const ConfigSchedule c = simplex.Optimize(s, 2.0);
-            EXPECT_NEAR(a.expected_power_mw, b.expected_power_mw, 1e-6)
+            EXPECT_NEAR(a.expected_power_mw.value(), b.expected_power_mw.value(), 1e-6)
                 << "trial " << trial << " speedup " << s;
-            EXPECT_NEAR(a.expected_power_mw, c.expected_power_mw, 1e-5)
+            EXPECT_NEAR(a.expected_power_mw.value(), c.expected_power_mw.value(), 1e-5)
                 << "trial " << trial << " speedup " << s;
             // All backends meet the (clamped) performance constraint.
             const double clamped =
@@ -157,8 +157,8 @@ TEST(EnergyOptimizerTest, HullIndicesAreConvexAndIncreasing)
     for (size_t i = 1; i < hull.size(); ++i) {
         EXPECT_LT(table.entries()[hull[i - 1]].speedup,
                   table.entries()[hull[i]].speedup);
-        EXPECT_LT(table.entries()[hull[i - 1]].power_mw,
-                  table.entries()[hull[i]].power_mw);
+        EXPECT_LT(table.entries()[hull[i - 1]].power_mw.value(),
+                  table.entries()[hull[i]].power_mw.value());
     }
 }
 

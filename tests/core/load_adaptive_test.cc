@@ -8,7 +8,7 @@ namespace {
 ProfileTable
 Table(double power)
 {
-    return ProfileTable("x", {{SystemConfig{0, 0}, 1.0, power}}, 0.1);
+    return ProfileTable("x", {{SystemConfig{0, 0}, 1.0, Milliwatts(power)}}, 0.1);
 }
 
 LoadAdaptiveProfile

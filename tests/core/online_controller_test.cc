@@ -18,9 +18,9 @@ ProfileTable
 CoordinatedTable()
 {
     std::vector<ProfileEntry> entries = {
-        {SystemConfig{0, 0}, 1.0, 1150.0},
-        {SystemConfig{2, 0}, 1.3, 1300.0},
-        {SystemConfig{4, 0}, 1.6, 1500.0},
+        {SystemConfig{0, 0}, 1.0, Milliwatts(1150.0)},
+        {SystemConfig{2, 0}, 1.3, Milliwatts(1300.0)},
+        {SystemConfig{4, 0}, 1.6, Milliwatts(1500.0)},
     };
     return ProfileTable("unit", std::move(entries), 0.06);
 }
@@ -29,8 +29,8 @@ ProfileTable
 CpuOnlyTable()
 {
     std::vector<ProfileEntry> entries = {
-        {SystemConfig{0, kBwDefaultGovernor}, 1.0, 1200.0},
-        {SystemConfig{4, kBwDefaultGovernor}, 1.6, 1550.0},
+        {SystemConfig{0, kBwDefaultGovernor}, 1.0, Milliwatts(1200.0)},
+        {SystemConfig{4, kBwDefaultGovernor}, 1.6, Milliwatts(1550.0)},
     };
     return ProfileTable("unit-cpu", std::move(entries), 0.06);
 }
@@ -204,8 +204,8 @@ TEST(OnlineControllerDeathTest, MixedTableIsRejected)
     Device device;
     device.LaunchApp(MakeSpotifySpec());
     std::vector<ProfileEntry> entries = {
-        {SystemConfig{0, 0}, 1.0, 1150.0},
-        {SystemConfig{4, kBwDefaultGovernor}, 1.6, 1550.0},
+        {SystemConfig{0, 0}, 1.0, Milliwatts(1150.0)},
+        {SystemConfig{4, kBwDefaultGovernor}, 1.6, Milliwatts(1550.0)},
     };
     const ProfileTable mixed("bad", std::move(entries), 0.06);
     ControllerConfig config;

@@ -21,10 +21,10 @@ TEST(ProfilePruningTest, DropsFlatExpensiveTail)
     // MX-Player-like: performance varies <0.5 % beyond the first level but
     // power keeps climbing — everything above the cheapest row goes.
     const ProfileTable table = Table({
-        {SystemConfig{4, 0}, 1.000, 2000.0},
-        {SystemConfig{6, 0}, 1.002, 2200.0},
-        {SystemConfig{8, 0}, 1.003, 2500.0},
-        {SystemConfig{17, 0}, 1.004, 3700.0},
+        {SystemConfig{4, 0}, 1.000, Milliwatts(2000.0)},
+        {SystemConfig{6, 0}, 1.002, Milliwatts(2200.0)},
+        {SystemConfig{8, 0}, 1.003, Milliwatts(2500.0)},
+        {SystemConfig{17, 0}, 1.004, Milliwatts(3700.0)},
     });
     const ProfileTable pruned = table.PruneEpsilonDominated(0.01);
     ASSERT_EQ(pruned.size(), 1u);
@@ -35,9 +35,9 @@ TEST(ProfilePruningTest, KeepsGenuineSpeedupLadder)
 {
     // AngryBirds-like: real speedup per step — nothing is dropped.
     const ProfileTable table = Table({
-        {SystemConfig{0, 0}, 1.00, 1600.0},
-        {SystemConfig{2, 0}, 1.45, 1900.0},
-        {SystemConfig{4, 0}, 1.84, 2200.0},
+        {SystemConfig{0, 0}, 1.00, Milliwatts(1600.0)},
+        {SystemConfig{2, 0}, 1.45, Milliwatts(1900.0)},
+        {SystemConfig{4, 0}, 1.84, Milliwatts(2200.0)},
     });
     const ProfileTable pruned = table.PruneEpsilonDominated(0.01);
     EXPECT_EQ(pruned.size(), 3u);
@@ -50,7 +50,7 @@ TEST(ProfilePruningTest, DenseLadderIsNotChainErased)
     std::vector<ProfileEntry> entries;
     for (int bw = 0; bw < 13; ++bw) {
         entries.push_back(ProfileEntry{SystemConfig{0, bw}, 1.0 + 0.01 * bw,
-                                       1000.0 + 30.0 * bw});
+                                       Milliwatts(1000.0 + 30.0 * bw)});
     }
     const ProfileTable pruned = Table(entries).PruneEpsilonDominated(0.02);
     // Cumulative +12 % speedup survives...
@@ -63,9 +63,9 @@ TEST(ProfilePruningTest, DenseLadderIsNotChainErased)
 TEST(ProfilePruningTest, ExpensiveSlowRowIsDominated)
 {
     const ProfileTable table = Table({
-        {SystemConfig{0, 0}, 1.00, 1000.0},
-        {SystemConfig{0, 12}, 1.001, 1360.0},  // +0.1 % for +360 mW
-        {SystemConfig{2, 0}, 1.40, 1300.0},
+        {SystemConfig{0, 0}, 1.00, Milliwatts(1000.0)},
+        {SystemConfig{0, 12}, 1.001, Milliwatts(1360.0)},  // +0.1 % for +360 mW
+        {SystemConfig{2, 0}, 1.40, Milliwatts(1300.0)},
     });
     const ProfileTable pruned = table.PruneEpsilonDominated(0.01);
     ASSERT_EQ(pruned.size(), 2u);
@@ -76,9 +76,9 @@ TEST(ProfilePruningTest, ExpensiveSlowRowIsDominated)
 TEST(ProfilePruningTest, ZeroEpsilonKeepsParetoRows)
 {
     const ProfileTable table = Table({
-        {SystemConfig{0, 0}, 1.00, 1000.0},
-        {SystemConfig{1, 0}, 1.10, 1100.0},
-        {SystemConfig{2, 0}, 1.05, 1200.0},  // strictly dominated by row 1
+        {SystemConfig{0, 0}, 1.00, Milliwatts(1000.0)},
+        {SystemConfig{1, 0}, 1.10, Milliwatts(1100.0)},
+        {SystemConfig{2, 0}, 1.05, Milliwatts(1200.0)},  // strictly dominated by row 1
     });
     const ProfileTable pruned = table.PruneEpsilonDominated(0.0);
     EXPECT_EQ(pruned.size(), 2u);
@@ -90,8 +90,8 @@ TEST(ProfilePruningTest, ZeroEpsilonKeepsParetoRows)
 TEST(ProfilePruningTest, BaseSpeedSurvivesPruning)
 {
     const ProfileTable table = Table({
-        {SystemConfig{0, 0}, 1.00, 1000.0},
-        {SystemConfig{1, 0}, 1.50, 1100.0},
+        {SystemConfig{0, 0}, 1.00, Milliwatts(1000.0)},
+        {SystemConfig{1, 0}, 1.50, Milliwatts(1100.0)},
     });
     const ProfileTable pruned = table.PruneEpsilonDominated(0.01);
     EXPECT_DOUBLE_EQ(pruned.base_speed_gips(), table.base_speed_gips());

@@ -11,10 +11,10 @@ std::vector<ProfileMeasurement>
 SampleMeasurements()
 {
     return {
-        {SystemConfig{0, 0}, 0.129, 1623.57},
-        {SystemConfig{0, 12}, 0.131, 1980.0},
-        {SystemConfig{4, 0}, 0.237, 2219.22},
-        {SystemConfig{4, 12}, 0.240, 2590.0},
+        {SystemConfig{0, 0}, 0.129, Milliwatts(1623.57)},
+        {SystemConfig{0, 12}, 0.131, Milliwatts(1980.0)},
+        {SystemConfig{4, 0}, 0.237, Milliwatts(2219.22)},
+        {SystemConfig{4, 12}, 0.240, Milliwatts(2590.0)},
     };
 }
 
@@ -56,15 +56,15 @@ TEST(ProfileTableTest, InterpolationFillsBandwidthColumns)
     double prev_power = 0.0;
     for (const ProfileEntry& entry : dense.entries()) {
         if (entry.config.cpu_level == 0) {
-            EXPECT_GE(entry.power_mw, 1623.57 - 1e-9);
-            EXPECT_LE(entry.power_mw, 1980.0 + 1e-9);
+            EXPECT_GE(entry.power_mw.value(), 1623.57 - 1e-9);
+            EXPECT_LE(entry.power_mw.value(), 1980.0 + 1e-9);
         }
     }
     for (int level = 0; level < 13; ++level) {
         for (const ProfileEntry& entry : dense.entries()) {
             if (entry.config.cpu_level == 0 && entry.config.bw_level == level) {
-                EXPECT_GE(entry.power_mw, prev_power);
-                prev_power = entry.power_mw;
+                EXPECT_GE(entry.power_mw.value(), prev_power);
+                prev_power = entry.power_mw.value();
             }
         }
     }
@@ -78,11 +78,11 @@ TEST(ProfileTableTest, InterpolationIsExactAtMeasuredPoints)
             .InterpolateBandwidths(bw);
     for (const ProfileEntry& entry : dense.entries()) {
         if (entry.config == SystemConfig{0, 0}) {
-            EXPECT_NEAR(entry.power_mw, 1623.57, 1e-9);
+            EXPECT_NEAR(entry.power_mw.value(), 1623.57, 1e-9);
             EXPECT_NEAR(entry.speedup, 1.0, 1e-12);
         }
         if (entry.config == SystemConfig{4, 12}) {
-            EXPECT_NEAR(entry.power_mw, 2590.0, 1e-9);
+            EXPECT_NEAR(entry.power_mw.value(), 2590.0, 1e-9);
         }
     }
 }
@@ -97,7 +97,7 @@ TEST(ProfileTableTest, CsvRoundTrip)
     for (size_t i = 0; i < table.size(); ++i) {
         EXPECT_EQ(parsed.entries()[i].config, table.entries()[i].config);
         EXPECT_NEAR(parsed.entries()[i].speedup, table.entries()[i].speedup, 1e-6);
-        EXPECT_NEAR(parsed.entries()[i].power_mw, table.entries()[i].power_mw, 1e-3);
+        EXPECT_NEAR(parsed.entries()[i].power_mw.value(), table.entries()[i].power_mw.value(), 1e-3);
     }
 }
 
@@ -114,8 +114,8 @@ TEST(ProfileTableTest, ToStringRendersRows)
 TEST(ProfileTableDeathTest, CpuOnlyTableCannotInterpolate)
 {
     const std::vector<ProfileMeasurement> measurements = {
-        {SystemConfig{0, kBwDefaultGovernor}, 0.1, 1500.0},
-        {SystemConfig{2, kBwDefaultGovernor}, 0.2, 1800.0},
+        {SystemConfig{0, kBwDefaultGovernor}, 0.1, Milliwatts(1500.0)},
+        {SystemConfig{2, kBwDefaultGovernor}, 0.2, Milliwatts(1800.0)},
     };
     const ProfileTable table = ProfileTable::FromMeasurements("app", measurements);
     EXPECT_DEATH(table.InterpolateBandwidths(MakeNexus6BandwidthTable()),

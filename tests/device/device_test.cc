@@ -101,7 +101,7 @@ TEST(DeviceTest, HigherConfigDrawsMorePower)
         device.RunFor(SimTime::FromSeconds(10));
         high = device.CollectResult("high");
     }
-    EXPECT_GT(high.avg_power_mw, low.avg_power_mw * 1.3);
+    EXPECT_GT(high.avg_power_mw.value(), low.avg_power_mw.value() * 1.3);
     EXPECT_GT(high.avg_gips, low.avg_gips);
 }
 
@@ -191,7 +191,7 @@ TEST(DeviceTest, ControllerOverheadPowerIsCharged)
         device.RunFor(SimTime::FromSeconds(5));
         with = device.CollectResult("test");
     }
-    EXPECT_NEAR(with.avg_power_mw - without.avg_power_mw, 100.0, 1.0);
+    EXPECT_NEAR(with.avg_power_mw.value() - without.avg_power_mw.value(), 100.0, 1.0);
 }
 
 TEST(DeviceTest, BackgroundLoadAffectsPowerAndLoadavg)
@@ -212,7 +212,7 @@ TEST(DeviceTest, BackgroundLoadAffectsPowerAndLoadavg)
         device.RunFor(SimTime::FromSeconds(30));
         hl = device.CollectResult("test");
     }
-    EXPECT_GT(hl.avg_power_mw, nl.avg_power_mw);
+    EXPECT_GT(hl.avg_power_mw.value(), nl.avg_power_mw.value());
     EXPECT_EQ(nl.load_name, "NL");
     EXPECT_EQ(hl.load_name, "HL");
 }

@@ -78,7 +78,7 @@ TEST(GpuIntegrationTest, GpuAppsDrawGpuPower)
         device.UseDefaultGovernors();
         device.LaunchApp(spec);
         device.RunFor(SimTime::FromSeconds(10));
-        return device.CollectResult("x").avg_power_mw;
+        return device.CollectResult("x").avg_power_mw.value();
     };
     AppSpec without = GpuHeavySpec();
     without.phases[0].gpu_units_per_gi = 0.0;
@@ -90,8 +90,8 @@ TEST(GpuIntegrationTest, ExtendedControllerDrivesGpuThroughSysfs)
     Device device;
     device.LaunchApp(GpuHeavySpec());
     std::vector<ProfileEntry> entries = {
-        {SystemConfig{2, 0, 2}, 1.0, 2000.0},
-        {SystemConfig{4, 0, 3}, 1.3, 2500.0},
+        {SystemConfig{2, 0, 2}, 1.0, Milliwatts(2000.0)},
+        {SystemConfig{4, 0, 3}, 1.3, Milliwatts(2500.0)},
     };
     ControllerConfig config;
     config.target_gips = 0.25;

@@ -88,7 +88,7 @@ TEST(ControllerIntegrationTest, LowTargetRunsAtCheapConfigs)
         RunControlled("AngryBirds", 0.14, SimTime::FromSeconds(60));
     const ControlledRun high =
         RunControlled("AngryBirds", 0.22, SimTime::FromSeconds(60));
-    EXPECT_LT(low.result.avg_power_mw, high.result.avg_power_mw);
+    EXPECT_LT(low.result.avg_power_mw.value(), high.result.avg_power_mw.value());
 }
 
 TEST(ControllerIntegrationTest, ControllerSwitchesGovernorsToUserspace)

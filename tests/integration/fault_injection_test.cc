@@ -168,8 +168,8 @@ TEST(FaultInjectionTest, MeterDropoutsThinTheDataWithoutBiasingIt)
 
     // A quarter of the windows are gone, but the surviving samples still
     // estimate the true average power closely.
-    EXPECT_NEAR(run.result.measured_avg_power_mw, run.result.avg_power_mw,
-                0.02 * run.result.avg_power_mw);
+    EXPECT_NEAR(run.result.measured_avg_power_mw.value(), run.result.avg_power_mw.value(),
+                0.02 * run.result.avg_power_mw.value());
 }
 
 }  // namespace

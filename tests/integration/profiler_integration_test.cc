@@ -62,8 +62,8 @@ TEST(ProfilerIntegrationTest, PowerIncreasesWithCpuLevel)
     double prev = 0.0;
     for (const ProfileEntry& entry : table.entries()) {
         if (entry.config.bw_level == 0) {
-            EXPECT_GT(entry.power_mw, prev);
-            prev = entry.power_mw;
+            EXPECT_GT(entry.power_mw.value(), prev);
+            prev = entry.power_mw.value();
         }
     }
 }
@@ -137,7 +137,7 @@ TEST(ProfilerIntegrationTest, MeasurementAveragesRuns)
     const ProfileMeasurement m = profiler.MeasureConfig(
         MakeAppSpecByName("AngryBirds"), SystemConfig{0, 0}, options);
     EXPECT_NEAR(m.gips, 0.129, 0.012);
-    EXPECT_GT(m.power_mw, 1000.0);
+    EXPECT_GT(m.power_mw.value(), 1000.0);
 }
 
 }  // namespace

@@ -282,12 +282,12 @@ TEST(ThermalRobustnessTest, DriftCorrectionTracksLeakageHeating)
         const ControlCycleRecord& plan = history[i];
         const ControlCycleRecord& outcome = history[i + 1];
         if (plan.time_s <= 60.0 || plan.degraded || outcome.degraded ||
-            outcome.measured_power_mw <= 0.0) {
+            outcome.measured_power_mw.value() <= 0.0) {
             continue;
         }
-        rel_err_sum += std::abs(plan.expected_power_mw -
-                                outcome.measured_power_mw) /
-                       outcome.measured_power_mw;
+        rel_err_sum += std::abs(plan.expected_power_mw.value() -
+                                outcome.measured_power_mw.value()) /
+                       outcome.measured_power_mw.value();
         ++pairs;
     }
     ASSERT_GT(pairs, 10);
@@ -322,7 +322,7 @@ TEST(ThermalRobustnessTest, ReadbackMachineryIsInvisibleWhenHealthy)
     const RunResult blind = run(false);
     EXPECT_EQ(verified.energy_j, blind.energy_j);  // bit-identical
     EXPECT_EQ(verified.avg_gips, blind.avg_gips);
-    EXPECT_EQ(verified.avg_power_mw, blind.avg_power_mw);
+    EXPECT_EQ(verified.avg_power_mw.value(), blind.avg_power_mw.value());
 }
 
 TEST(ThermalRobustnessTest, CoolThermalSubsystemDoesNotPerturbTheRun)

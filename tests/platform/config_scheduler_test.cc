@@ -19,8 +19,8 @@ ProfileTable
 TwoConfigTable()
 {
     std::vector<ProfileEntry> entries = {
-        {SystemConfig{2, 0}, 1.0, 1000.0},
-        {SystemConfig{4, 4}, 1.5, 1500.0},
+        {SystemConfig{2, 0}, 1.0, Milliwatts(1000.0)},
+        {SystemConfig{4, 4}, 1.5, Milliwatts(1500.0)},
     };
     return ProfileTable("sched-test", std::move(entries), 0.2);
 }

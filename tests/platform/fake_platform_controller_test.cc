@@ -22,9 +22,9 @@ ProfileTable
 ThreeRowTable()
 {
     std::vector<ProfileEntry> entries = {
-        {SystemConfig{0, kBwDefaultGovernor}, 1.0, 1000.0},
-        {SystemConfig{1, kBwDefaultGovernor}, 1.3, 1300.0},
-        {SystemConfig{2, kBwDefaultGovernor}, 1.6, 1700.0},
+        {SystemConfig{0, kBwDefaultGovernor}, 1.0, Milliwatts(1000.0)},
+        {SystemConfig{1, kBwDefaultGovernor}, 1.3, Milliwatts(1300.0)},
+        {SystemConfig{2, kBwDefaultGovernor}, 1.6, Milliwatts(1700.0)},
     };
     return ProfileTable("fake", std::move(entries), 0.1);
 }
@@ -96,7 +96,7 @@ TEST(FakePlatformControllerTest, PlausibleWindowsKeepTheLoopNormal)
     for (const ControlCycleRecord& record : controller.history()) {
         EXPECT_FALSE(record.degraded);
         EXPECT_EQ(record.perf_samples, 100u);
-        EXPECT_DOUBLE_EQ(record.measured_power_mw, 1200.0);
+        EXPECT_DOUBLE_EQ(record.measured_power_mw.value(), 1200.0);
         EXPECT_DOUBLE_EQ(record.temp_c, 25.0);  // the fake's default
         EXPECT_EQ(record.cpu_cap_level, -1);    // uncapped
     }

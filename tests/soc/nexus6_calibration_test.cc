@@ -46,7 +46,7 @@ TEST_P(TableIAnchorTest, PowerMatchesPaper)
 {
     const Anchor anchor = GetParam();
     const RunResult result = MeasureAngryBirds(anchor.cpu_level, anchor.bw_level);
-    EXPECT_NEAR(result.measured_avg_power_mw, anchor.paper_power_mw,
+    EXPECT_NEAR(result.measured_avg_power_mw.value(), anchor.paper_power_mw,
                 anchor.paper_power_mw * 0.05)
         << "config (" << anchor.cpu_level + 1 << ", " << anchor.bw_level + 1 << ")";
 }

@@ -1,0 +1,6 @@
+#ifndef OK_H_
+#define OK_H_
+namespace aeo {
+inline int Twice(int x) { return 2 * x; }
+}
+#endif

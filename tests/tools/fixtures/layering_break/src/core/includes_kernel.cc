@@ -1,0 +1,2 @@
+#include "common/logging.h"
+#include "kernel/cpufreq.h"

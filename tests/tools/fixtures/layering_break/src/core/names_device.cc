@@ -1,0 +1,5 @@
+#include "common/logging.h"
+namespace aeo {
+class Device;
+void Poke(Device* device);
+}

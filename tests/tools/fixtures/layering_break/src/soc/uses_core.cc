@@ -1,0 +1,2 @@
+// A lower layer reaching up: soc must never see the controller.
+#include "core/profile_table.h"

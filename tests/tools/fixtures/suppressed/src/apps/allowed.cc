@@ -1,0 +1,7 @@
+namespace aeo {
+const char* LegacyNode()
+{
+    // aeo-lint: allow(sysfs-literal) -- fixture: justified legacy node.
+    return "/sys/devices/legacy/node";
+}
+}

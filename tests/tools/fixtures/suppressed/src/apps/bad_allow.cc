@@ -1,0 +1,7 @@
+namespace aeo {
+const char* OtherNode()
+{
+    // aeo-lint: allow(sysfs-literal)
+    return "/sys/devices/other/node";
+}
+}

@@ -1,0 +1,6 @@
+namespace aeo {
+const char* ThermalNode()
+{
+    return "/sys/class/thermal/thermal_zone0/temp";
+}
+}

@@ -1,0 +1,11 @@
+namespace aeo {
+struct Overheads {
+    double compute_power_mw = 0.0;
+};
+Overheads Defaults()
+{
+    Overheads overheads;
+    overheads.compute_power_mw = 25.0;
+    return overheads;
+}
+}

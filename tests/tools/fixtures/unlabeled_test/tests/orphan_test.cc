@@ -1,0 +1,1 @@
+// Never registered in tests/CMakeLists.txt at all.

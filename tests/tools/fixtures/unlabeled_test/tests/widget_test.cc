@@ -1,0 +1,1 @@
+// Registered, but the aeo_add_test() call above carries no LABELS.

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Golden-fixture suite for the aeo-lint static-analysis pass: each fixture
+ * under tests/tools/fixtures is a miniature repo tree seeding exactly one
+ * kind of violation, and the tests pin the rule AND the file:line it is
+ * reported at. The final test lints the real repo, making `ctest -L tooling`
+ * a local equivalent of the blocking CI lint job.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace aeo::lint {
+namespace {
+
+std::vector<Finding>
+LintFixture(const std::string& name)
+{
+    return RunLint({.root = std::string(AEO_LINT_FIXTURES) + "/" + name});
+}
+
+bool
+HasFinding(const std::vector<Finding>& findings, const std::string& rule,
+           const std::string& file, int line)
+{
+    return std::any_of(findings.begin(), findings.end(),
+                       [&](const Finding& f) {
+                           return f.rule == rule && f.file == file &&
+                                  f.line == line;
+                       });
+}
+
+std::string
+Dump(const std::vector<Finding>& findings)
+{
+    return FormatFindings(findings);
+}
+
+TEST(AeoLintTest, CleanFixtureHasNoFindings)
+{
+    const std::vector<Finding> findings = LintFixture("clean");
+    EXPECT_TRUE(findings.empty()) << Dump(findings);
+}
+
+TEST(AeoLintTest, LayeringBreaksAreReportedAtTheIncludeLine)
+{
+    const std::vector<Finding> findings = LintFixture("layering_break");
+    // soc reaching up into core.
+    EXPECT_TRUE(
+        HasFinding(findings, "layering", "src/soc/uses_core.cc", 2))
+        << Dump(findings);
+    // core reaching down into kernel.
+    EXPECT_TRUE(
+        HasFinding(findings, "layering", "src/core/includes_kernel.cc", 2))
+        << Dump(findings);
+    // core naming Device outside the harness seam (both mentions).
+    EXPECT_TRUE(
+        HasFinding(findings, "layering", "src/core/names_device.cc", 3))
+        << Dump(findings);
+    EXPECT_TRUE(
+        HasFinding(findings, "layering", "src/core/names_device.cc", 4))
+        << Dump(findings);
+    EXPECT_EQ(findings.size(), 4u) << Dump(findings);
+}
+
+TEST(AeoLintTest, InlineSysfsLiteralIsReported)
+{
+    const std::vector<Finding> findings = LintFixture("sysfs_literal");
+    ASSERT_EQ(findings.size(), 1u) << Dump(findings);
+    EXPECT_TRUE(
+        HasFinding(findings, "sysfs-literal", "src/apps/bad.cc", 4))
+        << Dump(findings);
+}
+
+TEST(AeoLintTest, UnlabeledAndUnregisteredTestsAreReported)
+{
+    const std::vector<Finding> findings = LintFixture("unlabeled_test");
+    // widget_test is registered but carries no ctest label: reported at the
+    // aeo_add_test() call site.
+    EXPECT_TRUE(HasFinding(findings, "test-registration",
+                           "tests/CMakeLists.txt", 1))
+        << Dump(findings);
+    // orphan_test.cc never appears in tests/CMakeLists.txt.
+    EXPECT_TRUE(HasFinding(findings, "test-registration",
+                           "tests/orphan_test.cc", 1))
+        << Dump(findings);
+    EXPECT_EQ(findings.size(), 2u) << Dump(findings);
+}
+
+TEST(AeoLintTest, RawUnitLiteralIsReportedButZeroIsExempt)
+{
+    const std::vector<Finding> findings = LintFixture("unit_literal");
+    // Line 3 initializes compute_power_mw to 0.0 — scale-free, exempt.
+    // Line 8 assigns the raw 25.0 — must go through Milliwatts().
+    ASSERT_EQ(findings.size(), 1u) << Dump(findings);
+    EXPECT_TRUE(
+        HasFinding(findings, "unit-literal", "src/core/bad.cc", 8))
+        << Dump(findings);
+}
+
+TEST(AeoLintTest, JustifiedAllowSuppressesAndBareAllowIsAFinding)
+{
+    const std::vector<Finding> findings = LintFixture("suppressed");
+    // allowed.cc: the justified allow swallows the sysfs finding entirely.
+    for (const Finding& finding : findings) {
+        EXPECT_NE(finding.file, "src/apps/allowed.cc") << Dump(findings);
+    }
+    // bad_allow.cc: the justification-free allow is itself a finding AND
+    // does not suppress the violation it sits on.
+    EXPECT_TRUE(
+        HasFinding(findings, "suppression", "src/apps/bad_allow.cc", 4))
+        << Dump(findings);
+    EXPECT_TRUE(
+        HasFinding(findings, "sysfs-literal", "src/apps/bad_allow.cc", 5))
+        << Dump(findings);
+    EXPECT_EQ(findings.size(), 2u) << Dump(findings);
+}
+
+TEST(AeoLintTest, StripSourceSeparatesCodeCommentsAndStrings)
+{
+    const internal::StrippedSource stripped = internal::StripSource(
+        "int a = 1; // trailing\n"
+        "const char* p = \"/sys/x\"; /* block\n"
+        "spanning */ int Device = 2;\n");
+    // Comment text is blanked from the code view...
+    EXPECT_EQ(stripped.code.find("trailing"), std::string::npos);
+    EXPECT_EQ(stripped.code.find("spanning"), std::string::npos);
+    // ...string contents are blanked but collected with their line...
+    EXPECT_EQ(stripped.code.find("/sys"), std::string::npos);
+    ASSERT_EQ(stripped.string_literals.size(), 1u);
+    EXPECT_EQ(stripped.string_literals[0].first, 2);
+    EXPECT_EQ(stripped.string_literals[0].second, "/sys/x");
+    // ...and real code survives with line structure intact.
+    EXPECT_NE(stripped.code.find("int Device = 2;"), std::string::npos);
+    EXPECT_EQ(std::count(stripped.code.begin(), stripped.code.end(), '\n'),
+              3);
+}
+
+TEST(AeoLintTest, RepoTreeIsClean)
+{
+    // The local twin of the blocking CI lint job: the actual repo must lint
+    // clean. If this fails, fix the violation or add a justified
+    // allow-comment per DESIGN.md §11.
+    const std::vector<Finding> findings =
+        RunLint({.root = AEO_LINT_REPO_ROOT});
+    EXPECT_TRUE(findings.empty()) << Dump(findings);
+}
+
+}  // namespace
+}  // namespace aeo::lint

@@ -1,0 +1,645 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace aeo::lint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool
+IsIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+}  // namespace
+
+namespace internal {
+
+namespace {
+
+/** Parses one comment body for `aeo-lint: allow(<rule>) -- <why>` and files
+ * it into @p out at @p line. A comment that mentions aeo-lint but does not
+ * parse (or lacks a justification) is recorded as malformed. */
+void
+ParseControlComment(const std::string& comment, int line, StrippedSource* out)
+{
+    const size_t tag = comment.find("aeo-lint:");
+    if (tag == std::string::npos) return;
+    size_t pos = comment.find("allow(", tag);
+    if (pos == std::string::npos) {
+        out->malformed_allows.push_back(line);
+        return;
+    }
+    pos += 6;
+    const size_t close = comment.find(')', pos);
+    if (close == std::string::npos) {
+        out->malformed_allows.push_back(line);
+        return;
+    }
+    const std::string rule = comment.substr(pos, close - pos);
+    // The justification separator is mandatory and must be followed by text.
+    const size_t dashes = comment.find("--", close);
+    bool justified = false;
+    if (dashes != std::string::npos) {
+        for (size_t i = dashes + 2; i < comment.size(); ++i) {
+            if (std::isspace(static_cast<unsigned char>(comment[i])) == 0) {
+                justified = true;
+                break;
+            }
+        }
+    }
+    if (rule.empty() || !justified) {
+        out->malformed_allows.push_back(line);
+        return;
+    }
+    out->allows.emplace_back(line, rule);
+}
+
+}  // namespace
+
+StrippedSource
+StripSource(const std::string& text)
+{
+    StrippedSource out;
+    out.code.reserve(text.size());
+
+    enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+    State state = State::kCode;
+    int line = 1;
+    int token_start_line = 1;  // line the current comment/string began on
+    std::string pending;       // accumulated comment or literal contents
+
+    for (size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+        switch (state) {
+            case State::kCode:
+                if (c == '/' && next == '/') {
+                    state = State::kLineComment;
+                    token_start_line = line;
+                    pending.clear();
+                    out.code += "  ";
+                    ++i;
+                } else if (c == '/' && next == '*') {
+                    state = State::kBlockComment;
+                    token_start_line = line;
+                    pending.clear();
+                    out.code += "  ";
+                    ++i;
+                } else if (c == '"') {
+                    state = State::kString;
+                    token_start_line = line;
+                    pending.clear();
+                    out.code += '"';
+                } else if (c == '\'') {
+                    state = State::kChar;
+                    out.code += '\'';
+                } else {
+                    out.code += c;
+                }
+                break;
+            case State::kLineComment:
+                if (c == '\n') {
+                    ParseControlComment(pending, token_start_line, &out);
+                    state = State::kCode;
+                    out.code += '\n';
+                } else {
+                    pending += c;
+                    out.code += ' ';
+                }
+                break;
+            case State::kBlockComment:
+                if (c == '*' && next == '/') {
+                    ParseControlComment(pending, token_start_line, &out);
+                    state = State::kCode;
+                    out.code += "  ";
+                    ++i;
+                } else {
+                    pending += c;
+                    out.code += c == '\n' ? '\n' : ' ';
+                }
+                break;
+            case State::kString:
+                if (c == '\\' && next != '\0') {
+                    pending += c;
+                    pending += next;
+                    out.code += "  ";
+                    ++i;
+                } else if (c == '"') {
+                    out.string_literals.emplace_back(token_start_line, pending);
+                    state = State::kCode;
+                    out.code += '"';
+                } else {
+                    pending += c;
+                    out.code += c == '\n' ? '\n' : ' ';
+                }
+                break;
+            case State::kChar:
+                if (c == '\\' && next != '\0') {
+                    out.code += "  ";
+                    ++i;
+                } else if (c == '\'') {
+                    state = State::kCode;
+                    out.code += '\'';
+                } else {
+                    out.code += c == '\n' ? '\n' : ' ';
+                }
+                break;
+        }
+        if (c == '\n') ++line;
+    }
+    if (state == State::kLineComment || state == State::kBlockComment) {
+        ParseControlComment(pending, token_start_line, &out);
+    }
+    return out;
+}
+
+}  // namespace internal
+
+namespace {
+
+/** One scanned file, ready for rule matching. */
+struct SourceFile {
+    /** Root-relative path with '/' separators, e.g. "src/core/foo.cc". */
+    std::string rel_path;
+    internal::StrippedSource stripped;
+    /** stripped.code split into lines (index 0 == line 1). */
+    std::vector<std::string> lines;
+};
+
+/**
+ * The include-layering contract (DESIGN.md §11): each src/ directory may
+ * include only from the listed directories. This is the one-way DAG
+ * common → {sim,stats,lp,control} → {fault,soc} → {power,kernel,apps}
+ * → device → platform → core, with core's device access further restricted
+ * to the profiling-harness seam files below.
+ */
+const std::map<std::string, std::set<std::string>>&
+AllowedIncludes()
+{
+    static const std::map<std::string, std::set<std::string>> kAllowed = {
+        {"common", {"common"}},
+        {"sim", {"common", "sim"}},
+        {"stats", {"common", "stats"}},
+        {"lp", {"common", "lp"}},
+        {"control", {"common", "control"}},
+        {"fault", {"common", "sim", "fault"}},
+        {"soc", {"common", "sim", "soc"}},
+        {"power", {"common", "sim", "fault", "power"}},
+        {"kernel", {"common", "sim", "soc", "fault", "kernel"}},
+        {"apps", {"common", "sim", "soc", "apps"}},
+        {"device",
+         {"common", "sim", "stats", "soc", "fault", "power", "kernel", "apps",
+          "device"}},
+        {"platform",
+         {"common", "sim", "stats", "soc", "fault", "power", "kernel", "apps",
+          "device", "platform"}},
+        {"core",
+         {"common", "sim", "stats", "lp", "control", "soc", "fault", "power",
+          "apps", "platform", "core"}},
+    };
+    return kAllowed;
+}
+
+/** src/core files allowed to include src/device and name `Device`: the
+ * offline-profiling / experiment harness seam (PR 4 contract). */
+bool
+IsCoreDeviceSeam(const std::string& rel_path)
+{
+    static const std::set<std::string> kSeams = {
+        "src/core/experiment.h",       "src/core/experiment.cc",
+        "src/core/offline_profiler.h", "src/core/offline_profiler.cc",
+        "src/core/batch_runner.h",     "src/core/batch_runner.cc",
+    };
+    return kSeams.count(rel_path) > 0;
+}
+
+/** Directories where the unit-literal rule is enforced (the hot-path layers
+ * that have adopted the tagged unit types in common/units.h). */
+bool
+UnitRuleApplies(const std::string& layer)
+{
+    static const std::set<std::string> kLayers = {"common", "soc", "core",
+                                                  "device", "platform"};
+    return kLayers.count(layer) > 0;
+}
+
+/** Second path component of "src/<layer>/...", or "" if not under src/. */
+std::string
+LayerOf(const std::string& rel_path)
+{
+    if (rel_path.rfind("src/", 0) != 0) return "";
+    const size_t start = 4;
+    const size_t slash = rel_path.find('/', start);
+    if (slash == std::string::npos) return "";
+    return rel_path.substr(start, slash - start);
+}
+
+/** True when an `aeo-lint: allow(<rule>)` comment covers @p line (the line
+ * itself or up to two lines above, to reach multi-line declarations). */
+bool
+IsSuppressed(const SourceFile& file, int line, const std::string& rule)
+{
+    for (const auto& [allow_line, allow_rule] : file.stripped.allows) {
+        if (allow_rule != rule) continue;
+        if (allow_line <= line && line - allow_line <= 2) return true;
+    }
+    return false;
+}
+
+void
+AddFinding(std::vector<Finding>* findings, const SourceFile& file, int line,
+           const std::string& rule, const std::string& message)
+{
+    if (IsSuppressed(file, line, rule)) return;
+    findings->push_back(Finding{rule, file.rel_path, line, message});
+}
+
+/** Rule `suppression`: malformed allow comments are findings themselves, so
+ * a typo'd rule name or a missing justification cannot silently disable a
+ * check. */
+void
+CheckSuppressions(const SourceFile& file, std::vector<Finding>* findings)
+{
+    for (const int line : file.stripped.malformed_allows) {
+        findings->push_back(Finding{
+            "suppression", file.rel_path, line,
+            "malformed aeo-lint comment; use "
+            "`// aeo-lint: allow(<rule>) -- <justification>`"});
+    }
+}
+
+/** Rule `layering`: project-relative includes must follow the DAG, and only
+ * the harness seam files in src/core may touch src/device. */
+void
+CheckLayering(const SourceFile& file, std::vector<Finding>* findings)
+{
+    const std::string layer = LayerOf(file.rel_path);
+    const auto it = AllowedIncludes().find(layer);
+    if (it == AllowedIncludes().end()) return;
+    const std::set<std::string>& allowed = it->second;
+
+    for (const auto& [line, literal] : file.stripped.string_literals) {
+        // Only literals on #include lines are include paths.
+        const std::string& code = file.lines[static_cast<size_t>(line - 1)];
+        const size_t hash = code.find_first_not_of(" \t");
+        if (hash == std::string::npos || code[hash] != '#') continue;
+        if (code.find("include", hash) == std::string::npos) continue;
+        const size_t slash = literal.find('/');
+        if (slash == std::string::npos) continue;
+        const std::string target = literal.substr(0, slash);
+        if (AllowedIncludes().count(target) == 0) continue;  // not a layer
+        if (layer == "core" && target == "device") {
+            if (!IsCoreDeviceSeam(file.rel_path)) {
+                AddFinding(findings, file, line, "layering",
+                           "src/core may include src/device only from the "
+                           "profiling-harness seam (experiment, "
+                           "offline_profiler, batch_runner); route hardware "
+                           "access through aeo::platform instead");
+            }
+            continue;
+        }
+        if (allowed.count(target) == 0) {
+            AddFinding(findings, file, line, "layering",
+                       "src/" + layer + " must not include src/" + target +
+                           " (include DAG: common -> sim/stats/lp/control -> "
+                           "fault/soc -> power/kernel/apps -> device -> "
+                           "platform -> core)");
+        }
+    }
+
+    // The `Device` seam type may only be named by the harness seam files.
+    if (layer == "core" && !IsCoreDeviceSeam(file.rel_path)) {
+        const std::string& code = file.stripped.code;
+        static const std::string kToken = "Device";
+        size_t pos = 0;
+        int line = 1;
+        size_t line_start_scan = 0;
+        while ((pos = code.find(kToken, pos)) != std::string::npos) {
+            const bool bounded_left =
+                pos == 0 || !IsIdentChar(code[pos - 1]);
+            const size_t end = pos + kToken.size();
+            const bool bounded_right =
+                end >= code.size() || !IsIdentChar(code[end]);
+            if (bounded_left && bounded_right) {
+                line += static_cast<int>(std::count(
+                    code.begin() + static_cast<ptrdiff_t>(line_start_scan),
+                    code.begin() + static_cast<ptrdiff_t>(pos), '\n'));
+                line_start_scan = pos;
+                AddFinding(findings, file, line, "layering",
+                           "src/core may name `Device` only in the "
+                           "profiling-harness seam files; the controller "
+                           "talks to hardware through aeo::platform");
+            }
+            pos = end;
+        }
+    }
+}
+
+/** Rule `sysfs-literal`: inline "/sys..." strings belong to src/kernel and
+ * src/platform; everything else must use the interned constants. */
+void
+CheckSysfsLiterals(const SourceFile& file, std::vector<Finding>* findings)
+{
+    const std::string layer = LayerOf(file.rel_path);
+    if (layer.empty() || layer == "kernel" || layer == "platform") return;
+    for (const auto& [line, literal] : file.stripped.string_literals) {
+        if (literal.rfind("/sys", 0) == 0) {
+            AddFinding(findings, file, line, "sysfs-literal",
+                       "inline sysfs path literal outside src/kernel and "
+                       "src/platform; use the interned node constants or the "
+                       "Sysfs seam");
+        }
+    }
+}
+
+/** Rule `unit-literal`: in the adopted layers, a non-zero numeric literal
+ * must not be assigned or brace-fed into a khz/mbps/mw/ms-suffixed name —
+ * it has to pass through KHz()/MBps()/Milliwatts()/Millis() (or SimTime's
+ * named constructors) so the scale is part of the type. Zero is exempt:
+ * it is the same quantity at every scale. */
+void
+CheckUnitLiterals(const SourceFile& file, std::vector<Finding>* findings)
+{
+    if (!UnitRuleApplies(LayerOf(file.rel_path))) return;
+    static const std::vector<std::string> kSuffixes = {"khz", "mbps", "mw",
+                                                       "ms"};
+    for (size_t li = 0; li < file.lines.size(); ++li) {
+        const std::string& code = file.lines[li];
+        for (size_t i = 0; i < code.size();) {
+            if (!IsIdentChar(code[i]) ||
+                std::isdigit(static_cast<unsigned char>(code[i])) != 0) {
+                ++i;
+                continue;
+            }
+            size_t end = i;
+            while (end < code.size() && IsIdentChar(code[end])) ++end;
+            const std::string ident = code.substr(i, end - i);
+            bool suffixed = false;
+            for (const std::string& suffix : kSuffixes) {
+                if (ident == suffix ||
+                    (ident.size() > suffix.size() + 1 &&
+                     ident.compare(ident.size() - suffix.size(), suffix.size(),
+                                   suffix) == 0 &&
+                     ident[ident.size() - suffix.size() - 1] == '_')) {
+                    suffixed = true;
+                    break;
+                }
+            }
+            i = end;
+            if (!suffixed) continue;
+
+            // Accept `=`, `+=`, `-=` or `{`, then require a numeric literal.
+            size_t j = end;
+            while (j < code.size() && (code[j] == ' ' || code[j] == '\t')) ++j;
+            if (j < code.size() && (code[j] == '+' || code[j] == '-')) ++j;
+            if (j >= code.size() || (code[j] != '=' && code[j] != '{')) {
+                continue;
+            }
+            if (code[j] == '=' && j + 1 < code.size() && code[j + 1] == '=') {
+                continue;  // comparison, not assignment
+            }
+            ++j;
+            while (j < code.size() && (code[j] == ' ' || code[j] == '\t')) ++j;
+            size_t lit = j;
+            if (lit < code.size() && (code[lit] == '+' || code[lit] == '-')) {
+                ++lit;
+            }
+            const bool numeric =
+                lit < code.size() &&
+                (std::isdigit(static_cast<unsigned char>(code[lit])) != 0 ||
+                 (code[lit] == '.' && lit + 1 < code.size() &&
+                  std::isdigit(static_cast<unsigned char>(code[lit + 1])) !=
+                      0));
+            if (!numeric) continue;
+            const double value = std::strtod(code.c_str() + j, nullptr);
+            if (value == 0.0) continue;
+            AddFinding(findings, file, static_cast<int>(li + 1), "unit-literal",
+                       "raw numeric literal flows into `" + ident +
+                           "`; wrap it in the tagged unit constructor "
+                           "(KHz/MBps/Milliwatts/Millis) from "
+                           "common/units.h");
+        }
+    }
+}
+
+/** One aeo_add_test() registration parsed out of tests/CMakeLists.txt. */
+struct TestTarget {
+    std::string name;
+    int line = 0;
+    std::vector<std::string> sources;
+    std::vector<std::string> labels;
+};
+
+std::vector<TestTarget>
+ParseTestRegistrations(const std::string& cmake_text)
+{
+    // Strip CMake comments, preserving line structure.
+    std::string text;
+    text.reserve(cmake_text.size());
+    bool in_comment = false;
+    for (const char c : cmake_text) {
+        if (c == '\n') {
+            in_comment = false;
+            text += '\n';
+        } else if (c == '#') {
+            in_comment = true;
+            text += ' ';
+        } else {
+            text += in_comment ? ' ' : c;
+        }
+    }
+
+    std::vector<TestTarget> targets;
+    static const std::string kCall = "aeo_add_test(";
+    size_t pos = 0;
+    while ((pos = text.find(kCall, pos)) != std::string::npos) {
+        TestTarget target;
+        target.line = 1 + static_cast<int>(std::count(
+                              text.begin(),
+                              text.begin() + static_cast<ptrdiff_t>(pos),
+                              '\n'));
+        const size_t open = pos + kCall.size();
+        const size_t close = text.find(')', open);
+        if (close == std::string::npos) break;
+        std::istringstream args(text.substr(open, close - open));
+        std::string token;
+        enum class Section { kName, kSources, kLibs, kLabels };
+        Section section = Section::kName;
+        while (args >> token) {
+            if (token == "LIBS") {
+                section = Section::kLibs;
+            } else if (token == "LABELS") {
+                section = Section::kLabels;
+            } else if (section == Section::kName) {
+                target.name = token;
+                section = Section::kSources;
+            } else if (section == Section::kSources) {
+                target.sources.push_back(token);
+            } else if (section == Section::kLabels) {
+                // Quoted multi-labels: "thermal;robustness".
+                std::string cleaned;
+                for (const char c : token) {
+                    if (c != '"') cleaned += c;
+                }
+                size_t start = 0;
+                while (start <= cleaned.size()) {
+                    const size_t semi = cleaned.find(';', start);
+                    const std::string label = cleaned.substr(
+                        start, semi == std::string::npos ? std::string::npos
+                                                         : semi - start);
+                    if (!label.empty()) target.labels.push_back(label);
+                    if (semi == std::string::npos) break;
+                    start = semi + 1;
+                }
+            }
+        }
+        targets.push_back(std::move(target));
+        pos = close;
+    }
+    return targets;
+}
+
+/** Rule `test-registration`: every *_test.cc under tests/ must be a source of
+ * an aeo_add_test() call in tests/CMakeLists.txt, and every such call must
+ * carry at least one ctest LABELS entry. */
+void
+CheckTestRegistration(const fs::path& root,
+                      const std::vector<std::string>& test_files,
+                      std::vector<Finding>* findings)
+{
+    if (test_files.empty()) return;
+    const fs::path cmake_path = root / "tests" / "CMakeLists.txt";
+    std::vector<TestTarget> targets;
+    std::ifstream in(cmake_path);
+    if (in) {
+        std::stringstream buffer;
+        buffer << in.rdbuf();
+        targets = ParseTestRegistrations(buffer.str());
+    }
+
+    std::set<std::string> registered;  // paths relative to tests/
+    for (const TestTarget& target : targets) {
+        for (const std::string& source : target.sources) {
+            registered.insert(source);
+        }
+        if (!target.sources.empty() && target.labels.empty()) {
+            findings->push_back(Finding{
+                "test-registration", "tests/CMakeLists.txt", target.line,
+                "aeo_add_test(" + target.name +
+                    ") has no LABELS; every suite needs at least one ctest "
+                    "label so CI can slice it"});
+        }
+    }
+    for (const std::string& rel : test_files) {
+        // rel is root-relative ("tests/core/foo_test.cc"); registrations
+        // are tests/-relative.
+        const std::string in_tests = rel.substr(std::string("tests/").size());
+        if (registered.count(in_tests) == 0) {
+            findings->push_back(Finding{
+                "test-registration", rel, 1,
+                "test file is not registered in tests/CMakeLists.txt via "
+                "aeo_add_test(), so ctest never runs it"});
+        }
+    }
+}
+
+bool
+HasSuffix(const std::string& s, const std::string& suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/** Collects root-relative paths ('/'-separated) of sources under @p subdir,
+ * skipping lint-fixture trees (they seed violations on purpose). */
+std::vector<std::string>
+CollectSources(const fs::path& root, const std::string& subdir)
+{
+    std::vector<std::string> files;
+    const fs::path base = root / subdir;
+    if (!fs::exists(base)) return files;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+        if (!entry.is_regular_file()) continue;
+        const std::string ext = entry.path().extension().string();
+        if (ext != ".h" && ext != ".cc" && ext != ".cpp") continue;
+        std::string rel =
+            fs::relative(entry.path(), root).generic_string();
+        if (rel.find("/fixtures/") != std::string::npos) continue;
+        files.push_back(std::move(rel));
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+SourceFile
+LoadSource(const fs::path& root, const std::string& rel)
+{
+    SourceFile file;
+    file.rel_path = rel;
+    std::ifstream in(root / fs::path(rel));
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    file.stripped = internal::StripSource(buffer.str());
+    std::istringstream lines(file.stripped.code);
+    std::string line;
+    while (std::getline(lines, line)) {
+        file.lines.push_back(line);
+    }
+    return file;
+}
+
+}  // namespace
+
+std::vector<Finding>
+RunLint(const LintOptions& options)
+{
+    const fs::path root(options.root);
+    std::vector<Finding> findings;
+
+    for (const std::string& rel : CollectSources(root, "src")) {
+        const SourceFile file = LoadSource(root, rel);
+        CheckSuppressions(file, &findings);
+        CheckLayering(file, &findings);
+        CheckSysfsLiterals(file, &findings);
+        CheckUnitLiterals(file, &findings);
+    }
+
+    std::vector<std::string> test_files;
+    for (const std::string& rel : CollectSources(root, "tests")) {
+        const SourceFile file = LoadSource(root, rel);
+        CheckSuppressions(file, &findings);
+        if (HasSuffix(rel, "_test.cc")) test_files.push_back(rel);
+    }
+    CheckTestRegistration(root, test_files, &findings);
+
+    std::sort(findings.begin(), findings.end(),
+              [](const Finding& a, const Finding& b) {
+                  return std::tie(a.file, a.line, a.rule) <
+                         std::tie(b.file, b.line, b.rule);
+              });
+    return findings;
+}
+
+std::string
+FormatFindings(const std::vector<Finding>& findings)
+{
+    std::string out;
+    for (const Finding& finding : findings) {
+        out += finding.file + ":" + std::to_string(finding.line) + ": [" +
+               finding.rule + "] " + finding.message + "\n";
+    }
+    return out;
+}
+
+}  // namespace aeo::lint

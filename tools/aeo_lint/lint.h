@@ -1,0 +1,91 @@
+/**
+ * @file
+ * aeo-lint: the repo's domain-invariant checker (DESIGN.md §11).
+ *
+ * A deliberately small, text-level static-analysis pass over the tree that
+ * machine-checks the architectural contracts PR 4 established by review
+ * convention:
+ *
+ *  - `layering`          — the include DAG between src/ layers is one-way
+ *                          (common → sim → … → platform → core), src/core
+ *                          never includes src/kernel, and the `Device` seam
+ *                          is only named by the profiling/experiment files.
+ *  - `sysfs-literal`     — inline "/sys/..." string literals appear only in
+ *                          src/kernel and src/platform; everyone else goes
+ *                          through the interned SysfsHandles seam.
+ *  - `test-registration` — every *_test.cc under tests/ is registered in an
+ *                          aeo_add_test() call in tests/CMakeLists.txt and
+ *                          that call carries at least one ctest label.
+ *  - `unit-literal`      — a non-zero numeric literal never flows directly
+ *                          into a khz/mbps/mw/ms-suffixed variable or field;
+ *                          it must pass through the tagged constructors in
+ *                          src/common/units.h (KHz, MBps, Milliwatts,
+ *                          Millis) or SimTime's named constructors.
+ *  - `suppression`       — `// aeo-lint: allow(<rule>)` comments must carry
+ *                          a justification (`-- <why>`); a bare allow is
+ *                          itself a finding.
+ *
+ * The checks are line-oriented on a comment- and string-stripped view of
+ * each file: fast, dependency-free, and precise enough for CI to block on.
+ */
+#ifndef AEO_TOOLS_AEO_LINT_LINT_H_
+#define AEO_TOOLS_AEO_LINT_LINT_H_
+
+#include <string>
+#include <vector>
+
+namespace aeo::lint {
+
+/** One rule violation at a source location. */
+struct Finding {
+    /** Rule identifier (see file comment). */
+    std::string rule;
+    /** Path relative to the linted root. */
+    std::string file;
+    /** 1-based line number. */
+    int line = 0;
+    /** Human-readable explanation. */
+    std::string message;
+};
+
+/** What to lint. */
+struct LintOptions {
+    /** Tree root: the directory holding src/, tests/ and bench/. */
+    std::string root;
+};
+
+/** Runs every rule over @p options.root and returns the findings, sorted by
+ * (file, line, rule). An empty result means the tree is clean. */
+std::vector<Finding> RunLint(const LintOptions& options);
+
+/** Renders findings as "file:line: [rule] message" lines. */
+std::string FormatFindings(const std::vector<Finding>& findings);
+
+namespace internal {
+
+/**
+ * A source file preprocessed for rule matching: `code` mirrors the original
+ * byte-for-byte except that comment bodies and string/char literal contents
+ * are blanked (newlines preserved), so token scans cannot match inside
+ * either. String literals are collected separately for the sysfs rule, and
+ * `aeo-lint:` control comments are parsed out before blanking.
+ */
+struct StrippedSource {
+    std::string code;
+    /** (line, literal contents) for every "..." literal. */
+    std::vector<std::pair<int, std::string>> string_literals;
+    /** Lines carrying a well-formed `// aeo-lint: allow(<rule>) -- why`,
+     * as (line, rule). */
+    std::vector<std::pair<int, std::string>> allows;
+    /** Lines carrying a malformed allow (missing rule or justification). */
+    std::vector<int> malformed_allows;
+};
+
+/** Strips @p text (see StrippedSource). Exposed for unit tests. */
+StrippedSource StripSource(const std::string& text);
+
+}  // namespace internal
+
+}  // namespace aeo::lint
+
+#endif  // AEO_TOOLS_AEO_LINT_LINT_H_

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * aeo-lint CLI. Usage:
+ *
+ *     aeo_lint [--root=PATH]
+ *
+ * Lints the tree at PATH (default: the current directory) and prints one
+ * `file:line: [rule] message` per finding. Exit status: 0 clean, 1 findings,
+ * 2 bad invocation. CI runs this as a blocking job; see DESIGN.md §11 for
+ * the rules and the suppression mechanism.
+ */
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "lint.h"
+
+int
+main(int argc, char** argv)
+{
+    std::string root = ".";
+    for (int i = 1; i < argc; ++i) {
+        const char* arg = argv[i];
+        if (std::strncmp(arg, "--root=", 7) == 0) {
+            root = arg + 7;
+        } else if (std::strcmp(arg, "--help") == 0 ||
+                   std::strcmp(arg, "-h") == 0) {
+            std::printf("usage: aeo_lint [--root=PATH]\n");
+            return 0;
+        } else {
+            std::fprintf(stderr, "aeo-lint: unknown argument '%s'\n", arg);
+            return 2;
+        }
+    }
+    if (!std::filesystem::exists(std::filesystem::path(root) / "src") &&
+        !std::filesystem::exists(std::filesystem::path(root) / "tests")) {
+        std::fprintf(stderr,
+                     "aeo-lint: '%s' has neither src/ nor tests/; pass the "
+                     "repo root via --root=PATH\n",
+                     root.c_str());
+        return 2;
+    }
+
+    const std::vector<aeo::lint::Finding> findings =
+        aeo::lint::RunLint({.root = root});
+    if (findings.empty()) {
+        std::printf("aeo-lint: clean\n");
+        return 0;
+    }
+    std::fputs(aeo::lint::FormatFindings(findings).c_str(), stdout);
+    std::fprintf(stderr, "aeo-lint: %zu finding(s)\n", findings.size());
+    return 1;
+}
