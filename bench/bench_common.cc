@@ -21,6 +21,8 @@ ParseBenchArgs(int argc, char** argv)
             args.runs = std::atoi(argv[i] + 7);
         } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
             args.out = argv[i] + 6;
+        } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+            args.seed = std::strtoull(argv[i] + 7, nullptr, 10);
         }
     }
     return args;

@@ -26,6 +26,10 @@ struct BenchArgs {
     int runs = 0;
     /** --out=PATH: overrides the bench's CSV artifact path. */
     std::string out;
+    /** --seed=S: overrides the bench's root seed (0 = use the bench
+     * default). Every derived seed (profiler, devices, campaigns) is an
+     * offset of this root, so one flag re-seeds the whole experiment. */
+    uint64_t seed = 0;
 
     /** Profiling run count: the --runs override if given, else the bench
      * default for the current speed mode. */
@@ -42,10 +46,16 @@ struct BenchArgs {
     {
         return out.empty() ? default_name : out;
     }
+
+    /** Root seed: the --seed override if given, else @p fallback. */
+    uint64_t SeedOr(uint64_t fallback) const
+    {
+        return seed != 0 ? seed : fallback;
+    }
 };
 
-/** Parses --fast, --jobs=N, --runs=N and --out=PATH anywhere in argv;
- * ignores everything else. */
+/** Parses --fast, --jobs=N, --runs=N, --seed=S and --out=PATH anywhere in
+ * argv; ignores everything else. */
 BenchArgs ParseBenchArgs(int argc, char** argv);
 
 /** Prints a banner naming the experiment and the paper artifact. */

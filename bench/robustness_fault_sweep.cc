@@ -36,7 +36,7 @@ namespace aeo {
 namespace {
 
 constexpr const char kApp[] = "AngryBirds";
-constexpr uint64_t kSeed = 2017;
+constexpr uint64_t kDefaultSeed = 2017;
 
 std::vector<FaultRule>
 TransientFaults(double rate)
@@ -87,11 +87,12 @@ struct SweepRow {
 };
 
 SweepRow
-RunAtRate(const ProfileTable& table, double target_gips, double rate)
+RunAtRate(const ProfileTable& table, double target_gips, double rate,
+          uint64_t seed)
 {
     const AppScenario scenario = GetAppScenario(kApp);
     DeviceConfig device_config;
-    device_config.seed = kSeed + 2000;
+    device_config.seed = seed + 2000;
     device_config.fault_rules = TransientFaults(rate);
     Device device(device_config);
     device.LaunchApp(MakeAppSpecByName(kApp));
@@ -131,7 +132,8 @@ RunAtRate(const ProfileTable& table, double target_gips, double rate)
 }
 
 void
-StickyFailureDemo(const ProfileTable& table, double target_gips)
+StickyFailureDemo(const ProfileTable& table, double target_gips,
+                  uint64_t seed)
 {
     FaultRule sticky;
     sticky.path_prefix = std::string(kCpufreqSysfsRoot) + "/scaling_setspeed";
@@ -140,7 +142,7 @@ StickyFailureDemo(const ProfileTable& table, double target_gips)
     sticky.duration = FaultDuration::kSticky;
 
     DeviceConfig device_config;
-    device_config.seed = kSeed + 3000;
+    device_config.seed = seed + 3000;
     device_config.fault_rules = {sticky};
     Device device(device_config);
     device.LaunchApp(MakeAppSpecByName(kApp));
@@ -174,6 +176,7 @@ main(int argc, char** argv)
     SetLogLevel(LogLevel::kQuiet);
     const bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
     const bool fast = args.fast;
+    const uint64_t seed = args.SeedOr(kDefaultSeed);
     bench::PrintHeader("R1 / robustness",
                        "Fault-rate sweep: hardened controller vs injected "
                        "sysfs/PMU/meter failures");
@@ -185,13 +188,13 @@ main(int argc, char** argv)
     profiler_options.runs = args.ProfileRuns();
     profiler_options.cpu_levels = scenario.profile_cpu_levels;
     profiler_options.measure_duration = scenario.profile_duration;
-    profiler_options.seed = kSeed + 1000;
+    profiler_options.seed = seed + 1000;
     profiler_options.batch = args.batch;
     const ProfileTable table =
         OfflineProfiler().Profile(MakeAppSpecByName(kApp), profiler_options);
 
     DeviceConfig default_config;
-    default_config.seed = kSeed;
+    default_config.seed = seed;
     Device default_device(default_config);
     default_device.UseDefaultGovernors();
     default_device.LaunchApp(MakeAppSpecByName(kApp));
@@ -219,7 +222,9 @@ main(int argc, char** argv)
     std::vector<std::function<SweepRow()>> sweep_tasks;
     for (const double rate : rates) {
         sweep_tasks.push_back(
-            [&table, target, rate] { return RunAtRate(table, target, rate); });
+            [&table, target, rate, seed] {
+                return RunAtRate(table, target, rate, seed);
+            });
     }
     const std::vector<SweepRow> sweep_rows =
         BatchRunner(args.batch).RunOrdered(std::move(sweep_tasks));
@@ -299,6 +304,6 @@ main(int argc, char** argv)
                     violation_at_5pct <= bound ? "PASS" : "FAIL");
     }
 
-    StickyFailureDemo(table, target);
+    StickyFailureDemo(table, target, seed);
     return 0;
 }

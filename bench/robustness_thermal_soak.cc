@@ -41,7 +41,7 @@ namespace aeo {
 namespace {
 
 constexpr const char kApp[] = "AngryBirds";
-constexpr uint64_t kSeed = 2017;
+constexpr uint64_t kDefaultSeed = 2017;
 
 /** Fast-heating package so the soak spans several clamp stages. */
 ThermalParams
@@ -78,10 +78,10 @@ struct SoakRun {
 
 SoakRun
 RunSoak(const ProfileTable& table, double target_gips, SimTime duration,
-        bool clamp_aware)
+        bool clamp_aware, uint64_t seed)
 {
     DeviceConfig device_config;
-    device_config.seed = kSeed;
+    device_config.seed = seed;
     // Heat feeds back into leakage, so the profiled power surface drifts as
     // the package warms — the aware controller's drift detector tracks it.
     device_config.power_params.leak_temp_coeff_per_c = 0.04;
@@ -133,6 +133,7 @@ main(int argc, char** argv)
     SetLogLevel(LogLevel::kQuiet);
     const bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
     const bool fast = args.fast;
+    const uint64_t seed = args.SeedOr(kDefaultSeed);
     bench::PrintHeader("R2 / thermal soak",
                        "Sustained load under msm_thermal staging: clamp-aware "
                        "vs clamp-oblivious control");
@@ -142,7 +143,7 @@ main(int argc, char** argv)
     profiler_options.runs = args.ProfileRuns();
     profiler_options.cpu_levels = scenario.profile_cpu_levels;
     profiler_options.measure_duration = scenario.profile_duration;
-    profiler_options.seed = kSeed + 1000;
+    profiler_options.seed = seed + 1000;
     profiler_options.batch = args.batch;
     const ProfileTable table =
         OfflineProfiler().Profile(MakeAppSpecByName(kApp), profiler_options);
@@ -153,9 +154,9 @@ main(int argc, char** argv)
     // The two soaks are independent seeded runs — one batch job each.
     std::vector<std::function<SoakRun()>> soak_tasks;
     soak_tasks.push_back(
-        [&] { return RunSoak(table, target, duration, true); });
+        [&] { return RunSoak(table, target, duration, true, seed); });
     soak_tasks.push_back(
-        [&] { return RunSoak(table, target, duration, false); });
+        [&] { return RunSoak(table, target, duration, false, seed); });
     std::vector<SoakRun> soaks =
         BatchRunner(args.batch).RunOrdered(std::move(soak_tasks));
     const SoakRun aware = std::move(soaks[0]);

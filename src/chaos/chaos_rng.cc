@@ -1,0 +1,95 @@
+#include "chaos/chaos_rng.h"
+
+#include "common/logging.h"
+
+namespace aeo::chaos {
+
+namespace {
+
+/** splitmix64: decorrelates related seeds before they reach the engine. */
+uint64_t
+SplitMix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ChaosRng::ChaosRng(uint64_t seed) : seed_(seed), engine_(SplitMix64(seed)) {}
+
+uint64_t
+ChaosRng::NextU64()
+{
+    return engine_();
+}
+
+double
+ChaosRng::NextDouble()
+{
+    // Top 53 bits scaled by 2^-53: every double in [0, 1) is reachable and
+    // the mapping involves no platform-dependent rounding.
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double
+ChaosRng::Uniform(double lo, double hi)
+{
+    AEO_ASSERT(lo <= hi, "empty uniform range");
+    return lo + (hi - lo) * NextDouble();
+}
+
+int
+ChaosRng::UniformInt(int lo, int hi)
+{
+    AEO_ASSERT(lo <= hi, "empty integer range");
+    const uint64_t span = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+    // Rejection sampling over the largest multiple of span below 2^64.
+    const uint64_t limit = ~0ull - (~0ull % span);
+    uint64_t draw = NextU64();
+    while (draw >= limit) {
+        draw = NextU64();
+    }
+    return lo + static_cast<int>(draw % span);
+}
+
+bool
+ChaosRng::Bernoulli(double p)
+{
+    if (p <= 0.0) {
+        return false;
+    }
+    if (p >= 1.0) {
+        return true;
+    }
+    return NextDouble() < p;
+}
+
+size_t
+ChaosRng::WeightedIndex(const std::vector<double>& weights)
+{
+    double total = 0.0;
+    for (const double w : weights) {
+        AEO_ASSERT(w >= 0.0, "negative weight");
+        total += w;
+    }
+    AEO_ASSERT(total > 0.0, "weights sum to zero");
+    double point = NextDouble() * total;
+    for (size_t i = 0; i < weights.size(); ++i) {
+        point -= weights[i];
+        if (point < 0.0) {
+            return i;
+        }
+    }
+    return weights.size() - 1;  // Float summation edge: the last non-zero bin.
+}
+
+ChaosRng
+ChaosRng::Fork(uint64_t stream) const
+{
+    return ChaosRng(SplitMix64(seed_ ^ SplitMix64(stream + 1)));
+}
+
+}  // namespace aeo::chaos

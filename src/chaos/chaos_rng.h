@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The chaos engine's PRNG: std::mt19937_64 — whose output sequence is
+ * pinned bit-for-bit by the C++ standard — behind hand-rolled
+ * distributions, because the std::*_distribution adaptors are expressly
+ * NOT portable across standard libraries. A campaign seed must generate
+ * the identical scenario on libstdc++, libc++ and MSVC, so every mapping
+ * from raw engine output to a usable value lives here, written once.
+ */
+#ifndef AEO_CHAOS_CHAOS_RNG_H_
+#define AEO_CHAOS_CHAOS_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace aeo::chaos {
+
+/** Seeded, platform-stable random source for scenario generation. */
+class ChaosRng {
+  public:
+    explicit ChaosRng(uint64_t seed);
+
+    /** Next raw engine word. */
+    uint64_t NextU64();
+
+    /** Uniform double in [0, 1) with 53 bits of resolution. */
+    double NextDouble();
+
+    /** Uniform double in [lo, hi). */
+    double Uniform(double lo, double hi);
+
+    /** Uniform integer in [lo, hi] (inclusive), by rejection — modulo
+     * reduction would bias and tie the result to the range's divisors. */
+    int UniformInt(int lo, int hi);
+
+    /** True with probability @p p. */
+    bool Bernoulli(double p);
+
+    /** Index into @p weights proportional to its value; weights must be
+     * non-negative with a positive sum. */
+    size_t WeightedIndex(const std::vector<double>& weights);
+
+    /**
+     * An independent child stream for substream @p stream: campaigns fork
+     * one child per scenario so adding a scenario never perturbs the
+     * others' draws.
+     */
+    ChaosRng Fork(uint64_t stream) const;
+
+  private:
+    uint64_t seed_;
+    std::mt19937_64 engine_;
+};
+
+}  // namespace aeo::chaos
+
+#endif  // AEO_CHAOS_CHAOS_RNG_H_

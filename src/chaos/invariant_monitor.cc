@@ -1,0 +1,251 @@
+#include "chaos/invariant_monitor.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace aeo::chaos {
+
+namespace {
+
+constexpr size_t kViolationCap = 64;
+
+}  // namespace
+
+void
+InvariantMonitor::Report(uint64_t cycle, double time_s, std::string message)
+{
+    if (violations_.size() >= kViolationCap) {
+        return;
+    }
+    violations_.push_back(Violation{cycle, time_s, std::move(message)});
+}
+
+// --- thermal-envelope -------------------------------------------------------
+
+ThermalEnvelopeMonitor::ThermalEnvelopeMonitor(const MonitorConfig& config)
+    : InvariantMonitor("thermal-envelope"), limit_c_(config.thermal_limit_c)
+{
+}
+
+void
+ThermalEnvelopeMonitor::OnCycle(const CycleContext& context)
+{
+    if (context.record->temp_c > limit_c_) {
+        Report(context.cycle_index, context.record->time_s,
+               StrFormat("zone temperature %.1f C exceeds the %.1f C "
+                         "never-exceed envelope",
+                         context.record->temp_c, limit_c_));
+    }
+}
+
+// --- qos-violation-run ------------------------------------------------------
+
+QosViolationRunMonitor::QosViolationRunMonitor(const MonitorConfig& config)
+    : InvariantMonitor("qos-violation-run"),
+      max_run_(config.max_qos_violation_run),
+      tolerance_frac_(config.qos_tolerance_frac)
+{
+    AEO_ASSERT(max_run_ > 0, "QoS run bound must be positive");
+}
+
+void
+QosViolationRunMonitor::OnCycle(const CycleContext& context)
+{
+    const ControlCycleRecord& record = *context.record;
+    // Only cycles where the controller *believes* it is meeting the target
+    // count: degraded cycles have no trustworthy measurement, safe-mode
+    // cycles have declared the target unreachable, and fallback cycles do
+    // not control at all. A long shortfall run outside those modes means
+    // the loop is silently failing its contract.
+    if (record.degraded || record.safe_mode || context.fallback_engaged) {
+        run_ = 0;
+        reported_this_run_ = false;
+        return;
+    }
+    const bool shortfall =
+        record.measured_gips <
+        (1.0 - tolerance_frac_) * context.target_gips;
+    if (!shortfall) {
+        run_ = 0;
+        reported_this_run_ = false;
+        return;
+    }
+    ++run_;
+    if (run_ > max_run_ && !reported_this_run_) {
+        reported_this_run_ = true;
+        Report(context.cycle_index, record.time_s,
+               StrFormat("measured %.2f GIPS stayed >%.0f%% under the "
+                         "%.2f GIPS target for %d consecutive healthy "
+                         "cycles (bound %d)",
+                         record.measured_gips, tolerance_frac_ * 100.0,
+                         context.target_gips, run_, max_run_));
+    }
+}
+
+// --- actuation-consistency --------------------------------------------------
+
+ActuationConsistencyMonitor::ActuationConsistencyMonitor(
+    const MonitorConfig& config)
+    : InvariantMonitor("actuation-consistency"),
+      grace_cycles_(config.cap_belief_grace_cycles)
+{
+    AEO_ASSERT(grace_cycles_ >= 0, "cap-belief grace must be non-negative");
+}
+
+void
+ActuationConsistencyMonitor::OnCycle(const CycleContext& context)
+{
+    const auto check = [&](const platform::ActuationDelivery& delivery,
+                           const char* subsystem) {
+        if (delivery.verified && !delivery.attempted) {
+            Report(context.cycle_index, context.record->time_s,
+                   StrFormat("%s delivery verified without being attempted",
+                             subsystem));
+        }
+        if (delivery.verified && !delivery.write_ok) {
+            Report(context.cycle_index, context.record->time_s,
+                   StrFormat("%s delivery verified although the write "
+                             "failed",
+                             subsystem));
+        }
+        if (delivery.verified &&
+            delivery.delivered_level > delivery.requested_level) {
+            Report(context.cycle_index, context.record->time_s,
+                   StrFormat("%s delivered level %d above the requested "
+                             "level %d — read-back and actuation disagree "
+                             "upward",
+                             subsystem, delivery.delivered_level,
+                             delivery.requested_level));
+        }
+    };
+    for (const platform::DwellDelivery& dwell : *context.deliveries) {
+        check(dwell.cpu, "cpu");
+        check(dwell.bw, "bw");
+        check(dwell.gpu, "gpu");
+        if (dwell.cpu.attempted &&
+            dwell.cpu.requested_level > context.max_cpu_level) {
+            Report(context.cycle_index, context.record->time_s,
+                   StrFormat("cpu request level %d above the platform "
+                             "ceiling %d",
+                             dwell.cpu.requested_level,
+                             context.max_cpu_level));
+        }
+    }
+
+    // Belief vs ground truth: the cap the controller planned this cycle's
+    // feasible set against must track the cap the kernel advertises. The
+    // believed-below-advertised direction is benign (read-back learning is
+    // deliberately conservative); believed-above-advertised beyond the
+    // poll-race grace means the mask admits rows the device cannot run.
+    const int ceiling = context.max_cpu_level;
+    const int believed = context.record->cpu_cap_level < 0
+                             ? ceiling
+                             : context.record->cpu_cap_level;
+    const int advertised = context.true_cpu_cap_level >= ceiling
+                               ? ceiling
+                               : context.true_cpu_cap_level;
+    if (believed > advertised) {
+        ++divergence_run_;
+        if (divergence_run_ > grace_cycles_ && !reported_divergence_) {
+            reported_divergence_ = true;
+            Report(context.cycle_index, context.record->time_s,
+                   StrFormat("controller believes cpu cap level %d while "
+                             "the kernel advertises %d — the feasible-set "
+                             "mask admits unreachable rows (%d consecutive "
+                             "cycles, grace %d)",
+                             believed, advertised, divergence_run_,
+                             grace_cycles_));
+        }
+    } else {
+        divergence_run_ = 0;
+        reported_divergence_ = false;
+    }
+}
+
+// --- state-legality ---------------------------------------------------------
+
+StateLegalityMonitor::StateLegalityMonitor()
+    : InvariantMonitor("state-legality")
+{
+}
+
+void
+StateLegalityMonitor::OnCycle(const CycleContext& context)
+{
+    if (context.illegal_dispatches > last_illegal_) {
+        Report(context.cycle_index, context.record->time_s,
+               StrFormat("illegal-dispatch counter rose to %llu",
+                         static_cast<unsigned long long>(
+                             context.illegal_dispatches)));
+    }
+    last_illegal_ = context.illegal_dispatches;
+
+    const bool fallback_state =
+        context.state == ControllerState::kProbe ||
+        context.state == ControllerState::kFallbackStock;
+    if (context.fallback_engaged != fallback_state) {
+        Report(context.cycle_index, context.record->time_s,
+               StrFormat("fallback flag %d disagrees with state %s",
+                         context.fallback_engaged ? 1 : 0,
+                         ControllerStateName(context.state)));
+    }
+}
+
+// --- watchdog-liveness ------------------------------------------------------
+
+WatchdogLivenessMonitor::WatchdogLivenessMonitor(const MonitorConfig& config)
+    : InvariantMonitor("watchdog-liveness"),
+      grace_periods_(config.liveness_grace_periods)
+{
+}
+
+void
+WatchdogLivenessMonitor::OnCycle(const CycleContext& context)
+{
+    if (context.fallback_engaged && !saw_fallback_) {
+        saw_fallback_ = true;
+        fallback_cycle_ = context.cycle_index;
+        fallback_time_s_ = context.record->time_s;
+    }
+}
+
+void
+WatchdogLivenessMonitor::OnFinish(const FinishContext& context)
+{
+    if (!saw_fallback_ && !context.fallback_engaged) {
+        return;
+    }
+    if (!context.reengage_enabled) {
+        return;  // Terminal fallback is the configured behaviour.
+    }
+    const double fallback_span_s =
+        saw_fallback_ ? context.elapsed_s - fallback_time_s_
+                      : context.elapsed_s;
+    if (context.probe_period_s <= 0.0 ||
+        fallback_span_s < grace_periods_ * context.probe_period_s) {
+        return;  // The run ended before a probe was due.
+    }
+    if (context.probes == 0) {
+        Report(fallback_cycle_, fallback_time_s_,
+               StrFormat("watchdog fallback at cycle %llu never re-probed "
+                         "the actuation path in %.0f s (probe period "
+                         "%.0f s) — degraded mode must not be a silent "
+                         "grave",
+                         static_cast<unsigned long long>(fallback_cycle_),
+                         fallback_span_s, context.probe_period_s));
+    }
+}
+
+std::vector<std::unique_ptr<InvariantMonitor>>
+MakeDefaultMonitors(const MonitorConfig& config)
+{
+    std::vector<std::unique_ptr<InvariantMonitor>> monitors;
+    monitors.push_back(std::make_unique<ThermalEnvelopeMonitor>(config));
+    monitors.push_back(std::make_unique<QosViolationRunMonitor>(config));
+    monitors.push_back(std::make_unique<ActuationConsistencyMonitor>(config));
+    monitors.push_back(std::make_unique<StateLegalityMonitor>());
+    monitors.push_back(std::make_unique<WatchdogLivenessMonitor>(config));
+    return monitors;
+}
+
+}  // namespace aeo::chaos

@@ -1,0 +1,181 @@
+#include "chaos/scenario.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace aeo::chaos {
+
+namespace {
+
+constexpr const char* kFaultClassNames[kFaultClassCount] = {
+    "actuation-busy", "actuation-sticky", "silent-clamp",  "pmu-drop",
+    "meter-drop",     "path-disappear",   "thermal-cap",
+};
+
+}  // namespace
+
+const char*
+FaultClassName(FaultClass cls)
+{
+    const int index = static_cast<int>(cls);
+    if (index < 0 || index >= kFaultClassCount) {
+        return "?";
+    }
+    return kFaultClassNames[index];
+}
+
+bool
+FaultClassFromName(const std::string& name, FaultClass* cls)
+{
+    for (int i = 0; i < kFaultClassCount; ++i) {
+        if (name == kFaultClassNames[i]) {
+            *cls = static_cast<FaultClass>(i);
+            return true;
+        }
+    }
+    return false;
+}
+
+JsonValue
+SeedToJson(uint64_t seed)
+{
+    return JsonValue(StrFormat("%llu", static_cast<unsigned long long>(seed)));
+}
+
+uint64_t
+SeedFromJson(const JsonValue& value)
+{
+    if (value.is_string()) {
+        return std::strtoull(value.AsString().c_str(), nullptr, 10);
+    }
+    return value.AsUint64();
+}
+
+JsonValue
+ScenarioToJson(const ChaosScenario& scenario)
+{
+    JsonValue doc = JsonValue::MakeObject();
+    doc.Set("seed", SeedToJson(scenario.seed));
+    JsonValue actions = JsonValue::MakeArray();
+    for (const ScenarioAction& action : scenario.actions) {
+        JsonValue entry = JsonValue::MakeObject();
+        entry.Set("class", FaultClassName(action.cls));
+        entry.Set("start_s", action.start_s);
+        entry.Set("duration_s", action.duration_s);
+        entry.Set("intensity", action.intensity);
+        actions.Append(std::move(entry));
+    }
+    doc.Set("actions", std::move(actions));
+    return doc;
+}
+
+bool
+ScenarioFromJson(const JsonValue& json, ChaosScenario* scenario,
+                 std::string* error)
+{
+    if (!json.is_object() || !json.Has("actions") ||
+        !json.At("actions").is_array()) {
+        *error = "scenario JSON must be an object with an 'actions' array";
+        return false;
+    }
+    ChaosScenario out;
+    out.seed = json.Has("seed") ? SeedFromJson(json.At("seed")) : 0;
+    for (const JsonValue& entry : json.At("actions").items()) {
+        if (!entry.is_object()) {
+            *error = "scenario action must be an object";
+            return false;
+        }
+        ScenarioAction action;
+        if (!FaultClassFromName(entry.GetString("class", ""), &action.cls)) {
+            *error = "unknown fault class '" + entry.GetString("class", "") +
+                     "'";
+            return false;
+        }
+        action.start_s = entry.GetDouble("start_s", 0.0);
+        action.duration_s = entry.GetDouble("duration_s", 1.0);
+        action.intensity = entry.GetDouble("intensity", 0.5);
+        if (action.start_s < 0.0 || action.duration_s <= 0.0 ||
+            action.intensity < 0.0 || action.intensity > 1.0) {
+            *error = "scenario action out of range (start >= 0, "
+                     "duration > 0, intensity in [0, 1])";
+            return false;
+        }
+        out.actions.push_back(action);
+    }
+    *scenario = std::move(out);
+    return true;
+}
+
+JsonValue
+CampaignSpecToJson(const CampaignSpec& spec)
+{
+    JsonValue doc = JsonValue::MakeObject();
+    doc.Set("duration_s", spec.duration_s);
+    JsonValue weights = JsonValue::MakeArray();
+    for (const double w : spec.class_weights) {
+        weights.Append(w);
+    }
+    doc.Set("class_weights", std::move(weights));
+    doc.Set("base_intensity", spec.base_intensity);
+    doc.Set("intensity_ramp", spec.intensity_ramp);
+    doc.Set("bursts_per_minute", spec.bursts_per_minute);
+    doc.Set("min_duration_s", spec.min_duration_s);
+    doc.Set("max_duration_s", spec.max_duration_s);
+    doc.Set("max_actions", spec.max_actions);
+    doc.Set("phase_anchor_period_s", spec.phase_anchor_period_s);
+    doc.Set("anchor_probability", spec.anchor_probability);
+    doc.Set("storm_probability", spec.storm_probability);
+    doc.Set("storm_size", spec.storm_size);
+    return doc;
+}
+
+bool
+CampaignSpecFromJson(const JsonValue& json, CampaignSpec* spec,
+                     std::string* error)
+{
+    if (!json.is_object()) {
+        *error = "campaign spec JSON must be an object";
+        return false;
+    }
+    CampaignSpec out;
+    out.duration_s = json.GetDouble("duration_s", out.duration_s);
+    if (json.Has("class_weights")) {
+        const JsonValue& weights = json.At("class_weights");
+        if (!weights.is_array() ||
+            weights.items().size() != kFaultClassCount) {
+            *error = "class_weights must be an array of 7 numbers";
+            return false;
+        }
+        for (size_t i = 0; i < weights.items().size(); ++i) {
+            out.class_weights[i] = weights.items()[i].AsDouble();
+        }
+    }
+    out.base_intensity = json.GetDouble("base_intensity", out.base_intensity);
+    out.intensity_ramp = json.GetDouble("intensity_ramp", out.intensity_ramp);
+    out.bursts_per_minute =
+        json.GetDouble("bursts_per_minute", out.bursts_per_minute);
+    out.min_duration_s = json.GetDouble("min_duration_s", out.min_duration_s);
+    out.max_duration_s = json.GetDouble("max_duration_s", out.max_duration_s);
+    out.max_actions =
+        static_cast<int>(json.GetDouble("max_actions", out.max_actions));
+    out.phase_anchor_period_s =
+        json.GetDouble("phase_anchor_period_s", out.phase_anchor_period_s);
+    out.anchor_probability =
+        json.GetDouble("anchor_probability", out.anchor_probability);
+    out.storm_probability =
+        json.GetDouble("storm_probability", out.storm_probability);
+    out.storm_size =
+        static_cast<int>(json.GetDouble("storm_size", out.storm_size));
+    if (out.duration_s <= 0.0 || out.max_actions <= 0 ||
+        out.min_duration_s <= 0.0 ||
+        out.max_duration_s < out.min_duration_s || out.storm_size < 1) {
+        *error = "campaign spec out of range";
+        return false;
+    }
+    *spec = std::move(out);
+    return true;
+}
+
+}  // namespace aeo::chaos

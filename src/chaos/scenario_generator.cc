@@ -1,0 +1,146 @@
+#include "chaos/scenario_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "chaos/chaos_rng.h"
+#include "common/logging.h"
+
+namespace aeo::chaos {
+
+namespace {
+
+double
+Clamp01(double value)
+{
+    return std::min(1.0, std::max(0.0, value));
+}
+
+}  // namespace
+
+ChaosScenario
+GenerateScenario(const CampaignSpec& spec, uint64_t seed)
+{
+    AEO_ASSERT(spec.class_weights.size() ==
+                   static_cast<size_t>(kFaultClassCount),
+               "campaign spec needs one weight per fault class");
+    ChaosRng rng(seed);
+    ChaosScenario scenario;
+    scenario.seed = seed;
+
+    const double rate_per_s = spec.bursts_per_minute / 60.0;
+    if (rate_per_s <= 0.0) {
+        return scenario;
+    }
+    const double mean_gap_s = 1.0 / rate_per_s;
+
+    double t = 0.0;
+    while (static_cast<int>(scenario.actions.size()) < spec.max_actions) {
+        // Burst arrival: jittered gaps with the configured mean. A textbook
+        // exponential would call log(), whose last-ulp behaviour varies
+        // across libms; bounded uniform jitter keeps the arithmetic exact
+        // (mul/div only) so scenarios are bit-identical everywhere.
+        t += (0.25 + 1.5 * rng.NextDouble()) * mean_gap_s;
+        if (t >= spec.duration_s) {
+            break;
+        }
+
+        double start = t;
+        if (spec.phase_anchor_period_s > 0.0 &&
+            rng.Bernoulli(spec.anchor_probability)) {
+            // Snap to the nearest phase boundary: faults on real devices
+            // arrive coupled to workload transitions, not uniformly.
+            start = std::round(start / spec.phase_anchor_period_s) *
+                    spec.phase_anchor_period_s;
+            start = std::min(std::max(start, 0.0),
+                             spec.duration_s - spec.min_duration_s);
+        }
+
+        const int count = rng.Bernoulli(spec.storm_probability)
+                              ? spec.storm_size
+                              : 1;
+        for (int i = 0; i < count &&
+                        static_cast<int>(scenario.actions.size()) <
+                            spec.max_actions;
+             ++i) {
+            ScenarioAction action;
+            action.cls = static_cast<FaultClass>(
+                rng.WeightedIndex(spec.class_weights));
+            // Storm members stagger slightly so their windows overlap but
+            // their injector installs interleave.
+            action.start_s =
+                i == 0 ? start : start + rng.Uniform(0.0, 1.0);
+            const double span = spec.duration_s - action.start_s;
+            action.duration_s = std::min(
+                rng.Uniform(spec.min_duration_s, spec.max_duration_s), span);
+            if (action.duration_s <= 0.0) {
+                continue;
+            }
+            const double ramp =
+                spec.intensity_ramp * (action.start_s / spec.duration_s);
+            action.intensity = Clamp01(spec.base_intensity + ramp +
+                                       rng.Uniform(-0.05, 0.05));
+            scenario.actions.push_back(action);
+        }
+    }
+
+    std::stable_sort(scenario.actions.begin(), scenario.actions.end(),
+                     [](const ScenarioAction& a, const ScenarioAction& b) {
+                         return a.start_s < b.start_s;
+                     });
+    return scenario;
+}
+
+std::vector<ControllerEvent>
+GenerateControllerEventStorm(uint64_t seed,
+                             const StateMachineOptions& options, int length)
+{
+    ChaosRng rng(seed);
+    ControllerStateMachine machine(options);
+    std::vector<ControllerEvent> events;
+    events.reserve(static_cast<size_t>(length));
+
+    std::vector<ControllerEvent> legal;
+    legal.reserve(kControllerEventCount);
+    while (static_cast<int>(events.size()) < length) {
+        legal.clear();
+        for (int e = 0; e < kControllerEventCount; ++e) {
+            const auto event = static_cast<ControllerEvent>(e);
+            ControllerState next;
+            if (ControllerStateMachine::ActionFor(machine.state(), event,
+                                                  options, &next)) {
+                legal.push_back(event);
+            }
+        }
+        AEO_ASSERT(!legal.empty(), "state machine has a dead state");
+        ControllerEvent pick =
+            legal[static_cast<size_t>(rng.UniformInt(
+                0, static_cast<int>(legal.size()) - 1))];
+        // Bias toward the adversarial spine (mismatch/watchdog/probe): a
+        // second draw replaces a tame pick half the time, when available.
+        if (rng.Bernoulli(0.5)) {
+            for (const ControllerEvent candidate :
+                 {ControllerEvent::kActuationMismatch,
+                  ControllerEvent::kWatchdogTrip,
+                  ControllerEvent::kProbeFailed, ControllerEvent::kProbeOk}) {
+                if (std::find(legal.begin(), legal.end(), candidate) !=
+                        legal.end() &&
+                    rng.Bernoulli(0.5)) {
+                    pick = candidate;
+                    break;
+                }
+            }
+        }
+        // kControlStopped parks the machine in the terminal state and the
+        // storm would flatline; keep the walk alive unless it is the only
+        // legal move.
+        if (pick == ControllerEvent::kControlStopped && legal.size() > 1) {
+            continue;
+        }
+        machine.Dispatch(pick);
+        events.push_back(pick);
+    }
+    return events;
+}
+
+}  // namespace aeo::chaos

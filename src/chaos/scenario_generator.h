@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Deterministic scenario generation: (CampaignSpec, seed) -> ChaosScenario.
+ *
+ * The generator models how real devices actually fail (correlated, not
+ * i.i.d.): faults arrive in bursts whose times follow a seeded Poisson-ish
+ * process, a burst may be a *storm* of several distinct classes sharing one
+ * window, burst starts can snap to application phase boundaries, and the
+ * overall intensity ramps over the campaign to model slow degradation.
+ * Identical (spec, seed) pairs produce byte-identical scenarios on every
+ * platform — the property the whole chaos pipeline (shrinking, crash
+ * bundles, CI smoke) rests on.
+ */
+#ifndef AEO_CHAOS_SCENARIO_GENERATOR_H_
+#define AEO_CHAOS_SCENARIO_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "chaos/scenario.h"
+#include "core/controller_state_machine.h"
+
+namespace aeo::chaos {
+
+/** Generates the scenario @p seed implies under @p spec. Deterministic. */
+ChaosScenario GenerateScenario(const CampaignSpec& spec, uint64_t seed);
+
+/**
+ * A chaos-shaped event sequence for ControllerStateMachine property tests:
+ * a seeded random walk of @p length events where each step is drawn from
+ * the events ActionFor() declares legal in the current state (so a correct
+ * machine must accept every step), biased toward the adversarial cycle of
+ * mismatch -> clamp -> watchdog -> probe. Deterministic in @p seed.
+ */
+std::vector<ControllerEvent> GenerateControllerEventStorm(
+    uint64_t seed, const StateMachineOptions& options, int length);
+
+}  // namespace aeo::chaos
+
+#endif  // AEO_CHAOS_SCENARIO_GENERATOR_H_

@@ -1,0 +1,70 @@
+#include "chaos/scenario_shrinker.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace aeo::chaos {
+
+namespace {
+
+/** The scenario with the actions at [begin, end) removed. */
+ChaosScenario
+WithoutRange(const ChaosScenario& scenario, size_t begin, size_t end)
+{
+    ChaosScenario candidate;
+    candidate.seed = scenario.seed;
+    candidate.actions.reserve(scenario.actions.size() - (end - begin));
+    for (size_t i = 0; i < scenario.actions.size(); ++i) {
+        if (i < begin || i >= end) {
+            candidate.actions.push_back(scenario.actions[i]);
+        }
+    }
+    return candidate;
+}
+
+}  // namespace
+
+ShrinkResult
+ShrinkScenario(const ChaosScenario& scenario, const ScenarioOracle& oracle)
+{
+    AEO_ASSERT(static_cast<bool>(oracle), "shrinker needs an oracle");
+
+    ShrinkResult result;
+    result.scenario = scenario;
+    ++result.probes;
+    result.failed_initially = oracle(scenario);
+    if (!result.failed_initially) {
+        return result;
+    }
+
+    // ddmin: remove chunks of size(current)/n while the failure survives;
+    // refine the granularity when no chunk removal reproduces it.
+    size_t n = 2;
+    while (result.scenario.actions.size() >= 2) {
+        const size_t size = result.scenario.actions.size();
+        const size_t chunk = (size + n - 1) / n;
+        bool reduced = false;
+        for (size_t begin = 0; begin < size; begin += chunk) {
+            const size_t end = std::min(begin + chunk, size);
+            ChaosScenario candidate =
+                WithoutRange(result.scenario, begin, end);
+            ++result.probes;
+            if (oracle(candidate)) {
+                result.scenario = std::move(candidate);
+                n = std::max<size_t>(n - 1, 2);
+                reduced = true;
+                break;
+            }
+        }
+        if (!reduced) {
+            if (n >= size) {
+                break;  // 1-minimal: no single action is removable.
+            }
+            n = std::min(n * 2, size);
+        }
+    }
+    return result;
+}
+
+}  // namespace aeo::chaos

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Automatic failure minimization: delta-debugs a failing chaos scenario
+ * down to a minimal reproducing fault list.
+ *
+ * The shrinker is oracle-driven: the caller supplies a predicate that runs
+ * a candidate scenario (typically RunCampaign + "any monitor violated?")
+ * and the shrinker applies the classic ddmin strategy over the action
+ * list — removing ever-finer chunks while the failure reproduces. The
+ * result is 1-minimal per chunk granularity: removing any single surviving
+ * action makes the failure disappear.
+ *
+ * Shrinking is fully deterministic: candidate order is a pure function of
+ * the input scenario, so the same failing campaign always minimizes to the
+ * same fault list with the same number of oracle probes.
+ */
+#ifndef AEO_CHAOS_SCENARIO_SHRINKER_H_
+#define AEO_CHAOS_SCENARIO_SHRINKER_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "chaos/scenario.h"
+
+namespace aeo::chaos {
+
+/** Returns true when @p scenario still reproduces the failure. */
+using ScenarioOracle = std::function<bool(const ChaosScenario&)>;
+
+/** Outcome of a shrink run. */
+struct ShrinkResult {
+    /** The minimized scenario (== input when the input did not fail). */
+    ChaosScenario scenario;
+    /** Whether the *input* scenario failed the oracle at all. */
+    bool failed_initially = false;
+    /** Oracle invocations spent (including the initial check). */
+    uint64_t probes = 0;
+};
+
+/**
+ * Minimizes @p scenario against @p oracle with ddmin over the action list.
+ *
+ * The oracle must be deterministic; it is first consulted on the unmodified
+ * scenario, and if that does not fail the input is returned untouched with
+ * failed_initially = false.
+ */
+ShrinkResult ShrinkScenario(const ChaosScenario& scenario,
+                            const ScenarioOracle& oracle);
+
+}  // namespace aeo::chaos
+
+#endif  // AEO_CHAOS_SCENARIO_SHRINKER_H_

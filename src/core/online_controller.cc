@@ -195,16 +195,20 @@ OnlineController::Reengage()
 }
 
 void
-OnlineController::ConsumeDeliveries(double measured_gips,
-                                    Milliwatts measured_power_mw,
-                                    bool measurement_plausible)
+OnlineController::AddCycleObserver(CycleObserver observer)
+{
+    AEO_ASSERT(observer != nullptr, "cycle observer must be callable");
+    cycle_observers_.push_back(std::move(observer));
+}
+
+void
+OnlineController::ConsumeDeliveries(
+    const std::vector<platform::DwellDelivery>& deliveries,
+    double measured_gips, Milliwatts measured_power_mw,
+    bool measurement_plausible)
 {
     using platform::DwellDelivery;
     constexpr int kNoCap = platform::kNoCapLevel;
-
-    // Copy: Apply() later this cycle clears the actuator's records.
-    const std::vector<DwellDelivery> deliveries =
-        platform_->actuator().cycle_deliveries();
 
     // --- Clamp learning from read-back mismatches -------------------------
     if (config_.readback_verification) {
@@ -404,7 +408,12 @@ OnlineController::RunCycle()
     // (1b) Verify: what did the device actually run last cycle? Learn caps
     // from read-back mismatches and feed the drift detector, then re-derive
     // the feasible set under the kernel's advertised frequency ceiling.
-    ConsumeDeliveries(window.avg_gips, measured_power_mw, plausible);
+    // (Copied: Apply() later this cycle clears the actuator's records, and
+    // the cycle observers see the same snapshot.)
+    const std::vector<platform::DwellDelivery> deliveries =
+        platform_->actuator().cycle_deliveries();
+    ConsumeDeliveries(deliveries, window.avg_gips, measured_power_mw,
+                      plausible);
     const int policy_cap = config_.readback_verification
                                ? platform_->thermals().ReadCpuCapLevel()
                                : platform::kNoCapLevel;
@@ -482,6 +491,12 @@ OnlineController::RunCycle()
     if (platform_->actuator().consecutive_failed_applies() >=
         config_.watchdog_threshold) {
         EngageFallback(ControllerEvent::kWatchdogTrip);
+    }
+
+    // Observers run last so they see the cycle's full effect, including a
+    // watchdog trip this cycle caused.
+    for (const CycleObserver& observer : cycle_observers_) {
+        observer(record, deliveries);
     }
 }
 

@@ -40,6 +40,7 @@
 #ifndef AEO_CORE_ONLINE_CONTROLLER_H_
 #define AEO_CORE_ONLINE_CONTROLLER_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <vector>
@@ -165,6 +166,20 @@ class OnlineController {
                      ControllerConfig config);
 
     /**
+     * Observer invoked at the end of every completed control cycle with the
+     * cycle's record and the delivery read-backs it was derived from. The
+     * seam external harnesses (e.g. chaos invariant monitors) watch the
+     * loop through without widening the controller API; observers must not
+     * reentrantly drive the controller.
+     */
+    using CycleObserver = std::function<void(
+        const ControlCycleRecord& record,
+        const std::vector<platform::DwellDelivery>& deliveries)>;
+
+    /** Attaches @p observer; observers run in attachment order. */
+    void AddCycleObserver(CycleObserver observer);
+
+    /**
      * Takes over the device: switches the governors to userspace (bandwidth
      * only when the table controls it), starts perf sampling, applies the
      * initial schedule and begins the control cycle.
@@ -247,8 +262,10 @@ class OnlineController {
 
     /** Consumes the elapsed cycle's delivery records: learns caps from
      * read-back mismatches and feeds the drift detector. */
-    void ConsumeDeliveries(double measured_gips, Milliwatts measured_power_mw,
-                           bool measurement_plausible);
+    void ConsumeDeliveries(
+        const std::vector<platform::DwellDelivery>& deliveries,
+        double measured_gips, Milliwatts measured_power_mw,
+        bool measurement_plausible);
 
     /** Rebuilds (or retires) the masked + drift-corrected working table
      * under the given caps. Returns false when the reachable set is empty. */
@@ -264,6 +281,7 @@ class OnlineController {
     PeriodicTask cycle_task_;
     PeriodicTask probe_task_;
     std::vector<ControlCycleRecord> history_;
+    std::vector<CycleObserver> cycle_observers_;
     bool controls_bandwidth_;
     bool controls_gpu_;
     /** Original row index per configuration (for drift attribution). */

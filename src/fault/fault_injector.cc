@@ -1,5 +1,6 @@
 #include "fault/fault_injector.h"
 
+#include <iterator>
 #include <utility>
 
 #include "common/logging.h"
@@ -37,7 +38,7 @@ operator==(const FaultEvent& a, const FaultEvent& b)
 
 FaultInjector::FaultInjector(uint64_t seed) : rng_(seed) {}
 
-void
+int
 FaultInjector::AddRule(FaultRule rule)
 {
     AEO_ASSERT(!rule.path_prefix.empty(), "fault rule needs a path prefix");
@@ -55,12 +56,23 @@ FaultInjector::AddRule(FaultRule rule)
                "silent clamp factor for '%s' out of (0, 1]",
                rule.path_prefix.c_str());
     rules_.push_back(std::move(rule));
+    rule_active_.push_back(1);
+    return static_cast<int>(rules_.size()) - 1;
+}
+
+void
+FaultInjector::RemoveRule(int handle)
+{
+    if (handle >= 0 && handle < static_cast<int>(rule_active_.size())) {
+        rule_active_[static_cast<size_t>(handle)] = 0;
+    }
 }
 
 void
 FaultInjector::Clear()
 {
     rules_.clear();
+    rule_active_.clear();
     sticky_.clear();
     gone_.clear();
 }
@@ -91,6 +103,17 @@ FaultInjector::Repair(const std::string& path)
 }
 
 void
+FaultInjector::RepairPrefix(const std::string& prefix)
+{
+    for (auto it = sticky_.begin(); it != sticky_.end();) {
+        it = StartsWith(it->first, prefix) ? sticky_.erase(it) : std::next(it);
+    }
+    for (auto it = gone_.begin(); it != gone_.end();) {
+        it = StartsWith(*it, prefix) ? gone_.erase(it) : std::next(it);
+    }
+}
+
+void
 FaultInjector::RepairAll()
 {
     sticky_.clear();
@@ -116,14 +139,20 @@ FaultInjector::Decide(const std::string& path, bool is_write)
         return decision;
     }
 
+    // First active, unspent prefix match wins. Removed rules and rules with
+    // an exhausted max_triggers budget are skipped entirely so an
+    // overlapping later rule on the same node still applies.
     FaultRule* rule = nullptr;
-    for (FaultRule& candidate : rules_) {
-        if (StartsWith(path, candidate.path_prefix)) {
-            rule = &candidate;
+    for (size_t i = 0; i < rules_.size(); ++i) {
+        if (rule_active_[i] == 0 || rules_[i].max_triggers == 0) {
+            continue;
+        }
+        if (StartsWith(path, rules_[i].path_prefix)) {
+            rule = &rules_[i];
             break;
         }
     }
-    if (rule == nullptr || rule->max_triggers == 0) {
+    if (rule == nullptr) {
         return decision;
     }
 

@@ -120,9 +120,18 @@ class FaultInjector {
     /** @param seed Seed for the decision stream. */
     explicit FaultInjector(uint64_t seed);
 
-    /** Adds a failure mode; rules are consulted in insertion order and the
-     * first prefix match wins. */
-    void AddRule(FaultRule rule);
+    /**
+     * Adds a failure mode; rules are consulted in insertion order and the
+     * first *active* prefix match wins — a removed rule or one whose
+     * max_triggers budget is spent no longer shadows later rules on the
+     * same node. Returns a handle for RemoveRule(); handles stay valid
+     * until Clear().
+     */
+    int AddRule(FaultRule rule);
+
+    /** Deactivates the rule behind @p handle (latched state is kept; use
+     * Repair()/RepairPrefix() to clear it). No-op on a stale handle. */
+    void RemoveRule(int handle);
 
     /** Drops all rules and latched state (the trace is kept). */
     void Clear();
@@ -139,7 +148,11 @@ class FaultInjector {
     /** Clears sticky/disappeared state latched for @p path. */
     void Repair(const std::string& path);
 
-    /** Clears all sticky/disappeared state. */
+    /** Clears sticky/disappeared state for every path under @p prefix. */
+    void RepairPrefix(const std::string& prefix);
+
+    /** Clears all sticky/disappeared state. Spent max_triggers budgets are
+     * NOT restored: repair heals the node, not the rule. */
     void RepairAll();
 
     /** Operations consulted so far (clean ones included). */
@@ -158,6 +171,8 @@ class FaultInjector {
 
     Rng rng_;
     std::vector<FaultRule> rules_;
+    /** Parallel to rules_: false once RemoveRule() retired the rule. */
+    std::vector<char> rule_active_;
     /** Paths whose sticky failure has latched, with the latched error. */
     std::map<std::string, FaultErrc> sticky_;
     /** Paths that have disappeared. */

@@ -56,6 +56,8 @@ struct ActuationStats {
     uint64_t silent_clamps = 0;
     /** Read-backs that themselves failed, leaving the write unverified. */
     uint64_t readback_failures = 0;
+    /** Recovery probes of the actuation path (after a watchdog fallback). */
+    uint64_t probes = 0;
 };
 
 /** Requested-vs-delivered outcome of one subsystem write. */

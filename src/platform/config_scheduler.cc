@@ -214,6 +214,7 @@ ConfigScheduler::ResetFailureTracking()
 bool
 ConfigScheduler::ProbeActuationPath()
 {
+    ++stats_.probes;
     // Under a stock governor scaling_setspeed rejects the value with EINVAL
     // — that still proves the path is alive; transport-level errors
     // (EIO/EBUSY/ENOENT) prove it is not. "0" is harmless even if a

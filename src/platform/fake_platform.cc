@@ -36,6 +36,7 @@ bool
 FakeActuator::ProbeActuationPath()
 {
     ++probe_count_;
+    ++stats_.probes;
     if (probe_results_.empty()) {
         return true;
     }

@@ -1,0 +1,119 @@
+/** ddmin shrinking: minimality, determinism, non-failing inputs. */
+#include "chaos/scenario_shrinker.h"
+
+#include <algorithm>
+
+#include "gtest/gtest.h"
+
+namespace aeo::chaos {
+namespace {
+
+ChaosScenario
+ScenarioOf(std::initializer_list<FaultClass> classes)
+{
+    ChaosScenario scenario;
+    scenario.seed = 17;
+    double start = 0.0;
+    for (const FaultClass cls : classes) {
+        ScenarioAction action;
+        action.cls = cls;
+        action.start_s = start;
+        start += 5.0;
+        scenario.actions.push_back(action);
+    }
+    return scenario;
+}
+
+size_t
+CountOf(const ChaosScenario& scenario, FaultClass cls)
+{
+    return static_cast<size_t>(
+        std::count_if(scenario.actions.begin(), scenario.actions.end(),
+                      [cls](const ScenarioAction& action) {
+                          return action.cls == cls;
+                      }));
+}
+
+TEST(ScenarioShrinkerTest, ShrinksToSingleCulpritAction)
+{
+    const ChaosScenario scenario = ScenarioOf(
+        {FaultClass::kActuationBusy, FaultClass::kPmuDrop,
+         FaultClass::kMeterDrop, FaultClass::kThermalCap,
+         FaultClass::kSilentClamp, FaultClass::kActuationSticky,
+         FaultClass::kPathDisappear, FaultClass::kActuationBusy});
+    // "Fails" iff a thermal-cap action survives.
+    const auto oracle = [](const ChaosScenario& candidate) {
+        return CountOf(candidate, FaultClass::kThermalCap) > 0;
+    };
+    const ShrinkResult result = ShrinkScenario(scenario, oracle);
+    EXPECT_TRUE(result.failed_initially);
+    ASSERT_EQ(result.scenario.actions.size(), 1u);
+    EXPECT_EQ(result.scenario.actions[0].cls, FaultClass::kThermalCap);
+    EXPECT_EQ(result.scenario.seed, scenario.seed);
+}
+
+TEST(ScenarioShrinkerTest, KeepsInteractingPair)
+{
+    const ChaosScenario scenario = ScenarioOf(
+        {FaultClass::kActuationBusy, FaultClass::kPmuDrop,
+         FaultClass::kMeterDrop, FaultClass::kThermalCap,
+         FaultClass::kSilentClamp, FaultClass::kActuationSticky});
+    // Fails only when BOTH the pmu-drop and the meter-drop survive.
+    const auto oracle = [](const ChaosScenario& candidate) {
+        return CountOf(candidate, FaultClass::kPmuDrop) > 0 &&
+               CountOf(candidate, FaultClass::kMeterDrop) > 0;
+    };
+    const ShrinkResult result = ShrinkScenario(scenario, oracle);
+    EXPECT_TRUE(result.failed_initially);
+    ASSERT_EQ(result.scenario.actions.size(), 2u);
+    EXPECT_EQ(CountOf(result.scenario, FaultClass::kPmuDrop), 1u);
+    EXPECT_EQ(CountOf(result.scenario, FaultClass::kMeterDrop), 1u);
+}
+
+TEST(ScenarioShrinkerTest, NonFailingInputReturnsUntouched)
+{
+    const ChaosScenario scenario =
+        ScenarioOf({FaultClass::kActuationBusy, FaultClass::kPmuDrop});
+    const ShrinkResult result = ShrinkScenario(
+        scenario, [](const ChaosScenario&) { return false; });
+    EXPECT_FALSE(result.failed_initially);
+    EXPECT_EQ(result.scenario.actions.size(), 2u);
+    EXPECT_EQ(result.probes, 1u);  // only the initial check
+}
+
+TEST(ScenarioShrinkerTest, DeterministicProbeCount)
+{
+    const ChaosScenario scenario = ScenarioOf(
+        {FaultClass::kActuationBusy, FaultClass::kPmuDrop,
+         FaultClass::kMeterDrop, FaultClass::kThermalCap,
+         FaultClass::kSilentClamp, FaultClass::kActuationSticky,
+         FaultClass::kPathDisappear});
+    const auto oracle = [](const ChaosScenario& candidate) {
+        return CountOf(candidate, FaultClass::kSilentClamp) > 0;
+    };
+    const ShrinkResult a = ShrinkScenario(scenario, oracle);
+    const ShrinkResult b = ShrinkScenario(scenario, oracle);
+    EXPECT_EQ(a.probes, b.probes);
+    EXPECT_EQ(a.scenario.actions.size(), b.scenario.actions.size());
+    ASSERT_EQ(a.scenario.actions.size(), 1u);
+}
+
+TEST(ScenarioShrinkerTest, PreservesActionOrderOfSurvivors)
+{
+    const ChaosScenario scenario = ScenarioOf(
+        {FaultClass::kMeterDrop, FaultClass::kActuationBusy,
+         FaultClass::kPmuDrop, FaultClass::kThermalCap});
+    const auto oracle = [](const ChaosScenario& candidate) {
+        return CountOf(candidate, FaultClass::kMeterDrop) > 0 &&
+               CountOf(candidate, FaultClass::kThermalCap) > 0;
+    };
+    const ShrinkResult result = ShrinkScenario(scenario, oracle);
+    ASSERT_EQ(result.scenario.actions.size(), 2u);
+    EXPECT_EQ(result.scenario.actions[0].cls, FaultClass::kMeterDrop);
+    EXPECT_EQ(result.scenario.actions[1].cls, FaultClass::kThermalCap);
+    EXPECT_LT(result.scenario.actions[0].start_s,
+              result.scenario.actions[1].start_s);
+}
+
+}  // namespace
+}  // namespace aeo::chaos

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tests for the minimal JSON library: strict parsing with positioned
+ * errors, value accessors, and — the property the chaos crash bundles
+ * depend on — byte-identical Dump output across a parse/serialize
+ * round-trip.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/json.h"
+
+namespace aeo {
+namespace {
+
+TEST(JsonTest, ParsesScalars)
+{
+    EXPECT_TRUE(ParseJson("null").value.is_null());
+    EXPECT_TRUE(ParseJson("true").value.AsBool());
+    EXPECT_FALSE(ParseJson("false").value.AsBool());
+    EXPECT_DOUBLE_EQ(ParseJson("-2.5e3").value.AsDouble(), -2500.0);
+    EXPECT_EQ(ParseJson("\"hi\\nthere\"").value.AsString(), "hi\nthere");
+}
+
+TEST(JsonTest, ParsesNestedStructures)
+{
+    const JsonParseResult result = ParseJson(
+        "{\"seed\": 42, \"actions\": [{\"cls\": \"busy\", \"p\": 0.25}],"
+        " \"ok\": true}");
+    ASSERT_TRUE(result.ok) << result.error;
+    const JsonValue& doc = result.value;
+    EXPECT_EQ(doc.At("seed").AsUint64(), 42u);
+    ASSERT_EQ(doc.At("actions").items().size(), 1u);
+    EXPECT_EQ(doc.At("actions").items()[0].GetString("cls", ""), "busy");
+    EXPECT_DOUBLE_EQ(doc.At("actions").items()[0].GetDouble("p", 0.0), 0.25);
+    EXPECT_TRUE(doc.GetBool("ok", false));
+    EXPECT_FALSE(doc.Has("missing"));
+    EXPECT_DOUBLE_EQ(doc.GetDouble("missing", 7.0), 7.0);
+}
+
+TEST(JsonTest, ReportsErrorsWithLineAndColumn)
+{
+    const JsonParseResult trailing = ParseJson("{} x");
+    EXPECT_FALSE(trailing.ok);
+    EXPECT_NE(trailing.error.find("line 1, column 4"), std::string::npos)
+        << trailing.error;
+
+    const JsonParseResult comma = ParseJson("[1,\n 2,]");
+    EXPECT_FALSE(comma.ok);
+    EXPECT_NE(comma.error.find("line 2"), std::string::npos) << comma.error;
+
+    EXPECT_FALSE(ParseJson("").ok);
+    EXPECT_FALSE(ParseJson("{\"a\" 1}").ok);
+    EXPECT_FALSE(ParseJson("\"unterminated").ok);
+    EXPECT_FALSE(ParseJson("nul").ok);
+}
+
+TEST(JsonTest, ObjectKeysKeepInsertionOrder)
+{
+    JsonValue doc = JsonValue::MakeObject();
+    doc.Set("zulu", 1);
+    doc.Set("alpha", 2);
+    doc.Set("zulu", 3);  // Replaces in place, keeps first-set position.
+    EXPECT_EQ(doc.Dump(), "{\"zulu\":3,\"alpha\":2}");
+}
+
+TEST(JsonTest, DumpRoundTripsByteIdentically)
+{
+    JsonValue doc = JsonValue::MakeObject();
+    doc.Set("seed", static_cast<uint64_t>(1234567890123ull));
+    doc.Set("rate", 0.1);
+    doc.Set("neg", -42);
+    JsonValue actions = JsonValue::MakeArray();
+    actions.Append("a/b\"c");
+    actions.Append(JsonValue());
+    actions.Append(true);
+    doc.Set("actions", std::move(actions));
+
+    const std::string compact = doc.Dump();
+    const JsonParseResult reparsed = ParseJson(compact);
+    ASSERT_TRUE(reparsed.ok) << reparsed.error;
+    EXPECT_EQ(reparsed.value.Dump(), compact);
+
+    const std::string pretty = doc.Dump(2);
+    const JsonParseResult repretty = ParseJson(pretty);
+    ASSERT_TRUE(repretty.ok) << repretty.error;
+    EXPECT_EQ(repretty.value.Dump(2), pretty);
+    EXPECT_EQ(repretty.value.Dump(), compact);
+}
+
+TEST(JsonTest, NumbersPrintShortestRoundTrip)
+{
+    EXPECT_EQ(JsonValue(0.1).Dump(), "0.1");
+    EXPECT_EQ(JsonValue(1.0).Dump(), "1");
+    EXPECT_EQ(JsonValue(-0.25).Dump(), "-0.25");
+    EXPECT_EQ(JsonValue(1e21).Dump(), "1e+21");
+    // 2^53 - 1: the largest integer the library guarantees exact.
+    EXPECT_EQ(JsonValue(static_cast<uint64_t>(9007199254740991ull)).Dump(),
+              "9007199254740991");
+}
+
+TEST(JsonTest, UnicodeEscapesDecodeToUtf8)
+{
+    const JsonParseResult result = ParseJson("\"a\\u00e9b\"");
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.value.AsString(),
+              "a\xc3\xa9"
+              "b");
+    EXPECT_FALSE(ParseJson("\"\\u00zz\"").ok);
+}
+
+}  // namespace
+}  // namespace aeo

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Pins the FaultInjector edge cases the chaos engine leans on: rule
+ * lifecycle (handles, removal, prefix repair), the max_triggers budget
+ * surviving RepairAll, and overlapping rules on one sysfs node applying
+ * in registration order once earlier rules are spent or removed.
+ */
+#include "fault/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+namespace aeo {
+namespace {
+
+FaultRule
+AlwaysRule(const std::string& prefix, FaultErrc errc)
+{
+    FaultRule rule;
+    rule.path_prefix = prefix;
+    rule.fail_probability = 1.0;
+    rule.errc = errc;
+    return rule;
+}
+
+TEST(FaultRuleEdgeTest, AddRuleReturnsSequentialHandles)
+{
+    FaultInjector injector(1);
+    EXPECT_EQ(injector.AddRule(AlwaysRule("/sys/a", FaultErrc::kBusy)), 0);
+    EXPECT_EQ(injector.AddRule(AlwaysRule("/sys/b", FaultErrc::kIo)), 1);
+    injector.Clear();
+    EXPECT_EQ(injector.AddRule(AlwaysRule("/sys/c", FaultErrc::kBusy)), 0);
+}
+
+TEST(FaultRuleEdgeTest, RepairAllDoesNotResurrectSpentTriggers)
+{
+    FaultInjector injector(3);
+    FaultRule rule = AlwaysRule("/sys/flaky", FaultErrc::kBusy);
+    rule.duration = FaultDuration::kSticky;
+    rule.max_triggers = 1;
+    injector.AddRule(rule);
+
+    // The single budgeted trigger fires and latches the node.
+    EXPECT_EQ(injector.OnWrite("/sys/flaky/node").errc, FaultErrc::kBusy);
+    EXPECT_EQ(injector.OnWrite("/sys/flaky/node").errc, FaultErrc::kBusy);
+
+    // Repair heals the node but must not refill the rule's budget.
+    injector.RepairAll();
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_TRUE(injector.OnWrite("/sys/flaky/node").ok()) << i;
+    }
+}
+
+TEST(FaultRuleEdgeTest, OverlappingRulesApplyInRegistrationOrder)
+{
+    FaultInjector injector(5);
+    injector.AddRule(AlwaysRule("/sys/node", FaultErrc::kBusy));
+    injector.AddRule(AlwaysRule("/sys/node", FaultErrc::kIo));
+    // Both rules cover the path; the earlier registration wins.
+    EXPECT_EQ(injector.OnWrite("/sys/node/x").errc, FaultErrc::kBusy);
+}
+
+TEST(FaultRuleEdgeTest, SpentRuleDoesNotShadowLaterOverlappingRule)
+{
+    FaultInjector injector(7);
+    FaultRule first = AlwaysRule("/sys/node", FaultErrc::kBusy);
+    first.max_triggers = 1;
+    injector.AddRule(first);
+    injector.AddRule(AlwaysRule("/sys/node", FaultErrc::kIo));
+
+    // First op consumes the first rule's budget...
+    EXPECT_EQ(injector.OnWrite("/sys/node/x").errc, FaultErrc::kBusy);
+    // ...after which the second rule takes over instead of the spent rule
+    // swallowing the match and reporting a clean node.
+    EXPECT_EQ(injector.OnWrite("/sys/node/x").errc, FaultErrc::kIo);
+    EXPECT_EQ(injector.OnRead("/sys/node/x").errc, FaultErrc::kIo);
+}
+
+TEST(FaultRuleEdgeTest, RemovedRuleStopsFiringButKeepsLatchedState)
+{
+    FaultInjector injector(11);
+    FaultRule rule = AlwaysRule("/sys/node", FaultErrc::kPerm);
+    rule.duration = FaultDuration::kSticky;
+    const int handle = injector.AddRule(rule);
+
+    EXPECT_EQ(injector.OnWrite("/sys/node/x").errc, FaultErrc::kPerm);
+    injector.RemoveRule(handle);
+
+    // The latch made by the rule survives its removal...
+    EXPECT_EQ(injector.OnWrite("/sys/node/x").errc, FaultErrc::kPerm);
+    // ...but un-latched paths under the prefix are clean again.
+    EXPECT_TRUE(injector.OnWrite("/sys/node/y").ok());
+
+    injector.Repair("/sys/node/x");
+    EXPECT_TRUE(injector.OnWrite("/sys/node/x").ok());
+    // Stale handles are ignored rather than hitting a neighbour.
+    injector.RemoveRule(99);
+    injector.RemoveRule(-1);
+}
+
+TEST(FaultRuleEdgeTest, RemovedRuleUnmasksLaterOverlappingRule)
+{
+    FaultInjector injector(13);
+    const int busy = injector.AddRule(AlwaysRule("/sys/node", FaultErrc::kBusy));
+    injector.AddRule(AlwaysRule("/sys/node", FaultErrc::kIo));
+
+    EXPECT_EQ(injector.OnWrite("/sys/node/x").errc, FaultErrc::kBusy);
+    injector.RemoveRule(busy);
+    EXPECT_EQ(injector.OnWrite("/sys/node/x").errc, FaultErrc::kIo);
+}
+
+TEST(FaultRuleEdgeTest, RepairPrefixHealsOnlyMatchingPaths)
+{
+    FaultInjector injector(17);
+    FaultRule cpu = AlwaysRule("/sys/cpu", FaultErrc::kBusy);
+    cpu.duration = FaultDuration::kSticky;
+    cpu.max_triggers = 1;
+    injector.AddRule(cpu);
+    FaultRule gpu;
+    gpu.path_prefix = "/sys/gpu";
+    gpu.disappear_probability = 1.0;
+    gpu.max_triggers = 1;
+    injector.AddRule(gpu);
+
+    EXPECT_EQ(injector.OnWrite("/sys/cpu/freq").errc, FaultErrc::kBusy);
+    EXPECT_EQ(injector.OnRead("/sys/gpu/clk").errc, FaultErrc::kNoEnt);
+    EXPECT_TRUE(injector.IsGone("/sys/gpu/clk"));
+
+    injector.RepairPrefix("/sys/cpu");
+    EXPECT_TRUE(injector.OnWrite("/sys/cpu/freq").ok());
+    // The gpu latch is outside the repaired prefix and stays down.
+    EXPECT_EQ(injector.OnRead("/sys/gpu/clk").errc, FaultErrc::kNoEnt);
+
+    injector.RepairPrefix("/sys/gpu");
+    EXPECT_FALSE(injector.IsGone("/sys/gpu/clk"));
+    EXPECT_TRUE(injector.OnRead("/sys/gpu/clk").ok());
+}
+
+}  // namespace
+}  // namespace aeo

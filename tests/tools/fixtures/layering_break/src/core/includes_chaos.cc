@@ -1,0 +1,2 @@
+// Upward include: the product must not know its chaos harness exists.
+#include "chaos/campaign.h"

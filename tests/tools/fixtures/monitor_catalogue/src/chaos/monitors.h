@@ -1,0 +1,11 @@
+#ifndef MONITORS_H_
+#define MONITORS_H_
+namespace aeo::chaos {
+class InvariantMonitor {
+  public:
+    virtual ~InvariantMonitor() = default;
+};
+class TestedMonitor final : public InvariantMonitor {};
+class UntestedMonitor final : public InvariantMonitor {};
+}  // namespace aeo::chaos
+#endif

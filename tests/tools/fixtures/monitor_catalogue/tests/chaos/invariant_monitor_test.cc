@@ -1,0 +1,3 @@
+#include "chaos/monitors.h"
+// UntestedMonitor is only named in this comment, which must not count.
+static aeo::chaos::TestedMonitor tested;

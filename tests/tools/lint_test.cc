@@ -57,6 +57,11 @@ TEST(AeoLintTest, LayeringBreaksAreReportedAtTheIncludeLine)
     EXPECT_TRUE(
         HasFinding(findings, "layering", "src/core/includes_kernel.cc", 2))
         << Dump(findings);
+    // core reaching UP into chaos: the product must not include its chaos
+    // harness.
+    EXPECT_TRUE(
+        HasFinding(findings, "layering", "src/core/includes_chaos.cc", 2))
+        << Dump(findings);
     // core naming Device outside the harness seam (both mentions).
     EXPECT_TRUE(
         HasFinding(findings, "layering", "src/core/names_device.cc", 3))
@@ -64,7 +69,7 @@ TEST(AeoLintTest, LayeringBreaksAreReportedAtTheIncludeLine)
     EXPECT_TRUE(
         HasFinding(findings, "layering", "src/core/names_device.cc", 4))
         << Dump(findings);
-    EXPECT_EQ(findings.size(), 4u) << Dump(findings);
+    EXPECT_EQ(findings.size(), 5u) << Dump(findings);
 }
 
 TEST(AeoLintTest, InlineSysfsLiteralIsReported)
@@ -118,6 +123,18 @@ TEST(AeoLintTest, JustifiedAllowSuppressesAndBareAllowIsAFinding)
         HasFinding(findings, "sysfs-literal", "src/apps/bad_allow.cc", 5))
         << Dump(findings);
     EXPECT_EQ(findings.size(), 2u) << Dump(findings);
+}
+
+TEST(AeoLintTest, UntestedInvariantMonitorSubclassIsReported)
+{
+    const std::vector<Finding> findings = LintFixture("monitor_catalogue");
+    // TestedMonitor is named in the catalogue suite's code; UntestedMonitor
+    // only in a comment there, which is stripped before matching. The base
+    // class declaration itself is not a finding.
+    ASSERT_EQ(findings.size(), 1u) << Dump(findings);
+    EXPECT_TRUE(HasFinding(findings, "monitor-catalogue",
+                           "src/chaos/monitors.h", 9))
+        << Dump(findings);
 }
 
 TEST(AeoLintTest, StripSourceSeparatesCodeCommentsAndStrings)

@@ -181,8 +181,10 @@ struct SourceFile {
  * The include-layering contract (DESIGN.md §11): each src/ directory may
  * include only from the listed directories. This is the one-way DAG
  * common → {sim,stats,lp,control} → {fault,soc} → {power,kernel,apps}
- * → device → platform → core, with core's device access further restricted
- * to the profiling-harness seam files below.
+ * → device → platform → core → chaos, with core's device access further
+ * restricted to the profiling-harness seam files below. The chaos layer
+ * sits on top and may see everything; nothing below it may include it —
+ * the product must not know its chaos harness exists.
  */
 const std::map<std::string, std::set<std::string>>&
 AllowedIncludes()
@@ -207,6 +209,9 @@ AllowedIncludes()
         {"core",
          {"common", "sim", "stats", "lp", "control", "soc", "fault", "power",
           "apps", "platform", "core"}},
+        {"chaos",
+         {"common", "sim", "stats", "lp", "control", "soc", "fault", "power",
+          "kernel", "apps", "device", "platform", "core", "chaos"}},
     };
     return kAllowed;
 }
@@ -229,8 +234,8 @@ IsCoreDeviceSeam(const std::string& rel_path)
 bool
 UnitRuleApplies(const std::string& layer)
 {
-    static const std::set<std::string> kLayers = {"common", "soc", "core",
-                                                  "device", "platform"};
+    static const std::set<std::string> kLayers = {
+        "common", "soc", "core", "device", "platform", "chaos"};
     return kLayers.count(layer) > 0;
 }
 
@@ -314,7 +319,7 @@ CheckLayering(const SourceFile& file, std::vector<Finding>* findings)
                        "src/" + layer + " must not include src/" + target +
                            " (include DAG: common -> sim/stats/lp/control -> "
                            "fault/soc -> power/kernel/apps -> device -> "
-                           "platform -> core)");
+                           "platform -> core -> chaos)");
         }
     }
 
@@ -429,6 +434,112 @@ CheckUnitLiterals(const SourceFile& file, std::vector<Finding>* findings)
                            "`; wrap it in the tagged unit constructor "
                            "(KHz/MBps/Milliwatts/Millis) from "
                            "common/units.h");
+        }
+    }
+}
+
+/** The behavioural catalogue suite the monitor-catalogue rule checks
+ * against: every runtime invariant monitor must be exercised here. */
+constexpr const char kMonitorCataloguePath[] =
+    "tests/chaos/invariant_monitor_test.cc";
+
+/** Finds `class <Name> ... : public InvariantMonitor` declarations in the
+ * stripped code of @p file, as (name, line of the class head). */
+std::vector<std::pair<std::string, int>>
+FindMonitorSubclasses(const SourceFile& file)
+{
+    std::vector<std::pair<std::string, int>> found;
+    const std::string& code = file.stripped.code;
+    static const std::string kBase = "InvariantMonitor";
+    size_t pos = 0;
+    while ((pos = code.find(kBase, pos)) != std::string::npos) {
+        const size_t end = pos + kBase.size();
+        const bool bounded =
+            (pos == 0 || !IsIdentChar(code[pos - 1])) &&
+            (end >= code.size() || !IsIdentChar(code[end]));
+        if (!bounded) {
+            pos = end;
+            continue;
+        }
+        // A base-specifier: the previous token must be `public`.
+        size_t p = pos;
+        while (p > 0 &&
+               std::isspace(static_cast<unsigned char>(code[p - 1])) != 0) {
+            --p;
+        }
+        if (p < 6 || code.compare(p - 6, 6, "public") != 0 ||
+            (p > 6 && IsIdentChar(code[p - 7]))) {
+            pos = end;
+            continue;
+        }
+        // Walk back to the class head; a brace or semicolon in between
+        // means `public InvariantMonitor` was something else entirely.
+        const size_t head = code.rfind("class", p - 6);
+        bool is_decl = head != std::string::npos &&
+                       (head == 0 || !IsIdentChar(code[head - 1]));
+        for (size_t i = head + 5; is_decl && i < p - 6; ++i) {
+            if (code[i] == '{' || code[i] == '}' || code[i] == ';') {
+                is_decl = false;
+            }
+        }
+        if (!is_decl) {
+            pos = end;
+            continue;
+        }
+        size_t name_begin = head + 5;
+        while (name_begin < code.size() &&
+               std::isspace(static_cast<unsigned char>(code[name_begin])) !=
+                   0) {
+            ++name_begin;
+        }
+        size_t name_end = name_begin;
+        while (name_end < code.size() && IsIdentChar(code[name_end])) {
+            ++name_end;
+        }
+        const std::string name =
+            code.substr(name_begin, name_end - name_begin);
+        if (!name.empty() && name != kBase) {
+            const int line = 1 + static_cast<int>(std::count(
+                                     code.begin(),
+                                     code.begin() +
+                                         static_cast<ptrdiff_t>(head),
+                                     '\n'));
+            found.emplace_back(name, line);
+        }
+        pos = end;
+    }
+    return found;
+}
+
+/** Rule `monitor-catalogue`: every InvariantMonitor subclass declared under
+ * src/ must appear — by class name, in code, not comments — in the
+ * catalogue suite, so a new runtime monitor cannot ship without a
+ * behavioural test. */
+void
+CheckMonitorCatalogue(const SourceFile& file,
+                      const std::string& catalogue_code,
+                      std::vector<Finding>* findings)
+{
+    for (const auto& [name, line] : FindMonitorSubclasses(file)) {
+        bool tested = false;
+        size_t pos = 0;
+        while ((pos = catalogue_code.find(name, pos)) != std::string::npos) {
+            const size_t end = pos + name.size();
+            if ((pos == 0 || !IsIdentChar(catalogue_code[pos - 1])) &&
+                (end >= catalogue_code.size() ||
+                 !IsIdentChar(catalogue_code[end]))) {
+                tested = true;
+                break;
+            }
+            pos = end;
+        }
+        if (!tested) {
+            AddFinding(findings, file, line, "monitor-catalogue",
+                       "InvariantMonitor subclass `" + name +
+                           "` is never exercised in " +
+                           std::string(kMonitorCataloguePath) +
+                           "; every runtime monitor needs a behavioural "
+                           "test in the catalogue suite");
         }
     }
 }
@@ -607,12 +718,21 @@ RunLint(const LintOptions& options)
     const fs::path root(options.root);
     std::vector<Finding> findings;
 
+    // The monitor-catalogue rule compares src/ declarations against the
+    // catalogue suite; when the suite is absent every subclass is untested.
+    std::string catalogue_code;
+    if (fs::exists(root / fs::path(kMonitorCataloguePath))) {
+        catalogue_code =
+            LoadSource(root, kMonitorCataloguePath).stripped.code;
+    }
+
     for (const std::string& rel : CollectSources(root, "src")) {
         const SourceFile file = LoadSource(root, rel);
         CheckSuppressions(file, &findings);
         CheckLayering(file, &findings);
         CheckSysfsLiterals(file, &findings);
         CheckUnitLiterals(file, &findings);
+        CheckMonitorCatalogue(file, catalogue_code, &findings);
     }
 
     std::vector<std::string> test_files;

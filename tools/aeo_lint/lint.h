@@ -7,9 +7,11 @@
  * convention:
  *
  *  - `layering`          — the include DAG between src/ layers is one-way
- *                          (common → sim → … → platform → core), src/core
- *                          never includes src/kernel, and the `Device` seam
- *                          is only named by the profiling/experiment files.
+ *                          (common → sim → … → platform → core → chaos),
+ *                          src/core never includes src/kernel, nothing
+ *                          below src/chaos includes it, and the `Device`
+ *                          seam is only named by the profiling/experiment
+ *                          files.
  *  - `sysfs-literal`     — inline "/sys/..." string literals appear only in
  *                          src/kernel and src/platform; everyone else goes
  *                          through the interned SysfsHandles seam.
@@ -24,6 +26,10 @@
  *  - `suppression`       — `// aeo-lint: allow(<rule>)` comments must carry
  *                          a justification (`-- <why>`); a bare allow is
  *                          itself a finding.
+ *  - `monitor-catalogue` — every `class X : public InvariantMonitor` under
+ *                          src/ appears by class name (in code, not a
+ *                          comment) in tests/chaos/invariant_monitor_test.cc,
+ *                          so a runtime monitor cannot ship untested.
  *
  * The checks are line-oriented on a comment- and string-stripped view of
  * each file: fast, dependency-free, and precise enough for CI to block on.
