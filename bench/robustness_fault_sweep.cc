@@ -15,6 +15,8 @@
  */
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <functional>
 #include <string>
 #include <vector>
@@ -22,6 +24,7 @@
 #include "apps/app_registry.h"
 #include "bench_common.h"
 #include "common/csv.h"
+#include "common/json.h"
 #include "common/logging.h"
 #include "common/strings.h"
 #include "common/text_table.h"
@@ -166,6 +169,47 @@ StickyFailureDemo(const ProfileTable& table, double target_gips,
         device.devfreq().governor_name().c_str());
 }
 
+/**
+ * The snapshot holds the structural outcome of the sweep — the counters are
+ * exact integer results of the seeded simulation, the continuous values are
+ * %.6g-rounded. CI regenerates it at --jobs=1 and --jobs=4 and diffs
+ * byte-for-byte against the committed copy.
+ */
+JsonValue
+SnapshotJson(const bench::BenchArgs& args, uint64_t seed, bool fast,
+             const std::vector<SweepRow>& rows)
+{
+    JsonValue doc = JsonValue::MakeObject();
+    doc.Set("schema", 1);
+    doc.Set("bench", "robustness_fault_sweep");
+    doc.Set("app", kApp);
+    doc.Set("root_seed", StrFormat("%llu",
+                                   static_cast<unsigned long long>(seed)));
+    doc.Set("fast", fast);
+    doc.Set("profile_runs", args.ProfileRuns());
+    JsonValue sweep = JsonValue::MakeArray();
+    for (const SweepRow& row : rows) {
+        JsonValue entry = JsonValue::MakeObject();
+        entry.Set("fault_rate", StrFormat("%.2f", row.rate));
+        entry.Set("energy_j", StrFormat("%.6g", row.energy_j));
+        entry.Set("avg_gips", StrFormat("%.6g", row.avg_gips));
+        entry.Set("violation_pct", StrFormat("%.6g", row.violation_pct));
+        entry.Set("degraded_frac", StrFormat("%.6g", row.degraded_frac));
+        entry.Set("retries", row.retries);
+        entry.Set("failed_ops", row.failed_ops);
+        entry.Set("silent_clamps", row.silent_clamps);
+        entry.Set("readback_failures", row.readback_failures);
+        entry.Set("dropped_pmu", row.dropped_pmu);
+        entry.Set("stale_pmu", row.stale_pmu);
+        entry.Set("dropped_meter", row.dropped_meter);
+        entry.Set("fault_events", row.fault_events);
+        entry.Set("fallback", row.fallback);
+        sweep.Append(std::move(entry));
+    }
+    doc.Set("sweep", std::move(sweep));
+    return doc;
+}
+
 }  // namespace
 }  // namespace aeo
 
@@ -177,6 +221,12 @@ main(int argc, char** argv)
     const bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
     const bool fast = args.fast;
     const uint64_t seed = args.SeedOr(kDefaultSeed);
+    std::string json_path = "BENCH_fault_sweep.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--json=", 7) == 0) {
+            json_path = argv[i] + 7;
+        }
+    }
     bench::PrintHeader("R1 / robustness",
                        "Fault-rate sweep: hardened controller vs injected "
                        "sysfs/PMU/meter failures");
@@ -280,7 +330,12 @@ main(int argc, char** argv)
     const std::string csv_path =
         args.OutputPath("robustness_fault_sweep.csv");
     csv.WriteFile(csv_path);
-    std::printf("Wrote %s\n\n", csv_path.c_str());
+    std::printf("Wrote %s\n", csv_path.c_str());
+
+    std::ofstream snapshot(json_path);
+    snapshot << SnapshotJson(args, seed, fast, sweep_rows).Dump(2) << "\n";
+    snapshot.close();
+    std::printf("Wrote %s\n\n", json_path.c_str());
 
     if (violation_at_5pct >= 0.0) {
         // The acceptance bar: violation at a 5 % fault rate within 2× the

@@ -18,6 +18,8 @@
  */
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <functional>
 #include <memory>
 #include <string>
@@ -26,6 +28,7 @@
 #include "apps/app_registry.h"
 #include "bench_common.h"
 #include "common/csv.h"
+#include "common/json.h"
 #include "common/logging.h"
 #include "common/strings.h"
 #include "common/text_table.h"
@@ -123,6 +126,42 @@ StageOf(const ControlCycleRecord& record, int max_level)
     return (shed + params.levels_per_step - 1) / params.levels_per_step;
 }
 
+/**
+ * The snapshot holds the structural outcome of both soaks — exact integer
+ * counters plus %.6g-rounded energy/performance. CI regenerates it at
+ * --jobs=1 and --jobs=4 and diffs byte-for-byte against the committed copy.
+ */
+JsonValue
+SnapshotJson(const bench::BenchArgs& args, uint64_t seed, bool fast,
+             double target, const SoakRun& aware, const SoakRun& oblivious)
+{
+    JsonValue doc = JsonValue::MakeObject();
+    doc.Set("schema", 1);
+    doc.Set("bench", "robustness_thermal_soak");
+    doc.Set("app", kApp);
+    doc.Set("root_seed", StrFormat("%llu",
+                                   static_cast<unsigned long long>(seed)));
+    doc.Set("fast", fast);
+    doc.Set("profile_runs", args.ProfileRuns());
+    doc.Set("target_gips", StrFormat("%.6g", target));
+    auto soak_json = [](const SoakRun& run) {
+        JsonValue entry = JsonValue::MakeObject();
+        entry.Set("cycles", run.history.size());
+        entry.Set("energy_j", StrFormat("%.6g", run.result.energy_j));
+        entry.Set("avg_gips", StrFormat("%.6g", run.result.avg_gips));
+        entry.Set("silent_clamps", run.stats.silent_clamps);
+        entry.Set("readback_failures", run.stats.readback_failures);
+        entry.Set("safe_mode_cycles", run.safe_mode_cycles);
+        entry.Set("max_stage", run.max_stage);
+        entry.Set("clamp_events", run.clamp_events);
+        entry.Set("fallback", run.fallback);
+        return entry;
+    };
+    doc.Set("clamp_aware", soak_json(aware));
+    doc.Set("clamp_oblivious", soak_json(oblivious));
+    return doc;
+}
+
 }  // namespace
 }  // namespace aeo
 
@@ -134,6 +173,12 @@ main(int argc, char** argv)
     const bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
     const bool fast = args.fast;
     const uint64_t seed = args.SeedOr(kDefaultSeed);
+    std::string json_path = "BENCH_thermal_soak.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--json=", 7) == 0) {
+            json_path = argv[i] + 7;
+        }
+    }
     bench::PrintHeader("R2 / thermal soak",
                        "Sustained load under msm_thermal staging: clamp-aware "
                        "vs clamp-oblivious control");
@@ -206,7 +251,14 @@ main(int argc, char** argv)
     add_row("clamp-aware", aware);
     add_row("clamp-oblivious", oblivious);
     std::printf("%s\n", text.ToString().c_str());
-    std::printf("Wrote %s (%zu cycles)\n\n", csv_path.c_str(), cycles);
+    std::printf("Wrote %s (%zu cycles)\n", csv_path.c_str(), cycles);
+
+    std::ofstream snapshot(json_path);
+    snapshot << SnapshotJson(args, seed, fast, target, aware, oblivious)
+                    .Dump(2)
+             << "\n";
+    snapshot.close();
+    std::printf("Wrote %s\n\n", json_path.c_str());
 
     std::printf(
         "Adversary: %llu clamp polls, deepest stage %d (cap floor level %d).\n"

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "apps/app_registry.h"
+#include "chaos/timing_fault.h"
 #include "common/logging.h"
 #include "common/strings.h"
 #include "device/device.h"
@@ -88,6 +89,13 @@ RulesFor(FaultClass cls, double intensity)
     case FaultClass::kThermalCap:
         // Handled by a temp_threshold write, not injector rules.
         break;
+    case FaultClass::kTickJitterStorm:
+    case FaultClass::kTickOverrun:
+    case FaultClass::kSuspendResume:
+    case FaultClass::kClockSkew:
+        // Timing classes act on the platform time seam, not the injector
+        // (see timing_fault.h); the campaign wires them separately.
+        break;
     }
     return out;
 }
@@ -106,6 +114,10 @@ CycleRecordToJson(const ControlCycleRecord& record)
     entry.Set("safe_mode", record.safe_mode);
     entry.Set("measured_power_mw", record.measured_power_mw.value());
     entry.Set("perf_samples", record.perf_samples);
+    entry.Set("tick_kind", platform::TickKindName(record.tick_kind));
+    entry.Set("tick_lateness_s", record.tick_lateness_s);
+    entry.Set("epochs_skipped", record.epochs_skipped);
+    entry.Set("stale_guard", record.stale_guard);
     return entry;
 }
 
@@ -124,6 +136,10 @@ CampaignReportToJson(const CampaignReport& report)
     doc.Set("fault_events", report.fault_events);
     doc.Set("energy_j", report.energy_j);
     doc.Set("avg_gips", report.avg_gips);
+    doc.Set("jitter_ticks", report.jitter_ticks);
+    doc.Set("missed_ticks", report.missed_ticks);
+    doc.Set("suspend_gap_ticks", report.suspend_gap_ticks);
+    doc.Set("stale_guard_cycles", report.stale_guard_cycles);
     JsonValue verdicts = JsonValue::MakeArray();
     for (const MonitorVerdict& verdict : report.verdicts) {
         JsonValue entry = JsonValue::MakeObject();
@@ -180,6 +196,18 @@ RunCampaign(const CampaignOptions& options, const ChaosScenario& scenario)
 
     ControllerConfig controller_config = options.controller;
     controller_config.target_gips = options.target_gips;
+
+    // Timing-class actions wrap the platform's time seam, outermost so a
+    // planted-bug fixture decorator underneath still sees perturbed time.
+    TimingFaultPlan timing_plan = ExtractTimingPlan(
+        scenario, controller_config.control_cycle.seconds());
+    std::unique_ptr<TimingFaultPlatform> timing_platform;
+    if (!timing_plan.empty()) {
+        timing_platform = std::make_unique<TimingFaultPlatform>(
+            plat, std::move(timing_plan));
+        plat = timing_platform.get();
+    }
+
     OnlineController controller(plat, *options.table, controller_config);
 
     // --- Monitors on the cycle-observer seam ------------------------------
@@ -199,6 +227,8 @@ RunCampaign(const CampaignOptions& options, const ChaosScenario& scenario)
             context.fallback_engaged = controller.fallback_engaged();
             context.target_gips = options.target_gips;
             context.max_cpu_level = plat->max_cpu_level();
+            context.control_period_s =
+                controller_config.control_cycle.seconds();
             // Ground-truth cap, read from the driver itself rather than
             // through the (decoratable, possibly lying) platform seam. Only
             // meaningful when the controller reads caps at all.
@@ -219,6 +249,9 @@ RunCampaign(const CampaignOptions& options, const ChaosScenario& scenario)
     // Rule handles installed per action, consumed by the removal event.
     // shared_ptr: both scheduled closures outlive this frame.
     for (const ScenarioAction& action : scenario.actions) {
+        if (IsTimingClass(action.cls)) {
+            continue;  // Installed through the TimingFaultPlatform above.
+        }
         if (action.cls == FaultClass::kThermalCap) {
             if (!options.enable_thermal) {
                 continue;
@@ -290,6 +323,7 @@ RunCampaign(const CampaignOptions& options, const ChaosScenario& scenario)
     finish.elapsed_s = options.spec.duration_s;
     finish.probe_period_s = controller_config.control_cycle.seconds() *
                             controller_config.reengage_probe_cycles;
+    finish.fallback_time_s = controller.last_fallback_time_s();
     for (const auto& monitor : monitors) {
         monitor->OnFinish(finish);
     }
@@ -306,6 +340,13 @@ RunCampaign(const CampaignOptions& options, const ChaosScenario& scenario)
     report.fault_events = injector->trace().size();
     report.energy_j = result.energy_j;
     report.avg_gips = result.avg_gips;
+    report.jitter_ticks =
+        static_cast<uint64_t>(controller.deadline_stats().jitter);
+    report.missed_ticks =
+        static_cast<uint64_t>(controller.deadline_stats().missed);
+    report.suspend_gap_ticks =
+        static_cast<uint64_t>(controller.deadline_stats().suspend_gaps);
+    report.stale_guard_cycles = controller.stale_guard_cycle_count();
     for (const auto& monitor : monitors) {
         MonitorVerdict verdict;
         verdict.monitor = monitor->name();

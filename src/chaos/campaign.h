@@ -87,6 +87,12 @@ struct CampaignReport {
     uint64_t fault_events = 0;
     double energy_j = 0.0;
     double avg_gips = 0.0;
+    /** Deadline accounting of the control tick (DESIGN.md §13). */
+    uint64_t jitter_ticks = 0;
+    uint64_t missed_ticks = 0;
+    uint64_t suspend_gap_ticks = 0;
+    /** Cycles whose measurement the stale-data guard quarantined. */
+    uint64_t stale_guard_cycles = 0;
     /** One verdict per catalogue monitor, in catalogue order. */
     std::vector<MonitorVerdict> verdicts;
     uint64_t total_violations = 0;

@@ -218,9 +218,16 @@ WatchdogLivenessMonitor::OnFinish(const FinishContext& context)
     if (!context.reengage_enabled) {
         return;  // Terminal fallback is the configured behaviour.
     }
-    const double fallback_span_s =
-        saw_fallback_ ? context.elapsed_s - fallback_time_s_
-                      : context.elapsed_s;
+    // Prefer the controller's own engagement clock: a storm-triggered
+    // fallback aborts its cycle before the observer hook runs, so OnCycle
+    // can miss the engagement entirely (and the cycle hook only sees it a
+    // cycle late even when control keeps running).
+    double fallback_at_s = saw_fallback_ ? fallback_time_s_ : 0.0;
+    if (context.fallback_time_s >= 0.0) {
+        fallback_at_s = context.fallback_time_s;
+        fallback_time_s_ = context.fallback_time_s;
+    }
+    const double fallback_span_s = context.elapsed_s - fallback_at_s;
     if (context.probe_period_s <= 0.0 ||
         fallback_span_s < grace_periods_ * context.probe_period_s) {
         return;  // The run ended before a probe was due.
@@ -236,6 +243,70 @@ WatchdogLivenessMonitor::OnFinish(const FinishContext& context)
     }
 }
 
+// --- deadline-miss-run ------------------------------------------------------
+
+DeadlineMissRunMonitor::DeadlineMissRunMonitor(const MonitorConfig& config)
+    : InvariantMonitor("deadline-miss-run"),
+      max_run_(config.max_deadline_miss_run)
+{
+    AEO_ASSERT(max_run_ > 0, "deadline-miss run bound must be positive");
+}
+
+void
+DeadlineMissRunMonitor::OnCycle(const CycleContext& context)
+{
+    const ControlCycleRecord& record = *context.record;
+    // A fallback is the controller *reacting* to the storm — exactly the
+    // bounded behaviour the invariant demands — so it resets the run.
+    if (context.fallback_engaged ||
+        record.tick_kind != platform::TickKind::kMissed) {
+        run_ = 0;
+        reported_this_run_ = false;
+        return;
+    }
+    ++run_;
+    if (run_ > max_run_ && !reported_this_run_) {
+        reported_this_run_ = true;
+        Report(context.cycle_index, record.time_s,
+               StrFormat("control tick missed its deadline %d cycles in a "
+                         "row (bound %d, last lateness %.2f s) without "
+                         "degrading to the stock governors",
+                         run_, max_run_, record.tick_lateness_s));
+    }
+}
+
+// --- stale-actuation --------------------------------------------------------
+
+StaleActuationMonitor::StaleActuationMonitor()
+    : InvariantMonitor("stale-actuation")
+{
+}
+
+void
+StaleActuationMonitor::OnCycle(const CycleContext& context)
+{
+    const ControlCycleRecord& record = *context.record;
+    // A cycle resuming after a suspend gap drained a perf window that
+    // accumulated before the sleep — data epochs_skipped epochs old. The
+    // controller must quarantine it (stale guard engaged, cycle degraded);
+    // steering the actuation on it is the stale-actuation bug.
+    if (record.tick_kind != platform::TickKind::kSuspendGap ||
+        context.fallback_engaged) {
+        return;
+    }
+    if (record.perf_samples > 0 && !record.stale_guard && !record.degraded) {
+        Report(context.cycle_index, record.time_s,
+               StrFormat("cycle resumed from a %.0f-epoch suspend gap "
+                         "(lateness %.1f s) and actuated on the pre-suspend "
+                         "perf window (%llu samples) — stale data older "
+                         "than one epoch steered the loop",
+                         static_cast<double>(record.epochs_skipped),
+                         record.tick_lateness_s,
+                         static_cast<unsigned long long>(
+                             record.perf_samples)));
+    }
+}
+
 std::vector<std::unique_ptr<InvariantMonitor>>
 MakeDefaultMonitors(const MonitorConfig& config)
 {
@@ -245,6 +316,8 @@ MakeDefaultMonitors(const MonitorConfig& config)
     monitors.push_back(std::make_unique<ActuationConsistencyMonitor>(config));
     monitors.push_back(std::make_unique<StateLegalityMonitor>());
     monitors.push_back(std::make_unique<WatchdogLivenessMonitor>(config));
+    monitors.push_back(std::make_unique<DeadlineMissRunMonitor>(config));
+    monitors.push_back(std::make_unique<StaleActuationMonitor>());
     return monitors;
 }
 

@@ -30,6 +30,13 @@
  *  - watchdog-liveness  — a watchdog fallback always eventually re-probes
  *                         the actuation path (degraded mode is never a
  *                         silent grave).
+ *  - deadline-miss-run  — consecutive deadline-missed cycles stay bounded:
+ *                         past the bound the controller must have degraded
+ *                         to the stock governors instead of limping on.
+ *  - stale-actuation    — no actuation is computed from performance data
+ *                         older than one epoch: a cycle that resumed after
+ *                         a suspend gap must quarantine its measurement
+ *                         (stale guard / degraded), never steer on it.
  *
  * Every InvariantMonitor subclass must be registered in the monitor
  * catalogue test (tests/chaos/invariant_monitor_test.cc) — enforced by the
@@ -76,6 +83,8 @@ struct CycleContext {
      * cap source (then the belief-divergence check stays quiet).
      */
     int true_cpu_cap_level = platform::kNoCapLevel;
+    /** Configured control period, seconds (for lateness-derived checks). */
+    double control_period_s = 0.0;
 };
 
 /** End-of-campaign summary for liveness-style invariants. */
@@ -90,6 +99,10 @@ struct FinishContext {
     double elapsed_s = 0.0;
     /** Configured probe period, seconds. */
     double probe_period_s = 0.0;
+    /** Clock time the last fallback engaged, seconds; -1 when none. A
+     * storm-triggered fallback aborts its cycle before the observer hook,
+     * so OnCycle may never witness the engagement. */
+    double fallback_time_s = -1.0;
 };
 
 /** One recorded invariant violation. */
@@ -159,6 +172,13 @@ struct MonitorConfig {
      * two; a mask bug diverges for the whole throttled window.
      */
     int cap_belief_grace_cycles = 2;
+    /**
+     * Longest tolerated run of consecutive deadline-missed cycles without
+     * the controller degrading to the stock governors. Must sit above the
+     * controller's deadline_storm_threshold or healthy storms would be
+     * flagged before the controller is allowed to react.
+     */
+    int max_deadline_miss_run = 6;
 };
 
 /** temp_c <= thermal_limit_c on every cycle. */
@@ -218,6 +238,25 @@ class WatchdogLivenessMonitor final : public InvariantMonitor {
     bool saw_fallback_ = false;
     uint64_t fallback_cycle_ = 0;
     double fallback_time_s_ = 0.0;
+};
+
+/** Bounded runs of missed deadlines: past the bound, control must yield. */
+class DeadlineMissRunMonitor final : public InvariantMonitor {
+  public:
+    explicit DeadlineMissRunMonitor(const MonitorConfig& config);
+    void OnCycle(const CycleContext& context) override;
+
+  private:
+    int max_run_;
+    int run_ = 0;
+    bool reported_this_run_ = false;
+};
+
+/** No actuation computed from perf data older than one epoch. */
+class StaleActuationMonitor final : public InvariantMonitor {
+  public:
+    StaleActuationMonitor();
+    void OnCycle(const CycleContext& context) override;
 };
 
 /** The full catalogue, one instance of each monitor. */

@@ -10,6 +10,7 @@
 #ifndef AEO_CHAOS_PLATFORM_DECORATOR_H_
 #define AEO_CHAOS_PLATFORM_DECORATOR_H_
 
+#include "platform/clock.h"
 #include "platform/platform.h"
 
 namespace aeo::chaos {
@@ -20,6 +21,8 @@ class ForwardingPlatform : public platform::Platform {
     explicit ForwardingPlatform(platform::Platform* inner) : inner_(inner) {}
 
     Simulator& sim() override { return inner_->sim(); }
+    platform::Clock& clock() override { return inner_->clock(); }
+    platform::TickScheduler& ticks() override { return inner_->ticks(); }
     platform::PerfReader& perf() override { return inner_->perf(); }
     platform::Actuator& actuator() override { return inner_->actuator(); }
     platform::GovernorControl& governors() override

@@ -10,8 +10,9 @@ namespace aeo::chaos {
 namespace {
 
 constexpr const char* kFaultClassNames[kFaultClassCount] = {
-    "actuation-busy", "actuation-sticky", "silent-clamp",  "pmu-drop",
-    "meter-drop",     "path-disappear",   "thermal-cap",
+    "actuation-busy", "actuation-sticky", "silent-clamp",   "pmu-drop",
+    "meter-drop",     "path-disappear",   "thermal-cap",    "tick-jitter",
+    "tick-overrun",   "suspend-resume",   "clock-skew",
 };
 
 }  // namespace

@@ -40,9 +40,20 @@ enum class FaultClass {
     kPathDisappear,
     /** msm_thermal threshold lowered so the driver stages a frequency cap. */
     kThermalCap,
+    /** Control ticks delivered late by a random fraction of the period. */
+    kTickJitterStorm,
+    /** Handler overruns: every tick in the window lands a fixed slice
+     * late, as if the previous handler ran long under CPU contention. */
+    kTickOverrun,
+    /** Suspend/resume: ticks due inside the window are deferred to its
+     * end, modelling the SoC sleeping through the epoch. */
+    kSuspendResume,
+    /** Monotonic-clock step/skew: the platform clock jumps forward inside
+     * the window (never backwards — the seam is monotonic). */
+    kClockSkew,
 };
 
-inline constexpr int kFaultClassCount = 7;
+inline constexpr int kFaultClassCount = 11;
 
 /** Stable wire name ("actuation-busy", ...) used in scenario JSON. */
 const char* FaultClassName(FaultClass cls);

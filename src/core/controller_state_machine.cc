@@ -26,32 +26,36 @@ enum class Action {
 // declaration order: CycleStart, PerfReadOk, PerfReadFailed,
 // ActuationMismatch, ClampConfirmed, CapExpired, DriftCorrected,
 // TargetUnreachable, FeasibleSetEmpty, WatchdogTrip, ProbeOk, ProbeFailed,
-// ControlStopped.
+// ControlStopped, TickJitter, TickMissed, SuspendResume, DeadlineStorm.
 constexpr Action kIll = Action::kIllegal;
 constexpr Action kSty = Action::kStay;
 
 constexpr Action
     kTransitionTable[kControllerStateCount][kControllerEventCount] = {
-        // NORMAL: full control vocabulary; probes never run here.
+        // NORMAL: full control vocabulary; probes never run here. Timing
+        // events are mode-neutral annotations except a deadline storm,
+        // which trips like a watchdog.
         {kSty, Action::kToNormal, Action::kToDegraded, kSty, kSty, kSty, kSty,
          Action::kToSafeMode, Action::kTripFallback, Action::kTripFallback,
-         kIll, kIll, kSty},
+         kIll, kIll, kSty, kSty, kSty, kSty, Action::kTripFallback},
         // DEGRADED: identical — degradation is re-evaluated every cycle.
         {kSty, Action::kToNormal, Action::kToDegraded, kSty, kSty, kSty, kSty,
          Action::kToSafeMode, Action::kTripFallback, Action::kTripFallback,
-         kIll, kIll, kSty},
+         kIll, kIll, kSty, kSty, kSty, kSty, Action::kTripFallback},
         // SAFE_MODE: identical — the envelope lifts as soon as the target
         // is reachable again.
         {kSty, Action::kToNormal, Action::kToDegraded, kSty, kSty, kSty, kSty,
          Action::kToSafeMode, Action::kTripFallback, Action::kTripFallback,
-         kIll, kIll, kSty},
+         kIll, kIll, kSty, kSty, kSty, kSty, Action::kTripFallback},
         // PROBE: the control cycle is stopped, so only probe outcomes (and
-        // a final Stop) are meaningful.
+        // a final Stop) are meaningful; tick classification has no cycle to
+        // annotate.
         {kIll, kIll, kIll, kIll, kIll, kIll, kIll, kIll, kIll, kIll,
-         Action::kProbeSuccess, Action::kProbeFailure, kSty},
+         Action::kProbeSuccess, Action::kProbeFailure, kSty, kIll, kIll, kIll,
+         kIll},
         // FALLBACK_STOCK: terminal.
         {kIll, kIll, kIll, kIll, kIll, kIll, kIll, kIll, kIll, kIll, kIll,
-         kIll, kSty},
+         kIll, kSty, kIll, kIll, kIll, kIll},
 };
 
 Action
@@ -92,6 +96,10 @@ ControllerEventName(ControllerEvent event)
         case ControllerEvent::kProbeOk: return "ProbeOk";
         case ControllerEvent::kProbeFailed: return "ProbeFailed";
         case ControllerEvent::kControlStopped: return "ControlStopped";
+        case ControllerEvent::kTickJitter: return "TickJitter";
+        case ControllerEvent::kTickMissed: return "TickMissed";
+        case ControllerEvent::kSuspendResume: return "SuspendResume";
+        case ControllerEvent::kDeadlineStorm: return "DeadlineStorm";
     }
     return "?";
 }

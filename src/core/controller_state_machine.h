@@ -76,9 +76,19 @@ enum class ControllerEvent {
     kProbeFailed,
     /** Stop() — control wound down by the experiment driver. */
     kControlStopped,
+    /** The control tick ran late but within the jitter tolerance. */
+    kTickJitter,
+    /** The control tick slipped past its epoch (deadline miss). */
+    kTickMissed,
+    /** The tick arrived after a suspend-length gap; estimators must not
+     * treat the gap as a measurement window. */
+    kSuspendResume,
+    /** K consecutive deadline misses — temporal analogue of a watchdog
+     * trip: control cannot hold its epoch, so the stock governors rule. */
+    kDeadlineStorm,
 };
 
-inline constexpr int kControllerEventCount = 13;
+inline constexpr int kControllerEventCount = 17;
 
 const char* ControllerStateName(ControllerState state);
 const char* ControllerEventName(ControllerEvent event);

@@ -47,8 +47,10 @@ OnlineController::OnlineController(platform::Platform* platform,
       regulator_(MakeRegulatorConfig(table_, config)),
       drift_(table_.size(), config.drift),
       machine_(MakeStateMachineOptions(config)),
-      cycle_task_(&platform->sim(), [this] { RunCycle(); }),
-      probe_task_(&platform->sim(), [this] { ProbeRecovery(); }),
+      cycle_tick_(&platform->clock(), &platform->ticks(),
+                  [this](const platform::TickInfo& tick) { RunCycle(tick); }),
+      probe_tick_(&platform->clock(), &platform->ticks(),
+                  [this](const platform::TickInfo&) { ProbeRecovery(); }),
       controls_bandwidth_(table_.entries().front().config.controls_bandwidth()),
       controls_gpu_(table_.entries().front().config.controls_gpu()),
       active_table_(&table_),
@@ -62,6 +64,12 @@ OnlineController::OnlineController(platform::Platform* platform,
     AEO_ASSERT(config_.cap_confirm_cycles > 0, "cap confirm must be positive");
     AEO_ASSERT(config_.reengage_probe_cycles > 0 && config_.reengage_successes > 0,
                "re-engagement tuning must be positive");
+    AEO_ASSERT(config_.tick_jitter_tolerance >= 0.0,
+               "jitter tolerance must be non-negative");
+    AEO_ASSERT(config_.suspend_gap_periods > config_.tick_jitter_tolerance,
+               "suspend threshold must exceed the jitter tolerance");
+    AEO_ASSERT(config_.deadline_storm_threshold > 0,
+               "deadline storm threshold must be positive");
     for (size_t i = 0; i < table_.entries().size(); ++i) {
         const ProfileEntry& entry = table_.entries()[i];
         AEO_ASSERT(entry.config.controls_bandwidth() == controls_bandwidth_,
@@ -111,13 +119,24 @@ OnlineController::Start()
         return;
     }
 
-    cycle_task_.Start(config_.control_cycle);
+    cycle_tick_.Start(CyclePolicy());
+}
+
+platform::DeadlinePolicy
+OnlineController::CyclePolicy() const
+{
+    platform::DeadlinePolicy policy;
+    policy.period = config_.control_cycle;
+    policy.jitter_tolerance = config_.tick_jitter_tolerance;
+    policy.suspend_gap_periods = config_.suspend_gap_periods;
+    policy.miss_policy = config_.deadline_miss_policy;
+    return policy;
 }
 
 void
 OnlineController::Stop()
 {
-    probe_task_.Stop();
+    probe_tick_.Stop();
     StopControl();
     machine_.Dispatch(ControllerEvent::kControlStopped);
 }
@@ -125,7 +144,7 @@ OnlineController::Stop()
 void
 OnlineController::StopControl()
 {
-    cycle_task_.Stop();
+    cycle_tick_.Stop();
     platform_->perf().StopSampling();
     platform_->SetControllerOverheadPower(0.0);
     platform_->Sync();
@@ -155,6 +174,7 @@ OnlineController::EngageFallback(ControllerEvent trigger)
         return;
     }
     machine_.Dispatch(trigger);
+    last_fallback_time_s_ = platform_->clock().Now().seconds();
     Warn("watchdog: %d consecutive control cycles failed to actuate; "
          "reverting to the stock governors",
          platform_->actuator().consecutive_failed_applies());
@@ -165,9 +185,12 @@ OnlineController::EngageFallback(ControllerEvent trigger)
     StopControl();
     if (config_.reengage) {
         // Keep probing the actuation path; once it stays healthy long
-        // enough the controller takes the device back.
-        probe_task_.Start(config_.control_cycle *
-                          config_.reengage_probe_cycles);
+        // enough the controller takes the device back. Probe lateness is
+        // irrelevant — the callback ignores the tick classification.
+        platform::DeadlinePolicy probe_policy;
+        probe_policy.period =
+            config_.control_cycle * config_.reengage_probe_cycles;
+        probe_tick_.Start(probe_policy);
     }
 }
 
@@ -179,7 +202,7 @@ OnlineController::ProbeRecovery()
         healthy ? ControllerEvent::kProbeOk : ControllerEvent::kProbeFailed);
     if (transition.changed) {
         // Quorum met: the machine is back in NORMAL.
-        probe_task_.Stop();
+        probe_tick_.Stop();
         Reengage();
     }
 }
@@ -317,7 +340,7 @@ OnlineController::ConsumeDeliveries(
     const double measured_speedup = measured_gips / base;
     const double power_residual = measured_power_mw.value() / predicted_power_mw;
     const double speedup_residual = measured_speedup / predicted_speedup;
-    const double now_s = platform_->sim().Now().seconds();
+    const double now_s = platform_->clock().Now().seconds();
     for (const Visit& visit : visits) {
         drift_.Observe(now_s, visit.entry_index, visit.weight, power_residual,
                        speedup_residual);
@@ -382,17 +405,61 @@ OnlineController::RefreshWorkingTable(int cpu_cap, int bw_cap)
 }
 
 void
-OnlineController::RunCycle()
+OnlineController::RunCycle(const platform::TickInfo& tick)
 {
     if (machine_.fallback_engaged()) {
         return;
     }
     machine_.Dispatch(ControllerEvent::kCycleStart);
 
+    // (0) Deadline accounting. Classification is always recorded; only the
+    // *handling* below is gated by suspend_resync, so the pre-hardening
+    // behaviour (consume a stretched window as one epoch) stays plantable
+    // for the chaos monitors.
+    const bool suspend_gap = tick.kind == platform::TickKind::kSuspendGap;
+    if (tick.kind == platform::TickKind::kMissed) {
+        ++deadline_miss_cycle_count_;
+    }
+    if (suspend_gap) {
+        ++suspend_gap_cycle_count_;
+    }
+    if (config_.suspend_resync) {
+        switch (tick.kind) {
+        case platform::TickKind::kOnTime:
+            break;
+        case platform::TickKind::kJitter:
+            machine_.Dispatch(ControllerEvent::kTickJitter);
+            break;
+        case platform::TickKind::kMissed:
+            machine_.Dispatch(ControllerEvent::kTickMissed);
+            if (tick.consecutive_misses >= config_.deadline_storm_threshold) {
+                Warn("deadline storm: %d consecutive control ticks missed "
+                     "their epoch; handing the device back to the stock "
+                     "governors",
+                     tick.consecutive_misses);
+                EngageFallback(ControllerEvent::kDeadlineStorm);
+                return;
+            }
+            break;
+        case platform::TickKind::kSuspendGap:
+            machine_.Dispatch(ControllerEvent::kSuspendResume);
+            break;
+        }
+    }
+    // Stale-data guard: a window that straddles a suspend gap (or feeds a
+    // catch-up backlog tick) is not one epoch of the running app; steering
+    // on it would actuate from pre-suspend data.
+    const bool stale_guard =
+        config_.suspend_resync && (suspend_gap || tick.catch_up);
+    if (stale_guard) {
+        ++stale_guard_cycle_count_;
+    }
+
     // (1) Measure: average of the perf samples in the elapsed cycle. The
     // window can be empty (every sample dropped by an injected PMU fault)
     // or garbage (counter glitch); either way the cycle runs degraded:
     // the Kalman estimate holds and the previous schedule is reapplied.
+    // A quarantined (stale) window degrades the same way.
     const platform::PerfWindow window = platform_->perf().DrainWindow();
     const Milliwatts measured_power_mw =
         Milliwatts(platform_->perf().DrainAveragePowerMw());
@@ -402,18 +469,28 @@ OnlineController::RunCycle()
         window.avg_gips <= config_.plausibility_factor *
                                regulator_.base_speed_estimate() *
                                table_.max_speedup();
-    machine_.Dispatch(plausible ? ControllerEvent::kPerfReadOk
-                                : ControllerEvent::kPerfReadFailed);
+    const bool usable = plausible && !stale_guard;
+    machine_.Dispatch(usable ? ControllerEvent::kPerfReadOk
+                             : ControllerEvent::kPerfReadFailed);
 
     // (1b) Verify: what did the device actually run last cycle? Learn caps
     // from read-back mismatches and feed the drift detector, then re-derive
     // the feasible set under the kernel's advertised frequency ceiling.
     // (Copied: Apply() later this cycle clears the actuator's records, and
     // the cycle observers see the same snapshot.)
+    // A suspend gap quarantines the whole delivery history: the records
+    // straddle the sleep, so clamp evidence and drift residuals derived
+    // from them would be gap artefacts, and actuation strikes from before
+    // the sleep must not count toward the watchdog after it.
     const std::vector<platform::DwellDelivery> deliveries =
         platform_->actuator().cycle_deliveries();
-    ConsumeDeliveries(deliveries, window.avg_gips, measured_power_mw,
-                      plausible);
+    const bool quarantine_deliveries = config_.suspend_resync && suspend_gap;
+    if (quarantine_deliveries) {
+        platform_->actuator().ResetFailureTracking();
+    } else {
+        ConsumeDeliveries(deliveries, window.avg_gips, measured_power_mw,
+                          usable);
+    }
     const int policy_cap = config_.readback_verification
                                ? platform_->thermals().ReadCpuCapLevel()
                                : platform::kNoCapLevel;
@@ -429,7 +506,7 @@ OnlineController::RunCycle()
 
     double required;
     ConfigSchedule schedule;
-    if (plausible) {
+    if (usable) {
         // (2) Regulate: required speedup for the next cycle.
         required = regulator_.Step(window.avg_gips);
 
@@ -470,7 +547,7 @@ OnlineController::RunCycle()
     Actuate(schedule);
 
     ControlCycleRecord record;
-    record.time_s = platform_->sim().Now().seconds();
+    record.time_s = platform_->clock().Now().seconds();
     record.measured_gips = window.avg_gips;
     record.required_speedup = required;
     record.base_speed_estimate = regulator_.base_speed_estimate();
@@ -480,16 +557,21 @@ OnlineController::RunCycle()
     record.high_config =
         active_table_->entries()[schedule.slots.back().entry_index].config;
     record.perf_samples = window.samples;
-    record.degraded = !plausible;
+    record.degraded = !usable;
     record.temp_c = platform_->thermals().ReadZoneTempC();
     record.cpu_cap_level =
         cpu_cap >= platform_->max_cpu_level() ? -1 : cpu_cap;
     record.safe_mode = safe_mode;
     record.measured_power_mw = measured_power_mw;
+    record.tick_kind = tick.kind;
+    record.tick_lateness_s = tick.lateness.seconds();
+    record.epochs_skipped = tick.epochs_skipped;
+    record.stale_guard = stale_guard;
     history_.push_back(record);
 
-    if (platform_->actuator().consecutive_failed_applies() >=
-        config_.watchdog_threshold) {
+    if (!quarantine_deliveries &&
+        platform_->actuator().consecutive_failed_applies() >=
+            config_.watchdog_threshold) {
         EngageFallback(ControllerEvent::kWatchdogTrip);
     }
 

@@ -50,9 +50,9 @@
 #include "core/performance_regulator.h"
 #include "core/profile_drift.h"
 #include "core/profile_table.h"
+#include "platform/deadline_supervisor.h"
 #include "platform/platform.h"
 #include "power/power_model.h"
-#include "sim/periodic_task.h"
 
 namespace aeo {
 
@@ -126,6 +126,30 @@ struct ControllerConfig {
     bool reengage = true;
     int reengage_probe_cycles = 5;
     int reengage_successes = 3;
+    /**
+     * Deadline policy for the control tick (DESIGN.md §13). Lateness up to
+     * tick_jitter_tolerance × T is jitter (same epoch, data usable); at
+     * least suspend_gap_periods × T is a suspend gap; in between the epoch
+     * slipped (a deadline miss), handled per deadline_miss_policy.
+     */
+    double tick_jitter_tolerance = 0.25;
+    double suspend_gap_periods = 3.0;
+    platform::DeadlineMissPolicy deadline_miss_policy =
+        platform::DeadlineMissPolicy::kSkipAndResync;
+    /**
+     * Deadline storm: after this many consecutive missed ticks the loop
+     * cannot hold its epoch and degrades to the stock governors (temporal
+     * analogue of the actuation watchdog).
+     */
+    int deadline_storm_threshold = 4;
+    /**
+     * Suspend/catch-up hardening: quarantine perf data that straddles a
+     * suspend gap (hold the estimate, reuse the schedule, skip delivery
+     * accounting) and forgive pre-suspend watchdog strikes. Off, the
+     * controller consumes the stretched window as if it were one epoch —
+     * the pre-hardening stale-actuation bug the chaos monitors catch.
+     */
+    bool suspend_resync = true;
 };
 
 /** One per-cycle record for analysis. */
@@ -152,6 +176,16 @@ struct ControlCycleRecord {
     bool safe_mode = false;
     /** Average power the monitor measured over the elapsed cycle. */
     Milliwatts measured_power_mw;
+    /** How late the tick that opened this cycle was (always recorded, even
+     * with suspend_resync off — classification is free, only handling is
+     * gated). */
+    platform::TickKind tick_kind = platform::TickKind::kOnTime;
+    double tick_lateness_s = 0.0;
+    /** Whole control epochs the lateness spans (suspend gap length). */
+    int64_t epochs_skipped = 0;
+    /** True when the stale-data guard quarantined this cycle's measurement
+     * (suspend gap or catch-up backlog tick under suspend_resync). */
+    bool stale_guard = false;
 };
 
 /** The feedback controller driving one device, through its platform. */
@@ -227,8 +261,38 @@ class OnlineController {
     /** Times the watchdog re-engaged control after a fallback. */
     uint64_t reengage_count() const { return reengage_count_; }
 
+    /** Clock time of the most recent fallback engagement, seconds; -1
+     * before any fallback. A storm-triggered fallback aborts its cycle
+     * before the observer hook runs, so this is the only place liveness
+     * checks can learn when degraded mode actually began. */
+    double last_fallback_time_s() const { return last_fallback_time_s_; }
+
     /** Cycles spent in the safe-mode envelope (target unreachable). */
     uint64_t safe_mode_cycle_count() const { return safe_mode_cycle_count_; }
+
+    /** Cycles whose tick missed its deadline (lateness past tolerance). */
+    uint64_t deadline_miss_cycle_count() const
+    {
+        return deadline_miss_cycle_count_;
+    }
+
+    /** Cycles that resumed after a suspend-length gap. */
+    uint64_t suspend_gap_cycle_count() const
+    {
+        return suspend_gap_cycle_count_;
+    }
+
+    /** Cycles whose measurement the stale-data guard quarantined. */
+    uint64_t stale_guard_cycle_count() const
+    {
+        return stale_guard_cycle_count_;
+    }
+
+    /** Deadline accounting of the control tick (for tests and benches). */
+    const platform::DeadlineStats& deadline_stats() const
+    {
+        return cycle_tick_.stats();
+    }
 
     /** The drift detector (trace and corrections, for tests and benches). */
     const ProfileDriftDetector& drift() const { return drift_; }
@@ -241,7 +305,10 @@ class OnlineController {
     const ProfileTable& working_table() const { return *active_table_; }
 
   private:
-    void RunCycle();
+    void RunCycle(const platform::TickInfo& tick);
+
+    /** Deadline policy of the control tick, from the config. */
+    platform::DeadlinePolicy CyclePolicy() const;
 
     /** Resolves @p schedule's slots against the active table and hands the
      * dwell plan to the platform's actuator. */
@@ -278,8 +345,8 @@ class OnlineController {
     PerformanceRegulator regulator_;
     ProfileDriftDetector drift_;
     ControllerStateMachine machine_;
-    PeriodicTask cycle_task_;
-    PeriodicTask probe_task_;
+    platform::DeadlineSupervisor cycle_tick_;
+    platform::DeadlineSupervisor probe_tick_;
     std::vector<ControlCycleRecord> history_;
     std::vector<CycleObserver> cycle_observers_;
     bool controls_bandwidth_;
@@ -295,6 +362,10 @@ class OnlineController {
     uint64_t degraded_cycle_count_ = 0;
     uint64_t reengage_count_ = 0;
     uint64_t safe_mode_cycle_count_ = 0;
+    uint64_t deadline_miss_cycle_count_ = 0;
+    uint64_t suspend_gap_cycle_count_ = 0;
+    uint64_t stale_guard_cycle_count_ = 0;
+    double last_fallback_time_s_ = -1.0;
 
     /** Caps learned from read-back mismatches (sentinels = none). */
     int mismatch_cpu_cap_ = platform::kNoCapLevel;

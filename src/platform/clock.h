@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The time seam of the platform boundary: policy code (src/core,
+ * src/control) never reads the raw Simulator clock or schedules events
+ * directly — it consumes time through these two narrow, decoratable
+ * interfaces. That is what lets the chaos layer inject tick jitter,
+ * handler overruns, suspend/resume gaps and monotonic-clock steps without
+ * the controller knowing, and what DESIGN.md §13's deadline model hangs
+ * off (the `time-seam` aeo-lint rule enforces the confinement).
+ */
+#ifndef AEO_PLATFORM_CLOCK_H_
+#define AEO_PLATFORM_CLOCK_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/time.h"
+
+namespace aeo::platform {
+
+/**
+ * Monotonic time source for the control loop. On a real device this would
+ * be CLOCK_MONOTONIC; here it is the Simulator clock, possibly wrapped by
+ * a chaos decorator that steps or skews it. Implementations must never run
+ * backwards.
+ */
+class Clock {
+  public:
+    virtual ~Clock() = default;
+
+    /** Current monotonic time. */
+    virtual SimTime Now() = 0;
+};
+
+/** Opaque handle to a pending tick; 0 is never a live tick. */
+using TickHandle = uint64_t;
+
+inline constexpr TickHandle kInvalidTickHandle = 0;
+
+/**
+ * One-shot deadline scheduling for control-loop ticks. A decorator may
+ * deliver a tick late (jitter, overrun, suspend deferral) but never early
+ * and never drop it; the DeadlineSupervisor on top classifies the lateness.
+ */
+class TickScheduler {
+  public:
+    virtual ~TickScheduler() = default;
+
+    /**
+     * Schedules @p fn to run at absolute time @p when (a deadline already
+     * in the past runs as soon as possible). Returns a handle for
+     * CancelTick(); the handle is dead once the tick has fired.
+     */
+    virtual TickHandle ScheduleTick(SimTime when,
+                                    std::function<void()> fn) = 0;
+
+    /** Cancels a pending tick; cancelling a dead handle is a no-op. */
+    virtual void CancelTick(TickHandle handle) = 0;
+};
+
+}  // namespace aeo::platform
+
+#endif  // AEO_PLATFORM_CLOCK_H_

@@ -1,0 +1,155 @@
+#include "platform/deadline_supervisor.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace aeo::platform {
+
+const char*
+TickKindName(TickKind kind)
+{
+    switch (kind) {
+    case TickKind::kOnTime:
+        return "on-time";
+    case TickKind::kJitter:
+        return "jitter";
+    case TickKind::kMissed:
+        return "missed";
+    case TickKind::kSuspendGap:
+        return "suspend-gap";
+    }
+    return "unknown";
+}
+
+DeadlineSupervisor::DeadlineSupervisor(Clock* clock, TickScheduler* scheduler,
+                                       std::function<void(const TickInfo&)> fn)
+    : clock_(clock), scheduler_(scheduler), fn_(std::move(fn))
+{
+    AEO_ASSERT(clock_ != nullptr, "DeadlineSupervisor needs a clock");
+    AEO_ASSERT(scheduler_ != nullptr, "DeadlineSupervisor needs a scheduler");
+    AEO_ASSERT(fn_ != nullptr, "DeadlineSupervisor needs a callback");
+}
+
+DeadlineSupervisor::~DeadlineSupervisor()
+{
+    Stop();
+}
+
+void
+DeadlineSupervisor::Start(const DeadlinePolicy& policy)
+{
+    AEO_ASSERT(policy.period > SimTime::Zero(), "period must be positive");
+    AEO_ASSERT(policy.jitter_tolerance >= 0.0, "jitter tolerance < 0");
+    AEO_ASSERT(policy.suspend_gap_periods > policy.jitter_tolerance,
+               "suspend threshold must exceed jitter tolerance");
+    Stop();
+    policy_ = policy;
+    running_ = true;
+    consecutive_misses_ = 0;
+    pending_catch_up_ = false;
+    ScheduleNext(clock_->Now() + policy_.period);
+}
+
+void
+DeadlineSupervisor::Stop()
+{
+    if (pending_ != kInvalidTickHandle) {
+        scheduler_->CancelTick(pending_);
+        pending_ = kInvalidTickHandle;
+    }
+    running_ = false;
+    // Invalidate any tick already mid-delivery so a restart from inside the
+    // callback can never be double-fired by the stale schedule.
+    ++generation_;
+}
+
+void
+DeadlineSupervisor::ScheduleNext(SimTime deadline)
+{
+    next_deadline_ = deadline;
+    pending_ = scheduler_->ScheduleTick(
+        deadline, [this, gen = generation_] { Fire(gen); });
+}
+
+void
+DeadlineSupervisor::Fire(uint64_t generation)
+{
+    if (generation != generation_ || !running_) {
+        return;
+    }
+    pending_ = kInvalidTickHandle;
+
+    TickInfo info;
+    info.scheduled = next_deadline_;
+    info.actual = clock_->Now();
+    info.lateness = std::max(info.actual - info.scheduled, SimTime::Zero());
+    info.catch_up = pending_catch_up_;
+    pending_catch_up_ = false;
+
+    const int64_t period_us = policy_.period.micros();
+    const int64_t lateness_us = info.lateness.micros();
+    const auto periods_late =
+        static_cast<double>(lateness_us) / static_cast<double>(period_us);
+    if (lateness_us == 0) {
+        info.kind = TickKind::kOnTime;
+    } else if (periods_late >= policy_.suspend_gap_periods) {
+        info.kind = TickKind::kSuspendGap;
+    } else if (periods_late <= policy_.jitter_tolerance) {
+        info.kind = TickKind::kJitter;
+    } else {
+        info.kind = TickKind::kMissed;
+    }
+    info.epochs_skipped = lateness_us / period_us;
+
+    if (info.kind == TickKind::kMissed) {
+        ++consecutive_misses_;
+    } else {
+        consecutive_misses_ = 0;
+    }
+    info.consecutive_misses = consecutive_misses_;
+
+    ++stats_.ticks;
+    switch (info.kind) {
+    case TickKind::kOnTime:
+        ++stats_.on_time;
+        break;
+    case TickKind::kJitter:
+        ++stats_.jitter;
+        break;
+    case TickKind::kMissed:
+        ++stats_.missed;
+        break;
+    case TickKind::kSuspendGap:
+        ++stats_.suspend_gaps;
+        break;
+    }
+    if (info.catch_up) {
+        ++stats_.catch_up_ticks;
+    }
+    stats_.epochs_skipped += info.epochs_skipped;
+    stats_.max_lateness = std::max(stats_.max_lateness, info.lateness);
+
+    // Pick the next deadline. Catch-up keeps the grid and works through the
+    // backlog (a past deadline fires immediately via the scheduler clamp);
+    // everything else resyncs to the first grid point strictly after now.
+    SimTime next;
+    if (info.kind == TickKind::kMissed &&
+        policy_.miss_policy == DeadlineMissPolicy::kCatchUp) {
+        next = info.scheduled + policy_.period;
+        pending_catch_up_ = next <= info.actual;
+    } else {
+        // First grid point strictly after `actual` (floor(lateness/p) + 1
+        // periods past the old deadline).
+        next = info.scheduled + policy_.period * (info.epochs_skipped + 1);
+    }
+
+    // Reschedule before delivering, mirroring PeriodicTask: the callback may
+    // Stop() or restart us, and same-timestamp event order stays identical
+    // to the pre-seam control loop on a clean clock.
+    ScheduleNext(next);
+    fn_(info);
+}
+
+}  // namespace aeo::platform

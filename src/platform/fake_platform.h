@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "platform/platform.h"
+#include "platform/sim_clock.h"
 #include "sim/simulator.h"
 
 namespace aeo::platform {
@@ -93,6 +94,8 @@ class FakePlatform final : public Platform,
 
     // --- Platform ---------------------------------------------------------
     Simulator& sim() override { return sim_; }
+    Clock& clock() override { return clock_; }
+    TickScheduler& ticks() override { return tick_scheduler_; }
     PerfReader& perf() override { return *this; }
     Actuator& actuator() override { return actuator_; }
     GovernorControl& governors() override { return *this; }
@@ -144,6 +147,8 @@ class FakePlatform final : public Platform,
 
   private:
     Simulator sim_;
+    SimClock clock_{&sim_};
+    SimTickScheduler tick_scheduler_{&sim_};
     FakeActuator actuator_;
     std::deque<PerfWindow> perf_windows_;
     std::deque<double> power_windows_;

@@ -161,6 +161,9 @@ class Thermals {
     virtual int ReadCpuCapLevel() = 0;
 };
 
+class Clock;
+class TickScheduler;
+
 /** The full platform a controller runs against. */
 class Platform {
   public:
@@ -168,6 +171,16 @@ class Platform {
 
     /** The clock/event queue control cycles are scheduled on. */
     virtual Simulator& sim() = 0;
+
+    /**
+     * Monotonic time as the control loop is allowed to see it. Policy code
+     * must read time here — never from sim() — so chaos decorators can
+     * skew or step the clock under it (DESIGN.md §13).
+     */
+    virtual Clock& clock() = 0;
+
+    /** Deadline scheduling for control ticks, same decoration rule. */
+    virtual TickScheduler& ticks() = 0;
 
     virtual PerfReader& perf() = 0;
     virtual Actuator& actuator() = 0;

@@ -33,7 +33,9 @@ TrySetGovernor(Sysfs& sysfs, SysfsHandle node, const std::string& value)
 
 }  // namespace
 
-SimPlatform::SimPlatform(Device* device) : device_(device), scheduler_(device)
+SimPlatform::SimPlatform(Device* device)
+    : device_(device), scheduler_(device), clock_(&device->sim()),
+      tick_scheduler_(&device->sim())
 {
     AEO_ASSERT(device_ != nullptr, "platform needs a device");
     Sysfs& sysfs = device_->sysfs();

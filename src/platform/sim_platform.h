@@ -13,6 +13,7 @@
 #include "device/device.h"
 #include "platform/config_scheduler.h"
 #include "platform/platform.h"
+#include "platform/sim_clock.h"
 
 namespace aeo::platform {
 
@@ -27,6 +28,8 @@ class SimPlatform final : public Platform,
 
     // --- Platform ---------------------------------------------------------
     Simulator& sim() override { return device_->sim(); }
+    Clock& clock() override { return clock_; }
+    TickScheduler& ticks() override { return tick_scheduler_; }
     PerfReader& perf() override { return *this; }
     Actuator& actuator() override { return scheduler_; }
     GovernorControl& governors() override { return *this; }
@@ -55,6 +58,8 @@ class SimPlatform final : public Platform,
   private:
     Device* device_;
     ConfigScheduler scheduler_;
+    SimClock clock_;
+    SimTickScheduler tick_scheduler_;
     /** Interned sysfs nodes for the per-cycle reads and governor switches
      * (opened once at construction; no path strings built while running). */
     SysfsHandle cap_node_;

@@ -25,7 +25,8 @@ PeriodicTask::Start(SimTime period)
     Stop();
     period_ = period;
     running_ = true;
-    pending_ = sim_->ScheduleAfter(period_, [this] { Fire(); });
+    pending_ =
+        sim_->ScheduleAfter(period_, [this, gen = generation_] { Fire(gen); });
 }
 
 void
@@ -36,14 +37,22 @@ PeriodicTask::Stop()
         pending_ = kInvalidEventId;
     }
     running_ = false;
+    // Invalidate occurrences already mid-delivery: a Start() from inside
+    // the callback must not leave the pre-rescheduled event of the old
+    // series live alongside the new one.
+    ++generation_;
 }
 
 void
-PeriodicTask::Fire()
+PeriodicTask::Fire(uint64_t generation)
 {
+    if (generation != generation_ || !running_) {
+        return;
+    }
     pending_ = kInvalidEventId;
     // Reschedule before running so the callback can Stop() us.
-    pending_ = sim_->ScheduleAfter(period_, [this] { Fire(); });
+    pending_ =
+        sim_->ScheduleAfter(period_, [this, gen = generation_] { Fire(gen); });
     fn_();
 }
 

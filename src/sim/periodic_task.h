@@ -6,6 +6,7 @@
 #ifndef AEO_SIM_PERIODIC_TASK_H_
 #define AEO_SIM_PERIODIC_TASK_H_
 
+#include <cstdint>
 #include <functional>
 
 #include "sim/simulator.h"
@@ -46,13 +47,17 @@ class PeriodicTask {
     SimTime period() const { return period_; }
 
   private:
-    void Fire();
+    void Fire(uint64_t generation);
 
     Simulator* sim_;
     std::function<void()> fn_;
     SimTime period_;
     EventId pending_ = kInvalidEventId;
     bool running_ = false;
+    /** Bumped by Start/Stop so an occurrence scheduled before a restart
+     * can never fire after it, even if its cancellation was missed (the
+     * callback itself may Start() this task while Fire is mid-delivery). */
+    uint64_t generation_ = 0;
 };
 
 }  // namespace aeo

@@ -134,7 +134,7 @@ TEST(ChaosCampaignTest, CleanCampaignHoldsEveryInvariant)
     EXPECT_TRUE(report.clean()) << report.first_violation_monitor;
     EXPECT_GT(report.cycles, 0u);
     EXPECT_EQ(report.fault_events, 0u);
-    EXPECT_EQ(report.verdicts.size(), 5u);
+    EXPECT_EQ(report.verdicts.size(), 7u);
 }
 
 TEST(ChaosCampaignTest, ReportsAreDeterministic)
@@ -239,7 +239,7 @@ TEST(ChaosCampaignTest, ReportJsonCarriesVerdictsAndTail)
     const JsonValue json = CampaignReportToJson(report);
     EXPECT_TRUE(json.is_object());
     EXPECT_EQ(SeedFromJson(json.At("seed")), report.seed);
-    EXPECT_EQ(json.At("verdicts").items().size(), 5u);
+    EXPECT_EQ(json.At("verdicts").items().size(), 7u);
     EXPECT_FALSE(json.At("cycle_tail").items().empty());
     EXPECT_EQ(json.GetString("first_violation_monitor", ""),
               "actuation-consistency");

@@ -44,12 +44,14 @@ struct CycleFixture {
 TEST(InvariantMonitorTest, CatalogueHasExactlyTheDocumentedMonitors)
 {
     const auto monitors = MakeDefaultMonitors(MonitorConfig{});
-    ASSERT_EQ(monitors.size(), 5u);
+    ASSERT_EQ(monitors.size(), 7u);
     EXPECT_EQ(monitors[0]->name(), "thermal-envelope");
     EXPECT_EQ(monitors[1]->name(), "qos-violation-run");
     EXPECT_EQ(monitors[2]->name(), "actuation-consistency");
     EXPECT_EQ(monitors[3]->name(), "state-legality");
     EXPECT_EQ(monitors[4]->name(), "watchdog-liveness");
+    EXPECT_EQ(monitors[5]->name(), "deadline-miss-run");
+    EXPECT_EQ(monitors[6]->name(), "stale-actuation");
 }
 
 TEST(InvariantMonitorTest, ThermalEnvelopeMonitorFiresAboveLimitOnly)
@@ -282,6 +284,105 @@ TEST(InvariantMonitorTest, WatchdogLivenessMonitorToleratesProbedFallback)
     no_reengage.probes = 0;
     terminal.OnFinish(no_reengage);
     EXPECT_TRUE(terminal.ok());
+}
+
+TEST(InvariantMonitorTest, DeadlineMissRunMonitorBoundsMissStorms)
+{
+    MonitorConfig config;
+    config.max_deadline_miss_run = 3;
+    DeadlineMissRunMonitor monitor(config);
+    CycleFixture fixture;
+    fixture.record.tick_kind = platform::TickKind::kMissed;
+    fixture.record.tick_lateness_s = 1.5;
+
+    // Three consecutive missed cycles: at the bound, not over it.
+    for (uint64_t i = 0; i < 3; ++i) {
+        fixture.context.cycle_index = i;
+        monitor.OnCycle(fixture.context);
+    }
+    EXPECT_TRUE(monitor.ok());
+
+    // The fourth breaks the bound; one report per storm, not per cycle.
+    for (uint64_t i = 3; i < 8; ++i) {
+        fixture.context.cycle_index = i;
+        monitor.OnCycle(fixture.context);
+    }
+    EXPECT_EQ(monitor.violations().size(), 1u);
+    EXPECT_EQ(monitor.first_violation_cycle(), 3);
+}
+
+TEST(InvariantMonitorTest, DeadlineMissRunMonitorResetsOnFallbackOrOnTime)
+{
+    MonitorConfig config;
+    config.max_deadline_miss_run = 2;
+    DeadlineMissRunMonitor monitor(config);
+    CycleFixture fixture;
+    fixture.record.tick_kind = platform::TickKind::kMissed;
+
+    // Two misses, then a fallback: the controller reacted inside the
+    // bound, which is exactly the behaviour the invariant demands.
+    monitor.OnCycle(fixture.context);
+    monitor.OnCycle(fixture.context);
+    fixture.context.fallback_engaged = true;
+    monitor.OnCycle(fixture.context);
+    fixture.context.fallback_engaged = false;
+
+    // Two more misses separated by an on-time tick: runs never exceed 2.
+    monitor.OnCycle(fixture.context);
+    monitor.OnCycle(fixture.context);
+    fixture.record.tick_kind = platform::TickKind::kOnTime;
+    monitor.OnCycle(fixture.context);
+    fixture.record.tick_kind = platform::TickKind::kMissed;
+    monitor.OnCycle(fixture.context);
+    EXPECT_TRUE(monitor.ok());
+}
+
+TEST(InvariantMonitorTest, StaleActuationMonitorCatchesPostSuspendSteering)
+{
+    StaleActuationMonitor monitor;
+    CycleFixture fixture;
+    fixture.record.tick_kind = platform::TickKind::kSuspendGap;
+    fixture.record.tick_lateness_s = 30.0;
+    fixture.record.epochs_skipped = 15;
+    fixture.record.perf_samples = 40;
+
+    // Quarantined resume: stale guard engaged, measurement not steered on.
+    fixture.record.stale_guard = true;
+    fixture.record.degraded = true;
+    monitor.OnCycle(fixture.context);
+    EXPECT_TRUE(monitor.ok());
+
+    // The bug: the pre-suspend perf window steered the actuation.
+    fixture.record.stale_guard = false;
+    fixture.record.degraded = false;
+    fixture.context.cycle_index = 7;
+    monitor.OnCycle(fixture.context);
+    EXPECT_FALSE(monitor.ok());
+    EXPECT_EQ(monitor.first_violation_cycle(), 7);
+}
+
+TEST(InvariantMonitorTest, StaleActuationMonitorIgnoresOrdinaryCycles)
+{
+    StaleActuationMonitor monitor;
+    CycleFixture fixture;
+    fixture.record.perf_samples = 40;
+
+    // On-time and merely-late cycles are not suspend gaps.
+    fixture.record.tick_kind = platform::TickKind::kOnTime;
+    monitor.OnCycle(fixture.context);
+    fixture.record.tick_kind = platform::TickKind::kMissed;
+    monitor.OnCycle(fixture.context);
+
+    // A suspend-gap resume with an empty perf window has nothing stale.
+    fixture.record.tick_kind = platform::TickKind::kSuspendGap;
+    fixture.record.perf_samples = 0;
+    monitor.OnCycle(fixture.context);
+
+    // Fallback cycles do not actuate at all.
+    fixture.record.perf_samples = 40;
+    fixture.context.fallback_engaged = true;
+    monitor.OnCycle(fixture.context);
+    EXPECT_TRUE(monitor.ok());
 }
 
 }  // namespace

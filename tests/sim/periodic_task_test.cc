@@ -1,5 +1,7 @@
 #include "sim/periodic_task.h"
 
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace aeo {
@@ -55,6 +57,47 @@ TEST(PeriodicTaskTest, CallbackMayStopItsOwnTask)
     task.Start(SimTime::Millis(10));
     sim.RunUntil(SimTime::FromSeconds(1));
     EXPECT_EQ(fires, 3);
+}
+
+TEST(PeriodicTaskTest, CallbackMayRestartItsOwnTask)
+{
+    Simulator sim;
+    std::vector<SimTime> fires;
+    PeriodicTask task(&sim, [&] {
+        fires.push_back(sim.Now());
+        if (fires.size() == 1) {
+            task.Start(SimTime::Millis(300));
+        }
+    });
+    task.Start(SimTime::Millis(100));
+    sim.RunUntil(SimTime::Millis(1050));
+
+    // The first firing restarts the task with a longer period. The old
+    // series' occurrence (due at 200 ms) must never fire: only the new
+    // 300 ms series exists after the restart.
+    ASSERT_EQ(fires.size(), 4u);
+    EXPECT_EQ(fires[0], SimTime::Millis(100));
+    EXPECT_EQ(fires[1], SimTime::Millis(400));
+    EXPECT_EQ(fires[2], SimTime::Millis(700));
+    EXPECT_EQ(fires[3], SimTime::Millis(1000));
+    EXPECT_EQ(task.period(), SimTime::Millis(300));
+}
+
+TEST(PeriodicTaskTest, CallbackMayStopAndRestartItsOwnTask)
+{
+    Simulator sim;
+    int fires = 0;
+    PeriodicTask task(&sim, [&] {
+        ++fires;
+        if (fires == 1) {
+            task.Stop();
+            task.Start(SimTime::Millis(50));
+        }
+    });
+    task.Start(SimTime::Millis(100));
+    sim.RunUntil(SimTime::Millis(305));
+    // 100 ms (restart), then 150/200/250/300: exactly one live series.
+    EXPECT_EQ(fires, 5);
 }
 
 TEST(PeriodicTaskTest, DestructionCancelsCleanly)

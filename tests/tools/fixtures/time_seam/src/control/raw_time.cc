@@ -1,0 +1,4 @@
+#include "common/logging.h"
+namespace aeo {
+void Arm(PeriodicTask* tick);
+}

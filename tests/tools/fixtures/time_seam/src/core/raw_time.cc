@@ -1,0 +1,6 @@
+#include "common/logging.h"
+namespace aeo {
+class Simulator;
+void Spin(PeriodicTask* tick);
+double Now() { return sim().NowSeconds(); }
+}

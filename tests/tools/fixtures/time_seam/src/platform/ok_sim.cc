@@ -1,0 +1,4 @@
+#include "sim/simulator.h"
+namespace aeo::platform {
+Simulator* Raw(Simulator* backing) { return backing; }
+}

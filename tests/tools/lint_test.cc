@@ -72,6 +72,27 @@ TEST(AeoLintTest, LayeringBreaksAreReportedAtTheIncludeLine)
     EXPECT_EQ(findings.size(), 5u) << Dump(findings);
 }
 
+TEST(AeoLintTest, RawSimulatorTimeInPolicyLayersIsReported)
+{
+    const std::vector<Finding> findings = LintFixture("time_seam");
+    // core naming the raw machinery: the type, the task, the clock call.
+    EXPECT_TRUE(
+        HasFinding(findings, "time-seam", "src/core/raw_time.cc", 3))
+        << Dump(findings);
+    EXPECT_TRUE(
+        HasFinding(findings, "time-seam", "src/core/raw_time.cc", 4))
+        << Dump(findings);
+    EXPECT_TRUE(
+        HasFinding(findings, "time-seam", "src/core/raw_time.cc", 5))
+        << Dump(findings);
+    // control is a policy layer too...
+    EXPECT_TRUE(
+        HasFinding(findings, "time-seam", "src/control/raw_time.cc", 3))
+        << Dump(findings);
+    // ...while src/platform IS the seam: its Simulator use is clean.
+    EXPECT_EQ(findings.size(), 4u) << Dump(findings);
+}
+
 TEST(AeoLintTest, InlineSysfsLiteralIsReported)
 {
     const std::vector<Finding> findings = LintFixture("sysfs_literal");

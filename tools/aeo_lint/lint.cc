@@ -351,6 +351,59 @@ CheckLayering(const SourceFile& file, std::vector<Finding>* findings)
     }
 }
 
+/** Rule `time-seam`: the policy layers (src/core, src/control) consume time
+ * only through the aeo::platform seam — Clock, TickScheduler and
+ * DeadlineSupervisor (DESIGN.md §13). Naming the raw `Simulator` or
+ * `PeriodicTask` machinery there, or calling a bare `sim()` accessor, pins
+ * policy code to the simulation backend and bypasses the deadline
+ * classification every control tick must pass through. */
+void
+CheckTimeSeam(const SourceFile& file, std::vector<Finding>* findings)
+{
+    const std::string layer = LayerOf(file.rel_path);
+    if (layer != "core" && layer != "control") return;
+    const std::string& code = file.stripped.code;
+    static const std::vector<std::string> kTokens = {"Simulator",
+                                                     "PeriodicTask", "sim"};
+    for (const std::string& token : kTokens) {
+        size_t pos = 0;
+        int line = 1;
+        size_t line_start_scan = 0;
+        while ((pos = code.find(token, pos)) != std::string::npos) {
+            const bool bounded_left =
+                pos == 0 || !IsIdentChar(code[pos - 1]);
+            const size_t end = pos + token.size();
+            const bool bounded_right =
+                end >= code.size() || !IsIdentChar(code[end]);
+            bool hit = bounded_left && bounded_right;
+            if (hit && token == "sim") {
+                // Only the call form `sim(...)` is raw time access; the
+                // bare word is unremarkable inside other identifiers.
+                size_t after = end;
+                while (after < code.size() &&
+                       (code[after] == ' ' || code[after] == '\t')) {
+                    ++after;
+                }
+                hit = after < code.size() && code[after] == '(';
+            }
+            if (hit) {
+                line += static_cast<int>(std::count(
+                    code.begin() + static_cast<ptrdiff_t>(line_start_scan),
+                    code.begin() + static_cast<ptrdiff_t>(pos), '\n'));
+                line_start_scan = pos;
+                AddFinding(findings, file, line, "time-seam",
+                           "src/" + layer +
+                               " consumes time only through the "
+                               "aeo::platform seam (Clock, TickScheduler, "
+                               "DeadlineSupervisor); do not name Simulator/"
+                               "PeriodicTask or call a raw sim() here "
+                               "(DESIGN.md §13)");
+            }
+            pos = end;
+        }
+    }
+}
+
 /** Rule `sysfs-literal`: inline "/sys..." strings belong to src/kernel and
  * src/platform; everything else must use the interned constants. */
 void
@@ -730,6 +783,7 @@ RunLint(const LintOptions& options)
         const SourceFile file = LoadSource(root, rel);
         CheckSuppressions(file, &findings);
         CheckLayering(file, &findings);
+        CheckTimeSeam(file, &findings);
         CheckSysfsLiterals(file, &findings);
         CheckUnitLiterals(file, &findings);
         CheckMonitorCatalogue(file, catalogue_code, &findings);
