@@ -3,7 +3,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <thread>
 
+#include "common/json.h"
+#include "common/logging.h"
 #include "common/strings.h"
 
 namespace aeo::bench {
@@ -26,6 +30,49 @@ ParseBenchArgs(int argc, char** argv)
         }
     }
     return args;
+}
+
+std::string
+JsonPathArg(int argc, char** argv, const std::string& default_path)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--json=", 7) == 0) {
+            return argv[i] + 7;
+        }
+    }
+    return default_path;
+}
+
+void
+WriteSnapshotFile(const std::string& path, const std::string& json_text)
+{
+    std::ofstream out(path);
+    AEO_ASSERT(out.good(), "cannot open %s", path.c_str());
+    out << json_text;
+    out.close();
+    std::printf("Wrote %s\n", path.c_str());
+}
+
+void
+WritePerfMeta(const std::string& snapshot_path, double wall_seconds,
+              uint64_t events_executed)
+{
+    JsonValue doc = JsonValue::MakeObject();
+    doc.Set("wall_seconds", StrFormat("%.3f", wall_seconds));
+    doc.Set("events_executed", events_executed);
+    doc.Set("events_per_second",
+            StrFormat("%.6g", wall_seconds > 0.0
+                                  ? static_cast<double>(events_executed) /
+                                        wall_seconds
+                                  : 0.0));
+    doc.Set("hardware_threads",
+            static_cast<int>(std::thread::hardware_concurrency()));
+    const std::string path = snapshot_path + ".perf.json";
+    std::ofstream out(path);
+    AEO_ASSERT(out.good(), "cannot open %s", path.c_str());
+    out << doc.Dump(2) << "\n";
+    out.close();
+    std::printf("Wrote %s\n", path.c_str());
 }
 
 void

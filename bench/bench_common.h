@@ -58,6 +58,24 @@ struct BenchArgs {
  * argv; ignores everything else. */
 BenchArgs ParseBenchArgs(int argc, char** argv);
 
+/** The --json=PATH override if present, else @p default_path. Benches that
+ * emit a determinism-gated snapshot all accept this flag. */
+std::string JsonPathArg(int argc, char** argv,
+                        const std::string& default_path);
+
+/** Writes @p json_text to @p path and prints a "Wrote" line. */
+void WriteSnapshotFile(const std::string& path, const std::string& json_text);
+
+/**
+ * Writes the non-deterministic perf sidecar `<snapshot_path>.perf.json`:
+ * wall seconds, simulated events executed (TotalExecutedEvents delta over
+ * the bench), events/sec, and hardware threads. Kept out of the snapshot
+ * itself so the byte-for-byte CI gate only ever sees deterministic bytes;
+ * CI uploads the sidecars as artifacts for trend tracking.
+ */
+void WritePerfMeta(const std::string& snapshot_path, double wall_seconds,
+                   uint64_t events_executed);
+
 /** Prints a banner naming the experiment and the paper artifact. */
 void PrintHeader(const std::string& experiment_id, const std::string& title);
 

@@ -1,0 +1,302 @@
+/**
+ * @file
+ * P2 — Event-core hot path: throughput and allocation behaviour of the slab
+ * event queue (DESIGN.md §14) under the three shapes the simulator actually
+ * runs:
+ *
+ *  - steady-state periodic dispatch (the 5 kHz power monitor, governor and
+ *    thermal timers): repeating events re-arming their slab record in place;
+ *  - one-shot churn (device boundary events): schedule → fire → reschedule
+ *    through the free list;
+ *  - schedule/cancel mix (deadline supervision): ids armed and cancelled
+ *    without ever firing.
+ *
+ * This binary overrides global operator new/delete with a counting hook, so
+ * allocations per dispatch are *measured*, not inferred: after warmup the
+ * periodic and one-shot paths must both report 0.000 (the property test
+ * under tests/sim asserts the same invariant; this bench reports it next to
+ * the throughput numbers it buys).
+ *
+ * Emits BENCH_event_hotpath.json (events/sec, ns/dispatch,
+ * allocations/dispatch per scenario). Timing fields vary run to run — this
+ * artifact is a perf record, not a determinism-gated snapshot.
+ */
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/logging.h"
+#include "common/strings.h"
+#include "common/text_table.h"
+#include "sim/simulator.h"
+
+namespace {
+
+/** Heap operations observed by the counting hook below. */
+std::atomic<uint64_t> g_alloc_count{0};
+
+}  // namespace
+
+// Counting allocator hook: every heap allocation in this binary passes
+// through here. Lives in this TU only — the hook is per-binary, the library
+// under test is unchanged.
+void*
+operator new(std::size_t size)
+{
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::malloc(size)) {
+        return p;
+    }
+    throw std::bad_alloc();
+}
+
+void*
+operator new[](std::size_t size)
+{
+    return ::operator new(size);
+}
+
+void
+operator delete(void* p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void* p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void* p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void* p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Scenario {
+    std::string name;
+    uint64_t dispatches = 0;
+    double seconds = 0.0;
+    uint64_t allocations = 0;
+
+    double events_per_second() const
+    {
+        return seconds > 0.0 ? static_cast<double>(dispatches) / seconds : 0.0;
+    }
+    double ns_per_dispatch() const
+    {
+        return dispatches > 0
+                   ? seconds * 1e9 / static_cast<double>(dispatches)
+                   : 0.0;
+    }
+    double allocs_per_dispatch() const
+    {
+        return dispatches > 0 ? static_cast<double>(allocations) /
+                                    static_cast<double>(dispatches)
+                              : 0.0;
+    }
+};
+
+/**
+ * Steady-state periodic dispatch: @p series repeating events with co-prime
+ * periods (so firings interleave rather than batch), run until ~@p total
+ * dispatches. Warmup grows the slab and the heap first; the measured
+ * region must not allocate.
+ */
+Scenario
+RunPeriodic(uint64_t total, int series)
+{
+    aeo::Simulator sim;
+    std::vector<uint64_t> fired(static_cast<size_t>(series), 0);
+    // Co-prime-ish microsecond periods near 200 us — ~5 kHz, the monitor's
+    // regime.
+    for (int i = 0; i < series; ++i) {
+        uint64_t* slot = &fired[static_cast<size_t>(i)];
+        sim.ScheduleEvery(aeo::SimTime::Micros(191 + 2 * i),
+                          [slot] { ++*slot; });
+    }
+    // Warmup: populate the slab, the heap vector, and the executed counters.
+    sim.RunFor(aeo::SimTime::Millis(20));
+
+    const uint64_t start_events = sim.executed_events();
+    const uint64_t start_allocs = g_alloc_count.load(std::memory_order_relaxed);
+    const auto start = Clock::now();
+    while (sim.executed_events() - start_events < total) {
+        sim.RunFor(aeo::SimTime::Millis(100));
+    }
+    const double seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    const uint64_t allocs =
+        g_alloc_count.load(std::memory_order_relaxed) - start_allocs;
+
+    Scenario s;
+    s.name = "periodic_steady_state";
+    s.dispatches = sim.executed_events() - start_events;
+    s.seconds = seconds;
+    s.allocations = allocs;
+    return s;
+}
+
+/**
+ * One-shot churn: @p chains self-rescheduling one-shot events — the device
+ * boundary-event shape. Each firing re-schedules through Acquire/Release on
+ * the free list; after warmup the slab stops growing and dispatch is
+ * allocation-free.
+ */
+Scenario
+RunOneShotChurn(uint64_t total, int chains)
+{
+    aeo::Simulator sim;
+    struct Chain {
+        aeo::Simulator* sim;
+        aeo::SimTime period;
+        void Fire()
+        {
+            sim->ScheduleAfter(period, [this] { Fire(); });
+        }
+    };
+    std::vector<Chain> chain_objs;
+    chain_objs.reserve(static_cast<size_t>(chains));
+    for (int i = 0; i < chains; ++i) {
+        chain_objs.push_back(Chain{&sim, aeo::SimTime::Micros(193 + 2 * i)});
+    }
+    for (Chain& c : chain_objs) {
+        c.Fire();
+    }
+    sim.RunFor(aeo::SimTime::Millis(20));
+
+    const uint64_t start_events = sim.executed_events();
+    const uint64_t start_allocs = g_alloc_count.load(std::memory_order_relaxed);
+    const auto start = Clock::now();
+    while (sim.executed_events() - start_events < total) {
+        sim.RunFor(aeo::SimTime::Millis(100));
+    }
+    const double seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    const uint64_t allocs =
+        g_alloc_count.load(std::memory_order_relaxed) - start_allocs;
+
+    Scenario s;
+    s.name = "oneshot_churn";
+    s.dispatches = sim.executed_events() - start_events;
+    s.seconds = seconds;
+    s.allocations = allocs;
+    return s;
+}
+
+/**
+ * Schedule/cancel mix: events armed and cancelled before firing (the
+ * deadline-supervisor shape). Counts a schedule+cancel pair as one
+ * dispatch-equivalent for the rate columns.
+ */
+Scenario
+RunScheduleCancel(uint64_t total)
+{
+    aeo::Simulator sim;
+    // Keep one repeating heartbeat so time can advance past cancelled ids.
+    uint64_t beats = 0;
+    sim.ScheduleEvery(aeo::SimTime::Millis(1), [&beats] { ++beats; });
+    sim.RunFor(aeo::SimTime::Millis(5));
+
+    const uint64_t start_allocs = g_alloc_count.load(std::memory_order_relaxed);
+    const auto start = Clock::now();
+    uint64_t pairs = 0;
+    while (pairs < total) {
+        const aeo::EventId id =
+            sim.ScheduleAfter(aeo::SimTime::Millis(10), [] {});
+        sim.Cancel(id);
+        ++pairs;
+        if ((pairs & 0xfff) == 0) {
+            sim.RunFor(aeo::SimTime::Millis(1));
+        }
+    }
+    const double seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    const uint64_t allocs =
+        g_alloc_count.load(std::memory_order_relaxed) - start_allocs;
+
+    Scenario s;
+    s.name = "schedule_cancel";
+    s.dispatches = pairs;
+    s.seconds = seconds;
+    s.allocations = allocs;
+    return s;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace aeo;
+    SetLogLevel(LogLevel::kWarn);
+    const bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
+    bench::PrintHeader("P2 / event hot path",
+                       "Slab event core: dispatch rate and allocations");
+
+    const uint64_t total = args.fast ? 2'000'000ULL : 10'000'000ULL;
+    std::vector<Scenario> scenarios;
+    scenarios.push_back(RunPeriodic(total, 8));
+    scenarios.push_back(RunOneShotChurn(total, 8));
+    scenarios.push_back(RunScheduleCancel(total / 2));
+
+    TextTable table({"Scenario", "Dispatches", "Events/s", "ns/dispatch",
+                     "Allocs/dispatch"});
+    for (const Scenario& s : scenarios) {
+        table.AddRow({s.name, StrFormat("%llu", (unsigned long long)s.dispatches),
+                      StrFormat("%.3g", s.events_per_second()),
+                      StrFormat("%.1f", s.ns_per_dispatch()),
+                      StrFormat("%.3f", s.allocs_per_dispatch())});
+    }
+    std::printf("%s\n", table.ToString().c_str());
+
+    bool hot_paths_allocation_free = true;
+    for (const Scenario& s : scenarios) {
+        if (s.name != "schedule_cancel" && s.allocations != 0) {
+            hot_paths_allocation_free = false;
+            std::fprintf(stderr,
+                         "FAIL: %s performed %llu heap allocations in the "
+                         "steady state\n",
+                         s.name.c_str(), (unsigned long long)s.allocations);
+        }
+    }
+
+    std::string json = "{\n  \"bench\": \"event_hotpath\",\n  \"scenarios\": [\n";
+    for (size_t i = 0; i < scenarios.size(); ++i) {
+        const Scenario& s = scenarios[i];
+        json += StrFormat(
+            "    {\"name\": \"%s\", \"dispatches\": %llu, "
+            "\"events_per_second\": %.0f, \"ns_per_dispatch\": %.2f, "
+            "\"allocations\": %llu, \"allocs_per_dispatch\": %.6f}%s\n",
+            s.name.c_str(), (unsigned long long)s.dispatches,
+            s.events_per_second(), s.ns_per_dispatch(),
+            (unsigned long long)s.allocations, s.allocs_per_dispatch(),
+            i + 1 < scenarios.size() ? "," : "");
+    }
+    json += StrFormat("  ],\n  \"hot_paths_allocation_free\": %s\n}\n",
+                      hot_paths_allocation_free ? "true" : "false");
+    const std::string json_path = "BENCH_event_hotpath.json";
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    AEO_ASSERT(f != nullptr, "cannot open %s", json_path.c_str());
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("Wrote %s\n", json_path.c_str());
+
+    return hot_paths_allocation_free ? 0 : 1;
+}

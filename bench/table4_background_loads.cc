@@ -5,15 +5,23 @@
  * happens under the baseline load (BL); the controller is then evaluated
  * under BL, no-load (NL) and heavier-load (HL) conditions against the
  * default governors in the same condition.
+ *
+ * Emits BENCH_table4.json (override with --json=PATH): a deterministic,
+ * jobs-invariant snapshot of the app x load grid, %.6g-rounded, diffed
+ * byte-for-byte in CI against bench/snapshots/BENCH_table4.json. Wall time
+ * and simulated-event throughput go to the <snapshot>.perf.json sidecar.
  */
+#include <chrono>
 #include <cstdio>
 
 #include "bench_common.h"
+#include "common/json.h"
 #include "common/logging.h"
 #include "common/strings.h"
 #include "common/text_table.h"
 #include "core/experiment.h"
 #include "paper_data.h"
+#include "sim/event_queue.h"
 
 int
 main(int argc, char** argv)
@@ -49,8 +57,15 @@ main(int argc, char** argv)
             jobs.push_back(ComparisonJob{app, options});
         }
     }
+    const uint64_t events_before = TotalExecutedEvents();
+    const auto wall_start = std::chrono::steady_clock::now();
     const std::vector<ExperimentOutcome> outcomes =
         harness.RunComparisons(std::move(jobs), args.batch);
+    const double wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    const uint64_t events_executed = TotalExecutedEvents() - events_before;
 
     TextTable table({"Application", "Load", "Perf (paper)", "Perf (ours)",
                      "Energy (paper)", "Energy (ours)"});
@@ -77,6 +92,37 @@ main(int argc, char** argv)
     std::printf("%s\n", table.ToString().c_str());
     std::printf("Profiling data and targets always come from the baseline load;\n"
                 "mismatched runtime loads reduce savings (most visibly for\n"
-                "Spotify), as the paper reports.\n");
+                "Spotify), as the paper reports.\n\n");
+
+    JsonValue doc = JsonValue::MakeObject();
+    doc.Set("schema", 1);
+    doc.Set("bench", "table4_background_loads");
+    doc.Set("root_seed", "2017");
+    doc.Set("fast", args.fast);
+    doc.Set("profile_runs", args.ProfileRuns());
+    JsonValue rows = JsonValue::MakeArray();
+    size_t j = 0;
+    for (const std::string& app : EvaluationAppNames()) {
+        for (const LoadCase& load_case : cases) {
+            const ExperimentOutcome& outcome = outcomes[j++];
+            JsonValue entry = JsonValue::MakeObject();
+            entry.Set("app", app);
+            entry.Set("load", ToString(load_case.kind));
+            entry.Set("perf_delta_pct",
+                      StrFormat("%.6g", outcome.perf_delta_pct));
+            entry.Set("energy_savings_pct",
+                      StrFormat("%.6g", outcome.energy_savings_pct));
+            entry.Set("default_energy_j",
+                      StrFormat("%.6g", outcome.default_run.energy_j));
+            entry.Set("controller_energy_j",
+                      StrFormat("%.6g", outcome.controller_run.energy_j));
+            rows.Append(std::move(entry));
+        }
+    }
+    doc.Set("rows", std::move(rows));
+    const std::string json_path =
+        bench::JsonPathArg(argc, argv, "BENCH_table4.json");
+    bench::WriteSnapshotFile(json_path, doc.Dump(2) + "\n");
+    bench::WritePerfMeta(json_path, wall_seconds, events_executed);
     return 0;
 }

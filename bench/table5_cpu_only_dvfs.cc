@@ -6,15 +6,24 @@
  * coordinated control saves substantially more energy (≈53 % lower energy
  * consumption on average) because the default bandwidth governor holds a
  * higher-than-necessary bandwidth for most of the runtime.
+ *
+ * Emits BENCH_table5.json (override with --json=PATH): a deterministic,
+ * jobs-invariant snapshot of the ablation vs coordinated outcomes,
+ * %.6g-rounded, diffed byte-for-byte in CI against
+ * bench/snapshots/BENCH_table5.json. Wall time and simulated-event
+ * throughput go to the <snapshot>.perf.json sidecar.
  */
+#include <chrono>
 #include <cstdio>
 
 #include "bench_common.h"
+#include "common/json.h"
 #include "common/logging.h"
 #include "common/strings.h"
 #include "common/text_table.h"
 #include "core/experiment.h"
 #include "paper_data.h"
+#include "sim/event_queue.h"
 
 int
 main(int argc, char** argv)
@@ -40,8 +49,15 @@ main(int argc, char** argv)
         coordinated.cpu_only = false;
         jobs.push_back(ComparisonJob{row.app, coordinated});
     }
+    const uint64_t events_before = TotalExecutedEvents();
+    const auto wall_start = std::chrono::steady_clock::now();
     const std::vector<ExperimentOutcome> outcomes =
         harness.RunComparisons(std::move(jobs), args.batch);
+    const double wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    const uint64_t events_executed = TotalExecutedEvents() - events_before;
 
     TextTable table({"Application", "Perf (paper)", "Perf (ours)",
                      "Energy (paper)", "Energy (ours)", "Coordinated (ours)"});
@@ -64,7 +80,41 @@ main(int argc, char** argv)
     std::printf("%s\n", table.ToString().c_str());
     std::printf("Average savings — coordinated: %.1f%%, CPU-only: %.1f%%.\n"
                 "The paper reports CPU-only control consumes ~53%% more energy\n"
-                "than the coordinated controller on average.\n",
+                "than the coordinated controller on average.\n\n",
                 coordinated_sum / 6.0, cpu_only_sum / 6.0);
+
+    JsonValue doc = JsonValue::MakeObject();
+    doc.Set("schema", 1);
+    doc.Set("bench", "table5_cpu_only_dvfs");
+    doc.Set("root_seed", "2017");
+    doc.Set("fast", args.fast);
+    doc.Set("profile_runs", args.ProfileRuns());
+    JsonValue rows = JsonValue::MakeArray();
+    size_t j = 0;
+    for (const auto& row : paper::TableV()) {
+        const ExperimentOutcome& ablation = outcomes[j++];
+        const ExperimentOutcome& full = outcomes[j++];
+        JsonValue entry = JsonValue::MakeObject();
+        entry.Set("app", row.app);
+        entry.Set("cpu_only_perf_delta_pct",
+                  StrFormat("%.6g", ablation.perf_delta_pct));
+        entry.Set("cpu_only_energy_savings_pct",
+                  StrFormat("%.6g", ablation.energy_savings_pct));
+        entry.Set("coordinated_energy_savings_pct",
+                  StrFormat("%.6g", full.energy_savings_pct));
+        entry.Set("cpu_only_energy_j",
+                  StrFormat("%.6g", ablation.controller_run.energy_j));
+        entry.Set("coordinated_energy_j",
+                  StrFormat("%.6g", full.controller_run.energy_j));
+        rows.Append(std::move(entry));
+    }
+    doc.Set("rows", std::move(rows));
+    doc.Set("avg_coordinated_savings_pct",
+            StrFormat("%.6g", coordinated_sum / 6.0));
+    doc.Set("avg_cpu_only_savings_pct", StrFormat("%.6g", cpu_only_sum / 6.0));
+    const std::string json_path =
+        bench::JsonPathArg(argc, argv, "BENCH_table5.json");
+    bench::WriteSnapshotFile(json_path, doc.Dump(2) + "\n");
+    bench::WritePerfMeta(json_path, wall_seconds, events_executed);
     return 0;
 }

@@ -22,8 +22,11 @@
 #define AEO_CORE_BATCH_RUNNER_H_
 
 #include <algorithm>
+#include <atomic>
+#include <cstddef>
 #include <functional>
 #include <future>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -80,6 +83,59 @@ class BatchRunner {
         }
         for (auto& future : futures) {
             results.push_back(future.get());
+        }
+        return results;
+    }
+
+    /**
+     * Indexed parallel-for: runs @p fn(0) … fn(count - 1) and returns the
+     * results by index. Same determinism contract as RunOrdered — results
+     * are placed by index, so the output is bit-identical at any worker
+     * count — but the serial fraction is a single atomic fetch_add per job
+     * instead of a per-job closure + packaged_task + future + bounded-queue
+     * handoff: the coordination cost no longer grows with the grid. This is
+     * the fan-out path for homogeneous grids (offline profiling, sweeps);
+     * RunOrdered remains for heterogeneous task vectors.
+     *
+     * @p fn must be safe to invoke concurrently from multiple threads for
+     * distinct indices. If any invocation throws, one such exception is
+     * rethrown after all workers stop pulling new indices (remaining
+     * indices may or may not have run).
+     */
+    template <typename R, typename Fn>
+    std::vector<R>
+    RunIndexed(size_t count, Fn&& fn) const
+    {
+        std::vector<R> results;
+        results.reserve(count);
+        if (jobs_ == 1 || count <= 1) {
+            // The serial path: inline, in order, no threads.
+            for (size_t i = 0; i < count; ++i) {
+                results.push_back(fn(i));
+            }
+            return results;
+        }
+        const size_t workers = std::min(static_cast<size_t>(jobs_), count);
+        std::vector<std::optional<R>> slots(count);
+        std::atomic<size_t> next{0};
+        {
+            ThreadPool pool(workers);
+            std::vector<std::future<void>> futures;
+            futures.reserve(workers);
+            for (size_t w = 0; w < workers; ++w) {
+                futures.push_back(pool.Submit([&slots, &next, &fn, count] {
+                    for (size_t i = next.fetch_add(1); i < count;
+                         i = next.fetch_add(1)) {
+                        slots[i].emplace(fn(i));
+                    }
+                }));
+            }
+            for (auto& future : futures) {
+                future.get();
+            }
+        }
+        for (auto& slot : slots) {
+            results.push_back(std::move(*slot));
         }
         return results;
     }

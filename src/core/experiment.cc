@@ -119,13 +119,11 @@ ExperimentHarness::RunComparisons(std::vector<ComparisonJob> jobs,
             job.options.batch.jobs = 1;
         }
     }
-    std::vector<std::function<ExperimentOutcome()>> tasks;
-    tasks.reserve(jobs.size());
-    for (const ComparisonJob& job : jobs) {
-        tasks.push_back(
-            [this, &job] { return RunComparison(job.app_name, job.options); });
-    }
-    return runner.RunOrdered(std::move(tasks));
+    return runner.RunIndexed<ExperimentOutcome>(
+        jobs.size(), [this, &jobs](size_t i) {
+            const ComparisonJob& job = jobs[i];
+            return RunComparison(job.app_name, job.options);
+        });
 }
 
 }  // namespace aeo

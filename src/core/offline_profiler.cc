@@ -30,14 +30,27 @@ MeasureOneRun(const DeviceFactory& factory, const AppSpec& app,
         131071ULL * static_cast<uint64_t>(config.cpu_level * 512 +
                                           (config.gpu_level + 1) * 64 +
                                           config.bw_level + 1);
+    // Shared-immutable setup, hoisted out of the per-run path: every run
+    // opens the same sysfs nodes, so the path strings are built once per
+    // process, not once per (config, run) job.
+    static const std::string kGpuGovernorPath =
+        std::string(kGpuSysfsRoot) + "/governor";
+    static const std::string kGpuSetFreqPath =
+        std::string(kGpuSysfsRoot) + "/userspace/set_freq";
+    static const std::string kBwGovernorPath =
+        std::string(kDevfreqSysfsRoot) + "/governor";
+    static const std::string kCpuGovernorPath =
+        std::string(kCpufreqSysfsRoot) + "/scaling_governor";
+    static const std::string kCpuSetSpeedPath =
+        std::string(kCpufreqSysfsRoot) + "/scaling_setspeed";
+
     std::unique_ptr<Device> device = factory(seed);
     device->SetBackground(MakeBackgroundEnv(options.load));
     Sysfs& sysfs = device->sysfs();
-    const SysfsHandle gpu_governor =
-        sysfs.Open(std::string(kGpuSysfsRoot) + "/governor");
+    const SysfsHandle gpu_governor = sysfs.Open(kGpuGovernorPath);
     if (config.controls_gpu()) {
         sysfs.Write(gpu_governor, "userspace");
-        sysfs.Write(sysfs.Open(std::string(kGpuSysfsRoot) + "/userspace/set_freq"),
+        sysfs.Write(sysfs.Open(kGpuSetFreqPath),
                     StrFormat("%lld", static_cast<long long>(
                                           device->gpu().MhzAt(config.gpu_level) + 0.5)));
     } else {
@@ -49,17 +62,12 @@ MeasureOneRun(const DeviceFactory& factory, const AppSpec& app,
         device->PinConfiguration(config.cpu_level, config.bw_level);
     } else {
         // CPU-only: pin the CPU, leave the bus with its default governor.
-        sysfs.Write(sysfs.Open(std::string(kDevfreqSysfsRoot) + "/governor"),
-                    "cpubw_hwmon");
-        sysfs.Write(
-            sysfs.Open(std::string(kCpufreqSysfsRoot) + "/scaling_governor"),
-            "userspace");
+        sysfs.Write(sysfs.Open(kBwGovernorPath), "cpubw_hwmon");
+        sysfs.Write(sysfs.Open(kCpuGovernorPath), "userspace");
         const long long khz = static_cast<long long>(
             device->cluster().table().FrequencyAt(config.cpu_level).kilohertz() +
             0.5);
-        sysfs.Write(
-            sysfs.Open(std::string(kCpufreqSysfsRoot) + "/scaling_setspeed"),
-            StrFormat("%lld", khz));
+        sysfs.Write(sysfs.Open(kCpuSetSpeedPath), StrFormat("%lld", khz));
     }
     device->LaunchApp(app);
     device->RunFor(options.measure_duration);
@@ -164,20 +172,18 @@ OfflineProfiler::Profile(const AppSpec& app, const ProfilerOptions& options) con
     }
 
     // Fan the (configuration, run) grid across the batch layer — every run
-    // is one job on its own seeded device — then reduce each configuration's
-    // runs in submission order, so the table is bit-identical to a serial
-    // profile at any worker count.
-    std::vector<std::function<RunSample()>> tasks;
-    tasks.reserve(grid.size() * static_cast<size_t>(options.runs));
-    for (const SystemConfig& config : grid) {
-        for (int run = 0; run < options.runs; ++run) {
-            tasks.push_back([this, &app, config, &options, run] {
-                return MeasureOneRun(factory_, app, config, options, run);
-            });
-        }
-    }
+    // is one job on its own seeded device, indexed as i = config * runs +
+    // run — then reduce each configuration's runs in index order, so the
+    // table is bit-identical to a serial profile at any worker count. The
+    // indexed fan-out keeps the serial fraction flat: no per-job closures
+    // or futures are materialized for the profiling grid.
+    const auto runs = static_cast<size_t>(options.runs);
     const BatchRunner runner(options.batch);
-    const std::vector<RunSample> samples = runner.RunOrdered(std::move(tasks));
+    const std::vector<RunSample> samples = runner.RunIndexed<RunSample>(
+        grid.size() * runs, [&](size_t i) {
+            return MeasureOneRun(factory_, app, grid[i / runs], options,
+                                 static_cast<int>(i % runs));
+        });
 
     std::vector<ProfileMeasurement> measurements;
     measurements.reserve(grid.size());

@@ -272,6 +272,11 @@ Device::RunUntilAppFinishes(SimTime max_duration)
 Milliwatts
 Device::CurrentPower() const
 {
+    const double overhead_mw =
+        perf_->power_overhead_mw() + controller_overhead_mw_;
+    if (power_cache_valid_ && overhead_mw == power_cache_overhead_mw_) {
+        return power_cache_;
+    }
     PowerInputs inputs;
     inputs.cpu_freq = cluster_.frequency();
     inputs.cpu_voltage = cluster_.voltage();
@@ -288,10 +293,13 @@ Device::CurrentPower() const
     inputs.gpu_mhz = gpu_.mhz();
     inputs.gpu_voltage = gpu_.voltage();
     inputs.gpu_busy = gpu_busy_;
-    inputs.overhead_mw = perf_->power_overhead_mw() + controller_overhead_mw_;
+    inputs.overhead_mw = overhead_mw;
     inputs.temp_c = thermal_ != nullptr ? thermal_->temperature_c()
                                         : kLeakageReferenceC;
-    return power_model_.TotalPower(inputs);
+    power_cache_ = power_model_.TotalPower(inputs);
+    power_cache_overhead_mw_ = overhead_mw;
+    power_cache_valid_ = true;
+    return power_cache_;
 }
 
 void
@@ -345,6 +353,8 @@ Device::IntegrateToNow()
         }
         background_->Advance(dt, bg_gips_ * seconds.value());
         last_update_ = now;
+        // Temperature and app phases advanced; the memoized power is stale.
+        power_cache_valid_ = false;
     }
     in_integrate_ = false;
     MaybeFinish();
@@ -384,6 +394,7 @@ Device::RecomputeRates()
     };
     max_core_load_ =
         std::max(core_load(rates.foreground), core_load(rates.background));
+    power_cache_valid_ = false;
 
     // GPU demand follows the foreground's progress (render work per Gi).
     // When the GPU cannot keep up it co-bottlenecks the application.

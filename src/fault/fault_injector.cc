@@ -57,6 +57,7 @@ FaultInjector::AddRule(FaultRule rule)
                rule.path_prefix.c_str());
     rules_.push_back(std::move(rule));
     rule_active_.push_back(1);
+    BumpVersion();
     return static_cast<int>(rules_.size()) - 1;
 }
 
@@ -65,6 +66,7 @@ FaultInjector::RemoveRule(int handle)
 {
     if (handle >= 0 && handle < static_cast<int>(rule_active_.size())) {
         rule_active_[static_cast<size_t>(handle)] = 0;
+        BumpVersion();
     }
 }
 
@@ -75,6 +77,7 @@ FaultInjector::Clear()
     rule_active_.clear();
     sticky_.clear();
     gone_.clear();
+    BumpVersion();
 }
 
 FaultDecision
@@ -89,6 +92,18 @@ FaultInjector::OnWrite(const std::string& path)
     return Decide(path, /*is_write=*/true);
 }
 
+FaultDecision
+FaultInjector::OnRead(PathQuery& query)
+{
+    return DecideCached(query, /*is_write=*/false);
+}
+
+FaultDecision
+FaultInjector::OnWrite(PathQuery& query)
+{
+    return DecideCached(query, /*is_write=*/true);
+}
+
 bool
 FaultInjector::IsGone(const std::string& path) const
 {
@@ -100,6 +115,7 @@ FaultInjector::Repair(const std::string& path)
 {
     sticky_.erase(path);
     gone_.erase(path);
+    BumpVersion();
 }
 
 void
@@ -111,6 +127,7 @@ FaultInjector::RepairPrefix(const std::string& prefix)
     for (auto it = gone_.begin(); it != gone_.end();) {
         it = StartsWith(*it, prefix) ? gone_.erase(it) : std::next(it);
     }
+    BumpVersion();
 }
 
 void
@@ -118,6 +135,24 @@ FaultInjector::RepairAll()
 {
     sticky_.clear();
     gone_.clear();
+    BumpVersion();
+}
+
+int
+FaultInjector::FindRule(const std::string& path) const
+{
+    // First active, unspent prefix match wins. Removed rules and rules with
+    // an exhausted max_triggers budget are skipped entirely so an
+    // overlapping later rule on the same node still applies.
+    for (size_t i = 0; i < rules_.size(); ++i) {
+        if (rule_active_[i] == 0 || rules_[i].max_triggers == 0) {
+            continue;
+        }
+        if (StartsWith(path, rules_[i].path_prefix)) {
+            return static_cast<int>(i);
+        }
+    }
+    return -1;
 }
 
 FaultDecision
@@ -139,63 +174,81 @@ FaultInjector::Decide(const std::string& path, bool is_write)
         return decision;
     }
 
-    // First active, unspent prefix match wins. Removed rules and rules with
-    // an exhausted max_triggers budget are skipped entirely so an
-    // overlapping later rule on the same node still applies.
-    FaultRule* rule = nullptr;
-    for (size_t i = 0; i < rules_.size(); ++i) {
-        if (rule_active_[i] == 0 || rules_[i].max_triggers == 0) {
-            continue;
-        }
-        if (StartsWith(path, rules_[i].path_prefix)) {
-            rule = &rules_[i];
-            break;
-        }
-    }
-    if (rule == nullptr) {
+    const int rule = FindRule(path);
+    if (rule < 0) {
         return decision;
     }
+    return Roll(rules_[static_cast<size_t>(rule)], path, is_write);
+}
 
+FaultDecision
+FaultInjector::DecideCached(PathQuery& query, bool is_write)
+{
+    if (query.version_ != topology_version_) {
+        query.version_ = topology_version_;
+        query.latched_ = gone_.count(query.path_) != 0 ||
+                         sticky_.count(query.path_) != 0;
+        query.rule_ = FindRule(query.path_);
+    }
+    if (query.latched_) {
+        // Every latched operation records a trace event anyway — no point
+        // memoizing the map lookups.
+        return Decide(query.path_, is_write);
+    }
+    ++op_count_;
+    if (query.rule_ < 0) {
+        return FaultDecision{};
+    }
+    return Roll(rules_[static_cast<size_t>(query.rule_)], query.path_,
+                is_write);
+}
+
+FaultDecision
+FaultInjector::Roll(FaultRule& rule, const std::string& path, bool is_write)
+{
+    FaultDecision decision;
     const auto consume_trigger = [&] {
-        if (rule->max_triggers > 0) {
-            --rule->max_triggers;
+        if (rule.max_triggers > 0 && --rule.max_triggers == 0) {
+            BumpVersion();  // the rule no longer matches anything
         }
     };
 
-    if (rule->disappear_probability > 0.0 &&
-        rng_.Bernoulli(rule->disappear_probability)) {
+    if (rule.disappear_probability > 0.0 &&
+        rng_.Bernoulli(rule.disappear_probability)) {
         consume_trigger();
         gone_.insert(path);
+        BumpVersion();
         decision.errc = FaultErrc::kNoEnt;
         Record(path, is_write, decision);
         return decision;
     }
-    if (rule->fail_probability > 0.0 && rng_.Bernoulli(rule->fail_probability)) {
+    if (rule.fail_probability > 0.0 && rng_.Bernoulli(rule.fail_probability)) {
         consume_trigger();
-        decision.errc = rule->errc;
-        if (rule->duration == FaultDuration::kSticky) {
-            sticky_.emplace(path, rule->errc);
+        decision.errc = rule.errc;
+        if (rule.duration == FaultDuration::kSticky) {
+            sticky_.emplace(path, rule.errc);
+            BumpVersion();
         }
         Record(path, is_write, decision);
         return decision;
     }
-    if (is_write && rule->silent_clamp_probability > 0.0 &&
-        rng_.Bernoulli(rule->silent_clamp_probability)) {
+    if (is_write && rule.silent_clamp_probability > 0.0 &&
+        rng_.Bernoulli(rule.silent_clamp_probability)) {
         consume_trigger();
         decision.silent_clamp = true;
-        decision.clamp_factor = rule->silent_clamp_factor;
+        decision.clamp_factor = rule.silent_clamp_factor;
         Record(path, is_write, decision);
         return decision;
     }
-    if (!is_write && rule->stale_probability > 0.0 &&
-        rng_.Bernoulli(rule->stale_probability)) {
+    if (!is_write && rule.stale_probability > 0.0 &&
+        rng_.Bernoulli(rule.stale_probability)) {
         consume_trigger();
         decision.stale = true;
     }
-    if (rule->latency_spike_probability > 0.0 &&
-        rng_.Bernoulli(rule->latency_spike_probability)) {
+    if (rule.latency_spike_probability > 0.0 &&
+        rng_.Bernoulli(rule.latency_spike_probability)) {
         consume_trigger();
-        decision.latency = rule->latency_spike;
+        decision.latency = rule.latency_spike;
     }
     if (decision.stale || decision.latency > SimTime::Zero()) {
         Record(path, is_write, decision);

@@ -117,6 +117,36 @@ bool operator==(const FaultEvent& a, const FaultEvent& b);
 /** Seeded source of injected failures for guarded I/O paths. */
 class FaultInjector {
   public:
+    /**
+     * Reusable, memoized lookup for one hot guarded path.
+     *
+     * Resolving a decision normally costs two latched-state map lookups
+     * plus a prefix scan over every rule — per operation. A PathQuery
+     * caches that resolution (latched? which rule?) against a topology
+     * version the injector bumps whenever anything that could change the
+     * answer changes (rules added/removed/spent, sticky/gone state latched
+     * or repaired). The 5 kHz power monitor consults the injector through
+     * one of these; the decision stream — RNG draws, op indices, trace —
+     * is bit-identical to the uncached path.
+     */
+    class PathQuery {
+      public:
+        explicit PathQuery(std::string path) : path_(std::move(path)) {}
+
+        const std::string& path() const { return path_; }
+
+      private:
+        friend class FaultInjector;
+        std::string path_;
+        /** Injector topology the cached fields were resolved against;
+         * 0 never matches (versions start at 1). */
+        uint64_t version_ = 0;
+        /** Index of the first active matching rule, -1 for none. */
+        int rule_ = -1;
+        /** Path has latched sticky/gone state: take the full slow path. */
+        bool latched_ = false;
+    };
+
     /** @param seed Seed for the decision stream. */
     explicit FaultInjector(uint64_t seed);
 
@@ -142,6 +172,12 @@ class FaultInjector {
     /** Consults the rules for a write to @p path. */
     FaultDecision OnWrite(const std::string& path);
 
+    /** Like OnRead(path), resolved through the query's memo. */
+    FaultDecision OnRead(PathQuery& query);
+
+    /** Like OnWrite(path), resolved through the query's memo. */
+    FaultDecision OnWrite(PathQuery& query);
+
     /** True if @p path has disappeared (hotplug-style). */
     bool IsGone(const std::string& path) const;
 
@@ -166,8 +202,16 @@ class FaultInjector {
 
   private:
     FaultDecision Decide(const std::string& path, bool is_write);
+    FaultDecision DecideCached(PathQuery& query, bool is_write);
+    /** First active, unspent rule whose prefix covers @p path; -1 none. */
+    int FindRule(const std::string& path) const;
+    /** Rolls the probability cascade for a matched rule. */
+    FaultDecision Roll(FaultRule& rule, const std::string& path,
+                       bool is_write);
     void Record(const std::string& path, bool is_write,
                 const FaultDecision& decision);
+    /** Invalidates outstanding PathQuery memos. */
+    void BumpVersion() { ++topology_version_; }
 
     Rng rng_;
     std::vector<FaultRule> rules_;
@@ -177,6 +221,8 @@ class FaultInjector {
     std::map<std::string, FaultErrc> sticky_;
     /** Paths that have disappeared. */
     std::set<std::string> gone_;
+    /** Bumped on any rule or latched-state change; see PathQuery. */
+    uint64_t topology_version_ = 1;
     uint64_t op_count_ = 0;
     std::vector<FaultEvent> trace_;
     size_t trace_limit_ = 100000;

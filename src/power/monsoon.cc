@@ -12,8 +12,7 @@ MonsoonMonitor::MonsoonMonitor(Simulator* sim,
     : sim_(sim),
       power_source_(std::move(power_source)),
       rng_(rng_seed),
-      config_(config),
-      task_(sim, [this] { TakeSample(); })
+      config_(config)
 {
     AEO_ASSERT(sim_ != nullptr, "monitor needs a simulator");
     AEO_ASSERT(power_source_ != nullptr, "monitor needs a power source");
@@ -21,24 +20,34 @@ MonsoonMonitor::MonsoonMonitor(Simulator* sim,
     AEO_ASSERT(config_.noise_rel_stddev >= 0.0, "negative noise level");
 }
 
+MonsoonMonitor::~MonsoonMonitor()
+{
+    Stop();
+}
+
 void
 MonsoonMonitor::Start()
 {
+    Stop();
     start_time_ = sim_->Now();
     last_sample_time_ = start_time_;
-    task_.Start(SimTime::FromSecondsF(1.0 / config_.sample_hz));
+    series_ = sim_->ScheduleEvery(SimTime::FromSecondsF(1.0 / config_.sample_hz),
+                                  [this] { TakeSample(); });
 }
 
 void
 MonsoonMonitor::Stop()
 {
-    task_.Stop();
+    if (series_ != kInvalidEventId) {
+        sim_->Cancel(series_);
+        series_ = kInvalidEventId;
+    }
 }
 
 void
 MonsoonMonitor::TakeSample()
 {
-    if (injector_ != nullptr && !injector_->OnRead(kMonsoonFaultPath).ok()) {
+    if (injector_ != nullptr && !injector_->OnRead(fault_query_).ok()) {
         ++dropped_sample_count_;
         return;
     }

@@ -19,7 +19,6 @@
 #include "common/random.h"
 #include "common/units.h"
 #include "fault/fault_injector.h"
-#include "sim/periodic_task.h"
 #include "sim/simulator.h"
 
 namespace aeo {
@@ -55,6 +54,11 @@ class MonsoonMonitor {
     MonsoonMonitor(Simulator* sim, std::function<Milliwatts()> power_source,
                    uint64_t rng_seed, MonsoonConfig config = {});
 
+    ~MonsoonMonitor();
+
+    MonsoonMonitor(const MonsoonMonitor&) = delete;
+    MonsoonMonitor& operator=(const MonsoonMonitor&) = delete;
+
     /** Starts sampling. */
     void Start();
 
@@ -70,7 +74,13 @@ class MonsoonMonitor {
     uint64_t dropped_sample_count() const { return dropped_sample_count_; }
 
     /** Hooks an injector into the sampling path; nullptr disables. */
-    void SetFaultInjector(FaultInjector* injector) { injector_ = injector; }
+    void
+    SetFaultInjector(FaultInjector* injector)
+    {
+        injector_ = injector;
+        // Memoized against the previous injector's topology versions.
+        fault_query_ = FaultInjector::PathQuery(kMonsoonFaultPath);
+    }
 
     /** Average of all measured samples. */
     Milliwatts MeasuredAveragePower() const;
@@ -106,8 +116,12 @@ class MonsoonMonitor {
     std::function<Milliwatts()> power_source_;
     Rng rng_;
     MonsoonConfig config_;
-    PeriodicTask task_;
+    /** The 5 kHz sampling series: scheduled directly on the event core so
+     * each sample costs one slab dispatch, no std::function hop. */
+    EventId series_ = kInvalidEventId;
     FaultInjector* injector_ = nullptr;
+    /** Memoized injector lookup for the per-sample guard. */
+    FaultInjector::PathQuery fault_query_{kMonsoonFaultPath};
     SimTime start_time_;
     SimTime last_sample_time_;
     double power_sum_mw_ = 0.0;

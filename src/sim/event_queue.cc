@@ -1,73 +1,26 @@
 #include "sim/event_queue.h"
 
-#include <utility>
-
-#include "common/logging.h"
+#include <atomic>
 
 namespace aeo {
 
-EventId
-EventQueue::Schedule(SimTime when, std::function<void()> fn)
+namespace {
+
+/** Destroyed queues fold their counts in here (see TotalExecutedEvents). */
+std::atomic<uint64_t> g_total_executed_events{0};
+
+}  // namespace
+
+uint64_t
+TotalExecutedEvents()
 {
-    AEO_ASSERT(fn != nullptr, "scheduling a null callback");
-    const EventId id = next_id_++;
-    heap_.push(Entry{when, next_seq_++, id});
-    callbacks_.emplace(id, std::move(fn));
-    ++pending_count_;
-    return id;
+    return g_total_executed_events.load(std::memory_order_relaxed);
 }
 
-bool
-EventQueue::Cancel(EventId id)
+EventQueue::~EventQueue()
 {
-    const auto it = callbacks_.find(id);
-    if (it == callbacks_.end()) {
-        return false;
-    }
-    callbacks_.erase(it);
-    --pending_count_;
-    return true;
-}
-
-void
-EventQueue::DropCancelledHead() const
-{
-    while (!heap_.empty() &&
-           callbacks_.find(heap_.top().id) == callbacks_.end()) {
-        heap_.pop();
-    }
-}
-
-bool
-EventQueue::Empty() const
-{
-    DropCancelledHead();
-    return heap_.empty();
-}
-
-SimTime
-EventQueue::NextTime() const
-{
-    DropCancelledHead();
-    AEO_ASSERT(!heap_.empty(), "NextTime() on empty event queue");
-    return heap_.top().when;
-}
-
-SimTime
-EventQueue::RunNext()
-{
-    DropCancelledHead();
-    AEO_ASSERT(!heap_.empty(), "RunNext() on empty event queue");
-    const Entry entry = heap_.top();
-    heap_.pop();
-    auto it = callbacks_.find(entry.id);
-    AEO_ASSERT(it != callbacks_.end(), "head event lost its callback");
-    std::function<void()> fn = std::move(it->second);
-    callbacks_.erase(it);
-    --pending_count_;
-    ++executed_count_;
-    fn();
-    return entry.when;
+    g_total_executed_events.fetch_add(executed_count_,
+                                      std::memory_order_relaxed);
 }
 
 }  // namespace aeo

@@ -25,35 +25,21 @@ PeriodicTask::Start(SimTime period)
     Stop();
     period_ = period;
     running_ = true;
-    pending_ =
-        sim_->ScheduleAfter(period_, [this, gen = generation_] { Fire(gen); });
+    // The queue re-arms the series before delivering each occurrence, so a
+    // callback that Stop()s or restarts its own task cancels the already-
+    // armed next occurrence — the behaviour the old generation counter
+    // provided, now enforced by the queue's generation-tagged ids.
+    series_ = sim_->ScheduleEvery(period_, [this] { fn_(); });
 }
 
 void
 PeriodicTask::Stop()
 {
-    if (pending_ != kInvalidEventId) {
-        sim_->Cancel(pending_);
-        pending_ = kInvalidEventId;
+    if (series_ != kInvalidEventId) {
+        sim_->Cancel(series_);
+        series_ = kInvalidEventId;
     }
     running_ = false;
-    // Invalidate occurrences already mid-delivery: a Start() from inside
-    // the callback must not leave the pre-rescheduled event of the old
-    // series live alongside the new one.
-    ++generation_;
-}
-
-void
-PeriodicTask::Fire(uint64_t generation)
-{
-    if (generation != generation_ || !running_) {
-        return;
-    }
-    pending_ = kInvalidEventId;
-    // Reschedule before running so the callback can Stop() us.
-    pending_ =
-        sim_->ScheduleAfter(period_, [this, gen = generation_] { Fire(gen); });
-    fn_();
 }
 
 }  // namespace aeo

@@ -1,12 +1,19 @@
 /**
  * @file
  * A periodic callback bound to a Simulator — used for governor sampling
- * timers, the power monitor, and the controller's control cycle.
+ * timers, the power monitor, and thermal polling.
+ *
+ * Since the event core grew first-class repeating events (DESIGN.md §14)
+ * this is a thin veneer over Simulator::ScheduleEvery: the series re-arms
+ * its own slab record in place, so steady-state firing allocates nothing.
+ * The old restart-while-firing guarantees are now provided by the queue's
+ * generation-tagged ids — cancelling the series from inside the callback
+ * (Stop(), or Start() to change the period) invalidates the already-armed
+ * next occurrence exactly.
  */
 #ifndef AEO_SIM_PERIODIC_TASK_H_
 #define AEO_SIM_PERIODIC_TASK_H_
 
-#include <cstdint>
 #include <functional>
 
 #include "sim/simulator.h"
@@ -47,17 +54,11 @@ class PeriodicTask {
     SimTime period() const { return period_; }
 
   private:
-    void Fire(uint64_t generation);
-
     Simulator* sim_;
     std::function<void()> fn_;
     SimTime period_;
-    EventId pending_ = kInvalidEventId;
+    EventId series_ = kInvalidEventId;
     bool running_ = false;
-    /** Bumped by Start/Stop so an occurrence scheduled before a restart
-     * can never fire after it, even if its cancellation was missed (the
-     * callback itself may Start() this task while Fire is mid-delivery). */
-    uint64_t generation_ = 0;
 };
 
 }  // namespace aeo

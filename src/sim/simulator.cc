@@ -1,35 +1,18 @@
 #include "sim/simulator.h"
 
-#include <utility>
-
 #include "common/logging.h"
 
 namespace aeo {
-
-EventId
-Simulator::ScheduleAfter(SimTime delay, std::function<void()> fn)
-{
-    AEO_ASSERT(delay >= SimTime::Zero(), "negative delay %lld us",
-               static_cast<long long>(delay.micros()));
-    return queue_.Schedule(now_ + delay, std::move(fn));
-}
-
-EventId
-Simulator::ScheduleAt(SimTime when, std::function<void()> fn)
-{
-    AEO_ASSERT(when >= now_, "scheduling in the past: %lld < %lld",
-               static_cast<long long>(when.micros()),
-               static_cast<long long>(now_.micros()));
-    return queue_.Schedule(when, std::move(fn));
-}
 
 void
 Simulator::RunUntil(SimTime deadline)
 {
     AEO_ASSERT(deadline >= now_, "deadline in the past");
     stop_requested_ = false;
-    while (!stop_requested_ && !queue_.Empty() && queue_.NextTime() <= deadline) {
-        now_ = queue_.NextTime();
+    SimTime next;
+    while (!stop_requested_ && queue_.NextTimeIfAny(&next) &&
+           next <= deadline) {
+        now_ = next;
         queue_.RunNext();
     }
     if (!stop_requested_) {

@@ -6,8 +6,9 @@
 #ifndef AEO_SIM_SIMULATOR_H_
 #define AEO_SIM_SIMULATOR_H_
 
-#include <functional>
+#include <utility>
 
+#include "common/logging.h"
 #include "sim/event_queue.h"
 #include "sim/time.h"
 
@@ -25,12 +26,42 @@ class Simulator {
     SimTime Now() const { return now_; }
 
     /** Schedules @p fn after @p delay (≥ 0) from now. */
-    EventId ScheduleAfter(SimTime delay, std::function<void()> fn);
+    template <typename F>
+    EventId
+    ScheduleAfter(SimTime delay, F&& fn)
+    {
+        AEO_ASSERT(delay >= SimTime::Zero(), "negative delay %lld us",
+                   static_cast<long long>(delay.micros()));
+        return queue_.Schedule(now_ + delay, std::forward<F>(fn));
+    }
 
     /** Schedules @p fn at absolute time @p when (≥ now). */
-    EventId ScheduleAt(SimTime when, std::function<void()> fn);
+    template <typename F>
+    EventId
+    ScheduleAt(SimTime when, F&& fn)
+    {
+        AEO_ASSERT(when >= now_, "scheduling in the past: %lld < %lld",
+                   static_cast<long long>(when.micros()),
+                   static_cast<long long>(now_.micros()));
+        return queue_.Schedule(when, std::forward<F>(fn));
+    }
 
-    /** Cancels a pending event; see EventQueue::Cancel. */
+    /**
+     * Schedules @p fn to fire every @p period (> 0), first one period from
+     * now, until the returned id is cancelled. The series occupies one slab
+     * record that re-arms in place: steady-state firing performs zero heap
+     * allocations and zero hash operations (DESIGN.md §14).
+     */
+    template <typename F>
+    EventId
+    ScheduleEvery(SimTime period, F&& fn)
+    {
+        AEO_ASSERT(period > SimTime::Zero(), "period must be positive");
+        return queue_.ScheduleEvery(now_ + period, period,
+                                    std::forward<F>(fn));
+    }
+
+    /** Cancels a pending event or repeating series; see EventQueue::Cancel. */
     bool Cancel(EventId id) { return queue_.Cancel(id); }
 
     /**

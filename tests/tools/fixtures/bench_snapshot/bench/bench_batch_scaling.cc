@@ -1,0 +1,8 @@
+// Fixture: an allowlisted perf-record bench — machine-dependent output, no
+// snapshot required.
+int
+main()
+{
+    const char* path = "BENCH_batch_scaling.json";
+    return path != nullptr ? 0 : 1;
+}

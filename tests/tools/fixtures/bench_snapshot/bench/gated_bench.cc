@@ -1,0 +1,7 @@
+// Fixture: names a gated snapshot whose baseline IS committed — clean.
+int
+main()
+{
+    const char* path = "BENCH_gated.json";
+    return path != nullptr ? 0 : 1;
+}

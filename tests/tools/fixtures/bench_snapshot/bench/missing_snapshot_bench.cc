@@ -1,0 +1,7 @@
+// Fixture: names a gated snapshot with no committed baseline.
+int
+main()
+{
+    const char* path = "BENCH_missing.json";
+    return path != nullptr ? 0 : 1;
+}

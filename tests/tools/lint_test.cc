@@ -158,6 +158,19 @@ TEST(AeoLintTest, UntestedInvariantMonitorSubclassIsReported)
         << Dump(findings);
 }
 
+TEST(AeoLintTest, BenchWithoutCommittedSnapshotIsReported)
+{
+    const std::vector<Finding> findings = LintFixture("bench_snapshot");
+    // missing_snapshot_bench.cc names BENCH_missing.json with no committed
+    // bench/snapshots/ baseline: reported at the literal. gated_bench.cc
+    // has its baseline committed and bench_batch_scaling.cc is an
+    // allowlisted perf record — both clean.
+    ASSERT_EQ(findings.size(), 1u) << Dump(findings);
+    EXPECT_TRUE(HasFinding(findings, "bench-snapshot",
+                           "bench/missing_snapshot_bench.cc", 5))
+        << Dump(findings);
+}
+
 TEST(AeoLintTest, StripSourceSeparatesCodeCommentsAndStrings)
 {
     const internal::StrippedSource stripped = internal::StripSource(

@@ -597,6 +597,52 @@ CheckMonitorCatalogue(const SourceFile& file,
     }
 }
 
+bool HasSuffix(const std::string& s, const std::string& suffix);
+
+/** Benches whose BENCH_*.json outputs are perf records — wall time,
+ * events/sec, allocation counts — and therefore machine-dependent: there is
+ * no meaningful byte-for-byte snapshot to gate them against. Everything
+ * else writing a BENCH_*.json is presumed deterministic and must commit a
+ * bench/snapshots/ counterpart. */
+bool
+IsPerfRecordBench(const std::string& rel_path)
+{
+    static const std::set<std::string> kAllowlist = {
+        "bench/bench_batch_scaling.cc",
+        "bench/bench_event_hotpath.cc",
+    };
+    return kAllowlist.count(rel_path) > 0;
+}
+
+/** Rule `bench-snapshot`: a bench naming a `BENCH_*.json` artifact (its
+ * default snapshot path) must have the committed bench/snapshots/ copy the
+ * CI determinism gate diffs against — a new gated bench cannot ship without
+ * its baseline. */
+void
+CheckBenchSnapshots(const fs::path& root, const SourceFile& file,
+                    std::vector<Finding>* findings)
+{
+    if (file.rel_path.rfind("bench/", 0) != 0 ||
+        IsPerfRecordBench(file.rel_path)) {
+        return;
+    }
+    for (const auto& [line, literal] : file.stripped.string_literals) {
+        if (literal.rfind("BENCH_", 0) != 0 || !HasSuffix(literal, ".json") ||
+            literal.find('/') != std::string::npos) {
+            continue;
+        }
+        if (!fs::exists(root / "bench" / "snapshots" / literal)) {
+            AddFinding(findings, file, line, "bench-snapshot",
+                       "bench writes snapshot `" + literal +
+                           "` but bench/snapshots/" + literal +
+                           " is not committed; generate it (--fast, any "
+                           "--jobs) so CI's byte-for-byte gate has a "
+                           "baseline, or allowlist the bench as a perf "
+                           "record in aeo-lint");
+        }
+    }
+}
+
 /** One aeo_add_test() registration parsed out of tests/CMakeLists.txt. */
 struct TestTarget {
     std::string name;
@@ -796,6 +842,12 @@ RunLint(const LintOptions& options)
         if (HasSuffix(rel, "_test.cc")) test_files.push_back(rel);
     }
     CheckTestRegistration(root, test_files, &findings);
+
+    for (const std::string& rel : CollectSources(root, "bench")) {
+        const SourceFile file = LoadSource(root, rel);
+        CheckSuppressions(file, &findings);
+        CheckBenchSnapshots(root, file, &findings);
+    }
 
     std::sort(findings.begin(), findings.end(),
               [](const Finding& a, const Finding& b) {

@@ -36,6 +36,12 @@
  *                          src/ appears by class name (in code, not a
  *                          comment) in tests/chaos/invariant_monitor_test.cc,
  *                          so a runtime monitor cannot ship untested.
+ *  - `bench-snapshot`    — every bench source naming a `BENCH_<x>.json`
+ *                          snapshot has a committed bench/snapshots/
+ *                          counterpart for CI's byte-for-byte gate to diff
+ *                          against. Perf records (machine-dependent timing
+ *                          outputs) are exempt via an explicit allowlist in
+ *                          the rule.
  *
  * The checks are line-oriented on a comment- and string-stripped view of
  * each file: fast, dependency-free, and precise enough for CI to block on.
