@@ -27,6 +27,8 @@ ParseBenchArgs(int argc, char** argv)
             args.out = argv[i] + 6;
         } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
             args.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+        } else if (std::strncmp(argv[i], "--baseline=", 11) == 0) {
+            args.baseline = argv[i] + 11;
         }
     }
     return args;

@@ -30,6 +30,11 @@ struct BenchArgs {
      * default). Every derived seed (profiler, devices, campaigns) is an
      * offset of this root, so one flag re-seeds the whole experiment. */
     uint64_t seed = 0;
+    /** --baseline=NAME: CPU governor for the comparison baseline (empty =
+     * the stock interactive governor, the gated-snapshot configuration).
+     * E.g. --baseline=lulzactive pits the controller against the community
+     * governor in the Table III/IV comparisons. */
+    std::string baseline;
 
     /** Profiling run count: the --runs override if given, else the bench
      * default for the current speed mode. */

@@ -35,6 +35,8 @@ main(int argc, char** argv)
     ExperimentOptions options;
     options.profile_runs = args.ProfileRuns();
     options.seed = 2017;
+    // Off by default: the gated snapshot compares against interactive.
+    options.baseline_cpu_governor = args.baseline;
 
     // One batch job per application; outcomes land in TableIII row order.
     std::vector<ComparisonJob> jobs;

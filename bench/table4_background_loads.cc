@@ -54,6 +54,8 @@ main(int argc, char** argv)
             options.seed = 2017;
             options.profile_load = BackgroundKind::kBaseline;  // §V-C: BL data
             options.run_load = load_case.kind;
+            // Off by default: the gated snapshot compares vs interactive.
+            options.baseline_cpu_governor = args.baseline;
             jobs.push_back(ComparisonJob{app, options});
         }
     }

@@ -16,6 +16,9 @@ SystemConfig::ToString() const
     if (controls_gpu()) {
         out += StrFormat(", g%d", gpu_level + 1);
     }
+    if (controls_little()) {
+        out += StrFormat(", l%d, p%d", little_level + 1, placement);
+    }
     return out + ")";
 }
 

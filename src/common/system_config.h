@@ -20,14 +20,33 @@ inline constexpr int kBwDefaultGovernor = -1;
  * configuration; §VII names GPU control as the extension). */
 inline constexpr int kGpuDefaultGovernor = -1;
 
+/** Sentinel LITTLE-cluster level: no LITTLE cluster under control (the
+ * homogeneous single-cluster SoC, the paper's Nexus 6). */
+inline constexpr int kNoLittleCluster = -1;
+
+/**
+ * Foreground thread-placement codes, value-compatible with
+ * soc/cluster_topology.h's ThreadPlacement (common sits below soc in the
+ * include DAG, so the enum cannot be named here). kPlacementDefault keeps
+ * the legacy semantics: all threads on the primary cluster.
+ */
+inline constexpr int kPlacementDefault = -1;
+inline constexpr int kPlacementLittleOnly = 0;
+inline constexpr int kPlacementBigOnly = 1;
+inline constexpr int kPlacementBoth = 2;
+
 /** One schedulable hardware configuration. */
 struct SystemConfig {
-    /** 0-based CPU frequency level. */
+    /** 0-based CPU frequency level (primary/big cluster). */
     int cpu_level = 0;
     /** 0-based bandwidth level, or kBwDefaultGovernor (CPU-only control). */
     int bw_level = 0;
     /** 0-based GPU level, or kGpuDefaultGovernor (the paper's setup). */
     int gpu_level = kGpuDefaultGovernor;
+    /** 0-based LITTLE-cluster level, or kNoLittleCluster (homogeneous). */
+    int little_level = kNoLittleCluster;
+    /** Thread placement code, or kPlacementDefault (legacy big-only). */
+    int placement = kPlacementDefault;
 
     constexpr auto operator<=>(const SystemConfig&) const = default;
 
@@ -37,8 +56,12 @@ struct SystemConfig {
     /** True when the GPU is controller-managed (§VII extension). */
     bool controls_gpu() const { return gpu_level != kGpuDefaultGovernor; }
 
+    /** True when a LITTLE cluster is controller-managed (big.LITTLE). */
+    bool controls_little() const { return little_level != kNoLittleCluster; }
+
     /** Paper-style label, e.g. "(5, 1)" with 1-based level numbers; the GPU
-     * level is appended only when controlled, e.g. "(5, 1, g3)". */
+     * level is appended only when controlled, e.g. "(5, 1, g3)", and the
+     * LITTLE level/placement only on big.LITTLE, e.g. "(5, 1, l2, p2)". */
     std::string ToString() const;
 };
 

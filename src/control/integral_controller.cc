@@ -1,5 +1,7 @@
 #include "control/integral_controller.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "common/math_util.h"
 
@@ -13,6 +15,7 @@ AdaptiveIntegralController::AdaptiveIntegralController(double initial_output,
     AEO_ASSERT(min_output_ <= max_output_, "bad output range [%f, %f]", min_output_,
                max_output_);
     output_ = Clamp(output_, min_output_, max_output_);
+    state_ = output_;
 }
 
 double
@@ -20,8 +23,27 @@ AdaptiveIntegralController::Step(double error, double gain_denominator)
 {
     AEO_ASSERT(gain_denominator > 0.0, "adaptive gain denominator must be positive, got %f",
                gain_denominator);
-    output_ = Clamp(output_ + error / gain_denominator, min_output_, max_output_);
+    state_ = Clamp(state_ + error / gain_denominator,
+                   min_output_ - surplus_band_, max_output_);
+    const double desired = Clamp(state_, min_output_, max_output_);
+    output_ = std::max(desired, output_ - max_step_down_);
     return output_;
+}
+
+void
+AdaptiveIntegralController::set_max_step_down(double max_step_down)
+{
+    AEO_ASSERT(max_step_down > 0.0, "downward slew limit must be positive, got %f",
+               max_step_down);
+    max_step_down_ = max_step_down;
+}
+
+void
+AdaptiveIntegralController::set_surplus_band(double band)
+{
+    AEO_ASSERT(band >= 0.0, "surplus band must be non-negative, got %f", band);
+    surplus_band_ = band;
+    state_ = Clamp(state_, min_output_ - surplus_band_, max_output_);
 }
 
 void
@@ -31,13 +53,15 @@ AdaptiveIntegralController::SetOutputRange(double min_output, double max_output)
                max_output);
     min_output_ = min_output;
     max_output_ = max_output;
-    output_ = Clamp(output_, min_output_, max_output_);
+    state_ = Clamp(state_, min_output_ - surplus_band_, max_output_);
+    output_ = Clamp(state_, min_output_, max_output_);
 }
 
 void
 AdaptiveIntegralController::Reset(double output)
 {
     output_ = Clamp(output, min_output_, max_output_);
+    state_ = output_;
 }
 
 }  // namespace aeo

@@ -17,6 +17,9 @@
 
 namespace aeo {
 
+/** Sentinel "no slew limit" step size (see set_max_step_down). */
+inline constexpr double kUnlimitedStep = 1e30;
+
 /** Integrator with an adaptive gain and output clamping. */
 class AdaptiveIntegralController {
   public:
@@ -40,6 +43,35 @@ class AdaptiveIntegralController {
     /** Current output without stepping. */
     double output() const { return output_; }
 
+    /**
+     * Enables surplus banking: the integrator state may sink up to @p band
+     * below the output floor (the output itself stays clamped). A burst of
+     * performance far above target — a phase-heterogeneous application's
+     * demand spike — then leaves a bounded credit that the regulator spends
+     * as extra low-speedup cycles instead of being truncated by the clamp
+     * the moment the burst ends. The band is one-sided: the state never
+     * exceeds the output ceiling, so an infeasible target accumulates no
+     * performance debt beyond "run at maximum" (the paper's safe mode).
+     * Zero (the default) reproduces the plain clamped integrator of
+     * equations (2)–(3) exactly.
+     */
+    void set_surplus_band(double band);
+
+    /** Banked surplus: how far the state currently sits below the output
+     * floor, in output units (0 when no credit is banked). */
+    double banked_surplus() const { return output_ - state_; }
+
+    /**
+     * Limits how far the output may FALL in one step (ascent stays
+     * unlimited — tracking never waits to push performance up). Without a
+     * limit, one burst cycle swings the output to the floor and the banked
+     * surplus drains at the floor's large per-cycle error — the least
+     * efficient row to spend it on. Slewed, the output walks down the
+     * frontier and the credit is spent dwelling near the knee. Infinity
+     * (the default) reproduces the unslewed integrator exactly.
+     */
+    void set_max_step_down(double max_step_down);
+
     /** Updates the clamp range (e.g. after a profile-table change). */
     void SetOutputRange(double min_output, double max_output);
 
@@ -48,8 +80,13 @@ class AdaptiveIntegralController {
 
   private:
     double output_;
+    /** Raw integrator state: equals output_ except when surplus is banked,
+     * when it sits in [min_output_ − surplus_band_, min_output_). */
+    double state_;
     double min_output_;
     double max_output_;
+    double surplus_band_ = 0.0;
+    double max_step_down_ = kUnlimitedStep;
 };
 
 }  // namespace aeo

@@ -24,15 +24,28 @@ ExperimentHarness::DriveRun(Device* device, const AppScenario& scenario) const
 
 RunResult
 ExperimentHarness::RunDefault(const std::string& app_name, BackgroundKind load,
-                              uint64_t seed) const
+                              uint64_t seed,
+                              const std::string& cpu_governor) const
 {
     const AppScenario scenario = GetAppScenario(app_name);
     std::unique_ptr<Device> device = factory_(seed);
     device->SetBackground(MakeBackgroundEnv(load));
     device->UseDefaultGovernors();
+    if (!cpu_governor.empty() && cpu_governor != "interactive") {
+        // Alternative stock baseline (e.g. lulzactive): only the CPU
+        // governor changes; bus and GPU stay with their Android defaults.
+        AEO_ASSERT(device->cpufreq().SetGovernor(cpu_governor),
+                   "unknown baseline CPU governor '%s'", cpu_governor.c_str());
+        if (CpufreqPolicy* little = device->little_cpufreq()) {
+            AEO_ASSERT(little->SetGovernor(cpu_governor),
+                       "unknown baseline LITTLE governor '%s'",
+                       cpu_governor.c_str());
+        }
+    }
     device->LaunchApp(MakeAppSpecByName(app_name));
     DriveRun(device.get(), scenario);
-    return device->CollectResult("default");
+    return device->CollectResult(cpu_governor.empty() ? "default"
+                                                      : cpu_governor);
 }
 
 ProfileTable
@@ -87,7 +100,8 @@ ExperimentHarness::RunComparison(const std::string& app_name,
 {
     // (1) Default governors: establishes E_def and the performance target
     //     R_def (§III-A).
-    RunResult default_run = RunDefault(app_name, options.run_load, options.seed);
+    RunResult default_run = RunDefault(app_name, options.run_load, options.seed,
+                                       options.baseline_cpu_governor);
     AEO_ASSERT(default_run.avg_gips > 0.0, "default run produced no work");
 
     // (2) Offline profiling (always under the profiling load).

@@ -43,6 +43,14 @@ struct ExperimentOptions {
      * dropped from the table supplied to the controller. 0 disables.
      */
     double prune_epsilon = 0.01;
+    /**
+     * CPU governor for the baseline ("default") run. Empty = the Android
+     * stock interactive governor, the paper's comparison point and the
+     * byte-identical legacy path. Any registered governor name works —
+     * e.g. "lulzactive" compares the controller against the community
+     * governor instead (bench flag --baseline=lulzactive).
+     */
+    std::string baseline_cpu_governor;
     /** Controller tuning; target_gips is filled from the default run. */
     ControllerConfig controller;
     /** Base seed; default/profiling/controller runs use distinct streams. */
@@ -78,9 +86,11 @@ class ExperimentHarness {
   public:
     explicit ExperimentHarness(DeviceFactory factory = MakeDefaultDeviceFactory());
 
-    /** Runs @p app_name under the default governors (interactive+hwmon). */
+    /** Runs @p app_name under the default governors (interactive+hwmon).
+     * A non-empty @p cpu_governor replaces interactive on the CPU. */
     RunResult RunDefault(const std::string& app_name, BackgroundKind load,
-                         uint64_t seed) const;
+                         uint64_t seed,
+                         const std::string& cpu_governor = {}) const;
 
     /** Profiles @p app_name per its scenario. */
     ProfileTable ProfileApp(const std::string& app_name,

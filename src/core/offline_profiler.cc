@@ -25,11 +25,17 @@ RunSample
 MeasureOneRun(const DeviceFactory& factory, const AppSpec& app,
               const SystemConfig& config, const ProfilerOptions& options, int run)
 {
-    const uint64_t seed =
+    uint64_t seed =
         options.seed + 7919ULL * static_cast<uint64_t>(run) +
         131071ULL * static_cast<uint64_t>(config.cpu_level * 512 +
                                           (config.gpu_level + 1) * 64 +
                                           config.bw_level + 1);
+    if (config.controls_little()) {
+        // Extra key axes fold in only on big.LITTLE grids, leaving every
+        // historical homogeneous seed untouched.
+        seed += 524287ULL * static_cast<uint64_t>(config.little_level * 8 +
+                                                  config.placement + 2);
+    }
     // Shared-immutable setup, hoisted out of the per-run path: every run
     // opens the same sysfs nodes, so the path strings are built once per
     // process, not once per (config, run) job.
@@ -58,7 +64,18 @@ MeasureOneRun(const DeviceFactory& factory, const AppSpec& app,
         // default governor during profiling, as on the paper's phone.
         sysfs.Write(gpu_governor, "msm-adreno-tz");
     }
-    if (config.controls_bandwidth()) {
+    if (config.controls_little()) {
+        // big.LITTLE grid point: both frequency domains, the bus and the
+        // thread placement are pinned through the userspace governors.
+        AEO_ASSERT(config.controls_bandwidth(),
+                   "het profiling grids control the bandwidth");
+        device->PinHetConfiguration(
+            HetConfig{config.cpu_level, config.little_level, config.bw_level,
+                      static_cast<ThreadPlacement>(
+                          config.placement == kPlacementDefault
+                              ? kPlacementBigOnly
+                              : config.placement)});
+    } else if (config.controls_bandwidth()) {
         device->PinConfiguration(config.cpu_level, config.bw_level);
     } else {
         // CPU-only: pin the CPU, leave the bus with its default governor.
@@ -142,7 +159,11 @@ OfflineProfiler::Profile(const AppSpec& app, const ProfilerOptions& options) con
 
     // The measurement grid, in the same order the serial loops visited it.
     std::vector<SystemConfig> grid;
-    if (options.cpu_only) {
+    if (!options.configs.empty()) {
+        // Explicit (big.LITTLE) grid: measure exactly what the caller
+        // enumerated, in the caller's order.
+        grid = options.configs;
+    } else if (options.cpu_only) {
         grid.reserve(cpu_grid.size());
         for (const int cpu : cpu_grid) {
             grid.push_back(SystemConfig{cpu, kBwDefaultGovernor});
@@ -193,7 +214,7 @@ OfflineProfiler::Profile(const AppSpec& app, const ProfilerOptions& options) con
     }
 
     ProfileTable table = ProfileTable::FromMeasurements(app.name, measurements);
-    if (!options.cpu_only && options.sparse) {
+    if (options.configs.empty() && !options.cpu_only && options.sparse) {
         table = table.InterpolateBandwidths(MakeNexus6BandwidthTable());
     }
     return table;

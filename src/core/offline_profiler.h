@@ -50,6 +50,14 @@ struct ProfilerOptions {
      * default governor (the paper's configuration).
      */
     std::vector<int> gpu_levels;
+    /**
+     * Explicit measurement grid. Non-empty overrides every grid knob above
+     * and disables bandwidth interpolation — the big.LITTLE path, where the
+     * caller enumerates the (big, little, bw, placement) cross-product with
+     * EnumerateHetConfigs() and hands the pruned candidate list straight to
+     * the profiler.
+     */
+    std::vector<SystemConfig> configs;
     /** Runs averaged per configuration (the paper uses 3). */
     int runs = 3;
     /** Measurement window per run. */

@@ -24,6 +24,8 @@ MakeRegulatorConfig(const ProfileTable& table, const ControllerConfig& config)
     // the estimate at the profiled base speed (gain → 0).
     reg.kalman_measurement_var =
         config.use_kalman ? config.kalman_measurement_var : 1e12;
+    reg.surplus_band = config.regulator_surplus_band;
+    reg.max_step_down = config.regulator_max_step_down;
     return reg;
 }
 

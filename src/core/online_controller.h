@@ -71,6 +71,23 @@ struct ControllerConfig {
     double kalman_measurement_var = 1e-4;
     /** Disable the Kalman filter (ablation): hold b̂ at the profiled value. */
     bool use_kalman = true;
+    /**
+     * Regulator surplus-banking band, in speedup units (see
+     * RegulatorConfig::surplus_band). On phase-heterogeneous applications
+     * whose demand bursts dwarf one cycle's speedup swing, banking turns
+     * each burst into credit spent as extra low-speedup cycles — the
+     * race-to-idle behaviour stock governors get reactively. 0 (the
+     * default) keeps the paper's plain clamped integrator, bit-identical.
+     */
+    double regulator_surplus_band = 0.0;
+    /**
+     * Downward slew limit of the regulator output, speedup units per cycle
+     * (see RegulatorConfig::max_step_down). Pairs with the surplus band:
+     * the band decides how much burst credit is remembered, the slew
+     * decides how efficiently it is spent. kUnlimitedStep (the default)
+     * keeps the paper's regulator, bit-identical.
+     */
+    double regulator_max_step_down = kUnlimitedStep;
     /** Regulator+optimizer computation cost (§V-A1: <10 ms at ~25 mW). */
     Milliwatts compute_power_mw = Milliwatts(25.0);
     Seconds compute_seconds = Seconds(0.010);

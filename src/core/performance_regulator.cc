@@ -22,6 +22,8 @@ PerformanceRegulator::PerformanceRegulator(const RegulatorConfig& config)
     AEO_ASSERT(config.target_gips > 0.0, "target performance must be positive");
     AEO_ASSERT(config.initial_base_speed > 0.0, "initial base speed must be positive");
     AEO_ASSERT(config.min_speedup <= config.max_speedup, "bad speedup range");
+    integrator_.set_surplus_band(config.surplus_band);
+    integrator_.set_max_step_down(config.max_step_down);
 }
 
 double

@@ -26,6 +26,24 @@ struct RegulatorConfig {
     double kalman_process_var = 1e-5;
     /** Kalman measurement variance R (GIPS measurement noise²). */
     double kalman_measurement_var = 1e-4;
+    /**
+     * Surplus-banking band of the integrator, in speedup units (see
+     * AdaptiveIntegralController::set_surplus_band). A phase-heterogeneous
+     * application's demand bursts overshoot the target by far more than one
+     * cycle's worth of speedup swing; banking lets the regulator spend that
+     * surplus as additional low-speedup cycles instead of discarding it at
+     * the output clamp. 0 (the default) is the paper's plain clamped
+     * integrator, bit-identical.
+     */
+    double surplus_band = 0.0;
+    /**
+     * Downward slew limit of the integrator output, in speedup units per
+     * control cycle (see AdaptiveIntegralController::set_max_step_down).
+     * Makes banked surplus drain near the frontier knee instead of at the
+     * floor. kUnlimitedStep (the default) is the paper's unslewed
+     * integrator, bit-identical.
+     */
+    double max_step_down = kUnlimitedStep;
 };
 
 /** Computes the required speedup from measured performance. */

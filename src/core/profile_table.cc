@@ -144,9 +144,80 @@ ProfileTable::PruneEpsilonDominated(double epsilon_rel) const
     return ProfileTable(app_name_, std::move(kept), base_speed_gips_);
 }
 
+ProfileTable
+ProfileTable::PruneSteepTail(double slope_factor,
+                             double protect_below_speedup) const
+{
+    AEO_ASSERT(slope_factor > 0.0, "slope factor must be positive");
+    const double speedup_range = max_speedup() - min_speedup();
+    if (speedup_range <= 0.0 || entries_.size() < 3) {
+        return *this;
+    }
+    double power_min = entries_.front().power_mw.value();
+    double power_max = power_min;
+    for (const ProfileEntry& row : entries_) {
+        power_min = std::min(power_min, row.power_mw.value());
+        power_max = std::max(power_max, row.power_mw.value());
+    }
+    const double average_slope = (power_max - power_min) / speedup_range;
+    if (average_slope <= 0.0) {
+        return *this;
+    }
+    const double threshold = slope_factor * average_slope;
+
+    // entries_ ascend in speedup; scan marginal slopes between consecutive
+    // rows and cut at the first edge that is both past the protected region
+    // and steeper than the threshold. Power need not be monotone over the
+    // raw grid, but a cheaper faster row yields a negative (never steep)
+    // slope, so only genuinely expensive speedup triggers the cut.
+    size_t cut = entries_.size();
+    for (size_t i = 1; i < entries_.size(); ++i) {
+        const ProfileEntry& prev = entries_[i - 1];
+        const ProfileEntry& row = entries_[i];
+        if (prev.speedup < protect_below_speedup) {
+            continue;
+        }
+        const double ds = row.speedup - prev.speedup;
+        if (ds <= 0.0) {
+            continue;
+        }
+        const double slope = (row.power_mw.value() - prev.power_mw.value()) / ds;
+        if (slope > threshold) {
+            cut = i;
+            break;
+        }
+    }
+    if (cut >= entries_.size()) {
+        return *this;
+    }
+    std::vector<ProfileEntry> kept(entries_.begin(),
+                                   entries_.begin() + static_cast<long>(cut));
+    return ProfileTable(app_name_, std::move(kept), base_speed_gips_);
+}
+
 std::string
 ProfileTable::ToCsv() const
 {
+    // Heterogeneous tables carry two extra key columns; tables without a
+    // LITTLE level keep the historical 5-column format byte-for-byte.
+    bool het = false;
+    for (const ProfileEntry& entry : entries_) {
+        het = het || entry.config.controls_little();
+    }
+    if (het) {
+        CsvWriter writer({"cpu_level", "bw_level", "gpu_level", "little_level",
+                          "placement", "speedup", "power_mw"});
+        for (const ProfileEntry& entry : entries_) {
+            writer.AddRow({StrFormat("%d", entry.config.cpu_level),
+                           StrFormat("%d", entry.config.bw_level),
+                           StrFormat("%d", entry.config.gpu_level),
+                           StrFormat("%d", entry.config.little_level),
+                           StrFormat("%d", entry.config.placement),
+                           StrFormat("%.9g", entry.speedup),
+                           StrFormat("%.9g", entry.power_mw.value())});
+        }
+        return writer.ToString();
+    }
     CsvWriter writer({"cpu_level", "bw_level", "gpu_level", "speedup", "power_mw"});
     for (const ProfileEntry& entry : entries_) {
         writer.AddRow({StrFormat("%d", entry.config.cpu_level),
@@ -169,23 +240,37 @@ ProfileTable::FromCsv(const std::string& app_name, const std::string& csv,
     std::vector<ProfileEntry> entries;
     for (size_t i = 1; i < rows.size(); ++i) {
         const auto& row = rows[i];
-        if (row.size() != 5) {
-            Fatal("profile CSV row %zu has %zu fields, want 5", i, row.size());
+        // 5 columns: the historical homogeneous format. 7 columns: the
+        // big.LITTLE format with little_level and placement key columns.
+        if (row.size() != 5 && row.size() != 7) {
+            Fatal("profile CSV row %zu has %zu fields, want 5 or 7", i,
+                  row.size());
         }
+        const bool het = row.size() == 7;
         long long cpu = 0;
         long long bw = 0;
         long long gpu = 0;
+        long long little = kNoLittleCluster;
+        long long placement = kPlacementDefault;
         double speedup = 0.0;
         double power = 0.0;
-        if (!ParseInt64(row[0], &cpu) || !ParseInt64(row[1], &bw) ||
-            !ParseInt64(row[2], &gpu) || !ParseDouble(row[3], &speedup) ||
-            !ParseDouble(row[4], &power)) {
+        bool ok = ParseInt64(row[0], &cpu) && ParseInt64(row[1], &bw) &&
+                  ParseInt64(row[2], &gpu);
+        if (het) {
+            ok = ok && ParseInt64(row[3], &little) &&
+                 ParseInt64(row[4], &placement) &&
+                 ParseDouble(row[5], &speedup) && ParseDouble(row[6], &power);
+        } else {
+            ok = ok && ParseDouble(row[3], &speedup) && ParseDouble(row[4], &power);
+        }
+        if (!ok) {
             Fatal("profile CSV row %zu is malformed", i);
         }
-        entries.push_back(ProfileEntry{
-            SystemConfig{static_cast<int>(cpu), static_cast<int>(bw),
-                         static_cast<int>(gpu)},
-            speedup, Milliwatts(power)});
+        SystemConfig config{static_cast<int>(cpu), static_cast<int>(bw),
+                            static_cast<int>(gpu)};
+        config.little_level = static_cast<int>(little);
+        config.placement = static_cast<int>(placement);
+        entries.push_back(ProfileEntry{config, speedup, Milliwatts(power)});
     }
     return ProfileTable(app_name, std::move(entries), base_speed_gips);
 }

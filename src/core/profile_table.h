@@ -101,6 +101,27 @@ class ProfileTable {
      */
     ProfileTable PruneEpsilonDominated(double epsilon_rel) const;
 
+    /**
+     * The other half of the §V-A exclusion: cuts the steep tail of the
+     * energy/performance frontier. Walking the rows in ascending speedup,
+     * the marginal cost of each step — ΔmW per unit of speedup — is
+     * compared against the table-wide average slope (power range over
+     * speedup range); once a step costs more than @p slope_factor times
+     * that average, it and every faster row are dropped. On a wide
+     * heterogeneous cross-product the last few percent of speedup can cost
+     * half again the platform's power (big and LITTLE both at fmax); when
+     * the regulator saturates — a measurement dip, a phase change — it pegs
+     * the most expensive row, so a disproportionate tail turns transient
+     * saturation into a massive energy regression. The paper prunes these
+     * rows by hand per application; this automates the same judgement.
+     *
+     * Rows with speedup ≤ @p protect_below_speedup are never cut, so the
+     * caller can guarantee the target QoS region survives (pass 0 for an
+     * unconditional cut, or the target speedup plus margin).
+     */
+    ProfileTable PruneSteepTail(double slope_factor,
+                                double protect_below_speedup) const;
+
     /** Serializes to CSV (cpu_level, bw_level, speedup, power_mw columns). */
     std::string ToCsv() const;
 

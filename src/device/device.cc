@@ -7,6 +7,7 @@
 #include "common/strings.h"
 #include "kernel/governors/cpufreq_interactive.h"
 #include "kernel/governors/cpufreq_conservative.h"
+#include "kernel/governors/cpufreq_lulzactive.h"
 #include "kernel/governors/cpufreq_ondemand.h"
 #include "kernel/governors/cpufreq_performance.h"
 #include "kernel/governors/cpufreq_powersave.h"
@@ -33,28 +34,60 @@ IdleDemand()
 
 }  // namespace
 
+namespace {
+
+/** Registers the stock governor set on a cpufreq policy. */
+void
+RegisterStockCpufreqGovernors(CpufreqPolicy* policy)
+{
+    policy->RegisterGovernor("interactive", MakeCpufreqInteractiveFactory());
+    policy->RegisterGovernor("ondemand", MakeCpufreqOndemandFactory());
+    policy->RegisterGovernor("conservative", MakeCpufreqConservativeFactory());
+    policy->RegisterGovernor("performance", MakeCpufreqPerformanceFactory());
+    policy->RegisterGovernor("powersave", MakeCpufreqPowersaveFactory());
+    policy->RegisterGovernor("userspace", MakeCpufreqUserspaceFactory());
+    policy->RegisterGovernor("lulzactive", MakeCpufreqLulzactiveFactory());
+}
+
+}  // namespace
+
 Device::Device(DeviceConfig config)
     : config_(config),
-      cluster_(MakeNexus6FrequencyTable(), kNexus6Cores),
-      bus_(MakeNexus6BandwidthTable()),
+      topology_(config_.topology ? *config_.topology : MakeNexus6Topology()),
+      cluster_(topology_.primary().table, topology_.primary().num_cores),
+      bus_(topology_.bandwidth_table()),
       gpu_(MakeAdreno420()),
       engine_(config.exec_params),
       power_model_(config.power_params),
       loadavg_(6.0),
-      cpu_residency_(static_cast<size_t>(kNexus6CpuLevels)),
-      bw_residency_(static_cast<size_t>(kNexus6BwLevels)),
-      gpu_residency_(static_cast<size_t>(kAdreno420Levels))
+      cpu_residency_(static_cast<size_t>(topology_.primary().table.size())),
+      bw_residency_(static_cast<size_t>(topology_.bandwidth_table().size())),
+      gpu_residency_(static_cast<size_t>(kAdreno420Levels)),
+      little_residency_(static_cast<size_t>(
+          topology_.is_heterogeneous() ? topology_.little().table.size() : 1))
 {
     Rng seeder(config_.seed);
+    placement_ = topology_.is_heterogeneous() ? ThreadPlacement::kBoth
+                                              : ThreadPlacement::kBigOnly;
 
+    // On big.LITTLE each domain gets its policyN directory; the homogeneous
+    // build keeps the legacy per-cpu root so node paths (and anything keyed
+    // on them, e.g. fault rules) are unchanged.
+    const std::string cpufreq_root =
+        topology_.is_heterogeneous()
+            ? CpufreqPolicyRoot(topology_.primary().first_cpu)
+            : std::string(kCpufreqSysfsRoot);
     cpufreq_ = std::make_unique<CpufreqPolicy>(&sim_, &cluster_, &load_meter_,
-                                               &sysfs_, kCpufreqSysfsRoot);
-    cpufreq_->RegisterGovernor("interactive", MakeCpufreqInteractiveFactory());
-    cpufreq_->RegisterGovernor("ondemand", MakeCpufreqOndemandFactory());
-    cpufreq_->RegisterGovernor("conservative", MakeCpufreqConservativeFactory());
-    cpufreq_->RegisterGovernor("performance", MakeCpufreqPerformanceFactory());
-    cpufreq_->RegisterGovernor("powersave", MakeCpufreqPowersaveFactory());
-    cpufreq_->RegisterGovernor("userspace", MakeCpufreqUserspaceFactory());
+                                               &sysfs_, cpufreq_root);
+    RegisterStockCpufreqGovernors(cpufreq_.get());
+    if (topology_.is_heterogeneous()) {
+        little_cluster_.emplace(topology_.little().table,
+                                topology_.little().num_cores);
+        little_cpufreq_ = std::make_unique<CpufreqPolicy>(
+            &sim_, &*little_cluster_, &little_load_meter_, &sysfs_,
+            CpufreqPolicyRoot(topology_.little().first_cpu));
+        RegisterStockCpufreqGovernors(little_cpufreq_.get());
+    }
 
     devfreq_ = std::make_unique<DevfreqPolicy>(&sim_, &bus_, &traffic_meter_,
                                                &sysfs_, kDevfreqSysfsRoot);
@@ -97,6 +130,9 @@ Device::Device(DeviceConfig config)
     // Governors and perf sample lazily-integrated meters; the hooks bring
     // them up to date at each sampling instant.
     cpufreq_->SetSyncHook([this] { IntegrateToNow(); });
+    if (little_cpufreq_) {
+        little_cpufreq_->SetSyncHook([this] { IntegrateToNow(); });
+    }
     devfreq_->SetSyncHook([this] { IntegrateToNow(); });
     gpufreq_->SetSyncHook([this] { IntegrateToNow(); });
     perf_->SetSyncHook([this] { IntegrateToNow(); });
@@ -106,6 +142,13 @@ Device::Device(DeviceConfig config)
         RecomputeRates();
         RescheduleBoundary();
     });
+    if (little_cluster_) {
+        little_cluster_->SetPreChangeListener([this] { IntegrateToNow(); });
+        little_cluster_->SetPostChangeListener([this] {
+            RecomputeRates();
+            RescheduleBoundary();
+        });
+    }
     bus_.SetPreChangeListener([this] { IntegrateToNow(); });
     bus_.SetPostChangeListener([this] {
         RecomputeRates();
@@ -117,14 +160,19 @@ Device::Device(DeviceConfig config)
         RescheduleBoundary();
     });
 
-    cpu_governor_node_ =
-        sysfs_.Open(std::string(kCpufreqSysfsRoot) + "/scaling_governor");
+    cpu_governor_node_ = sysfs_.Open(cpufreq_root + "/scaling_governor");
     bw_governor_node_ = sysfs_.Open(std::string(kDevfreqSysfsRoot) + "/governor");
     gpu_governor_node_ = sysfs_.Open(std::string(kGpuSysfsRoot) + "/governor");
     cpu_setspeed_node_ =
-        sysfs_.Open(std::string(kCpufreqSysfsRoot) + "/scaling_setspeed");
+        sysfs_.Open(cpufreq_root + "/scaling_setspeed");
     bw_setfreq_node_ =
         sysfs_.Open(std::string(kDevfreqSysfsRoot) + "/userspace/set_freq");
+    if (little_cpufreq_) {
+        const std::string little_root =
+            CpufreqPolicyRoot(topology_.little().first_cpu);
+        little_governor_node_ = sysfs_.Open(little_root + "/scaling_governor");
+        little_setspeed_node_ = sysfs_.Open(little_root + "/scaling_setspeed");
+    }
 
     last_update_ = sim_.Now();
     RecomputeRates();
@@ -159,6 +207,9 @@ void
 Device::UseDefaultGovernors()
 {
     sysfs_.Write(cpu_governor_node_, "interactive");
+    if (little_cpufreq_) {
+        sysfs_.Write(little_governor_node_, "interactive");
+    }
     sysfs_.Write(bw_governor_node_, "cpubw_hwmon");
     sysfs_.Write(gpu_governor_node_, "msm-adreno-tz");
 }
@@ -168,6 +219,9 @@ Device::EnableMpdecision(MpdecisionParams params)
 {
     mpdecision_ = std::make_unique<Mpdecision>(&sim_, &cluster_, &load_meter_,
                                                params);
+    if (little_cluster_) {
+        mpdecision_->AddCluster(&*little_cluster_, &little_load_meter_);
+    }
     mpdecision_->SetSyncHook([this] { IntegrateToNow(); });
     mpdecision_->Start();
 }
@@ -225,6 +279,9 @@ void
 Device::UseUserspaceGovernors()
 {
     sysfs_.Write(cpu_governor_node_, "userspace");
+    if (little_cpufreq_) {
+        sysfs_.Write(little_governor_node_, "userspace");
+    }
     sysfs_.Write(bw_governor_node_, "userspace");
 }
 
@@ -238,6 +295,49 @@ Device::PinConfiguration(int cpu_level, int bw_level)
         std::llround(bus_.table().BandwidthAt(bw_level).value());
     sysfs_.Write(cpu_setspeed_node_, StrFormat("%lld", khz));
     sysfs_.Write(bw_setfreq_node_, StrFormat("%lld", mbps));
+}
+
+void
+Device::PinHetConfiguration(const HetConfig& config)
+{
+    if (!little_cpufreq_) {
+        AEO_ASSERT(config.little_level == 0 &&
+                       config.placement == ThreadPlacement::kBigOnly,
+                   "heterogeneous config %s on a homogeneous device",
+                   config.ToString().c_str());
+        PinConfiguration(config.big_level, config.bw_level);
+        return;
+    }
+    UseUserspaceGovernors();
+    const long long big_khz = std::llround(
+        cluster_.table().FrequencyAt(config.big_level).kilohertz());
+    const long long little_khz = std::llround(little_cluster_->table()
+                                                  .FrequencyAt(config.little_level)
+                                                  .kilohertz());
+    const long long mbps =
+        std::llround(bus_.table().BandwidthAt(config.bw_level).value());
+    sysfs_.Write(cpu_setspeed_node_, StrFormat("%lld", big_khz));
+    sysfs_.Write(little_setspeed_node_, StrFormat("%lld", little_khz));
+    sysfs_.Write(bw_setfreq_node_, StrFormat("%lld", mbps));
+    SetThreadPlacement(config.placement);
+}
+
+void
+Device::SetThreadPlacement(ThreadPlacement placement)
+{
+    const std::vector<ThreadPlacement> admissible =
+        topology_.AdmissiblePlacements();
+    AEO_ASSERT(std::find(admissible.begin(), admissible.end(), placement) !=
+                   admissible.end(),
+               "placement '%s' not admissible on this topology",
+               ThreadPlacementName(placement).c_str());
+    if (placement == placement_) {
+        return;
+    }
+    IntegrateToNow();
+    placement_ = placement;
+    RecomputeRates();
+    RescheduleBoundary();
 }
 
 void
@@ -281,7 +381,18 @@ Device::CurrentPower() const
     inputs.cpu_freq = cluster_.frequency();
     inputs.cpu_voltage = cluster_.voltage();
     inputs.online_cores = cluster_.online_cores();
-    inputs.busy_cores = busy_cores_;
+    inputs.busy_cores = big_busy_cores_;
+    inputs.cpu_dyn_scale = topology_.primary().dyn_power_scale;
+    inputs.cpu_leak_scale = topology_.primary().leak_power_scale;
+    if (little_cluster_) {
+        inputs.has_little = true;
+        inputs.little_freq = little_cluster_->frequency();
+        inputs.little_voltage = little_cluster_->voltage();
+        inputs.little_online = little_cluster_->online_cores();
+        inputs.little_busy = little_busy_cores_;
+        inputs.little_dyn_scale = topology_.little().dyn_power_scale;
+        inputs.little_leak_scale = topology_.little().leak_power_scale;
+    }
     inputs.bw_level = bus_.level();
     inputs.mem_gbps = mem_gbps_;
     double component = 0.0;
@@ -343,7 +454,13 @@ Device::IntegrateToNow()
         bw_residency_.Add(static_cast<size_t>(bus_.level()), seconds.value());
         gpu_residency_.Add(static_cast<size_t>(gpu_.level()), seconds.value());
         gpu_meter_.Advance(gpu_busy_, dt);
-        load_meter_.Advance(busy_cores_, max_core_load_, dt);
+        load_meter_.Advance(big_busy_cores_, max_core_load_, dt);
+        if (little_cluster_) {
+            little_residency_.Add(static_cast<size_t>(little_cluster_->level()),
+                                  seconds.value());
+            little_load_meter_.Advance(little_busy_cores_,
+                                       little_max_core_load_, dt);
+        }
         traffic_meter_.Advance(mem_gbps_, dt);
         pmu_.Advance(fg_gips_, cluster_.frequency().value(), busy_cores_,
                      mem_gbps_, dt);
@@ -371,29 +488,57 @@ Device::RecomputeRates()
     }
     const WorkloadDemand bg_demand = background_->CurrentDemand();
 
-    const SharedExecutionRates rates = engine_.ComputeShared(
-        fg_demand, bg_demand, cluster_.frequency(), bus_.bandwidth(),
-        cluster_.online_cores());
-
     // Instrumentation steals a slice of foreground compute (§V-A1: the perf
     // tool costs ~4 % at a 1 s sampling period).
     const double overhead = perf_->cpu_overhead_fraction();
-    fg_gips_ = rates.foreground.gips * (1.0 - overhead);
-    bg_gips_ = rates.background.gips;
-    busy_cores_ = rates.foreground.busy_cores + rates.background.busy_cores;
-    mem_gbps_ = rates.foreground.mem_gbps + rates.background.mem_gbps;
 
-    // The busiest core's utilization: a workload's active cores each run at
-    // gips/capacity (1.0 when compute-saturated). interactive keys off this.
-    const auto core_load = [](const ExecutionRates& rates_for) {
-        if (rates_for.capacity_gips <= 0.0) {
-            return 0.0;
-        }
-        const double load = rates_for.gips / rates_for.capacity_gips;
-        return load > 1.0 ? 1.0 : load;
-    };
-    max_core_load_ =
-        std::max(core_load(rates.foreground), core_load(rates.background));
+    if (little_cluster_) {
+        ClusterOperatingPoint big;
+        big.frequency = cluster_.frequency();
+        big.perf_scale = topology_.primary().perf_scale;
+        big.online_cores = cluster_.online_cores();
+        ClusterOperatingPoint little;
+        little.frequency = little_cluster_->frequency();
+        little.perf_scale = topology_.little().perf_scale;
+        little.online_cores = little_cluster_->online_cores();
+
+        const HetExecutionRates het = engine_.ComputeSharedHet(
+            fg_demand, bg_demand, big, little, placement_,
+            topology_.placement_model().span_penalty, bus_.bandwidth());
+        fg_gips_ = het.foreground.gips * (1.0 - overhead);
+        bg_gips_ = het.background.gips;
+        busy_cores_ = het.big_busy_cores + het.little_busy_cores;
+        big_busy_cores_ = het.big_busy_cores;
+        little_busy_cores_ = het.little_busy_cores;
+        mem_gbps_ = het.foreground.mem_gbps + het.background.mem_gbps;
+        max_core_load_ = het.big_max_core_load;
+        little_max_core_load_ = het.little_max_core_load;
+    } else {
+        const SharedExecutionRates rates = engine_.ComputeShared(
+            fg_demand, bg_demand, cluster_.frequency(), bus_.bandwidth(),
+            cluster_.online_cores());
+
+        fg_gips_ = rates.foreground.gips * (1.0 - overhead);
+        bg_gips_ = rates.background.gips;
+        busy_cores_ = rates.foreground.busy_cores + rates.background.busy_cores;
+        big_busy_cores_ = busy_cores_;
+        little_busy_cores_ = 0.0;
+        mem_gbps_ = rates.foreground.mem_gbps + rates.background.mem_gbps;
+
+        // The busiest core's utilization: a workload's active cores each run
+        // at gips/capacity (1.0 when compute-saturated). interactive keys
+        // off this.
+        const auto core_load = [](const ExecutionRates& rates_for) {
+            if (rates_for.capacity_gips <= 0.0) {
+                return 0.0;
+            }
+            const double load = rates_for.gips / rates_for.capacity_gips;
+            return load > 1.0 ? 1.0 : load;
+        };
+        max_core_load_ =
+            std::max(core_load(rates.foreground), core_load(rates.background));
+        little_max_core_load_ = 0.0;
+    }
     power_cache_valid_ = false;
 
     // GPU demand follows the foreground's progress (render work per Gi).
@@ -485,6 +630,10 @@ Device::CollectResult(const std::string& policy_name) const
     result.gpu_residency = gpu_residency_.Fractions();
     result.cpu_transitions = cluster_.transition_count();
     result.bw_transitions = bus_.transition_count();
+    if (little_cluster_) {
+        result.little_residency = little_residency_.Fractions();
+        result.little_transitions = little_cluster_->transition_count();
+    }
     result.loadavg = loadavg_.value();
     return result;
 }

@@ -42,10 +42,12 @@
 #include "kernel/perf_tool.h"
 #include "kernel/pmu.h"
 #include "kernel/sysfs.h"
+#include "kernel/sysfs_roots.h"
 #include "power/energy_meter.h"
 #include "power/monsoon.h"
 #include "power/power_model.h"
 #include "sim/simulator.h"
+#include "soc/cluster_topology.h"
 #include "soc/cpu_cluster.h"
 #include "soc/execution_engine.h"
 #include "soc/gpu_domain.h"
@@ -55,20 +57,6 @@
 
 namespace aeo {
 
-/** Sysfs mount points used by the Nexus 6 build. These are the repo's
- * intern-once definitions: every other layer refers to these constants, so
- * the paths live here by design rather than in src/kernel (which takes the
- * roots as constructor parameters). */
-// aeo-lint: allow(sysfs-literal) -- intern-once canonical Nexus 6 node roots.
-inline constexpr const char kCpufreqSysfsRoot[] =
-    "/sys/devices/system/cpu/cpu0/cpufreq";
-// aeo-lint: allow(sysfs-literal) -- intern-once canonical Nexus 6 node roots.
-inline constexpr const char kDevfreqSysfsRoot[] =
-    "/sys/class/devfreq/qcom,cpubw";
-// aeo-lint: allow(sysfs-literal) -- intern-once canonical Nexus 6 node roots.
-inline constexpr const char kGpuSysfsRoot[] =
-    "/sys/class/kgsl/kgsl-3d0/devfreq";
-
 /** Construction parameters for a Device. */
 struct DeviceConfig {
     /** Master seed; all component streams fork from it. */
@@ -77,6 +65,14 @@ struct DeviceConfig {
     ExecutionModelParams exec_params;
     /** Power-model constants (defaults to the calibrated Nexus 6 set). */
     PowerModelParams power_params = MakeNexus6PowerParams();
+    /**
+     * Cluster topology. Absent (the default) builds the historical
+     * single-cluster Nexus 6 — bit-identical to builds predating the
+     * topology parameter. A two-cluster topology adds a LITTLE frequency
+     * domain with its own cpufreq policy (.../cpufreq/policyN), load meter
+     * and governors, plus the thread-placement axis.
+     */
+    std::optional<ClusterTopology> topology;
     /** Power-monitor setup. */
     MonsoonConfig monsoon;
     /** perf sampler setup. */
@@ -152,6 +148,23 @@ class Device {
     /** Pins a fixed configuration via the userspace governors. */
     void PinConfiguration(int cpu_level, int bw_level);
 
+    /**
+     * Pins a heterogeneous configuration: big + LITTLE frequency levels,
+     * bandwidth level and thread placement, all via userspace governors.
+     * On a homogeneous device little_level must be 0 and the placement
+     * kBigOnly (the legacy semantics).
+     */
+    void PinHetConfiguration(const HetConfig& config);
+
+    /**
+     * Confines the foreground's threads (sched_setaffinity in spirit).
+     * Panics if the placement is not admissible on this topology.
+     */
+    void SetThreadPlacement(ThreadPlacement placement);
+
+    /** Current foreground thread placement. */
+    ThreadPlacement thread_placement() const { return placement_; }
+
     // --- Running ----------------------------------------------------------
 
     /** Runs for a fixed duration of simulated time. */
@@ -170,7 +183,15 @@ class Device {
 
     Simulator& sim() { return sim_; }
     Sysfs& sysfs() { return sysfs_; }
+    const ClusterTopology& topology() const { return topology_; }
     CpufreqPolicy& cpufreq() { return *cpufreq_; }
+    /** LITTLE-cluster cpufreq policy; nullptr on homogeneous devices. */
+    CpufreqPolicy* little_cpufreq() { return little_cpufreq_.get(); }
+    /** The LITTLE cluster; nullptr on homogeneous devices. */
+    CpuCluster* little_cluster()
+    {
+        return little_cluster_ ? &*little_cluster_ : nullptr;
+    }
     DevfreqPolicy& devfreq() { return *devfreq_; }
     GpuFreqPolicy& gpufreq() { return *gpufreq_; }
     GpuDomain& gpu() { return gpu_; }
@@ -223,6 +244,7 @@ class Device {
     void MaybeFinish();
 
     DeviceConfig config_;
+    ClusterTopology topology_;
     Simulator sim_;
     Sysfs sysfs_;
     /** Interned governor/setspeed nodes for the pinning helpers. */
@@ -231,20 +253,26 @@ class Device {
     SysfsHandle gpu_governor_node_;
     SysfsHandle cpu_setspeed_node_;
     SysfsHandle bw_setfreq_node_;
+    SysfsHandle little_governor_node_;
+    SysfsHandle little_setspeed_node_;
 
     CpuCluster cluster_;
+    /** The LITTLE frequency domain; engaged only on big.LITTLE builds. */
+    std::optional<CpuCluster> little_cluster_;
     MemoryBus bus_;
     GpuDomain gpu_;
     ExecutionEngine engine_;
     PowerModel power_model_;
 
     CpuLoadMeter load_meter_;
+    CpuLoadMeter little_load_meter_;
     BusTrafficMeter traffic_meter_;
     GpuBusyMeter gpu_meter_;
     Pmu pmu_;
     LoadAvg loadavg_;
 
     std::unique_ptr<CpufreqPolicy> cpufreq_;
+    std::unique_ptr<CpufreqPolicy> little_cpufreq_;
     std::unique_ptr<DevfreqPolicy> devfreq_;
     std::unique_ptr<GpuFreqPolicy> gpufreq_;
     std::unique_ptr<Mpdecision> mpdecision_;
@@ -263,12 +291,18 @@ class Device {
     Histogram cpu_residency_;
     Histogram bw_residency_;
     Histogram gpu_residency_;
+    Histogram little_residency_;
 
     SimTime last_update_;
     double fg_gips_ = 0.0;
     double bg_gips_ = 0.0;
     double busy_cores_ = 0.0;
     double max_core_load_ = 0.0;
+    /** Per-cluster splits; on homogeneous builds big == total, little == 0. */
+    double big_busy_cores_ = 0.0;
+    double little_busy_cores_ = 0.0;
+    double little_max_core_load_ = 0.0;
+    ThreadPlacement placement_ = ThreadPlacement::kBigOnly;
     double mem_gbps_ = 0.0;
     double gpu_busy_ = 0.0;
     double controller_overhead_mw_ = 0.0;

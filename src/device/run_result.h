@@ -45,10 +45,15 @@ struct RunResult {
     std::vector<double> bw_residency;
     /** Fraction of time per GPU level (§VII extension). */
     std::vector<double> gpu_residency;
+    /** Fraction of time per LITTLE-cluster frequency level; empty on
+     * homogeneous (single-cluster) builds. */
+    std::vector<double> little_residency;
 
     /** DVFS transition counts (overhead analysis, §V-A1). */
     uint64_t cpu_transitions = 0;
     uint64_t bw_transitions = 0;
+    /** LITTLE-cluster DVFS transitions; 0 on homogeneous builds. */
+    uint64_t little_transitions = 0;
 
     /** Final /proc/loadavg value (§V-C). */
     double loadavg = 0.0;

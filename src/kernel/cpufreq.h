@@ -120,6 +120,9 @@ class CpufreqPolicy {
     /** The simulation executive (for governor timers). */
     Simulator* sim() const { return sim_; }
 
+    /** The policy's sysfs directory (e.g. ".../cpufreq/policy4"). */
+    const std::string& sysfs_root() const { return sysfs_root_; }
+
     /** Lower scaling limit (scaling_min_freq), as a level. */
     int min_level_limit() const { return min_level_limit_; }
 

@@ -6,23 +6,37 @@ namespace aeo {
 
 Mpdecision::Mpdecision(Simulator* sim, CpuCluster* cluster,
                        const CpuLoadMeter* load_meter, MpdecisionParams params)
-    : sim_(sim),
-      cluster_(cluster),
-      load_meter_(load_meter),
-      params_(params),
-      timer_(sim, [this] { Sample(); })
+    : sim_(sim), params_(params), timer_(sim, [this] { Sample(); })
 {
-    AEO_ASSERT(sim_ != nullptr && cluster_ != nullptr && load_meter_ != nullptr,
+    AEO_ASSERT(sim_ != nullptr && cluster != nullptr && load_meter != nullptr,
                "mpdecision wired with null dependency");
     AEO_ASSERT(params_.min_online >= 1, "at least one core must stay online");
     AEO_ASSERT(params_.offline_threshold < params_.online_threshold,
                "thresholds out of order");
+    Domain domain;
+    domain.cluster = cluster;
+    domain.load_meter = load_meter;
+    domains_.push_back(std::move(domain));
+}
+
+void
+Mpdecision::AddCluster(CpuCluster* cluster, const CpuLoadMeter* load_meter)
+{
+    AEO_ASSERT(cluster != nullptr && load_meter != nullptr,
+               "mpdecision domain wired with null dependency");
+    AEO_ASSERT(!running(), "AddCluster() after Start()");
+    Domain domain;
+    domain.cluster = cluster;
+    domain.load_meter = load_meter;
+    domains_.push_back(std::move(domain));
 }
 
 void
 Mpdecision::Start()
 {
-    window_.emplace(load_meter_);
+    for (Domain& domain : domains_) {
+        domain.window.emplace(domain.load_meter);
+    }
     timer_.Start(params_.sampling_period);
 }
 
@@ -30,10 +44,12 @@ void
 Mpdecision::Stop()
 {
     timer_.Stop();
-    window_.reset();
-    if (cluster_->online_cores() != cluster_->num_cores()) {
-        cluster_->SetOnlineCores(cluster_->num_cores());
-        ++transition_count_;
+    for (Domain& domain : domains_) {
+        domain.window.reset();
+        if (domain.cluster->online_cores() != domain.cluster->num_cores()) {
+            domain.cluster->SetOnlineCores(domain.cluster->num_cores());
+            ++transition_count_;
+        }
     }
 }
 
@@ -43,14 +59,23 @@ Mpdecision::Sample()
     if (sync_hook_) {
         sync_hook_();
     }
-    const int online = cluster_->online_cores();
-    const double load = window_->SampleLoad(online);
+    for (Domain& domain : domains_) {
+        SampleDomain(&domain);
+    }
+}
 
-    if (load > params_.online_threshold && online < cluster_->num_cores()) {
-        cluster_->SetOnlineCores(online + 1);
+void
+Mpdecision::SampleDomain(Domain* domain)
+{
+    CpuCluster* cluster = domain->cluster;
+    const int online = cluster->online_cores();
+    const double load = domain->window->SampleLoad(online);
+
+    if (load > params_.online_threshold && online < cluster->num_cores()) {
+        cluster->SetOnlineCores(online + 1);
         ++transition_count_;
     } else if (load < params_.offline_threshold && online > params_.min_online) {
-        cluster_->SetOnlineCores(online - 1);
+        cluster->SetOnlineCores(online - 1);
         ++transition_count_;
     }
 }

@@ -13,6 +13,7 @@
 #define AEO_KERNEL_MPDECISION_H_
 
 #include <optional>
+#include <vector>
 
 #include "kernel/meters.h"
 #include "sim/periodic_task.h"
@@ -45,6 +46,14 @@ class Mpdecision {
     Mpdecision(Simulator* sim, CpuCluster* cluster, const CpuLoadMeter* load_meter,
                MpdecisionParams params = {});
 
+    /**
+     * Registers a further hotplug domain (big.LITTLE: one per cluster).
+     * Each domain gets its own load window and independent decisions under
+     * the shared thresholds, the way the userspace daemon treats each
+     * policy. Must be called before Start().
+     */
+    void AddCluster(CpuCluster* cluster, const CpuLoadMeter* load_meter);
+
     /** Starts making hotplug decisions. */
     void Start();
 
@@ -62,14 +71,20 @@ class Mpdecision {
     void SetSyncHook(std::function<void()> hook) { sync_hook_ = std::move(hook); }
 
   private:
+    /** One independently hotplugged cluster. */
+    struct Domain {
+        CpuCluster* cluster = nullptr;
+        const CpuLoadMeter* load_meter = nullptr;
+        std::optional<CpuLoadWindow> window;
+    };
+
     void Sample();
+    void SampleDomain(Domain* domain);
 
     Simulator* sim_;
-    CpuCluster* cluster_;
-    const CpuLoadMeter* load_meter_;
     MpdecisionParams params_;
     PeriodicTask timer_;
-    std::optional<CpuLoadWindow> window_;
+    std::vector<Domain> domains_;
     std::function<void()> sync_hook_;
     uint64_t transition_count_ = 0;
 };

@@ -90,6 +90,8 @@ struct DwellDelivery {
     ActuationDelivery cpu;
     ActuationDelivery bw;
     ActuationDelivery gpu;
+    /** LITTLE-cluster frequency; attempted only on big.LITTLE plans. */
+    ActuationDelivery little;
 };
 
 /** One resolved dwell of an actuation plan: run @p config for @p seconds. */

@@ -68,14 +68,34 @@ ConfigScheduler::ConfigScheduler(Device* device, SimTime min_dwell,
         return static_cast<double>(
             std::llround(cpu_table.FrequencyAt(level).megahertz() * 1000.0));
     };
-    cpu_plan_.set = sysfs.Open(std::string(kCpufreqSysfsRoot) + "/scaling_setspeed");
-    cpu_plan_.readback =
-        sysfs.Open(std::string(kCpufreqSysfsRoot) + "/scaling_cur_freq");
+    const std::string& cpu_root = device_->cpufreq().sysfs_root();
+    cpu_plan_.set = sysfs.Open(cpu_root + "/scaling_setspeed");
+    cpu_plan_.readback = sysfs.Open(cpu_root + "/scaling_cur_freq");
     PrecomputeCandidates(cpu_table.size(), cpu_khz, &cpu_plan_.candidates,
                          &cpu_plan_.levels);
     cpu_plan_.to_level = [&cpu_table](long long khz) {
         return cpu_table.ClosestLevel(Gigahertz(static_cast<double>(khz) / 1e6));
     };
+
+    // A second frequency domain exists only on big.LITTLE topologies; its
+    // plan is precomputed identically from the LITTLE policy's OPP table.
+    if (CpufreqPolicy* little = device_->little_cpufreq()) {
+        has_little_ = true;
+        const FrequencyTable& little_table = little->table();
+        const auto little_khz = [&little_table](int level) {
+            return static_cast<double>(std::llround(
+                little_table.FrequencyAt(level).megahertz() * 1000.0));
+        };
+        const std::string& little_root = little->sysfs_root();
+        little_plan_.set = sysfs.Open(little_root + "/scaling_setspeed");
+        little_plan_.readback = sysfs.Open(little_root + "/scaling_cur_freq");
+        PrecomputeCandidates(little_table.size(), little_khz,
+                             &little_plan_.candidates, &little_plan_.levels);
+        little_plan_.to_level = [&little_table](long long khz) {
+            return little_table.ClosestLevel(
+                Gigahertz(static_cast<double>(khz) / 1e6));
+        };
+    }
 
     const BandwidthTable& bw_table = device_->bus().table();
     const auto bw_mbps = [&bw_table](int level) {
@@ -274,6 +294,18 @@ ConfigScheduler::ApplyConfigNow(const SystemConfig& config)
     if (config.controls_gpu()) {
         ActuateSubsystem(gpu_plan_, config.gpu_level, &delivery.gpu);
     }
+    if (config.controls_little()) {
+        AEO_ASSERT(has_little_,
+                   "config %s names a LITTLE level on a single-cluster device",
+                   config.ToString().c_str());
+        ActuateSubsystem(little_plan_, config.little_level, &delivery.little);
+        if (config.placement != kPlacementDefault) {
+            // Placement is a scheduler affinity, not a sysfs frequency node:
+            // it cannot fail transiently, so it is applied directly.
+            device_->SetThreadPlacement(
+                static_cast<ThreadPlacement>(config.placement));
+        }
+    }
 
     cycle_deliveries_.push_back(delivery);
 
@@ -281,7 +313,7 @@ ConfigScheduler::ApplyConfigNow(const SystemConfig& config)
         return !d.attempted || d.write_ok;
     };
     return subsystem_ok(delivery.cpu) && subsystem_ok(delivery.bw) &&
-           subsystem_ok(delivery.gpu);
+           subsystem_ok(delivery.gpu) && subsystem_ok(delivery.little);
 }
 
 void

@@ -136,6 +136,9 @@ class ConfigScheduler final : public Actuator {
     SubsystemActuator cpu_plan_;
     SubsystemActuator bw_plan_;
     SubsystemActuator gpu_plan_;
+    /** LITTLE-cluster frequency plan; populated only on big.LITTLE. */
+    SubsystemActuator little_plan_;
+    bool has_little_ = false;
     SimTime min_dwell_;
     ActuationRetryPolicy retry_;
     ActuationStats stats_;

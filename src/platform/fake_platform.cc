@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/logging.h"
 #include "common/strings.h"
 
 namespace aeo::platform {
@@ -51,26 +52,97 @@ FakeActuator::ScriptDeliveries(std::vector<DwellDelivery> deliveries)
     deliveries_ = std::move(deliveries);
 }
 
+FakePlatform::ClusterScript&
+FakePlatform::Cluster(int index)
+{
+    AEO_ASSERT(index >= 0, "negative cluster index %d", index);
+    if (index >= static_cast<int>(clusters_.size())) {
+        clusters_.resize(static_cast<size_t>(index) + 1);
+    }
+    if (index >= num_clusters_) {
+        num_clusters_ = index + 1;
+    }
+    return clusters_[static_cast<size_t>(index)];
+}
+
+void
+FakePlatform::ScriptNumCpuClusters(int n)
+{
+    AEO_ASSERT(n >= 1, "a platform needs at least one cluster, got %d", n);
+    Cluster(n - 1);
+}
+
 PerfWindow
 FakePlatform::DrainWindow()
 {
-    if (perf_windows_.empty()) {
-        return PerfWindow{0.0, 0};
-    }
-    const PerfWindow window = perf_windows_.front();
-    perf_windows_.pop_front();
-    return window;
+    return DrainClusterWindow(0);
 }
 
 double
 FakePlatform::DrainAveragePowerMw()
 {
-    if (power_windows_.empty()) {
+    return DrainClusterPowerMw(0);
+}
+
+PerfWindow
+FakePlatform::DrainClusterWindow(int cluster)
+{
+    auto& windows = Cluster(cluster).perf_windows;
+    if (windows.empty()) {
+        return PerfWindow{0.0, 0};
+    }
+    const PerfWindow window = windows.front();
+    windows.pop_front();
+    return window;
+}
+
+double
+FakePlatform::DrainClusterPowerMw(int cluster)
+{
+    auto& windows = Cluster(cluster).power_windows;
+    if (windows.empty()) {
         return 0.0;
     }
-    const double mw = power_windows_.front();
-    power_windows_.pop_front();
+    const double mw = windows.front();
+    windows.pop_front();
     return mw;
+}
+
+void
+FakePlatform::PushClusterPowerMw(int cluster, double mw)
+{
+    Cluster(cluster).power_windows.push_back(mw);
+}
+
+void
+FakePlatform::ScriptClusterCapLevel(int cluster, int level)
+{
+    Cluster(cluster).cap_level = level;
+}
+
+void
+FakePlatform::PushClusterCapEvent(int cluster, int level)
+{
+    Cluster(cluster).cap_events.push_back(level);
+}
+
+int
+FakePlatform::ReadClusterCapLevel(int cluster)
+{
+    ClusterScript& script = Cluster(cluster);
+    if (!script.cap_events.empty()) {
+        const int level = script.cap_events.front();
+        script.cap_events.pop_front();
+        return level;
+    }
+    return script.cap_level;
+}
+
+void
+FakePlatform::PushClusterPerfWindow(int cluster, double avg_gips,
+                                    uint64_t samples)
+{
+    Cluster(cluster).perf_windows.push_back(PerfWindow{avg_gips, samples});
 }
 
 void
@@ -83,7 +155,7 @@ FakePlatform::PinForControl(bool bandwidth, bool gpu)
 void
 FakePlatform::PushPerfWindow(double avg_gips, uint64_t samples)
 {
-    perf_windows_.push_back(PerfWindow{avg_gips, samples});
+    PushClusterPerfWindow(0, avg_gips, samples);
 }
 
 }  // namespace aeo::platform

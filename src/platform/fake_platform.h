@@ -101,6 +101,8 @@ class FakePlatform final : public Platform,
     GovernorControl& governors() override { return *this; }
     Thermals& thermals() override { return *this; }
     int max_cpu_level() const override { return max_cpu_level_; }
+    int num_cpu_clusters() const override { return num_clusters_; }
+    int max_little_level() const override { return max_little_level_; }
     void SetControllerOverheadPower(double mw) override
     {
         overhead_mw_ = mw;
@@ -119,20 +121,61 @@ class FakePlatform final : public Platform,
 
     // --- Thermals ---------------------------------------------------------
     double ReadZoneTempC() override { return temp_c_; }
-    int ReadCpuCapLevel() override { return cap_level_; }
+    int ReadCpuCapLevel() override { return ReadClusterCapLevel(0); }
 
     // --- Scripting --------------------------------------------------------
 
     /** Queues one perf window; drained FIFO. An exhausted queue serves
-     * empty windows (every sample dropped). */
+     * empty windows (every sample dropped). Alias of cluster 0's queue. */
     void PushPerfWindow(double avg_gips, uint64_t samples);
 
-    /** Queues one measured-power window; exhausted queue serves @p 0. */
-    void PushPowerMw(double mw) { power_windows_.push_back(mw); }
+    /** Queues one measured-power window; exhausted queue serves @p 0.
+     * Alias of cluster 0's queue. */
+    void PushPowerMw(double mw) { PushClusterPowerMw(0, mw); }
 
     void ScriptTempC(double temp_c) { temp_c_ = temp_c; }
-    void ScriptCpuCapLevel(int level) { cap_level_ = level; }
+
+    /** Sets the persistent cap reported once the cap-event queue drains.
+     * Alias of cluster 0. */
+    void ScriptCpuCapLevel(int level) { ScriptClusterCapLevel(0, level); }
     void ScriptMaxCpuLevel(int level) { max_cpu_level_ = level; }
+
+    // --- Per-cluster scripting (big.LITTLE doubles) -----------------------
+    //
+    // Cluster 0 is the primary/big domain and aliases the legacy single-
+    // cluster queues above, so existing tests keep their meaning unchanged.
+    // Scripting any cluster > 0 grows the fake's topology automatically.
+
+    /** Declares a @p n-domain platform (clamped up by later scripting). */
+    void ScriptNumCpuClusters(int n);
+
+    /** Highest LITTLE level max_little_level() reports (-1 = absent). */
+    void ScriptMaxLittleLevel(int level) { max_little_level_ = level; }
+
+    /** Queues one perf window on @p cluster's queue; drained FIFO by
+     * DrainClusterWindow. Cluster 0 also feeds DrainWindow(). */
+    void PushClusterPerfWindow(int cluster, double avg_gips, uint64_t samples);
+
+    /** Queues one measured-power window on @p cluster's queue. */
+    void PushClusterPowerMw(int cluster, double mw);
+
+    /** Sets @p cluster's persistent cap level (kNoCapLevel = uncapped). */
+    void ScriptClusterCapLevel(int cluster, int level);
+
+    /** Queues a one-shot cap *event*: the next cap read on @p cluster
+     * observes @p level once, then the persistent cap applies again —
+     * exactly how a transient msm_thermal clamp appears to a poller. */
+    void PushClusterCapEvent(int cluster, int level);
+
+    /** Drains @p cluster's next perf window (empty when exhausted). */
+    PerfWindow DrainClusterWindow(int cluster);
+
+    /** Drains @p cluster's next power window (0 when exhausted). */
+    double DrainClusterPowerMw(int cluster);
+
+    /** Cap read on @p cluster: pops a queued event, else the persistent
+     * cap. Cluster 0 is what Thermals::ReadCpuCapLevel() reports. */
+    int ReadClusterCapLevel(int cluster);
 
     // --- Recorders --------------------------------------------------------
 
@@ -146,15 +189,27 @@ class FakePlatform final : public Platform,
     }
 
   private:
+    /** Scripted telemetry for one frequency domain. */
+    struct ClusterScript {
+        std::deque<PerfWindow> perf_windows;
+        std::deque<double> power_windows;
+        /** One-shot cap readings consumed before @p cap_level applies. */
+        std::deque<int> cap_events;
+        int cap_level = kNoCapLevel;
+    };
+
+    /** Cluster @p index's script, growing the topology on demand. */
+    ClusterScript& Cluster(int index);
+
     Simulator sim_;
     SimClock clock_{&sim_};
     SimTickScheduler tick_scheduler_{&sim_};
     FakeActuator actuator_;
-    std::deque<PerfWindow> perf_windows_;
-    std::deque<double> power_windows_;
+    std::vector<ClusterScript> clusters_{1};
     std::vector<std::string> governor_log_;
     double temp_c_ = 25.0;
-    int cap_level_ = kNoCapLevel;
+    int num_clusters_ = 1;
+    int max_little_level_ = -1;
     int max_cpu_level_ = 17;
     double overhead_mw_ = 0.0;
     bool sampling_ = false;

@@ -187,8 +187,17 @@ class Platform {
     virtual GovernorControl& governors() = 0;
     virtual Thermals& thermals() = 0;
 
-    /** Highest CPU frequency level the platform exposes. */
+    /** Highest CPU frequency level the platform exposes (primary/big
+     * cluster on heterogeneous SoCs). */
     virtual int max_cpu_level() const = 0;
+
+    /** Number of CPU frequency domains (1 on homogeneous SoCs like the
+     * paper's Nexus 6; 2 on big.LITTLE). */
+    virtual int num_cpu_clusters() const { return 1; }
+
+    /** Highest LITTLE-cluster frequency level, or -1 when the platform has
+     * no LITTLE cluster (the homogeneous default). */
+    virtual int max_little_level() const { return -1; }
 
     /** Charges the controller's own compute/actuation power to the
      * plant (§V-A1); 0 stops charging. */

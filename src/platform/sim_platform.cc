@@ -39,12 +39,32 @@ SimPlatform::SimPlatform(Device* device)
 {
     AEO_ASSERT(device_ != nullptr, "platform needs a device");
     Sysfs& sysfs = device_->sysfs();
-    cap_node_ = sysfs.Open(std::string(kCpufreqSysfsRoot) + "/scaling_max_freq");
+    // The policy directory differs between the historical single-cluster
+    // tree (cpu0/cpufreq) and the big.LITTLE per-policy tree (cpufreq/
+    // policyN); the device knows which one it built.
+    const std::string& cpu_root = device_->cpufreq().sysfs_root();
+    cap_node_ = sysfs.Open(cpu_root + "/scaling_max_freq");
     temp_node_ = sysfs.Open("/sys/class/thermal/thermal_zone0/temp");
-    cpu_governor_node_ =
-        sysfs.Open(std::string(kCpufreqSysfsRoot) + "/scaling_governor");
+    cpu_governor_node_ = sysfs.Open(cpu_root + "/scaling_governor");
     bw_governor_node_ = sysfs.Open(std::string(kDevfreqSysfsRoot) + "/governor");
     gpu_governor_node_ = sysfs.Open(std::string(kGpuSysfsRoot) + "/governor");
+    if (CpufreqPolicy* little = device_->little_cpufreq()) {
+        little_governor_node_ =
+            sysfs.Open(little->sysfs_root() + "/scaling_governor");
+    }
+}
+
+int
+SimPlatform::num_cpu_clusters() const
+{
+    return device_->topology().num_clusters();
+}
+
+int
+SimPlatform::max_little_level() const
+{
+    const CpuCluster* little = device_->little_cluster();
+    return little != nullptr ? little->table().max_level() : -1;
 }
 
 int
@@ -95,6 +115,11 @@ SimPlatform::PinForControl(bool bandwidth, bool gpu)
 {
     Sysfs& sysfs = device_->sysfs();
     TrySetGovernor(sysfs, cpu_governor_node_, "userspace");
+    if (little_governor_node_.valid()) {
+        // Both frequency domains go to userspace: the big.LITTLE controller
+        // owns the LITTLE clock alongside the big one.
+        TrySetGovernor(sysfs, little_governor_node_, "userspace");
+    }
     if (bandwidth) {
         TrySetGovernor(sysfs, bw_governor_node_, "userspace");
     } else {
@@ -117,6 +142,9 @@ SimPlatform::RestoreStock()
     // Best effort: if even these writes fail, the device keeps whatever
     // governors it has — there is nothing further a userspace agent can do.
     TrySetGovernor(sysfs, cpu_governor_node_, "interactive");
+    if (little_governor_node_.valid()) {
+        TrySetGovernor(sysfs, little_governor_node_, "interactive");
+    }
     TrySetGovernor(sysfs, bw_governor_node_, "cpubw_hwmon");
     TrySetGovernor(sysfs, gpu_governor_node_, "msm-adreno-tz");
 }

@@ -35,6 +35,8 @@ class SimPlatform final : public Platform,
     GovernorControl& governors() override { return *this; }
     Thermals& thermals() override { return *this; }
     int max_cpu_level() const override;
+    int num_cpu_clusters() const override;
+    int max_little_level() const override;
     void SetControllerOverheadPower(double mw) override;
     void Sync() override;
 
@@ -67,6 +69,8 @@ class SimPlatform final : public Platform,
     SysfsHandle cpu_governor_node_;
     SysfsHandle bw_governor_node_;
     SysfsHandle gpu_governor_node_;
+    /** LITTLE policy's governor file; open only on big.LITTLE devices. */
+    SysfsHandle little_governor_node_;
 };
 
 }  // namespace aeo::platform

@@ -14,6 +14,22 @@ PowerModel::PowerModel(PowerModelParams params) : params_(params)
                "idle residue %f out of [0, 1)", params_.cpu_idle_residue);
 }
 
+double
+PowerModel::ClusterCpuPower(Gigahertz freq, Volts voltage, int online_cores,
+                            double busy_cores, double dyn_scale,
+                            double leak_scale, double leak_temp_scale) const
+{
+    const double v = voltage.value();
+    const double f = freq.value();
+    const double cores = static_cast<double>(online_cores);
+    const double busy = std::min(busy_cores, cores);
+    const double idle = cores - busy;
+    const double dyn_unit = params_.cpu_dyn_mw_per_ghz_v2 * dyn_scale * f * v * v;
+    return dyn_unit * (busy + params_.cpu_idle_residue * idle) +
+           params_.cpu_leak_mw_per_v3 * leak_scale * v * v * v * cores *
+               leak_temp_scale;
+}
+
 PowerBreakdown
 PowerModel::Compute(const PowerInputs& inputs) const
 {
@@ -22,20 +38,23 @@ PowerModel::Compute(const PowerInputs& inputs) const
     AEO_ASSERT(inputs.bw_level >= 0, "negative bandwidth level");
 
     PowerBreakdown out;
-    const double v = inputs.cpu_voltage.value();
-    const double f = inputs.cpu_freq.value();
-    const double cores = static_cast<double>(inputs.online_cores);
-    const double busy = std::min(inputs.busy_cores, cores);
-    const double idle = cores - busy;
 
     // Leakage scales with die temperature when the coefficient is enabled;
     // the factor never drops below zero for (unphysical) sub-ambient dies.
     const double leak_scale = std::max(
         0.0, 1.0 + params_.leak_temp_coeff_per_c * (inputs.temp_c - kLeakageReferenceC));
 
-    const double dyn_unit = params_.cpu_dyn_mw_per_ghz_v2 * f * v * v;
-    out.cpu_mw = dyn_unit * (busy + params_.cpu_idle_residue * idle) +
-                 params_.cpu_leak_mw_per_v3 * v * v * v * cores * leak_scale;
+    out.cpu_mw = ClusterCpuPower(inputs.cpu_freq, inputs.cpu_voltage,
+                                 inputs.online_cores, inputs.busy_cores,
+                                 inputs.cpu_dyn_scale, inputs.cpu_leak_scale,
+                                 leak_scale);
+    if (inputs.has_little) {
+        AEO_ASSERT(inputs.little_online >= 0, "negative LITTLE cores");
+        out.little_cpu_mw = ClusterCpuPower(
+            inputs.little_freq, inputs.little_voltage, inputs.little_online,
+            inputs.little_busy, inputs.little_dyn_scale,
+            inputs.little_leak_scale, leak_scale);
+    }
 
     const double gv = inputs.gpu_voltage.value();
     out.gpu_mw = params_.gpu_dyn_mw_per_mhz_v2 * inputs.gpu_mhz * gv * gv *
@@ -74,6 +93,25 @@ MakeNexus6PowerParams()
     params.mem_static_mw = 120.0;
     params.mem_mw_per_level = 29.6;
     params.mem_mw_per_gbps = 60.0;
+    return params;
+}
+
+PowerModelParams
+MakeExynos5433PowerParams()
+{
+    // The A57 cluster is the reference rail: a 20nm out-of-order core is
+    // hungrier per GHz·V² than the Krait and leaks more at the top of its
+    // wider voltage range. LPDDR4 at up to 13.2 GBps moves the bus
+    // coefficients accordingly. The A53 rail is priced via the topology's
+    // dyn/leak power scales, not separate coefficients.
+    PowerModelParams params;
+    params.base_mw = 455.0;
+    params.cpu_dyn_mw_per_ghz_v2 = 1180.0;
+    params.cpu_idle_residue = 0.10;
+    params.cpu_leak_mw_per_v3 = 160.0;
+    params.mem_static_mw = 135.0;
+    params.mem_mw_per_level = 34.0;
+    params.mem_mw_per_gbps = 48.0;
     return params;
 }
 

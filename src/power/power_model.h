@@ -69,6 +69,18 @@ struct PowerInputs {
     int online_cores = 4;
     /** Busy core-seconds per second (foreground + background), 0..cores. */
     double busy_cores = 0.0;
+    /** Primary-cluster silicon power scales (ClusterSpec::*_power_scale).
+     * Exactly 1.0 on the reference cluster — an IEEE-exact no-op. */
+    double cpu_dyn_scale = 1.0;
+    double cpu_leak_scale = 1.0;
+    /** Second (LITTLE) frequency domain; absent on homogeneous SoCs. */
+    bool has_little = false;
+    Gigahertz little_freq{0.3};
+    Volts little_voltage{0.80};
+    int little_online = 0;
+    double little_busy = 0.0;
+    double little_dyn_scale = 1.0;
+    double little_leak_scale = 1.0;
     /** Current 0-based bandwidth level. */
     int bw_level = 0;
     /** Actual bus traffic, GB/s. */
@@ -89,7 +101,10 @@ struct PowerInputs {
 
 /** Per-rail decomposition of device power. */
 struct PowerBreakdown {
+    /** Primary (big/unified) CPU cluster rail. */
     double cpu_mw = 0.0;
+    /** LITTLE cluster rail; 0 on homogeneous SoCs. */
+    double little_cpu_mw = 0.0;
     double gpu_mw = 0.0;
     double mem_mw = 0.0;
     double base_mw = 0.0;
@@ -100,7 +115,8 @@ struct PowerBreakdown {
     double
     total_mw() const
     {
-        return cpu_mw + gpu_mw + mem_mw + base_mw + app_component_mw + overhead_mw;
+        return cpu_mw + little_cpu_mw + gpu_mw + mem_mw + base_mw +
+               app_component_mw + overhead_mw;
     }
 };
 
@@ -115,6 +131,16 @@ class PowerModel {
     /** Convenience: total device power. */
     Milliwatts TotalPower(const PowerInputs& inputs) const;
 
+    /**
+     * One CPU cluster's rail power: dynamic + leakage, scaled by the
+     * cluster's silicon coefficients. @p leak_temp_scale is the
+     * temperature-dependent leakage multiplier (1.0 at the calibration
+     * temperature). The optimizer prices per-cluster energy with this.
+     */
+    double ClusterCpuPower(Gigahertz freq, Volts voltage, int online_cores,
+                           double busy_cores, double dyn_scale,
+                           double leak_scale, double leak_temp_scale) const;
+
     const PowerModelParams& params() const { return params_; }
 
   private:
@@ -123,6 +149,13 @@ class PowerModel {
 
 /** Power coefficients calibrated for the Nexus 6 against Table I. */
 PowerModelParams MakeNexus6PowerParams();
+
+/**
+ * Power coefficients for the Exynos 5433-style big.LITTLE preset. The
+ * reference cluster is the A57; the A53 rail is priced through the
+ * topology's dyn/leak power scales (soc/exynos5433.h).
+ */
+PowerModelParams MakeExynos5433PowerParams();
 
 }  // namespace aeo
 

@@ -54,6 +54,148 @@ ExecutionEngine::Compute(const WorkloadDemand& demand, Gigahertz freq,
                        static_cast<double>(online_cores));
 }
 
+ExecutionEngine::PoolAssignment
+ExecutionEngine::AssignPool(double parallelism, double big_eq_ghz,
+                            double big_cores, double little_eq_ghz,
+                            double little_cores, bool big_first,
+                            double span_penalty)
+{
+    PoolAssignment pool;
+    double remaining = parallelism;
+    if (big_first) {
+        pool.big_cores = std::min(remaining, big_cores);
+        remaining -= pool.big_cores;
+        pool.little_cores = std::min(remaining, little_cores);
+    } else {
+        pool.little_cores = std::min(remaining, little_cores);
+        remaining -= pool.little_cores;
+        pool.big_cores = std::min(remaining, big_cores);
+    }
+    pool.cores = pool.big_cores + pool.little_cores;
+    pool.throughput_ghz =
+        pool.big_cores * big_eq_ghz + pool.little_cores * little_eq_ghz;
+    if (pool.big_cores > 0.0 && pool.little_cores > 0.0) {
+        pool.throughput_ghz *= 1.0 - span_penalty;
+    }
+    return pool;
+}
+
+ExecutionRates
+ExecutionEngine::ComputeWithPool(const WorkloadDemand& demand,
+                                 const PoolAssignment& pool,
+                                 double effective_gbps) const
+{
+    AEO_ASSERT(demand.ipc > 0.0, "ipc must be positive");
+    AEO_ASSERT(demand.mem_bytes_per_instr >= 0.0, "negative memory intensity");
+
+    ExecutionRates rates;
+    if (pool.cores <= 0.0 || pool.throughput_ghz <= 0.0 ||
+        effective_gbps <= 0.0) {
+        return rates;
+    }
+    // Same serial compute + memory latency as ComputeWith, with the pool's
+    // aggregate throughput standing in for freq × usable_cores.
+    const double t_cpu_ns = 1.0 / (pool.throughput_ghz * demand.ipc);
+    const double t_mem_ns = demand.mem_bytes_per_instr / effective_gbps;
+    const double capacity_gips = 1.0 / (t_cpu_ns + t_mem_ns);
+
+    rates.capacity_gips = capacity_gips;
+    rates.gips = std::min(demand.demand_gips, capacity_gips);
+    rates.busy_cores = rates.gips / capacity_gips * pool.cores;
+    rates.mem_gbps = rates.gips * demand.mem_bytes_per_instr +
+                     rates.busy_cores * params_.prefetch_gbps_per_busy_core;
+    return rates;
+}
+
+HetExecutionRates
+ExecutionEngine::ComputeSharedHet(const WorkloadDemand& foreground,
+                                  const WorkloadDemand& background,
+                                  const ClusterOperatingPoint& big,
+                                  const ClusterOperatingPoint& little,
+                                  ThreadPlacement placement,
+                                  double span_penalty,
+                                  MegabytesPerSecond bandwidth) const
+{
+    HetExecutionRates het;
+    const double total_gbps =
+        bandwidth.value() / 1000.0 * params_.bandwidth_efficiency;
+    const double big_eq = big.frequency.value() * big.perf_scale;
+    const double little_eq = little.frequency.value() * little.perf_scale;
+    const double big_cores = static_cast<double>(big.online_cores);
+    const double little_cores = static_cast<double>(little.online_cores);
+
+    // Background: LITTLE-first (Android's HMP bias for background resident
+    // tasks), over the background share of each cluster, capped at its
+    // share of the pool's compute throughput — the het analogue of
+    // ComputeShared's demand cap.
+    WorkloadDemand bg = background;
+    const PoolAssignment bg_pool = AssignPool(
+        bg.parallelism, big_eq, big_cores * params_.background_share,
+        little_eq, little_cores * params_.background_share,
+        /*big_first=*/false, span_penalty);
+    const PoolAssignment bg_cap_pool =
+        AssignPool(bg.parallelism, big_eq, big_cores, little_eq, little_cores,
+                   /*big_first=*/false, span_penalty);
+    bg.demand_gips =
+        std::min(bg.demand_gips, params_.background_share *
+                                     bg_cap_pool.throughput_ghz * bg.ipc);
+    het.background = ComputeWithPool(bg, bg_pool,
+                                     total_gbps * params_.background_share);
+    const double bg_share =
+        bg_pool.cores > 0.0 ? het.background.busy_cores / bg_pool.cores : 0.0;
+    const double bg_big_busy = bg_pool.big_cores * bg_share;
+    const double bg_little_busy = bg_pool.little_cores * bg_share;
+
+    // Foreground: the placement's clusters, minus what the background holds,
+    // fastest-core-first. A fully-occupied pool still yields a residual
+    // quarter core, like the homogeneous path.
+    double fg_big_cores =
+        placement == ThreadPlacement::kLittleOnly
+            ? 0.0
+            : std::max(0.0, big_cores - bg_big_busy);
+    double fg_little_cores =
+        placement == ThreadPlacement::kBigOnly
+            ? 0.0
+            : std::max(0.0, little_cores - bg_little_busy);
+    if (fg_big_cores + fg_little_cores < 0.25) {
+        if (placement == ThreadPlacement::kLittleOnly) {
+            fg_little_cores = 0.25;
+        } else {
+            fg_big_cores = 0.25;
+        }
+    }
+    const PoolAssignment fg_pool =
+        AssignPool(foreground.parallelism, big_eq, fg_big_cores, little_eq,
+                   fg_little_cores, /*big_first=*/true, span_penalty);
+    const double remaining_gbps =
+        std::max(1e-9, total_gbps - het.background.mem_gbps);
+    het.foreground = ComputeWithPool(foreground, fg_pool, remaining_gbps);
+    const double fg_share =
+        fg_pool.cores > 0.0 ? het.foreground.busy_cores / fg_pool.cores : 0.0;
+
+    het.big_busy_cores = bg_big_busy + fg_pool.big_cores * fg_share;
+    het.little_busy_cores = bg_little_busy + fg_pool.little_cores * fg_share;
+
+    // Busiest-core load per cluster: a workload's assigned cores run in
+    // lockstep at its utilization, so each cluster sees the max over the
+    // workloads using it.
+    const double fg_load = het.foreground.capacity_gips > 0.0
+                               ? std::min(1.0, het.foreground.gips /
+                                                   het.foreground.capacity_gips)
+                               : 0.0;
+    const double bg_load = het.background.capacity_gips > 0.0
+                               ? std::min(1.0, het.background.gips /
+                                                   het.background.capacity_gips)
+                               : 0.0;
+    het.big_max_core_load =
+        std::max(fg_pool.big_cores > 0.0 ? fg_load : 0.0,
+                 bg_pool.big_cores > 0.0 ? bg_load : 0.0);
+    het.little_max_core_load =
+        std::max(fg_pool.little_cores > 0.0 ? fg_load : 0.0,
+                 bg_pool.little_cores > 0.0 ? bg_load : 0.0);
+    return het;
+}
+
 SharedExecutionRates
 ExecutionEngine::ComputeShared(const WorkloadDemand& foreground,
                                const WorkloadDemand& background, Gigahertz freq,

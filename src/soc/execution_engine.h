@@ -25,6 +25,7 @@
 #include <limits>
 
 #include "common/units.h"
+#include "soc/cluster_topology.h"
 
 namespace aeo {
 
@@ -88,6 +89,32 @@ struct SharedExecutionRates {
     ExecutionRates background;
 };
 
+/** One cluster's operating point as the execution model sees it. */
+struct ClusterOperatingPoint {
+    Gigahertz frequency{1.0};
+    /** Per-core throughput multiplier (ClusterSpec::perf_scale). */
+    double perf_scale = 1.0;
+    int online_cores = 0;
+};
+
+/**
+ * Shared rates on a heterogeneous SoC, with the per-cluster split the
+ * device needs to drive per-cluster load meters and the power model. The
+ * analytic model runs a workload's assigned cores in lockstep, so one
+ * utilization per (workload, cluster) pair captures the busiest core.
+ */
+struct HetExecutionRates {
+    ExecutionRates foreground;
+    ExecutionRates background;
+    /** Busy core-seconds per second on the big cluster (fg + bg). */
+    double big_busy_cores = 0.0;
+    /** Busy core-seconds per second on the LITTLE cluster (fg + bg). */
+    double little_busy_cores = 0.0;
+    /** Busiest-core load per cluster (what each policy's governor sees). */
+    double big_max_core_load = 0.0;
+    double little_max_core_load = 0.0;
+};
+
 /** Evaluates the analytic performance model. Stateless and copyable. */
 class ExecutionEngine {
   public:
@@ -109,11 +136,43 @@ class ExecutionEngine {
                                        MegabytesPerSecond bandwidth,
                                        int online_cores) const;
 
+    /**
+     * Shared rates on a big.LITTLE SoC. The foreground's threads fill the
+     * placement's admissible clusters fastest-core-first; the background
+     * models Android's HMP bias and fills LITTLE-first regardless of the
+     * foreground's confinement. Spanning both clusters costs
+     * @p span_penalty of pool throughput (migrations, coherence).
+     */
+    HetExecutionRates ComputeSharedHet(const WorkloadDemand& foreground,
+                                       const WorkloadDemand& background,
+                                       const ClusterOperatingPoint& big,
+                                       const ClusterOperatingPoint& little,
+                                       ThreadPlacement placement,
+                                       double span_penalty,
+                                       MegabytesPerSecond bandwidth) const;
+
     const ExecutionModelParams& params() const { return params_; }
 
   private:
+    /** A core pool assembled from one or two clusters. */
+    struct PoolAssignment {
+        double throughput_ghz = 0.0;
+        double cores = 0.0;
+        double big_cores = 0.0;
+        double little_cores = 0.0;
+    };
+
+    static PoolAssignment AssignPool(double parallelism, double big_eq_ghz,
+                                     double big_cores, double little_eq_ghz,
+                                     double little_cores, bool big_first,
+                                     double span_penalty);
+
     ExecutionRates ComputeWith(const WorkloadDemand& demand, Gigahertz freq,
                                double effective_gbps, double max_cores) const;
+
+    ExecutionRates ComputeWithPool(const WorkloadDemand& demand,
+                                   const PoolAssignment& pool,
+                                   double effective_gbps) const;
 
     ExecutionModelParams params_;
 };

@@ -1,0 +1,120 @@
+#include "soc/exynos5433.h"
+
+#include <array>
+#include <cmath>
+
+namespace aeo {
+
+namespace {
+
+// A57 DVFS ladder (GHz), the production 5433 big-cluster operating points
+// thinned to the 7 the stock HMP governor actually dwells on.
+constexpr std::array<double, kExynos5433BigLevels> kBigGhz = {
+    0.700, 0.900, 1.100, 1.300, 1.500, 1.700, 1.900,
+};
+
+// A53 DVFS ladder (GHz).
+constexpr std::array<double, kExynos5433LittleLevels> kLittleGhz = {
+    0.400, 0.600, 0.800, 1.000, 1.200, 1.300,
+};
+
+// Shared LPDDR3-1650 bus bandwidth levels (MBps).
+constexpr std::array<double, kExynos5433BwLevels> kBwMbps = {
+    1017, 1355, 2033, 2710, 4066, 5421, 8132, 13200,
+};
+
+/** A57 rail voltage: affine with a super-linear tail, like the Krait curve
+ * but anchored to the 5433's 0.90–1.225 V big-cluster rail. */
+double
+BigVoltageForGhz(double ghz)
+{
+    constexpr double kVmin = 0.90;
+    constexpr double kVmax = 1.225;
+    constexpr double kFmin = 0.700;
+    constexpr double kFmax = 1.900;
+    const double t = (ghz - kFmin) / (kFmax - kFmin);
+    return kVmin + (kVmax - kVmin) * std::pow(t, 1.20);
+}
+
+/** A53 rail voltage (0.85–1.15 V). */
+double
+LittleVoltageForGhz(double ghz)
+{
+    constexpr double kVmin = 0.85;
+    constexpr double kVmax = 1.15;
+    constexpr double kFmin = 0.400;
+    constexpr double kFmax = 1.300;
+    const double t = (ghz - kFmin) / (kFmax - kFmin);
+    return kVmin + (kVmax - kVmin) * std::pow(t, 1.10);
+}
+
+template <size_t N>
+FrequencyTable
+MakeTable(const std::array<double, N>& ghz, double (*voltage)(double))
+{
+    std::vector<OppEntry> entries;
+    entries.reserve(N);
+    for (const double f : ghz) {
+        entries.push_back(OppEntry{Gigahertz(f), Volts(voltage(f))});
+    }
+    return FrequencyTable(std::move(entries));
+}
+
+}  // namespace
+
+FrequencyTable
+MakeExynos5433BigTable()
+{
+    return MakeTable(kBigGhz, BigVoltageForGhz);
+}
+
+FrequencyTable
+MakeExynos5433LittleTable()
+{
+    return MakeTable(kLittleGhz, LittleVoltageForGhz);
+}
+
+BandwidthTable
+MakeExynos5433BandwidthTable()
+{
+    std::vector<MegabytesPerSecond> levels;
+    levels.reserve(kBwMbps.size());
+    for (const double mbps : kBwMbps) {
+        levels.push_back(MegabytesPerSecond(mbps));
+    }
+    return BandwidthTable(std::move(levels));
+}
+
+ClusterTopology
+MakeExynos5433Topology()
+{
+    ClusterSpec big;
+    big.name = "a57";
+    big.role = ClusterRole::kBig;
+    big.num_cores = kExynos5433CoresPerCluster;
+    big.first_cpu = 4;  // .../cpufreq/policy4, the Linux big.LITTLE layout.
+    big.table = MakeExynos5433BigTable();
+    big.perf_scale = 1.0;
+    big.dyn_power_scale = 1.0;
+    big.leak_power_scale = 1.0;
+
+    ClusterSpec little;
+    little.name = "a53";
+    little.role = ClusterRole::kLittle;
+    little.num_cores = kExynos5433CoresPerCluster;
+    little.first_cpu = 0;  // .../cpufreq/policy0.
+    little.table = MakeExynos5433LittleTable();
+    // In-order A53: roughly 60 % of A57 per-core IPC at equal clock, at a
+    // fraction of the power — the published per-core energy ratio is ~3-4×
+    // in the big cluster's favor at its high end.
+    little.perf_scale = 0.58;
+    little.dyn_power_scale = 0.32;
+    little.leak_power_scale = 0.38;
+
+    PlacementModel placement;
+    placement.span_penalty = 0.08;
+    return ClusterTopology(std::move(big), std::move(little),
+                           MakeExynos5433BandwidthTable(), placement);
+}
+
+}  // namespace aeo

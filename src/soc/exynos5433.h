@@ -1,0 +1,45 @@
+/**
+ * @file
+ * An Exynos 5433-style big.LITTLE platform specification: a quad
+ * Cortex-A57 performance cluster plus a quad Cortex-A53 efficiency
+ * cluster, each with its own DVFS domain, sharing one memory bus. The
+ * frequency ladders follow the production 5433 DVFS tables; power-scale
+ * calibration follows the published A57/A53 per-core energy ratios
+ * (Coutinho et al., PAPERS.md).
+ */
+#ifndef AEO_SOC_EXYNOS5433_H_
+#define AEO_SOC_EXYNOS5433_H_
+
+#include "soc/cluster_topology.h"
+
+namespace aeo {
+
+/** Number of A57 (big) frequency levels. */
+inline constexpr int kExynos5433BigLevels = 7;
+
+/** Number of A53 (LITTLE) frequency levels. */
+inline constexpr int kExynos5433LittleLevels = 6;
+
+/** Number of memory-bandwidth levels. */
+inline constexpr int kExynos5433BwLevels = 8;
+
+/** Cores per cluster (4 + 4). */
+inline constexpr int kExynos5433CoresPerCluster = 4;
+
+/** Builds the 7-entry A57 OPP table (700 MHz – 1.9 GHz). */
+FrequencyTable MakeExynos5433BigTable();
+
+/** Builds the 6-entry A53 OPP table (400 MHz – 1.3 GHz). */
+FrequencyTable MakeExynos5433LittleTable();
+
+/** Builds the 8-entry shared memory-bandwidth table. */
+BandwidthTable MakeExynos5433BandwidthTable();
+
+/** The full big.LITTLE topology: [a57 (policy4), a53 (policy0)]. The
+ * matching power coefficients are MakeExynos5433PowerParams() in
+ * power/power_model.h (the power layer sits above soc in the DAG). */
+ClusterTopology MakeExynos5433Topology();
+
+}  // namespace aeo
+
+#endif  // AEO_SOC_EXYNOS5433_H_

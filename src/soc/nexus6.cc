@@ -58,4 +58,19 @@ MakeNexus6BandwidthTable()
     return BandwidthTable(std::move(levels));
 }
 
+ClusterTopology
+MakeNexus6Topology()
+{
+    ClusterSpec krait;
+    krait.name = "krait450";
+    krait.role = ClusterRole::kUnified;
+    krait.num_cores = kNexus6Cores;
+    krait.first_cpu = 0;
+    krait.table = MakeNexus6FrequencyTable();
+    krait.perf_scale = 1.0;
+    krait.dyn_power_scale = 1.0;
+    krait.leak_power_scale = 1.0;
+    return ClusterTopology(std::move(krait), MakeNexus6BandwidthTable());
+}
+
 }  // namespace aeo

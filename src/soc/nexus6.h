@@ -8,6 +8,7 @@
 #define AEO_SOC_NEXUS6_H_
 
 #include "soc/bandwidth_table.h"
+#include "soc/cluster_topology.h"
 #include "soc/frequency_table.h"
 
 namespace aeo {
@@ -26,6 +27,11 @@ FrequencyTable MakeNexus6FrequencyTable();
 
 /** Builds the 13-entry Nexus 6 bandwidth table (bandwidths from Table II). */
 BandwidthTable MakeNexus6BandwidthTable();
+
+/** The Nexus 6 as a (single-cluster) topology: one unified Krait 450
+ * domain. Devices built from it are bit-identical to the historical
+ * hard-coded single-cluster construction. */
+ClusterTopology MakeNexus6Topology();
 
 }  // namespace aeo
 

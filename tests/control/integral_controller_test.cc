@@ -62,6 +62,108 @@ TEST(IntegralControllerTest, ResetRestoresState)
     EXPECT_DOUBLE_EQ(controller.output(), 2.0);
 }
 
+TEST(IntegralControllerTest, DefaultKnobsReproducePlainClampedIntegrator)
+{
+    // band = 0 and max_step_down = kUnlimitedStep must be bit-identical to
+    // the plain clamped integrator of equations (2)-(3) on any trajectory,
+    // including floor- and ceiling-clamped cycles.
+    AdaptiveIntegralController plain(2.0, 1.0, 3.0);
+    AdaptiveIntegralController knobbed(2.0, 1.0, 3.0);
+    knobbed.set_surplus_band(0.0);
+    knobbed.set_max_step_down(kUnlimitedStep);
+    const double errors[] = {0.4, -9.0, -0.3, 7.5, 0.1, -2.0, 0.0, 5.0};
+    for (double e : errors) {
+        EXPECT_DOUBLE_EQ(plain.Step(e, 0.5), knobbed.Step(e, 0.5));
+        EXPECT_DOUBLE_EQ(knobbed.banked_surplus(), 0.0);
+    }
+}
+
+TEST(IntegralControllerTest, SurplusBankHoldsBurstCreditBelowTheFloor)
+{
+    AdaptiveIntegralController controller(2.0, 1.0, 3.0);
+    controller.set_surplus_band(2.0);
+    // A demand burst delivers far more than target: the output clamps at the
+    // floor, but the state keeps integrating down to min - band.
+    EXPECT_DOUBLE_EQ(controller.Step(-100.0, 1.0), 1.0);
+    EXPECT_DOUBLE_EQ(controller.banked_surplus(), 2.0);
+    // Post-burst deficits are repaid from the bank first: the output stays
+    // at the floor until the credit is exhausted...
+    EXPECT_DOUBLE_EQ(controller.Step(0.5, 1.0), 1.0);
+    EXPECT_DOUBLE_EQ(controller.banked_surplus(), 1.5);
+    // ...and only then does the integrator push the output back up.
+    EXPECT_DOUBLE_EQ(controller.Step(2.0, 1.0), 1.5);
+    EXPECT_DOUBLE_EQ(controller.banked_surplus(), 0.0);
+}
+
+TEST(IntegralControllerTest, SurplusBankIsOneSided)
+{
+    // An infeasible target (persistent positive error) accumulates no debt
+    // beyond the ceiling: safe mode stays "run at maximum", not "run at
+    // maximum for extra cycles after the target drops".
+    AdaptiveIntegralController controller(2.0, 1.0, 3.0);
+    controller.set_surplus_band(2.0);
+    for (int i = 0; i < 10; ++i) controller.Step(100.0, 1.0);
+    EXPECT_DOUBLE_EQ(controller.output(), 3.0);
+    EXPECT_DOUBLE_EQ(controller.Step(-1.5, 1.0), 1.5);
+}
+
+TEST(IntegralControllerTest, WithoutBankingBurstCreditIsTruncated)
+{
+    AdaptiveIntegralController controller(2.0, 1.0, 3.0);
+    EXPECT_DOUBLE_EQ(controller.Step(-100.0, 1.0), 1.0);
+    EXPECT_DOUBLE_EQ(controller.banked_surplus(), 0.0);
+    // The same post-burst deficit immediately raises the output: the burst
+    // surplus was destroyed by the clamp.
+    EXPECT_DOUBLE_EQ(controller.Step(0.5, 1.0), 1.5);
+}
+
+TEST(IntegralControllerTest, DownwardSlewLimitsDescentButNotAscent)
+{
+    AdaptiveIntegralController controller(5.0, 1.0, 5.0);
+    controller.set_max_step_down(0.5);
+    // Descent walks down the frontier half a speedup per cycle...
+    EXPECT_DOUBLE_EQ(controller.Step(-100.0, 1.0), 4.5);
+    EXPECT_DOUBLE_EQ(controller.Step(-100.0, 1.0), 4.0);
+    // ...but a performance deficit snaps the output up immediately (QoS
+    // tracking never waits on the slew limit).
+    EXPECT_DOUBLE_EQ(controller.Step(100.0, 1.0), 5.0);
+}
+
+TEST(IntegralControllerTest, SetOutputRangeReclampsBankedState)
+{
+    AdaptiveIntegralController controller(2.0, 1.0, 3.0);
+    controller.set_surplus_band(2.0);
+    controller.Step(-100.0, 1.0);
+    EXPECT_DOUBLE_EQ(controller.banked_surplus(), 2.0);
+    // Raising the floor (a table refresh) re-clamps the banked state so the
+    // credit still sits within one band of the new floor.
+    controller.SetOutputRange(2.0, 4.0);
+    EXPECT_DOUBLE_EQ(controller.output(), 2.0);
+    EXPECT_DOUBLE_EQ(controller.banked_surplus(), 2.0);
+}
+
+TEST(IntegralControllerTest, ResetClearsBankedSurplus)
+{
+    AdaptiveIntegralController controller(2.0, 1.0, 3.0);
+    controller.set_surplus_band(2.0);
+    controller.Step(-100.0, 1.0);
+    controller.Reset(2.5);
+    EXPECT_DOUBLE_EQ(controller.output(), 2.5);
+    EXPECT_DOUBLE_EQ(controller.banked_surplus(), 0.0);
+}
+
+TEST(IntegralControllerDeathTest, RejectsNegativeSurplusBand)
+{
+    AdaptiveIntegralController controller(1.0, 0.0, 10.0);
+    EXPECT_DEATH(controller.set_surplus_band(-1.0), "non-negative");
+}
+
+TEST(IntegralControllerDeathTest, RejectsNonPositiveSlewLimit)
+{
+    AdaptiveIntegralController controller(1.0, 0.0, 10.0);
+    EXPECT_DEATH(controller.set_max_step_down(0.0), "positive");
+}
+
 TEST(IntegralControllerDeathTest, RejectsNonPositiveGainDenominator)
 {
     AdaptiveIntegralController controller(1.0, 0.0, 10.0);

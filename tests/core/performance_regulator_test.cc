@@ -110,5 +110,59 @@ TEST(PerformanceRegulatorTest, TargetCanChangeAtRuntime)
     EXPECT_NEAR(s * b, 0.6, 1e-3);
 }
 
+TEST(PerformanceRegulatorTest, SurplusBandDelaysRecoveryAfterABurst)
+{
+    // Two regulators on the same trajectory: a demand burst (measured far
+    // above target), then normal cycles. The banked regulator spends the
+    // burst credit as extra floor cycles; the plain one snaps back up.
+    RegulatorConfig banked_config = Config(0.2, 0.1, 5.0);
+    banked_config.surplus_band = 3.0;
+    PerformanceRegulator banked(banked_config);
+    PerformanceRegulator plain(Config(0.2, 0.1, 5.0));
+    for (int i = 0; i < 5; ++i) {
+        banked.Step(0.9);  // burst: 4.5x target
+        plain.Step(0.9);
+    }
+    EXPECT_DOUBLE_EQ(banked.applied_speedup(), 1.0);
+    EXPECT_DOUBLE_EQ(plain.applied_speedup(), 1.0);
+    const double post_burst = 0.15;  // modest deficit
+    banked.Step(post_burst);
+    plain.Step(post_burst);
+    EXPECT_GT(plain.applied_speedup(), banked.applied_speedup());
+    EXPECT_DOUBLE_EQ(banked.applied_speedup(), 1.0);
+}
+
+TEST(PerformanceRegulatorTest, DownwardSlewWalksTheOutputDown)
+{
+    RegulatorConfig config = Config(0.6, 0.2, 5.0);
+    config.max_step_down = 0.25;
+    PerformanceRegulator regulator(config);
+    const double s0 = regulator.applied_speedup();
+    ASSERT_DOUBLE_EQ(s0, 3.0);
+    // Massive surplus: unslewed output would hit the floor in one step.
+    const double s1 = regulator.Step(5.0);
+    EXPECT_DOUBLE_EQ(s1, s0 - 0.25);
+}
+
+TEST(PerformanceRegulatorTest, DefaultKnobsMatchLegacyBehaviour)
+{
+    // surplus_band = 0 and max_step_down = kUnlimitedStep must leave the
+    // regulator bit-identical to one built before the knobs existed.
+    RegulatorConfig explicit_config = Config(0.21, 0.129, 5.0);
+    explicit_config.surplus_band = 0.0;
+    explicit_config.max_step_down = kUnlimitedStep;
+    PerformanceRegulator knobbed(explicit_config);
+    PerformanceRegulator legacy(Config(0.21, 0.129, 5.0));
+    Rng rng(11);
+    double sk = knobbed.applied_speedup();
+    double sl = legacy.applied_speedup();
+    for (int i = 0; i < 100; ++i) {
+        const double y = sl * 0.129 * (1.0 + rng.Gaussian(0.0, 0.05));
+        sk = knobbed.Step(y);
+        sl = legacy.Step(y);
+        ASSERT_DOUBLE_EQ(sk, sl);
+    }
+}
+
 }  // namespace
 }  // namespace aeo

@@ -98,5 +98,85 @@ TEST(ProfilePruningTest, BaseSpeedSurvivesPruning)
     EXPECT_EQ(pruned.app_name(), table.app_name());
 }
 
+TEST(ProfilePruningTest, SteepTailIsCut)
+{
+    // The marginal mW/speedup of the last row is ~7x the table average —
+    // the §V-A "excluded because it only destabilizes the controller" case.
+    const ProfileTable table = Table({
+        {SystemConfig{0, 0}, 1.0, Milliwatts(1000.0)},
+        {SystemConfig{2, 0}, 1.5, Milliwatts(1300.0)},
+        {SystemConfig{4, 0}, 2.0, Milliwatts(1600.0)},
+        {SystemConfig{8, 0}, 2.1, Milliwatts(2600.0)},
+    });
+    const ProfileTable pruned = table.PruneSteepTail(3.0, 0.0);
+    ASSERT_EQ(pruned.size(), 3u);
+    EXPECT_DOUBLE_EQ(pruned.max_speedup(), 2.0);
+}
+
+TEST(ProfilePruningTest, SteepTailCutIsAPrefixKeep)
+{
+    // Everything at and past the first steep edge goes, even if a later
+    // edge is gentle again: the frontier above the knee is untrustworthy
+    // as a whole, not row-by-row.
+    const ProfileTable table = Table({
+        {SystemConfig{0, 0}, 1.0, Milliwatts(1000.0)},
+        {SystemConfig{2, 0}, 1.5, Milliwatts(1300.0)},
+        {SystemConfig{4, 0}, 1.6, Milliwatts(2300.0)},
+        {SystemConfig{8, 0}, 2.2, Milliwatts(2400.0)},
+    });
+    const ProfileTable pruned = table.PruneSteepTail(3.0, 0.0);
+    ASSERT_EQ(pruned.size(), 2u);
+    EXPECT_DOUBLE_EQ(pruned.max_speedup(), 1.5);
+}
+
+TEST(ProfilePruningTest, SteepTailNeverCutsProtectedRegion)
+{
+    // Same steep tail, but the target QoS needs speedup 2.05: the cut must
+    // not remove the only rows that can meet the target.
+    const ProfileTable table = Table({
+        {SystemConfig{0, 0}, 1.0, Milliwatts(1000.0)},
+        {SystemConfig{2, 0}, 1.5, Milliwatts(1300.0)},
+        {SystemConfig{4, 0}, 2.0, Milliwatts(1600.0)},
+        {SystemConfig{8, 0}, 2.1, Milliwatts(2600.0)},
+    });
+    const ProfileTable pruned = table.PruneSteepTail(3.0, 2.05);
+    EXPECT_EQ(pruned.size(), 4u);
+}
+
+TEST(ProfilePruningTest, SteepTailKeepsAGentleLadderWhole)
+{
+    // Constant marginal slope equals the average slope — nothing is "the
+    // tail", nothing is cut.
+    const ProfileTable table = Table({
+        {SystemConfig{0, 0}, 1.0, Milliwatts(1000.0)},
+        {SystemConfig{2, 0}, 1.4, Milliwatts(1400.0)},
+        {SystemConfig{4, 0}, 1.8, Milliwatts(1800.0)},
+        {SystemConfig{8, 0}, 2.2, Milliwatts(2200.0)},
+    });
+    EXPECT_EQ(table.PruneSteepTail(3.0, 0.0).size(), 4u);
+}
+
+TEST(ProfilePruningTest, SteepTailLeavesTinyTablesAlone)
+{
+    const ProfileTable table = Table({
+        {SystemConfig{0, 0}, 1.0, Milliwatts(1000.0)},
+        {SystemConfig{8, 0}, 1.1, Milliwatts(9000.0)},
+    });
+    EXPECT_EQ(table.PruneSteepTail(3.0, 0.0).size(), 2u);
+}
+
+TEST(ProfilePruningTest, SteepTailPreservesTableMetadata)
+{
+    const ProfileTable table = Table({
+        {SystemConfig{0, 0}, 1.0, Milliwatts(1000.0)},
+        {SystemConfig{2, 0}, 1.5, Milliwatts(1300.0)},
+        {SystemConfig{4, 0}, 2.0, Milliwatts(1600.0)},
+        {SystemConfig{8, 0}, 2.1, Milliwatts(2600.0)},
+    });
+    const ProfileTable pruned = table.PruneSteepTail(3.0, 0.0);
+    EXPECT_DOUBLE_EQ(pruned.base_speed_gips(), table.base_speed_gips());
+    EXPECT_EQ(pruned.app_name(), table.app_name());
+}
+
 }  // namespace
 }  // namespace aeo

@@ -12,8 +12,10 @@
 #include "kernel/devfreq.h"
 #include "kernel/governors/cpufreq_interactive.h"
 #include "kernel/governors/cpufreq_conservative.h"
+#include "kernel/governors/cpufreq_lulzactive.h"
 #include "kernel/governors/cpufreq_ondemand.h"
 #include "kernel/governors/devfreq_cpubw_hwmon.h"
+#include "kernel/mpdecision.h"
 #include "soc/nexus6.h"
 
 namespace aeo {
@@ -261,6 +263,112 @@ TEST_F(CpubwHwmonTest, SteadyTrafficHoldsLevel)
     EXPECT_GE(level, 3);
     Drive(SimTime::FromSeconds(2), 1.0);
     EXPECT_EQ(bus_.level(), level);
+}
+
+class LulzactiveTest : public ::testing::Test {
+  protected:
+    LulzactiveTest()
+        : cluster_(MakeNexus6FrequencyTable(), 4),
+          policy_(&sim_, &cluster_, &meter_, &sysfs_, "/sys/cpufreq"),
+          driver_(&sim_, &meter_)
+    {
+        policy_.RegisterGovernor("lulzactive", MakeCpufreqLulzactiveFactory());
+        policy_.SetGovernor("lulzactive");
+    }
+
+    Simulator sim_;
+    CpuCluster cluster_;
+    CpuLoadMeter meter_;
+    Sysfs sysfs_;
+    CpufreqPolicy policy_;
+    LoadDriver driver_;
+};
+
+TEST_F(LulzactiveTest, FullLoadRampsThroughTheStagesNotAJump)
+{
+    // Unlike interactive's hispeed jump, lulzactive climbs pump_up_step (2)
+    // levels per decision, and up_sample_time (20 ms) gates decisions: after
+    // 35 ms of saturation exactly one change fits, so the level is still far
+    // from the top of the 18-entry table.
+    driver_.Run(SimTime::Millis(35), 4.0);
+    EXPECT_GT(cluster_.level(), 0);
+    EXPECT_LE(cluster_.level(), 4);
+    // Sustained saturation walks the remaining stages to the ceiling.
+    driver_.Run(SimTime::Millis(250), 4.0);
+    EXPECT_EQ(cluster_.level(), 17);
+}
+
+TEST_F(LulzactiveTest, DescentIsDwellGatedAndSlowerThanTheClimb)
+{
+    driver_.Run(SimTime::Millis(250), 4.0);
+    ASSERT_EQ(cluster_.level(), 17);
+    // down_sample_time (40 ms) with pump_down_step 1: roughly one level per
+    // 40 ms, a 4x slower ramp than the climb (2 levels per 20 ms).
+    driver_.Run(SimTime::Millis(210), 0.0);
+    EXPECT_GE(cluster_.level(), 11);
+    EXPECT_LT(cluster_.level(), 17);
+    driver_.Run(SimTime::FromSeconds(1), 0.0);
+    EXPECT_EQ(cluster_.level(), 0);
+}
+
+TEST_F(LulzactiveTest, ModerateLoadDescendsBecauseThereIsNoHoldBand)
+{
+    driver_.Run(SimTime::Millis(250), 4.0);
+    ASSERT_EQ(cluster_.level(), 17);
+    // Load 0.5 sits below inc_cpu_load (0.70); conservative would hold in
+    // its dead band, lulzactive pumps all the way down to the floor.
+    driver_.Run(SimTime::FromSeconds(1), 2.0);
+    EXPECT_EQ(cluster_.level(), 0);
+}
+
+TEST_F(LulzactiveTest, RespectsTheMinLevelLimit)
+{
+    policy_.SetLevelLimits(5, 17);
+    driver_.Run(SimTime::Millis(250), 4.0);
+    ASSERT_EQ(cluster_.level(), 17);
+    driver_.Run(SimTime::FromSeconds(2), 0.0);
+    EXPECT_EQ(cluster_.level(), 5);
+}
+
+/**
+ * Lulzactive alongside the mpdecision hotplug daemon — the configuration a
+ * community kernel actually ships. The two sample different signals: the
+ * governor keys on the busiest core, the daemon on total busy per online
+ * core, so a single-threaded pegged task splits them: frequency saturates
+ * while cores are taken offline.
+ */
+TEST(LulzactiveWithMpdecisionTest, PeggedSingleThreadMaxesFreqWhileCoresOffline)
+{
+    Simulator sim;
+    CpuCluster cluster(MakeNexus6FrequencyTable(), 4);
+    CpuLoadMeter meter;
+    Sysfs sysfs;
+    CpufreqPolicy policy(&sim, &cluster, &meter, &sysfs, "/sys/cpufreq");
+    policy.RegisterGovernor("lulzactive", MakeCpufreqLulzactiveFactory());
+    policy.SetGovernor("lulzactive");
+    Mpdecision hotplug(&sim, &cluster, &meter);
+    hotplug.Start();
+
+    // One core pegged at 100%: total busy 1.0, busiest-core load 1.0.
+    const SimTime slice = SimTime::Millis(5);
+    SimTime done;
+    while (done < SimTime::FromSeconds(2)) {
+        meter.Advance(1.0, 1.0, slice);
+        sim.RunFor(slice);
+        done += slice;
+    }
+
+    // Governor: busiest core saturated → ceiling.
+    EXPECT_EQ(cluster.level(), 17);
+    // Daemon: 1.0/4 = 0.25 busy per core offlines one; 1.0/3 ≈ 0.33 sits
+    // between the thresholds (0.30, 0.80) and holds.
+    EXPECT_EQ(cluster.online_cores(), 3);
+
+    // Stopping the daemon restores the full core count (the paper's §IV-A
+    // experimental setup) without disturbing the governor's frequency.
+    hotplug.Stop();
+    EXPECT_EQ(cluster.online_cores(), 4);
+    EXPECT_EQ(cluster.level(), 17);
 }
 
 }  // namespace

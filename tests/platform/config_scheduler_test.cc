@@ -6,6 +6,7 @@
 
 #include "core/profile_table.h"
 #include "device/device.h"
+#include "soc/exynos5433.h"
 
 namespace aeo {
 namespace {
@@ -244,6 +245,68 @@ TEST(ConfigSchedulerFaultTest, ConsecutiveFailedAppliesTrackTheChain)
     scheduler.Apply(hold);
     scheduler.Apply(hold);
     EXPECT_EQ(scheduler.consecutive_failed_applies(), 0);
+}
+
+class HetConfigSchedulerTest : public ::testing::Test {
+  protected:
+    static DeviceConfig BigLittleDevice()
+    {
+        DeviceConfig config;
+        config.topology = MakeExynos5433Topology();
+        config.power_params = MakeExynos5433PowerParams();
+        return config;
+    }
+
+    HetConfigSchedulerTest() : device_(BigLittleDevice()), scheduler_(&device_)
+    {
+        device_.UseUserspaceGovernors();
+    }
+
+    Device device_;
+    ConfigScheduler scheduler_;
+};
+
+TEST_F(HetConfigSchedulerTest, ApplyConfigNowSetsBothClustersAndPlacement)
+{
+    SystemConfig config{3, 2};
+    config.little_level = 4;
+    config.placement = kPlacementBoth;
+    EXPECT_TRUE(scheduler_.ApplyConfigNow(config));
+
+    EXPECT_EQ(device_.cluster().level(), 3);
+    EXPECT_EQ(device_.little_cluster()->level(), 4);
+    EXPECT_EQ(device_.bus().level(), 2);
+    EXPECT_EQ(device_.thread_placement(), ThreadPlacement::kBoth);
+
+    const platform::DwellDelivery& delivery =
+        scheduler_.cycle_deliveries().back();
+    EXPECT_TRUE(delivery.little.attempted);
+    EXPECT_TRUE(delivery.little.write_ok);
+    EXPECT_TRUE(delivery.little.verified);
+    EXPECT_EQ(delivery.little.requested_level, 4);
+    EXPECT_EQ(delivery.little.delivered_level, 4);
+}
+
+TEST_F(HetConfigSchedulerTest, BigOnlyConfigLeavesTheLittleClusterAlone)
+{
+    device_.little_cluster()->SetLevel(2);
+    scheduler_.ApplyConfigNow(SystemConfig{5, 1});
+
+    EXPECT_EQ(device_.cluster().level(), 5);
+    EXPECT_EQ(device_.little_cluster()->level(), 2);
+    EXPECT_FALSE(scheduler_.cycle_deliveries().back().little.attempted);
+}
+
+TEST_F(HetConfigSchedulerTest, DefaultPlacementCodeKeepsTheCurrentPlacement)
+{
+    device_.SetThreadPlacement(ThreadPlacement::kBigOnly);
+    SystemConfig config{3, 2};
+    config.little_level = 1;
+    EXPECT_EQ(config.placement, kPlacementDefault);
+    scheduler_.ApplyConfigNow(config);
+
+    EXPECT_EQ(device_.little_cluster()->level(), 1);
+    EXPECT_EQ(device_.thread_placement(), ThreadPlacement::kBigOnly);
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "apps/workloads.h"
+#include "soc/exynos5433.h"
 
 namespace aeo {
 namespace {
@@ -89,6 +90,45 @@ TEST(SimPlatformTest, ActuatorIsTheConfigScheduler)
     EXPECT_EQ(device.cluster().level(), 9);
     EXPECT_EQ(plat.scheduler().write_count(), 1u);
     EXPECT_TRUE(plat.actuator().ProbeActuationPath());
+}
+
+TEST(SimPlatformTest, HomogeneousPlatformReportsOneCluster)
+{
+    Device device;
+    SimPlatform plat(&device);
+    EXPECT_EQ(plat.num_cpu_clusters(), 1);
+    EXPECT_EQ(plat.max_little_level(), -1);
+}
+
+TEST(SimPlatformTest, BigLittlePlatformExposesBothDomains)
+{
+    DeviceConfig config;
+    config.topology = MakeExynos5433Topology();
+    config.power_params = MakeExynos5433PowerParams();
+    Device device(config);
+    SimPlatform plat(&device);
+
+    EXPECT_EQ(plat.num_cpu_clusters(), 2);
+    EXPECT_EQ(plat.max_cpu_level(), device.cluster().table().max_level());
+    EXPECT_EQ(plat.max_little_level(),
+              device.little_cluster()->table().max_level());
+}
+
+TEST(SimPlatformTest, BigLittlePinTakesBothFrequencyDomains)
+{
+    DeviceConfig config;
+    config.topology = MakeExynos5433Topology();
+    config.power_params = MakeExynos5433PowerParams();
+    Device device(config);
+    SimPlatform plat(&device);
+
+    plat.governors().PinForControl(/*bandwidth=*/true, /*gpu=*/false);
+    EXPECT_EQ(device.cpufreq().governor_name(), "userspace");
+    EXPECT_EQ(device.little_cpufreq()->governor_name(), "userspace");
+
+    plat.governors().RestoreStock();
+    EXPECT_EQ(device.cpufreq().governor_name(), "interactive");
+    EXPECT_EQ(device.little_cpufreq()->governor_name(), "interactive");
 }
 
 }  // namespace

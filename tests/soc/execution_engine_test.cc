@@ -150,5 +150,133 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple(1.00, 4.0, 2.00),   // memory-heavy
                       std::make_tuple(1.50, 1.0, 0.00))); // pure compute
 
+ClusterOperatingPoint
+Op(double ghz, double perf_scale, int cores)
+{
+    ClusterOperatingPoint op;
+    op.frequency = Gigahertz(ghz);
+    op.perf_scale = perf_scale;
+    op.online_cores = cores;
+    return op;
+}
+
+TEST(HetExecutionTest, BigOnlyWithIdleLittleMatchesHomogeneousShared)
+{
+    const ExecutionEngine engine;
+    const WorkloadDemand fg = SelfPaced(0.8, 3.0, 0.45);
+    WorkloadDemand bg = SelfPaced(0.5, 1.0, 0.2);
+    bg.demand_gips = 0.3;
+
+    const auto shared = engine.ComputeShared(fg, bg, Gigahertz(1.5),
+                                             MegabytesPerSecond(4684), 4);
+    const auto het = engine.ComputeSharedHet(
+        fg, bg, Op(1.5, 1.0, 4), Op(0.4, 0.5, 0), ThreadPlacement::kBigOnly,
+        0.08, MegabytesPerSecond(4684));
+
+    EXPECT_NEAR(het.foreground.gips, shared.foreground.gips, 1e-9);
+    EXPECT_NEAR(het.background.gips, shared.background.gips, 1e-9);
+    EXPECT_NEAR(het.big_busy_cores,
+                shared.foreground.busy_cores + shared.background.busy_cores,
+                1e-9);
+    EXPECT_DOUBLE_EQ(het.little_busy_cores, 0.0);
+}
+
+TEST(HetExecutionTest, BothPlacementBeatsBigOnlyForParallelWork)
+{
+    const ExecutionEngine engine;
+    const WorkloadDemand fg = SelfPaced(1.0, 8.0, 0.05);
+    const WorkloadDemand bg = SelfPaced(0.5, 0.5, 0.1);
+
+    const auto big_only = engine.ComputeSharedHet(
+        fg, bg, Op(1.9, 1.0, 4), Op(1.3, 0.58, 4), ThreadPlacement::kBigOnly,
+        0.08, MegabytesPerSecond(8132));
+    const auto both = engine.ComputeSharedHet(
+        fg, bg, Op(1.9, 1.0, 4), Op(1.3, 0.58, 4), ThreadPlacement::kBoth,
+        0.08, MegabytesPerSecond(8132));
+    EXPECT_GT(both.foreground.gips, big_only.foreground.gips * 1.05);
+    EXPECT_GT(both.little_busy_cores, big_only.little_busy_cores);
+}
+
+TEST(HetExecutionTest, SpanPenaltyCostsThroughput)
+{
+    const ExecutionEngine engine;
+    const WorkloadDemand fg = SelfPaced(1.0, 8.0, 0.0);
+    const WorkloadDemand bg;  // negligible
+
+    const auto free_span = engine.ComputeSharedHet(
+        fg, bg, Op(1.9, 1.0, 4), Op(1.3, 0.58, 4), ThreadPlacement::kBoth,
+        0.0, MegabytesPerSecond(8132));
+    const auto costly_span = engine.ComputeSharedHet(
+        fg, bg, Op(1.9, 1.0, 4), Op(1.3, 0.58, 4), ThreadPlacement::kBoth,
+        0.20, MegabytesPerSecond(8132));
+    EXPECT_LT(costly_span.foreground.gips, free_span.foreground.gips);
+}
+
+TEST(HetExecutionTest, LittleOnlyIsSlowerAndKeepsBigIdle)
+{
+    const ExecutionEngine engine;
+    const WorkloadDemand fg = SelfPaced(1.0, 3.0, 0.05);
+    const WorkloadDemand bg = SelfPaced(0.5, 0.25, 0.0);
+
+    const auto little_only = engine.ComputeSharedHet(
+        fg, bg, Op(1.9, 1.0, 4), Op(1.3, 0.58, 4),
+        ThreadPlacement::kLittleOnly, 0.08, MegabytesPerSecond(8132));
+    const auto big_only = engine.ComputeSharedHet(
+        fg, bg, Op(1.9, 1.0, 4), Op(1.3, 0.58, 4), ThreadPlacement::kBigOnly,
+        0.08, MegabytesPerSecond(8132));
+    EXPECT_LT(little_only.foreground.gips, big_only.foreground.gips);
+    // Foreground is confined to LITTLE; only the background may touch big.
+    EXPECT_LE(little_only.big_busy_cores, bg.parallelism + 1e-9);
+}
+
+TEST(HetExecutionTest, BackgroundFillsLittleFirst)
+{
+    const ExecutionEngine engine;
+    WorkloadDemand fg = SelfPaced(1.0, 1.0, 0.0);
+    fg.demand_gips = 0.1;
+    WorkloadDemand bg = SelfPaced(0.6, 1.0, 0.1);
+    bg.demand_gips = 0.2;
+
+    const auto het = engine.ComputeSharedHet(
+        fg, bg, Op(1.9, 1.0, 4), Op(1.3, 0.58, 4), ThreadPlacement::kBoth,
+        0.08, MegabytesPerSecond(8132));
+    EXPECT_GT(het.background.gips, 0.0);
+    // With one bg thread and plenty of LITTLE capacity, bg load lands there.
+    EXPECT_GT(het.little_busy_cores, 0.0);
+}
+
+TEST(HetExecutionTest, BusyCoreSplitSumsToWorkloadBusyCores)
+{
+    const ExecutionEngine engine;
+    const WorkloadDemand fg = SelfPaced(0.8, 5.0, 0.3);
+    const WorkloadDemand bg = SelfPaced(0.5, 1.5, 0.2);
+
+    const auto het = engine.ComputeSharedHet(
+        fg, bg, Op(1.5, 1.0, 4), Op(1.0, 0.58, 4), ThreadPlacement::kBoth,
+        0.08, MegabytesPerSecond(5421));
+    EXPECT_NEAR(het.big_busy_cores + het.little_busy_cores,
+                het.foreground.busy_cores + het.background.busy_cores, 1e-9);
+    EXPECT_GE(het.big_max_core_load, 0.0);
+    EXPECT_LE(het.big_max_core_load, 1.0);
+    EXPECT_GE(het.little_max_core_load, 0.0);
+    EXPECT_LE(het.little_max_core_load, 1.0);
+}
+
+TEST(HetExecutionTest, HigherLittleClockHelpsLittleConfinedWork)
+{
+    const ExecutionEngine engine;
+    const WorkloadDemand fg = SelfPaced(1.0, 4.0, 0.02);
+    const WorkloadDemand bg;
+
+    const auto slow = engine.ComputeSharedHet(
+        fg, bg, Op(0.7, 1.0, 4), Op(0.4, 0.58, 4),
+        ThreadPlacement::kLittleOnly, 0.08, MegabytesPerSecond(8132));
+    const auto fast = engine.ComputeSharedHet(
+        fg, bg, Op(0.7, 1.0, 4), Op(1.3, 0.58, 4),
+        ThreadPlacement::kLittleOnly, 0.08, MegabytesPerSecond(8132));
+    EXPECT_NEAR(fast.foreground.gips / slow.foreground.gips, 1.3 / 0.4, 0.5);
+    EXPECT_GT(fast.foreground.gips, slow.foreground.gips * 2.0);
+}
+
 }  // namespace
 }  // namespace aeo

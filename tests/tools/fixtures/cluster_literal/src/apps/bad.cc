@@ -1,0 +1,8 @@
+namespace aeo {
+const char* OnlineNode()
+{
+    return "devices/system/cpu/cpu0/online";
+}
+const char* PolicyNode() { return "cpufreq/policy4"; }
+const char* InfoNode() { return "cpuinfo_max_freq"; }
+}

@@ -1,0 +1,10 @@
+namespace aeo {
+const char* LittlePolicyDir()
+{
+    return "/sys/devices/system/cpu/cpufreq/policy0";
+}
+const char* BigOnlineNode()
+{
+    return "/sys/devices/system/cpu/cpu4/online";
+}
+}

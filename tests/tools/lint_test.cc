@@ -102,6 +102,22 @@ TEST(AeoLintTest, InlineSysfsLiteralIsReported)
         << Dump(findings);
 }
 
+TEST(AeoLintTest, HardCodedClusterIndexLiteralIsReported)
+{
+    const std::vector<Finding> findings = LintFixture("cluster_literal");
+    // bad.cc hard-codes a core index (cpu0) and a cpufreq domain (policy4)
+    // outside the kernel/platform seams; `cpuinfo_max_freq` is not an
+    // indexed reference and src/kernel composes per-cluster paths by
+    // design, so neither is a finding.
+    ASSERT_EQ(findings.size(), 2u) << Dump(findings);
+    EXPECT_TRUE(
+        HasFinding(findings, "cluster-literal", "src/apps/bad.cc", 4))
+        << Dump(findings);
+    EXPECT_TRUE(
+        HasFinding(findings, "cluster-literal", "src/apps/bad.cc", 6))
+        << Dump(findings);
+}
+
 TEST(AeoLintTest, UnlabeledAndUnregisteredTestsAreReported)
 {
     const std::vector<Finding> findings = LintFixture("unlabeled_test");

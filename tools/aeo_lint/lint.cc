@@ -421,6 +421,51 @@ CheckSysfsLiterals(const SourceFile& file, std::vector<Finding>* findings)
     }
 }
 
+/** Rule `cluster-literal`: a hard-coded per-core or per-cluster index in a
+ * string literal — `cpu0`, `cpu4`, `policy0` — bakes the single-cluster
+ * assumption into policy code and silently breaks on a big.LITTLE topology
+ * where the second cluster's domain lives at policy4. Cluster-relative
+ * paths are composed only by src/kernel (which owns the per-cluster cpufreq
+ * policy directories) and src/platform (which interns per-cluster
+ * SysfsHandles); every other layer must address clusters through
+ * ClusterTopology indices. */
+void
+CheckClusterLiterals(const SourceFile& file, std::vector<Finding>* findings)
+{
+    const std::string layer = LayerOf(file.rel_path);
+    if (layer.empty() || layer == "kernel" || layer == "platform") return;
+    static const std::vector<std::string> kPrefixes = {"cpu", "policy"};
+    for (const auto& [line, literal] : file.stripped.string_literals) {
+        bool hit = false;
+        for (const std::string& prefix : kPrefixes) {
+            size_t pos = 0;
+            while (!hit &&
+                   (pos = literal.find(prefix, pos)) != std::string::npos) {
+                const size_t end = pos + prefix.size();
+                // `cpu7`/`policy4` as a path component, not `cpuinfo...` or
+                // `percpu` — the prefix must start a word and carry an index.
+                const bool bounded_left =
+                    pos == 0 || !IsIdentChar(literal[pos - 1]);
+                const bool indexed =
+                    end < literal.size() &&
+                    std::isdigit(static_cast<unsigned char>(literal[end])) !=
+                        0;
+                hit = bounded_left && indexed;
+                pos = end;
+            }
+            if (hit) break;
+        }
+        if (hit) {
+            AddFinding(findings, file, line, "cluster-literal",
+                       "hard-coded cpu<N>/policy<N> index in a string "
+                       "literal outside src/kernel and src/platform; "
+                       "address clusters through ClusterTopology and let "
+                       "the kernel/platform seams compose per-cluster "
+                       "paths");
+        }
+    }
+}
+
 /** Rule `unit-literal`: in the adopted layers, a non-zero numeric literal
  * must not be assigned or brace-fed into a khz/mbps/mw/ms-suffixed name —
  * it has to pass through KHz()/MBps()/Milliwatts()/Millis() (or SimTime's
@@ -831,6 +876,7 @@ RunLint(const LintOptions& options)
         CheckLayering(file, &findings);
         CheckTimeSeam(file, &findings);
         CheckSysfsLiterals(file, &findings);
+        CheckClusterLiterals(file, &findings);
         CheckUnitLiterals(file, &findings);
         CheckMonitorCatalogue(file, catalogue_code, &findings);
     }
