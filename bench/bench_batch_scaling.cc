@@ -22,7 +22,6 @@
  * --jobs=N is ignored — this bench sweeps the worker count itself.
  */
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <functional>
 #include <string>
@@ -42,7 +41,6 @@ int
 main(int argc, char** argv)
 {
     using namespace aeo;
-    using Clock = std::chrono::steady_clock;
     SetLogLevel(LogLevel::kWarn);
     const bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
     bench::PrintHeader("P1 / batch scaling",
@@ -74,20 +72,20 @@ main(int argc, char** argv)
 
     options.batch.jobs = 1;
     const uint64_t events_before = TotalExecutedEvents();
-    const auto serial_start = Clock::now();
+    const double serial_start = bench::MonotonicSeconds();
     const ProfileTable serial_table = profiler.Profile(app, options);
     const double serial_seconds =
-        std::chrono::duration<double>(Clock::now() - serial_start).count();
+        bench::MonotonicSeconds() - serial_start;
     const uint64_t serial_events = TotalExecutedEvents() - events_before;
     const std::string serial_csv = serial_table.ToCsv();
     points.push_back(Point{1, serial_seconds, 1.0, true});
 
     for (const int jobs : sweep) {
         options.batch.jobs = jobs;
-        const auto start = Clock::now();
+        const double start = bench::MonotonicSeconds();
         const ProfileTable table = profiler.Profile(app, options);
         const double seconds =
-            std::chrono::duration<double>(Clock::now() - start).count();
+            bench::MonotonicSeconds() - start;
         const bool identical = table.ToCsv() == serial_csv;
         if (!identical) {
             std::fprintf(stderr,
@@ -118,20 +116,18 @@ main(int argc, char** argv)
         for (size_t i = 0; i < coord_tasks; ++i) {
             trivial.push_back([i] { return static_cast<int>(i); });
         }
-        const auto start = Clock::now();
+        const double start = bench::MonotonicSeconds();
         coord_runner.RunOrdered(std::move(trivial));
         ordered_us_per_task =
-            std::chrono::duration<double, std::micro>(Clock::now() - start)
-                .count() /
+            (bench::MonotonicSeconds() - start) * 1e6 /
             static_cast<double>(coord_tasks);
     }
     {
-        const auto start = Clock::now();
+        const double start = bench::MonotonicSeconds();
         coord_runner.RunIndexed<int>(
             coord_tasks, [](size_t i) { return static_cast<int>(i); });
         indexed_us_per_task =
-            std::chrono::duration<double, std::micro>(Clock::now() - start)
-                .count() /
+            (bench::MonotonicSeconds() - start) * 1e6 /
             static_cast<double>(coord_tasks);
     }
     // The grid's serial fraction under each dispatch path: coordination

@@ -1,5 +1,6 @@
 #include "bench_common.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -32,6 +33,16 @@ ParseBenchArgs(int argc, char** argv)
         }
     }
     return args;
+}
+
+double
+MonotonicSeconds()
+{
+    // aeo-lint: allow(determinism) -- the single sanctioned wall-clock read
+    // in bench/; feeds only perf sidecars, never gated snapshot bytes.
+    using WallClock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(WallClock::now().time_since_epoch())
+        .count();
 }
 
 std::string

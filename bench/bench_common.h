@@ -63,6 +63,15 @@ struct BenchArgs {
  * argv; ignores everything else. */
 BenchArgs ParseBenchArgs(int argc, char** argv);
 
+/**
+ * Monotonic wall time in seconds, for perf sidecars and progress lines.
+ * This is the one sanctioned wall-clock read in bench/: everything a
+ * snapshot gate diffs must come from simulated time, and aeo-lint's
+ * determinism rule bans raw std::chrono clocks outside this helper so a
+ * wall-clock read can never silently leak into gated bytes.
+ */
+double MonotonicSeconds();
+
 /** The --json=PATH override if present, else @p default_path. Benches that
  * emit a determinism-gated snapshot all accept this flag. */
 std::string JsonPathArg(int argc, char** argv,

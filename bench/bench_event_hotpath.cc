@@ -22,7 +22,6 @@
  * artifact is a perf record, not a determinism-gated snapshot.
  */
 #include <atomic>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <new>
@@ -87,7 +86,6 @@ operator delete[](void* p, std::size_t) noexcept
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
 
 struct Scenario {
     std::string name;
@@ -136,12 +134,12 @@ RunPeriodic(uint64_t total, int series)
 
     const uint64_t start_events = sim.executed_events();
     const uint64_t start_allocs = g_alloc_count.load(std::memory_order_relaxed);
-    const auto start = Clock::now();
+    const double start = aeo::bench::MonotonicSeconds();
     while (sim.executed_events() - start_events < total) {
         sim.RunFor(aeo::SimTime::Millis(100));
     }
     const double seconds =
-        std::chrono::duration<double>(Clock::now() - start).count();
+        aeo::bench::MonotonicSeconds() - start;
     const uint64_t allocs =
         g_alloc_count.load(std::memory_order_relaxed) - start_allocs;
 
@@ -183,12 +181,12 @@ RunOneShotChurn(uint64_t total, int chains)
 
     const uint64_t start_events = sim.executed_events();
     const uint64_t start_allocs = g_alloc_count.load(std::memory_order_relaxed);
-    const auto start = Clock::now();
+    const double start = aeo::bench::MonotonicSeconds();
     while (sim.executed_events() - start_events < total) {
         sim.RunFor(aeo::SimTime::Millis(100));
     }
     const double seconds =
-        std::chrono::duration<double>(Clock::now() - start).count();
+        aeo::bench::MonotonicSeconds() - start;
     const uint64_t allocs =
         g_alloc_count.load(std::memory_order_relaxed) - start_allocs;
 
@@ -215,7 +213,7 @@ RunScheduleCancel(uint64_t total)
     sim.RunFor(aeo::SimTime::Millis(5));
 
     const uint64_t start_allocs = g_alloc_count.load(std::memory_order_relaxed);
-    const auto start = Clock::now();
+    const double start = aeo::bench::MonotonicSeconds();
     uint64_t pairs = 0;
     while (pairs < total) {
         const aeo::EventId id =
@@ -227,7 +225,7 @@ RunScheduleCancel(uint64_t total)
         }
     }
     const double seconds =
-        std::chrono::duration<double>(Clock::now() - start).count();
+        aeo::bench::MonotonicSeconds() - start;
     const uint64_t allocs =
         g_alloc_count.load(std::memory_order_relaxed) - start_allocs;
 

@@ -10,7 +10,6 @@
  * and simulated-event throughput go to the non-deterministic sidecar
  * <snapshot>.perf.json so the gated bytes never depend on machine speed.
  */
-#include <chrono>
 #include <cstdio>
 
 #include "bench_common.h"
@@ -44,13 +43,10 @@ main(int argc, char** argv)
         jobs.push_back(ComparisonJob{row.app, options});
     }
     const uint64_t events_before = TotalExecutedEvents();
-    const auto wall_start = std::chrono::steady_clock::now();
+    const double wall_start = bench::MonotonicSeconds();
     const std::vector<ExperimentOutcome> outcomes =
         harness.RunComparisons(std::move(jobs), args.batch);
-    const double wall_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      wall_start)
-            .count();
+    const double wall_seconds = bench::MonotonicSeconds() - wall_start;
     const uint64_t events_executed = TotalExecutedEvents() - events_before;
 
     TextTable table({"Application", "Perf (paper)", "Perf (ours)",

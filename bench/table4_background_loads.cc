@@ -11,7 +11,6 @@
  * byte-for-byte in CI against bench/snapshots/BENCH_table4.json. Wall time
  * and simulated-event throughput go to the <snapshot>.perf.json sidecar.
  */
-#include <chrono>
 #include <cstdio>
 
 #include "bench_common.h"
@@ -60,13 +59,10 @@ main(int argc, char** argv)
         }
     }
     const uint64_t events_before = TotalExecutedEvents();
-    const auto wall_start = std::chrono::steady_clock::now();
+    const double wall_start = bench::MonotonicSeconds();
     const std::vector<ExperimentOutcome> outcomes =
         harness.RunComparisons(std::move(jobs), args.batch);
-    const double wall_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      wall_start)
-            .count();
+    const double wall_seconds = bench::MonotonicSeconds() - wall_start;
     const uint64_t events_executed = TotalExecutedEvents() - events_before;
 
     TextTable table({"Application", "Load", "Perf (paper)", "Perf (ours)",

@@ -14,7 +14,6 @@
  * bench/snapshots/BENCH_table6.json at --jobs=1 and --jobs=4. Wall time and
  * event throughput go to the <snapshot>.perf.json sidecar.
  */
-#include <chrono>
 #include <cstdio>
 
 #include "apps/app_registry.h"
@@ -138,16 +137,13 @@ main(int argc, char** argv)
     const int profile_runs = args.ProfileRuns();
 
     const uint64_t events_before = TotalExecutedEvents();
-    const auto wall_start = std::chrono::steady_clock::now();
+    const double wall_start = bench::MonotonicSeconds();
     const BatchRunner runner(args.batch);
     const std::vector<BigLittleOutcome> outcomes =
         runner.RunIndexed<BigLittleOutcome>(apps.size(), [&](size_t i) {
             return RunOneApp(harness, apps[i], grid, profile_runs);
         });
-    const double wall_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      wall_start)
-            .count();
+    const double wall_seconds = bench::MonotonicSeconds() - wall_start;
     const uint64_t events_executed = TotalExecutedEvents() - events_before;
 
     TextTable table({"Application", "Perf vs int", "Energy vs int",

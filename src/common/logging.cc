@@ -40,6 +40,8 @@ SetLogLevel(LogLevel level)
 
 namespace internal {
 
+// aeo: hot-path-stop -- diagnostic output: logging formats and writes by
+// design, and hot-path callers reach it only on warn/failure slow paths.
 void
 LogMessage(LogLevel level, const std::string& msg)
 {

@@ -3,12 +3,15 @@
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <cctype>
 
 namespace aeo {
 
 namespace internal {
 
+// aeo: hot-path-stop -- string formatting allocates its result by design;
+// hot-path callers only reach it through diagnostic or failure slow paths.
 std::string
 StrFormatImpl(const char* fmt, ...)
 {
@@ -87,16 +90,51 @@ EndsWith(std::string_view text, std::string_view suffix)
            text.substr(text.size() - suffix.size()) == suffix;
 }
 
+namespace {
+
+/**
+ * Copies @p text, stripped of surrounding whitespace, into the fixed
+ * buffer @p buf as a NUL-terminated string. Returns the stripped length,
+ * or 0 if the input is empty/blank or longer than the buffer holds — no
+ * numeric literal the parsers accept comes anywhere near that long.
+ *
+ * Parsing goes through a stack buffer rather than Trim() so the numeric
+ * parsers stay allocation-free: they sit on the controller's sysfs read
+ * path, which runs every cycle.
+ */
+size_t
+TrimmedToBuf(std::string_view text, char* buf, size_t buf_size)
+{
+    size_t begin = 0;
+    size_t end = text.size();
+    while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) {
+        ++begin;
+    }
+    while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+        --end;
+    }
+    const size_t len = end - begin;
+    if (len == 0 || len >= buf_size) {
+        return 0;
+    }
+    std::memcpy(buf, text.data() + begin, len);
+    buf[len] = '\0';
+    return len;
+}
+
+}  // namespace
+
 bool
 ParseDouble(std::string_view text, double* out)
 {
-    const std::string buf = Trim(text);
-    if (buf.empty()) {
+    char buf[64];
+    const size_t len = TrimmedToBuf(text, buf, sizeof(buf));
+    if (len == 0) {
         return false;
     }
     char* end = nullptr;
-    const double value = std::strtod(buf.c_str(), &end);
-    if (end != buf.c_str() + buf.size()) {
+    const double value = std::strtod(buf, &end);
+    if (end != buf + len) {
         return false;
     }
     *out = value;
@@ -106,13 +144,14 @@ ParseDouble(std::string_view text, double* out)
 bool
 ParseInt64(std::string_view text, long long* out)
 {
-    const std::string buf = Trim(text);
-    if (buf.empty()) {
+    char buf[64];
+    const size_t len = TrimmedToBuf(text, buf, sizeof(buf));
+    if (len == 0) {
         return false;
     }
     char* end = nullptr;
-    const long long value = std::strtoll(buf.c_str(), &end, 10);
-    if (end != buf.c_str() + buf.size()) {
+    const long long value = std::strtoll(buf, &end, 10);
+    if (end != buf + len) {
         return false;
     }
     *out = value;

@@ -21,6 +21,8 @@ std::string StrFormatImpl(const char* fmt, ...) __attribute__((format(printf, 1,
  *
  * The format string is checked by the compiler against the arguments.
  */
+// aeo: hot-path-stop -- string formatting allocates its result by design;
+// hot-path callers only reach it through diagnostic or failure slow paths.
 template <typename... Args>
 std::string
 StrFormat(const char* fmt, Args&&... args)

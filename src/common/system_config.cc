@@ -4,6 +4,8 @@
 
 namespace aeo {
 
+// aeo: hot-path-stop -- diagnostic rendering: builds a human-readable label
+// for logs and reports, reached from hot paths only through logging.
 std::string
 SystemConfig::ToString() const
 {

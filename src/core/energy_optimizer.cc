@@ -146,29 +146,25 @@ ConfigSchedule
 EnergyOptimizer::OptimizePairs(double speedup, double cycle_seconds) const
 {
     // The paper's O(N²) search: enumerate every (c_l, c_h) bracketing pair,
-    // split the cycle to meet the speedup, keep the cheapest. Non-bracketing
-    // rows are filtered *once* into the low/high candidate lists (instead of
-    // re-testing both sides of every (l, h) combination), and each surviving
-    // pair is costed arithmetically — the winning schedule is constructed
-    // exactly once at the end.
+    // split the cycle to meet the speedup, keep the cheapest. Candidate
+    // sides are filtered inline — one comparison per visited pair — so the
+    // per-cycle search allocates nothing, and each surviving pair is costed
+    // arithmetically with the winning schedule constructed exactly once at
+    // the end. The (l, h) visit order matches the old filtered-list walk:
+    // ascending l over rows with speedup <= target, ascending h over rows
+    // with speedup >= target.
     const auto& entries = table_->entries();
-    std::vector<size_t> lows;
-    std::vector<size_t> highs;
-    lows.reserve(entries.size());
-    highs.reserve(entries.size());
-    for (size_t i = 0; i < entries.size(); ++i) {
-        if (entries[i].speedup <= speedup) {
-            lows.push_back(i);
-        }
-        if (entries[i].speedup >= speedup) {
-            highs.push_back(i);
-        }
-    }
     size_t best_l = entries.size();
     size_t best_h = entries.size();
     double best_power = std::numeric_limits<double>::infinity();
-    for (const size_t l : lows) {
-        for (const size_t h : highs) {
+    for (size_t l = 0; l < entries.size(); ++l) {
+        if (entries[l].speedup > speedup) {
+            continue;
+        }
+        for (size_t h = 0; h < entries.size(); ++h) {
+            if (entries[h].speedup < speedup) {
+                continue;
+            }
             // Same arithmetic (and accumulation order) as MakePair, without
             // materializing the candidate.
             double t_low = 0.0;
@@ -194,6 +190,9 @@ EnergyOptimizer::OptimizePairs(double speedup, double cycle_seconds) const
     return MakePair(best_l, best_h, speedup, cycle_seconds);
 }
 
+// aeo: hot-path-stop -- the LP backend is the reference implementation
+// (DESIGN.md §7); it allocates its tableau by design. The default hull and
+// pairs backends are the allocation-free per-cycle paths.
 ConfigSchedule
 EnergyOptimizer::OptimizeSimplex(double speedup, double cycle_seconds) const
 {

@@ -298,15 +298,13 @@ OnlineController::ConsumeDeliveries(
     // Attribute the cycle to the configurations the device actually ran
     // (delivered levels where verified, requested otherwise) and predict
     // what the *original* table says that mixture should have produced.
-    struct Visit {
-        size_t entry_index;
-        double weight;
-    };
-    std::vector<Visit> visits;
-    double covered = 0.0;
-    double predicted_power_mw = 0.0;
-    double predicted_speedup = 0.0;
-    for (const DwellDelivery& dwell : deliveries) {
+    // The dwell list is walked twice — once to decide whether the cycle is
+    // attributable at all, once to feed the drift detector — so the matched
+    // rows never need to be materialized (RunCycle is allocation-free).
+    const auto match_entry = [this,
+                              total_seconds](const DwellDelivery& dwell,
+                                             size_t* entry_index,
+                                             double* weight) {
         SystemConfig effective = dwell.requested_config;
         if (dwell.cpu.verified) {
             effective.cpu_level = dwell.cpu.delivered_level;
@@ -319,14 +317,25 @@ OnlineController::ConsumeDeliveries(
         }
         const auto it = config_index_.find(effective);
         if (it == config_index_.end()) {
-            continue;  // Delivered an unprofiled point; nothing to compare.
+            return false;  // Delivered an unprofiled point; no comparison.
         }
-        const double weight = dwell.seconds / total_seconds;
-        const ProfileEntry& entry = table_.entries()[it->second];
+        *entry_index = it->second;
+        *weight = dwell.seconds / total_seconds;
+        return true;
+    };
+    double covered = 0.0;
+    double predicted_power_mw = 0.0;
+    double predicted_speedup = 0.0;
+    for (const DwellDelivery& dwell : deliveries) {
+        size_t entry_index = 0;
+        double weight = 0.0;
+        if (!match_entry(dwell, &entry_index, &weight)) {
+            continue;
+        }
+        const ProfileEntry& entry = table_.entries()[entry_index];
         predicted_power_mw += weight * entry.power_mw.value();
         predicted_speedup += weight * entry.speedup;
         covered += weight;
-        visits.push_back(Visit{it->second, weight});
     }
     // Only attribute when the visited rows explain (essentially) the whole
     // cycle — a partially unprofiled cycle would smear foreign residuals
@@ -343,12 +352,20 @@ OnlineController::ConsumeDeliveries(
     const double power_residual = measured_power_mw.value() / predicted_power_mw;
     const double speedup_residual = measured_speedup / predicted_speedup;
     const double now_s = platform_->clock().Now().seconds();
-    for (const Visit& visit : visits) {
-        drift_.Observe(now_s, visit.entry_index, visit.weight, power_residual,
+    for (const DwellDelivery& dwell : deliveries) {
+        size_t entry_index = 0;
+        double weight = 0.0;
+        if (!match_entry(dwell, &entry_index, &weight)) {
+            continue;
+        }
+        drift_.Observe(now_s, entry_index, weight, power_residual,
                        speedup_residual);
     }
 }
 
+// aeo: hot-path-stop -- amortized: rebuilds only when a cap, drift
+// correction, or table version actually changes, never on the steady-state
+// cycle path.
 bool
 OnlineController::RefreshWorkingTable(int cpu_cap, int bw_cap)
 {
@@ -406,6 +423,7 @@ OnlineController::RefreshWorkingTable(int cpu_cap, int bw_cap)
     return true;
 }
 
+// aeo: hot-path
 void
 OnlineController::RunCycle(const platform::TickInfo& tick)
 {
@@ -569,6 +587,8 @@ OnlineController::RunCycle(const platform::TickInfo& tick)
     record.tick_lateness_s = tick.lateness.seconds();
     record.epochs_skipped = tick.epochs_skipped;
     record.stale_guard = stale_guard;
+    // aeo-lint: allow(hot-path-alloc) -- the cycle history is the
+    // experiment's output artifact; growth here IS the product.
     history_.push_back(record);
 
     if (!quarantine_deliveries &&
@@ -580,6 +600,8 @@ OnlineController::RunCycle(const platform::TickInfo& tick)
     // Observers run last so they see the cycle's full effect, including a
     // watchdog trip this cycle caused.
     for (const CycleObserver& observer : cycle_observers_) {
+        // aeo-lint: allow(hot-path-alloc) -- invoking an already-stored
+        // std::function does not allocate; only constructing one does.
         observer(record, deliveries);
     }
 }

@@ -62,6 +62,8 @@ ProfileDriftDetector::Observe(double time_s, size_t entry_index, double weight,
     record.speedup_residual = speedup_residual;
     record.power_ewma = state.power_ewma;
     record.speedup_ewma = state.speedup_ewma;
+    // aeo-lint: allow(hot-path-alloc) -- the drift trace is the
+    // detector's output artifact; growth here IS the product.
     trace_.push_back(record);
 }
 

@@ -369,6 +369,7 @@ Device::RunUntilAppFinishes(SimTime max_duration)
     }
 }
 
+// aeo: hot-path
 Milliwatts
 Device::CurrentPower() const
 {

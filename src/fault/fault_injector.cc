@@ -203,6 +203,9 @@ FaultInjector::DecideCached(PathQuery& query, bool is_write)
                 is_write);
 }
 
+// aeo: hot-path-stop -- fault-campaign slow path: allocates only when a
+// fault actually fires (gone/sticky bookkeeping, trace events); the no-fault
+// steady state returns a plain decision without touching the containers.
 FaultDecision
 FaultInjector::Roll(FaultRule& rule, const std::string& path, bool is_write)
 {
@@ -256,6 +259,8 @@ FaultInjector::Roll(FaultRule& rule, const std::string& path, bool is_write)
     return decision;
 }
 
+// aeo: hot-path-stop -- bounded fault trace: events are the campaign's
+// output artifact and only accrue when a fault fires.
 void
 FaultInjector::Record(const std::string& path, bool is_write,
                       const FaultDecision& decision)

@@ -41,6 +41,9 @@ Sysfs::Unregister(std::string_view path)
     }
 }
 
+// aeo: hot-path-stop -- first-touch path interning: a handle's node is
+// allocated once on the first Open of each path; steady-state lookups hit
+// the intern map and allocate nothing.
 SysfsHandle
 Sysfs::Open(std::string_view path) const
 {
@@ -93,6 +96,9 @@ Sysfs::TryRead(std::string_view path) const
     return TryRead(Open(path));
 }
 
+// aeo: hot-path-stop -- simulated kernel file I/O: this is the syscall
+// boundary, and the string payload is the sim's transfer medium; a real
+// kernel crossing is opaque to the allocation analysis anyway.
 SysfsReadResult
 Sysfs::TryRead(SysfsHandle handle) const
 {
@@ -128,6 +134,9 @@ Sysfs::TryWrite(std::string_view path, const std::string& value)
     return TryWrite(Open(path), value);
 }
 
+// aeo: hot-path-stop -- simulated kernel file I/O: the write payload and
+// fault-driven clamp rewrite are the sim's transfer medium at the syscall
+// boundary, mirroring TryRead above.
 FaultErrc
 Sysfs::TryWrite(SysfsHandle handle, const std::string& value)
 {

@@ -252,7 +252,7 @@ ConfigScheduler::VerifyDelivery(const SubsystemActuator& plan,
     }
     const SysfsReadResult result = device_->sysfs().TryRead(plan.readback);
     long long raw = 0;
-    if (!result.ok() || !ParseInt64(Trim(result.value), &raw)) {
+    if (!result.ok() || !ParseInt64(result.value, &raw)) {
         // The write stands but cannot be checked; stay conservative and
         // report it unverified rather than guessing either way.
         ++stats_.readback_failures;
@@ -307,6 +307,8 @@ ConfigScheduler::ApplyConfigNow(const SystemConfig& config)
         }
     }
 
+    // aeo-lint: allow(hot-path-alloc) -- cleared each cycle; capacity is
+    // retained, so growth stops at the slots-per-cycle high-water mark.
     cycle_deliveries_.push_back(delivery);
 
     const auto subsystem_ok = [](const ActuationDelivery& d) {
@@ -325,6 +327,7 @@ ConfigScheduler::CancelPending()
     pending_.clear();
 }
 
+// aeo: hot-path
 void
 ConfigScheduler::Apply(const ActuationPlan& plan)
 {
@@ -377,6 +380,8 @@ ConfigScheduler::Apply(const ActuationPlan& plan)
             ApplyConfigNow(config);
             cycle_deliveries_.back().seconds = seconds;
         } else {
+            // aeo-lint: allow(hot-path-alloc) -- cleared each cycle; capacity
+            // is retained, so growth stops at the high-water mark.
             pending_.push_back(
                 device_->sim().ScheduleAfter(offset, [this, config, seconds] {
                     ApplyConfigNow(config);

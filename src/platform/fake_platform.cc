@@ -18,6 +18,8 @@ FakeActuator::ConfigureActuation(SimTime min_dwell,
 void
 FakeActuator::Apply(const ActuationPlan& plan)
 {
+    // aeo-lint: allow(hot-path-alloc) -- test double: the recorded plan
+    // log is its observable output.
     plans_.push_back(plan);
     if (consecutive_failed_applies_ > 0) {
         ++stats_.failed_ops;
@@ -57,6 +59,8 @@ FakePlatform::Cluster(int index)
 {
     AEO_ASSERT(index >= 0, "negative cluster index %d", index);
     if (index >= static_cast<int>(clusters_.size())) {
+        // aeo-lint: allow(hot-path-alloc) -- first-touch script storage:
+        // clusters are created during scenario setup, then only re-read.
         clusters_.resize(static_cast<size_t>(index) + 1);
     }
     if (index >= num_clusters_) {
@@ -148,6 +152,8 @@ FakePlatform::PushClusterPerfWindow(int cluster, double avg_gips,
 void
 FakePlatform::PinForControl(bool bandwidth, bool gpu)
 {
+    // aeo-lint: allow(hot-path-alloc) -- test double: the governor log
+    // is its observable output.
     governor_log_.push_back(StrFormat("pin(bw=%d,gpu=%d)", bandwidth ? 1 : 0,
                                       gpu ? 1 : 0));
 }

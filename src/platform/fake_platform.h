@@ -117,6 +117,8 @@ class FakePlatform final : public Platform,
 
     // --- GovernorControl --------------------------------------------------
     void PinForControl(bool bandwidth, bool gpu) override;
+    // aeo-lint: allow(hot-path-alloc) -- test double: the governor log
+    // is its observable output.
     void RestoreStock() override { governor_log_.push_back("restore-stock"); }
 
     // --- Thermals ---------------------------------------------------------

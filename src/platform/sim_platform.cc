@@ -156,7 +156,7 @@ SimPlatform::ReadZoneTempC()
     // unregistered path before consulting any fault injector.
     const SysfsReadResult result = device_->sysfs().TryRead(temp_node_);
     long long millideg = 0;
-    if (!result.ok() || !ParseInt64(Trim(result.value), &millideg)) {
+    if (!result.ok() || !ParseInt64(result.value, &millideg)) {
         return kLeakageReferenceC;
     }
     return static_cast<double>(millideg) / 1000.0;
@@ -167,7 +167,7 @@ SimPlatform::ReadCpuCapLevel()
 {
     const SysfsReadResult result = device_->sysfs().TryRead(cap_node_);
     long long khz = 0;
-    if (!result.ok() || !ParseInt64(Trim(result.value), &khz) || khz <= 0) {
+    if (!result.ok() || !ParseInt64(result.value, &khz) || khz <= 0) {
         // Unreadable is not evidence of a clamp; assume uncapped.
         return kNoCapLevel;
     }

@@ -61,6 +61,8 @@ MonsoonMonitor::TakeSample()
     last_sample_time_ = sim_->Now();
     if (config_.trace_decimation > 0 &&
         sample_count_ % static_cast<uint64_t>(config_.trace_decimation) == 0) {
+        // aeo-lint: allow(hot-path-alloc) -- the decimated power trace is
+        // the meter's output artifact; growth here IS the product.
         trace_.push_back(PowerSample{sim_->Now(), Milliwatts(measured_mw)});
     }
 }

@@ -147,6 +147,7 @@ class EventQueue {
      *
      * @return the time of the event that ran; panics if empty.
      */
+    // aeo: hot-path
     SimTime
     RunNext()
     {
@@ -305,6 +306,8 @@ class EventQueue {
         s.armed = true;
         s.firing = false;
         s.free_deferred = false;
+        // aeo-lint: allow(hot-path-alloc) -- the heap reuses its capacity;
+        // it grows only past the armed-timer high-water mark.
         heap_.push_back(HeapEntry{when, next_seq_++, slot, s.generation});
         SiftUp(heap_.size() - 1);
         ++pending_count_;
@@ -320,6 +323,8 @@ class EventQueue {
             free_head_ = slots_[slot].next_free;
             return slot;
         }
+        // aeo-lint: allow(hot-path-alloc) -- pool growth: taken only when
+        // the free list is empty; the steady state recycles slots.
         slots_.emplace_back();
         return static_cast<uint32_t>(slots_.size() - 1);
     }

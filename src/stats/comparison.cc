@@ -9,6 +9,8 @@ namespace aeo {
 
 ComparisonReport::ComparisonReport(std::string title) : title_(std::move(title)) {}
 
+// aeo: hot-path-stop -- offline comparison reporting: rows accumulate for
+// the end-of-run report and never sit on the per-cycle control path.
 void
 ComparisonReport::Add(const std::string& label, double paper_value,
                       double measured_value, const std::string& unit)

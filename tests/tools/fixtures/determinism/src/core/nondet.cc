@@ -1,0 +1,30 @@
+#include <random>
+
+namespace aeo {
+std::random_device g_entropy;
+
+int
+Draw()
+{
+    srand(42);
+    return rand();
+}
+
+long
+Stamp()
+{
+    return time(nullptr);
+}
+
+double
+Wall()
+{
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+size_t
+AddressKey(const int* p)
+{
+    return std::hash<const int*>{}(p);
+}
+}  // namespace aeo

@@ -1,0 +1,9 @@
+namespace aeo::platform {
+// The platform layer owns the Clock seam, so a wall-clock backend may name
+// the raw chrono clocks here without a finding.
+double
+ReadWall()
+{
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+}  // namespace aeo::platform

@@ -1,0 +1,37 @@
+#include <functional>
+#include <vector>
+
+namespace aeo {
+std::vector<int> g_log;
+
+void Helper();
+void Refill();
+
+// aeo: hot-path
+void
+RunCycle()
+{
+    Helper();
+    Refill();
+}
+
+void
+Helper()
+{
+    int* scratch = new int(3);
+    delete scratch;
+    auto owned = std::make_unique<int>(4);
+    std::function<void()> cb = [] {};
+    g_log.push_back(1);
+}
+
+// aeo: hot-path-stop -- amortized refill: runs only when the cache is
+// invalidated, never on the steady-state cycle path.
+void
+Refill()
+{
+    g_log.push_back(2);
+}
+}  // namespace aeo
+
+// aeo: hot-path

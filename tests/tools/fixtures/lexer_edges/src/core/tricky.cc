@@ -1,0 +1,25 @@
+namespace aeo {
+// A would-be sysfs literal inside a raw string must not be read as code,
+// and control tags quoted inside it must not parse:
+//   R"(/sys/devices/system/cpu/cpu0)" below is data, not a path literal?
+// No: string literals ARE matched by the sysfs rule, so the raw string
+// here names a /proc path the rule ignores, proving only that the raw
+// string's contents are lexed with the right line numbers.
+const char* kRaw = R"x(
+  // aeo-lint: allow(layering) this is prose inside a raw string
+  "/proc/not/a/sysfs/path"
+)x";
+
+/* Device and Simulator are layer-restricted names, but comments are
+ * stripped before any rule sees them. rand() too. */
+const char kEscaped[] = "quote \" then // not a comment";
+const char kCharLit = '\'';
+
+int
+Spliced()
+{
+    int tota\
+l = 1;
+    return total;
+}
+}  // namespace aeo

@@ -1,0 +1,8 @@
+namespace aeo {
+const char*
+ThermalNode()
+{
+    // aeo-lint: allow(sysfs-literal) -- fixture: exercising a used allow.
+    return "/sys/class/thermal/thermal_zone0/temp";
+}
+}  // namespace aeo

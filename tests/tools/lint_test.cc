@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "lexer.h"
 #include "lint.h"
 
 namespace aeo::lint {
@@ -187,24 +188,197 @@ TEST(AeoLintTest, BenchWithoutCommittedSnapshotIsReported)
         << Dump(findings);
 }
 
-TEST(AeoLintTest, StripSourceSeparatesCodeCommentsAndStrings)
+// ---------------------------------------------------------------------------
+// Lexer edge cases: the token stream the rules consume.
+// ---------------------------------------------------------------------------
+
+/** The token texts of every token of @p kind, in order. */
+std::vector<std::string>
+TextsOf(const LexedSource& lexed, TokKind kind)
 {
-    const internal::StrippedSource stripped = internal::StripSource(
-        "int a = 1; // trailing\n"
+    std::vector<std::string> out;
+    for (const Token& t : lexed.tokens) {
+        if (t.kind == kind) {
+            out.push_back(t.text);
+        }
+    }
+    return out;
+}
+
+TEST(AeoLexerTest, CommentsAndStringsNeverLeakIntoIdentifiers)
+{
+    const LexedSource lexed = Lex(
+        "int a = 1; // trailing rand()\n"
         "const char* p = \"/sys/x\"; /* block\n"
-        "spanning */ int Device = 2;\n");
-    // Comment text is blanked from the code view...
-    EXPECT_EQ(stripped.code.find("trailing"), std::string::npos);
-    EXPECT_EQ(stripped.code.find("spanning"), std::string::npos);
-    // ...string contents are blanked but collected with their line...
-    EXPECT_EQ(stripped.code.find("/sys"), std::string::npos);
-    ASSERT_EQ(stripped.string_literals.size(), 1u);
-    EXPECT_EQ(stripped.string_literals[0].first, 2);
-    EXPECT_EQ(stripped.string_literals[0].second, "/sys/x");
-    // ...and real code survives with line structure intact.
-    EXPECT_NE(stripped.code.find("int Device = 2;"), std::string::npos);
-    EXPECT_EQ(std::count(stripped.code.begin(), stripped.code.end(), '\n'),
-              3);
+        "spanning */ int device = 2;\n");
+    const std::vector<std::string> idents = TextsOf(lexed, TokKind::kIdent);
+    // Comment text vanishes entirely; string contents become kString.
+    EXPECT_EQ(std::count(idents.begin(), idents.end(), "rand"), 0);
+    EXPECT_EQ(std::count(idents.begin(), idents.end(), "spanning"), 0);
+    const std::vector<std::string> strings = TextsOf(lexed, TokKind::kString);
+    ASSERT_EQ(strings.size(), 1u);
+    EXPECT_EQ(strings[0], "/sys/x");
+    // Line numbers survive the block comment: `device` sits on line 3.
+    for (const Token& t : lexed.tokens) {
+        if (t.text == "device") {
+            EXPECT_EQ(t.line, 3);
+        }
+    }
+}
+
+TEST(AeoLexerTest, RawStringsSwallowCommentMarkersAndControlTags)
+{
+    const LexedSource lexed = Lex(
+        "const char* r = R\"x(\n"
+        "// aeo-lint: allow(layering) -- prose, not a directive\n"
+        "\"/sys/inner\")x\";\n"
+        "int after = 1;\n");
+    // The raw string is one kString token carrying its full body...
+    const std::vector<std::string> strings = TextsOf(lexed, TokKind::kString);
+    ASSERT_EQ(strings.size(), 1u);
+    EXPECT_NE(strings[0].find("aeo-lint"), std::string::npos);
+    // ...that never parses as a control comment...
+    EXPECT_TRUE(lexed.allows.empty());
+    EXPECT_TRUE(lexed.malformed_allows.empty());
+    // ...and the newlines inside it still advance the line counter.
+    for (const Token& t : lexed.tokens) {
+        if (t.text == "after") {
+            EXPECT_EQ(t.line, 4);
+        }
+    }
+}
+
+TEST(AeoLexerTest, SplicesFoldAndPreprocessorLinesAreMarked)
+{
+    const LexedSource lexed = Lex(
+        "#define WIDTH 4\n"
+        "int tota\\\nl = 1;\n");
+    bool saw_total = false;
+    for (const Token& t : lexed.tokens) {
+        if (t.text == "WIDTH") {
+            EXPECT_TRUE(t.preprocessor);
+        }
+        if (t.text == "total") {
+            saw_total = true;
+            EXPECT_FALSE(t.preprocessor);
+        }
+        // The spliced identifier must not surface as two halves.
+        EXPECT_NE(t.text, "tota");
+        EXPECT_NE(t.text, "l");
+    }
+    EXPECT_TRUE(saw_total);
+}
+
+TEST(AeoLexerTest, ControlCommentsParseOnlyAtTheCommentBodyStart)
+{
+    const LexedSource lexed = Lex(
+        "// aeo-lint: allow(sysfs-literal) -- justified\n"
+        "// prose mentioning aeo-lint: allow(layering) does not parse\n"
+        "// aeo-lint: allow(unit-literal)\n"
+        "// aeo: hot-path\n"
+        "// aeo: hot-path-stop -- amortized slow path\n"
+        "// aeo: hot-path-stop\n");
+    ASSERT_EQ(lexed.allows.size(), 1u);
+    EXPECT_EQ(lexed.allows[0].line, 1);
+    EXPECT_EQ(lexed.allows[0].rule, "sysfs-literal");
+    ASSERT_EQ(lexed.hot_path_annotations.size(), 1u);
+    EXPECT_EQ(lexed.hot_path_annotations[0], 4);
+    // A stop without a justification is malformed, like a bare allow.
+    ASSERT_EQ(lexed.hot_path_stops.size(), 1u);
+    EXPECT_EQ(lexed.hot_path_stops[0], 5);
+    ASSERT_EQ(lexed.malformed_allows.size(), 2u);
+    EXPECT_EQ(lexed.malformed_allows[0], 3);
+    EXPECT_EQ(lexed.malformed_allows[1], 6);
+}
+
+TEST(AeoLintTest, LexerEdgeFixtureTreeIsClean)
+{
+    // Raw strings hiding control tags, escaped quotes, comment-only
+    // mentions of restricted names, and a spliced identifier: none of it
+    // may reach a rule.
+    const std::vector<Finding> findings = LintFixture("lexer_edges");
+    EXPECT_TRUE(findings.empty()) << Dump(findings);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism rule family.
+// ---------------------------------------------------------------------------
+
+TEST(AeoLintTest, DeterminismBansEntropyClocksAndPointerHashing)
+{
+    const std::vector<Finding> findings = LintFixture("determinism");
+    // Ambient entropy, libc randomness, wall clocks, pointer hashing.
+    EXPECT_TRUE(
+        HasFinding(findings, "determinism", "src/core/nondet.cc", 4))
+        << Dump(findings);
+    EXPECT_TRUE(
+        HasFinding(findings, "determinism", "src/core/nondet.cc", 9))
+        << Dump(findings);
+    EXPECT_TRUE(
+        HasFinding(findings, "determinism", "src/core/nondet.cc", 10))
+        << Dump(findings);
+    EXPECT_TRUE(
+        HasFinding(findings, "determinism", "src/core/nondet.cc", 16))
+        << Dump(findings);
+    EXPECT_TRUE(
+        HasFinding(findings, "determinism", "src/core/nondet.cc", 22))
+        << Dump(findings);
+    EXPECT_TRUE(
+        HasFinding(findings, "determinism", "src/core/nondet.cc", 28))
+        << Dump(findings);
+    // Unordered iteration inside a serialization sink, reported at the
+    // `for`. src/platform naming steady_clock is the sanctioned seam and
+    // contributes nothing.
+    EXPECT_TRUE(HasFinding(findings, "determinism",
+                           "src/stats/unordered_sink.cc", 9))
+        << Dump(findings);
+    EXPECT_EQ(findings.size(), 7u) << Dump(findings);
+}
+
+// ---------------------------------------------------------------------------
+// Hot-path allocation rule family.
+// ---------------------------------------------------------------------------
+
+TEST(AeoLintTest, HotPathAllocationsAreTracedThroughTheCallGraph)
+{
+    const std::vector<Finding> findings = LintFixture("hot_path_alloc");
+    // Helper is not annotated itself — the findings come from reachability
+    // off the `RunCycle` entry: new, make_unique, std::function, growth.
+    EXPECT_TRUE(
+        HasFinding(findings, "hot-path-alloc", "src/core/hot.cc", 21))
+        << Dump(findings);
+    EXPECT_TRUE(
+        HasFinding(findings, "hot-path-alloc", "src/core/hot.cc", 23))
+        << Dump(findings);
+    EXPECT_TRUE(
+        HasFinding(findings, "hot-path-alloc", "src/core/hot.cc", 24))
+        << Dump(findings);
+    EXPECT_TRUE(
+        HasFinding(findings, "hot-path-alloc", "src/core/hot.cc", 25))
+        << Dump(findings);
+    // Refill allocates too, but its justified hot-path-stop cuts the
+    // traversal, so nothing in its body is reported. The trailing
+    // annotation attaches to no function: dangling, a finding.
+    EXPECT_TRUE(
+        HasFinding(findings, "hot-path-alloc", "src/core/hot.cc", 37))
+        << Dump(findings);
+    EXPECT_EQ(findings.size(), 5u) << Dump(findings);
+}
+
+// ---------------------------------------------------------------------------
+// Stale-suppression rule.
+// ---------------------------------------------------------------------------
+
+TEST(AeoLintTest, UnusedAllowIsStaleAndUsedAllowIsNot)
+{
+    const std::vector<Finding> findings = LintFixture("stale_suppression");
+    // stale.cc's justified allow suppresses nothing -> a finding at the
+    // allow itself; used.cc's allow swallows a real sysfs literal and is
+    // therefore silent.
+    ASSERT_EQ(findings.size(), 1u) << Dump(findings);
+    EXPECT_TRUE(HasFinding(findings, "stale-suppression",
+                           "src/apps/stale.cc", 2))
+        << Dump(findings);
 }
 
 TEST(AeoLintTest, RepoTreeIsClean)

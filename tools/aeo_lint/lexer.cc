@@ -1,0 +1,399 @@
+#include "lexer.h"
+
+#include <cctype>
+#include <set>
+
+namespace aeo::lint {
+
+namespace {
+
+bool
+IsIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool
+IsIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool
+IsDigit(char c)
+{
+    return std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+/** Encoding prefixes that may precede a string or character literal. */
+bool
+IsLiteralPrefix(const std::string& ident)
+{
+    return ident == "u8" || ident == "u" || ident == "U" || ident == "L";
+}
+
+/** Multi-character punctuation, longest-match-first per leading char. The
+ * set is the operators the rules care to see whole: assignment/comparison
+ * (`==` vs `=`, `+=`, `-=`), scope/member (`::`, `->`), and the shift/
+ * logical pairs so they cannot be half-matched. */
+const char* const kPuncts[] = {
+    "<<=", ">>=", "...", "::", "->", "==", "!=", "<=", ">=", "+=", "-=",
+    "*=", "/=",  "%=",  "&=", "|=", "^=", "&&", "||", "<<", ">>", "++",
+    "--",
+};
+
+/** The suppression tag and the annotation tag. Tags are honored only at
+ * the start of a comment body so prose references never parse. */
+constexpr const char kAllowTag[] = "aeo-lint:";
+constexpr const char kAnnotationTag[] = "aeo:";
+
+/** Parses one comment body (text between the comment markers). */
+void
+ParseControlComment(const std::string& comment, int line, LexedSource* out)
+{
+    size_t start = 0;
+    while (start < comment.size() &&
+           (std::isspace(static_cast<unsigned char>(comment[start])) != 0 ||
+            comment[start] == '*')) {
+        ++start;
+    }
+    if (comment.compare(start, sizeof(kAllowTag) - 1, kAllowTag) == 0) {
+        const size_t tag_end = start + sizeof(kAllowTag) - 1;
+        size_t pos = comment.find("allow(", tag_end);
+        if (pos == std::string::npos) {
+            out->malformed_allows.push_back(line);
+            return;
+        }
+        pos += 6;
+        const size_t close = comment.find(')', pos);
+        if (close == std::string::npos) {
+            out->malformed_allows.push_back(line);
+            return;
+        }
+        const std::string rule = comment.substr(pos, close - pos);
+        // The justification separator is mandatory and must carry text.
+        const size_t dashes = comment.find("--", close);
+        bool justified = false;
+        if (dashes != std::string::npos) {
+            for (size_t i = dashes + 2; i < comment.size(); ++i) {
+                if (std::isspace(static_cast<unsigned char>(comment[i])) ==
+                    0) {
+                    justified = true;
+                    break;
+                }
+            }
+        }
+        if (rule.empty() || !justified) {
+            out->malformed_allows.push_back(line);
+            return;
+        }
+        out->allows.push_back(AllowComment{line, rule});
+        return;
+    }
+    if (comment.compare(start, sizeof(kAnnotationTag) - 1, kAnnotationTag) ==
+        0) {
+        size_t pos = start + sizeof(kAnnotationTag) - 1;
+        while (pos < comment.size() &&
+               std::isspace(static_cast<unsigned char>(comment[pos])) != 0) {
+            ++pos;
+        }
+        size_t word_end = pos;
+        while (word_end < comment.size() &&
+               (std::isalpha(static_cast<unsigned char>(comment[word_end])) !=
+                    0 ||
+                comment[word_end] == '-')) {
+            ++word_end;
+        }
+        const std::string directive = comment.substr(pos, word_end - pos);
+        if (directive == "hot-path") {
+            out->hot_path_annotations.push_back(line);
+        } else if (directive == "hot-path-stop") {
+            // The escape hatch cuts the allocation analysis short, so it
+            // must carry a justification like a suppression does.
+            const size_t dashes = comment.find("--", word_end);
+            bool justified = false;
+            if (dashes != std::string::npos) {
+                for (size_t i = dashes + 2; i < comment.size(); ++i) {
+                    if (std::isspace(
+                            static_cast<unsigned char>(comment[i])) == 0) {
+                        justified = true;
+                        break;
+                    }
+                }
+            }
+            if (justified) {
+                out->hot_path_stops.push_back(line);
+            } else {
+                out->malformed_allows.push_back(line);
+            }
+        }
+    }
+}
+
+/**
+ * Cursor over the raw text that folds backslash-newline splices (translation
+ * phase 2) transparently — except inside raw string literals, which revert
+ * splices per the standard and are scanned verbatim by the caller.
+ */
+class Cursor {
+  public:
+    explicit Cursor(const std::string& text) : text_(text) { SkipSplices(); }
+
+    bool AtEnd() const { return i_ >= text_.size(); }
+    char Cur() const { return i_ < text_.size() ? text_[i_] : '\0'; }
+    int line() const { return line_; }
+    size_t index() const { return i_; }
+
+    /** The character after Cur(), looking through any splice. */
+    char
+    Next() const
+    {
+        size_t j = i_ + 1;
+        int ignored = 0;
+        SkipSplicesAt(&j, &ignored);
+        return j < text_.size() ? text_[j] : '\0';
+    }
+
+    /** Advances one significant character (plus any following splices). */
+    void
+    Advance()
+    {
+        if (i_ >= text_.size()) return;
+        if (text_[i_] == '\n') ++line_;
+        ++i_;
+        SkipSplices();
+    }
+
+    /** Advances one raw character — no splice folding (raw strings). */
+    void
+    AdvanceRaw()
+    {
+        if (i_ >= text_.size()) return;
+        if (text_[i_] == '\n') ++line_;
+        ++i_;
+    }
+
+    /** Re-enables splice folding after a raw scan. */
+    void ResyncSplices() { SkipSplices(); }
+
+  private:
+    void SkipSplices() { SkipSplicesAt(&i_, &line_); }
+
+    void
+    SkipSplicesAt(size_t* i, int* line) const
+    {
+        while (*i + 1 < text_.size() && text_[*i] == '\\') {
+            if (text_[*i + 1] == '\n') {
+                *i += 2;
+                ++*line;
+            } else if (text_[*i + 1] == '\r' && *i + 2 < text_.size() &&
+                       text_[*i + 2] == '\n') {
+                *i += 3;
+                ++*line;
+            } else {
+                break;
+            }
+        }
+    }
+
+    const std::string& text_;
+    size_t i_ = 0;
+    int line_ = 1;
+};
+
+}  // namespace
+
+bool
+IsControlKeyword(const std::string& ident)
+{
+    static const std::set<std::string> kKeywords = {
+        "if",       "for",           "while",    "switch",    "catch",
+        "return",   "sizeof",        "alignof",  "alignas",   "decltype",
+        "noexcept", "static_assert", "typeid",   "throw",     "do",
+        "else",     "case",          "default",  "goto",      "new",
+        "delete",   "co_await",      "co_yield", "co_return", "constexpr",
+        "consteval", "constinit",    "requires", "assert"};
+    return kKeywords.count(ident) > 0;
+}
+
+LexedSource
+Lex(const std::string& text)
+{
+    LexedSource out;
+    Cursor cur(text);
+    bool in_preprocessor = false;
+    bool line_has_token = false;  // any token yet on the current line
+
+    auto push = [&](TokKind kind, std::string tok_text, int line) {
+        out.tokens.push_back(
+            Token{kind, std::move(tok_text), line, in_preprocessor});
+        line_has_token = true;
+    };
+
+    while (!cur.AtEnd()) {
+        const char c = cur.Cur();
+        if (c == '\n') {
+            in_preprocessor = false;
+            line_has_token = false;
+            cur.Advance();
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+            cur.Advance();
+            continue;
+        }
+        if (c == '/' && cur.Next() == '/') {
+            const int start_line = cur.line();
+            cur.Advance();
+            cur.Advance();
+            std::string body;
+            while (!cur.AtEnd() && cur.Cur() != '\n') {
+                body += cur.Cur();
+                cur.Advance();  // splices extend the comment, per phase 2
+            }
+            ParseControlComment(body, start_line, &out);
+            continue;
+        }
+        if (c == '/' && cur.Next() == '*') {
+            const int start_line = cur.line();
+            cur.Advance();
+            cur.Advance();
+            std::string body;
+            while (!cur.AtEnd() &&
+                   !(cur.Cur() == '*' && cur.Next() == '/')) {
+                body += cur.Cur();
+                cur.Advance();
+            }
+            cur.Advance();
+            cur.Advance();
+            ParseControlComment(body, start_line, &out);
+            continue;
+        }
+        if (c == '#' && !line_has_token) {
+            in_preprocessor = true;
+            push(TokKind::kPunct, "#", cur.line());
+            cur.Advance();
+            continue;
+        }
+        if (IsIdentStart(c)) {
+            const int start_line = cur.line();
+            std::string ident;
+            while (!cur.AtEnd() && IsIdentChar(cur.Cur())) {
+                ident += cur.Cur();
+                cur.Advance();
+            }
+            // String/char literal prefixes and raw strings: `R"`, `u8R"`,
+            // `L"`, `u'`...
+            const bool raw = !ident.empty() && ident.back() == 'R' &&
+                             (ident == "R" ||
+                              IsLiteralPrefix(
+                                  ident.substr(0, ident.size() - 1)));
+            if (raw && cur.Cur() == '"') {
+                cur.AdvanceRaw();  // opening quote; no splices from here on
+                std::string delim;
+                while (!cur.AtEnd() && cur.Cur() != '(' &&
+                       cur.Cur() != '\n') {
+                    delim += cur.Cur();
+                    cur.AdvanceRaw();
+                }
+                cur.AdvanceRaw();  // '('
+                const std::string closer = ")" + delim + "\"";
+                std::string contents;
+                while (!cur.AtEnd()) {
+                    if (cur.Cur() == ')' &&
+                        text.compare(cur.index(), closer.size(), closer) ==
+                            0) {
+                        for (size_t k = 0; k < closer.size(); ++k) {
+                            cur.AdvanceRaw();
+                        }
+                        break;
+                    }
+                    contents += cur.Cur();
+                    cur.AdvanceRaw();
+                }
+                cur.ResyncSplices();
+                push(TokKind::kString, std::move(contents), start_line);
+                continue;
+            }
+            if (IsLiteralPrefix(ident) &&
+                (cur.Cur() == '"' || cur.Cur() == '\'')) {
+                // Fall through to the quoted-literal scan below by not
+                // emitting the prefix as an identifier.
+            } else {
+                push(TokKind::kIdent, std::move(ident), start_line);
+                continue;
+            }
+        }
+        if (cur.Cur() == '"' || cur.Cur() == '\'') {
+            const char quote = cur.Cur();
+            const int start_line = cur.line();
+            cur.Advance();
+            std::string contents;
+            while (!cur.AtEnd() && cur.Cur() != quote) {
+                if (cur.Cur() == '\\') {
+                    contents += cur.Cur();
+                    cur.Advance();
+                    if (cur.AtEnd()) break;
+                }
+                contents += cur.Cur();
+                cur.Advance();
+            }
+            cur.Advance();  // closing quote
+            push(quote == '"' ? TokKind::kString : TokKind::kChar,
+                 std::move(contents), start_line);
+            continue;
+        }
+        if (IsDigit(c) || (c == '.' && IsDigit(cur.Next()))) {
+            const int start_line = cur.line();
+            std::string num;
+            while (!cur.AtEnd()) {
+                const char d = cur.Cur();
+                if (IsIdentChar(d) || d == '.' || d == '\'') {
+                    num += d;
+                    cur.Advance();
+                    // Exponent signs: 1e+3, 0x1p-4.
+                    if ((d == 'e' || d == 'E' || d == 'p' || d == 'P') &&
+                        num.size() > 1 &&
+                        (cur.Cur() == '+' || cur.Cur() == '-')) {
+                        num += cur.Cur();
+                        cur.Advance();
+                    }
+                } else {
+                    break;
+                }
+            }
+            push(TokKind::kNumber, std::move(num), start_line);
+            continue;
+        }
+        // Punctuation: longest multi-char match, else a single char.
+        {
+            const int start_line = cur.line();
+            std::string punct(1, cur.Cur());
+            for (const char* multi : kPuncts) {
+                const size_t len = std::char_traits<char>::length(multi);
+                bool match = true;
+                // Peek through splices character by character.
+                Cursor probe = cur;
+                for (size_t k = 0; k < len && match; ++k) {
+                    if (probe.AtEnd() || probe.Cur() != multi[k]) {
+                        match = false;
+                    } else {
+                        probe.Advance();
+                    }
+                }
+                if (match) {
+                    punct = multi;
+                    break;
+                }
+            }
+            for (size_t k = 0; k < punct.size(); ++k) {
+                cur.Advance();
+            }
+            push(TokKind::kPunct, std::move(punct), start_line);
+            continue;
+        }
+    }
+    return out;
+}
+
+}  // namespace aeo::lint

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Stage 1 of the aeo-lint analyzer (DESIGN.md §16): a real C++ lexer.
+ *
+ * The old engine matched regex-ish patterns against a comment-stripped line
+ * view; every rule had to re-solve "is this inside a string?" on its own.
+ * The lexer solves it once: it produces a flat token stream where every
+ * token carries its 1-based source line, string/char literal contents are
+ * separate token kinds (so identifier scans can never match inside them),
+ * raw strings (`R"delim(...)delim"`, with encoding prefixes) are handled,
+ * line continuations (backslash-newline splices) are folded while line
+ * numbers keep tracking the original text, and tokens on preprocessor
+ * directive lines are flagged so `#include` paths are distinguishable from
+ * expression strings.
+ *
+ * Control comments are parsed here as well, because only the lexer knows
+ * where comments are:
+ *
+ *  - suppressions: a comment whose body starts with the `aeo-lint:` tag
+ *    and carries a justified allow — rule name in parens, then `--` and a
+ *    non-empty reason. A comment that starts with the tag but does not
+ *    parse is recorded as malformed (the `suppression` rule reports it).
+ *  - annotations: a comment whose body starts with the `aeo:` tag, e.g.
+ *    the hot-path marker that declares the next function definition a
+ *    per-cycle entry point for the allocation rule family. Tags are only
+ *    honored at the start of the comment body, so prose like this header
+ *    mentioning a tag mid-sentence never parses as a control comment.
+ */
+#ifndef AEO_TOOLS_AEO_LINT_LEXER_H_
+#define AEO_TOOLS_AEO_LINT_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace aeo::lint {
+
+enum class TokKind : uint8_t {
+    /** Identifier or keyword (keywords are classified by the consumer). */
+    kIdent,
+    /** Numeric literal; `text` is the spelling (digit separators kept). */
+    kNumber,
+    /** String literal; `text` is the contents without quotes/delimiters. */
+    kString,
+    /** Character literal; `text` is the contents without quotes. */
+    kChar,
+    /** Punctuation; multi-character operators (`::`, `->`, `==`, `+=`,
+     * `<<`, ...) are single tokens. */
+    kPunct,
+};
+
+/** One lexed token. */
+struct Token {
+    TokKind kind;
+    std::string text;
+    /** 1-based line of the token's first character in the original text. */
+    int line = 0;
+    /** True when the token sits on a preprocessor directive (including its
+     * spliced continuation lines). */
+    bool preprocessor = false;
+};
+
+/** A well-formed `allow(<rule>) -- <why>` suppression comment. */
+struct AllowComment {
+    int line = 0;
+    std::string rule;
+};
+
+/** The token stream plus the control comments extracted along the way. */
+struct LexedSource {
+    std::vector<Token> tokens;
+    /** Justified suppressions, in source order. */
+    std::vector<AllowComment> allows;
+    /** Lines of comments that start with the suppression tag but do not
+     * parse (missing rule or justification). */
+    std::vector<int> malformed_allows;
+    /** Lines of hot-path annotation comments (the `aeo:` tag followed by
+     * the hot-path directive). The semantic model attaches each to the
+     * next function definition. */
+    std::vector<int> hot_path_annotations;
+    /** Lines of justified hot-path-stop annotations: the next function is
+     * a reachability barrier the allocation analysis neither enters nor
+     * traverses (test doubles, cold branches). Justification mandatory. */
+    std::vector<int> hot_path_stops;
+};
+
+/** Lexes @p text. Never fails: unterminated constructs are closed at EOF. */
+LexedSource Lex(const std::string& text);
+
+/** True for C++ keywords that can precede `(` without being a call or a
+ * function name (`if`, `for`, `while`, `switch`, `sizeof`, ...). */
+bool IsControlKeyword(const std::string& ident);
+
+}  // namespace aeo::lint
+
+#endif  // AEO_TOOLS_AEO_LINT_LEXER_H_

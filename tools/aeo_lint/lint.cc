@@ -3,11 +3,19 @@
 #include <algorithm>
 #include <cctype>
 #include <cstdlib>
+#include <deque>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <set>
 #include <sstream>
+#include <thread>
+#include <tuple>
+
+#include "common/json.h"
+#include "common/thread_pool.h"
+#include "lexer.h"
+#include "model.h"
 
 namespace aeo::lint {
 
@@ -21,160 +29,24 @@ IsIdentChar(char c)
     return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
 }
 
-}  // namespace
-
-namespace internal {
-
-namespace {
-
-/** Parses one comment body for `aeo-lint: allow(<rule>) -- <why>` and files
- * it into @p out at @p line. A comment that mentions aeo-lint but does not
- * parse (or lacks a justification) is recorded as malformed. */
-void
-ParseControlComment(const std::string& comment, int line, StrippedSource* out)
+bool
+HasSuffix(const std::string& s, const std::string& suffix)
 {
-    const size_t tag = comment.find("aeo-lint:");
-    if (tag == std::string::npos) return;
-    size_t pos = comment.find("allow(", tag);
-    if (pos == std::string::npos) {
-        out->malformed_allows.push_back(line);
-        return;
-    }
-    pos += 6;
-    const size_t close = comment.find(')', pos);
-    if (close == std::string::npos) {
-        out->malformed_allows.push_back(line);
-        return;
-    }
-    const std::string rule = comment.substr(pos, close - pos);
-    // The justification separator is mandatory and must be followed by text.
-    const size_t dashes = comment.find("--", close);
-    bool justified = false;
-    if (dashes != std::string::npos) {
-        for (size_t i = dashes + 2; i < comment.size(); ++i) {
-            if (std::isspace(static_cast<unsigned char>(comment[i])) == 0) {
-                justified = true;
-                break;
-            }
-        }
-    }
-    if (rule.empty() || !justified) {
-        out->malformed_allows.push_back(line);
-        return;
-    }
-    out->allows.emplace_back(line, rule);
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
-}  // namespace
-
-StrippedSource
-StripSource(const std::string& text)
+bool
+IsPunct(const Token& t, const char* text)
 {
-    StrippedSource out;
-    out.code.reserve(text.size());
-
-    enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
-    State state = State::kCode;
-    int line = 1;
-    int token_start_line = 1;  // line the current comment/string began on
-    std::string pending;       // accumulated comment or literal contents
-
-    for (size_t i = 0; i < text.size(); ++i) {
-        const char c = text[i];
-        const char next = i + 1 < text.size() ? text[i + 1] : '\0';
-        switch (state) {
-            case State::kCode:
-                if (c == '/' && next == '/') {
-                    state = State::kLineComment;
-                    token_start_line = line;
-                    pending.clear();
-                    out.code += "  ";
-                    ++i;
-                } else if (c == '/' && next == '*') {
-                    state = State::kBlockComment;
-                    token_start_line = line;
-                    pending.clear();
-                    out.code += "  ";
-                    ++i;
-                } else if (c == '"') {
-                    state = State::kString;
-                    token_start_line = line;
-                    pending.clear();
-                    out.code += '"';
-                } else if (c == '\'') {
-                    state = State::kChar;
-                    out.code += '\'';
-                } else {
-                    out.code += c;
-                }
-                break;
-            case State::kLineComment:
-                if (c == '\n') {
-                    ParseControlComment(pending, token_start_line, &out);
-                    state = State::kCode;
-                    out.code += '\n';
-                } else {
-                    pending += c;
-                    out.code += ' ';
-                }
-                break;
-            case State::kBlockComment:
-                if (c == '*' && next == '/') {
-                    ParseControlComment(pending, token_start_line, &out);
-                    state = State::kCode;
-                    out.code += "  ";
-                    ++i;
-                } else {
-                    pending += c;
-                    out.code += c == '\n' ? '\n' : ' ';
-                }
-                break;
-            case State::kString:
-                if (c == '\\' && next != '\0') {
-                    pending += c;
-                    pending += next;
-                    out.code += "  ";
-                    ++i;
-                } else if (c == '"') {
-                    out.string_literals.emplace_back(token_start_line, pending);
-                    state = State::kCode;
-                    out.code += '"';
-                } else {
-                    pending += c;
-                    out.code += c == '\n' ? '\n' : ' ';
-                }
-                break;
-            case State::kChar:
-                if (c == '\\' && next != '\0') {
-                    out.code += "  ";
-                    ++i;
-                } else if (c == '\'') {
-                    state = State::kCode;
-                    out.code += '\'';
-                } else {
-                    out.code += c == '\n' ? '\n' : ' ';
-                }
-                break;
-        }
-        if (c == '\n') ++line;
-    }
-    if (state == State::kLineComment || state == State::kBlockComment) {
-        ParseControlComment(pending, token_start_line, &out);
-    }
-    return out;
+    return t.kind == TokKind::kPunct && t.text == text;
 }
 
-}  // namespace internal
-
-namespace {
-
-/** One scanned file, ready for rule matching. */
-struct SourceFile {
-    /** Root-relative path with '/' separators, e.g. "src/core/foo.cc". */
-    std::string rel_path;
-    internal::StrippedSource stripped;
-    /** stripped.code split into lines (index 0 == line 1). */
-    std::vector<std::string> lines;
+/** One analyzed file: the semantic model plus its per-file findings (raw,
+ * before suppression filtering). */
+struct AnalyzedFile {
+    TranslationUnit tu;
+    std::vector<Finding> findings;
 };
 
 /**
@@ -250,156 +122,123 @@ LayerOf(const std::string& rel_path)
     return rel_path.substr(start, slash - start);
 }
 
-/** True when an `aeo-lint: allow(<rule>)` comment covers @p line (the line
- * itself or up to two lines above, to reach multi-line declarations). */
-bool
-IsSuppressed(const SourceFile& file, int line, const std::string& rule)
+void
+AddFinding(AnalyzedFile* file, int line, const std::string& rule,
+           const std::string& message, const std::string& fix_hint)
 {
-    for (const auto& [allow_line, allow_rule] : file.stripped.allows) {
-        if (allow_rule != rule) continue;
-        if (allow_line <= line && line - allow_line <= 2) return true;
-    }
-    return false;
+    file->findings.push_back(
+        Finding{rule, file->tu.rel_path, line, message, fix_hint});
 }
 
+/** Rule `suppression`: malformed control comments are findings themselves,
+ * so a typo'd rule name or a missing justification cannot silently disable
+ * a check. */
 void
-AddFinding(std::vector<Finding>* findings, const SourceFile& file, int line,
-           const std::string& rule, const std::string& message)
+CheckSuppressions(AnalyzedFile* file)
 {
-    if (IsSuppressed(file, line, rule)) return;
-    findings->push_back(Finding{rule, file.rel_path, line, message});
+    for (const int line : file->tu.lexed.malformed_allows) {
+        AddFinding(file, line, "suppression",
+                   "malformed aeo control comment",
+                   "use `// aeo-lint: allow(<rule>) -- <justification>` (or "
+                   "a justified hot-path-stop annotation)");
+    }
 }
 
-/** Rule `suppression`: malformed allow comments are findings themselves, so
- * a typo'd rule name or a missing justification cannot silently disable a
- * check. */
-void
-CheckSuppressions(const SourceFile& file, std::vector<Finding>* findings)
+/** Quoted #include paths as (line, path) pairs. */
+std::vector<std::pair<int, std::string>>
+QuotedIncludes(const TranslationUnit& tu)
 {
-    for (const int line : file.stripped.malformed_allows) {
-        findings->push_back(Finding{
-            "suppression", file.rel_path, line,
-            "malformed aeo-lint comment; use "
-            "`// aeo-lint: allow(<rule>) -- <justification>`"});
+    std::vector<std::pair<int, std::string>> out;
+    const std::vector<Token>& toks = tu.lexed.tokens;
+    for (size_t i = 0; i + 2 < toks.size(); ++i) {
+        if (!toks[i].preprocessor || !IsPunct(toks[i], "#")) continue;
+        if (toks[i + 1].kind != TokKind::kIdent ||
+            toks[i + 1].text != "include") {
+            continue;
+        }
+        if (toks[i + 2].kind == TokKind::kString) {
+            out.emplace_back(toks[i + 2].line, toks[i + 2].text);
+        }
     }
+    return out;
 }
 
 /** Rule `layering`: project-relative includes must follow the DAG, and only
  * the harness seam files in src/core may touch src/device. */
 void
-CheckLayering(const SourceFile& file, std::vector<Finding>* findings)
+CheckLayering(AnalyzedFile* file)
 {
-    const std::string layer = LayerOf(file.rel_path);
+    const TranslationUnit& tu = file->tu;
+    const std::string layer = LayerOf(tu.rel_path);
     const auto it = AllowedIncludes().find(layer);
     if (it == AllowedIncludes().end()) return;
     const std::set<std::string>& allowed = it->second;
 
-    for (const auto& [line, literal] : file.stripped.string_literals) {
-        // Only literals on #include lines are include paths.
-        const std::string& code = file.lines[static_cast<size_t>(line - 1)];
-        const size_t hash = code.find_first_not_of(" \t");
-        if (hash == std::string::npos || code[hash] != '#') continue;
-        if (code.find("include", hash) == std::string::npos) continue;
+    for (const auto& [line, literal] : QuotedIncludes(tu)) {
         const size_t slash = literal.find('/');
         if (slash == std::string::npos) continue;
         const std::string target = literal.substr(0, slash);
         if (AllowedIncludes().count(target) == 0) continue;  // not a layer
         if (layer == "core" && target == "device") {
-            if (!IsCoreDeviceSeam(file.rel_path)) {
-                AddFinding(findings, file, line, "layering",
+            if (!IsCoreDeviceSeam(tu.rel_path)) {
+                AddFinding(file, line, "layering",
                            "src/core may include src/device only from the "
                            "profiling-harness seam (experiment, "
-                           "offline_profiler, batch_runner); route hardware "
-                           "access through aeo::platform instead");
+                           "offline_profiler, batch_runner)",
+                           "route hardware access through aeo::platform "
+                           "instead");
             }
             continue;
         }
         if (allowed.count(target) == 0) {
-            AddFinding(findings, file, line, "layering",
-                       "src/" + layer + " must not include src/" + target +
-                           " (include DAG: common -> sim/stats/lp/control -> "
-                           "fault/soc -> power/kernel/apps -> device -> "
-                           "platform -> core -> chaos)");
+            AddFinding(file, line, "layering",
+                       "src/" + layer + " must not include src/" + target,
+                       "respect the include DAG: common -> sim/stats/lp/"
+                       "control -> fault/soc -> power/kernel/apps -> device "
+                       "-> platform -> core -> chaos");
         }
     }
 
     // The `Device` seam type may only be named by the harness seam files.
-    if (layer == "core" && !IsCoreDeviceSeam(file.rel_path)) {
-        const std::string& code = file.stripped.code;
-        static const std::string kToken = "Device";
-        size_t pos = 0;
-        int line = 1;
-        size_t line_start_scan = 0;
-        while ((pos = code.find(kToken, pos)) != std::string::npos) {
-            const bool bounded_left =
-                pos == 0 || !IsIdentChar(code[pos - 1]);
-            const size_t end = pos + kToken.size();
-            const bool bounded_right =
-                end >= code.size() || !IsIdentChar(code[end]);
-            if (bounded_left && bounded_right) {
-                line += static_cast<int>(std::count(
-                    code.begin() + static_cast<ptrdiff_t>(line_start_scan),
-                    code.begin() + static_cast<ptrdiff_t>(pos), '\n'));
-                line_start_scan = pos;
-                AddFinding(findings, file, line, "layering",
+    if (layer == "core" && !IsCoreDeviceSeam(tu.rel_path)) {
+        for (const Token& t : tu.lexed.tokens) {
+            if (t.kind == TokKind::kIdent && t.text == "Device") {
+                AddFinding(file, t.line, "layering",
                            "src/core may name `Device` only in the "
-                           "profiling-harness seam files; the controller "
-                           "talks to hardware through aeo::platform");
+                           "profiling-harness seam files",
+                           "the controller talks to hardware through "
+                           "aeo::platform");
             }
-            pos = end;
         }
     }
 }
 
 /** Rule `time-seam`: the policy layers (src/core, src/control) consume time
  * only through the aeo::platform seam — Clock, TickScheduler and
- * DeadlineSupervisor (DESIGN.md §13). Naming the raw `Simulator` or
- * `PeriodicTask` machinery there, or calling a bare `sim()` accessor, pins
- * policy code to the simulation backend and bypasses the deadline
- * classification every control tick must pass through. */
+ * DeadlineSupervisor (DESIGN.md §13). */
 void
-CheckTimeSeam(const SourceFile& file, std::vector<Finding>* findings)
+CheckTimeSeam(AnalyzedFile* file)
 {
-    const std::string layer = LayerOf(file.rel_path);
+    const TranslationUnit& tu = file->tu;
+    const std::string layer = LayerOf(tu.rel_path);
     if (layer != "core" && layer != "control") return;
-    const std::string& code = file.stripped.code;
-    static const std::vector<std::string> kTokens = {"Simulator",
-                                                     "PeriodicTask", "sim"};
-    for (const std::string& token : kTokens) {
-        size_t pos = 0;
-        int line = 1;
-        size_t line_start_scan = 0;
-        while ((pos = code.find(token, pos)) != std::string::npos) {
-            const bool bounded_left =
-                pos == 0 || !IsIdentChar(code[pos - 1]);
-            const size_t end = pos + token.size();
-            const bool bounded_right =
-                end >= code.size() || !IsIdentChar(code[end]);
-            bool hit = bounded_left && bounded_right;
-            if (hit && token == "sim") {
-                // Only the call form `sim(...)` is raw time access; the
-                // bare word is unremarkable inside other identifiers.
-                size_t after = end;
-                while (after < code.size() &&
-                       (code[after] == ' ' || code[after] == '\t')) {
-                    ++after;
-                }
-                hit = after < code.size() && code[after] == '(';
-            }
-            if (hit) {
-                line += static_cast<int>(std::count(
-                    code.begin() + static_cast<ptrdiff_t>(line_start_scan),
-                    code.begin() + static_cast<ptrdiff_t>(pos), '\n'));
-                line_start_scan = pos;
-                AddFinding(findings, file, line, "time-seam",
-                           "src/" + layer +
-                               " consumes time only through the "
-                               "aeo::platform seam (Clock, TickScheduler, "
-                               "DeadlineSupervisor); do not name Simulator/"
-                               "PeriodicTask or call a raw sim() here "
-                               "(DESIGN.md §13)");
-            }
-            pos = end;
+    const std::vector<Token>& toks = tu.lexed.tokens;
+    for (size_t i = 0; i < toks.size(); ++i) {
+        const Token& t = toks[i];
+        if (t.kind != TokKind::kIdent) continue;
+        bool hit = t.text == "Simulator" || t.text == "PeriodicTask";
+        // Only the call form `sim(...)` is raw time access.
+        if (t.text == "sim" && i + 1 < toks.size() &&
+            IsPunct(toks[i + 1], "(")) {
+            hit = true;
+        }
+        if (hit) {
+            AddFinding(file, t.line, "time-seam",
+                       "src/" + layer +
+                           " consumes time only through the aeo::platform "
+                           "seam (Clock, TickScheduler, DeadlineSupervisor)",
+                       "do not name Simulator/PeriodicTask or call a raw "
+                       "sim() here (DESIGN.md §13)");
         }
     }
 }
@@ -407,35 +246,36 @@ CheckTimeSeam(const SourceFile& file, std::vector<Finding>* findings)
 /** Rule `sysfs-literal`: inline "/sys..." strings belong to src/kernel and
  * src/platform; everything else must use the interned constants. */
 void
-CheckSysfsLiterals(const SourceFile& file, std::vector<Finding>* findings)
+CheckSysfsLiterals(AnalyzedFile* file)
 {
-    const std::string layer = LayerOf(file.rel_path);
+    const TranslationUnit& tu = file->tu;
+    const std::string layer = LayerOf(tu.rel_path);
     if (layer.empty() || layer == "kernel" || layer == "platform") return;
-    for (const auto& [line, literal] : file.stripped.string_literals) {
-        if (literal.rfind("/sys", 0) == 0) {
-            AddFinding(findings, file, line, "sysfs-literal",
+    for (const Token& t : tu.lexed.tokens) {
+        if (t.kind == TokKind::kString && t.text.rfind("/sys", 0) == 0) {
+            AddFinding(file, t.line, "sysfs-literal",
                        "inline sysfs path literal outside src/kernel and "
-                       "src/platform; use the interned node constants or the "
-                       "Sysfs seam");
+                       "src/platform",
+                       "use the interned node constants or the Sysfs seam");
         }
     }
 }
 
 /** Rule `cluster-literal`: a hard-coded per-core or per-cluster index in a
  * string literal — `cpu0`, `cpu4`, `policy0` — bakes the single-cluster
- * assumption into policy code and silently breaks on a big.LITTLE topology
- * where the second cluster's domain lives at policy4. Cluster-relative
- * paths are composed only by src/kernel (which owns the per-cluster cpufreq
- * policy directories) and src/platform (which interns per-cluster
- * SysfsHandles); every other layer must address clusters through
- * ClusterTopology indices. */
+ * assumption into policy code. Cluster-relative paths are composed only by
+ * src/kernel and src/platform; every other layer must address clusters
+ * through ClusterTopology indices. */
 void
-CheckClusterLiterals(const SourceFile& file, std::vector<Finding>* findings)
+CheckClusterLiterals(AnalyzedFile* file)
 {
-    const std::string layer = LayerOf(file.rel_path);
+    const TranslationUnit& tu = file->tu;
+    const std::string layer = LayerOf(tu.rel_path);
     if (layer.empty() || layer == "kernel" || layer == "platform") return;
     static const std::vector<std::string> kPrefixes = {"cpu", "policy"};
-    for (const auto& [line, literal] : file.stripped.string_literals) {
+    for (const Token& t : tu.lexed.tokens) {
+        if (t.kind != TokKind::kString) continue;
+        const std::string& literal = t.text;
         bool hit = false;
         for (const std::string& prefix : kPrefixes) {
             size_t pos = 0;
@@ -456,9 +296,9 @@ CheckClusterLiterals(const SourceFile& file, std::vector<Finding>* findings)
             if (hit) break;
         }
         if (hit) {
-            AddFinding(findings, file, line, "cluster-literal",
+            AddFinding(file, t.line, "cluster-literal",
                        "hard-coded cpu<N>/policy<N> index in a string "
-                       "literal outside src/kernel and src/platform; "
+                       "literal outside src/kernel and src/platform",
                        "address clusters through ClusterTopology and let "
                        "the kernel/platform seams compose per-cluster "
                        "paths");
@@ -472,67 +312,46 @@ CheckClusterLiterals(const SourceFile& file, std::vector<Finding>* findings)
  * named constructors) so the scale is part of the type. Zero is exempt:
  * it is the same quantity at every scale. */
 void
-CheckUnitLiterals(const SourceFile& file, std::vector<Finding>* findings)
+CheckUnitLiterals(AnalyzedFile* file)
 {
-    if (!UnitRuleApplies(LayerOf(file.rel_path))) return;
+    const TranslationUnit& tu = file->tu;
+    if (!UnitRuleApplies(LayerOf(tu.rel_path))) return;
     static const std::vector<std::string> kSuffixes = {"khz", "mbps", "mw",
                                                        "ms"};
-    for (size_t li = 0; li < file.lines.size(); ++li) {
-        const std::string& code = file.lines[li];
-        for (size_t i = 0; i < code.size();) {
-            if (!IsIdentChar(code[i]) ||
-                std::isdigit(static_cast<unsigned char>(code[i])) != 0) {
-                ++i;
-                continue;
+    const std::vector<Token>& toks = tu.lexed.tokens;
+    for (size_t i = 0; i + 1 < toks.size(); ++i) {
+        const Token& t = toks[i];
+        if (t.kind != TokKind::kIdent) continue;
+        bool suffixed = false;
+        for (const std::string& suffix : kSuffixes) {
+            if (t.text == suffix ||
+                (t.text.size() > suffix.size() + 1 &&
+                 HasSuffix(t.text, suffix) &&
+                 t.text[t.text.size() - suffix.size() - 1] == '_')) {
+                suffixed = true;
+                break;
             }
-            size_t end = i;
-            while (end < code.size() && IsIdentChar(code[end])) ++end;
-            const std::string ident = code.substr(i, end - i);
-            bool suffixed = false;
-            for (const std::string& suffix : kSuffixes) {
-                if (ident == suffix ||
-                    (ident.size() > suffix.size() + 1 &&
-                     ident.compare(ident.size() - suffix.size(), suffix.size(),
-                                   suffix) == 0 &&
-                     ident[ident.size() - suffix.size() - 1] == '_')) {
-                    suffixed = true;
-                    break;
-                }
-            }
-            i = end;
-            if (!suffixed) continue;
-
-            // Accept `=`, `+=`, `-=` or `{`, then require a numeric literal.
-            size_t j = end;
-            while (j < code.size() && (code[j] == ' ' || code[j] == '\t')) ++j;
-            if (j < code.size() && (code[j] == '+' || code[j] == '-')) ++j;
-            if (j >= code.size() || (code[j] != '=' && code[j] != '{')) {
-                continue;
-            }
-            if (code[j] == '=' && j + 1 < code.size() && code[j + 1] == '=') {
-                continue;  // comparison, not assignment
-            }
-            ++j;
-            while (j < code.size() && (code[j] == ' ' || code[j] == '\t')) ++j;
-            size_t lit = j;
-            if (lit < code.size() && (code[lit] == '+' || code[lit] == '-')) {
-                ++lit;
-            }
-            const bool numeric =
-                lit < code.size() &&
-                (std::isdigit(static_cast<unsigned char>(code[lit])) != 0 ||
-                 (code[lit] == '.' && lit + 1 < code.size() &&
-                  std::isdigit(static_cast<unsigned char>(code[lit + 1])) !=
-                      0));
-            if (!numeric) continue;
-            const double value = std::strtod(code.c_str() + j, nullptr);
-            if (value == 0.0) continue;
-            AddFinding(findings, file, static_cast<int>(li + 1), "unit-literal",
-                       "raw numeric literal flows into `" + ident +
-                           "`; wrap it in the tagged unit constructor "
-                           "(KHz/MBps/Milliwatts/Millis) from "
-                           "common/units.h");
         }
+        if (!suffixed) continue;
+        const Token& op = toks[i + 1];
+        if (!(IsPunct(op, "=") || IsPunct(op, "+=") || IsPunct(op, "-=") ||
+              IsPunct(op, "{"))) {
+            continue;
+        }
+        size_t j = i + 2;
+        if (j < toks.size() &&
+            (IsPunct(toks[j], "+") || IsPunct(toks[j], "-"))) {
+            ++j;
+        }
+        if (j >= toks.size() || toks[j].kind != TokKind::kNumber) continue;
+        std::string digits = toks[j].text;
+        digits.erase(std::remove(digits.begin(), digits.end(), '\''),
+                     digits.end());
+        if (std::strtod(digits.c_str(), nullptr) == 0.0) continue;
+        AddFinding(file, t.line, "unit-literal",
+                   "raw numeric literal flows into `" + t.text + "`",
+                   "wrap it in the tagged unit constructor "
+                   "(KHz/MBps/Milliwatts/Millis) from common/units.h");
     }
 }
 
@@ -541,108 +360,63 @@ CheckUnitLiterals(const SourceFile& file, std::vector<Finding>* findings)
 constexpr const char kMonitorCataloguePath[] =
     "tests/chaos/invariant_monitor_test.cc";
 
-/** Finds `class <Name> ... : public InvariantMonitor` declarations in the
- * stripped code of @p file, as (name, line of the class head). */
+/** Finds `class <Name> ... : public InvariantMonitor` declarations in
+ * @p tu, as (name, line of the class keyword). */
 std::vector<std::pair<std::string, int>>
-FindMonitorSubclasses(const SourceFile& file)
+FindMonitorSubclasses(const TranslationUnit& tu)
 {
     std::vector<std::pair<std::string, int>> found;
-    const std::string& code = file.stripped.code;
-    static const std::string kBase = "InvariantMonitor";
-    size_t pos = 0;
-    while ((pos = code.find(kBase, pos)) != std::string::npos) {
-        const size_t end = pos + kBase.size();
-        const bool bounded =
-            (pos == 0 || !IsIdentChar(code[pos - 1])) &&
-            (end >= code.size() || !IsIdentChar(code[end]));
-        if (!bounded) {
-            pos = end;
+    const std::vector<Token>& toks = tu.lexed.tokens;
+    for (size_t i = 1; i < toks.size(); ++i) {
+        if (toks[i].kind != TokKind::kIdent ||
+            toks[i].text != "InvariantMonitor") {
             continue;
         }
-        // A base-specifier: the previous token must be `public`.
-        size_t p = pos;
-        while (p > 0 &&
-               std::isspace(static_cast<unsigned char>(code[p - 1])) != 0) {
-            --p;
-        }
-        if (p < 6 || code.compare(p - 6, 6, "public") != 0 ||
-            (p > 6 && IsIdentChar(code[p - 7]))) {
-            pos = end;
+        if (toks[i - 1].kind != TokKind::kIdent ||
+            toks[i - 1].text != "public") {
             continue;
         }
         // Walk back to the class head; a brace or semicolon in between
         // means `public InvariantMonitor` was something else entirely.
-        const size_t head = code.rfind("class", p - 6);
-        bool is_decl = head != std::string::npos &&
-                       (head == 0 || !IsIdentChar(code[head - 1]));
-        for (size_t i = head + 5; is_decl && i < p - 6; ++i) {
-            if (code[i] == '{' || code[i] == '}' || code[i] == ';') {
-                is_decl = false;
+        size_t head = std::string::npos;
+        for (size_t j = i - 1; j-- > 0;) {
+            if (IsPunct(toks[j], "{") || IsPunct(toks[j], "}") ||
+                IsPunct(toks[j], ";")) {
+                break;
+            }
+            if (toks[j].kind == TokKind::kIdent &&
+                (toks[j].text == "class" || toks[j].text == "struct")) {
+                head = j;
+                break;
             }
         }
-        if (!is_decl) {
-            pos = end;
-            continue;
+        if (head == std::string::npos || head + 1 >= toks.size()) continue;
+        const Token& name = toks[head + 1];
+        if (name.kind == TokKind::kIdent && name.text != "InvariantMonitor") {
+            found.emplace_back(name.text, toks[head].line);
         }
-        size_t name_begin = head + 5;
-        while (name_begin < code.size() &&
-               std::isspace(static_cast<unsigned char>(code[name_begin])) !=
-                   0) {
-            ++name_begin;
-        }
-        size_t name_end = name_begin;
-        while (name_end < code.size() && IsIdentChar(code[name_end])) {
-            ++name_end;
-        }
-        const std::string name =
-            code.substr(name_begin, name_end - name_begin);
-        if (!name.empty() && name != kBase) {
-            const int line = 1 + static_cast<int>(std::count(
-                                     code.begin(),
-                                     code.begin() +
-                                         static_cast<ptrdiff_t>(head),
-                                     '\n'));
-            found.emplace_back(name, line);
-        }
-        pos = end;
     }
     return found;
 }
 
 /** Rule `monitor-catalogue`: every InvariantMonitor subclass declared under
- * src/ must appear — by class name, in code, not comments — in the
- * catalogue suite, so a new runtime monitor cannot ship without a
- * behavioural test. */
+ * src/ must appear — by identifier token, so never in a comment or string —
+ * in the catalogue suite. */
 void
-CheckMonitorCatalogue(const SourceFile& file,
-                      const std::string& catalogue_code,
-                      std::vector<Finding>* findings)
+CheckMonitorCatalogue(AnalyzedFile* file,
+                      const std::set<std::string>& catalogue_idents)
 {
-    for (const auto& [name, line] : FindMonitorSubclasses(file)) {
-        bool tested = false;
-        size_t pos = 0;
-        while ((pos = catalogue_code.find(name, pos)) != std::string::npos) {
-            const size_t end = pos + name.size();
-            if ((pos == 0 || !IsIdentChar(catalogue_code[pos - 1])) &&
-                (end >= catalogue_code.size() ||
-                 !IsIdentChar(catalogue_code[end]))) {
-                tested = true;
-                break;
-            }
-            pos = end;
-        }
-        if (!tested) {
-            AddFinding(findings, file, line, "monitor-catalogue",
-                       "InvariantMonitor subclass `" + name +
-                           "` is never exercised in " +
-                           std::string(kMonitorCataloguePath) +
-                           "; every runtime monitor needs a behavioural "
-                           "test in the catalogue suite");
-        }
+    if (LayerOf(file->tu.rel_path).empty()) return;
+    for (const auto& [name, line] : FindMonitorSubclasses(file->tu)) {
+        if (catalogue_idents.count(name) > 0) continue;
+        AddFinding(file, line, "monitor-catalogue",
+                   "InvariantMonitor subclass `" + name +
+                       "` is never exercised in " +
+                       std::string(kMonitorCataloguePath),
+                   "every runtime monitor needs a behavioural test in the "
+                   "catalogue suite");
     }
 }
-
-bool HasSuffix(const std::string& s, const std::string& suffix);
 
 /** Benches whose BENCH_*.json outputs are perf records — wall time,
  * events/sec, allocation counts — and therefore machine-dependent: there is
@@ -661,29 +435,29 @@ IsPerfRecordBench(const std::string& rel_path)
 
 /** Rule `bench-snapshot`: a bench naming a `BENCH_*.json` artifact (its
  * default snapshot path) must have the committed bench/snapshots/ copy the
- * CI determinism gate diffs against — a new gated bench cannot ship without
- * its baseline. */
+ * CI determinism gate diffs against. */
 void
-CheckBenchSnapshots(const fs::path& root, const SourceFile& file,
-                    std::vector<Finding>* findings)
+CheckBenchSnapshots(const fs::path& root, AnalyzedFile* file)
 {
-    if (file.rel_path.rfind("bench/", 0) != 0 ||
-        IsPerfRecordBench(file.rel_path)) {
+    if (file->tu.rel_path.rfind("bench/", 0) != 0 ||
+        IsPerfRecordBench(file->tu.rel_path)) {
         return;
     }
-    for (const auto& [line, literal] : file.stripped.string_literals) {
+    for (const Token& t : file->tu.lexed.tokens) {
+        if (t.kind != TokKind::kString) continue;
+        const std::string& literal = t.text;
         if (literal.rfind("BENCH_", 0) != 0 || !HasSuffix(literal, ".json") ||
             literal.find('/') != std::string::npos) {
             continue;
         }
         if (!fs::exists(root / "bench" / "snapshots" / literal)) {
-            AddFinding(findings, file, line, "bench-snapshot",
+            AddFinding(file, t.line, "bench-snapshot",
                        "bench writes snapshot `" + literal +
                            "` but bench/snapshots/" + literal +
-                           " is not committed; generate it (--fast, any "
-                           "--jobs) so CI's byte-for-byte gate has a "
-                           "baseline, or allowlist the bench as a perf "
-                           "record in aeo-lint");
+                           " is not committed",
+                       "generate it (--fast, any --jobs) so CI's "
+                       "byte-for-byte gate has a baseline, or allowlist the "
+                       "bench as a perf record in aeo-lint");
         }
     }
 }
@@ -791,9 +565,9 @@ CheckTestRegistration(const fs::path& root,
         if (!target.sources.empty() && target.labels.empty()) {
             findings->push_back(Finding{
                 "test-registration", "tests/CMakeLists.txt", target.line,
-                "aeo_add_test(" + target.name +
-                    ") has no LABELS; every suite needs at least one ctest "
-                    "label so CI can slice it"});
+                "aeo_add_test(" + target.name + ") has no LABELS",
+                "every suite needs at least one ctest label so CI can "
+                "slice it"});
         }
     }
     for (const std::string& rel : test_files) {
@@ -804,16 +578,546 @@ CheckTestRegistration(const fs::path& root,
             findings->push_back(Finding{
                 "test-registration", rel, 1,
                 "test file is not registered in tests/CMakeLists.txt via "
-                "aeo_add_test(), so ctest never runs it"});
+                "aeo_add_test(), so ctest never runs it",
+                "add an aeo_add_test() call with at least one LABELS "
+                "entry"});
         }
     }
 }
 
+// ---------------------------------------------------------------------------
+// Determinism rule family (token-level part).
+// ---------------------------------------------------------------------------
+
+/** Layers under src/ where raw wall clocks are allowed: the platform layer
+ * owns the Clock seam, so a future RealClock backend lives there. */
 bool
-HasSuffix(const std::string& s, const std::string& suffix)
+IsClockSeam(const std::string& rel_path)
 {
-    return s.size() >= suffix.size() &&
-           s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+    return LayerOf(rel_path) == "platform";
+}
+
+/** Rule `determinism` (per-file part): reproducibility bans in src/ and
+ * bench/ — ambient entropy and wall clocks make snapshots flaky, so all
+ * randomness flows through the seeded aeo::Rng and all time through the
+ * aeo::platform Clock seam (DESIGN.md §16). */
+void
+CheckDeterminismTokens(AnalyzedFile* file)
+{
+    const TranslationUnit& tu = file->tu;
+    const bool in_src = tu.rel_path.rfind("src/", 0) == 0;
+    const bool in_bench = tu.rel_path.rfind("bench/", 0) == 0;
+    if (!in_src && !in_bench) return;
+    const std::vector<Token>& toks = tu.lexed.tokens;
+    for (size_t i = 0; i < toks.size(); ++i) {
+        const Token& t = toks[i];
+        if (t.kind != TokKind::kIdent) continue;
+        if (t.text == "random_device") {
+            AddFinding(file, t.line, "determinism",
+                       "std::random_device draws ambient entropy",
+                       "seed a deterministic aeo::Rng (common/random.h) "
+                       "from the experiment's root seed");
+            continue;
+        }
+        if ((t.text == "system_clock" || t.text == "steady_clock" ||
+             t.text == "high_resolution_clock") &&
+            !IsClockSeam(tu.rel_path)) {
+            AddFinding(file, t.line, "determinism",
+                       "raw std::chrono clock outside the aeo::platform "
+                       "Clock seam",
+                       "simulated components read time through "
+                       "platform::Clock; benches measure wall time through "
+                       "bench::MonotonicSeconds()");
+            continue;
+        }
+        // Call form: `name(` not preceded by member access, a qualifier
+        // other than std::, a declaration's return type (`Clock& clock()`)
+        // or another identifier (`int time(`). `return time(0)` still
+        // counts — control keywords are not excluders.
+        bool call_form = i + 1 < toks.size() && IsPunct(toks[i + 1], "(");
+        if (call_form && i > 0) {
+            const Token& prev = toks[i - 1];
+            if (IsPunct(prev, ".") || IsPunct(prev, "->") ||
+                IsPunct(prev, "&") || IsPunct(prev, "*") ||
+                IsPunct(prev, "&&")) {
+                call_form = false;
+            } else if (IsPunct(prev, "::")) {
+                call_form = i >= 2 && toks[i - 2].kind == TokKind::kIdent &&
+                            toks[i - 2].text == "std";
+            } else if (prev.kind == TokKind::kIdent &&
+                       !IsControlKeyword(prev.text)) {
+                call_form = false;
+            }
+        }
+        if (call_form && (t.text == "rand" || t.text == "srand")) {
+            AddFinding(file, t.line, "determinism",
+                       "libc rand()/srand() is hidden global state",
+                       "use the explicitly seeded aeo::Rng instead");
+            continue;
+        }
+        if (call_form && (t.text == "time" || t.text == "clock")) {
+            AddFinding(file, t.line, "determinism",
+                       "libc time()/clock() reads the wall clock",
+                       "simulated time comes from platform::Clock; bench "
+                       "wall time from bench::MonotonicSeconds()");
+            continue;
+        }
+        // Pointer hashing: hash<T*> feeds address-dependent (run-to-run
+        // unstable) values into whatever consumes it.
+        if (t.text == "hash" && i + 1 < toks.size() &&
+            IsPunct(toks[i + 1], "<")) {
+            int depth = 0;
+            for (size_t j = i + 1; j < toks.size() && j < i + 64; ++j) {
+                if (IsPunct(toks[j], "<")) ++depth;
+                if (IsPunct(toks[j], ">")) {
+                    if (--depth == 0) break;
+                }
+                if (IsPunct(toks[j], ">>")) {
+                    depth -= 2;
+                    if (depth <= 0) break;
+                }
+                if (IsPunct(toks[j], "*")) {
+                    AddFinding(file, t.line, "determinism",
+                               "hashing a pointer produces run-to-run "
+                               "unstable values",
+                               "hash a stable id (name, index, interned "
+                               "handle) instead of an address");
+                    break;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Call graph (shared by the determinism sink analysis and the hot-path
+// allocation analysis).
+// ---------------------------------------------------------------------------
+
+/** A function reference into the analyzed set. */
+struct FnRef {
+    size_t file = 0;  // index into the AnalyzedFile vector
+    size_t fn = 0;    // index into that file's tu.functions
+};
+
+struct CallGraph {
+    /** Unqualified name -> definitions. */
+    std::map<std::string, std::vector<FnRef>> by_name;
+    /** (class, name) -> definitions. */
+    std::map<std::pair<std::string, std::string>, std::vector<FnRef>>
+        by_qualified;
+};
+
+const FunctionDef&
+Deref(const std::vector<AnalyzedFile>& files, const FnRef& ref)
+{
+    return files[ref.file].tu.functions[ref.fn];
+}
+
+/** True for files whose functions join the call graph: the product tree,
+ * the tools and the benches — not tests (a test helper sharing a product
+ * function's name must not poison product reachability). */
+bool
+InCallGraph(const std::string& rel_path)
+{
+    return rel_path.rfind("src/", 0) == 0 ||
+           rel_path.rfind("tools/", 0) == 0 ||
+           rel_path.rfind("bench/", 0) == 0;
+}
+
+CallGraph
+BuildCallGraph(const std::vector<AnalyzedFile>& files)
+{
+    CallGraph graph;
+    for (size_t f = 0; f < files.size(); ++f) {
+        if (!InCallGraph(files[f].tu.rel_path)) continue;
+        const std::vector<FunctionDef>& fns = files[f].tu.functions;
+        for (size_t k = 0; k < fns.size(); ++k) {
+            graph.by_name[fns[k].name].push_back(FnRef{f, k});
+            if (!fns[k].class_name.empty()) {
+                graph.by_qualified[{fns[k].class_name, fns[k].name}]
+                    .push_back(FnRef{f, k});
+            }
+        }
+    }
+    return graph;
+}
+
+/** Resolves a call site to candidate definitions. Resolution is scoped:
+ *
+ *  - a qualifier (explicit `X::f` or a typed receiver) binds to X's `f`
+ *    when X defines one, falling back to free functions sharing the name
+ *    (namespace-qualified calls); a qualified call that resolves to
+ *    neither is external — it never merges into unrelated classes;
+ *  - an unqualified member call binds to the caller's own class first,
+ *    then merges across all *methods* sharing the name;
+ *  - a plain call binds to the caller's class first, then merges across
+ *    every definition sharing the name (the documented
+ *    over-approximation).
+ *
+ * Returns an empty list for external functions. */
+std::vector<FnRef>
+Resolve(const std::vector<AnalyzedFile>& files, const CallGraph& graph,
+        const CallSite& call, const FunctionDef& caller)
+{
+    auto name_matches = [&](bool methods, bool free_fns) {
+        std::vector<FnRef> out;
+        const auto it = graph.by_name.find(call.name);
+        if (it == graph.by_name.end()) return out;
+        for (const FnRef& ref : it->second) {
+            const bool is_method = !Deref(files, ref).class_name.empty();
+            if ((is_method && methods) || (!is_method && free_fns)) {
+                out.push_back(ref);
+            }
+        }
+        return out;
+    };
+    // Constructor calls: `Milliwatts(x)` resolves to Milliwatts's ctor.
+    {
+        const auto it = graph.by_qualified.find({call.name, call.name});
+        if (it != graph.by_qualified.end()) return it->second;
+    }
+    if (!call.qualifier.empty()) {
+        const auto it = graph.by_qualified.find({call.qualifier, call.name});
+        if (it != graph.by_qualified.end()) return it->second;
+    } else if (!caller.class_name.empty()) {
+        const auto it =
+            graph.by_qualified.find({caller.class_name, call.name});
+        if (it != graph.by_qualified.end()) return it->second;
+    }
+    // Fallback merge. A member call (`obj.f()`, or a typed receiver whose
+    // class lacks a body for f — virtual dispatch through an interface)
+    // merges across every *method* named f; a plain call merges across
+    // free functions only. Neither crosses into the other shape.
+    return name_matches(/*methods=*/call.member_access,
+                        /*free_fns=*/!call.member_access);
+}
+
+/** BFS over the call graph from @p roots; returns fn -> root-description
+ * for every reached function (including the roots themselves). Traversal
+ * stops at hot-path-stop barriers. */
+std::map<std::pair<size_t, size_t>, std::string>
+Reachable(const std::vector<AnalyzedFile>& files, const CallGraph& graph,
+          const std::vector<FnRef>& roots)
+{
+    std::map<std::pair<size_t, size_t>, std::string> reached;
+    std::deque<FnRef> queue;
+    for (const FnRef& root : roots) {
+        const FunctionDef& fn = Deref(files, root);
+        const std::string label = fn.class_name.empty()
+                                      ? fn.name
+                                      : fn.class_name + "::" + fn.name;
+        if (reached.emplace(std::make_pair(root.file, root.fn), label)
+                .second) {
+            queue.push_back(root);
+        }
+    }
+    while (!queue.empty()) {
+        const FnRef cur = queue.front();
+        queue.pop_front();
+        const FunctionDef& fn = Deref(files, cur);
+        const std::string& root_label =
+            reached.at(std::make_pair(cur.file, cur.fn));
+        for (const CallSite& call : fn.calls) {
+            for (const FnRef& target : Resolve(files, graph, call, fn)) {
+                const FunctionDef& callee = Deref(files, target);
+                if (callee.hot_path_stop) continue;
+                if (reached
+                        .emplace(std::make_pair(target.file, target.fn),
+                                 root_label)
+                        .second) {
+                    queue.push_back(target);
+                }
+            }
+        }
+    }
+    return reached;
+}
+
+// ---------------------------------------------------------------------------
+// Determinism rule family (sink-reachability part).
+// ---------------------------------------------------------------------------
+
+/** Serialization/snapshot sinks: functions that produce the deterministic
+ * artifacts (CSV rows, JSON snapshots) CI gates byte-for-byte. */
+bool
+IsSerializationSink(const FunctionDef& fn)
+{
+    static const std::set<std::string> kNames = {
+        "WriteCsv", "WriteJson", "Serialize", "WriteSnapshotFile"};
+    return kNames.count(fn.name) > 0 || HasSuffix(fn.name, "ToJson");
+}
+
+/** Finds range-for statements over unordered containers inside the body of
+ * @p fn, reporting at the `for` keyword's line. */
+void
+CheckUnorderedIteration(const std::vector<AnalyzedFile>& files,
+                        const FnRef& ref, const std::string& root_label,
+                        const std::set<std::string>& unordered_vars,
+                        std::vector<Finding>* findings)
+{
+    const AnalyzedFile& file = files[ref.file];
+    const FunctionDef& fn = file.tu.functions[ref.fn];
+    const std::vector<Token>& toks = file.tu.lexed.tokens;
+    for (size_t i = fn.body_begin; i + 1 < fn.body_end; ++i) {
+        if (toks[i].kind != TokKind::kIdent || toks[i].text != "for") {
+            continue;
+        }
+        if (!IsPunct(toks[i + 1], "(")) continue;
+        // Find the matching close and the top-level `:` of a range-for.
+        int depth = 0;
+        size_t close = std::string::npos;
+        size_t colon = std::string::npos;
+        for (size_t j = i + 1; j < fn.body_end; ++j) {
+            if (IsPunct(toks[j], "(")) ++depth;
+            if (IsPunct(toks[j], ")")) {
+                if (--depth == 0) {
+                    close = j;
+                    break;
+                }
+            }
+            if (depth == 1 && IsPunct(toks[j], ":")) colon = j;
+            if (depth == 1 && IsPunct(toks[j], ";")) break;  // classic for
+        }
+        if (close == std::string::npos || colon == std::string::npos) {
+            continue;
+        }
+        // The range expression's last identifier names the container.
+        std::string range_var;
+        for (size_t j = colon + 1; j < close; ++j) {
+            if (toks[j].kind == TokKind::kIdent &&
+                !IsControlKeyword(toks[j].text)) {
+                range_var = toks[j].text;
+            }
+        }
+        if (range_var.empty() || unordered_vars.count(range_var) == 0) {
+            continue;
+        }
+        findings->push_back(Finding{
+            "determinism", file.tu.rel_path, toks[i].line,
+            "iteration over unordered container `" + range_var +
+                "` in a function reachable from serialization sink `" +
+                root_label + "`",
+            "unordered iteration order is run-to-run unstable; sort keys "
+            "first or use an ordered container on the output path"});
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hot-path allocation rule family.
+// ---------------------------------------------------------------------------
+
+/** External functions (no definition in the tree) that hot paths may call:
+ * allocation-free std utilities, atomics and container accessors. Growth
+ * methods (push_back & co) are deliberately absent — they are judged by
+ * the receiver check instead. */
+bool
+IsAllocFreeExternal(const std::string& name)
+{
+    static const std::set<std::string> kAllowlist = {
+        // <algorithm>/<cmath>/<utility> value helpers.
+        "min", "max", "abs", "fabs", "clamp", "floor", "ceil", "round",
+        "lround", "llround", "sqrt", "pow", "exp", "exp2", "log", "log2",
+        "log10", "isnan", "isinf", "isfinite", "fmod", "trunc", "hypot",
+        "move", "swap", "forward", "get", "tie", "exchange", "distance",
+        "lower_bound", "upper_bound", "sort", "nth_element", "fill",
+        "copy", "count_if", "any_of", "all_of", "none_of", "accumulate",
+        // Container/string accessors that never grow their receiver.
+        "size", "empty", "data", "begin", "end", "cbegin", "cend", "rbegin",
+        "rend", "front", "back", "top", "at", "count", "find", "contains",
+        "c_str", "length", "capacity", "first", "second", "clear", "pop",
+        "pop_back", "pop_front", "erase",
+        // optional/variant/smart-pointer accessors.
+        "value", "has_value", "value_or", "reset", "release", "operator",
+        // Atomics.
+        "load", "store", "fetch_add", "fetch_sub", "exchange_weak",
+        "compare_exchange_weak", "compare_exchange_strong",
+        // C library, allocation-free.
+        "memcpy", "memset", "memmove", "strlen", "strcmp", "strncmp",
+        "isspace", "isdigit", "isalpha", "isalnum", "tolower", "toupper",
+        "va_start", "va_end", "va_copy", "vsnprintf", "snprintf",
+        // <cmath>/<cstdlib> numeric parsing and trig.
+        "sin", "cos", "tan", "atan2", "strtod", "strtoll", "strtoull",
+        // numeric_limits constants.
+        "infinity", "quiet_NaN", "lowest", "epsilon",
+        // string_view construction and slicing never allocate; ambiguous
+        // `substr` is dominated by string_view use in this codebase.
+        "string_view", "substr",
+        // AEO_ASSERT/AEO_PANIC only format on their failure paths, which
+        // abort.
+        "AEO_ASSERT", "AEO_PANIC",
+        // Strong unit value types (common/units.h, sim/time.h): each wraps
+        // a double (or integer tick count) with inherited constructors the
+        // indexer cannot see; constructing one never allocates.
+        "Gigahertz", "Kilohertz", "MegabytesPerSecond", "Volts",
+        "Milliwatts", "Joules", "Gips", "Seconds", "Milliseconds",
+        "SimTime",
+        // EventCallback's bound-function template parameter invocation.
+        "Fn", "fn",
+    };
+    return kAllowlist.count(name) > 0;
+}
+
+/** Methods that may grow a std container or string. */
+bool
+IsGrowthMethod(const std::string& name)
+{
+    static const std::set<std::string> kGrowth = {
+        "push_back",     "emplace_back",  "push_front", "emplace_front",
+        "append",        "resize",        "reserve",    "insert",
+        "emplace",       "emplace_hint",  "assign",     "push",
+    };
+    return kGrowth.count(name) > 0;
+}
+
+/** Scans one reachable function for allocation constructs. */
+void
+CheckHotFunction(const std::vector<AnalyzedFile>& files,
+                 const CallGraph& graph, const FnRef& ref,
+                 const std::string& root_label,
+                 const std::set<std::string>& growable_vars,
+                 std::vector<Finding>* findings)
+{
+    const AnalyzedFile& file = files[ref.file];
+    const FunctionDef& fn = file.tu.functions[ref.fn];
+    const std::vector<Token>& toks = file.tu.lexed.tokens;
+    const std::string where =
+        (fn.class_name.empty() ? fn.name
+                               : fn.class_name + "::" + fn.name) +
+        " (reachable from hot-path entry `" + root_label + "`)";
+
+    for (size_t i = fn.body_begin; i < fn.body_end; ++i) {
+        const Token& t = toks[i];
+        if (t.kind != TokKind::kIdent) continue;
+        if (t.text == "new") {
+            // Placement new constructs in existing storage; `operator new`
+            // declarations are not expressions.
+            const bool placement =
+                i + 1 < fn.body_end && IsPunct(toks[i + 1], "(");
+            const bool operator_decl =
+                i > 0 && toks[i - 1].kind == TokKind::kIdent &&
+                toks[i - 1].text == "operator";
+            if (!placement && !operator_decl) {
+                findings->push_back(Finding{
+                    "hot-path-alloc", file.tu.rel_path, t.line,
+                    "`new` in " + where,
+                    "hot paths must not heap-allocate; use inline/slab "
+                    "storage (StaticVector, EventQueue slab, "
+                    "EventCallback)"});
+            }
+            continue;
+        }
+        if ((t.text == "make_unique" || t.text == "make_shared") &&
+            i + 1 < fn.body_end &&
+            (IsPunct(toks[i + 1], "(") || IsPunct(toks[i + 1], "<"))) {
+            findings->push_back(Finding{
+                "hot-path-alloc", file.tu.rel_path, t.line,
+                "`std::" + t.text + "` in " + where,
+                "hot paths must not heap-allocate; hoist the allocation "
+                "out of the per-cycle path"});
+            continue;
+        }
+        if (t.text == "function" && i >= 2 && IsPunct(toks[i - 1], "::") &&
+            toks[i - 2].kind == TokKind::kIdent &&
+            toks[i - 2].text == "std") {
+            findings->push_back(Finding{
+                "hot-path-alloc", file.tu.rel_path, t.line,
+                "std::function in " + where,
+                "std::function may allocate for captures; use the "
+                "fixed-capacity EventCallback or a template parameter"});
+            continue;
+        }
+        // Growth calls on known std containers: `recv.push_back(...)`.
+        if (i + 1 < fn.body_end && IsPunct(toks[i + 1], "(") && i >= 2 &&
+            (IsPunct(toks[i - 1], ".") || IsPunct(toks[i - 1], "->")) &&
+            IsGrowthMethod(t.text) &&
+            toks[i - 2].kind == TokKind::kIdent &&
+            growable_vars.count(toks[i - 2].text) > 0) {
+            findings->push_back(Finding{
+                "hot-path-alloc", file.tu.rel_path, t.line,
+                "`" + toks[i - 2].text + "." + t.text + "()` may grow a "
+                "std container in " + where,
+                "growth can reallocate; reserve out of the hot path or use "
+                "fixed-capacity storage"});
+            continue;
+        }
+        // String growth via `+=` on a receiver declared growable in this
+        // file (same-file scope keeps common names from cross-matching).
+        if (i + 1 < fn.body_end && IsPunct(toks[i + 1], "+=") &&
+            file.tu.growable_vars.count(t.text) > 0) {
+            findings->push_back(Finding{
+                "hot-path-alloc", file.tu.rel_path, t.line,
+                "`" + t.text + " += ...` may grow a std container in " +
+                    where,
+                "growth can reallocate; build output outside the hot path"});
+            continue;
+        }
+    }
+
+    // External calls: a call that resolves to nothing in the tree must be
+    // on the alloc-free allowlist.
+    for (const CallSite& call : fn.calls) {
+        if (!Resolve(files, graph, call, fn).empty()) continue;
+        if (IsAllocFreeExternal(call.name)) continue;
+        if (call.name == "make_unique" || call.name == "make_shared") {
+            continue;  // already reported above
+        }
+        // Growth methods are judged by the receiver check above, local
+        // lambdas are scanned inline where they are defined, and invoking
+        // a stored member callable (`hook_()`) does not allocate.
+        if (IsGrowthMethod(call.name) ||
+            file.tu.local_callables.count(call.name) > 0 ||
+            (!call.name.empty() && call.name.back() == '_')) {
+            continue;
+        }
+        findings->push_back(Finding{
+            "hot-path-alloc", file.tu.rel_path, call.line,
+            "call to unanalyzed external function `" + call.name + "` in " +
+                where,
+            "add it to the aeo-lint alloc-free allowlist if it cannot "
+            "allocate, or restructure the hot path"});
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Suppression filtering.
+// ---------------------------------------------------------------------------
+
+/** Applies `allow(<rule>)` suppressions: a finding is dropped when a
+ * matching allow sits on its line or up to two lines above. Returns the
+ * surviving findings and marks used allows in @p used (parallel to each
+ * file's allows vector). */
+std::vector<Finding>
+FilterSuppressed(const std::vector<AnalyzedFile>& files,
+                 const std::map<std::string, size_t>& file_index,
+                 std::vector<Finding> findings,
+                 std::vector<std::vector<bool>>* used)
+{
+    std::vector<Finding> kept;
+    kept.reserve(findings.size());
+    for (Finding& finding : findings) {
+        // Malformed-control-comment findings are never suppressible: a
+        // broken comment must not silence itself.
+        bool suppressed = false;
+        if (finding.rule != "suppression") {
+            const auto it = file_index.find(finding.file);
+            if (it != file_index.end()) {
+                const std::vector<AllowComment>& allows =
+                    files[it->second].tu.lexed.allows;
+                for (size_t a = 0; a < allows.size(); ++a) {
+                    if (allows[a].rule != finding.rule) continue;
+                    if (allows[a].line <= finding.line &&
+                        finding.line - allows[a].line <= 2) {
+                        suppressed = true;
+                        (*used)[it->second][a] = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if (!suppressed) kept.push_back(std::move(finding));
+    }
+    return kept;
 }
 
 /** Collects root-relative paths ('/'-separated) of sources under @p subdir,
@@ -837,69 +1141,208 @@ CollectSources(const fs::path& root, const std::string& subdir)
     return files;
 }
 
-SourceFile
-LoadSource(const fs::path& root, const std::string& rel)
+AnalyzedFile
+AnalyzeFile(const fs::path& root, const std::string& rel)
 {
-    SourceFile file;
-    file.rel_path = rel;
+    AnalyzedFile file;
     std::ifstream in(root / fs::path(rel));
     std::stringstream buffer;
     buffer << in.rdbuf();
-    file.stripped = internal::StripSource(buffer.str());
-    std::istringstream lines(file.stripped.code);
-    std::string line;
-    while (std::getline(lines, line)) {
-        file.lines.push_back(line);
-    }
+    file.tu = BuildTranslationUnit(rel, Lex(buffer.str()));
+
+    CheckSuppressions(&file);
+    CheckLayering(&file);
+    CheckTimeSeam(&file);
+    CheckSysfsLiterals(&file);
+    CheckClusterLiterals(&file);
+    CheckUnitLiterals(&file);
+    CheckDeterminismTokens(&file);
+    CheckBenchSnapshots(root, &file);
     return file;
 }
 
 }  // namespace
 
 std::vector<Finding>
-RunLint(const LintOptions& options)
+RunLint(const LintOptions& options, LintStats* stats)
 {
     const fs::path root(options.root);
+
+    std::vector<std::string> paths;
+    for (const char* subdir : {"src", "tests", "bench", "tools"}) {
+        for (std::string& rel : CollectSources(root, subdir)) {
+            paths.push_back(std::move(rel));
+        }
+    }
+
+    // Stage 1+2 and the per-file rules are embarrassingly parallel; the
+    // PR-3 ThreadPool fans them out. Results land in path order, so the
+    // output is deterministic at any worker count.
+    std::vector<AnalyzedFile> files(paths.size());
+    size_t jobs = options.jobs > 0
+                      ? static_cast<size_t>(options.jobs)
+                      : std::max<size_t>(1, std::thread::hardware_concurrency());
+    jobs = std::min(jobs, std::max<size_t>(1, paths.size()));
+    if (jobs <= 1) {
+        for (size_t i = 0; i < paths.size(); ++i) {
+            files[i] = AnalyzeFile(root, paths[i]);
+        }
+    } else {
+        ThreadPool pool(jobs);
+        std::vector<std::future<AnalyzedFile>> futures;
+        futures.reserve(paths.size());
+        for (size_t i = 0; i < paths.size(); ++i) {
+            futures.push_back(pool.Submit(
+                [&root, &paths, i] { return AnalyzeFile(root, paths[i]); }));
+        }
+        for (size_t i = 0; i < paths.size(); ++i) {
+            files[i] = futures[i].get();
+        }
+    }
+
+    std::map<std::string, size_t> file_index;
+    for (size_t i = 0; i < files.size(); ++i) {
+        file_index[files[i].tu.rel_path] = i;
+    }
+
     std::vector<Finding> findings;
-
-    // The monitor-catalogue rule compares src/ declarations against the
-    // catalogue suite; when the suite is absent every subclass is untested.
-    std::string catalogue_code;
-    if (fs::exists(root / fs::path(kMonitorCataloguePath))) {
-        catalogue_code =
-            LoadSource(root, kMonitorCataloguePath).stripped.code;
+    for (AnalyzedFile& file : files) {
+        for (Finding& finding : file.findings) {
+            findings.push_back(std::move(finding));
+        }
+        file.findings.clear();
     }
 
-    for (const std::string& rel : CollectSources(root, "src")) {
-        const SourceFile file = LoadSource(root, rel);
-        CheckSuppressions(file, &findings);
-        CheckLayering(file, &findings);
-        CheckTimeSeam(file, &findings);
-        CheckSysfsLiterals(file, &findings);
-        CheckClusterLiterals(file, &findings);
-        CheckUnitLiterals(file, &findings);
-        CheckMonitorCatalogue(file, catalogue_code, &findings);
+    // Monitor catalogue: identifier tokens of the catalogue suite.
+    std::set<std::string> catalogue_idents;
+    if (const auto it = file_index.find(kMonitorCataloguePath);
+        it != file_index.end()) {
+        for (const Token& t : files[it->second].tu.lexed.tokens) {
+            if (t.kind == TokKind::kIdent) catalogue_idents.insert(t.text);
+        }
+    }
+    for (AnalyzedFile& file : files) {
+        CheckMonitorCatalogue(&file, catalogue_idents);
+        for (Finding& finding : file.findings) {
+            findings.push_back(std::move(finding));
+        }
+        file.findings.clear();
     }
 
+    // Test registration.
     std::vector<std::string> test_files;
-    for (const std::string& rel : CollectSources(root, "tests")) {
-        const SourceFile file = LoadSource(root, rel);
-        CheckSuppressions(file, &findings);
-        if (HasSuffix(rel, "_test.cc")) test_files.push_back(rel);
+    for (const AnalyzedFile& file : files) {
+        if (file.tu.rel_path.rfind("tests/", 0) == 0 &&
+            HasSuffix(file.tu.rel_path, "_test.cc")) {
+            test_files.push_back(file.tu.rel_path);
+        }
     }
     CheckTestRegistration(root, test_files, &findings);
 
-    for (const std::string& rel : CollectSources(root, "bench")) {
-        const SourceFile file = LoadSource(root, rel);
-        CheckSuppressions(file, &findings);
-        CheckBenchSnapshots(root, file, &findings);
+    // Global semantic passes over the call graph.
+    const CallGraph graph = BuildCallGraph(files);
+
+    // Determinism: unordered iteration reachable from serialization sinks.
+    std::set<std::string> unordered_vars;
+    for (const AnalyzedFile& file : files) {
+        if (!InCallGraph(file.tu.rel_path)) continue;
+        unordered_vars.insert(file.tu.unordered_vars.begin(),
+                              file.tu.unordered_vars.end());
+    }
+    std::vector<FnRef> sink_roots;
+    for (size_t f = 0; f < files.size(); ++f) {
+        if (!InCallGraph(files[f].tu.rel_path)) continue;
+        for (size_t k = 0; k < files[f].tu.functions.size(); ++k) {
+            if (IsSerializationSink(files[f].tu.functions[k])) {
+                sink_roots.push_back(FnRef{f, k});
+            }
+        }
+    }
+    for (const auto& [key, root_label] : Reachable(files, graph, sink_roots)) {
+        CheckUnorderedIteration(files, FnRef{key.first, key.second},
+                                root_label, unordered_vars, &findings);
+    }
+
+    // Hot-path allocation analysis. Annotations are honored under src/
+    // only: the product's per-cycle entry points, not tests or harnesses.
+    std::set<std::string> growable_vars;
+    for (const AnalyzedFile& file : files) {
+        if (!InCallGraph(file.tu.rel_path)) continue;
+        growable_vars.insert(file.tu.growable_vars.begin(),
+                             file.tu.growable_vars.end());
+    }
+    std::vector<FnRef> hot_roots;
+    for (size_t f = 0; f < files.size(); ++f) {
+        const AnalyzedFile& file = files[f];
+        if (LayerOf(file.tu.rel_path).empty()) continue;
+        for (size_t k = 0; k < file.tu.functions.size(); ++k) {
+            if (file.tu.functions[k].hot_path) {
+                hot_roots.push_back(FnRef{f, k});
+            }
+        }
+        for (const int line : file.tu.dangling_hot_annotations) {
+            findings.push_back(Finding{
+                "hot-path-alloc", file.tu.rel_path, line,
+                "hot-path annotation attaches to no function definition",
+                "place the annotation directly above the function it "
+                "protects (within six lines)"});
+        }
+    }
+    for (const auto& [key, root_label] : Reachable(files, graph, hot_roots)) {
+        CheckHotFunction(files, graph, FnRef{key.first, key.second},
+                         root_label, growable_vars, &findings);
+    }
+
+    // Suppression filtering, then stale-suppression over unused allows.
+    std::vector<std::vector<bool>> used(files.size());
+    for (size_t i = 0; i < files.size(); ++i) {
+        used[i].assign(files[i].tu.lexed.allows.size(), false);
+    }
+    findings =
+        FilterSuppressed(files, file_index, std::move(findings), &used);
+    std::vector<Finding> stale;
+    for (size_t i = 0; i < files.size(); ++i) {
+        const std::vector<AllowComment>& allows = files[i].tu.lexed.allows;
+        for (size_t a = 0; a < allows.size(); ++a) {
+            if (used[i][a]) continue;
+            stale.push_back(Finding{
+                "stale-suppression", files[i].tu.rel_path, allows[a].line,
+                "allow(" + allows[a].rule +
+                    ") suppresses nothing: the rule no longer fires within "
+                    "its three-line window",
+                "delete the stale allow so it cannot rot into a blanket "
+                "permission"});
+        }
+    }
+    // Stale findings are themselves suppressible (allow(stale-suppression)
+    // for the rare deliberate case).
+    stale = FilterSuppressed(files, file_index, std::move(stale), &used);
+    for (Finding& finding : stale) {
+        findings.push_back(std::move(finding));
     }
 
     std::sort(findings.begin(), findings.end(),
               [](const Finding& a, const Finding& b) {
-                  return std::tie(a.file, a.line, a.rule) <
-                         std::tie(b.file, b.line, b.rule);
+                  return std::tie(a.file, a.line, a.rule, a.message) <
+                         std::tie(b.file, b.line, b.rule, b.message);
               });
+    findings.erase(std::unique(findings.begin(), findings.end(),
+                               [](const Finding& a, const Finding& b) {
+                                   return a.file == b.file &&
+                                          a.line == b.line &&
+                                          a.rule == b.rule &&
+                                          a.message == b.message;
+                               }),
+                   findings.end());
+
+    if (stats != nullptr) {
+        stats->files_analyzed = files.size();
+        stats->functions_indexed = 0;
+        for (const AnalyzedFile& file : files) {
+            stats->functions_indexed += file.tu.functions.size();
+        }
+        stats->findings = findings.size();
+    }
     return findings;
 }
 
@@ -909,7 +1352,65 @@ FormatFindings(const std::vector<Finding>& findings)
     std::string out;
     for (const Finding& finding : findings) {
         out += finding.file + ":" + std::to_string(finding.line) + ": [" +
-               finding.rule + "] " + finding.message + "\n";
+               finding.rule + "] " + finding.message;
+        if (!finding.fix_hint.empty()) {
+            out += "; " + finding.fix_hint;
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+std::string
+FormatFindingsJson(const std::vector<Finding>& findings)
+{
+    JsonValue doc = JsonValue::MakeObject();
+    doc.Set("schema", 1);
+    doc.Set("tool", "aeo-lint");
+    JsonValue list = JsonValue::MakeArray();
+    for (const Finding& finding : findings) {
+        JsonValue f = JsonValue::MakeObject();
+        f.Set("rule", finding.rule);
+        f.Set("file", finding.file);
+        f.Set("line", finding.line);
+        f.Set("message", finding.message);
+        f.Set("fix_hint", finding.fix_hint);
+        list.Append(std::move(f));
+    }
+    doc.Set("findings", std::move(list));
+    return doc.Dump(2) + "\n";
+}
+
+std::string
+FormatGitHubAnnotations(const std::vector<Finding>& findings)
+{
+    // https://docs.github.com/actions: workflow commands. Message text must
+    // keep to one line; %, \r, \n are escaped per the command protocol.
+    auto escape = [](const std::string& text) {
+        std::string out;
+        for (const char c : text) {
+            if (c == '%') {
+                out += "%25";
+            } else if (c == '\r') {
+                out += "%0D";
+            } else if (c == '\n') {
+                out += "%0A";
+            } else {
+                out += c;
+            }
+        }
+        return out;
+    };
+    std::string out;
+    for (const Finding& finding : findings) {
+        std::string message = finding.message;
+        if (!finding.fix_hint.empty()) {
+            message += "; " + finding.fix_hint;
+        }
+        out += "::error file=" + escape(finding.file) +
+               ",line=" + std::to_string(finding.line) +
+               ",title=aeo-lint " + escape(finding.rule) +
+               "::" + escape(message) + "\n";
     }
     return out;
 }

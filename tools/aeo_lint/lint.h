@@ -1,10 +1,11 @@
 /**
  * @file
- * aeo-lint: the repo's domain-invariant checker (DESIGN.md §11).
+ * aeo-lint: the repo's domain-invariant checker (DESIGN.md §11, §16).
  *
- * A deliberately small, text-level static-analysis pass over the tree that
- * machine-checks the architectural contracts PR 4 established by review
- * convention:
+ * A three-stage semantic analyzer over the tree: a C++ lexer (lexer.h), a
+ * per-file semantic model with a name-based call graph across src/, tools/
+ * and bench/ (model.h), and the rule families below running over tokens +
+ * model. Rule catalogue:
  *
  *  - `layering`          — the include DAG between src/ layers is one-way
  *                          (common → sim → … → platform → core → chaos),
@@ -21,30 +22,50 @@
  *  - `sysfs-literal`     — inline "/sys/..." string literals appear only in
  *                          src/kernel and src/platform; everyone else goes
  *                          through the interned SysfsHandles seam.
+ *  - `cluster-literal`   — hard-coded `cpu<N>`/`policy<N>` string literals
+ *                          are confined to src/kernel and src/platform;
+ *                          policy code addresses clusters through
+ *                          ClusterTopology.
  *  - `test-registration` — every *_test.cc under tests/ is registered in an
  *                          aeo_add_test() call in tests/CMakeLists.txt and
  *                          that call carries at least one ctest label.
  *  - `unit-literal`      — a non-zero numeric literal never flows directly
  *                          into a khz/mbps/mw/ms-suffixed variable or field;
  *                          it must pass through the tagged constructors in
- *                          src/common/units.h (KHz, MBps, Milliwatts,
- *                          Millis) or SimTime's named constructors.
- *  - `suppression`       — `// aeo-lint: allow(<rule>)` comments must carry
- *                          a justification (`-- <why>`); a bare allow is
- *                          itself a finding.
+ *                          src/common/units.h.
+ *  - `suppression`       — a malformed suppression comment (missing rule or
+ *                          justification) is itself a finding.
+ *  - `stale-suppression` — a well-formed suppression whose rule no longer
+ *                          fires within its window is a finding: dead
+ *                          allows rot into blanket permissions.
  *  - `monitor-catalogue` — every `class X : public InvariantMonitor` under
  *                          src/ appears by class name (in code, not a
- *                          comment) in tests/chaos/invariant_monitor_test.cc,
- *                          so a runtime monitor cannot ship untested.
+ *                          comment) in tests/chaos/invariant_monitor_test.cc.
  *  - `bench-snapshot`    — every bench source naming a `BENCH_<x>.json`
  *                          snapshot has a committed bench/snapshots/
- *                          counterpart for CI's byte-for-byte gate to diff
- *                          against. Perf records (machine-dependent timing
- *                          outputs) are exempt via an explicit allowlist in
- *                          the rule.
+ *                          counterpart (perf records exempt via allowlist).
+ *  - `determinism`       — reproducibility bans in src/ and bench/:
+ *                          std::random_device, rand()/srand(), wall clocks
+ *                          (system_clock/steady_clock/high_resolution_clock
+ *                          outside the src/platform clock seam), time()/
+ *                          clock(), pointer hashing, and unordered-container
+ *                          iteration in any function reachable from a
+ *                          serialization sink (WriteCsv / *ToJson /
+ *                          Serialize / snapshot emitters).
+ *  - `hot-path-alloc`    — functions annotated as hot-path entry points
+ *                          (and everything reachable from them through the
+ *                          call graph) must not allocate: `new`,
+ *                          make_unique/make_shared, std::function
+ *                          construction, growth calls on std containers,
+ *                          and calls into unknown external functions off
+ *                          the allowlist are findings. A dangling
+ *                          annotation (attached to no function) is too.
  *
- * The checks are line-oriented on a comment- and string-stripped view of
- * each file: fast, dependency-free, and precise enough for CI to block on.
+ * The call graph is name-based and documented-unsound (DESIGN.md §16):
+ * reachability over-approximates by merging same-named functions (scoped
+ * to the caller's class when the class defines the name) and stops at the
+ * `hot-path-stop` escape annotation; receiver types for growth calls are
+ * known only when the declaration is visible somewhere in the tree.
  */
 #ifndef AEO_TOOLS_AEO_LINT_LINT_H_
 #define AEO_TOOLS_AEO_LINT_LINT_H_
@@ -64,45 +85,41 @@ struct Finding {
     int line = 0;
     /** Human-readable explanation. */
     std::string message;
+    /** Actionable remediation, for the JSON artifact and annotations. */
+    std::string fix_hint;
 };
 
-/** What to lint. */
+/** What to lint and how. */
 struct LintOptions {
     /** Tree root: the directory holding src/, tests/ and bench/. */
     std::string root;
+    /** Worker threads for per-file analysis; 0 = hardware concurrency.
+     * Findings are deterministic at any value. */
+    int jobs = 0;
+};
+
+/** Per-run statistics, for the perf record. */
+struct LintStats {
+    size_t files_analyzed = 0;
+    size_t functions_indexed = 0;
+    size_t findings = 0;
 };
 
 /** Runs every rule over @p options.root and returns the findings, sorted by
  * (file, line, rule). An empty result means the tree is clean. */
-std::vector<Finding> RunLint(const LintOptions& options);
+std::vector<Finding> RunLint(const LintOptions& options,
+                             LintStats* stats = nullptr);
 
 /** Renders findings as "file:line: [rule] message" lines. */
 std::string FormatFindings(const std::vector<Finding>& findings);
 
-namespace internal {
+/** Renders findings as a deterministic JSON document (the CI artifact):
+ * {"schema":1,"findings":[{"rule","file","line","message","fix_hint"}]}. */
+std::string FormatFindingsJson(const std::vector<Finding>& findings);
 
-/**
- * A source file preprocessed for rule matching: `code` mirrors the original
- * byte-for-byte except that comment bodies and string/char literal contents
- * are blanked (newlines preserved), so token scans cannot match inside
- * either. String literals are collected separately for the sysfs rule, and
- * `aeo-lint:` control comments are parsed out before blanking.
- */
-struct StrippedSource {
-    std::string code;
-    /** (line, literal contents) for every "..." literal. */
-    std::vector<std::pair<int, std::string>> string_literals;
-    /** Lines carrying a well-formed `// aeo-lint: allow(<rule>) -- why`,
-     * as (line, rule). */
-    std::vector<std::pair<int, std::string>> allows;
-    /** Lines carrying a malformed allow (missing rule or justification). */
-    std::vector<int> malformed_allows;
-};
-
-/** Strips @p text (see StrippedSource). Exposed for unit tests. */
-StrippedSource StripSource(const std::string& text);
-
-}  // namespace internal
+/** Renders findings as GitHub workflow problem annotations, one
+ * `::error file=...,line=...,title=...::message` per finding. */
+std::string FormatGitHubAnnotations(const std::vector<Finding>& findings);
 
 }  // namespace aeo::lint
 
